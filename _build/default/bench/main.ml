@@ -1,0 +1,150 @@
+(* Benchmark harness.
+
+   Part 1 (bechamel): micro-benchmarks — one Test.make per Table 2
+   circuit for placement instantiation, the compiled-vs-linear query
+   ablation, and the per-query cost of the baseline placers (the
+   motivation for the whole paper).
+
+   Part 2: regenerates every table and figure (Table 1, Table 2,
+   Figures 5-7) and the ablation reports.  Pass --quick to use the
+   reduced generation budget. *)
+
+open Bechamel
+open Toolkit
+open Mps_netlist
+open Mps_core
+
+let budget =
+  if Array.exists (String.equal "--quick") Sys.argv then
+    Mps_experiments.Experiments.Quick
+  else Mps_experiments.Experiments.Full
+
+(* Pre-generate one structure per circuit (quick budget: the bechamel
+   subject is the query, not the generation). *)
+let structures =
+  lazy
+    (List.map
+       (fun circuit ->
+         let config =
+           Mps_experiments.Experiments.generator_config Mps_experiments.Experiments.Quick
+             circuit
+         in
+         let structure, _ = Generator.generate ~config circuit in
+         let probes = Mps_experiments.Experiments.probe_dims ~seed:17 ~n:256 structure in
+         (circuit, structure, probes))
+       Benchmarks.all)
+
+let instantiation_tests () =
+  List.map
+    (fun (circuit, structure, probes) ->
+      let i = ref 0 in
+      Test.make ~name:circuit.Circuit.name
+        (Staged.stage (fun () ->
+             let dims = probes.(!i land 255) in
+             incr i;
+             Sys.opaque_identity (Structure.instantiate structure dims))))
+    (Lazy.force structures)
+
+let query_tests () =
+  let _, structure, probes =
+    List.find
+      (fun (c, _, _) -> String.equal c.Circuit.name "benchmark24")
+      (Lazy.force structures)
+  in
+  let mk name f =
+    let i = ref 0 in
+    Test.make ~name
+      (Staged.stage (fun () ->
+           let dims = probes.(!i land 255) in
+           incr i;
+           Sys.opaque_identity (f structure dims)))
+  in
+  [ mk "compiled" Structure.query; mk "linear" Structure.query_linear ]
+
+let baseline_tests () =
+  let circuit = Benchmarks.two_stage_opamp in
+  let _, structure, probes =
+    List.find
+      (fun (c, _, _) -> String.equal c.Circuit.name "TwoStage Opamp")
+      (Lazy.force structures)
+  in
+  let die_w, die_h = Structure.die structure in
+  let rng = Mps_rng.Rng.create ~seed:3 in
+  let template = Mps_baselines.Template_placer.build ~rng circuit ~die_w ~die_h in
+  let sa_config = { Mps_baselines.Sa_placer.default_config with iterations = 1000 } in
+  let i = ref 0 in
+  let next () =
+    let dims = probes.(!i land 255) in
+    incr i;
+    dims
+  in
+  [
+    Test.make ~name:"mps"
+      (Staged.stage (fun () -> Sys.opaque_identity (Structure.instantiate structure (next ()))));
+    Test.make ~name:"template"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (Mps_baselines.Template_placer.instantiate template (next ()))));
+    Test.make ~name:"sa-placer-1k"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity
+             (Mps_baselines.Sa_placer.place ~config:sa_config ~rng circuit ~die_w ~die_h
+                (next ()))));
+  ]
+
+let run_group ~name tests =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let test = Test.make_grouped ~name ~fmt:"%s %s" tests in
+  let raw = Benchmark.all cfg instances test in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Printf.printf "bench group: %s (ns/run, OLS on monotonic clock)\n" name;
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun test_name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (e :: _) -> Printf.sprintf "%.0f" e
+        | Some [] | None -> "n/a"
+      in
+      rows := (test_name, ns) :: !rows)
+    results;
+  List.iter
+    (fun (test_name, ns) -> Printf.printf "  %-40s %12s ns\n" test_name ns)
+    (List.sort compare !rows);
+  print_newline ()
+
+let () =
+  print_endline "=== Micro-benchmarks (bechamel) ===";
+  print_newline ();
+  run_group ~name:"instantiate" (instantiation_tests ());
+  run_group ~name:"query24" (query_tests ());
+  run_group ~name:"placer" (baseline_tests ());
+  let module E = Mps_experiments.Experiments in
+  print_endline "=== Paper experiments ===";
+  print_newline ();
+  print_string (E.table1 ());
+  print_newline ();
+  print_string (snd (E.table2 ~budget ()));
+  print_newline ();
+  print_string (E.figure5 ~budget ());
+  print_newline ();
+  print_string (snd (E.figure6 ~budget ()));
+  print_newline ();
+  print_string (E.figure7 ~budget ());
+  print_newline ();
+  print_endline "=== Ablations ===";
+  print_newline ();
+  print_string (E.ablation_shrink ~budget ());
+  print_newline ();
+  print_string (E.ablation_explorer ~budget ());
+  print_newline ();
+  print_string (E.ablation_query ~budget ());
+  print_newline ();
+  print_string (E.ablation_fallback ~budget ());
+  print_newline ();
+  print_string (E.ablation_parasitics ~budget ());
+  print_newline ();
+  print_string (E.ablation_refine ~budget ());
+  print_newline ();
+  print_string (E.synthesis_comparison ~budget ())

@@ -1,0 +1,371 @@
+(* mpsgen: command-line front end.
+
+   - [mpsgen list]                    print the Table 1 inventory
+   - [mpsgen generate CIRCUIT]        build a structure, report stats
+   - [mpsgen instantiate CIRCUIT]     build + query one dimension vector
+   - [mpsgen experiments TARGET]      regenerate a table / figure / ablation *)
+
+open Cmdliner
+open Mps_geometry
+open Mps_netlist
+open Mps_core
+
+let budget_conv =
+  let parse = function
+    | "quick" -> Ok Mps_experiments.Experiments.Quick
+    | "full" -> Ok Mps_experiments.Experiments.Full
+    | s -> Error (`Msg (Printf.sprintf "unknown budget %S (quick|full)" s))
+  in
+  let print fmt = function
+    | Mps_experiments.Experiments.Quick -> Format.fprintf fmt "quick"
+    | Mps_experiments.Experiments.Full -> Format.fprintf fmt "full"
+  in
+  Arg.conv (parse, print)
+
+let budget_arg =
+  Arg.(
+    value
+    & opt budget_conv Mps_experiments.Experiments.Quick
+    & info [ "b"; "budget" ] ~docv:"BUDGET" ~doc:"Generation budget: quick or full.")
+
+let circuit_conv =
+  let parse s =
+    match Benchmarks.by_name s with
+    | c -> Ok c
+    | exception Not_found ->
+      let names = List.map (fun c -> c.Circuit.name) Benchmarks.all in
+      Error (`Msg (Printf.sprintf "unknown circuit %S; known: %s" s (String.concat ", " names)))
+  in
+  Arg.conv (parse, fun fmt c -> Format.fprintf fmt "%s" c.Circuit.name)
+
+let circuit_arg =
+  Arg.(
+    required
+    & pos 0 (some circuit_conv) None
+    & info [] ~docv:"CIRCUIT" ~doc:"Benchmark circuit name from Table 1 (see $(b,mpsgen list)).")
+
+(* list *)
+
+let list_cmd =
+  let run () = print_string (Mps_experiments.Experiments.table1 ()) in
+  Cmd.v (Cmd.info "list" ~doc:"Print the Table 1 benchmark inventory.") Term.(const run $ const ())
+
+(* generate *)
+
+let generate circuit budget svg_dir save_path =
+  let config = Mps_experiments.Experiments.generator_config budget circuit in
+  Format.printf "Generating a multi-placement structure for %s...@." circuit.Circuit.name;
+  let structure, stats = Generator.generate ~config circuit in
+  Format.printf
+    "  placements stored: %d@.  coverage: %.4f@.  explorer steps: %d@.  dropped: %d@.  \
+     CPU time: %s@."
+    stats.Generator.placements_stored stats.Generator.coverage
+    stats.Generator.explorer_steps stats.Generator.candidates_dropped
+    (Mps_experiments.Text_table.seconds stats.Generator.generation_seconds);
+  print_string (Structure.describe structure);
+  (match save_path with
+  | None -> ()
+  | Some path ->
+    Codec.save structure ~path;
+    Format.printf "  saved structure to %s@." path);
+  match svg_dir with
+  | None -> ()
+  | Some dir ->
+    let die_w, die_h = Structure.die structure in
+    let best = Structure.backup structure in
+    let rects = Stored.instantiate best best.Stored.best_dims in
+    let path =
+      Filename.concat dir
+        (String.map (function ' ' -> '_' | c -> c) circuit.Circuit.name ^ ".svg")
+    in
+    Mps_render.Svg.save ~path ~title:circuit.Circuit.name circuit ~die_w ~die_h rects;
+    Format.printf "  wrote %s@." path
+
+let svg_arg =
+  Arg.(
+    value
+    & opt (some dir) None
+    & info [ "svg" ] ~docv:"DIR" ~doc:"Also write the best placement as an SVG into $(docv).")
+
+let save_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "save" ] ~docv:"FILE"
+        ~doc:"Persist the generated structure to $(docv) (reload with $(b,mpsgen query)).")
+
+let generate_cmd =
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a multi-placement structure and report statistics.")
+    Term.(const generate $ circuit_arg $ budget_arg $ svg_arg $ save_arg)
+
+(* instantiate *)
+
+type point =
+  | Center
+  | Min
+  | Max
+  | Random of int
+
+let point_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "center" ] -> Ok Center
+    | [ "min" ] -> Ok Min
+    | [ "max" ] -> Ok Max
+    | [ "random" ] -> Ok (Random 1)
+    | [ "random"; seed ] -> (
+      match int_of_string_opt seed with
+      | Some n -> Ok (Random n)
+      | None -> Error (`Msg "random:<seed> needs an integer seed"))
+    | _ -> Error (`Msg (Printf.sprintf "unknown point %S (center|min|max|random[:seed])" s))
+  in
+  let print fmt = function
+    | Center -> Format.fprintf fmt "center"
+    | Min -> Format.fprintf fmt "min"
+    | Max -> Format.fprintf fmt "max"
+    | Random n -> Format.fprintf fmt "random:%d" n
+  in
+  Arg.conv (parse, print)
+
+let point_arg =
+  Arg.(
+    value
+    & opt point_conv Center
+    & info [ "p"; "point" ] ~docv:"POINT"
+        ~doc:"Dimension vector to query: center, min, max or random[:seed].")
+
+let instantiate circuit budget point =
+  let config = Mps_experiments.Experiments.generator_config budget circuit in
+  let structure, _ = Generator.generate ~config circuit in
+  let bounds = Circuit.dim_bounds circuit in
+  let dims =
+    match point with
+    | Center -> Dimbox.center bounds
+    | Min -> Circuit.min_dims circuit
+    | Max -> Circuit.max_dims circuit
+    | Random seed -> Dimbox.random_dims (Mps_rng.Rng.create ~seed) bounds
+  in
+  let answer, stored = Structure.query structure dims in
+  let rects, cost = Structure.instantiate_cost structure dims in
+  let die_w, die_h = Structure.die structure in
+  (match answer with
+  | Structure.Stored_placement id ->
+    Format.printf "Query hit stored placement #%d (avg cost %.1f, best cost %.1f).@." id
+      stored.Stored.avg_cost stored.Stored.best_cost
+  | Structure.Fallback -> Format.printf "Query fell back to the template placement.@.");
+  Format.printf "Instantiated floorplan (cost %.1f):@.%s" cost
+    (Mps_render.Ascii.render ~max_cols:64 circuit ~die_w ~die_h rects)
+
+let instantiate_cmd =
+  Cmd.v
+    (Cmd.info "instantiate"
+       ~doc:"Generate a structure, query one dimension vector and print the floorplan.")
+    Term.(const instantiate $ circuit_arg $ budget_arg $ point_arg)
+
+(* query a saved structure *)
+
+let dims_of_point circuit point =
+  let bounds = Circuit.dim_bounds circuit in
+  match point with
+  | Center -> Dimbox.center bounds
+  | Min -> Circuit.min_dims circuit
+  | Max -> Circuit.max_dims circuit
+  | Random seed -> Dimbox.random_dims (Mps_rng.Rng.create ~seed) bounds
+
+let query circuit path point =
+  match Codec.load ~circuit ~path with
+  | exception Failure msg ->
+    Format.eprintf "error: %s@." msg;
+    exit 1
+  | exception Sys_error msg ->
+    Format.eprintf "error: %s@." msg;
+    exit 1
+  | structure ->
+    let dims = dims_of_point circuit point in
+    let answer, stored = Structure.query structure dims in
+    let rects, cost = Structure.instantiate_cost structure dims in
+    let die_w, die_h = Structure.die structure in
+    (match answer with
+    | Structure.Stored_placement id ->
+      Format.printf "Hit stored placement #%d (avg %.1f, best %.1f).@." id
+        stored.Stored.avg_cost stored.Stored.best_cost
+    | Structure.Fallback -> Format.printf "Uncovered dimensions: backup template used.@.");
+    Format.printf "Floorplan (cost %.1f):@.%s" cost
+      (Mps_render.Ascii.render ~max_cols:64 circuit ~die_w ~die_h rects)
+
+let load_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "i"; "load" ] ~docv:"FILE" ~doc:"Structure file written by $(b,mpsgen generate --save).")
+
+let query_cmd =
+  Cmd.v
+    (Cmd.info "query" ~doc:"Query a saved multi-placement structure (no regeneration).")
+    Term.(const query $ circuit_arg $ load_arg $ point_arg)
+
+(* route a floorplan *)
+
+let route circuit budget point =
+  let config = Mps_experiments.Experiments.generator_config budget circuit in
+  let structure, _ = Generator.generate ~config circuit in
+  let dims = dims_of_point circuit point in
+  let rects = Structure.instantiate structure dims in
+  let die_w, die_h = Structure.die structure in
+  let routing = Mps_route.Router.route circuit ~die_w ~die_h rects in
+  Format.printf "Routed %d nets: total length %.0f, %d failed, overflow %d@."
+    (Array.length routing.Mps_route.Router.nets) routing.Mps_route.Router.total_length
+    routing.Mps_route.Router.failed_nets routing.Mps_route.Router.overflow;
+  let grid =
+    Mps_route.Route_grid.create ~die_w ~die_h
+      ~cell:Mps_route.Router.default_config.Mps_route.Router.cell
+      ~capacity:Mps_route.Router.default_config.Mps_route.Router.capacity rects
+  in
+  let wire_points =
+    Array.to_list routing.Mps_route.Router.nets
+    |> List.concat_map (fun (net : Mps_route.Router.routed_net) ->
+           List.map (Mps_route.Route_grid.center_of_cell grid) net.Mps_route.Router.cells)
+  in
+  print_string
+    (Mps_render.Ascii.render_routed ~max_cols:72 circuit ~die_w ~die_h rects ~wire_points)
+
+let route_cmd =
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:"Generate, instantiate and maze-route a floorplan; print the wire overlay.")
+    Term.(const route $ circuit_arg $ budget_arg $ point_arg)
+
+(* extend a saved structure *)
+
+let extend circuit path budget seed save_path =
+  match Codec.load ~circuit ~path with
+  | exception Failure msg ->
+    Format.eprintf "error: %s@." msg;
+    exit 1
+  | structure ->
+    Format.printf "Loaded %d explored placements; resuming exploration...@."
+      (Structure.n_explored structure);
+    let base = Mps_experiments.Experiments.generator_config budget circuit in
+    let config =
+      { base with Generator.seed; max_placements = base.Generator.max_placements * 2 }
+    in
+    let extended, stats = Generator.extend ~config structure in
+    Format.printf "  now %d explored placements (coverage %.6f, %s CPU)@."
+      (Structure.n_explored extended) stats.Generator.coverage
+      (Mps_experiments.Text_table.seconds stats.Generator.generation_seconds);
+    let out = Option.value save_path ~default:path in
+    Codec.save extended ~path:out;
+    Format.printf "  saved to %s@." out
+
+let seed_arg =
+  Arg.(
+    value
+    & opt int 99
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Explorer seed for the resumed walk.")
+
+let extend_save_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "save" ] ~docv:"FILE"
+        ~doc:"Where to write the extended structure (default: overwrite the input).")
+
+let extend_cmd =
+  Cmd.v
+    (Cmd.info "extend"
+       ~doc:"Resume exploration on a saved structure and store the extended result.")
+    Term.(const extend $ circuit_arg $ load_arg $ budget_arg $ seed_arg $ extend_save_arg)
+
+(* experiments *)
+
+let experiment_targets =
+  [
+    ("table1", `Table1);
+    ("table2", `Table2);
+    ("figure5", `Figure5);
+    ("figure6", `Figure6);
+    ("figure7", `Figure7);
+    ("ablation-shrink", `Ablation_shrink);
+    ("ablation-explorer", `Ablation_explorer);
+    ("ablation-query", `Ablation_query);
+    ("ablation-fallback", `Ablation_fallback);
+    ("ablation-parasitics", `Ablation_parasitics);
+    ("ablation-refine", `Ablation_refine);
+    ("synthesis", `Synthesis);
+    ("all", `All);
+  ]
+
+let target_arg =
+  Arg.(
+    required
+    & pos 0 (some (enum experiment_targets)) None
+    & info [] ~docv:"TARGET"
+        ~doc:
+          "One of: table1, table2, figure5, figure6, figure7, ablation-shrink, \
+           ablation-explorer, ablation-query, synthesis, all.")
+
+let run_experiment target budget csv_dir =
+  let module E = Mps_experiments.Experiments in
+  let module Csv = Mps_experiments.Csv in
+  let save_csv name content =
+    match csv_dir with
+    | None -> ()
+    | Some dir ->
+      let path = Filename.concat dir (name ^ ".csv") in
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content);
+      Format.printf "wrote %s@." path
+  in
+  let run = function
+    | `Table1 -> print_string (E.table1 ())
+    | `Table2 ->
+      let rows, report = E.table2 ~budget () in
+      print_string report;
+      save_csv "table2" (Csv.table2 rows)
+    | `Figure5 -> print_string (E.figure5 ~budget ())
+    | `Figure6 ->
+      let points, report = E.figure6 ~budget () in
+      print_string report;
+      save_csv "figure6" (Csv.figure6 points)
+    | `Figure7 -> print_string (E.figure7 ~budget ())
+    | `Ablation_shrink -> print_string (E.ablation_shrink ~budget ())
+    | `Ablation_explorer -> print_string (E.ablation_explorer ~budget ())
+    | `Ablation_query -> print_string (E.ablation_query ~budget ())
+    | `Ablation_fallback -> print_string (E.ablation_fallback ~budget ())
+    | `Ablation_parasitics -> print_string (E.ablation_parasitics ~budget ())
+    | `Ablation_refine -> print_string (E.ablation_refine ~budget ())
+    | `Synthesis -> print_string (E.synthesis_comparison ~budget ())
+    | `All -> assert false
+  in
+  match target with
+  | `All ->
+    List.iter
+      (fun (_, t) ->
+        if t <> `All then begin
+          run t;
+          print_newline ()
+        end)
+      experiment_targets
+  | t -> run t
+
+let csv_arg =
+  Arg.(
+    value
+    & opt (some dir) None
+    & info [ "csv" ] ~docv:"DIR"
+        ~doc:"Also write the experiment's data series as CSV into $(docv) (table2, figure6).")
+
+let experiments_cmd =
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Regenerate a table, figure or ablation from the paper.")
+    Term.(const run_experiment $ target_arg $ budget_arg $ csv_arg)
+
+let () =
+  let doc = "multi-placement structures for analog placement (DATE 2005 reproduction)" in
+  let info = Cmd.info "mpsgen" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; generate_cmd; instantiate_cmd; query_cmd; route_cmd; extend_cmd;
+            experiments_cmd ]))

@@ -1,0 +1,1 @@
+examples/opamp_synthesis.ml: Circuit Format Generator Mps_core Mps_experiments Mps_modgen Mps_netlist Mps_render Mps_synthesis Opamp Structure Synth_loop

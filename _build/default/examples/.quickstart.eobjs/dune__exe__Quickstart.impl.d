@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Benchmarks Block Circuit Dimbox Format Generator Mps_core Mps_geometry Mps_netlist Printf Rect Structure

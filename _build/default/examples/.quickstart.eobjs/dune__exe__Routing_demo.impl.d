@@ -1,0 +1,1 @@
+examples/routing_demo.ml: Array Circuit Extraction Format Generator List Mps_core Mps_modgen Mps_netlist Mps_render Mps_route Mps_synthesis Net Route_grid Router Structure

@@ -1,0 +1,90 @@
+(* Compare the three placement strategies of the paper's introduction on
+   one circuit: optimization-based (SA, genetic), template-based, and
+   the multi-placement structure.
+
+   For a batch of dimension vectors (as a synthesis loop would produce)
+   each strategy places the circuit; we report average cost and total
+   wall time.  The MPS should sit at template speed with
+   optimization-class quality.
+
+   Run with: dune exec examples/baseline_comparison.exe *)
+
+open Mps_rng
+open Mps_netlist
+open Mps_core
+open Mps_baselines
+
+let () =
+  let circuit = Benchmarks.mixer in
+  let die_w, die_h = Circuit.default_die circuit in
+  Format.printf "Circuit: %a@.@." Circuit.pp circuit;
+
+  let config =
+    Mps_experiments.Experiments.generator_config Mps_experiments.Experiments.Full circuit
+  in
+  let (structure, stats), gen_time =
+    let t0 = Unix.gettimeofday () in
+    let r = Generator.generate ~config circuit in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  Format.printf "MPS: %d placements generated once in %s@."
+    stats.Generator.placements_stored
+    (Mps_experiments.Text_table.seconds gen_time);
+  let rng = Rng.create ~seed:1 in
+  let template = Template_placer.build ~rng circuit ~die_w ~die_h in
+
+  let queries = Mps_experiments.Experiments.probe_dims ~seed:2 ~n:40 structure in
+  let weights = Mps_cost.Cost.default_weights in
+  let evaluate name place =
+    let t0 = Unix.gettimeofday () in
+    let costs =
+      Array.map
+        (fun dims ->
+          let rects = place dims in
+          Mps_cost.Cost.total ~weights circuit ~die_w ~die_h rects)
+        queries
+    in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let avg = Array.fold_left ( +. ) 0.0 costs /. float_of_int (Array.length costs) in
+    (name, avg, elapsed)
+  in
+
+  let sa_rng = Rng.create ~seed:3 and ga_rng = Rng.create ~seed:4 in
+  let sa_config = { Sa_placer.default_config with iterations = 2000 } in
+  let rows =
+    [
+      evaluate "mps" (fun dims -> Structure.instantiate structure dims);
+      evaluate "template" (fun dims -> Template_placer.instantiate template dims);
+      evaluate "sa-placer" (fun dims ->
+          (Sa_placer.place ~config:sa_config ~rng:sa_rng circuit ~die_w ~die_h dims)
+            .Sa_placer.rects);
+      evaluate "genetic" (fun dims ->
+          (Genetic_placer.place ~rng:ga_rng circuit ~die_w ~die_h dims)
+            .Genetic_placer.rects);
+      (let sp_rng = Rng.create ~seed:5 in
+       let sp_config = { Seqpair_placer.default_config with Seqpair_placer.iterations = 2000 } in
+       evaluate "seq-pair" (fun dims ->
+           (Seqpair_placer.place ~config:sp_config ~rng:sp_rng circuit ~die_w ~die_h dims)
+             .Seqpair_placer.rects));
+      (let sl_rng = Rng.create ~seed:6 in
+       let sl_config = { Slicing_placer.default_config with Slicing_placer.iterations = 2000 } in
+       evaluate "slicing" (fun dims ->
+           (Slicing_placer.place ~config:sl_config ~rng:sl_rng circuit ~die_w ~die_h dims)
+             .Slicing_placer.rects));
+    ]
+  in
+  Format.printf "@.%d placement queries per strategy:@.@." (Array.length queries);
+  print_string
+    (Mps_experiments.Text_table.render
+       ~headers:[ "Strategy"; "Avg cost"; "Total time"; "Time/query" ]
+       ~rows:
+         (List.map
+            (fun (name, avg, elapsed) ->
+              [
+                name;
+                Printf.sprintf "%.1f" avg;
+                Mps_experiments.Text_table.seconds elapsed;
+                Mps_experiments.Text_table.microseconds
+                  (elapsed /. float_of_int (Array.length queries));
+              ])
+            rows))

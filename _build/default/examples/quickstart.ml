@@ -1,0 +1,39 @@
+(* Quickstart: generate a multi-placement structure for the two-stage
+   op-amp, then instantiate floorplans for two different sizings.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Mps_geometry
+open Mps_netlist
+open Mps_core
+
+let () =
+  let circuit = Benchmarks.two_stage_opamp in
+  Format.printf "Circuit: %a@." Circuit.pp circuit;
+
+  (* One-time generation (Fig. 1a). *)
+  Format.printf "Generating the multi-placement structure...@.";
+  let structure, stats = Generator.generate ~config:Generator.fast_config circuit in
+  Format.printf "  stored %d placements, coverage %.4f, %.2fs CPU@."
+    stats.Generator.placements_stored stats.Generator.coverage
+    stats.Generator.generation_seconds;
+
+  (* Use in synthesis (Fig. 1b): feed dimension vectors, get floorplans. *)
+  let show label dims =
+    let rects, cost = Structure.instantiate_cost structure dims in
+    let answer, _ = Structure.query structure dims in
+    let kind =
+      match answer with
+      | Structure.Stored_placement id -> Printf.sprintf "placement #%d" id
+      | Structure.Fallback -> "fallback template"
+    in
+    Format.printf "@.%s -> %s, cost %.1f@." label kind cost;
+    Array.iteri
+      (fun i r ->
+        Format.printf "  %-12s %a@." (Circuit.block circuit i).Block.name Rect.pp r)
+      rects
+  in
+  let small = Circuit.min_dims circuit in
+  let mid = Dimbox.center (Circuit.dim_bounds circuit) in
+  show "small devices" small;
+  show "mid-range devices" mid

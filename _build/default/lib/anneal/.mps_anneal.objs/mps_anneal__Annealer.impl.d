@@ -1,0 +1,1 @@
+lib/anneal/annealer.ml: Mps_rng Rng Schedule

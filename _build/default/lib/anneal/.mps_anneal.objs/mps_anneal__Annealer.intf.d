@@ -1,0 +1,1 @@
+lib/anneal/annealer.mli: Mps_rng Rng Schedule

@@ -1,0 +1,60 @@
+open Mps_rng
+
+type 'a problem = {
+  initial : 'a;
+  cost : 'a -> float;
+  neighbor : Rng.t -> 'a -> 'a;
+}
+
+type 'a result = {
+  best : 'a;
+  best_cost : float;
+  final : 'a;
+  final_cost : float;
+  average_cost : float;
+  evaluations : int;
+  acceptances : int;
+}
+
+let run ?(on_accept = fun _ ~cost:_ ~step:_ -> ()) ?(should_stop = fun ~best_cost:_ ~step:_ -> false)
+    ~rng ~schedule ~iterations problem =
+  if iterations < 0 then invalid_arg "Annealer.run: negative iteration count";
+  let current = ref problem.initial in
+  let current_cost = ref (problem.cost problem.initial) in
+  let best = ref !current and best_cost = ref !current_cost in
+  let cost_sum = ref !current_cost and evaluations = ref 1 in
+  let acceptances = ref 0 in
+  let step = ref 0 in
+  let continue = ref true in
+  while !continue && !step < iterations do
+    if should_stop ~best_cost:!best_cost ~step:!step then continue := false
+    else begin
+      let candidate = problem.neighbor rng !current in
+      let cost = problem.cost candidate in
+      cost_sum := !cost_sum +. cost;
+      incr evaluations;
+      let dc = cost -. !current_cost in
+      let temp = Schedule.temperature schedule ~step:!step in
+      let accept = dc <= 0.0 || Rng.float rng 1.0 < exp (-.dc /. temp) in
+      if accept then begin
+        current := candidate;
+        current_cost := cost;
+        incr acceptances;
+        on_accept candidate ~cost ~step:!step;
+        if cost < !best_cost then begin
+          best := candidate;
+          best_cost := cost
+        end
+      end;
+      incr step
+    end
+  done;
+  {
+    best = !best;
+    best_cost = !best_cost;
+    final = !current;
+    final_cost = !current_cost;
+    average_cost = !cost_sum /. float_of_int !evaluations;
+    evaluations = !evaluations;
+    acceptances = !acceptances;
+  }

@@ -1,0 +1,44 @@
+(** Generic simulated-annealing engine.
+
+    Both halves of the paper's nested algorithm — the Placement Explorer
+    (§3.1, states are block coordinate assignments) and the Block
+    Dimensions-Interval Optimizer (§3.2, states are concrete dimension
+    vectors) — are instances of this engine, as is the KOAN/ANAGRAM-style
+    baseline placer. *)
+
+open Mps_rng
+
+(** A problem instance over states of type ['a]. *)
+type 'a problem = {
+  initial : 'a;
+  cost : 'a -> float;  (** Smaller is better. *)
+  neighbor : Rng.t -> 'a -> 'a;  (** Random perturbation of a state. *)
+}
+
+(** Outcome statistics.  [average_cost] is the mean cost over every
+    state evaluated during the run — the quantity the BDIO reports back
+    to the explorer (paper §3.2). *)
+type 'a result = {
+  best : 'a;
+  best_cost : float;
+  final : 'a;  (** Last accepted state. *)
+  final_cost : float;
+  average_cost : float;
+  evaluations : int;
+  acceptances : int;
+}
+
+val run :
+  ?on_accept:('a -> cost:float -> step:int -> unit) ->
+  ?should_stop:(best_cost:float -> step:int -> bool) ->
+  rng:Rng.t ->
+  schedule:Schedule.t ->
+  iterations:int ->
+  'a problem ->
+  'a result
+(** Metropolis acceptance: a candidate with cost increase [dc] at
+    temperature [T] is accepted with probability [exp (-. dc /. T)]
+    (always when [dc <= 0]).  [on_accept] fires on every acceptance;
+    [should_stop] is polled each iteration and ends the run early when
+    it returns [true].  [iterations] must be non-negative; the initial
+    state counts as one evaluation. *)

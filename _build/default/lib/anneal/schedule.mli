@@ -1,0 +1,16 @@
+(** Cooling schedules for simulated annealing. *)
+
+type t =
+  | Geometric of { t0 : float; alpha : float; t_min : float }
+      (** [t(k) = max t_min (t0 * alpha^k)]; the classic schedule. *)
+  | Linear of { t0 : float; steps : int; t_min : float }
+      (** Linear ramp from [t0] to [t_min] over [steps] iterations. *)
+  | Constant of float  (** Fixed temperature (degenerates to Metropolis). *)
+
+val geometric : ?t0:float -> ?alpha:float -> ?t_min:float -> unit -> t
+(** Defaults: [t0 = 1000.], [alpha = 0.98], [t_min = 1e-3]. *)
+
+val temperature : t -> step:int -> float
+(** Temperature at iteration [step >= 0]; always [> 0]. *)
+
+val pp : Format.formatter -> t -> unit

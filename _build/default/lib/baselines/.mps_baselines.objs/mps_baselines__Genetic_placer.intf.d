@@ -1,0 +1,1 @@
+lib/baselines/genetic_placer.mli: Circuit Dims Mps_cost Mps_geometry Mps_netlist Mps_rng Rect Rng

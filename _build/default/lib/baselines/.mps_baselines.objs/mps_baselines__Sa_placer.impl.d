@@ -1,0 +1,1 @@
+lib/baselines/sa_placer.ml: Coord_opt Mps_anneal Mps_cost Mps_geometry Mps_placement Rect Schedule

@@ -1,0 +1,1 @@
+lib/baselines/seqpair_placer.ml: Annealer Circuit Dims Mps_anneal Mps_cost Mps_geometry Mps_netlist Mps_placement Rect Schedule Seq_pair

@@ -1,0 +1,1 @@
+lib/baselines/slicing_placer.mli: Circuit Dims Mps_anneal Mps_cost Mps_geometry Mps_netlist Mps_placement Mps_rng Rect Rng

@@ -1,0 +1,1 @@
+lib/baselines/template_placer.ml: Array Circuit Dims Mps_geometry Mps_netlist Mps_placement Rect Sa_placer

@@ -1,0 +1,1 @@
+lib/baselines/template_placer.mli: Circuit Dims Mps_geometry Mps_netlist Mps_rng Rect Rng

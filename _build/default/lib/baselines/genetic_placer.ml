@@ -1,0 +1,113 @@
+open Mps_rng
+open Mps_geometry
+open Mps_netlist
+
+type config = {
+  population : int;
+  generations : int;
+  tournament : int;
+  crossover_rate : float;
+  mutation_rate : float;
+  elite : int;
+  weights : Mps_cost.Cost.weights;
+  max_shift_fraction : float;
+}
+
+let default_config =
+  {
+    population = 40;
+    generations = 60;
+    tournament = 3;
+    crossover_rate = 0.9;
+    mutation_rate = 0.15;
+    elite = 2;
+    weights = Mps_cost.Cost.default_weights;
+    max_shift_fraction = 0.4;
+  }
+
+type result = {
+  rects : Rect.t array;
+  cost : float;
+  legal : bool;
+  evaluations : int;
+}
+
+let place ?(config = default_config) ~rng circuit ~die_w ~die_h dims =
+  let n = Circuit.n_blocks circuit in
+  if Dims.n_blocks dims <> n then invalid_arg "Genetic_placer.place: block count mismatch";
+  if config.population < 2 || config.elite >= config.population then
+    invalid_arg "Genetic_placer.place: bad population/elite";
+  let evaluations = ref 0 in
+  let rects_of coords =
+    Array.mapi
+      (fun i (x, y) -> Rect.make ~x ~y ~w:(Dims.width dims i) ~h:(Dims.height dims i))
+      coords
+  in
+  let cost coords =
+    incr evaluations;
+    Mps_cost.Cost.total ~weights:config.weights circuit ~die_w ~die_h (rects_of coords)
+  in
+  let clamp_pos i (x, y) =
+    ( max 0 (min x (die_w - Dims.width dims i)),
+      max 0 (min y (die_h - Dims.height dims i)) )
+  in
+  let random_individual () =
+    Array.init n (fun i ->
+        clamp_pos i (Rng.int_in rng 0 (max 0 die_w), Rng.int_in rng 0 (max 0 die_h)))
+  in
+  let max_shift =
+    max 1 (int_of_float (config.max_shift_fraction *. float_of_int (max die_w die_h)))
+  in
+  let mutate coords =
+    Array.mapi
+      (fun i pos ->
+        if Rng.bernoulli rng config.mutation_rate then
+          let x, y = pos in
+          clamp_pos i
+            ( x + Rng.int_in rng (-max_shift) max_shift,
+              y + Rng.int_in rng (-max_shift) max_shift )
+        else pos)
+      coords
+  in
+  let crossover a b =
+    if Rng.bernoulli rng config.crossover_rate then
+      Array.init n (fun i -> if Rng.bool rng then a.(i) else b.(i))
+    else Array.copy a
+  in
+  let pop = Array.init config.population (fun _ -> random_individual ()) in
+  let scores = Array.map cost pop in
+  let tournament_pick () =
+    let best = ref (Rng.int rng config.population) in
+    for _ = 2 to config.tournament do
+      let c = Rng.int rng config.population in
+      if scores.(c) < scores.(!best) then best := c
+    done;
+    pop.(!best)
+  in
+  let by_score () =
+    let idx = Array.init config.population Fun.id in
+    Array.sort (fun i j -> Float.compare scores.(i) scores.(j)) idx;
+    idx
+  in
+  for _gen = 1 to config.generations do
+    let ranked = by_score () in
+    let next = Array.make config.population pop.(ranked.(0)) in
+    for e = 0 to config.elite - 1 do
+      next.(e) <- pop.(ranked.(e))
+    done;
+    for k = config.elite to config.population - 1 do
+      let child = mutate (crossover (tournament_pick ()) (tournament_pick ())) in
+      next.(k) <- child
+    done;
+    Array.blit next 0 pop 0 config.population;
+    Array.iteri (fun k ind -> scores.(k) <- cost ind) pop
+  done;
+  let ranked = by_score () in
+  let best = pop.(ranked.(0)) in
+  let rects = rects_of best in
+  {
+    rects;
+    cost = scores.(ranked.(0));
+    legal = Mps_cost.Cost.is_legal ~die_w ~die_h rects;
+    evaluations = !evaluations;
+  }

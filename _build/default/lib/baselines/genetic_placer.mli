@@ -1,0 +1,35 @@
+(** Genetic-algorithm placement baseline (Zhang et al., ISCAS 2002
+    class; paper §1).
+
+    A second optimization-based comparator: a population of coordinate
+    vectors evolved with tournament selection, per-block uniform
+    crossover and displacement mutation, under the same penalized cost
+    function as the SA placer. *)
+
+open Mps_rng
+open Mps_geometry
+open Mps_netlist
+
+type config = {
+  population : int;
+  generations : int;
+  tournament : int;  (** Tournament size for parent selection. *)
+  crossover_rate : float;
+  mutation_rate : float;  (** Per-block chance of a random displacement. *)
+  elite : int;  (** Individuals copied unchanged each generation. *)
+  weights : Mps_cost.Cost.weights;
+  max_shift_fraction : float;
+}
+
+val default_config : config
+(** Population 40, 60 generations, tournament 3, elitism 2. *)
+
+type result = {
+  rects : Rect.t array;
+  cost : float;
+  legal : bool;
+  evaluations : int;
+}
+
+val place :
+  ?config:config -> rng:Rng.t -> Circuit.t -> die_w:int -> die_h:int -> Dims.t -> result

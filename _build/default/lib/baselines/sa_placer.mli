@@ -1,0 +1,34 @@
+(** Optimization-based placement baseline (KOAN/ANAGRAM class, paper §1).
+
+    A full simulated-annealing placer run from scratch for one concrete
+    dimension vector: moves displace or swap blocks, the cost function
+    penalizes overlap and out-of-bounds area so the walk converges to a
+    legal floorplan.  Good quality, but far too slow to sit inside a
+    sizing loop — which is the gap the multi-placement structure fills. *)
+
+open Mps_rng
+open Mps_geometry
+open Mps_netlist
+
+type config = {
+  iterations : int;
+  schedule : Mps_anneal.Schedule.t;
+  weights : Mps_cost.Cost.weights;
+  swap_probability : float;  (** Chance a move swaps two blocks. *)
+  max_shift_fraction : float;  (** Displacement range as a die fraction. *)
+}
+
+val default_config : config
+(** 4000 iterations — deliberately heavyweight, like the tools it
+    stands in for. *)
+
+type result = {
+  rects : Rect.t array;
+  cost : float;  (** Weighted cost of [rects]. *)
+  legal : bool;
+  evaluations : int;
+}
+
+val place :
+  ?config:config -> rng:Rng.t -> Circuit.t -> die_w:int -> die_h:int -> Dims.t -> result
+(** Place the circuit with the given concrete dimensions. *)

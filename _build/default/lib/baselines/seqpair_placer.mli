@@ -1,0 +1,33 @@
+(** Sequence-pair annealing placer.
+
+    A third optimization-based comparator: anneal over the sequence-pair
+    move space ({!Mps_placement.Seq_pair}), where every state packs to an
+    overlap-free floorplan — the representation used by many classic
+    floorplanners.  Typically better-behaved than coordinate annealing
+    (no overlap penalties to escape) but equally unusable inside a
+    per-candidate sizing loop, which is the gap the multi-placement
+    structure fills. *)
+
+
+open Mps_rng
+open Mps_geometry
+open Mps_netlist
+
+type config = {
+  iterations : int;
+  schedule : Mps_anneal.Schedule.t;
+  weights : Mps_cost.Cost.weights;
+}
+
+val default_config : config
+(** 3000 iterations. *)
+
+type result = {
+  rects : Rect.t array;
+  cost : float;
+  legal : bool;  (** Inside the die (packings are always overlap-free). *)
+  evaluations : int;
+}
+
+val place :
+  ?config:config -> rng:Rng.t -> Circuit.t -> die_w:int -> die_h:int -> Dims.t -> result

@@ -1,0 +1,45 @@
+open Mps_geometry
+open Mps_netlist
+open Mps_anneal
+open Mps_placement
+
+type config = {
+  iterations : int;
+  schedule : Schedule.t;
+  weights : Mps_cost.Cost.weights;
+}
+
+let default_config =
+  {
+    iterations = 3000;
+    schedule = Schedule.geometric ~t0:2000.0 ~alpha:0.995 ~t_min:1e-3 ();
+    weights = Mps_cost.Cost.default_weights;
+  }
+
+type result = {
+  rects : Rect.t array;
+  expression : Slicing.t;
+  cost : float;
+  legal : bool;
+  evaluations : int;
+}
+
+let place ?(config = default_config) ~rng circuit ~die_w ~die_h dims =
+  let n = Circuit.n_blocks circuit in
+  if Dims.n_blocks dims <> n then invalid_arg "Slicing_placer.place: block count mismatch";
+  let cost expr =
+    let rects = Slicing.pack expr dims in
+    Mps_cost.Cost.total ~weights:config.weights circuit ~die_w ~die_h rects
+  in
+  let sa =
+    Annealer.run ~rng ~schedule:config.schedule ~iterations:config.iterations
+      { Annealer.initial = Slicing.random rng n; cost; neighbor = Slicing.perturb }
+  in
+  let rects = Slicing.pack sa.Annealer.best dims in
+  {
+    rects;
+    expression = sa.Annealer.best;
+    cost = sa.Annealer.best_cost;
+    legal = Mps_cost.Cost.is_legal ~die_w ~die_h rects;
+    evaluations = sa.Annealer.evaluations;
+  }

@@ -1,0 +1,32 @@
+(** Slicing-floorplan annealing placer (Wong-Liu).
+
+    A fourth optimization-based comparator: anneal over normalized
+    Polish expressions ({!Mps_placement.Slicing}); every state packs to
+    an overlap-free slicing floorplan.  Slicing structures are the
+    classic template-generator backbone, so this baseline brackets the
+    design space from the structured side the way the sequence pair
+    does from the unstructured one. *)
+
+open Mps_rng
+open Mps_geometry
+open Mps_netlist
+
+type config = {
+  iterations : int;
+  schedule : Mps_anneal.Schedule.t;
+  weights : Mps_cost.Cost.weights;
+}
+
+val default_config : config
+(** 3000 iterations. *)
+
+type result = {
+  rects : Rect.t array;
+  expression : Mps_placement.Slicing.t;  (** The winning expression. *)
+  cost : float;
+  legal : bool;
+  evaluations : int;
+}
+
+val place :
+  ?config:config -> rng:Rng.t -> Circuit.t -> die_w:int -> die_h:int -> Dims.t -> result

@@ -1,0 +1,1 @@
+lib/core/bdio.ml: Annealer Array Dimbox Dims Float Interval List Mps_anneal Mps_cost Mps_geometry Mps_placement Mps_rng Placement Rng Schedule

@@ -1,0 +1,1 @@
+lib/core/bdio.mli: Circuit Dimbox Dims Mps_anneal Mps_cost Mps_geometry Mps_netlist Mps_placement Mps_rng Placement Rng

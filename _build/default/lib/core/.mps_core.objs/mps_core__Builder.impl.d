@@ -1,0 +1,1 @@
+lib/core/builder.ml: Array Circuit Dimbox Int Interval List Mps_geometry Mps_netlist Option Queue Row Stored

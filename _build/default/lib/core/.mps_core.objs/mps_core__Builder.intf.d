@@ -1,0 +1,1 @@
+lib/core/builder.mli: Circuit Dimbox Mps_geometry Mps_netlist Row Stored

@@ -1,0 +1,1 @@
+lib/core/codec.ml: Array Buffer Circuit Dimbox Dims Fun Interval List Mps_geometry Mps_netlist Mps_placement Placement Printf Stored String Structure

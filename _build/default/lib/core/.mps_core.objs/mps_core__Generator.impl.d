@@ -1,0 +1,1 @@
+lib/core/generator.ml: Bdio Builder Circuit Coord_opt Dimbox Expand Float Mps_anneal Mps_cost Mps_geometry Mps_netlist Mps_placement Mps_rng Perturb Placement Repack Rng Schedule Stored Structure Sys

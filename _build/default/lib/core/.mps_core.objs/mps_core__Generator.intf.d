@@ -1,0 +1,1 @@
+lib/core/generator.mli: Bdio Builder Circuit Mps_anneal Mps_netlist Structure

@@ -1,0 +1,1 @@
+lib/core/row.ml: Format Int Interval List Mps_geometry Set String

@@ -1,0 +1,1 @@
+lib/core/row.mli: Format Mps_geometry Set

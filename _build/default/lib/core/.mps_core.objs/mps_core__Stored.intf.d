@@ -1,0 +1,1 @@
+lib/core/stored.mli: Dimbox Dims Format Mps_geometry Mps_placement Placement Rect

@@ -1,0 +1,1 @@
+lib/core/structure.ml: Array Bitset Buffer Builder Circuit Dimbox Dims Interval List Mps_cost Mps_geometry Mps_netlist Mps_placement Mps_rng Printf Row Stored

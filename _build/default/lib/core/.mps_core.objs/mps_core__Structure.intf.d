@@ -1,0 +1,1 @@
+lib/core/structure.mli: Builder Circuit Dims Mps_cost Mps_geometry Mps_netlist Rect Stored

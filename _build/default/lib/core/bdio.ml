@@ -1,0 +1,113 @@
+open Mps_rng
+open Mps_geometry
+open Mps_placement
+open Mps_anneal
+
+type shrink_rule =
+  | Cost_ratio
+  | Fixed of float
+  | No_shrink
+
+type config = {
+  iterations : int;
+  perturb_fraction : float;
+  schedule : Schedule.t;
+  weights : Mps_cost.Cost.weights;
+  shrink : shrink_rule;
+}
+
+let default_config =
+  {
+    iterations = 400;
+    perturb_fraction = 0.3;
+    schedule = Schedule.geometric ~t0:200.0 ~alpha:0.97 ~t_min:1e-3 ();
+    weights = Mps_cost.Cost.default_weights;
+    shrink = Cost_ratio;
+  }
+
+type result = {
+  box : Dimbox.t;
+  avg_cost : float;
+  best_cost : float;
+  best_dims : Dims.t;
+}
+
+let cost_of_dims ~weights circuit placement dims =
+  let rects = Placement.rects placement dims in
+  Mps_cost.Cost.total ~weights circuit ~die_w:placement.Placement.die_w
+    ~die_h:placement.Placement.die_h rects
+
+(* Redraw a random subset of the 2N axes uniformly inside their
+   intervals (the Dimensions Selector's perturbation). *)
+let neighbor_dims ~box ~fraction rng dims =
+  let n = Dims.n_blocks dims in
+  let n_axes = 2 * n in
+  let k = max 1 (int_of_float (ceil (fraction *. float_of_int n_axes))) in
+  let victims = Rng.sample_distinct rng ~k ~n:n_axes in
+  let redraw dims axis =
+    if axis < n then
+      let iv = Dimbox.w_interval box axis in
+      Dims.set_width dims axis (Rng.int_in rng (Interval.lo iv) (Interval.hi iv))
+    else
+      let i = axis - n in
+      let iv = Dimbox.h_interval box i in
+      Dims.set_height dims i (Rng.int_in rng (Interval.lo iv) (Interval.hi iv))
+  in
+  List.fold_left redraw dims victims
+
+let shrink_interval ~factor iv best =
+  let half =
+    int_of_float (ceil (factor *. float_of_int (Interval.length iv) /. 2.0))
+  in
+  let lo = max (Interval.lo iv) (best - half) in
+  let hi = min (Interval.hi iv) (best + half) in
+  Interval.make (min lo best) (max hi best)
+
+let shrink_box ~rule ~box ~best_dims ~avg_cost ~best_cost =
+  match rule with
+  | No_shrink -> box
+  | Cost_ratio | Fixed _ ->
+    let factor =
+      match rule with
+      | Fixed f ->
+        if f <= 0.0 || f > 1.0 then invalid_arg "Bdio.shrink_box: factor must be in (0,1]";
+        f
+      | Cost_ratio ->
+        if avg_cost <= 0.0 then 1.0
+        else Float.min 1.0 (Float.max 0.0 (best_cost /. avg_cost))
+      | No_shrink -> assert false
+    in
+    let n = Dimbox.n_blocks box in
+    let w =
+      Array.init n (fun i ->
+          shrink_interval ~factor (Dimbox.w_interval box i) (Dims.width best_dims i))
+    in
+    let h =
+      Array.init n (fun i ->
+          shrink_interval ~factor (Dimbox.h_interval box i) (Dims.height best_dims i))
+    in
+    Dimbox.make ~w ~h
+
+let optimize ?(config = default_config) ~rng circuit placement ~box =
+  if config.iterations < 1 then invalid_arg "Bdio.optimize: need at least one iteration";
+  let cost dims = cost_of_dims ~weights:config.weights circuit placement dims in
+  let problem =
+    {
+      Annealer.initial = Dimbox.random_dims rng box;
+      cost;
+      neighbor = neighbor_dims ~box ~fraction:config.perturb_fraction;
+    }
+  in
+  let sa =
+    Annealer.run ~rng ~schedule:config.schedule ~iterations:config.iterations problem
+  in
+  let reduced =
+    shrink_box ~rule:config.shrink ~box ~best_dims:sa.Annealer.best
+      ~avg_cost:sa.Annealer.average_cost ~best_cost:sa.Annealer.best_cost
+  in
+  {
+    box = reduced;
+    avg_cost = sa.Annealer.average_cost;
+    best_cost = sa.Annealer.best_cost;
+    best_dims = sa.Annealer.best;
+  }

@@ -1,0 +1,66 @@
+(** Block Dimensions-Intervals Optimizer (paper §3.2).
+
+    Given a placement with fixed coordinates and its expanded dimension
+    box, the BDIO runs a simulated annealing search over concrete
+    dimension vectors inside the box (Dimensions Selector + Cost
+    Calculator, §3.2.1–§3.2.2), then shrinks the box around the
+    best-cost vector (Optimize Ranges, §3.2.3) and reports the average
+    and best cost back to the Placement Explorer. *)
+
+open Mps_rng
+open Mps_geometry
+open Mps_netlist
+open Mps_placement
+
+(** How Optimize Ranges shrinks the intervals (paper eq. 6; see
+    DESIGN.md for the interpretation of the garbled formula). *)
+type shrink_rule =
+  | Cost_ratio
+      (** Interval half-width scaled by [best_cost /. avg_cost]: the
+          further the average sits from the best, the tighter the box
+          hugs the best vector.  The paper's rule. *)
+  | Fixed of float
+      (** Constant shrink factor in [(0, 1]]; ablation baseline. *)
+  | No_shrink  (** Keep the full expansion box; ablation baseline. *)
+
+type config = {
+  iterations : int;  (** SA steps (the paper's user-set iteration count). *)
+  perturb_fraction : float;
+      (** Share of the [2N] dimension entries re-drawn per move. *)
+  schedule : Mps_anneal.Schedule.t;
+  weights : Mps_cost.Cost.weights;
+  shrink : shrink_rule;
+}
+
+val default_config : config
+(** 400 iterations, 30% perturbation, geometric cooling, default cost
+    weights, [Cost_ratio] shrinking. *)
+
+type result = {
+  box : Dimbox.t;  (** The reduced dimension intervals. *)
+  avg_cost : float;
+  best_cost : float;
+  best_dims : Dims.t;
+}
+
+val cost_of_dims :
+  weights:Mps_cost.Cost.weights -> Circuit.t -> Placement.t -> Dims.t -> float
+(** The Cost Calculator: weighted wirelength + area of the instantiated
+    floorplan. *)
+
+val shrink_box :
+  rule:shrink_rule ->
+  box:Dimbox.t ->
+  best_dims:Dims.t ->
+  avg_cost:float ->
+  best_cost:float ->
+  Dimbox.t
+(** Optimize Ranges: per axis, a sub-interval of [box] centred on the
+    best value.  The result always contains [best_dims] and is contained
+    in [box]. *)
+
+val optimize :
+  ?config:config -> rng:Rng.t -> Circuit.t -> Placement.t -> box:Dimbox.t -> result
+(** Run the full BDIO on one expanded placement.  The returned box is
+    contained in the input box and contains [best_dims]; [avg_cost >=
+    best_cost]. *)

@@ -1,0 +1,86 @@
+type t = { capacity : int; words : int array }
+
+let bits_per_word = Sys.int_size
+
+let n_words capacity = (capacity + bits_per_word - 1) / bits_per_word
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Bitset.create: negative capacity";
+  { capacity; words = Array.make (n_words capacity) 0 }
+
+let full ~capacity =
+  let t = create ~capacity in
+  let words = t.words in
+  let n = Array.length words in
+  if n > 0 then begin
+    Array.fill words 0 n (-1);
+    (* Mask the tail word so bits beyond [capacity] stay clear. *)
+    let used = capacity mod bits_per_word in
+    if used > 0 then words.(n - 1) <- (1 lsl used) - 1
+  end;
+  t
+
+let capacity t = t.capacity
+
+let copy t = { capacity = t.capacity; words = Array.copy t.words }
+
+let check t i =
+  if i < 0 || i >= t.capacity then
+    invalid_arg (Printf.sprintf "Bitset: index %d out of [0, %d)" i t.capacity)
+
+let add t i =
+  check t i;
+  t.words.(i / bits_per_word) <- t.words.(i / bits_per_word) lor (1 lsl (i mod bits_per_word))
+
+let remove t i =
+  check t i;
+  t.words.(i / bits_per_word) <-
+    t.words.(i / bits_per_word) land lnot (1 lsl (i mod bits_per_word))
+
+let mem t i =
+  check t i;
+  t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let popcount w =
+  let rec loop w acc = if w = 0 then acc else loop (w land (w - 1)) (acc + 1) in
+  loop w 0
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let inter_into acc s =
+  if acc.capacity <> s.capacity then invalid_arg "Bitset.inter_into: capacity mismatch";
+  for k = 0 to Array.length acc.words - 1 do
+    acc.words.(k) <- acc.words.(k) land s.words.(k)
+  done
+
+let choose t =
+  let n = Array.length t.words in
+  let rec word k =
+    if k >= n then None
+    else if t.words.(k) = 0 then word (k + 1)
+    else begin
+      let w = t.words.(k) in
+      let rec bit b = if w land (1 lsl b) <> 0 then b else bit (b + 1) in
+      Some ((k * bits_per_word) + bit 0)
+    end
+  in
+  word 0
+
+let iter t ~f =
+  for i = 0 to t.capacity - 1 do
+    if t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0 then f i
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter t ~f:(fun i -> acc := i :: !acc);
+  List.rev !acc
+
+let of_list ~capacity l =
+  let t = create ~capacity in
+  List.iter (add t) l;
+  t
+
+let equal a b = a.capacity = b.capacity && a.words = b.words

@@ -1,0 +1,47 @@
+(** Fixed-capacity bitsets over placement indices.
+
+    The compiled multi-placement structure answers a query by
+    intersecting the [2N] placement-index sets returned by the per-block
+    rows (paper eq. 4); bitsets make that intersection a handful of word
+    ANDs, which is what keeps instantiation in the milliseconds band of
+    Table 2. *)
+
+type t
+(** Mutable set of integers in [0 .. capacity-1]. *)
+
+val create : capacity:int -> t
+(** Empty set.  [capacity >= 0]. *)
+
+val full : capacity:int -> t
+(** Set containing all of [0 .. capacity-1]. *)
+
+val capacity : t -> int
+
+val copy : t -> t
+
+val add : t -> int -> unit
+(** @raise Invalid_argument when out of range. *)
+
+val remove : t -> int -> unit
+
+val mem : t -> int -> bool
+
+val is_empty : t -> bool
+
+val cardinal : t -> int
+
+val inter_into : t -> t -> unit
+(** [inter_into acc s] replaces [acc] with [acc ∩ s].
+    @raise Invalid_argument on capacity mismatch. *)
+
+val choose : t -> int option
+(** Smallest member, if any. *)
+
+val iter : t -> f:(int -> unit) -> unit
+(** Members in ascending order. *)
+
+val to_list : t -> int list
+
+val of_list : capacity:int -> int list -> t
+
+val equal : t -> t -> bool

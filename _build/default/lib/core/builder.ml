@@ -1,0 +1,209 @@
+open Mps_geometry
+open Mps_netlist
+
+type t = {
+  circuit : Circuit.t;
+  bounds : Dimbox.t;
+  mutable slots : Stored.t option array;
+  mutable n_slots : int;  (** Slots ever allocated; tombstones included. *)
+  w_rows : Row.t array;  (** One width row per block, mutated in place. *)
+  h_rows : Row.t array;
+}
+
+let create circuit =
+  let n = Circuit.n_blocks circuit in
+  {
+    circuit;
+    bounds = Circuit.dim_bounds circuit;
+    slots = Array.make 16 None;
+    n_slots = 0;
+    w_rows = Array.make n Row.empty;
+    h_rows = Array.make n Row.empty;
+  }
+
+let circuit t = t.circuit
+let bounds t = t.bounds
+
+let n_live t =
+  let acc = ref 0 in
+  for i = 0 to t.n_slots - 1 do
+    if Option.is_some t.slots.(i) then incr acc
+  done;
+  !acc
+
+let live t =
+  let acc = ref [] in
+  for i = t.n_slots - 1 downto 0 do
+    match t.slots.(i) with
+    | Some s -> acc := (i, s) :: !acc
+    | None -> ()
+  done;
+  !acc
+
+let get t i = if i < 0 || i >= t.n_slots then None else t.slots.(i)
+
+(* Rows bookkeeping: a placement id covers, in each block's rows, the
+   intervals of its box. *)
+
+let rows_add t id (box : Dimbox.t) =
+  for i = 0 to Circuit.n_blocks t.circuit - 1 do
+    t.w_rows.(i) <- Row.add_range t.w_rows.(i) (Dimbox.w_interval box i) id;
+    t.h_rows.(i) <- Row.add_range t.h_rows.(i) (Dimbox.h_interval box i) id
+  done
+
+let rows_remove t id =
+  for i = 0 to Circuit.n_blocks t.circuit - 1 do
+    t.w_rows.(i) <- Row.remove_id t.w_rows.(i) id;
+    t.h_rows.(i) <- Row.remove_id t.h_rows.(i) id
+  done
+
+let insert t stored =
+  if t.n_slots >= Array.length t.slots then begin
+    let bigger = Array.make (2 * Array.length t.slots) None in
+    Array.blit t.slots 0 bigger 0 t.n_slots;
+    t.slots <- bigger
+  end;
+  let id = t.n_slots in
+  t.slots.(id) <- Some stored;
+  t.n_slots <- t.n_slots + 1;
+  rows_add t id stored.Stored.box;
+  id
+
+let remove t id =
+  match get t id with
+  | None -> invalid_arg "Builder.remove: no such placement"
+  | Some _ ->
+    t.slots.(id) <- None;
+    rows_remove t id
+
+(* The paper's [I] set: placements overlapping a candidate box, found by
+   intersecting the rows' range answers over all 2N axes. *)
+let overlapping t box =
+  let n = Circuit.n_blocks t.circuit in
+  if n = 0 then []
+  else begin
+    let acc = ref (Row.find_range t.w_rows.(0) (Dimbox.w_interval box 0)) in
+    for i = 0 to n - 1 do
+      if not (Row.Int_set.is_empty !acc) then begin
+        if i > 0 then
+          acc := Row.Int_set.inter !acc (Row.find_range t.w_rows.(i) (Dimbox.w_interval box i));
+        acc := Row.Int_set.inter !acc (Row.find_range t.h_rows.(i) (Dimbox.h_interval box i))
+      end
+    done;
+    Row.Int_set.elements !acc
+  end
+
+let w_row t i = t.w_rows.(i)
+let h_row t i = t.h_rows.(i)
+
+type shrink_outcome =
+  | Dropped
+  | Shrunk of Dimbox.t
+  | Forked of Dimbox.t * Dimbox.t
+
+(* Axes ordered by overlap length, smallest first (paper: "the smallest
+   dimension (row) in which the two placements are overlapping"). *)
+let axes_by_overlap victim other =
+  let overlap axis =
+    Interval.overlap_length (Dimbox.axis_interval victim axis)
+      (Dimbox.axis_interval other axis)
+  in
+  let axes = Dimbox.axes victim in
+  List.sort (fun a b -> Int.compare (overlap a) (overlap b)) axes
+
+let shrink_box_against ~victim ~other =
+  if not (Dimbox.overlaps victim other) then
+    invalid_arg "Builder.shrink_box_against: boxes are disjoint";
+  let cuttable axis =
+    let v = Dimbox.axis_interval victim axis and o = Dimbox.axis_interval other axis in
+    not (Interval.contains_interval ~outer:o ~inner:v)
+  in
+  match List.find_opt cuttable (axes_by_overlap victim other) with
+  | None -> Dropped
+  | Some axis ->
+    let v = Dimbox.axis_interval victim axis and o = Dimbox.axis_interval other axis in
+    let below = Interval.before v ~limit:(Interval.lo o) in
+    let above = Interval.after v ~limit:(Interval.hi o) in
+    (match (below, above) with
+    | Some b, Some a -> Forked (Dimbox.with_axis victim axis b, Dimbox.with_axis victim axis a)
+    | Some b, None -> Shrunk (Dimbox.with_axis victim axis b)
+    | None, Some a -> Shrunk (Dimbox.with_axis victim axis a)
+    | None, None -> assert false (* [cuttable axis] ruled this out *))
+
+let resolve_and_store t candidate =
+  let stored_ids = ref [] in
+  let work = Queue.create () in
+  Queue.add candidate work;
+  while not (Queue.is_empty work) do
+    let c = Queue.pop work in
+    match overlapping t c.Stored.box with
+    | [] -> stored_ids := insert t c :: !stored_ids
+    | idx :: _ ->
+      let pi =
+        match get t idx with
+        | Some s -> s
+        | None -> assert false (* rows only hold live ids *)
+      in
+      if pi.Stored.template_like || pi.Stored.avg_cost > c.Stored.avg_cost then begin
+        (* The stored placement loses the contested region.  Backup
+           territory always yields: a candidate only reaches this point
+           after the generator's local-dominance admission test proved
+           it beats the template inside its own box. *)
+        remove t idx;
+        (match shrink_box_against ~victim:pi.Stored.box ~other:c.Stored.box with
+        | Dropped -> ()
+        | Shrunk box -> ignore (insert t (Stored.with_box pi box))
+        | Forked (b1, b2) ->
+          ignore (insert t (Stored.with_box pi b1));
+          ignore (insert t (Stored.with_box pi b2)));
+        Queue.add c work
+      end
+      else begin
+        match shrink_box_against ~victim:c.Stored.box ~other:pi.Stored.box with
+        | Dropped -> ()
+        | Shrunk box -> Queue.add (Stored.with_box c box) work
+        | Forked (b1, b2) ->
+          Queue.add (Stored.with_box c b1) work;
+          Queue.add (Stored.with_box c b2) work
+      end
+  done;
+  List.rev !stored_ids
+
+let coverage t =
+  (* template-like placements (the backup's territory) do not count as
+     covered space: coverage measures what the explorer discovered *)
+  List.fold_left
+    (fun acc (_, s) ->
+      if s.Stored.template_like then acc
+      else acc +. Dimbox.volume_fraction s.Stored.box ~bounds:t.bounds)
+    0.0 (live t)
+
+let boxes_disjoint t =
+  let all = live t in
+  List.for_all
+    (fun (i, a) ->
+      List.for_all
+        (fun (j, b) -> i >= j || not (Dimbox.overlaps a.Stored.box b.Stored.box))
+        all)
+    all
+
+let rows_consistent t =
+  let n = Circuit.n_blocks t.circuit in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    ok := !ok && Row.invariants_ok t.w_rows.(i) && Row.invariants_ok t.h_rows.(i)
+  done;
+  (* Every live placement is found by a range query over its own box,
+     and rows contain no dead ids. *)
+  let live_ids = List.map fst (live t) in
+  let row_ids =
+    Array.fold_left
+      (fun acc row -> Row.Int_set.union acc (Row.ids row))
+      Row.Int_set.empty
+      (Array.append t.w_rows t.h_rows)
+  in
+  !ok
+  && Row.Int_set.subset row_ids (Row.Int_set.of_list live_ids)
+  && List.for_all
+       (fun (id, s) -> List.mem id (overlapping t s.Stored.box))
+       (live t)

@@ -1,0 +1,181 @@
+open Mps_geometry
+open Mps_netlist
+open Mps_placement
+
+let magic = "mps-structure v1"
+
+let box_lines prefix box =
+  let n = Dimbox.n_blocks box in
+  let per axis_interval =
+    String.concat " "
+      (List.init n (fun i ->
+           let iv = axis_interval i in
+           Printf.sprintf "%d %d" (Interval.lo iv) (Interval.hi iv)))
+  in
+  [
+    Printf.sprintf "%s.w %s" prefix (per (Dimbox.w_interval box));
+    Printf.sprintf "%s.h %s" prefix (per (Dimbox.h_interval box));
+  ]
+
+let to_string structure =
+  let circuit = Structure.circuit structure in
+  let die_w, die_h = Structure.die structure in
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "%s" magic;
+  line "circuit %d %d %s" (Circuit.n_blocks circuit) (Circuit.n_nets circuit)
+    circuit.Circuit.name;
+  line "die %d %d" die_w die_h;
+  let write_placement s =
+    line "placement %.17g %.17g %d" s.Stored.avg_cost s.Stored.best_cost
+      (if s.Stored.template_like then 1 else 0);
+    line "coords %s"
+      (String.concat " "
+         (List.map
+            (fun (x, y) -> Printf.sprintf "%d %d" x y)
+            (Array.to_list s.Stored.placement.Placement.coords)));
+    List.iter (line "%s") (box_lines "box" s.Stored.box);
+    List.iter (line "%s") (box_lines "expansion" s.Stored.expansion);
+    let n = Stored.n_blocks s in
+    line "best_dims %s"
+      (String.concat " "
+         (List.init n (fun i ->
+              Printf.sprintf "%d %d" (Dims.width s.Stored.best_dims i)
+                (Dims.height s.Stored.best_dims i))))
+  in
+  let stored = Structure.placements structure in
+  line "placements %d" (Array.length stored);
+  Array.iter write_placement stored;
+  line "backup";
+  write_placement (Structure.backup structure);
+  Buffer.contents buf
+
+(* Parsing *)
+
+type cursor = { mutable lines : string list; mutable lineno : int }
+
+let fail cursor fmt =
+  Printf.ksprintf (fun s -> failwith (Printf.sprintf "Codec: line %d: %s" cursor.lineno s)) fmt
+
+let next cursor =
+  match cursor.lines with
+  | [] -> fail cursor "unexpected end of document"
+  | l :: rest ->
+    cursor.lines <- rest;
+    cursor.lineno <- cursor.lineno + 1;
+    l
+
+let expect_prefix cursor prefix =
+  let l = next cursor in
+  match String.length l >= String.length prefix && String.sub l 0 (String.length prefix) = prefix with
+  | true -> String.trim (String.sub l (String.length prefix) (String.length l - String.length prefix))
+  | false -> fail cursor "expected %S, got %S" prefix l
+
+let ints_of cursor s =
+  List.map
+    (fun tok ->
+      match int_of_string_opt tok with
+      | Some v -> v
+      | None -> fail cursor "expected an integer, got %S" tok)
+    (String.split_on_char ' ' (String.trim s) |> List.filter (fun t -> t <> ""))
+
+let pairs_of cursor s =
+  let rec pair_up = function
+    | [] -> []
+    | a :: b :: rest -> (a, b) :: pair_up rest
+    | [ _ ] -> fail cursor "odd number of integers"
+  in
+  pair_up (ints_of cursor s)
+
+let intervals_of cursor n s =
+  let pairs = pairs_of cursor s in
+  if List.length pairs <> n then fail cursor "expected %d intervals, got %d" n (List.length pairs);
+  Array.of_list
+    (List.map
+       (fun (lo, hi) ->
+         if lo > hi then fail cursor "inverted interval %d..%d" lo hi
+         else Interval.make lo hi)
+       pairs)
+
+let box_of cursor n prefix =
+  let w = intervals_of cursor n (expect_prefix cursor (prefix ^ ".w ")) in
+  let h = intervals_of cursor n (expect_prefix cursor (prefix ^ ".h ")) in
+  Dimbox.make ~w ~h
+
+let of_string ~circuit s =
+  let cursor = { lines = String.split_on_char '\n' s; lineno = 0 } in
+  let header = next cursor in
+  if header <> magic then failwith (Printf.sprintf "Codec: bad header %S" header);
+  let id = expect_prefix cursor "circuit " in
+  (match String.split_on_char ' ' id with
+  | blocks :: nets :: name_parts ->
+    let name = String.concat " " name_parts in
+    if
+      int_of_string_opt blocks <> Some (Circuit.n_blocks circuit)
+      || int_of_string_opt nets <> Some (Circuit.n_nets circuit)
+      || name <> circuit.Circuit.name
+    then
+      failwith
+        (Printf.sprintf "Codec: structure was generated for %s (%s blocks), not %s" name
+           blocks circuit.Circuit.name)
+  | _ -> fail cursor "malformed circuit line");
+  let die = ints_of cursor (expect_prefix cursor "die ") in
+  let die_w, die_h =
+    match die with [ w; h ] -> (w, h) | _ -> fail cursor "malformed die line"
+  in
+  let count =
+    match ints_of cursor (expect_prefix cursor "placements ") with
+    | [ c ] when c > 0 -> c
+    | _ -> fail cursor "malformed placements line"
+  in
+  let n = Circuit.n_blocks circuit in
+  let read_placement () =
+    let costs = expect_prefix cursor "placement " in
+    let avg_cost, best_cost, template_like =
+      match
+        String.split_on_char ' ' (String.trim costs)
+        |> List.filter (fun t -> t <> "")
+        |> List.map float_of_string_opt
+      with
+      | [ Some a; Some b; Some flag ] -> (a, b, flag <> 0.0)
+      | _ -> fail cursor "malformed placement costs"
+    in
+    let coords = pairs_of cursor (expect_prefix cursor "coords ") in
+    if List.length coords <> n then fail cursor "expected %d coordinates" n;
+    let box = box_of cursor n "box" in
+    let expansion = box_of cursor n "expansion" in
+    let best_pairs = pairs_of cursor (expect_prefix cursor "best_dims ") in
+    if List.length best_pairs <> n then fail cursor "expected %d best dims" n;
+    let best_dims = Dims.of_pairs (Array.of_list best_pairs) in
+    let placement = Placement.make ~coords:(Array.of_list coords) ~die_w ~die_h in
+    match
+      Stored.make ~template_like ~placement ~box ~expansion ~avg_cost ~best_cost
+        ~best_dims
+    with
+    | s -> s
+    | exception Invalid_argument msg -> fail cursor "inconsistent placement: %s" msg
+  in
+  let stored = Array.init count (fun _ -> read_placement ()) in
+  let backup =
+    match next cursor with
+    | "backup" -> read_placement ()
+    | other -> fail cursor "expected backup section, got %S" other
+  in
+  match Structure.of_placements ~backup circuit stored with
+  | s -> s
+  | exception Invalid_argument msg -> failwith (Printf.sprintf "Codec: %s" msg)
+
+let save structure ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string structure))
+
+let load ~circuit ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      of_string ~circuit s)

@@ -1,0 +1,23 @@
+(** Persistence for compiled multi-placement structures.
+
+    The whole point of a multi-placement structure is that it is
+    generated {e once} per circuit topology (paper Fig. 1a) and reused
+    across synthesis runs, so it must survive the process.  The format
+    is a line-oriented text file; the circuit itself is not stored —
+    loading requires the same circuit and validates its identity (name,
+    block count and dimension bounds, net count). *)
+
+open Mps_netlist
+
+val to_string : Structure.t -> string
+(** Serialize (identity header + die + every stored placement). *)
+
+val of_string : circuit:Circuit.t -> string -> Structure.t
+(** Parse and recompile.  @raise Failure on a malformed document or a
+    circuit mismatch. *)
+
+val save : Structure.t -> path:string -> unit
+
+val load : circuit:Circuit.t -> path:string -> Structure.t
+(** @raise Sys_error when the file cannot be read; @raise Failure on a
+    malformed document or circuit mismatch. *)

@@ -1,0 +1,262 @@
+open Mps_rng
+open Mps_geometry
+open Mps_netlist
+open Mps_placement
+open Mps_anneal
+
+type config = {
+  seed : int;
+  die_slack : float;
+  explorer_iterations : int;
+  explorer_schedule : Schedule.t;
+  perturb_fraction : float;
+  max_shift_fraction : float;
+  bdio : Bdio.config;
+  coverage_target : float;
+  max_placements : int;
+  backup_iterations : int;
+  seed_walk_with_backup : bool;
+  refine_iterations : int;
+      (** Short coordinate-annealing refinement applied to each explorer
+          candidate, each toward its own random target sizing; [0]
+          disables it (the paper's literal walk). *)
+}
+
+let default_config =
+  {
+    seed = 1;
+    die_slack = 1.0;
+    explorer_iterations = 60;
+    explorer_schedule = Schedule.geometric ~t0:500.0 ~alpha:0.93 ~t_min:1e-3 ();
+    perturb_fraction = 0.25;
+    max_shift_fraction = 0.35;
+    bdio = Bdio.default_config;
+    coverage_target = 0.5;
+    max_placements = 200;
+    backup_iterations = 5000;
+    seed_walk_with_backup = true;
+    refine_iterations = 2000;
+  }
+
+let fast_config =
+  {
+    default_config with
+    explorer_iterations = 15;
+    bdio = { Bdio.default_config with iterations = 120 };
+    max_placements = 60;
+    backup_iterations = 600;
+    refine_iterations = 120;
+  }
+
+type stats = {
+  placements_stored : int;
+  coverage : float;
+  explorer_steps : int;
+  candidates_dropped : int;
+  generation_seconds : float;
+}
+
+(* Local-dominance admission test: over the candidate's claimed box,
+   does using the candidate (raw coordinates) beat re-packing the backup
+   template at the same dimension vectors?  Point-matched sampling, so
+   neither side gets to average over friendlier territory. *)
+let beats_backup_locally config rng circuit backup candidate =
+  let samples = 32 in
+  let die_w = candidate.Stored.placement.Placement.die_w in
+  let die_h = candidate.Stored.placement.Placement.die_h in
+  let weights = config.bdio.Bdio.weights in
+  let cost rects = Mps_cost.Cost.total ~weights circuit ~die_w ~die_h rects in
+  let candidate_total = ref 0.0 and backup_total = ref 0.0 in
+  for _ = 1 to samples do
+    let dims = Dimbox.random_dims rng candidate.Stored.box in
+    candidate_total := !candidate_total +. cost (Stored.instantiate candidate dims);
+    backup_total := !backup_total +. cost (Stored.instantiate_repacked backup dims)
+  done;
+  !candidate_total <= !backup_total
+
+(* Expand a placement, optimize its dimension intervals, and merge the
+   result into the structure (if it passes admission).  Returns the
+   BDIO result (the explorer's cost signal) and whether the candidate
+   was stored. *)
+let evaluate_and_store builder config rng circuit backup placement =
+  let expansion = Expand.expand circuit placement in
+  let bdio = Bdio.optimize ~config:config.bdio ~rng circuit placement ~box:expansion in
+  let candidate =
+    Stored.make ~template_like:false ~placement ~box:bdio.Bdio.box ~expansion
+      ~avg_cost:bdio.Bdio.avg_cost ~best_cost:bdio.Bdio.best_cost
+      ~best_dims:bdio.Bdio.best_dims
+  in
+  if beats_backup_locally config rng circuit backup candidate then
+    let ids = Builder.resolve_and_store builder candidate in
+    (bdio, ids <> [])
+  else (bdio, false)
+
+(* The template-like backup placement for uncovered dimension space
+   (paper §3.1.4): coordinates annealed once at the nominal dimensions,
+   valid over its whole expansion box. *)
+let build_backup config rng circuit ~die_w ~die_h =
+  let nominal = Dimbox.center (Circuit.dim_bounds circuit) in
+  let coord_config =
+    {
+      Coord_opt.default_config with
+      Coord_opt.iterations = config.backup_iterations;
+      weights = config.bdio.Bdio.weights;
+    }
+  in
+  let optimized = Coord_opt.optimize ~config:coord_config ~rng circuit ~die_w ~die_h nominal in
+  let placement =
+    if Placement.is_legal optimized.Coord_opt.placement (Circuit.min_dims circuit) then
+      optimized.Coord_opt.placement
+    else Placement.random rng circuit ~die_w ~die_h
+  in
+  let expansion = Expand.expand circuit placement in
+  let bdio_config = { config.bdio with Bdio.shrink = Bdio.No_shrink } in
+  let bdio = Bdio.optimize ~config:bdio_config ~rng circuit placement ~box:expansion in
+  (* The backup claims the whole designer dimension space (re-packing
+     outside its expansion box), so an explorer placement only wins
+     territory by beating it — the structure's quality floor.  Its
+     competitive average is the template's true cost over that whole
+     space (sampled, re-packed), not the flattering average over its
+     own expansion box: a candidate survives Resolve Overlaps exactly
+     when its regional average beats using the template everywhere. *)
+  let bounds = Circuit.dim_bounds circuit in
+  let template_avg =
+    let samples = 200 in
+    let total = ref 0.0 in
+    for _ = 1 to samples do
+      let dims = Dimbox.random_dims rng bounds in
+      let rects =
+        Repack.instantiate ~die:(die_w, die_h) ~coords:placement.Placement.coords dims
+      in
+      total :=
+        !total
+        +. Mps_cost.Cost.total ~weights:config.bdio.Bdio.weights circuit ~die_w ~die_h
+             rects
+    done;
+    !total /. float_of_int samples
+  in
+  Stored.make ~template_like:true ~placement ~box:bounds ~expansion
+    ~avg_cost:(Float.max template_avg bdio.Bdio.avg_cost)
+    ~best_cost:bdio.Bdio.best_cost ~best_dims:bdio.Bdio.best_dims
+
+let run_explorer ?builder ?backup ~next_candidate ?config:(cfg = default_config) circuit =
+  let t_start = Sys.time () in
+  let rng = Rng.create ~seed:cfg.seed in
+  let die_w, die_h = Circuit.default_die ~slack:cfg.die_slack circuit in
+  let builder = match builder with Some b -> b | None -> Builder.create circuit in
+  let backup =
+    match backup with
+    | Some b -> b
+    | None -> build_backup cfg rng circuit ~die_w ~die_h
+  in
+  (* when resuming, inherit the die the existing placements were built on *)
+  let die_w = backup.Stored.placement.Placement.die_w in
+  let die_h = backup.Stored.placement.Placement.die_h in
+  (* The backup enters the structure first, owning its whole expansion
+     box: a walk candidate only wins dimension territory by beating it
+     (or a previous winner) on average cost in Resolve Overlaps.  This
+     guarantees covered queries never answer worse than the fallback
+     would. *)
+  ignore (Builder.resolve_and_store builder backup);
+  let current =
+    ref
+      (if cfg.seed_walk_with_backup then backup.Stored.placement
+       else Placement.random rng circuit ~die_w ~die_h)
+  in
+  let bdio0, _ = evaluate_and_store builder cfg rng circuit backup !current in
+  let current_cost = ref bdio0.Bdio.avg_cost in
+  let steps = ref 1 and dropped = ref 0 in
+  let max_shift =
+    max 1 (int_of_float (cfg.max_shift_fraction *. float_of_int (max die_w die_h)))
+  in
+  let finished () =
+    !steps >= cfg.explorer_iterations
+    || Builder.n_live builder >= cfg.max_placements
+    || Builder.coverage builder >= cfg.coverage_target
+  in
+  (* Refine a candidate's coordinates with a short annealing run toward
+     a random target sizing: explored placements become locally good
+     arrangements for diverse dimension regions. *)
+  let refine placement =
+    if cfg.refine_iterations <= 0 then placement
+    else begin
+      let target = Dimbox.random_dims rng (Circuit.dim_bounds circuit) in
+      let coord_config =
+        {
+          Coord_opt.default_config with
+          Coord_opt.iterations = cfg.refine_iterations;
+          weights = cfg.bdio.Bdio.weights;
+          max_shift_fraction = 0.2;
+        }
+      in
+      let refined =
+        Coord_opt.optimize ~config:coord_config
+          ~initial:placement.Placement.coords ~rng circuit ~die_w ~die_h target
+      in
+      if Placement.is_legal refined.Coord_opt.placement (Circuit.min_dims circuit) then
+        refined.Coord_opt.placement
+      else placement
+    end
+  in
+  while not (finished ()) do
+    let candidate = refine (next_candidate rng builder ~max_shift !current) in
+    let bdio, survived = evaluate_and_store builder cfg rng circuit backup candidate in
+    if not survived then incr dropped;
+    (* Metropolis acceptance on the BDIO average cost (Fig. 4's
+       "Accept New Placement?" check). *)
+    let dc = bdio.Bdio.avg_cost -. !current_cost in
+    let temp = Schedule.temperature cfg.explorer_schedule ~step:!steps in
+    if dc <= 0.0 || Rng.float rng 1.0 < exp (-.dc /. temp) then begin
+      current := candidate;
+      current_cost := bdio.Bdio.avg_cost
+    end;
+    incr steps
+  done;
+  let stats =
+    {
+      placements_stored = Builder.n_live builder;
+      coverage = Builder.coverage builder;
+      explorer_steps = !steps;
+      candidates_dropped = !dropped;
+      generation_seconds = Sys.time () -. t_start;
+    }
+  in
+  (builder, backup, stats)
+
+(* The two explorer variants differ only in how the next candidate is
+   chosen: a perturbation of the accepted placement (the paper), or a
+   fresh random placement (ablation A2). *)
+
+let generate_builder ?(config = default_config) circuit =
+  let next rng _builder ~max_shift current =
+    Perturb.perturb rng circuit ~fraction:config.perturb_fraction ~max_shift current
+  in
+  let builder, _backup, stats = run_explorer ~next_candidate:next ~config circuit in
+  (builder, stats)
+
+let generate ?(config = default_config) circuit =
+  let next rng _builder ~max_shift current =
+    Perturb.perturb rng circuit ~fraction:config.perturb_fraction ~max_shift current
+  in
+  let builder, backup, stats = run_explorer ~next_candidate:next ~config circuit in
+  (Structure.compile ~backup builder, stats)
+
+let random_explorer ?(config = default_config) circuit =
+  let die_w, die_h = Circuit.default_die ~slack:config.die_slack circuit in
+  let next rng _builder ~max_shift:_ _current =
+    Placement.random rng circuit ~die_w ~die_h
+  in
+  let builder, backup, stats = run_explorer ~next_candidate:next ~config circuit in
+  (Structure.compile ~backup builder, stats)
+
+let extend ?(config = default_config) structure =
+  let circuit = Structure.circuit structure in
+  let builder = Structure.to_builder structure in
+  let backup = Structure.backup structure in
+  let next rng _builder ~max_shift current =
+    Perturb.perturb rng circuit ~fraction:config.perturb_fraction ~max_shift current
+  in
+  let builder, backup, stats =
+    run_explorer ~builder ~backup ~next_candidate:next ~config circuit
+  in
+  (Structure.compile ~backup builder, stats)

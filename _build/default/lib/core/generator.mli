@@ -1,0 +1,73 @@
+(** One-time multi-placement structure generation (paper §3, Fig. 4).
+
+    The Placement Explorer walks placement space with simulated
+    annealing: select / perturb coordinates, expand dimensions, hand the
+    expanded placement to the BDIO, resolve overlaps against the
+    structure, store — and use the BDIO's average cost as the annealing
+    cost.  Every evaluated placement is stored (after overlap
+    resolution); acceptance only steers the walk.  The run stops at the
+    coverage target, the placement cap, or the iteration budget. *)
+
+open Mps_netlist
+
+type config = {
+  seed : int;
+  die_slack : float;
+      (** Die area = (1 + slack) × total max block area (see
+          {!Circuit.default_die}). *)
+  explorer_iterations : int;
+  explorer_schedule : Mps_anneal.Schedule.t;
+  perturb_fraction : float;  (** Share of blocks moved per perturbation. *)
+  max_shift_fraction : float;  (** Max coordinate shift as a die fraction. *)
+  bdio : Bdio.config;
+  coverage_target : float;
+      (** Stop once this fraction of the dimension space is covered
+          (100% "can never be reached", §3.1.4). *)
+  max_placements : int;  (** Stop once this many placements are live. *)
+  backup_iterations : int;
+      (** Coordinate-annealing budget for the template-like backup
+          placement built for uncovered dimension space. *)
+  seed_walk_with_backup : bool;
+      (** Start the explorer walk from the optimized backup placement
+          instead of a fresh random placement (quality improvement over
+          the paper's random initial selection; see DESIGN.md). *)
+  refine_iterations : int;
+      (** Short coordinate-annealing refinement applied to each explorer
+          candidate, each toward its own random target sizing, before
+          expansion and the BDIO; [0] disables it (the paper's literal
+          walk).  See DESIGN.md §5. *)
+}
+
+val default_config : config
+(** seed 1, slack 1.0, 60 explorer iterations, 25% block moves, BDIO
+    defaults, coverage target 0.5, at most 200 placements, 5000 backup
+    iterations, 2000 refinement iterations, walk seeded with the
+    backup. *)
+
+val fast_config : config
+(** Reduced budgets for tests and demos (15 explorer iterations, 120
+    BDIO iterations, at most 60 placements). *)
+
+type stats = {
+  placements_stored : int;
+  coverage : float;
+  explorer_steps : int;  (** Candidate placements evaluated. *)
+  candidates_dropped : int;  (** Candidates fully absorbed by better ones. *)
+  generation_seconds : float;  (** CPU time of the generation run. *)
+}
+
+val generate : ?config:config -> Circuit.t -> Structure.t * stats
+(** Build the multi-placement structure for a circuit topology. *)
+
+val generate_builder : ?config:config -> Circuit.t -> Builder.t * stats
+(** Same run, exposing the mutable builder (for tests and ablations). *)
+
+val random_explorer : ?config:config -> Circuit.t -> Structure.t * stats
+(** Ablation A2: the explorer degenerated to independent random
+    placements (no annealing walk); same stopping criteria. *)
+
+val extend : ?config:config -> Structure.t -> Structure.t * stats
+(** Resume exploration on an existing (possibly reloaded) structure:
+    thaw it, continue the annealing walk from its backup placement, and
+    recompile.  Use a different [seed] (and a [max_placements] above
+    the current count) to add coverage incrementally. *)

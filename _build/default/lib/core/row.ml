@@ -1,0 +1,112 @@
+open Mps_geometry
+
+module Int_set = Set.Make (Int)
+
+type t = (Interval.t * Int_set.t) list
+
+let empty = []
+
+let is_empty t = t = []
+
+let find t v =
+  let rec loop = function
+    | [] -> Int_set.empty
+    | (iv, set) :: rest ->
+      if v < Interval.lo iv then Int_set.empty
+      else if Interval.contains iv v then set
+      else loop rest
+  in
+  loop t
+
+let find_range t range =
+  let rec loop acc = function
+    | [] -> acc
+    | (iv, set) :: rest ->
+      if Interval.hi range < Interval.lo iv then acc
+      else if Interval.overlaps iv range then loop (Int_set.union acc set) rest
+      else loop acc rest
+  in
+  loop Int_set.empty t
+
+(* Merge neighbours that carry the same set and touch. *)
+let normalize t =
+  let rec loop = function
+    | (iv1, s1) :: (iv2, s2) :: rest
+      when Int_set.equal s1 s2 && Interval.hi iv1 + 1 = Interval.lo iv2 ->
+      loop ((Interval.hull iv1 iv2, s1) :: rest)
+    | entry :: rest -> entry :: loop rest
+    | [] -> []
+  in
+  loop t
+
+let add_range t range id =
+  (* Walk the list keeping a cursor [pos]: the first value of [range]
+     not yet covered by the output.  Gaps get fresh singleton objects,
+     overlapped objects are split at the range boundaries. *)
+  let rec loop pos t =
+    match t with
+    | [] ->
+      if pos > Interval.hi range then []
+      else [ (Interval.make pos (Interval.hi range), Int_set.singleton id) ]
+    | ((iv, set) as entry) :: rest ->
+      if pos > Interval.hi range then entry :: rest
+      else if Interval.hi iv < pos then entry :: loop pos rest
+      else begin
+        (* A gap before this object that the range covers? *)
+        if pos < Interval.lo iv then begin
+          let gap_hi = min (Interval.hi range) (Interval.lo iv - 1) in
+          (Interval.make pos gap_hi, Int_set.singleton id) :: loop (gap_hi + 1) (entry :: rest)
+        end
+        else begin
+          (* pos is inside [iv]. Split off the part of [iv] below pos. *)
+          let below, covered_and_above =
+            ( Interval.make_opt (Interval.lo iv) (pos - 1),
+              Interval.make (max (Interval.lo iv) pos) (Interval.hi iv) )
+          in
+          let cov_hi = min (Interval.hi covered_and_above) (Interval.hi range) in
+          let covered = Interval.make (Interval.lo covered_and_above) cov_hi in
+          let above = Interval.make_opt (cov_hi + 1) (Interval.hi iv) in
+          let pieces =
+            (match below with Some b -> [ (b, set) ] | None -> [])
+            @ [ (covered, Int_set.add id set) ]
+            @ (match above with Some a -> [ (a, set) ] | None -> [])
+          in
+          match above with
+          | Some _ ->
+            (* The range ended inside [iv]; nothing further changes. *)
+            pieces @ rest
+          | None -> pieces @ loop (cov_hi + 1) rest
+        end
+      end
+  in
+  normalize (loop (Interval.lo range) t)
+
+let remove_id t id =
+  let strip (iv, set) =
+    let set = Int_set.remove id set in
+    if Int_set.is_empty set then None else Some (iv, set)
+  in
+  normalize (List.filter_map strip t)
+
+let intervals t = t
+
+let ids t = List.fold_left (fun acc (_, set) -> Int_set.union acc set) Int_set.empty t
+
+let invariants_ok t =
+  let rec loop = function
+    | [] | [ _ ] -> true
+    | (iv1, s1) :: ((iv2, s2) :: _ as rest) ->
+      Interval.hi iv1 < Interval.lo iv2
+      && not (Int_set.equal s1 s2 && Interval.hi iv1 + 1 = Interval.lo iv2)
+      && loop rest
+  in
+  List.for_all (fun (_, s) -> not (Int_set.is_empty s)) t && loop t
+
+let pp fmt t =
+  let pp_entry fmt (iv, set) =
+    Format.fprintf fmt "%a{%s}" Interval.pp iv
+      (String.concat "," (List.map string_of_int (Int_set.elements set)))
+  in
+  Format.fprintf fmt "@[<h>%a@]"
+    (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt " ") pp_entry)
+    t

@@ -1,0 +1,52 @@
+(** Block rows of the multi-placement structure (paper Fig. 3).
+
+    A row answers "which stored placements accept value [v] for this
+    block's width (or height)?".  It is an ascending list of disjoint
+    integer intervals, each carrying the set of placement indices whose
+    dimension interval covers that whole sub-interval — the paper's
+    linked list of interval objects with their [Arr(i,n)] arrays, i.e.
+    the functions [W_i] / [H_i] of eq. 3.
+
+    Inserting a placement's interval splits boundary interval objects so
+    the list stays disjoint and ascending (the paper's Store Placement
+    routine). *)
+
+module Int_set : Set.S with type elt = int
+
+type t
+(** Persistent row. *)
+
+val empty : t
+
+val is_empty : t -> bool
+
+val find : t -> int -> Int_set.t
+(** Placements whose interval contains the value; empty when the value
+    falls in a gap. *)
+
+val find_range : t -> Mps_geometry.Interval.t -> Int_set.t
+(** Union of the sets over all intervals meeting the range: every
+    placement whose interval overlaps it.  This powers the Resolve
+    Overlaps search for placements overlapping a candidate box. *)
+
+val add_range : t -> Mps_geometry.Interval.t -> int -> t
+(** Register placement [id] over the whole range, splitting existing
+    interval objects at the boundaries and creating fresh ones over
+    gaps. *)
+
+val remove_id : t -> int -> t
+(** Erase a placement everywhere (used when a stored placement is
+    shrunk, forked or dropped); empty interval objects disappear and
+    adjacent objects with equal sets merge back. *)
+
+val intervals : t -> (Mps_geometry.Interval.t * Int_set.t) list
+(** The interval objects, ascending. *)
+
+val ids : t -> Int_set.t
+(** All placement indices present in the row. *)
+
+val invariants_ok : t -> bool
+(** Ascending, pairwise disjoint, no empty sets, no mergeable
+    neighbours (used by property tests). *)
+
+val pp : Format.formatter -> t -> unit

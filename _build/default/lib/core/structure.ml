@@ -1,0 +1,246 @@
+open Mps_geometry
+open Mps_netlist
+
+(* A frozen row: interval objects sorted by lower end, each with the
+   bitset of placement indices valid on it. *)
+type frozen_row = {
+  lows : int array;
+  highs : int array;
+  sets : Bitset.t array;
+}
+
+type t = {
+  circuit : Circuit.t;
+  stored : Stored.t array;
+  w_rows : frozen_row array;
+  h_rows : frozen_row array;
+  backup : Stored.t;
+  space : Dimbox.t;
+  die_w : int;
+  die_h : int;
+}
+
+let freeze_row ~capacity row =
+  let entries = Row.intervals row in
+  let n = List.length entries in
+  let lows = Array.make n 0 and highs = Array.make n 0 in
+  let sets = Array.init n (fun _ -> Bitset.create ~capacity) in
+  List.iteri
+    (fun k (iv, ids) ->
+      lows.(k) <- Interval.lo iv;
+      highs.(k) <- Interval.hi iv;
+      Row.Int_set.iter (fun id -> Bitset.add sets.(k) id) ids)
+    entries;
+  { lows; highs; sets }
+
+let of_placements ?backup circuit stored =
+  if Array.length stored = 0 then invalid_arg "Structure.of_placements: no placements";
+  let n_blocks = Circuit.n_blocks circuit in
+  Array.iter
+    (fun s ->
+      if Stored.n_blocks s <> n_blocks then
+        invalid_arg "Structure.of_placements: block count mismatch")
+    stored;
+  Array.iteri
+    (fun i a ->
+      Array.iteri
+        (fun j b ->
+          if i < j && Dimbox.overlaps a.Stored.box b.Stored.box then
+            invalid_arg "Structure.of_placements: overlapping validity boxes")
+        stored)
+    stored;
+  let capacity = Array.length stored in
+  (* Re-register every live placement under its compact index. *)
+  let w_rows_builder = Array.make n_blocks Row.empty in
+  let h_rows_builder = Array.make n_blocks Row.empty in
+  Array.iteri
+    (fun id s ->
+      for i = 0 to n_blocks - 1 do
+        w_rows_builder.(i) <-
+          Row.add_range w_rows_builder.(i) (Dimbox.w_interval s.Stored.box i) id;
+        h_rows_builder.(i) <-
+          Row.add_range h_rows_builder.(i) (Dimbox.h_interval s.Stored.box i) id
+      done)
+    stored;
+  let best = ref 0 in
+  Array.iteri
+    (fun id s ->
+      if s.Stored.best_cost < stored.(!best).Stored.best_cost then best := id)
+    stored;
+  let backup = match backup with Some b -> b | None -> stored.(!best) in
+  if Stored.n_blocks backup <> n_blocks then
+    invalid_arg "Structure.of_placements: backup block count mismatch";
+  let die_w, die_h =
+    let p = stored.(0).Stored.placement in
+    (p.Mps_placement.Placement.die_w, p.Mps_placement.Placement.die_h)
+  in
+  {
+    circuit;
+    stored = Array.copy stored;
+    w_rows = Array.map (freeze_row ~capacity) w_rows_builder;
+    h_rows = Array.map (freeze_row ~capacity) h_rows_builder;
+    backup;
+    space = Circuit.dim_bounds circuit;
+    die_w;
+    die_h;
+  }
+
+let compile ?backup builder =
+  let entries = Builder.live builder in
+  if entries = [] then invalid_arg "Structure.compile: empty builder";
+  of_placements ?backup (Builder.circuit builder) (Array.of_list (List.map snd entries))
+
+let circuit t = t.circuit
+let n_placements t = Array.length t.stored
+
+let n_explored t =
+  Array.fold_left (fun acc s -> if s.Stored.template_like then acc else acc + 1) 0 t.stored
+let placements t = Array.copy t.stored
+let backup t = t.backup
+let die t = (t.die_w, t.die_h)
+
+let coverage t =
+  Array.fold_left
+    (fun acc s ->
+      if s.Stored.template_like then acc
+      else acc +. Dimbox.volume_fraction s.Stored.box ~bounds:t.space)
+    0.0 t.stored
+
+let coverage_sampled ~seed ~samples t =
+  if samples <= 0 then invalid_arg "Structure.coverage_sampled: need samples";
+  let rng = Mps_rng.Rng.create ~seed in
+  let hits = ref 0 in
+  for _ = 1 to samples do
+    let dims = Dimbox.random_dims rng t.space in
+    let covered =
+      Array.exists
+        (fun s -> (not s.Stored.template_like) && Dimbox.contains s.Stored.box dims)
+        t.stored
+    in
+    if covered then incr hits
+  done;
+  float_of_int !hits /. float_of_int samples
+
+let describe t =
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "structure for %s" t.circuit.Circuit.name;
+  line "  die: %dx%d" t.die_w t.die_h;
+  line "  placements: %d explored + %d template pieces"
+    (Array.fold_left (fun acc s -> if s.Stored.template_like then acc else acc + 1) 0 t.stored)
+    (Array.fold_left (fun acc s -> if s.Stored.template_like then acc + 1 else acc) 0 t.stored);
+  line "  coverage (explored): %.6f" (coverage t);
+  let objects rows =
+    Array.fold_left (fun acc row -> acc + Array.length row.lows) 0 rows
+  in
+  line "  interval objects: %d width / %d height over %d blocks"
+    (objects t.w_rows) (objects t.h_rows) (Circuit.n_blocks t.circuit);
+  let best = ref t.stored.(0) in
+  Array.iter (fun s -> if s.Stored.best_cost < !best.Stored.best_cost then best := s) t.stored;
+  line "  best stored cost: %.1f (avg %.1f)" !best.Stored.best_cost !best.Stored.avg_cost;
+  Buffer.contents buf
+
+(* Largest index with lows.(k) <= v, or -1. *)
+let row_lookup row v =
+  let n = Array.length row.lows in
+  let rec bsearch lo hi =
+    if lo > hi then hi
+    else
+      let mid = (lo + hi) / 2 in
+      if row.lows.(mid) <= v then bsearch (mid + 1) hi else bsearch lo (mid - 1)
+  in
+  let k = bsearch 0 (n - 1) in
+  if k >= 0 && row.highs.(k) >= v then Some row.sets.(k) else None
+
+type answer =
+  | Stored_placement of int
+  | Fallback
+
+let query t dims =
+  if Dims.n_blocks dims <> Circuit.n_blocks t.circuit then
+    invalid_arg "Structure.query: block count mismatch";
+  let n = Circuit.n_blocks t.circuit in
+  let acc = Bitset.full ~capacity:(Array.length t.stored) in
+  let exception Miss in
+  let narrow row v =
+    match row_lookup row v with
+    | Some set ->
+      Bitset.inter_into acc set;
+      if Bitset.is_empty acc then raise Miss
+    | None -> raise Miss
+  in
+  try
+    for i = 0 to n - 1 do
+      narrow t.w_rows.(i) (Dims.width dims i);
+      narrow t.h_rows.(i) (Dims.height dims i)
+    done;
+    match Bitset.choose acc with
+    | Some id ->
+      assert (Bitset.cardinal acc = 1) (* eq. 5: boxes are disjoint *);
+      (Stored_placement id, t.stored.(id))
+    | None -> (Fallback, t.backup)
+  with Miss -> (Fallback, t.backup)
+
+let query_linear t dims =
+  if Dims.n_blocks dims <> Circuit.n_blocks t.circuit then
+    invalid_arg "Structure.query_linear: block count mismatch";
+  let n = Array.length t.stored in
+  let rec scan id =
+    if id >= n then (Fallback, t.backup)
+    else if Dimbox.contains t.stored.(id).Stored.box dims then
+      (Stored_placement id, t.stored.(id))
+    else scan (id + 1)
+  in
+  scan 0
+
+let instantiate t dims =
+  match query t dims with
+  | Stored_placement _, s -> Stored.instantiate_auto s dims
+  | Fallback, s -> Stored.instantiate_repacked s dims
+
+(* L1 distance from a vector to a box: sum over axes of the distance to
+   the axis interval. *)
+let box_distance box dims =
+  let n = Dimbox.n_blocks box in
+  let axis_distance iv v =
+    let lo = Interval.lo iv and hi = Interval.hi iv in
+    if v < lo then lo - v else if v > hi then v - hi else 0
+  in
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    acc := !acc + axis_distance (Dimbox.w_interval box i) (Dims.width dims i);
+    acc := !acc + axis_distance (Dimbox.h_interval box i) (Dims.height dims i)
+  done;
+  !acc
+
+let nearest t dims =
+  if Dims.n_blocks dims <> Circuit.n_blocks t.circuit then
+    invalid_arg "Structure.nearest: block count mismatch";
+  let best = ref 0 and best_d = ref max_int in
+  Array.iteri
+    (fun id s ->
+      let d = box_distance s.Stored.box dims in
+      if
+        d < !best_d
+        || (d = !best_d && s.Stored.best_cost < t.stored.(!best).Stored.best_cost)
+      then begin
+        best := id;
+        best_d := d
+      end)
+    t.stored;
+  !best
+
+let instantiate_nearest t dims =
+  match query t dims with
+  | Stored_placement _, s -> Stored.instantiate_auto s dims
+  | Fallback, _ -> Stored.instantiate_repacked t.stored.(nearest t dims) dims
+
+let to_builder t =
+  let builder = Builder.create t.circuit in
+  Array.iter (fun s -> ignore (Builder.resolve_and_store builder s)) t.stored;
+  builder
+
+let instantiate_cost ?(weights = Mps_cost.Cost.default_weights) t dims =
+  let rects = instantiate t dims in
+  let cost = Mps_cost.Cost.total ~weights t.circuit ~die_w:t.die_w ~die_h:t.die_h rects in
+  (rects, cost)

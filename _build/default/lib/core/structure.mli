@@ -1,0 +1,99 @@
+(** The compiled multi-placement structure — the paper's function
+    [M : V -> Π] (eqs. 1 and 4).
+
+    Generated once per circuit topology and then queried repeatedly
+    inside a synthesis loop: a query walks one width row and one height
+    row per block (binary search over the frozen interval objects of
+    Fig. 3), intersects the returned placement-index bitsets, and yields
+    the single valid placement — or the backup template placement when
+    the dimensions fall in uncovered space (§3.1.4). *)
+
+open Mps_geometry
+open Mps_netlist
+
+type t
+
+val compile : ?backup:Stored.t -> Builder.t -> t
+(** Freeze a builder.  [backup] is the template-like placement answering
+    queries in uncovered dimension space (paper §3.1.4); it defaults to
+    the stored placement with the lowest best cost.
+    @raise Invalid_argument on an empty builder. *)
+
+val of_placements : ?backup:Stored.t -> Circuit.t -> Stored.t array -> t
+(** Compile directly from stored placements (used when loading a saved
+    structure).  @raise Invalid_argument when the array is empty, a
+    placement's block count mismatches the circuit, or two validity
+    boxes overlap (eq. 5 would break). *)
+
+val circuit : t -> Circuit.t
+
+val n_placements : t -> int
+(** All stored placements, the backup template's territory pieces
+    included. *)
+
+val n_explored : t -> int
+(** Explorer-discovered placements only (template-like pieces of the
+    backup excluded) — Table 2's "Placements" column. *)
+
+val placements : t -> Stored.t array
+(** All stored placements (fresh copy). *)
+
+val backup : t -> Stored.t
+(** The template-like placement answering uncovered queries. *)
+
+val coverage : t -> float
+(** Covered fraction of the dimension search space (exact sum over the
+    disjoint explorer boxes; template territory excluded). *)
+
+val coverage_sampled : seed:int -> samples:int -> t -> float
+(** Monte-Carlo estimate of {!coverage}: the share of uniform dimension
+    vectors answered by an explorer-discovered placement.  Agrees with
+    the exact sum within sampling error (property-tested); useful as an
+    independent check of the row/box machinery. *)
+
+val describe : t -> string
+(** Multi-line human-readable summary: placement counts, coverage, die,
+    interval-object statistics of the frozen rows. *)
+
+(** How a query was answered. *)
+type answer =
+  | Stored_placement of int  (** Index of the unique covering placement. *)
+  | Fallback  (** Dimensions in uncovered space; template backup used. *)
+
+val query : t -> Dims.t -> answer * Stored.t
+(** The placement to use for the given dimension vector.  When the
+    vector lies in some stored box the answer is unique (boxes are
+    disjoint); otherwise the backup template placement is returned.
+    @raise Invalid_argument on block-count mismatch. *)
+
+val instantiate : t -> Dims.t -> Rect.t array
+(** Floorplan instantiation at the requested dimensions: the selected
+    placement's coordinates on a hit; on a fallback answer, the backup
+    template placement greedily re-packed for these dimensions
+    ({!Stored.instantiate_repacked}) — template-like behaviour for the
+    uncovered share of the space.  Always overlap-free. *)
+
+val instantiate_cost :
+  ?weights:Mps_cost.Cost.weights -> t -> Dims.t -> Rect.t array * float
+(** {!instantiate} plus the cost of the resulting floorplan. *)
+
+val query_linear : t -> Dims.t -> answer * Stored.t
+(** Reference implementation scanning all stored boxes; used for the
+    compiled-vs-linear ablation and as a test oracle. *)
+
+val nearest : t -> Dims.t -> int
+(** Index of the stored placement whose validity box is closest to the
+    vector (L1 box distance, ties broken by lower best cost); [0]
+    distance means the vector is covered.  An extension beyond the
+    paper's single backup template: uncovered queries can reuse the
+    locally best arrangement instead. *)
+
+val instantiate_nearest : t -> Dims.t -> Rect.t array
+(** Like {!instantiate}, but uncovered queries re-pack the {!nearest}
+    stored placement instead of the backup template. *)
+
+val to_builder : t -> Builder.t
+(** Thaw into a builder so more placements can be explored and stored
+    incrementally ({!Generator.extend}). *)
+
+val die : t -> int * int

@@ -1,0 +1,1 @@
+lib/cost/cost.ml: Array Circuit List Mps_geometry Mps_netlist Rect Symmetry Wirelength

@@ -1,0 +1,1 @@
+lib/cost/cost.mli: Circuit Mps_geometry Mps_netlist Rect

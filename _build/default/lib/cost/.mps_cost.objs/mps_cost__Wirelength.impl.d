@@ -1,0 +1,1 @@
+lib/cost/wirelength.ml: Array Circuit List Mps_geometry Mps_netlist Net Rect

@@ -1,0 +1,1 @@
+lib/cost/wirelength.mli: Circuit Mps_geometry Mps_netlist Net Rect

@@ -1,0 +1,33 @@
+open Mps_geometry
+open Mps_netlist
+
+let pin_position pin ~rects ~die_w ~die_h =
+  match pin with
+  | Net.Block_pin { block; fx; fy } ->
+    let r = rects.(block) in
+    ( float_of_int r.Rect.x +. (fx *. float_of_int r.Rect.w),
+      float_of_int r.Rect.y +. (fy *. float_of_int r.Rect.h) )
+  | Net.Pad { px; py } -> (px *. float_of_int die_w, py *. float_of_int die_h)
+
+let net_hpwl net ~rects ~die_w ~die_h =
+  match net.Net.pins with
+  | [] | [ _ ] -> 0.0
+  | first :: rest ->
+    let x0, y0 = pin_position first ~rects ~die_w ~die_h in
+    let min_x = ref x0 and max_x = ref x0 and min_y = ref y0 and max_y = ref y0 in
+    let widen pin =
+      let x, y = pin_position pin ~rects ~die_w ~die_h in
+      if x < !min_x then min_x := x;
+      if x > !max_x then max_x := x;
+      if y < !min_y then min_y := y;
+      if y > !max_y then max_y := y
+    in
+    List.iter widen rest;
+    !max_x -. !min_x +. (!max_y -. !min_y)
+
+let total_hpwl circuit ~rects ~die_w ~die_h =
+  if Array.length rects <> Circuit.n_blocks circuit then
+    invalid_arg "Wirelength.total_hpwl: one rectangle per block required";
+  Array.fold_left
+    (fun acc net -> acc +. net_hpwl net ~rects ~die_w ~die_h)
+    0.0 circuit.Circuit.nets

@@ -1,0 +1,21 @@
+(** Half-perimeter wirelength estimation.
+
+    Pin positions scale with the instantiated block dimensions (see
+    {!Mps_netlist.Net}); external pads sit at fixed die-fraction
+    coordinates. *)
+
+open Mps_geometry
+open Mps_netlist
+
+val pin_position :
+  Net.pin -> rects:Rect.t array -> die_w:int -> die_h:int -> float * float
+(** Absolute coordinates of one net endpoint given the placed blocks. *)
+
+val net_hpwl : Net.t -> rects:Rect.t array -> die_w:int -> die_h:int -> float
+(** Half-perimeter of the bounding box of the net's endpoints; [0.] for
+    single-endpoint nets. *)
+
+val total_hpwl : Circuit.t -> rects:Rect.t array -> die_w:int -> die_h:int -> float
+(** Sum of {!net_hpwl} over all nets.
+    @raise Invalid_argument when [rects] does not have one rectangle per
+    block. *)

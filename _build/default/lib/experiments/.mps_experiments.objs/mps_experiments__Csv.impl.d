@@ -1,0 +1,1 @@
+lib/experiments/csv.ml: Array Buffer Experiments Fun List Mps_core Printf String

@@ -1,0 +1,1 @@
+lib/experiments/experiments.mli: Circuit Dims Generator Mps_core Mps_geometry Mps_netlist Structure

@@ -1,0 +1,66 @@
+let needs_quoting s =
+  String.exists (function ',' | '"' | '\n' | '\r' -> true | _ -> false) s
+
+let escape s =
+  if needs_quoting s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let line fields = String.concat "," (List.map escape fields) ^ "\n"
+
+let render ~header ~rows =
+  line header ^ String.concat "" (List.map line rows)
+
+let save ~path ~header ~rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render ~header ~rows))
+
+let table2 rows =
+  render
+    ~header:
+      [ "circuit"; "generation_s"; "placements"; "coverage"; "instantiation_s";
+        "template_share" ]
+    ~rows:
+      (List.map
+         (fun (r : Experiments.table2_row) ->
+           [
+             r.Experiments.circuit_name;
+             Printf.sprintf "%.6f" r.Experiments.generation_seconds;
+             string_of_int r.Experiments.placements;
+             Printf.sprintf "%.6f" r.Experiments.coverage;
+             Printf.sprintf "%.9f" r.Experiments.instantiation_seconds;
+             Printf.sprintf "%.4f" r.Experiments.fallback_rate;
+           ])
+         rows)
+
+let figure6 points =
+  render
+    ~header:[ "w0"; "mps_cost"; "mps_choice"; "envelope"; "envelope_argmin" ]
+    ~rows:
+      (List.map
+         (fun (p : Experiments.figure6_point) ->
+           let min_j, min_c =
+             Array.fold_left
+               (fun (bj, bc) (j, c) -> if c < bc then (j, c) else (bj, bc))
+               (-1, infinity) p.Experiments.per_placement
+           in
+           [
+             string_of_int p.Experiments.swept_value;
+             Printf.sprintf "%.3f" p.Experiments.mps_cost;
+             (match p.Experiments.mps_choice with
+             | Mps_core.Structure.Stored_placement j -> string_of_int j
+             | Mps_core.Structure.Fallback -> "fallback");
+             Printf.sprintf "%.3f" min_c;
+             string_of_int min_j;
+           ])
+         points)

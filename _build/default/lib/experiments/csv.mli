@@ -1,0 +1,22 @@
+(** Minimal CSV writing for the experiment series (Figure 6 curves,
+    Table 2 rows), so results can be plotted outside the repo. *)
+
+val escape : string -> string
+(** RFC-4180 quoting: fields containing commas, quotes or newlines are
+    wrapped in double quotes with inner quotes doubled. *)
+
+val line : string list -> string
+(** One CSV record, newline-terminated. *)
+
+val render : header:string list -> rows:string list list -> string
+(** Header plus records.  Rows may be ragged (CSV has no arity rule). *)
+
+val save : path:string -> header:string list -> rows:string list list -> unit
+
+val table2 : Experiments.table2_row list -> string
+(** Table 2 as CSV (circuit, generation seconds, placements, coverage,
+    instantiation seconds, template share). *)
+
+val figure6 : Experiments.figure6_point list -> string
+(** Figure 6 sweep as CSV: swept value, the structure's cost and
+    choice, the per-placement lower envelope and its argmin. *)

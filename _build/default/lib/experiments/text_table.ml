@@ -1,0 +1,32 @@
+let render ~headers ~rows =
+  let n = List.length headers in
+  List.iter
+    (fun row ->
+      if List.length row <> n then invalid_arg "Text_table.render: ragged row")
+    rows;
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      headers
+  in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let line cells =
+    String.concat "  " (List.map2 pad cells widths) ^ "\n"
+  in
+  let sep = String.concat "  " (List.map (fun w -> String.make w '-') widths) ^ "\n" in
+  line headers ^ sep ^ String.concat "" (List.map line rows)
+
+let seconds s =
+  if s < 1.0 then Printf.sprintf "%.0fms" (s *. 1000.0)
+  else if s < 60.0 then Printf.sprintf "%.2fs" s
+  else if s < 3600.0 then
+    Printf.sprintf "%dm%02ds" (int_of_float s / 60) (int_of_float s mod 60)
+  else Printf.sprintf "%dh%02dm" (int_of_float s / 3600) (int_of_float s mod 3600 / 60)
+
+let microseconds s =
+  let us = s *. 1e6 in
+  if us < 1000.0 then Printf.sprintf "%.0fus" us
+  else if us < 1e6 then Printf.sprintf "%.1fms" (us /. 1000.0)
+  else Printf.sprintf "%.0fms" (us /. 1000.0)

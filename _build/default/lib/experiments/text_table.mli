@@ -1,0 +1,13 @@
+(** Plain-text table rendering for the experiment reports. *)
+
+val render : headers:string list -> rows:string list list -> string
+(** Column-aligned table with a separator line under the headers.
+    Every row must have as many cells as there are headers.
+    @raise Invalid_argument otherwise. *)
+
+val seconds : float -> string
+(** Human-readable duration: "420ms", "2.41s", "3m12s", "1h02m". *)
+
+val microseconds : float -> string
+(** Duration given in seconds rendered at microsecond scale:
+    "85us", "1.2ms", "340ms". *)

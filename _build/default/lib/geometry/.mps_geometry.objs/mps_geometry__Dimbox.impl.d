@@ -1,0 +1,1 @@
+lib/geometry/dimbox.ml: Array Dims Format Interval List Mps_rng Option

@@ -1,0 +1,1 @@
+lib/geometry/dimbox.mli: Dims Format Interval Mps_rng

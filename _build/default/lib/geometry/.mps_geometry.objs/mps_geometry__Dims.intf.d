@@ -1,0 +1,1 @@
+lib/geometry/dims.mli: Format

@@ -1,0 +1,41 @@
+(** Concrete dimension vectors.
+
+    The input vector [V = (w_0, h_0, ..., w_{N-1}, h_{N-1})] of the paper's
+    function [M] (eq. 1): one width and one height per block. *)
+
+type t
+(** Immutable vector of per-block widths and heights. *)
+
+val make : w:int array -> h:int array -> t
+(** @raise Invalid_argument when the arrays differ in length or any
+    entry is not positive. *)
+
+val of_pairs : (int * int) array -> t
+(** [of_pairs [| (w0, h0); ... |]]. *)
+
+val n_blocks : t -> int
+
+val width : t -> int -> int
+(** [width t i] is the width of block [i]. *)
+
+val height : t -> int -> int
+
+val widths : t -> int array
+(** Fresh copy of the width vector. *)
+
+val heights : t -> int array
+
+val set_width : t -> int -> int -> t
+(** [set_width t i w] is a copy of [t] with block [i]'s width replaced. *)
+
+val set_height : t -> int -> int -> t
+
+val total_area : t -> int
+(** Sum over blocks of [w * h]. *)
+
+val map2_sum : t -> t -> f:(int -> int -> int) -> int
+(** [map2_sum a b ~f] sums [f] over corresponding width entries and
+    corresponding height entries of [a] and [b]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,66 @@
+type t = { x : int; y : int; w : int; h : int }
+
+let make ~x ~y ~w ~h =
+  if w <= 0 || h <= 0 then
+    invalid_arg (Printf.sprintf "Rect.make: non-positive size %dx%d" w h);
+  { x; y; w; h }
+
+let area t = t.w * t.h
+
+let x_span t = Interval.make t.x (t.x + t.w - 1)
+let y_span t = Interval.make t.y (t.y + t.h - 1)
+
+let right t = t.x + t.w
+let top t = t.y + t.h
+
+let center t =
+  ( float_of_int t.x +. (float_of_int t.w /. 2.0),
+    float_of_int t.y +. (float_of_int t.h /. 2.0) )
+
+let overlaps a b =
+  a.x < right b && b.x < right a && a.y < top b && b.y < top a
+
+let overlap_area a b =
+  let dx = min (right a) (right b) - max a.x b.x in
+  let dy = min (top a) (top b) - max a.y b.y in
+  if dx > 0 && dy > 0 then dx * dy else 0
+
+let contains_point t ~x ~y = t.x <= x && x < right t && t.y <= y && y < top t
+
+let contains_rect ~outer ~inner =
+  outer.x <= inner.x && right inner <= right outer
+  && outer.y <= inner.y && top inner <= top outer
+
+let translate t ~dx ~dy = { t with x = t.x + dx; y = t.y + dy }
+
+let inside t ~die_w ~die_h = t.x >= 0 && t.y >= 0 && right t <= die_w && top t <= die_h
+
+let bounding_box = function
+  | [] -> None
+  | r :: rest ->
+    let f acc r =
+      let x = min acc.x r.x and y = min acc.y r.y in
+      let xr = max (right acc) (right r) and yt = max (top acc) (top r) in
+      { x; y; w = xr - x; h = yt - y }
+    in
+    Some (List.fold_left f r rest)
+
+let any_overlap rects =
+  let n = Array.length rects in
+  let rec outer i =
+    if i >= n then None
+    else
+      let rec inner j =
+        if j >= n then outer (i + 1)
+        else if overlaps rects.(i) rects.(j) then Some (i, j)
+        else inner (j + 1)
+      in
+      inner (i + 1)
+  in
+  outer 0
+
+let total_area rects = Array.fold_left (fun acc r -> acc + area r) 0 rects
+
+let equal a b = a.x = b.x && a.y = b.y && a.w = b.w && a.h = b.h
+
+let pp fmt t = Format.fprintf fmt "(%d,%d %dx%d)" t.x t.y t.w t.h

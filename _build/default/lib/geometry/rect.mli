@@ -1,0 +1,53 @@
+(** Axis-aligned integer rectangles.
+
+    A placed block occupies the half-open region
+    [[x, x+w) × [y, y+h)] of the layout grid; two blocks that merely
+    share an edge do not overlap. *)
+
+type t = { x : int; y : int; w : int; h : int }
+(** Lower-left corner [(x, y)], width [w >= 1], height [h >= 1]. *)
+
+val make : x:int -> y:int -> w:int -> h:int -> t
+(** @raise Invalid_argument when [w] or [h] is not positive. *)
+
+val area : t -> int
+
+val x_span : t -> Interval.t
+(** Inclusive interval of occupied columns: [[x .. x+w-1]]. *)
+
+val y_span : t -> Interval.t
+(** Inclusive interval of occupied rows: [[y .. y+h-1]]. *)
+
+val right : t -> int
+(** First free column: [x + w]. *)
+
+val top : t -> int
+(** First free row: [y + h]. *)
+
+val center : t -> float * float
+(** Geometric center. *)
+
+val overlaps : t -> t -> bool
+(** Positive-area intersection (edge contact is not overlap). *)
+
+val overlap_area : t -> t -> int
+
+val contains_point : t -> x:int -> y:int -> bool
+
+val contains_rect : outer:t -> inner:t -> bool
+
+val translate : t -> dx:int -> dy:int -> t
+
+val inside : t -> die_w:int -> die_h:int -> bool
+(** Fits entirely inside the die [[0, die_w) × [0, die_h)]. *)
+
+val bounding_box : t list -> t option
+(** Smallest rectangle enclosing all, [None] for the empty list. *)
+
+val any_overlap : t array -> (int * int) option
+(** First overlapping pair of distinct indices, if any. *)
+
+val total_area : t array -> int
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

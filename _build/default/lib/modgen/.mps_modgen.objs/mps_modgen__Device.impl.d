@@ -1,0 +1,1 @@
+lib/modgen/device.ml: Format

@@ -1,0 +1,1 @@
+lib/modgen/module_gen.ml: Array Device Dims Interval List Mps_geometry Mps_netlist Process

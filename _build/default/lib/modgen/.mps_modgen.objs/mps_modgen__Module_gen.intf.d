@@ -1,0 +1,1 @@
+lib/modgen/module_gen.mli: Device Dims Interval Mps_geometry Mps_netlist Process

@@ -1,0 +1,1 @@
+lib/modgen/process.mli:

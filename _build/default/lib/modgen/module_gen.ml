@@ -1,0 +1,113 @@
+open Mps_geometry
+
+let max_fingers = 32
+
+(* Height of one MOS finger must stay in a practical band. *)
+let min_finger_um = 1.0
+let max_finger_um = 60.0
+
+let cap_aspects = [ 0.5; 0.67; 1.0; 1.5; 2.0 ]
+
+let mos_realizations process ~w_um ~l_um ~devices ~columns =
+  (* [devices] matched copies interdigitated over [columns * nf] fingers. *)
+  let pitch_nm = float_of_int process.Process.finger_pitch_nm in
+  let overhead_nm = float_of_int process.Process.diff_overhead_nm in
+  let rec loop nf acc =
+    if nf > max_fingers then acc
+    else
+      let finger_w_um = w_um /. float_of_int nf in
+      let acc =
+        if finger_w_um >= min_finger_um && finger_w_um <= max_finger_um then begin
+          let n_fingers_total = nf * devices * columns in
+          let width_nm =
+            (float_of_int n_fingers_total *. pitch_nm) +. (2.0 *. l_um *. 1000.0)
+          in
+          let height_nm = (finger_w_um *. 1000.0 /. float_of_int columns) +. overhead_nm in
+          (Process.to_grid process width_nm, Process.to_grid process height_nm) :: acc
+        end
+        else acc
+      in
+      loop (nf + 1) acc
+  in
+  let all = loop 1 [] in
+  (* Always offer at least the single-finger version, even for very wide
+     devices, so no device is unrealizable. *)
+  if all <> [] then all
+  else
+    let width_nm = (float_of_int (devices * columns) *. pitch_nm) +. (2.0 *. l_um *. 1000.0) in
+    let height_nm = (w_um *. 1000.0 /. float_of_int columns) +. overhead_nm in
+    [ (Process.to_grid process width_nm, Process.to_grid process height_nm) ]
+
+let cap_realizations process ~c_ff =
+  let area_um2 = c_ff *. 1000.0 /. process.Process.cap_density_af_um2 in
+  let area_um2 = max 1.0 area_um2 in
+  let realize aspect =
+    let w_um = sqrt (area_um2 *. aspect) in
+    let h_um = area_um2 /. w_um in
+    (Process.um_to_grid process w_um, Process.um_to_grid process h_um)
+  in
+  List.map realize cap_aspects
+
+let res_realizations process ~r_ohm =
+  let squares = max 1.0 (r_ohm /. process.Process.sheet_res_ohm) in
+  let strip_w_nm = float_of_int process.Process.res_strip_width_nm in
+  let pitch_nm = strip_w_nm +. float_of_int process.Process.res_strip_gap_nm in
+  let total_len_nm = squares *. strip_w_nm in
+  let rec loop strips acc =
+    if strips > 16 then acc
+    else
+      let seg_len_nm = total_len_nm /. float_of_int strips in
+      let acc =
+        if seg_len_nm >= 2.0 *. strip_w_nm then
+          (Process.to_grid process (float_of_int strips *. pitch_nm),
+           Process.to_grid process seg_len_nm)
+          :: acc
+        else acc
+      in
+      loop (strips + 1) acc
+  in
+  match loop 1 [] with
+  | [] -> [ (Process.to_grid process pitch_nm, Process.to_grid process total_len_nm) ]
+  | l -> l
+
+let realizations process device =
+  let raw =
+    match device with
+    | Device.Mos { w_um; l_um } ->
+      mos_realizations process ~w_um ~l_um ~devices:1 ~columns:1
+    | Device.Mos_pair { w_um; l_um } ->
+      mos_realizations process ~w_um ~l_um ~devices:2 ~columns:1
+    | Device.Mos_quad { w_um; l_um } ->
+      mos_realizations process ~w_um ~l_um ~devices:2 ~columns:2
+    | Device.Capacitor { c_ff } -> cap_realizations process ~c_ff
+    | Device.Resistor { r_ohm } -> res_realizations process ~r_ohm
+  in
+  List.sort_uniq compare raw
+
+let realize process device ~aspect_hint =
+  if aspect_hint <= 0.0 then invalid_arg "Module_gen.realize: non-positive aspect hint";
+  let candidates = realizations process device in
+  let log_hint = log aspect_hint in
+  let score (w, h) = abs_float (log (float_of_int w /. float_of_int h) -. log_hint) in
+  match candidates with
+  | [] -> assert false
+  | first :: rest ->
+    let f best c = if score c < score best then c else best in
+    List.fold_left f first rest
+
+let bounds process device =
+  let candidates = realizations process device in
+  let ws = List.map fst candidates and hs = List.map snd candidates in
+  let min_of l = List.fold_left min max_int l and max_of l = List.fold_left max 0 l in
+  (Interval.make (min_of ws) (max_of ws), Interval.make (min_of hs) (max_of hs))
+
+let block_of_device process ~id ~name device =
+  let w_bounds, h_bounds = bounds process device in
+  Mps_netlist.Block.make ~id ~name ~w_bounds ~h_bounds
+
+let dims_of_devices process devices ~aspect_hints =
+  let n = Array.length devices in
+  if Array.length aspect_hints <> n then
+    invalid_arg "Module_gen.dims_of_devices: array length mismatch";
+  let dims = Array.init n (fun i -> realize process devices.(i) ~aspect_hint:aspect_hints.(i)) in
+  Dims.of_pairs dims

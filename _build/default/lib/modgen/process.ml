@@ -1,0 +1,26 @@
+type t = {
+  grid_nm : int;
+  finger_pitch_nm : int;
+  diff_overhead_nm : int;
+  cap_density_af_um2 : float;
+  sheet_res_ohm : float;
+  res_strip_width_nm : int;
+  res_strip_gap_nm : int;
+}
+
+let default =
+  {
+    grid_nm = 350;
+    finger_pitch_nm = 1400;
+    diff_overhead_nm = 2800;
+    cap_density_af_um2 = 1000.0;
+    sheet_res_ohm = 50.0;
+    res_strip_width_nm = 700;
+    res_strip_gap_nm = 700;
+  }
+
+let to_grid t nm =
+  let units = int_of_float (ceil (nm /. float_of_int t.grid_nm)) in
+  max 1 units
+
+let um_to_grid t um = to_grid t (um *. 1000.0)

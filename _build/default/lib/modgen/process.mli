@@ -1,0 +1,29 @@
+(** Process description used by the module generators.
+
+    All layout dimensions produced by this library are in integer grid
+    units of [grid_nm] nanometres.  The constants are loosely modelled on
+    a generic 0.35 µm analog CMOS process; their absolute values only set
+    the scale of the experiments, not their shape. *)
+
+type t = {
+  grid_nm : int;  (** Layout grid pitch in nm (one integer unit). *)
+  finger_pitch_nm : int;
+      (** Horizontal pitch of one MOS finger: gate + source/drain
+          contacts + spacing. *)
+  diff_overhead_nm : int;
+      (** Vertical overhead per folded MOS row: well ties, guard ring. *)
+  cap_density_af_um2 : float;  (** MiM capacitance density, aF/µm². *)
+  sheet_res_ohm : float;  (** Poly sheet resistance, Ω/sq. *)
+  res_strip_width_nm : int;  (** Width of one serpentine resistor strip. *)
+  res_strip_gap_nm : int;  (** Gap between adjacent strips. *)
+}
+
+val default : t
+(** Generic 0.35 µm-class analog process. *)
+
+val to_grid : t -> float -> int
+(** [to_grid p nm] converts nanometres to grid units, rounding up and
+    never below 1. *)
+
+val um_to_grid : t -> float -> int
+(** Convenience: micrometres to grid units. *)

@@ -1,0 +1,1 @@
+lib/netlist/benchmarks.ml: Array Block Circuit List Mps_rng Net Printf Rng String Symmetry

@@ -1,0 +1,1 @@
+lib/netlist/block.ml: Format Interval Mps_geometry String

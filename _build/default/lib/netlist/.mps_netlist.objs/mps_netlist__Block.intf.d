@@ -1,0 +1,1 @@
+lib/netlist/block.mli: Format Interval Mps_geometry

@@ -1,0 +1,1 @@
+lib/netlist/circuit.ml: Array Block Dimbox Dims Format List Mps_geometry Net Printf Symmetry

@@ -1,0 +1,1 @@
+lib/netlist/circuit.mli: Block Dimbox Dims Format Mps_geometry Net Symmetry

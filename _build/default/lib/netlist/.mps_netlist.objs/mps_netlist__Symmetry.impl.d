@@ -1,0 +1,1 @@
+lib/netlist/symmetry.ml: Format Hashtbl List Printf

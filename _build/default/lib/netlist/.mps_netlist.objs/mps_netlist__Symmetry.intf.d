@@ -1,0 +1,1 @@
+lib/netlist/symmetry.mli: Format

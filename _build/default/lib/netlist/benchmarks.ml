@@ -1,0 +1,198 @@
+open Mps_rng
+
+let frac_choices = [| 0.1; 0.25; 0.5; 0.75; 0.9 |]
+
+(* Deterministic synthetic circuit with exact Table 1 counts. *)
+let synthetic ~name ~blocks ~nets ~terminals ~seed =
+  if blocks <= 0 || nets <= 0 || terminals <= 0 then
+    invalid_arg "Benchmarks.synthetic: counts must be positive";
+  let rng = Rng.create ~seed in
+  let block i =
+    let wm = Rng.int_in rng 6 14 in
+    let hm = Rng.int_in rng 6 14 in
+    let wM = wm * Rng.int_in rng 3 5 in
+    let hM = hm * Rng.int_in rng 3 5 in
+    Block.make_wh ~id:i ~name:(Printf.sprintf "m%02d" i) ~w:(wm, wM) ~h:(hm, hM)
+  in
+  let block_array = Array.init blocks block in
+  (* Deal the terminal budget over the nets as evenly as possible. *)
+  let base = terminals / nets and rem = terminals mod nets in
+  let pins_of_net j = base + if j < rem then 1 else 0 in
+  (* The first [blocks] pin slots cover every block (when the budget
+     allows), the rest are drawn at random. *)
+  let owners = Array.init terminals (fun k -> if k < blocks then k else Rng.int rng blocks) in
+  Rng.shuffle_in_place rng owners;
+  let next_owner =
+    let k = ref 0 in
+    fun () ->
+      let o = owners.(!k) in
+      incr k;
+      o
+  in
+  let edge_pad () =
+    let t = Rng.float rng 1.0 in
+    match Rng.int rng 4 with
+    | 0 -> Net.pad ~px:t ~py:0.0
+    | 1 -> Net.pad ~px:t ~py:1.0
+    | 2 -> Net.pad ~px:0.0 ~py:t
+    | _ -> Net.pad ~px:1.0 ~py:t
+  in
+  let net j =
+    let n_pins = pins_of_net j in
+    let pin _ =
+      Net.block_pin ~fx:(Rng.choose rng frac_choices) ~fy:(Rng.choose rng frac_choices)
+        (next_owner ())
+    in
+    let pins = List.init n_pins pin in
+    (* A net needs at least two endpoints for its wirelength to be
+       meaningful; pad short nets with an external terminal. *)
+    let pins = if List.length pins < 2 then pins @ [ edge_pad () ] else pins in
+    let pins = if pins = [] then [ edge_pad (); edge_pad () ] else pins in
+    Net.make ~id:j ~name:(Printf.sprintf "n%02d" j) ~pins
+  in
+  let nets_array = Array.init nets net in
+  Circuit.make ~name ~blocks:block_array ~nets:nets_array
+
+(* Hand-modelled circuits.  [b] and [n] are terse builders; pin offsets
+   put ports roughly where a module generator would. *)
+
+let b id name w h = Block.make_wh ~id ~name ~w ~h
+
+let pin ?(fx = 0.5) ?(fy = 0.5) block = Net.block_pin ~fx ~fy block
+
+let net id name pins = Net.make ~id ~name ~pins
+
+let two_stage_opamp =
+  (* Blocks: 0 diff pair, 1 mirror load, 2 tail source, 3 second-stage
+     driver, 4 compensation capacitor. *)
+  let blocks =
+    [|
+      b 0 "diff_pair" (16, 64) (10, 36);
+      b 1 "mirror_load" (14, 56) (8, 30);
+      b 2 "tail_src" (10, 44) (8, 28);
+      b 3 "driver" (12, 70) (10, 40);
+      b 4 "comp_cap" (12, 48) (12, 48);
+    |]
+  in
+  let nets =
+    [|
+      net 0 "inp" [ pin ~fx:0.1 ~fy:0.5 0; Net.pad ~px:0.0 ~py:0.4 ];
+      net 1 "inn" [ pin ~fx:0.9 ~fy:0.5 0; Net.pad ~px:0.0 ~py:0.6 ];
+      net 2 "out1"
+        [ pin ~fx:0.8 ~fy:0.9 0; pin ~fx:0.8 ~fy:0.1 1; pin ~fx:0.2 ~fy:0.5 3;
+          pin ~fx:0.1 ~fy:0.5 4 ];
+      net 3 "out" [ pin ~fx:0.9 ~fy:0.5 3; pin ~fx:0.9 ~fy:0.5 4; Net.pad ~px:1.0 ~py:0.5 ];
+      net 4 "vdd"
+        [ pin ~fx:0.25 ~fy:0.95 1; pin ~fx:0.75 ~fy:0.95 1; pin ~fx:0.5 ~fy:0.95 3 ];
+      net 5 "vss"
+        [ pin ~fx:0.5 ~fy:0.05 2; pin ~fx:0.5 ~fy:0.05 3; pin ~fx:0.5 ~fy:0.05 4 ];
+      net 6 "ibias" [ pin ~fx:0.1 ~fy:0.5 2; pin ~fx:0.9 ~fy:0.5 2; Net.pad ~px:0.0 ~py:0.1 ];
+      net 7 "tail" [ pin ~fx:0.25 ~fy:0.1 0; pin ~fx:0.75 ~fy:0.1 0; pin ~fx:0.5 ~fy:0.9 2 ];
+      net 8 "mirror_node"
+        [ pin ~fx:0.2 ~fy:0.9 0; pin ~fx:0.2 ~fy:0.1 1; pin ~fx:0.5 ~fy:0.1 1 ];
+    |]
+  in
+  Circuit.with_symmetry
+    (Circuit.make ~name:"TwoStage Opamp" ~blocks ~nets)
+    [ Symmetry.Self 0; Symmetry.Self 1 ]
+
+let single_ended_opamp =
+  (* Blocks: 0 diff pair, 1 mirror load, 2 tail, 3 n-cascode, 4 p-cascode,
+     5 output driver, 6 compensation cap, 7 bias mirror, 8 output buffer. *)
+  let blocks =
+    [|
+      b 0 "diff_pair" (16, 64) (10, 36);
+      b 1 "mirror_load" (14, 56) (8, 30);
+      b 2 "tail_src" (10, 44) (8, 28);
+      b 3 "casc_n" (12, 50) (8, 32);
+      b 4 "casc_p" (12, 50) (8, 32);
+      b 5 "out_driver" (12, 70) (10, 40);
+      b 6 "comp_cap" (12, 48) (12, 48);
+      b 7 "bias_mirror" (10, 40) (8, 28);
+      b 8 "out_buf" (12, 60) (10, 36);
+    |]
+  in
+  let nets =
+    [|
+      net 0 "inp" [ pin ~fx:0.1 0; Net.pad ~px:0.0 ~py:0.4 ];
+      net 1 "inn" [ pin ~fx:0.9 0; Net.pad ~px:0.0 ~py:0.6 ];
+      net 2 "vdd" [ pin ~fy:0.95 1; pin ~fy:0.95 4; pin ~fy:0.95 5 ];
+      net 3 "vss" [ pin ~fy:0.05 2; pin ~fy:0.05 3; pin ~fy:0.05 5; pin ~fy:0.05 8 ];
+      net 4 "n1" [ pin ~fx:0.2 ~fy:0.9 0; pin ~fx:0.2 ~fy:0.1 3 ];
+      net 5 "n2" [ pin ~fx:0.8 ~fy:0.9 0; pin ~fx:0.8 ~fy:0.1 3 ];
+      net 6 "n3" [ pin ~fx:0.2 ~fy:0.9 3; pin ~fx:0.2 ~fy:0.1 1 ];
+      net 7 "n4" [ pin ~fx:0.8 ~fy:0.9 3; pin ~fx:0.8 ~fy:0.1 1 ];
+      net 8 "out1" [ pin ~fx:0.9 4; pin ~fx:0.1 5; pin ~fx:0.1 6 ];
+      net 9 "out" [ pin ~fx:0.9 5; pin ~fx:0.9 6; pin ~fx:0.1 8 ];
+      net 10 "tail" [ pin ~fx:0.25 ~fy:0.1 0; pin ~fx:0.75 ~fy:0.1 0; pin ~fy:0.9 2 ];
+      net 11 "bias1" [ pin ~fx:0.1 7; pin ~fx:0.1 2 ];
+      net 12 "bias2" [ pin ~fx:0.5 7; pin ~fx:0.1 3 ];
+      net 13 "bias3" [ pin ~fx:0.9 7; pin ~fx:0.1 4 ];
+    |]
+  in
+  Circuit.with_symmetry
+    (Circuit.make ~name:"SingleEnded Opamp" ~blocks ~nets)
+    [ Symmetry.Self 0; Symmetry.Self 1; Symmetry.Self 3 ]
+
+let mixer =
+  (* Blocks: 0 RF pair, 1 LO switching quad, 2/3 loads, 4 tail,
+     5/6 IF buffers, 7 bias. *)
+  let blocks =
+    [|
+      b 0 "rf_pair" (16, 60) (10, 34);
+      b 1 "lo_quad" (20, 80) (12, 40);
+      b 2 "load_l" (10, 40) (8, 30);
+      b 3 "load_r" (10, 40) (8, 30);
+      b 4 "tail_src" (10, 44) (8, 28);
+      b 5 "if_buf_l" (12, 50) (8, 32);
+      b 6 "if_buf_r" (12, 50) (8, 32);
+      b 7 "bias" (10, 40) (8, 28);
+    |]
+  in
+  let nets =
+    [|
+      net 0 "rf_in" [ pin ~fx:0.5 ~fy:0.1 0; Net.pad ~px:0.5 ~py:0.0 ];
+      net 1 "lo" [ pin ~fx:0.25 ~fy:0.1 1; pin ~fx:0.75 ~fy:0.1 1; Net.pad ~px:0.0 ~py:0.9 ];
+      net 2 "if_l" [ pin ~fx:0.1 ~fy:0.9 1; pin ~fy:0.1 2; pin ~fx:0.1 5 ];
+      net 3 "if_r" [ pin ~fx:0.9 ~fy:0.9 1; pin ~fy:0.1 3; pin ~fx:0.1 6 ];
+      net 4 "tail" [ pin ~fx:0.25 ~fy:0.1 0; pin ~fx:0.75 ~fy:0.1 0; pin ~fy:0.9 4 ];
+      net 5 "bias" [ pin ~fx:0.5 7; pin ~fx:0.1 4; pin ~fy:0.05 5 ];
+    |]
+  in
+  Circuit.with_symmetry
+    (Circuit.make ~name:"Mixer" ~blocks ~nets)
+    [
+      Symmetry.Pair { left = 2; right = 3 };
+      Symmetry.Pair { left = 5; right = 6 };
+      Symmetry.Self 0;
+      Symmetry.Self 1;
+    ]
+
+let circ01 = synthetic ~name:"circ01" ~blocks:4 ~nets:4 ~terminals:12 ~seed:101
+let circ02 = synthetic ~name:"circ02" ~blocks:6 ~nets:4 ~terminals:18 ~seed:102
+let circ06 = synthetic ~name:"circ06" ~blocks:6 ~nets:4 ~terminals:18 ~seed:106
+let circ08 = synthetic ~name:"circ08" ~blocks:8 ~nets:8 ~terminals:24 ~seed:108
+
+let tso_cascode =
+  synthetic ~name:"tso-cascode" ~blocks:21 ~nets:36 ~terminals:46 ~seed:121
+
+let benchmark24 =
+  synthetic ~name:"benchmark24" ~blocks:24 ~nets:48 ~terminals:48 ~seed:124
+
+let all =
+  [
+    circ01; circ02; circ06; two_stage_opamp; single_ended_opamp; mixer; circ08;
+    tso_cascode; benchmark24;
+  ]
+
+let by_name name =
+  let canon s = String.lowercase_ascii (String.trim s) in
+  let key = canon name in
+  let matches (c : Circuit.t) =
+    canon c.Circuit.name = key
+    || (key = "tso" && c == two_stage_opamp)
+    || (key = "seo" && c == single_ended_opamp)
+  in
+  match List.find_opt matches all with
+  | Some c -> c
+  | None -> raise Not_found

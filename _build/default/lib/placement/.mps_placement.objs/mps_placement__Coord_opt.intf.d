@@ -1,0 +1,1 @@
+lib/placement/coord_opt.mli: Circuit Dims Mps_anneal Mps_cost Mps_geometry Mps_netlist Mps_rng Placement Rect Rng

@@ -1,0 +1,1 @@
+lib/placement/expand.ml: Array Block Circuit Dimbox Dims Interval Mps_geometry Mps_netlist Placement Rect

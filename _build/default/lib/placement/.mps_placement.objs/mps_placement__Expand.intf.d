@@ -1,0 +1,1 @@
+lib/placement/expand.mli: Circuit Dimbox Dims Mps_geometry Mps_netlist Placement

@@ -1,0 +1,1 @@
+lib/placement/perturb.ml: Array Circuit Dims List Mps_geometry Mps_netlist Mps_rng Placement Rect Rng

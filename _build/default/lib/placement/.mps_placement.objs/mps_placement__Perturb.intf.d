@@ -1,0 +1,1 @@
+lib/placement/perturb.mli: Circuit Mps_netlist Mps_rng Placement Rng

@@ -1,0 +1,1 @@
+lib/placement/placement.ml: Array Circuit Dims Format List Mps_geometry Mps_netlist Mps_rng Printf Rect Rng

@@ -1,0 +1,1 @@
+lib/placement/placement.mli: Circuit Dims Format Mps_geometry Mps_netlist Mps_rng Rect Rng

@@ -1,0 +1,1 @@
+lib/placement/repack.ml: Array Dims Fun Int Mps_geometry Rect

@@ -1,0 +1,1 @@
+lib/placement/repack.mli: Dims Mps_geometry Rect

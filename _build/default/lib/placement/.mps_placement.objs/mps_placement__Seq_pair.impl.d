@@ -1,0 +1,1 @@
+lib/placement/seq_pair.ml: Array Dims Format Fun Mps_geometry Mps_rng Printf Rect Rng

@@ -1,0 +1,1 @@
+lib/placement/slicing.ml: Array Dims Format List Mps_geometry Mps_rng Rect Rng

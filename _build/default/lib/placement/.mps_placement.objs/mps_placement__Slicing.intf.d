@@ -1,0 +1,1 @@
+lib/placement/slicing.mli: Dims Format Mps_geometry Mps_rng Rect Rng

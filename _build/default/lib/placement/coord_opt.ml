@@ -1,0 +1,89 @@
+open Mps_rng
+open Mps_geometry
+open Mps_netlist
+open Mps_anneal
+
+type config = {
+  iterations : int;
+  schedule : Schedule.t;
+  weights : Mps_cost.Cost.weights;
+  swap_probability : float;
+  max_shift_fraction : float;
+}
+
+let default_config =
+  {
+    iterations = 4000;
+    schedule = Schedule.geometric ~t0:2000.0 ~alpha:0.995 ~t_min:1e-3 ();
+    weights = Mps_cost.Cost.default_weights;
+    swap_probability = 0.25;
+    max_shift_fraction = 0.5;
+  }
+
+type result = {
+  placement : Placement.t;
+  rects : Rect.t array;
+  cost : float;
+  legal : bool;
+  evaluations : int;
+}
+
+let optimize ?(config = default_config) ?initial ~rng circuit ~die_w ~die_h dims =
+  let n = Circuit.n_blocks circuit in
+  if Dims.n_blocks dims <> n then invalid_arg "Coord_opt.optimize: block count mismatch";
+  let max_shift =
+    max 1 (int_of_float (config.max_shift_fraction *. float_of_int (max die_w die_h)))
+  in
+  let rects_of coords =
+    Array.mapi
+      (fun i (x, y) -> Rect.make ~x ~y ~w:(Dims.width dims i) ~h:(Dims.height dims i))
+      coords
+  in
+  let cost coords =
+    Mps_cost.Cost.total ~weights:config.weights circuit ~die_w ~die_h (rects_of coords)
+  in
+  let clamp_pos i (x, y) =
+    ( max 0 (min x (die_w - Dims.width dims i)),
+      max 0 (min y (die_h - Dims.height dims i)) )
+  in
+  let neighbor rng coords =
+    let coords = Array.copy coords in
+    if n >= 2 && Rng.bernoulli rng config.swap_probability then begin
+      let i = Rng.int rng n in
+      let j = (i + 1 + Rng.int rng (n - 1)) mod n in
+      let tmp = coords.(i) in
+      coords.(i) <- clamp_pos i coords.(j);
+      coords.(j) <- clamp_pos j tmp
+    end
+    else begin
+      let i = Rng.int rng n in
+      let x, y = coords.(i) in
+      coords.(i) <-
+        clamp_pos i
+          ( x + Rng.int_in rng (-max_shift) max_shift,
+            y + Rng.int_in rng (-max_shift) max_shift )
+    end;
+    coords
+  in
+  let initial =
+    match initial with
+    | Some coords ->
+      if Array.length coords <> n then invalid_arg "Coord_opt.optimize: bad initial";
+      Array.mapi (fun i pos -> clamp_pos i pos) coords
+    | None ->
+      Array.init n (fun i ->
+          ( Rng.int_in rng 0 (max 0 (die_w - Dims.width dims i)),
+            Rng.int_in rng 0 (max 0 (die_h - Dims.height dims i)) ))
+  in
+  let sa =
+    Annealer.run ~rng ~schedule:config.schedule ~iterations:config.iterations
+      { Annealer.initial; cost; neighbor }
+  in
+  let rects = rects_of sa.Annealer.best in
+  {
+    placement = Placement.make ~coords:sa.Annealer.best ~die_w ~die_h;
+    rects;
+    cost = sa.Annealer.best_cost;
+    legal = Mps_cost.Cost.is_legal ~die_w ~die_h rects;
+    evaluations = sa.Annealer.evaluations;
+  }

@@ -1,0 +1,39 @@
+(** Simulated-annealing optimization of block coordinates for one fixed
+    dimension vector.
+
+    This primitive is both the optimization-based baseline placer
+    (KOAN/ANAGRAM class) and the way the generator builds its
+    template-like backup placement for uncovered dimension space. *)
+
+open Mps_rng
+open Mps_geometry
+open Mps_netlist
+
+type config = {
+  iterations : int;
+  schedule : Mps_anneal.Schedule.t;
+  weights : Mps_cost.Cost.weights;
+  swap_probability : float;  (** Chance a move swaps two blocks. *)
+  max_shift_fraction : float;  (** Displacement range as a die fraction. *)
+}
+
+val default_config : config
+(** 4000 iterations, geometric cooling. *)
+
+type result = {
+  placement : Placement.t;  (** Optimized coordinates. *)
+  rects : Rect.t array;
+  cost : float;
+  legal : bool;
+  evaluations : int;
+}
+
+val optimize :
+  ?config:config ->
+  ?initial:(int * int) array ->
+  rng:Rng.t -> Circuit.t -> die_w:int -> die_h:int -> Dims.t -> result
+(** Anneal coordinates for the given dimensions under the penalized
+    cost function (overlap and out-of-bounds discouraged, not
+    forbidden, so the walk can pass through illegal states).
+    [initial] seeds the walk (random corners by default); useful for
+    refining an existing arrangement with a short run. *)

@@ -1,0 +1,66 @@
+open Mps_geometry
+open Mps_netlist
+
+(* Round-robin one-unit growth.  Each pass tries to widen then heighten
+   every block by one unit; a unit is granted when the grown rectangle
+   still fits the die, the block's designer maximum, and overlaps no
+   other block at its current (already partly grown) dimensions. *)
+let expand circuit placement =
+  let n = Circuit.n_blocks circuit in
+  if Placement.n_blocks placement <> n then
+    invalid_arg "Expand.expand: block count mismatch";
+  if not (Placement.is_legal placement (Circuit.min_dims circuit)) then
+    invalid_arg "Expand.expand: placement illegal at minimum dimensions";
+  let min_dims = Circuit.min_dims circuit in
+  let w = Array.init n (Dims.width min_dims) in
+  let h = Array.init n (Dims.height min_dims) in
+  let rect i = Rect.make ~x:(fst placement.Placement.coords.(i))
+      ~y:(snd placement.Placement.coords.(i)) ~w:w.(i) ~h:h.(i)
+  in
+  let fits i candidate =
+    Rect.inside candidate ~die_w:placement.Placement.die_w
+      ~die_h:placement.Placement.die_h
+    &&
+    let rec no_clash j =
+      j >= n || ((j = i || not (Rect.overlaps candidate (rect j))) && no_clash (j + 1))
+    in
+    no_clash 0
+  in
+  let grow_w i =
+    let blk = Circuit.block circuit i in
+    if w.(i) >= Interval.hi blk.Block.w_bounds then false
+    else begin
+      let x, y = placement.Placement.coords.(i) in
+      let candidate = Rect.make ~x ~y ~w:(w.(i) + 1) ~h:h.(i) in
+      if fits i candidate then begin
+        w.(i) <- w.(i) + 1;
+        true
+      end
+      else false
+    end
+  in
+  let grow_h i =
+    let blk = Circuit.block circuit i in
+    if h.(i) >= Interval.hi blk.Block.h_bounds then false
+    else begin
+      let x, y = placement.Placement.coords.(i) in
+      let candidate = Rect.make ~x ~y ~w:w.(i) ~h:(h.(i) + 1) in
+      if fits i candidate then begin
+        h.(i) <- h.(i) + 1;
+        true
+      end
+      else false
+    end
+  in
+  let rec passes () =
+    let changed = ref false in
+    for i = 0 to n - 1 do
+      if grow_w i then changed := true;
+      if grow_h i then changed := true
+    done;
+    if !changed then passes ()
+  in
+  passes ();
+  Dimbox.of_dims_range ~lo:min_dims ~hi:(Dims.make ~w ~h)
+
+let max_dims circuit placement = Dimbox.upper_corner (expand circuit placement)

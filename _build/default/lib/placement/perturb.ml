@@ -1,0 +1,71 @@
+open Mps_rng
+open Mps_geometry
+open Mps_netlist
+
+let wrap v ~range =
+  if range < 0 then invalid_arg "Perturb.wrap: negative range";
+  if range = 0 then 0
+  else
+    let m = v mod (range + 1) in
+    if m < 0 then m + range + 1 else m
+
+(* Resample the positions of blocks whose min-dims rectangles clash
+   until the placement is legal again. *)
+let legalize rng circuit placement =
+  let n = Circuit.n_blocks circuit in
+  let min_dims = Circuit.min_dims circuit in
+  let die_w = placement.Placement.die_w and die_h = placement.Placement.die_h in
+  let coords = Array.copy placement.Placement.coords in
+  let rect i =
+    let x, y = coords.(i) in
+    Rect.make ~x ~y ~w:(Dims.width min_dims i) ~h:(Dims.height min_dims i)
+  in
+  let clashes i =
+    let r = rect i in
+    let rec loop j =
+      j < n && ((j <> i && Rect.overlaps r (rect j)) || loop (j + 1))
+    in
+    loop 0
+  in
+  let resample i =
+    let w = Dims.width min_dims i and h = Dims.height min_dims i in
+    let budget = 500 in
+    let rec try_once k =
+      if k >= budget then
+        failwith "Perturb.legalize: could not re-legalize the perturbed placement"
+      else begin
+        coords.(i) <- (Rng.int_in rng 0 (die_w - w), Rng.int_in rng 0 (die_h - h));
+        if clashes i then try_once (k + 1)
+      end
+    in
+    try_once 0
+  in
+  for i = 0 to n - 1 do
+    if clashes i then resample i
+  done;
+  Placement.make ~coords ~die_w ~die_h
+
+let perturb rng circuit ~fraction ~max_shift placement =
+  if fraction <= 0.0 || fraction > 1.0 then
+    invalid_arg "Perturb.perturb: fraction must be in (0, 1]";
+  if max_shift <= 0 then invalid_arg "Perturb.perturb: non-positive max_shift";
+  let n = Circuit.n_blocks circuit in
+  let min_dims = Circuit.min_dims circuit in
+  let k = max 1 (int_of_float (ceil (fraction *. float_of_int n))) in
+  let victims = Rng.sample_distinct rng ~k ~n in
+  let coords = Array.copy placement.Placement.coords in
+  let move i =
+    let x, y = coords.(i) in
+    let dx = Rng.int_in rng (-max_shift) max_shift in
+    let dy = Rng.int_in rng (-max_shift) max_shift in
+    let w = Dims.width min_dims i and h = Dims.height min_dims i in
+    coords.(i) <-
+      ( wrap (x + dx) ~range:(placement.Placement.die_w - w),
+        wrap (y + dy) ~range:(placement.Placement.die_h - h) )
+  in
+  List.iter move victims;
+  let moved =
+    Placement.make ~coords ~die_w:placement.Placement.die_w
+      ~die_h:placement.Placement.die_h
+  in
+  if Placement.is_legal moved min_dims then moved else legalize rng circuit moved

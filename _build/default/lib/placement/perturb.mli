@@ -1,0 +1,24 @@
+(** Perturb Placement (paper §3.1.4).
+
+    A user-set fraction of the blocks receives a random coordinate
+    variation; a move that leaves the die is not discarded but wraps the
+    block to the opposite side of the floorplan ("to allow some shuffling
+    of the circuit").  Because the explorer's expansion step requires a
+    placement that is legal at minimum dimensions, the perturbation is
+    followed by a legalization pass that resamples the positions of any
+    blocks left overlapping. *)
+
+open Mps_rng
+open Mps_netlist
+
+val wrap : int -> range:int -> int
+(** [wrap v ~range] folds [v] into [[0, range]] toroidally (both
+    directions); [range >= 0]. *)
+
+val perturb :
+  Rng.t -> Circuit.t -> fraction:float -> max_shift:int -> Placement.t -> Placement.t
+(** Move [ceil (fraction * N)] randomly chosen blocks (at least one) by
+    uniform shifts in [[-max_shift, max_shift]] per axis, wrapping at the
+    die boundary, then legalize at minimum dimensions.
+    @raise Invalid_argument when [fraction] is outside [(0, 1]] or
+    [max_shift <= 0]. *)

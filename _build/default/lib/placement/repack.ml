@@ -1,0 +1,42 @@
+open Mps_geometry
+
+(* Translate the packed floorplan back toward the origin so it fits the
+   die when its bounding box allows (independently per axis). *)
+let fit_die ~die_w ~die_h rects =
+  match Rect.bounding_box (Array.to_list rects) with
+  | None -> rects
+  | Some bb ->
+    let shift extent lo hi die =
+      if extent <= die then -(max 0 (hi - die)) |> max (-lo) else -lo
+    in
+    let dx = shift bb.Rect.w bb.Rect.x (Rect.right bb) die_w in
+    let dy = shift bb.Rect.h bb.Rect.y (Rect.top bb) die_h in
+    if dx = 0 && dy = 0 then rects else Array.map (Rect.translate ~dx ~dy) rects
+
+let instantiate ?die ~coords dims =
+  let n = Array.length coords in
+  if Dims.n_blocks dims <> n then invalid_arg "Repack.instantiate: block count mismatch";
+  let order = Array.init n Fun.id in
+  Array.sort
+    (fun i j ->
+      let xi, yi = coords.(i) and xj, yj = coords.(j) in
+      match Int.compare xi xj with 0 -> Int.compare yi yj | c -> c)
+    order;
+  let placed = Array.make n None in
+  let place i =
+    let x, y = coords.(i) in
+    let w = Dims.width dims i and h = Dims.height dims i in
+    let rec settle y =
+      let candidate = Rect.make ~x ~y ~w ~h in
+      let clash =
+        Array.exists (function Some r -> Rect.overlaps candidate r | None -> false) placed
+      in
+      if clash then settle (y + 1) else candidate
+    in
+    placed.(i) <- Some (settle y)
+  in
+  Array.iter place order;
+  let rects = Array.map (function Some r -> r | None -> assert false) placed in
+  match die with
+  | None -> rects
+  | Some (die_w, die_h) -> fit_die ~die_w ~die_h rects

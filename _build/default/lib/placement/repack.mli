@@ -1,0 +1,19 @@
+(** Template-style greedy re-packing.
+
+    Given reference block corners and new dimensions, blocks are visited
+    in the reference left-to-right, bottom-to-top order and each one
+    slides upward until it overlaps none of the already-packed blocks.
+    This is how a fixed layout template absorbs size changes: the
+    arrangement survives, optimality does not.  Used by the template
+    baseline placer and by the multi-placement structure's fallback
+    answer for uncovered dimension vectors. *)
+
+open Mps_geometry
+
+val instantiate : ?die:int * int -> coords:(int * int) array -> Dims.t -> Rect.t array
+(** Overlap-free floorplan at exactly the requested dimensions.  With
+    [?die:(die_w, die_h)] the packed floorplan is translated back
+    toward the origin so it fits the die whenever its bounding box can
+    (per axis); a bounding box larger than the die still sticks out —
+    rigidity is the template's defining weakness.
+    @raise Invalid_argument on block-count mismatch. *)

@@ -1,0 +1,114 @@
+open Mps_rng
+open Mps_geometry
+
+type t = { pos : int array; neg : int array }
+
+let check_permutation name a =
+  let n = Array.length a in
+  let seen = Array.make n false in
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= n || seen.(v) then
+        invalid_arg (Printf.sprintf "Seq_pair: %s is not a permutation" name);
+      seen.(v) <- true)
+    a
+
+let identity n =
+  if n < 0 then invalid_arg "Seq_pair.identity: negative size";
+  { pos = Array.init n Fun.id; neg = Array.init n Fun.id }
+
+let of_arrays ~pos ~neg =
+  if Array.length pos <> Array.length neg then
+    invalid_arg "Seq_pair.of_arrays: length mismatch";
+  check_permutation "pos" pos;
+  check_permutation "neg" neg;
+  { pos = Array.copy pos; neg = Array.copy neg }
+
+let n_blocks t = Array.length t.pos
+
+let positive t = Array.copy t.pos
+let negative t = Array.copy t.neg
+
+let random rng n =
+  let p = Array.init n Fun.id and q = Array.init n Fun.id in
+  Rng.shuffle_in_place rng p;
+  Rng.shuffle_in_place rng q;
+  { pos = p; neg = q }
+
+(* index of each block within a sequence *)
+let ranks seq =
+  let r = Array.make (Array.length seq) 0 in
+  Array.iteri (fun idx b -> r.(b) <- idx) seq;
+  r
+
+let before_in_both t i j =
+  let rp = ranks t.pos and rn = ranks t.neg in
+  rp.(i) < rp.(j) && rn.(i) < rn.(j)
+
+(* Longest-path packing.  x: process blocks in Γ+ order; every already-
+   processed block [j] with rn.(j) < rn.(i) is left of [i].  y: process
+   in reverse Γ+ order; every already-processed [j] with rn.(j) < rn.(i)
+   is below [i]. *)
+let pack t dims =
+  let n = n_blocks t in
+  if Dims.n_blocks dims <> n then invalid_arg "Seq_pair.pack: block count mismatch";
+  let rn = ranks t.neg in
+  let x = Array.make n 0 and y = Array.make n 0 in
+  for pi = 0 to n - 1 do
+    let i = t.pos.(pi) in
+    let xi = ref 0 in
+    for pj = 0 to pi - 1 do
+      let j = t.pos.(pj) in
+      if rn.(j) < rn.(i) then xi := max !xi (x.(j) + Dims.width dims j)
+    done;
+    x.(i) <- !xi
+  done;
+  for pi = n - 1 downto 0 do
+    let i = t.pos.(pi) in
+    let yi = ref 0 in
+    for pj = n - 1 downto pi + 1 do
+      let j = t.pos.(pj) in
+      if rn.(j) < rn.(i) then yi := max !yi (y.(j) + Dims.height dims j)
+    done;
+    y.(i) <- !yi
+  done;
+  Array.init n (fun i ->
+      Rect.make ~x:x.(i) ~y:y.(i) ~w:(Dims.width dims i) ~h:(Dims.height dims i))
+
+type move =
+  | Swap_positive
+  | Swap_both
+
+let swap a i j =
+  let a = Array.copy a in
+  let tmp = a.(i) in
+  a.(i) <- a.(j);
+  a.(j) <- tmp;
+  a
+
+let apply_move rng move t =
+  let n = n_blocks t in
+  if n < 2 then t
+  else begin
+    let i = Rng.int rng n in
+    let j = (i + 1 + Rng.int rng (n - 1)) mod n in
+    match move with
+    | Swap_positive -> { t with pos = swap t.pos i j }
+    | Swap_both ->
+      (* swap the same two *blocks* in both sequences *)
+      let bi = t.pos.(i) and bj = t.pos.(j) in
+      let rn = ranks t.neg in
+      { pos = swap t.pos i j; neg = swap t.neg rn.(bi) rn.(bj) }
+  end
+
+let perturb rng t =
+  let move = if Rng.bool rng then Swap_positive else Swap_both in
+  apply_move rng move t
+
+let equal a b = a.pos = b.pos && a.neg = b.neg
+
+let pp fmt t =
+  let pp_seq fmt seq =
+    Array.iteri (fun k v -> Format.fprintf fmt "%s%d" (if k > 0 then " " else "") v) seq
+  in
+  Format.fprintf fmt "(%a | %a)" pp_seq t.pos pp_seq t.neg

@@ -1,0 +1,56 @@
+(** Sequence-pair floorplan representation (Murata et al.).
+
+    A pair of permutations [(Γ+, Γ-)] encodes the relative position of
+    every two blocks: [i] left of [j] when [i] precedes [j] in both
+    sequences, [i] below [j] when [i] follows [j] in [Γ+] but precedes
+    it in [Γ-].  Packing with longest-path evaluation produces an
+    overlap-free floorplan for any dimension vector, which makes the
+    representation a popular move space for annealing placers — the
+    {!Mps_baselines.Seqpair_placer} baseline anneals over it. *)
+
+open Mps_rng
+open Mps_geometry
+
+type t
+(** An immutable sequence pair over [n] blocks. *)
+
+val identity : int -> t
+(** Both sequences [0, 1, ..., n-1]: blocks in one row, left to right.
+    @raise Invalid_argument when [n < 0]. *)
+
+val of_arrays : pos:int array -> neg:int array -> t
+(** @raise Invalid_argument unless both arrays are permutations of
+    [0 .. n-1] of equal length. *)
+
+val n_blocks : t -> int
+
+val positive : t -> int array
+(** Copy of [Γ+]. *)
+
+val negative : t -> int array
+
+val random : Rng.t -> int -> t
+(** Independent uniform permutations. *)
+
+val before_in_both : t -> int -> int -> bool
+(** [before_in_both t i j]: [i] is left of [j]. *)
+
+val pack : t -> Dims.t -> Rect.t array
+(** Longest-path packing: the minimal floorplan realizing all the
+    left-of / below relations at the given dimensions.  Always
+    overlap-free, anchored at the origin.
+    @raise Invalid_argument on a block-count mismatch. *)
+
+(** Annealing moves. *)
+type move =
+  | Swap_positive  (** Swap two blocks in [Γ+] only. *)
+  | Swap_both  (** Swap two blocks in both sequences. *)
+
+val perturb : Rng.t -> t -> t
+(** One random move (uniform over {!move} kinds and block pairs);
+    identity for fewer than two blocks. *)
+
+val apply_move : Rng.t -> move -> t -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,228 @@
+open Mps_rng
+open Mps_geometry
+
+type element =
+  | Block of int
+  | V
+  | H
+
+type t = element array
+
+let is_operator = function Block _ -> false | V | H -> true
+
+let is_normalized elements =
+  let n_ops = Array.fold_left (fun acc e -> if is_operator e then acc + 1 else acc) 0 elements in
+  let n_blocks = Array.length elements - n_ops in
+  n_blocks >= 1
+  && n_ops = n_blocks - 1
+  && begin
+    (* every block 0..n-1 exactly once *)
+    let seen = Array.make n_blocks false in
+    let ok = ref true in
+    Array.iter
+      (function
+        | Block i ->
+          if i < 0 || i >= n_blocks || seen.(i) then ok := false else seen.(i) <- true
+        | V | H -> ())
+      elements;
+    !ok
+  end
+  && begin
+    (* balloting: strictly more operands than operators in every prefix *)
+    let balance = ref 0 and ok = ref true in
+    Array.iter
+      (fun e ->
+        if is_operator e then decr balance else incr balance;
+        if !balance < 1 then ok := false)
+      elements;
+    !ok
+  end
+  && begin
+    (* normalized: no two equal adjacent operators *)
+    let ok = ref true in
+    for k = 0 to Array.length elements - 2 do
+      match (elements.(k), elements.(k + 1)) with
+      | V, V | H, H -> ok := false
+      | _, _ -> ()
+    done;
+    !ok
+  end
+
+let of_elements elements =
+  if not (is_normalized elements) then
+    invalid_arg "Slicing.of_elements: not a normalized Polish expression";
+  Array.copy elements
+
+let elements t = Array.copy t
+
+let row n =
+  if n <= 0 then invalid_arg "Slicing.row: need at least one block";
+  let buf = ref [ Block 0 ] in
+  for i = 1 to n - 1 do
+    (* alternate cut directions so the expression stays normalized *)
+    let op = if i mod 2 = 1 then V else H in
+    buf := op :: Block i :: !buf
+  done;
+  Array.of_list (List.rev !buf)
+
+let random rng n =
+  let base = row n in
+  (* shuffle the operand order in place, keeping operator positions *)
+  let operand_positions = ref [] in
+  Array.iteri (fun k e -> if not (is_operator e) then operand_positions := k :: !operand_positions) base;
+  let positions = Array.of_list !operand_positions in
+  let blocks = Array.map (fun k -> base.(k)) positions in
+  Rng.shuffle_in_place rng blocks;
+  Array.iteri (fun i k -> base.(k) <- blocks.(i)) positions;
+  base
+
+let n_blocks t = (Array.length t + 1) / 2
+
+(* Slicing tree with sizes and positions. *)
+type node =
+  | Leaf of int
+  | Cut of element * node * node
+
+let to_tree t =
+  let stack = ref [] in
+  Array.iter
+    (fun e ->
+      match e with
+      | Block i -> stack := Leaf i :: !stack
+      | V | H -> (
+        match !stack with
+        | right :: left :: rest -> stack := Cut (e, left, right) :: rest
+        | _ -> assert false (* balloting rules this out *)))
+    t;
+  match !stack with [ root ] -> root | _ -> assert false
+
+let pack t dims =
+  if Dims.n_blocks dims <> n_blocks t then
+    invalid_arg "Slicing.pack: block count mismatch";
+  let rec size = function
+    | Leaf i -> (Dims.width dims i, Dims.height dims i)
+    | Cut (op, l, r) ->
+      let wl, hl = size l and wr, hr = size r in
+      (match op with
+      | V -> (wl + wr, max hl hr)
+      | H -> (max wl wr, hl + hr)
+      | Block _ -> assert false)
+  in
+  let rects = Array.make (n_blocks t) None in
+  let rec place node ~x ~y =
+    match node with
+    | Leaf i ->
+      rects.(i) <- Some (Rect.make ~x ~y ~w:(Dims.width dims i) ~h:(Dims.height dims i))
+    | Cut (op, l, r) ->
+      let wl, hl = size l in
+      ignore hl;
+      (match op with
+      | V ->
+        place l ~x ~y;
+        place r ~x:(x + wl) ~y
+      | H ->
+        place l ~x ~y;
+        place r ~x ~y:(y + snd (size l))
+      | Block _ -> assert false)
+  in
+  let root = to_tree t in
+  place root ~x:0 ~y:0;
+  Array.map (function Some r -> r | None -> assert false) rects
+
+let bounding t dims =
+  let rec size = function
+    | Leaf i -> (Dims.width dims i, Dims.height dims i)
+    | Cut (op, l, r) ->
+      let wl, hl = size l and wr, hr = size r in
+      (match op with
+      | V -> (wl + wr, max hl hr)
+      | H -> (max wl wr, hl + hr)
+      | Block _ -> assert false)
+  in
+  size (to_tree t)
+
+(* Moves *)
+
+let operand_positions t =
+  let acc = ref [] in
+  Array.iteri (fun k e -> if not (is_operator e) then acc := k :: !acc) t;
+  Array.of_list (List.rev !acc)
+
+let swap_adjacent_operands rng t =
+  let ops = operand_positions t in
+  if Array.length ops < 2 then t
+  else begin
+    let k = Rng.int rng (Array.length ops - 1) in
+    let a = ops.(k) and b = ops.(k + 1) in
+    let t' = Array.copy t in
+    let tmp = t'.(a) in
+    t'.(a) <- t'.(b);
+    t'.(b) <- tmp;
+    t'
+  end
+
+let invert_chain rng t =
+  (* a chain is a maximal run of operators; flip V<->H inside one *)
+  let runs = ref [] in
+  let k = ref 0 in
+  let n = Array.length t in
+  while !k < n do
+    if is_operator t.(!k) then begin
+      let start = !k in
+      while !k < n && is_operator t.(!k) do
+        incr k
+      done;
+      runs := (start, !k - 1) :: !runs
+    end
+    else incr k
+  done;
+  match !runs with
+  | [] -> t
+  | runs ->
+    let start, stop = Rng.choose_list rng runs in
+    let t' = Array.copy t in
+    for i = start to stop do
+      t'.(i) <- (match t'.(i) with V -> H | H -> V | Block b -> Block b)
+    done;
+    t'
+
+let swap_operand_operator rng t =
+  (* try a few random adjacent (operand, operator) swaps; keep the first
+     that stays normalized *)
+  let n = Array.length t in
+  let attempt () =
+    if n < 2 then None
+    else begin
+      let k = Rng.int rng (n - 1) in
+      match (is_operator t.(k), is_operator t.(k + 1)) with
+      | true, false | false, true ->
+        let t' = Array.copy t in
+        let tmp = t'.(k) in
+        t'.(k) <- t'.(k + 1);
+        t'.(k + 1) <- tmp;
+        if is_normalized t' then Some t' else None
+      | _ -> None
+    end
+  in
+  let rec try_times k = if k = 0 then None else match attempt () with Some t' -> Some t' | None -> try_times (k - 1) in
+  match try_times 8 with Some t' -> t' | None -> swap_adjacent_operands rng t
+
+let perturb rng t =
+  if n_blocks t < 2 then t
+  else
+    match Rng.int rng 3 with
+    | 0 -> swap_adjacent_operands rng t
+    | 1 -> invert_chain rng t
+    | _ -> swap_operand_operator rng t
+
+let equal a b = a = b
+
+let pp fmt t =
+  Array.iteri
+    (fun k e ->
+      if k > 0 then Format.fprintf fmt " ";
+      match e with
+      | Block i -> Format.fprintf fmt "%d" i
+      | V -> Format.fprintf fmt "V"
+      | H -> Format.fprintf fmt "H")
+    t

@@ -1,0 +1,61 @@
+(** Slicing floorplans as normalized Polish expressions (Wong-Liu).
+
+    A slicing floorplan recursively cuts the die with horizontal and
+    vertical lines; its slicing tree serializes to a postfix expression
+    over block operands and the cut operators.  The classic annealing
+    moves (operand swap, chain inversion, operand/operator swap) walk
+    the space of normalized expressions; packing always yields an
+    overlap-free floorplan.  This powers the
+    {!Mps_baselines.Slicing_placer} baseline. *)
+
+open Mps_rng
+open Mps_geometry
+
+(** One token of the postfix expression. *)
+type element =
+  | Block of int
+  | V  (** Vertical cut: left subtree beside right subtree. *)
+  | H  (** Horizontal cut: left subtree below right subtree. *)
+
+type t
+(** A normalized Polish expression over blocks [0 .. n-1]: every block
+    exactly once, [n-1] operators, the balloting property (operands
+    strictly outnumber operators in every prefix), and no two equal
+    adjacent operators. *)
+
+val of_elements : element array -> t
+(** @raise Invalid_argument when the expression is not normalized. *)
+
+val elements : t -> element array
+
+val row : int -> t
+(** All blocks side by side: [0 1 V 2 V ...].
+    @raise Invalid_argument when [n <= 0]. *)
+
+val random : Rng.t -> int -> t
+(** Random normalized expression ({!row} shuffled and re-cut). *)
+
+val n_blocks : t -> int
+
+val pack : t -> Dims.t -> Rect.t array
+(** Evaluate the slicing tree bottom-up (V: widths add, heights max;
+    H: heights add, widths max) and assign coordinates top-down from
+    the origin.  Always overlap-free.
+    @raise Invalid_argument on a block-count mismatch. *)
+
+val bounding : t -> Dims.t -> int * int
+(** Width and height of the packed floorplan. *)
+
+val perturb : Rng.t -> t -> t
+(** One random Wong-Liu move: M1 swaps two adjacent operands, M2
+    inverts a random operator chain, M3 swaps an operand with an
+    adjacent operator when normalization and balloting allow.  Falls
+    back to M1 when the drawn move is inapplicable; identity for a
+    single block. *)
+
+val is_normalized : element array -> bool
+(** The validation predicate behind {!of_elements} (exposed for
+    property tests). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

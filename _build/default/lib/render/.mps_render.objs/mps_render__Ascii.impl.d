@@ -1,0 +1,1 @@
+lib/render/ascii.ml: Array Block Buffer Char Circuit Float List Mps_geometry Mps_netlist Printf Rect String

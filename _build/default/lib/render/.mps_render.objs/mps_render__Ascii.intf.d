@@ -1,0 +1,1 @@
+lib/render/ascii.mli: Circuit Mps_geometry Mps_netlist Rect

@@ -1,0 +1,1 @@
+lib/render/svg.ml: Array Block Buffer Circuit Float Fun Mps_geometry Mps_netlist Printf Rect

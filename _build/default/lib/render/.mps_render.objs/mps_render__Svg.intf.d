@@ -1,0 +1,1 @@
+lib/render/svg.mli: Circuit Mps_geometry Mps_netlist Rect

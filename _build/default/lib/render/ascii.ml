@@ -1,0 +1,54 @@
+open Mps_geometry
+open Mps_netlist
+
+let legend_char i =
+  if i < 26 then Char.chr (Char.code 'a' + i)
+  else if i < 52 then Char.chr (Char.code 'A' + i - 26)
+  else Char.chr (Char.code '0' + (i mod 10))
+
+let render_grid ?(max_cols = 64) circuit ~die_w ~die_h rects ~wire_points =
+  if Array.length rects <> Circuit.n_blocks circuit then
+    invalid_arg "Ascii.render: one rectangle per block required";
+  let scale = Float.max 1.0 (float_of_int die_w /. float_of_int max_cols) in
+  let cols = int_of_float (ceil (float_of_int die_w /. scale)) in
+  let rows = int_of_float (ceil (float_of_int die_h /. scale)) in
+  let grid = Array.make_matrix rows cols '.' in
+  let to_col x = min (cols - 1) (int_of_float (float_of_int x /. scale)) in
+  let to_row y = min (rows - 1) (int_of_float (float_of_int y /. scale)) in
+  (* Draw higher indices first so lower indices win collisions. *)
+  for i = Array.length rects - 1 downto 0 do
+    let r = rects.(i) in
+    let c0 = to_col r.Rect.x and c1 = to_col (Rect.right r - 1) in
+    let r0 = to_row r.Rect.y and r1 = to_row (Rect.top r - 1) in
+    for row = r0 to r1 do
+      for col = c0 to c1 do
+        if row >= 0 && row < rows && col >= 0 && col < cols then
+          grid.(row).(col) <- legend_char i
+      done
+    done
+  done;
+  List.iter
+    (fun (x, y) ->
+      let col = min (cols - 1) (max 0 (int_of_float (x /. scale))) in
+      let row = min (rows - 1) (max 0 (int_of_float (y /. scale))) in
+      if grid.(row).(col) = '.' then grid.(row).(col) <- '+')
+    wire_points;
+  let buf = Buffer.create ((rows + Array.length rects) * (cols + 1)) in
+  (* y grows upward: print top row first *)
+  for row = rows - 1 downto 0 do
+    Buffer.add_string buf (String.init cols (fun col -> grid.(row).(col)));
+    Buffer.add_char buf '\n'
+  done;
+  Array.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%c = %-14s %dx%d at (%d,%d)\n" (legend_char i)
+           (Circuit.block circuit i).Block.name r.Rect.w r.Rect.h r.Rect.x r.Rect.y))
+    rects;
+  Buffer.contents buf
+
+let render ?max_cols circuit ~die_w ~die_h rects =
+  render_grid ?max_cols circuit ~die_w ~die_h rects ~wire_points:[]
+
+let render_routed ?max_cols circuit ~die_w ~die_h rects ~wire_points =
+  render_grid ?max_cols circuit ~die_w ~die_h rects ~wire_points

@@ -1,0 +1,27 @@
+(** Text rendering of floorplans (the medium for Figs. 5 and 7 here). *)
+
+open Mps_geometry
+open Mps_netlist
+
+val render :
+  ?max_cols:int -> Circuit.t -> die_w:int -> die_h:int -> Rect.t array -> string
+(** Character grid of the die, scaled down to at most [max_cols]
+    columns (default 64).  Block [i] is drawn with the [i]-th letter
+    (a, b, c, ... then A, B, ...); empty die area is ['.'].  When two
+    scaled blocks land on the same cell the lower-indexed block wins
+    (only possible through scaling, not overlap).  A legend line per
+    block follows the grid. *)
+
+val legend_char : int -> char
+(** Drawing character for block [i]. *)
+
+val render_routed :
+  ?max_cols:int ->
+  Circuit.t ->
+  die_w:int -> die_h:int ->
+  Rect.t array ->
+  wire_points:(float * float) list ->
+  string
+(** Like {!render}, with routed wire points (die coordinates, e.g. the
+    centers of a router's tree cells) overlaid as ['+'] on empty die
+    area; wires never overwrite block cells. *)

@@ -1,0 +1,65 @@
+open Mps_geometry
+open Mps_netlist
+
+let fill_color i =
+  (* deterministic pastel palette: rotate hue by the golden angle *)
+  let hue = float_of_int (i * 137) in
+  let h = Float.rem hue 360.0 /. 60.0 in
+  let c = 0.35 and m = 0.60 in
+  let x = c *. (1.0 -. abs_float (Float.rem h 2.0 -. 1.0)) in
+  let r, g, b =
+    if h < 1.0 then (c, x, 0.0)
+    else if h < 2.0 then (x, c, 0.0)
+    else if h < 3.0 then (0.0, c, x)
+    else if h < 4.0 then (0.0, x, c)
+    else if h < 5.0 then (x, 0.0, c)
+    else (c, 0.0, x)
+  in
+  let byte v = int_of_float ((v +. m) *. 255.0) in
+  Printf.sprintf "#%02x%02x%02x" (byte r) (byte g) (byte b)
+
+let render ?(px_per_unit = 4.0) ?(title = "floorplan") circuit ~die_w ~die_h rects =
+  if Array.length rects <> Circuit.n_blocks circuit then
+    invalid_arg "Svg.render: one rectangle per block required";
+  let px v = float_of_int v *. px_per_unit in
+  let width = px die_w and height = px die_h in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" height=\"%.0f\" \
+        viewBox=\"0 0 %.0f %.0f\">\n"
+       width height width height);
+  Buffer.add_string buf (Printf.sprintf "<title>%s</title>\n" title);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<rect x=\"0\" y=\"0\" width=\"%.0f\" height=\"%.0f\" fill=\"white\" \
+        stroke=\"black\" stroke-width=\"2\"/>\n"
+       width height);
+  Array.iteri
+    (fun i r ->
+      (* flip y: SVG y grows downward *)
+      let x = px r.Rect.x and y = height -. px (Rect.top r) in
+      let w = px r.Rect.w and h = px r.Rect.h in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" fill=\"%s\" \
+            stroke=\"#333\" stroke-width=\"1\"/>\n"
+           x y w h (fill_color i));
+      let font = Float.max 8.0 (Float.min (h /. 2.5) 14.0) in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<text x=\"%.1f\" y=\"%.1f\" font-size=\"%.1f\" font-family=\"monospace\" \
+            fill=\"#111\">%s</text>\n"
+           (x +. 3.0)
+           (y +. font +. 2.0)
+           font
+           (Circuit.block circuit i).Block.name))
+    rects;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let save ?px_per_unit ?title ~path circuit ~die_w ~die_h rects =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render ?px_per_unit ?title circuit ~die_w ~die_h rects))

@@ -1,0 +1,16 @@
+(** SVG rendering of floorplans, for viewing the Fig. 5 / Fig. 7
+    reproductions in a browser. *)
+
+open Mps_geometry
+open Mps_netlist
+
+val render :
+  ?px_per_unit:float -> ?title:string -> Circuit.t -> die_w:int -> die_h:int ->
+  Rect.t array -> string
+(** Standalone SVG document: die outline, one labelled rectangle per
+    block (deterministic pastel fill per index), y axis pointing up. *)
+
+val save :
+  ?px_per_unit:float -> ?title:string -> path:string -> Circuit.t -> die_w:int ->
+  die_h:int -> Rect.t array -> unit
+(** Write {!render} output to a file. *)

@@ -1,0 +1,68 @@
+type t = Random.State.t
+
+let create ~seed = Random.State.make [| seed; 0x6d70732d; 0x72657072 |]
+
+let split t = Random.State.split t
+
+let copy t = Random.State.copy t
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Random.State.int t n
+
+let int_in t lo hi =
+  if lo > hi then invalid_arg "Rng.int_in: empty range";
+  lo + Random.State.int t (hi - lo + 1)
+
+let float t x = Random.State.float t x
+
+let float_in t lo hi =
+  if lo > hi then invalid_arg "Rng.float_in: empty range";
+  lo +. Random.State.float t (hi -. lo)
+
+let bool t = Random.State.bool t
+
+let bernoulli t p =
+  if p >= 1.0 then true
+  else if p <= 0.0 then false
+  else Random.State.float t 1.0 < p
+
+let gaussian t ~mu ~sigma =
+  (* Box-Muller; guard against log 0. *)
+  let u1 = max epsilon_float (Random.State.float t 1.0) in
+  let u2 = Random.State.float t 1.0 in
+  mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(Random.State.int t (Array.length a))
+
+let choose_list t l =
+  match l with
+  | [] -> invalid_arg "Rng.choose_list: empty list"
+  | _ -> List.nth l (Random.State.int t (List.length l))
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let shuffle t l =
+  let a = Array.of_list l in
+  shuffle_in_place t a;
+  Array.to_list a
+
+let sample_distinct t ~k ~n =
+  if k < 0 || k > n then invalid_arg "Rng.sample_distinct";
+  let a = Array.init n (fun i -> i) in
+  (* Partial Fisher-Yates: the first k slots end up as the sample. *)
+  for i = 0 to k - 1 do
+    let j = i + Random.State.int t (n - i) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list (Array.sub a 0 k)

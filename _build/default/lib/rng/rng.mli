@@ -1,0 +1,60 @@
+(** Deterministic pseudo-random number helpers.
+
+    Every stochastic component of the library threads a value of type {!t}
+    explicitly, so that whole experiments are reproducible from a single
+    integer seed.  The implementation wraps the standard library
+    [Random.State] splittable generator. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int -> t
+(** [create ~seed] returns a fresh generator determined by [seed]. *)
+
+val split : t -> t
+(** [split t] returns a new generator whose stream is independent of any
+    further draws from [t]. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state; the copy replays the same
+    stream as [t] would. *)
+
+val int : t -> int -> int
+(** [int t n] draws uniformly from [0 .. n-1].  [n] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] draws uniformly from the inclusive range [lo .. hi].
+    Requires [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float t x] draws uniformly from [[0, x)]. *)
+
+val float_in : t -> float -> float -> float
+(** [float_in t lo hi] draws uniformly from [[lo, hi)]. *)
+
+val bool : t -> bool
+(** A fair coin flip. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p] (clamped to [0,1]). *)
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Box-Muller normal draw. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform draw from a non-empty array.  @raise Invalid_argument on
+    an empty array. *)
+
+val choose_list : t -> 'a list -> 'a
+(** Uniform draw from a non-empty list.  @raise Invalid_argument on an
+    empty list. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher-Yates shuffle. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Functional shuffle of a list. *)
+
+val sample_distinct : t -> k:int -> n:int -> int list
+(** [sample_distinct t ~k ~n] draws [k] distinct values from
+    [0 .. n-1], in random order.  Requires [0 <= k <= n]. *)

@@ -1,0 +1,1 @@
+lib/route/extraction.ml: Array Circuit Mps_netlist Net Router

@@ -1,0 +1,1 @@
+lib/route/extraction.mli: Circuit Mps_netlist Router

@@ -1,0 +1,1 @@
+lib/route/route_grid.ml: Array List Mps_geometry Rect

@@ -1,0 +1,1 @@
+lib/route/route_grid.mli: Mps_geometry Rect

@@ -1,0 +1,1 @@
+lib/route/router.ml: Array Circuit Hashtbl Int List Mps_cost Mps_netlist Net Route_grid Set

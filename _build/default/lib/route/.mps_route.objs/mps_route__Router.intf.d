@@ -1,0 +1,1 @@
+lib/route/router.mli: Circuit Mps_geometry Mps_netlist Rect

@@ -1,0 +1,52 @@
+(** Grid-based global router (Lee maze routing with sequential Steiner
+    growth) — the "Routing" box of the paper's synthesis loop (Fig. 1b).
+
+    Nets are routed one at a time in decreasing pin count; each net
+    grows a Steiner tree by repeated breadth-first searches from the
+    already-routed tree to the next pin, preferring uncongested cells.
+    Pins unreachable through free cells fall back to their half-perimeter
+    estimate so downstream extraction always has a length for every
+    net. *)
+
+open Mps_geometry
+open Mps_netlist
+
+type config = {
+  cell : int;  (** Routing grid pitch in layout grid units. *)
+  capacity : int;  (** Wire crossings per cell before congestion. *)
+  congestion_penalty : int;
+      (** Extra BFS cost per crossing already in a cell (makes later
+          nets detour around congestion). *)
+  over_block_penalty : int;
+      (** Extra cost for crossing a block interior (over-the-cell
+          routing on upper metal): pins deep inside modules can escape,
+          but open channels are strongly preferred. *)
+}
+
+val default_config : config
+(** Cell 4, capacity 4, congestion penalty 2, over-block penalty 8. *)
+
+(** Routing result for one net. *)
+type routed_net = {
+  net_id : int;
+  cells : (int * int) list;  (** Tree cells, without duplicates. *)
+  length : float;  (** Routed wirelength in layout grid units. *)
+  routed : bool;
+      (** [false]: no path existed (degenerate grid) and the length fell
+          back to the HPWL estimate. *)
+}
+
+type t = {
+  nets : routed_net array;
+  total_length : float;
+  overflow : int;  (** Congestion: cell crossings above capacity. *)
+  failed_nets : int;
+}
+
+val route :
+  ?config:config -> Circuit.t -> die_w:int -> die_h:int -> Rect.t array -> t
+(** Route every net of the instantiated floorplan.
+    @raise Invalid_argument on a block-count mismatch. *)
+
+val routed_length : t -> int -> float
+(** Length of one net by id. *)

@@ -1,0 +1,1 @@
+lib/synthesis/folded_cascode.mli: Circuit Device Dims Format Mps_geometry Mps_modgen Mps_netlist Process Rect Synth_loop

@@ -1,0 +1,1 @@
+lib/synthesis/opamp.ml: Array Benchmarks Block Circuit Device Dimbox Float Format Interval List Module_gen Mps_cost Mps_geometry Mps_modgen Mps_netlist Mps_route Process Rect Symmetry

@@ -1,0 +1,1 @@
+lib/synthesis/opamp.mli: Circuit Device Dims Format Mps_geometry Mps_modgen Mps_netlist Process Rect

@@ -1,0 +1,1 @@
+lib/synthesis/synth_loop.ml: Annealer Array Dims Float List Mps_anneal Mps_baselines Mps_core Mps_geometry Mps_netlist Mps_rng Opamp Rect Rng Schedule Unix

@@ -1,0 +1,1 @@
+lib/synthesis/synth_loop.mli: Circuit Dims Mps_anneal Mps_baselines Mps_core Mps_geometry Mps_modgen Mps_netlist Opamp Process Rect

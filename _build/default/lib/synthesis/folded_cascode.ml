@@ -1,0 +1,240 @@
+open Mps_rng
+open Mps_geometry
+open Mps_netlist
+open Mps_modgen
+open Mps_anneal
+
+type sizing = {
+  w_in_um : float;
+  w_casc_um : float;
+  w_mirror_um : float;
+  w_tail_um : float;
+  cl_ff : float;
+}
+
+let sizing_lo =
+  { w_in_um = 6.0; w_casc_um = 4.0; w_mirror_um = 4.0; w_tail_um = 3.0; cl_ff = 200.0 }
+
+let sizing_hi =
+  { w_in_um = 80.0; w_casc_um = 60.0; w_mirror_um = 50.0; w_tail_um = 50.0; cl_ff = 4000.0 }
+
+let nominal_sizing =
+  let g lo hi = sqrt (lo *. hi) in
+  {
+    w_in_um = g sizing_lo.w_in_um sizing_hi.w_in_um;
+    w_casc_um = g sizing_lo.w_casc_um sizing_hi.w_casc_um;
+    w_mirror_um = g sizing_lo.w_mirror_um sizing_hi.w_mirror_um;
+    w_tail_um = g sizing_lo.w_tail_um sizing_hi.w_tail_um;
+    cl_ff = g sizing_lo.cl_ff sizing_hi.cl_ff;
+  }
+
+let clamp_sizing s =
+  let c v lo hi = Float.max lo (Float.min hi v) in
+  {
+    w_in_um = c s.w_in_um sizing_lo.w_in_um sizing_hi.w_in_um;
+    w_casc_um = c s.w_casc_um sizing_lo.w_casc_um sizing_hi.w_casc_um;
+    w_mirror_um = c s.w_mirror_um sizing_lo.w_mirror_um sizing_hi.w_mirror_um;
+    w_tail_um = c s.w_tail_um sizing_lo.w_tail_um sizing_hi.w_tail_um;
+    cl_ff = c s.cl_ff sizing_lo.cl_ff sizing_hi.cl_ff;
+  }
+
+let gate_length_um = 0.35
+
+let devices s =
+  [|
+    Device.Mos_pair { w_um = s.w_in_um; l_um = gate_length_um };
+    Device.Mos_pair { w_um = s.w_casc_um; l_um = gate_length_um };
+    Device.Mos_pair { w_um = s.w_casc_um; l_um = gate_length_um };
+    Device.Mos_pair { w_um = s.w_mirror_um; l_um = 0.5 };
+    Device.Mos { w_um = s.w_tail_um; l_um = 0.7 };
+    Device.Resistor { r_ohm = 15_000.0 };
+    Device.Capacitor { c_ff = s.cl_ff };
+  |]
+
+let geo lo hi f = lo *. ((hi /. lo) ** f)
+
+let circuit process =
+  ignore process;
+  let block id name device_at =
+    let steps = 16 in
+    let hull (wa, ha) (wb, hb) = (Interval.hull wa wb, Interval.hull ha hb) in
+    let bound_at k =
+      let f = float_of_int k /. float_of_int (steps - 1) in
+      Module_gen.bounds Process.default (device_at f)
+    in
+    let rec loop k acc = if k >= steps then acc else loop (k + 1) (hull acc (bound_at k)) in
+    let w_bounds, h_bounds = loop 1 (bound_at 0) in
+    Block.make ~id ~name ~w_bounds ~h_bounds
+  in
+  let blocks =
+    [|
+      block 0 "in_pair" (fun f ->
+          Device.Mos_pair { w_um = geo sizing_lo.w_in_um sizing_hi.w_in_um f; l_um = gate_length_um });
+      block 1 "casc_n" (fun f ->
+          Device.Mos_pair { w_um = geo sizing_lo.w_casc_um sizing_hi.w_casc_um f; l_um = gate_length_um });
+      block 2 "casc_p" (fun f ->
+          Device.Mos_pair { w_um = geo sizing_lo.w_casc_um sizing_hi.w_casc_um f; l_um = gate_length_um });
+      block 3 "mirror" (fun f ->
+          Device.Mos_pair { w_um = geo sizing_lo.w_mirror_um sizing_hi.w_mirror_um f; l_um = 0.5 });
+      block 4 "tail" (fun f ->
+          Device.Mos { w_um = geo sizing_lo.w_tail_um sizing_hi.w_tail_um f; l_um = 0.7 });
+      block 5 "bias_res" (fun _ -> Device.Resistor { r_ohm = 15_000.0 });
+      block 6 "load_cap" (fun f ->
+          Device.Capacitor { c_ff = geo sizing_lo.cl_ff sizing_hi.cl_ff f });
+    |]
+  in
+  let pin = Net.block_pin in
+  let nets =
+    [|
+      Net.make ~id:0 ~name:"inp" ~pins:[ pin ~fx:0.1 0; Net.pad ~px:0.0 ~py:0.35 ];
+      Net.make ~id:1 ~name:"inn" ~pins:[ pin ~fx:0.9 0; Net.pad ~px:0.0 ~py:0.65 ];
+      Net.make ~id:2 ~name:"fold_l" ~pins:[ pin ~fx:0.2 ~fy:0.9 0; pin ~fx:0.2 ~fy:0.1 1 ];
+      Net.make ~id:3 ~name:"fold_r" ~pins:[ pin ~fx:0.8 ~fy:0.9 0; pin ~fx:0.8 ~fy:0.1 1 ];
+      Net.make ~id:4 ~name:"casc_mid_l" ~pins:[ pin ~fx:0.2 ~fy:0.9 1; pin ~fx:0.2 ~fy:0.1 2 ];
+      Net.make ~id:5 ~name:"casc_mid_r" ~pins:[ pin ~fx:0.8 ~fy:0.9 1; pin ~fx:0.8 ~fy:0.1 2 ];
+      Net.make ~id:6 ~name:"out"
+        ~pins:[ pin ~fx:0.9 2; pin ~fx:0.9 3; pin ~fx:0.1 6; Net.pad ~px:1.0 ~py:0.5 ];
+      Net.make ~id:7 ~name:"mirror_gate" ~pins:[ pin ~fx:0.1 2; pin ~fx:0.1 3 ];
+      Net.make ~id:8 ~name:"tail_net" ~pins:[ pin ~fx:0.25 ~fy:0.1 0; pin ~fx:0.75 ~fy:0.1 0; pin ~fy:0.9 4 ];
+      Net.make ~id:9 ~name:"bias" ~pins:[ pin ~fx:0.5 5; pin ~fx:0.1 4; pin ~fy:0.05 1 ];
+    |]
+  in
+  Circuit.with_symmetry
+    (Circuit.make ~name:"Folded Cascode OTA" ~blocks ~nets)
+    [ Symmetry.Self 0; Symmetry.Self 1; Symmetry.Self 2; Symmetry.Self 3 ]
+
+let dims ?(aspect_hints = Array.make 7 1.0) process circ s =
+  let raw = Module_gen.dims_of_devices process (devices (clamp_sizing s)) ~aspect_hints in
+  Dimbox.clamp (Circuit.dim_bounds circ) raw
+
+type perf = {
+  gain_db : float;
+  gbw_mhz : float;
+  slew_v_per_us : float;
+  power_mw : float;
+  wire_cap_ff : float;
+  area : int;
+}
+
+let k_ua_per_v2 = 100.0
+let lambda_per_v = 0.08
+let vdd = 3.3
+let wire_cap_ff_per_grid = 0.25
+let fixed_load_ff = 30.0
+
+let performance process circ ~die_w ~die_h s rects =
+  ignore process;
+  let s = clamp_sizing s in
+  let hpwl = Mps_cost.Wirelength.total_hpwl circ ~rects ~die_w ~die_h in
+  let wire_cap_ff = (wire_cap_ff_per_grid *. hpwl) +. fixed_load_ff in
+  let i_tail_ua = 5.0 *. s.w_tail_um in
+  let gm_in = sqrt (2.0 *. k_ua_per_v2 *. (s.w_in_um /. gate_length_um) *. (i_tail_ua /. 2.0)) in
+  let gm_casc = sqrt (2.0 *. k_ua_per_v2 *. (s.w_casc_um /. gate_length_um) *. (i_tail_ua /. 2.0)) in
+  (* cascode output resistance boosts single-stage gain: A ≈ gm_in *
+     (gm_casc * ro²) with ro ∝ 1/(λI) *)
+  let ro = 1.0 /. (lambda_per_v *. (i_tail_ua /. 2.0)) in
+  let gain = gm_in *. gm_casc *. ro *. ro /. 2.0 in
+  let gain_db = 20.0 *. log10 (Float.max 1.0 gain) in
+  let c_total_ff = s.cl_ff +. wire_cap_ff in
+  let gbw_mhz = gm_in /. c_total_ff /. (2.0 *. Float.pi) *. 1000.0 in
+  let slew_v_per_us = i_tail_ua /. c_total_ff *. 1000.0 in
+  let power_mw = 2.0 *. i_tail_ua *. vdd /. 1000.0 in
+  let area =
+    match Rect.bounding_box (Array.to_list rects) with
+    | Some bb -> Rect.area bb
+    | None -> 0
+  in
+  { gain_db; gbw_mhz; slew_v_per_us; power_mw; wire_cap_ff; area }
+
+type spec = {
+  min_gain_db : float;
+  min_gbw_mhz : float;
+  min_slew_v_per_us : float;
+  max_power_mw : float;
+}
+
+let default_spec =
+  { min_gain_db = 70.0; min_gbw_mhz = 20.0; min_slew_v_per_us = 10.0; max_power_mw = 1.5 }
+
+let meets_spec spec perf =
+  perf.gain_db >= spec.min_gain_db
+  && perf.gbw_mhz >= spec.min_gbw_mhz
+  && perf.slew_v_per_us >= spec.min_slew_v_per_us
+  && perf.power_mw <= spec.max_power_mw
+
+let spec_cost spec perf =
+  let shortfall actual target = Float.max 0.0 ((target -. actual) /. target) in
+  let excess actual limit = Float.max 0.0 ((actual -. limit) /. limit) in
+  let violations =
+    shortfall perf.gain_db spec.min_gain_db
+    +. shortfall perf.gbw_mhz spec.min_gbw_mhz
+    +. shortfall perf.slew_v_per_us spec.min_slew_v_per_us
+    +. excess perf.power_mw spec.max_power_mw
+  in
+  (100.0 *. violations) +. perf.power_mw +. (1e-5 *. float_of_int perf.area)
+  +. (0.01 *. perf.wire_cap_ff)
+
+type result = {
+  best_sizing : sizing;
+  best_perf : perf;
+  best_cost : float;
+  meets : bool;
+  evaluations : int;
+  placement_seconds : float;
+  total_seconds : float;
+}
+
+let perturb rng s =
+  let bump v = v *. exp (Rng.float_in rng (-0.35) 0.35) in
+  let s' =
+    match Rng.int rng 5 with
+    | 0 -> { s with w_in_um = bump s.w_in_um }
+    | 1 -> { s with w_casc_um = bump s.w_casc_um }
+    | 2 -> { s with w_mirror_um = bump s.w_mirror_um }
+    | 3 -> { s with w_tail_um = bump s.w_tail_um }
+    | _ -> { s with cl_ff = bump s.cl_ff }
+  in
+  clamp_sizing s'
+
+let synthesize ?(seed = 7) ?(iterations = 120) ?(spec = default_spec) process circ ~die_w
+    ~die_h (placer : Synth_loop.placer) =
+  let t0 = Unix.gettimeofday () in
+  let rng = Rng.create ~seed in
+  let placement_seconds = ref 0.0 in
+  let best = ref None in
+  let cost s =
+    let d = dims process circ s in
+    let tp = Unix.gettimeofday () in
+    let rects = placer.Synth_loop.place d in
+    placement_seconds := !placement_seconds +. (Unix.gettimeofday () -. tp);
+    let perf = performance process circ ~die_w ~die_h s rects in
+    let c = spec_cost spec perf in
+    (match !best with
+    | Some (bc, _) when bc <= c -> ()
+    | _ -> best := Some (c, perf));
+    c
+  in
+  let sa =
+    Annealer.run ~rng
+      ~schedule:(Schedule.geometric ~t0:50.0 ~alpha:0.96 ~t_min:1e-3 ())
+      ~iterations
+      { Annealer.initial = nominal_sizing; cost; neighbor = (fun rng s -> perturb rng s) }
+  in
+  let best_cost, best_perf = match !best with Some v -> v | None -> assert false in
+  {
+    best_sizing = sa.Annealer.best;
+    best_perf;
+    best_cost;
+    meets = meets_spec spec best_perf;
+    evaluations = sa.Annealer.evaluations;
+    placement_seconds = !placement_seconds;
+    total_seconds = Unix.gettimeofday () -. t0;
+  }
+
+let pp_perf fmt p =
+  Format.fprintf fmt "gain %.1f dB, GBW %.2f MHz, SR %.2f V/us, %.2f mW, Cwire %.0f fF, area %d"
+    p.gain_db p.gbw_mhz p.slew_v_per_us p.power_mw p.wire_cap_ff p.area
+
+let pp_sizing fmt s =
+  Format.fprintf fmt "Win %.1fu Wcasc %.1fu Wmir %.1fu Wtail %.1fu CL %.0f fF" s.w_in_um
+    s.w_casc_um s.w_mirror_um s.w_tail_um s.cl_ff

@@ -1,0 +1,92 @@
+(** Behavioural two-stage op-amp model: the circuit-simulation substitute
+    of the synthesis loop (paper Fig. 1b; DESIGN.md §3).
+
+    Device sizes map to module dimensions through {!Mps_modgen}, and
+    layout quality feeds back into performance through wirelength-derived
+    parasitic capacitance — so the sizing optimizer genuinely prefers
+    sizings whose placements are good, as in layout-inclusive synthesis.
+    First-order square-law formulas; absolute numbers are indicative,
+    monotonic trends are what matters. *)
+
+open Mps_geometry
+open Mps_netlist
+open Mps_modgen
+
+(** Device sizes the synthesis loop optimizes. *)
+type sizing = {
+  w1_um : float;  (** Input differential pair width. *)
+  w3_um : float;  (** Mirror load width. *)
+  w5_um : float;  (** Tail current source width. *)
+  w6_um : float;  (** Second-stage driver width. *)
+  cc_ff : float;  (** Compensation capacitor. *)
+}
+
+val sizing_lo : sizing
+val sizing_hi : sizing
+(** Componentwise search-space bounds. *)
+
+val nominal_sizing : sizing
+(** Geometric mean of the bounds. *)
+
+val clamp_sizing : sizing -> sizing
+
+val devices : sizing -> Device.t array
+(** The five devices in block order: diff pair, mirror load, tail,
+    driver, compensation cap. *)
+
+val circuit : Process.t -> Circuit.t
+(** The two-stage op-amp netlist (Table 1 structure) with block
+    dimension bounds derived from the module generators over the whole
+    sizing range — the circuit the multi-placement structure is
+    generated for. *)
+
+val dims : ?aspect_hints:float array -> Process.t -> Circuit.t -> sizing -> Dims.t
+(** Realize every device near the given aspect ratios (default all 1.0:
+    near-square) and clamp into the circuit's designer bounds — the
+    "translate the proposed device sizes into widths and heights" step.
+    Aspect hints select among the module generators' folding options, so
+    a sizing optimizer can trade block shapes as well as device sizes.
+    @raise Invalid_argument when [aspect_hints] has the wrong length. *)
+
+(** Performance estimate. *)
+type perf = {
+  gain_db : float;
+  gbw_mhz : float;
+  slew_v_per_us : float;
+  power_mw : float;
+  wire_cap_ff : float;  (** Parasitic load (from HPWL or routed extraction). *)
+  area : int;  (** Bounding-box area of the floorplan, grid units. *)
+}
+
+val performance :
+  Process.t -> Circuit.t -> die_w:int -> die_h:int -> sizing -> Rect.t array -> perf
+(** Evaluate the sized op-amp on a concrete floorplan, with parasitics
+    estimated from total HPWL. *)
+
+val performance_routed :
+  Process.t -> Circuit.t -> die_w:int -> die_h:int -> sizing -> Rect.t array -> perf
+(** Same, but the floorplan is globally routed ({!Mps_route.Router})
+    and the parasitic load extracted from the signal-path nets' routed
+    RC ({!Mps_route.Extraction}) — the full Routing + Circuit
+    Extraction flow of the paper's Fig. 1b.  Slower and more
+    pessimistic than {!performance}. *)
+
+(** Target specification. *)
+type spec = {
+  min_gain_db : float;
+  min_gbw_mhz : float;
+  min_slew_v_per_us : float;
+  max_power_mw : float;
+}
+
+val default_spec : spec
+(** 60 dB, 5 MHz, 2 V/µs, 2 mW. *)
+
+val meets_spec : spec -> perf -> bool
+
+val spec_cost : spec -> perf -> float
+(** Smaller is better: heavy relative penalties for violated specs plus
+    mild power and area minimization once met. *)
+
+val pp_perf : Format.formatter -> perf -> unit
+val pp_sizing : Format.formatter -> sizing -> unit

@@ -1,0 +1,1 @@
+test/test_anneal.ml: Alcotest Annealer List Mps_anneal Mps_rng QCheck QCheck_alcotest Rng Schedule

@@ -1,0 +1,1 @@
+test/test_bitset.ml: Alcotest Bitset Int List Mps_core QCheck QCheck_alcotest

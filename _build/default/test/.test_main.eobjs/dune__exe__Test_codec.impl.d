@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Array Benchmarks Circuit Codec Dimbox Dims Filename Generator Lazy List Mps_core Mps_experiments Mps_geometry Mps_netlist Mps_placement Rect Stored String Structure Sys

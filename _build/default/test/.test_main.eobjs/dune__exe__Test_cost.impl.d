@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Array Block Circuit Cost List Mps_cost Mps_geometry Mps_netlist Net QCheck QCheck_alcotest Rect Wirelength

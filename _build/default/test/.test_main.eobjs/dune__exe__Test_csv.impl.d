@@ -1,0 +1,1 @@
+test/test_csv.ml: Alcotest Csv Experiments Filename List Mps_experiments String Sys

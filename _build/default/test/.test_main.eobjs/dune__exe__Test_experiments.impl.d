@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Bdio Benchmarks Circuit Experiments Generator Lazy List Mps_core Mps_experiments Mps_netlist String Structure Text_table

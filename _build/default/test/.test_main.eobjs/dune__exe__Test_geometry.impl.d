@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest Dimbox Dims Format Interval List Mps_geometry Mps_rng QCheck QCheck_alcotest Rect

@@ -1,0 +1,1 @@
+test/test_modgen.ml: Alcotest Device Dims Interval List Module_gen Mps_geometry Mps_modgen Mps_netlist Process QCheck QCheck_alcotest

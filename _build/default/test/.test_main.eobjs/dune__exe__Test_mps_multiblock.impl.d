@@ -1,0 +1,1 @@
+test/test_mps_multiblock.ml: Block Builder Circuit Dimbox Dims Format Interval List Mps_core Mps_geometry Mps_netlist Mps_placement Net Placement QCheck QCheck_alcotest Stored String Structure

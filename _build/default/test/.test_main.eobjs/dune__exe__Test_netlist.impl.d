@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Benchmarks Block Circuit Dimbox Dims Hashtbl List Mps_geometry Mps_netlist Net Printf

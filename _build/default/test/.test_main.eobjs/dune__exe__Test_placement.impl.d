@@ -1,0 +1,1 @@
+test/test_placement.ml: Alcotest Array Block Circuit Dimbox Dims Expand Interval Mps_geometry Mps_netlist Mps_placement Mps_rng Net Perturb Placement Rect Rng

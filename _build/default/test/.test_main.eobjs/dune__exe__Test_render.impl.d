@@ -1,0 +1,1 @@
+test/test_render.ml: Alcotest Array Ascii Block Char Circuit Filename List Mps_geometry Mps_netlist Mps_render Net Rect String Svg Sys

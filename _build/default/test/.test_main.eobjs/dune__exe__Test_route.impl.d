@@ -1,0 +1,1 @@
+test/test_route.ml: Alcotest Array Benchmarks Block Circuit Extraction Float List Mps_core Mps_geometry Mps_modgen Mps_netlist Mps_placement Mps_rng Mps_route Mps_synthesis Net Rect Route_grid Router

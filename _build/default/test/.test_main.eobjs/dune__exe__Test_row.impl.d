@@ -1,0 +1,1 @@
+test/test_row.ml: Alcotest Interval List Mps_core Mps_geometry Printf QCheck QCheck_alcotest Row String

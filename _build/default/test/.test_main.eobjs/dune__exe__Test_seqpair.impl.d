@@ -1,0 +1,1 @@
+test/test_seqpair.ml: Alcotest Array Benchmarks Circuit Dimbox Dims Fun Int List Mps_baselines Mps_cost Mps_geometry Mps_netlist Mps_placement Mps_rng QCheck QCheck_alcotest Rect Rng Seq_pair

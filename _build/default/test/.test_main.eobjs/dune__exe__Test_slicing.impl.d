@@ -1,0 +1,1 @@
+test/test_slicing.ml: Alcotest Array Benchmarks Circuit Dimbox Dims List Mps_baselines Mps_cost Mps_geometry Mps_netlist Mps_placement Mps_rng QCheck QCheck_alcotest Rect Rng Slicing

@@ -1,0 +1,1 @@
+test/test_symmetry.ml: Alcotest Array Benchmarks Block Circuit Cost Dimbox List Mps_cost Mps_geometry Mps_netlist Mps_placement Mps_rng Net Printf QCheck QCheck_alcotest Rect Rng Symmetry

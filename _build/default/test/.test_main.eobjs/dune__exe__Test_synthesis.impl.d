@@ -1,0 +1,1 @@
+test/test_synthesis.ml: Alcotest Array Circuit Float Generator Lazy List Mps_baselines Mps_core Mps_geometry Mps_modgen Mps_netlist Mps_placement Mps_rng Mps_synthesis Opamp Synth_loop

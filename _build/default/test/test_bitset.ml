@@ -1,0 +1,108 @@
+(* Tests for the placement-index bitsets. *)
+
+open Mps_core
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_empty_full () =
+  let e = Bitset.create ~capacity:70 in
+  check_bool "empty" true (Bitset.is_empty e);
+  check_int "cardinal 0" 0 (Bitset.cardinal e);
+  let f = Bitset.full ~capacity:70 in
+  check_int "full cardinal" 70 (Bitset.cardinal f);
+  check_bool "full has 0" true (Bitset.mem f 0);
+  check_bool "full has 69" true (Bitset.mem f 69);
+  check_bool "tail masked" true (Bitset.cardinal (Bitset.full ~capacity:1) = 1)
+
+let test_zero_capacity () =
+  let e = Bitset.create ~capacity:0 in
+  check_bool "empty" true (Bitset.is_empty e);
+  let f = Bitset.full ~capacity:0 in
+  check_int "full of 0" 0 (Bitset.cardinal f)
+
+let test_add_remove_mem () =
+  let s = Bitset.create ~capacity:100 in
+  Bitset.add s 0;
+  Bitset.add s 63;
+  Bitset.add s 64;
+  Bitset.add s 99;
+  check_bool "mem 0" true (Bitset.mem s 0);
+  check_bool "mem 63" true (Bitset.mem s 63);
+  check_bool "mem 64" true (Bitset.mem s 64);
+  check_bool "mem 99" true (Bitset.mem s 99);
+  check_bool "not mem 1" false (Bitset.mem s 1);
+  check_int "cardinal" 4 (Bitset.cardinal s);
+  Bitset.remove s 63;
+  check_bool "removed" false (Bitset.mem s 63);
+  check_int "cardinal after remove" 3 (Bitset.cardinal s)
+
+let test_out_of_range () =
+  let s = Bitset.create ~capacity:10 in
+  Alcotest.check_raises "add -1" (Invalid_argument "Bitset: index -1 out of [0, 10)")
+    (fun () -> Bitset.add s (-1));
+  Alcotest.check_raises "mem 10" (Invalid_argument "Bitset: index 10 out of [0, 10)")
+    (fun () -> ignore (Bitset.mem s 10))
+
+let test_inter_into () =
+  let a = Bitset.of_list ~capacity:100 [ 1; 5; 64; 70; 99 ] in
+  let b = Bitset.of_list ~capacity:100 [ 5; 64; 98 ] in
+  Bitset.inter_into a b;
+  Alcotest.(check (list int)) "intersection" [ 5; 64 ] (Bitset.to_list a);
+  let c = Bitset.create ~capacity:5 in
+  Alcotest.check_raises "capacity mismatch"
+    (Invalid_argument "Bitset.inter_into: capacity mismatch") (fun () ->
+      Bitset.inter_into a c)
+
+let test_choose_iter () =
+  check_bool "choose empty" true (Bitset.choose (Bitset.create ~capacity:10) = None);
+  let s = Bitset.of_list ~capacity:200 [ 150; 7; 64 ] in
+  check_bool "choose smallest" true (Bitset.choose s = Some 7);
+  Alcotest.(check (list int)) "iter ascending" [ 7; 64; 150 ] (Bitset.to_list s)
+
+let test_copy_independent () =
+  let a = Bitset.of_list ~capacity:10 [ 2 ] in
+  let b = Bitset.copy a in
+  Bitset.add b 3;
+  check_bool "a unchanged" false (Bitset.mem a 3);
+  check_bool "b changed" true (Bitset.mem b 3)
+
+let test_equal () =
+  let a = Bitset.of_list ~capacity:80 [ 1; 79 ] in
+  let b = Bitset.of_list ~capacity:80 [ 79; 1 ] in
+  check_bool "equal" true (Bitset.equal a b);
+  Bitset.add b 2;
+  check_bool "not equal" false (Bitset.equal a b)
+
+(* Property: bitset ops agree with list-set semantics. *)
+let prop_of_list_roundtrip =
+  QCheck.Test.make ~name:"bitset of_list/to_list round-trips" ~count:300
+    QCheck.(list (int_range 0 99))
+    (fun l ->
+      let s = Bitset.of_list ~capacity:100 l in
+      Bitset.to_list s = List.sort_uniq Int.compare l)
+
+let prop_inter_matches_lists =
+  QCheck.Test.make ~name:"bitset intersection matches list intersection" ~count:300
+    QCheck.(pair (list (int_range 0 99)) (list (int_range 0 99)))
+    (fun (la, lb) ->
+      let a = Bitset.of_list ~capacity:100 la in
+      let b = Bitset.of_list ~capacity:100 lb in
+      Bitset.inter_into a b;
+      let expect =
+        List.sort_uniq Int.compare (List.filter (fun x -> List.mem x lb) la)
+      in
+      Bitset.to_list a = expect)
+
+let suite =
+  [
+    ("empty and full", `Quick, test_empty_full);
+    ("zero capacity", `Quick, test_zero_capacity);
+    ("add / remove / mem across word boundaries", `Quick, test_add_remove_mem);
+    ("out-of-range indices raise", `Quick, test_out_of_range);
+    ("inter_into", `Quick, test_inter_into);
+    ("choose and ascending iteration", `Quick, test_choose_iter);
+    ("copy is independent", `Quick, test_copy_independent);
+    ("equality", `Quick, test_equal);
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_of_list_roundtrip; prop_inter_matches_lists ]

@@ -1,0 +1,151 @@
+(* Tests for multi-placement structure persistence. *)
+
+open Mps_geometry
+open Mps_netlist
+open Mps_core
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let circuit = Benchmarks.circ01
+
+let structure =
+  lazy (fst (Generator.generate ~config:Generator.fast_config circuit))
+
+let test_roundtrip_string () =
+  let s = Lazy.force structure in
+  let doc = Codec.to_string s in
+  let s' = Codec.of_string ~circuit doc in
+  check_int "placement count survives" (Structure.n_placements s) (Structure.n_placements s');
+  Alcotest.(check (float 1e-12)) "coverage survives" (Structure.coverage s) (Structure.coverage s');
+  check_bool "die survives" true (Structure.die s = Structure.die s');
+  (* stored placements identical field by field *)
+  Array.iter2
+    (fun a b ->
+      check_bool "boxes equal" true (Dimbox.equal a.Stored.box b.Stored.box);
+      check_bool "expansions equal" true (Dimbox.equal a.Stored.expansion b.Stored.expansion);
+      check_bool "coords equal" true
+        (Mps_placement.Placement.equal a.Stored.placement b.Stored.placement);
+      check_bool "best dims equal" true (Dims.equal a.Stored.best_dims b.Stored.best_dims);
+      Alcotest.(check (float 0.0)) "avg cost exact" a.Stored.avg_cost b.Stored.avg_cost;
+      Alcotest.(check (float 0.0)) "best cost exact" a.Stored.best_cost b.Stored.best_cost)
+    (Structure.placements s) (Structure.placements s');
+  let ba = Structure.backup s and bb = Structure.backup s' in
+  check_bool "backup survives" true
+    (Mps_placement.Placement.equal ba.Stored.placement bb.Stored.placement)
+
+let test_roundtrip_queries_agree () =
+  let s = Lazy.force structure in
+  let s' = Codec.of_string ~circuit (Codec.to_string s) in
+  let probes = Mps_experiments.Experiments.probe_dims ~seed:5 ~n:300 s in
+  Array.iter
+    (fun dims ->
+      let a1, _ = Structure.query s dims and a2, _ = Structure.query s' dims in
+      check_bool "same answer" true (a1 = a2);
+      let r1 = Structure.instantiate s dims and r2 = Structure.instantiate s' dims in
+      check_bool "same floorplan" true (Array.for_all2 Rect.equal r1 r2))
+    probes
+
+let test_roundtrip_file () =
+  let s = Lazy.force structure in
+  let path = Filename.temp_file "mps_codec" ".mps" in
+  Codec.save s ~path;
+  let s' = Codec.load ~circuit ~path in
+  Sys.remove path;
+  check_int "count" (Structure.n_placements s) (Structure.n_placements s')
+
+let test_wrong_circuit_rejected () =
+  let s = Lazy.force structure in
+  let doc = Codec.to_string s in
+  check_bool "rejects another circuit" true
+    (try
+       ignore (Codec.of_string ~circuit:Benchmarks.circ02 doc);
+       false
+     with Failure _ -> true)
+
+let test_bad_header () =
+  check_bool "rejects garbage" true
+    (try
+       ignore (Codec.of_string ~circuit "not a structure\n");
+       false
+     with Failure _ -> true)
+
+let test_truncated_document () =
+  let s = Lazy.force structure in
+  let doc = Codec.to_string s in
+  let truncated = String.sub doc 0 (String.length doc / 2) in
+  check_bool "rejects truncation" true
+    (try
+       ignore (Codec.of_string ~circuit truncated);
+       false
+     with Failure _ -> true)
+
+let test_corrupted_interval () =
+  let s = Lazy.force structure in
+  let doc = Codec.to_string s in
+  (* flip a box line into an inverted interval *)
+  let corrupted =
+    String.split_on_char '\n' doc
+    |> List.map (fun l ->
+           if String.length l > 6 && String.sub l 0 6 = "box.w " then "box.w 9 1" else l)
+    |> String.concat "\n"
+  in
+  check_bool "rejects inverted interval" true
+    (try
+       ignore (Codec.of_string ~circuit corrupted);
+       false
+     with Failure _ -> true)
+
+(* Format freeze: a hand-written v1 document must keep parsing in
+   future versions. *)
+let golden_v1 =
+  String.concat "\n"
+    [
+      "mps-structure v1";
+      "circuit 1 1 golden";
+      "die 100 100";
+      "placements 1";
+      "placement 10 5 0";
+      "coords 3 4";
+      "box.w 2 8";
+      "box.h 2 8";
+      "expansion.w 1 20";
+      "expansion.h 1 20";
+      "best_dims 5 5";
+      "backup";
+      "placement 12 6 1";
+      "coords 0 0";
+      "box.w 1 50";
+      "box.h 1 50";
+      "expansion.w 1 30";
+      "expansion.h 1 30";
+      "best_dims 10 10";
+      "";
+    ]
+
+let golden_circuit =
+  Circuit.make ~name:"golden"
+    ~blocks:[| Mps_netlist.Block.make_wh ~id:0 ~name:"a" ~w:(1, 50) ~h:(1, 50) |]
+    ~nets:
+      [| Mps_netlist.Net.make ~id:0 ~name:"n"
+           ~pins:[ Mps_netlist.Net.block_pin 0; Mps_netlist.Net.pad ~px:0.0 ~py:0.0 ] |]
+
+let test_golden_v1_parses () =
+  let s = Codec.of_string ~circuit:golden_circuit golden_v1 in
+  check_int "one placement" 1 (Structure.n_placements s);
+  check_bool "backup is template-like" true (Structure.backup s).Stored.template_like;
+  match Structure.query s (Mps_geometry.Dims.of_pairs [| (5, 5) |]) with
+  | Structure.Stored_placement 0, _ -> ()
+  | _ -> Alcotest.fail "golden query must hit placement 0"
+
+let suite =
+  [
+    ("golden v1 document parses", `Quick, test_golden_v1_parses);
+    ("round-trip via string", `Quick, test_roundtrip_string);
+    ("round-trip answers identical queries", `Quick, test_roundtrip_queries_agree);
+    ("round-trip via file", `Quick, test_roundtrip_file);
+    ("wrong circuit rejected", `Quick, test_wrong_circuit_rejected);
+    ("garbage header rejected", `Quick, test_bad_header);
+    ("truncated document rejected", `Quick, test_truncated_document);
+    ("corrupted interval rejected", `Quick, test_corrupted_interval);
+  ]

@@ -1,0 +1,71 @@
+(* Tests for the CSV exporter. *)
+
+open Mps_experiments
+
+let check_string = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+let test_escape () =
+  check_string "plain" "abc" (Csv.escape "abc");
+  check_string "comma" "\"a,b\"" (Csv.escape "a,b");
+  check_string "quote" "\"a\"\"b\"" (Csv.escape "a\"b");
+  check_string "newline" "\"a\nb\"" (Csv.escape "a\nb");
+  check_string "empty" "" (Csv.escape "")
+
+let test_line () =
+  check_string "joined" "a,b,c\n" (Csv.line [ "a"; "b"; "c" ]);
+  check_string "quoted cell" "a,\"b,c\"\n" (Csv.line [ "a"; "b,c" ])
+
+let test_render () =
+  check_string "header + rows" "x,y\n1,2\n3,4\n"
+    (Csv.render ~header:[ "x"; "y" ] ~rows:[ [ "1"; "2" ]; [ "3"; "4" ] ])
+
+let test_save_roundtrip () =
+  let path = Filename.temp_file "mps_csv" ".csv" in
+  Csv.save ~path ~header:[ "a" ] ~rows:[ [ "1" ]; [ "2" ] ];
+  let ic = open_in path in
+  let content = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  check_string "file content" "a\n1\n2\n" content
+
+let test_table2_csv () =
+  let rows =
+    [
+      {
+        Experiments.circuit_name = "circ, 01";
+        generation_seconds = 1.5;
+        placements = 42;
+        coverage = 0.125;
+        instantiation_seconds = 3e-6;
+        fallback_rate = 0.75;
+      };
+    ]
+  in
+  let csv = Csv.table2 rows in
+  check_bool "header present" true
+    (String.length csv > 0 && String.sub csv 0 7 = "circuit");
+  check_bool "name quoted" true
+    (let contains sub s =
+       let n = String.length sub in
+       let rec loop i = i + n <= String.length s && (String.sub s i n = sub || loop (i + 1)) in
+       loop 0
+     in
+     contains "\"circ, 01\"" csv && contains "42" csv)
+
+let test_figure6_csv () =
+  let points, _ = Experiments.figure6 ~budget:Experiments.Quick () in
+  let csv = Csv.figure6 points in
+  let lines = String.split_on_char '\n' csv |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "one line per point + header" (List.length points + 1)
+    (List.length lines)
+
+let suite =
+  [
+    ("escape", `Quick, test_escape);
+    ("line", `Quick, test_line);
+    ("render", `Quick, test_render);
+    ("save round-trip", `Quick, test_save_roundtrip);
+    ("table2 export", `Quick, test_table2_csv);
+    ("figure6 export", `Quick, test_figure6_csv);
+  ]

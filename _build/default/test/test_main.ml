@@ -1,0 +1,29 @@
+(* Test runner: one Alcotest suite per library module group. *)
+
+let () =
+  Alcotest.run "mps"
+    [
+      ("rng", Test_rng.suite);
+      ("geometry", Test_geometry.suite);
+      ("netlist", Test_netlist.suite);
+      ("modgen", Test_modgen.suite);
+      ("cost", Test_cost.suite);
+      ("anneal", Test_anneal.suite);
+      ("placement", Test_placement.suite);
+      ("bitset", Test_bitset.suite);
+      ("row", Test_row.suite);
+      ("mps", Test_mps.suite);
+      ("mps-multiblock", Test_mps_multiblock.suite);
+      ("seqpair", Test_seqpair.suite);
+      ("slicing", Test_slicing.suite);
+      ("route", Test_route.suite);
+      ("symmetry", Test_symmetry.suite);
+      ("baselines", Test_baselines.suite);
+      ("synthesis", Test_synthesis.suite);
+      ("folded-cascode", Test_folded_cascode.suite);
+      ("render", Test_render.suite);
+      ("codec", Test_codec.suite);
+      ("experiments", Test_experiments.suite);
+      ("csv", Test_csv.suite);
+      ("integration", Test_integration.suite);
+    ]

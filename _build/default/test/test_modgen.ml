@@ -1,0 +1,126 @@
+(* Tests for the procedural module generators. *)
+
+open Mps_geometry
+open Mps_modgen
+
+let check_bool = Alcotest.(check bool)
+let p = Process.default
+
+let test_to_grid () =
+  Alcotest.(check int) "rounds up" 2 (Process.to_grid p 400.0);
+  Alcotest.(check int) "exact" 1 (Process.to_grid p 350.0);
+  Alcotest.(check int) "never below 1" 1 (Process.to_grid p 1.0);
+  Alcotest.(check int) "um" 3 (Process.um_to_grid p 1.05)
+
+let test_mos_realizations_nonempty () =
+  let devices =
+    [
+      Device.Mos { w_um = 10.0; l_um = 0.35 };
+      Device.Mos { w_um = 200.0; l_um = 1.0 };
+      Device.Mos { w_um = 0.5; l_um = 0.35 };
+      Device.Mos_pair { w_um = 20.0; l_um = 0.5 };
+      Device.Mos_quad { w_um = 8.0; l_um = 0.35 };
+      Device.Capacitor { c_ff = 500.0 };
+      Device.Capacitor { c_ff = 2.0 };
+      Device.Resistor { r_ohm = 10_000.0 };
+      Device.Resistor { r_ohm = 10.0 };
+    ]
+  in
+  List.iter
+    (fun d ->
+      let r = Module_gen.realizations p d in
+      check_bool (Device.to_string d ^ " has realizations") true (r <> []);
+      List.iter (fun (w, h) -> check_bool "positive dims" true (w > 0 && h > 0)) r)
+    devices
+
+let test_mos_folding_tradeoff () =
+  (* more fingers -> wider and shorter: widths ascend while heights
+     descend across the sorted realization list *)
+  let r = Module_gen.realizations p (Device.Mos { w_um = 40.0; l_um = 0.35 }) in
+  check_bool "several foldings" true (List.length r >= 4);
+  let ws = List.map fst r and hs = List.map snd r in
+  let rec sorted_up = function a :: b :: t -> a <= b && sorted_up (b :: t) | _ -> true in
+  let rec sorted_down = function a :: b :: t -> a >= b && sorted_down (b :: t) | _ -> true in
+  check_bool "widths ascend" true (sorted_up ws);
+  check_bool "heights descend" true (sorted_down hs)
+
+let test_area_roughly_conserved () =
+  (* all foldings of the same device have comparable area *)
+  let r = Module_gen.realizations p (Device.Mos { w_um = 40.0; l_um = 0.35 }) in
+  let areas = List.map (fun (w, h) -> w * h) r in
+  let lo = List.fold_left min max_int areas and hi = List.fold_left max 0 areas in
+  check_bool "max/min area ratio < 4" true (float_of_int hi /. float_of_int lo < 4.0)
+
+let test_realize_follows_hint () =
+  let d = Device.Mos { w_um = 40.0; l_um = 0.35 } in
+  let w_wide, h_wide = Module_gen.realize p d ~aspect_hint:4.0 in
+  let w_tall, h_tall = Module_gen.realize p d ~aspect_hint:0.25 in
+  check_bool "wide hint gives wider" true
+    (float_of_int w_wide /. float_of_int h_wide
+     > float_of_int w_tall /. float_of_int h_tall);
+  Alcotest.check_raises "bad hint"
+    (Invalid_argument "Module_gen.realize: non-positive aspect hint") (fun () ->
+      ignore (Module_gen.realize p d ~aspect_hint:0.0))
+
+let test_bounds_cover_realizations () =
+  let d = Device.Mos_pair { w_um = 25.0; l_um = 0.5 } in
+  let wb, hb = Module_gen.bounds p d in
+  List.iter
+    (fun (w, h) ->
+      check_bool "w in bounds" true (Interval.contains wb w);
+      check_bool "h in bounds" true (Interval.contains hb h))
+    (Module_gen.realizations p d)
+
+let test_block_of_device () =
+  let d = Device.Capacitor { c_ff = 800.0 } in
+  let blk = Module_gen.block_of_device p ~id:3 ~name:"cc" d in
+  Alcotest.(check int) "id" 3 blk.Mps_netlist.Block.id;
+  Alcotest.(check string) "name" "cc" blk.Mps_netlist.Block.name;
+  List.iter
+    (fun (w, h) ->
+      check_bool "realization valid for block" true
+        (Mps_netlist.Block.dims_valid blk ~w ~h))
+    (Module_gen.realizations p d)
+
+let test_dims_of_devices () =
+  let devices =
+    [| Device.Mos { w_um = 20.0; l_um = 0.35 }; Device.Capacitor { c_ff = 300.0 } |]
+  in
+  let dims = Module_gen.dims_of_devices p devices ~aspect_hints:[| 1.0; 1.0 |] in
+  Alcotest.(check int) "two blocks" 2 (Dims.n_blocks dims);
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Module_gen.dims_of_devices: array length mismatch") (fun () ->
+      ignore (Module_gen.dims_of_devices p devices ~aspect_hints:[| 1.0 |]))
+
+let test_scale_monotone () =
+  (* scaling a device up never shrinks its minimum area realization *)
+  let d = Device.Mos { w_um = 10.0; l_um = 0.35 } in
+  let min_area dev =
+    List.fold_left (fun acc (w, h) -> min acc (w * h)) max_int (Module_gen.realizations p dev)
+  in
+  check_bool "bigger device, bigger min area" true (min_area (Device.scale d 4.0) > min_area d);
+  Alcotest.check_raises "bad factor" (Invalid_argument "Device.scale: non-positive factor")
+    (fun () -> ignore (Device.scale d 0.0))
+
+let prop_realize_within_bounds =
+  QCheck.Test.make ~name:"realize stays within device bounds" ~count:200
+    QCheck.(pair (float_range 1.0 100.0) (float_range 0.1 10.0))
+    (fun (w_um, hint) ->
+      let d = Device.Mos { w_um; l_um = 0.35 } in
+      let w, h = Module_gen.realize p d ~aspect_hint:hint in
+      let wb, hb = Module_gen.bounds p d in
+      Interval.contains wb w && Interval.contains hb h)
+
+let suite =
+  [
+    ("grid conversion", `Quick, test_to_grid);
+    ("every device has realizations", `Quick, test_mos_realizations_nonempty);
+    ("folding trades width for height", `Quick, test_mos_folding_tradeoff);
+    ("area roughly conserved across foldings", `Quick, test_area_roughly_conserved);
+    ("realize follows the aspect hint", `Quick, test_realize_follows_hint);
+    ("bounds cover all realizations", `Quick, test_bounds_cover_realizations);
+    ("block_of_device accepts all realizations", `Quick, test_block_of_device);
+    ("dims_of_devices", `Quick, test_dims_of_devices);
+    ("scaling grows the device", `Quick, test_scale_monotone);
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_realize_within_bounds ]

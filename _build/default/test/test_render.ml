@@ -1,0 +1,102 @@
+(* Tests for ASCII and SVG floorplan rendering. *)
+
+open Mps_geometry
+open Mps_netlist
+open Mps_render
+
+let check_bool = Alcotest.(check bool)
+
+let circuit =
+  Circuit.make ~name:"r"
+    ~blocks:
+      [|
+        Block.make_wh ~id:0 ~name:"alpha" ~w:(1, 50) ~h:(1, 50);
+        Block.make_wh ~id:1 ~name:"beta" ~w:(1, 50) ~h:(1, 50);
+      |]
+    ~nets:[| Net.make ~id:0 ~name:"n" ~pins:[ Net.block_pin 0; Net.block_pin 1 ] |]
+
+let rects = [| Rect.make ~x:0 ~y:0 ~w:4 ~h:4; Rect.make ~x:10 ~y:10 ~w:6 ~h:4 |]
+
+let contains_sub sub s =
+  let n = String.length sub in
+  let rec loop i = i + n <= String.length s && (String.sub s i n = sub || loop (i + 1)) in
+  loop 0
+
+let test_ascii_contains_blocks () =
+  let s = Ascii.render circuit ~die_w:20 ~die_h:20 rects in
+  check_bool "block a drawn" true (String.contains s 'a');
+  check_bool "block b drawn" true (String.contains s 'b');
+  check_bool "legend has names" true (contains_sub "alpha" s && contains_sub "beta" s)
+
+let test_ascii_grid_size () =
+  let s = Ascii.render ~max_cols:10 circuit ~die_w:100 ~die_h:100 rects in
+  (* first line is a grid row of at most 10 characters *)
+  match String.split_on_char '\n' s with
+  | first :: _ -> check_bool "scaled to max_cols" true (String.length first <= 10)
+  | [] -> Alcotest.fail "empty render"
+
+let test_ascii_wrong_rects () =
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Ascii.render: one rectangle per block required") (fun () ->
+      ignore (Ascii.render circuit ~die_w:20 ~die_h:20 [| rects.(0) |]))
+
+let test_legend_chars_distinct () =
+  let chars = List.init 40 Ascii.legend_char in
+  Alcotest.(check int) "40 distinct" 40 (List.length (List.sort_uniq Char.compare chars))
+
+let test_ascii_y_up () =
+  (* block at the bottom of the die must appear on the LAST grid row *)
+  let one_block =
+    Circuit.make ~name:"o"
+      ~blocks:[| Block.make_wh ~id:0 ~name:"a" ~w:(1, 50) ~h:(1, 50) |]
+      ~nets:[||]
+  in
+  let s =
+    Ascii.render ~max_cols:8 one_block ~die_w:8 ~die_h:8
+      [| Rect.make ~x:0 ~y:0 ~w:2 ~h:2 |]
+  in
+  let lines = String.split_on_char '\n' s in
+  let grid = List.filteri (fun i _ -> i < 8) lines in
+  (match List.nth_opt grid 0 with
+  | Some top -> check_bool "top row empty" false (String.contains top 'a')
+  | None -> Alcotest.fail "missing grid");
+  match List.nth_opt grid 7 with
+  | Some bottom -> check_bool "bottom row has block" true (String.contains bottom 'a')
+  | None -> Alcotest.fail "missing grid"
+
+let test_svg_well_formed () =
+  let s = Svg.render circuit ~die_w:20 ~die_h:20 rects in
+  let contains sub = contains_sub sub s in
+  check_bool "svg root" true (contains "<svg");
+  check_bool "closes" true (contains "</svg>");
+  check_bool "both names" true (contains "alpha" && contains "beta");
+  (* 1 die + 2 block rects *)
+  let count_rects =
+    let rec loop i acc =
+      if i + 5 > String.length s then acc
+      else if String.sub s i 5 = "<rect" then loop (i + 5) (acc + 1)
+      else loop (i + 1) acc
+    in
+    loop 0 0
+  in
+  Alcotest.(check int) "rect count" 3 count_rects
+
+let test_svg_save () =
+  let path = Filename.temp_file "mps_render" ".svg" in
+  Svg.save ~path circuit ~die_w:20 ~die_h:20 rects;
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  close_in ic;
+  Sys.remove path;
+  check_bool "non-empty file" true (len > 100)
+
+let suite =
+  [
+    ("ascii: blocks and legend present", `Quick, test_ascii_contains_blocks);
+    ("ascii: respects max_cols", `Quick, test_ascii_grid_size);
+    ("ascii: rect count mismatch raises", `Quick, test_ascii_wrong_rects);
+    ("ascii: legend characters distinct", `Quick, test_legend_chars_distinct);
+    ("ascii: y axis points up", `Quick, test_ascii_y_up);
+    ("svg: well-formed document", `Quick, test_svg_well_formed);
+    ("svg: save writes a file", `Quick, test_svg_save);
+  ]

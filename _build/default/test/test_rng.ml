@@ -1,0 +1,146 @@
+(* Tests for the deterministic PRNG helpers. *)
+
+open Mps_rng
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_determinism () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:8 in
+  let draws t = List.init 20 (fun _ -> Rng.int t 1_000_000) in
+  check_bool "different seeds differ" true (draws a <> draws b)
+
+let test_copy_replays () =
+  let a = Rng.create ~seed:3 in
+  ignore (Rng.int a 10);
+  let b = Rng.copy a in
+  check_int "copy replays" (Rng.int a 1000) (Rng.int b 1000)
+
+let test_split_independent () =
+  let a = Rng.create ~seed:3 in
+  let b = Rng.split a in
+  let draws t = List.init 20 (fun _ -> Rng.int t 1_000_000) in
+  check_bool "split stream differs" true (draws a <> draws b)
+
+let test_int_in_range () =
+  let t = Rng.create ~seed:1 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in t (-5) 5 in
+    check_bool "in range" true (v >= -5 && v <= 5)
+  done
+
+let test_int_in_degenerate () =
+  let t = Rng.create ~seed:1 in
+  check_int "single point" 42 (Rng.int_in t 42 42)
+
+let test_int_in_covers_endpoints () =
+  let t = Rng.create ~seed:1 in
+  let seen = Array.make 3 false in
+  for _ = 1 to 500 do
+    seen.(Rng.int_in t 0 2) <- true
+  done;
+  check_bool "all values hit" true (Array.for_all Fun.id seen)
+
+let test_invalid_args () =
+  let t = Rng.create ~seed:1 in
+  Alcotest.check_raises "int non-positive"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () -> ignore (Rng.int t 0));
+  Alcotest.check_raises "empty range" (Invalid_argument "Rng.int_in: empty range")
+    (fun () -> ignore (Rng.int_in t 3 2));
+  Alcotest.check_raises "empty array" (Invalid_argument "Rng.choose: empty array")
+    (fun () -> ignore (Rng.choose t [||]));
+  Alcotest.check_raises "empty list" (Invalid_argument "Rng.choose_list: empty list")
+    (fun () -> ignore (Rng.choose_list t []))
+
+let test_bernoulli_extremes () =
+  let t = Rng.create ~seed:1 in
+  for _ = 1 to 50 do
+    check_bool "p=1" true (Rng.bernoulli t 1.0);
+    check_bool "p=0" false (Rng.bernoulli t 0.0)
+  done
+
+let test_bernoulli_rate () =
+  let t = Rng.create ~seed:5 in
+  let hits = ref 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    if Rng.bernoulli t 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  check_bool "rate near 0.3" true (rate > 0.27 && rate < 0.33)
+
+let test_gaussian_moments () =
+  let t = Rng.create ~seed:5 in
+  let n = 20_000 in
+  let sum = ref 0.0 and sumsq = ref 0.0 in
+  for _ = 1 to n do
+    let v = Rng.gaussian t ~mu:2.0 ~sigma:3.0 in
+    sum := !sum +. v;
+    sumsq := !sumsq +. (v *. v)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sumsq /. float_of_int n) -. (mean *. mean) in
+  check_bool "mean near 2" true (abs_float (mean -. 2.0) < 0.1);
+  check_bool "sigma near 3" true (abs_float (sqrt var -. 3.0) < 0.15)
+
+let test_shuffle_is_permutation () =
+  let t = Rng.create ~seed:9 in
+  let l = List.init 50 Fun.id in
+  let s = Rng.shuffle t l in
+  Alcotest.(check (list int)) "same multiset" l (List.sort Int.compare s)
+
+let test_shuffle_in_place_permutation () =
+  let t = Rng.create ~seed:9 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle_in_place t a;
+  let sorted = Array.copy a in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 Fun.id) sorted
+
+let test_sample_distinct () =
+  let t = Rng.create ~seed:11 in
+  for _ = 1 to 50 do
+    let s = Rng.sample_distinct t ~k:5 ~n:10 in
+    check_int "k values" 5 (List.length s);
+    check_int "distinct" 5 (List.length (List.sort_uniq Int.compare s));
+    List.iter (fun v -> check_bool "in range" true (v >= 0 && v < 10)) s
+  done
+
+let test_sample_distinct_full () =
+  let t = Rng.create ~seed:11 in
+  let s = Rng.sample_distinct t ~k:10 ~n:10 in
+  Alcotest.(check (list int)) "whole range" (List.init 10 Fun.id)
+    (List.sort Int.compare s)
+
+let test_float_in () =
+  let t = Rng.create ~seed:2 in
+  for _ = 1 to 1000 do
+    let v = Rng.float_in t (-1.5) 2.5 in
+    check_bool "in range" true (v >= -1.5 && v < 2.5)
+  done
+
+let suite =
+  [
+    ("same seed, same stream", `Quick, test_determinism);
+    ("different seeds differ", `Quick, test_seed_sensitivity);
+    ("copy replays the stream", `Quick, test_copy_replays);
+    ("split yields an independent stream", `Quick, test_split_independent);
+    ("int_in respects bounds", `Quick, test_int_in_range);
+    ("int_in degenerate range", `Quick, test_int_in_degenerate);
+    ("int_in covers endpoints", `Quick, test_int_in_covers_endpoints);
+    ("invalid arguments raise", `Quick, test_invalid_args);
+    ("bernoulli extremes", `Quick, test_bernoulli_extremes);
+    ("bernoulli empirical rate", `Quick, test_bernoulli_rate);
+    ("gaussian empirical moments", `Quick, test_gaussian_moments);
+    ("shuffle is a permutation", `Quick, test_shuffle_is_permutation);
+    ("shuffle_in_place is a permutation", `Quick, test_shuffle_in_place_permutation);
+    ("sample_distinct draws k distinct", `Quick, test_sample_distinct);
+    ("sample_distinct full range", `Quick, test_sample_distinct_full);
+    ("float_in respects bounds", `Quick, test_float_in);
+  ]

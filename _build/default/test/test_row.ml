@@ -1,0 +1,170 @@
+(* Tests for the interval rows of the multi-placement structure
+   (paper Fig. 3): disjoint ascending interval objects carrying
+   placement-index sets. *)
+
+open Mps_geometry
+open Mps_core
+
+let iv = Interval.make
+
+let set_of_list = Row.Int_set.of_list
+let check_set name expected actual =
+  Alcotest.(check (list int)) name expected (Row.Int_set.elements actual)
+
+let test_empty () =
+  Alcotest.(check bool) "empty" true (Row.is_empty Row.empty);
+  check_set "find in empty" [] (Row.find Row.empty 5);
+  check_set "find_range in empty" [] (Row.find_range Row.empty (iv 0 100))
+
+let test_single_range () =
+  let row = Row.add_range Row.empty (iv 10 20) 0 in
+  check_set "inside" [ 0 ] (Row.find row 15);
+  check_set "at lo" [ 0 ] (Row.find row 10);
+  check_set "at hi" [ 0 ] (Row.find row 20);
+  check_set "below" [] (Row.find row 9);
+  check_set "above" [] (Row.find row 21)
+
+let test_disjoint_ranges () =
+  let row = Row.add_range (Row.add_range Row.empty (iv 0 5) 0) (iv 10 15) 1 in
+  check_set "first" [ 0 ] (Row.find row 3);
+  check_set "gap" [] (Row.find row 7);
+  check_set "second" [ 1 ] (Row.find row 12);
+  Alcotest.(check int) "two interval objects" 2 (List.length (Row.intervals row))
+
+let test_overlapping_ranges_split () =
+  (* Paper's Store Placement: inserting a second overlapping interval
+     splits the existing interval object. *)
+  let row = Row.add_range (Row.add_range Row.empty (iv 0 10) 0) (iv 5 15) 1 in
+  check_set "left only 0" [ 0 ] (Row.find row 2);
+  check_set "middle both" [ 0; 1 ] (Row.find row 7);
+  check_set "right only 1" [ 1 ] (Row.find row 12);
+  Alcotest.(check int) "three interval objects" 3 (List.length (Row.intervals row))
+
+let test_nested_range () =
+  let row = Row.add_range (Row.add_range Row.empty (iv 0 20) 0) (iv 8 12) 1 in
+  check_set "left" [ 0 ] (Row.find row 5);
+  check_set "nested" [ 0; 1 ] (Row.find row 10);
+  check_set "right" [ 0 ] (Row.find row 15)
+
+let test_range_covering_several () =
+  let row =
+    Row.add_range
+      (Row.add_range (Row.add_range Row.empty (iv 0 4) 0) (iv 10 14) 1)
+      (iv 2 12) 2
+  in
+  check_set "first alone" [ 0 ] (Row.find row 1);
+  check_set "first+new" [ 0; 2 ] (Row.find row 3);
+  check_set "gap now new" [ 2 ] (Row.find row 7);
+  check_set "second+new" [ 1; 2 ] (Row.find row 11);
+  check_set "second alone" [ 1 ] (Row.find row 14)
+
+let test_same_range_twice () =
+  let row = Row.add_range (Row.add_range Row.empty (iv 3 9) 0) (iv 3 9) 1 in
+  check_set "both" [ 0; 1 ] (Row.find row 5);
+  Alcotest.(check int) "single object" 1 (List.length (Row.intervals row))
+
+let test_find_range_union () =
+  let row = Row.add_range (Row.add_range Row.empty (iv 0 5) 0) (iv 10 15) 1 in
+  check_set "spanning both" [ 0; 1 ] (Row.find_range row (iv 4 11));
+  check_set "only gap" [] (Row.find_range row (iv 6 9));
+  check_set "touching first" [ 0 ] (Row.find_range row (iv 5 8));
+  check_set "everything" [ 0; 1 ] (Row.find_range row (iv 0 100))
+
+let test_remove_id () =
+  let row = Row.add_range (Row.add_range Row.empty (iv 0 10) 0) (iv 5 15) 1 in
+  let row' = Row.remove_id row 0 in
+  check_set "left gone" [] (Row.find row' 2);
+  check_set "middle only 1" [ 1 ] (Row.find row' 7);
+  check_set "right only 1" [ 1 ] (Row.find row' 12);
+  (* 5..10 and 11..15 both hold {1}: they must merge back *)
+  Alcotest.(check int) "merged back" 1 (List.length (Row.intervals row'))
+
+let test_remove_missing_id_is_noop () =
+  let row = Row.add_range Row.empty (iv 0 10) 0 in
+  let row' = Row.remove_id row 42 in
+  check_set "unchanged" [ 0 ] (Row.find row' 5);
+  Alcotest.(check bool) "invariants" true (Row.invariants_ok row')
+
+let test_ids () =
+  let row = Row.add_range (Row.add_range Row.empty (iv 0 5) 3) (iv 2 9) 7 in
+  check_set "ids" [ 3; 7 ] (Row.ids row)
+
+(* Property tests: a row built from random (interval, id) insertions and
+   removals behaves like the naive map value -> set of covering ids. *)
+
+type op =
+  | Add of int * int * int  (* lo, len, id *)
+  | Remove of int
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map3 (fun lo len id -> Add (lo, len, id)) (int_range 0 60) (int_range 0 25)
+             (int_range 0 9));
+        (1, map (fun id -> Remove id) (int_range 0 9));
+      ])
+
+let print_op = function
+  | Add (lo, len, id) -> Printf.sprintf "Add[%d..%d]#%d" lo (lo + len) id
+  | Remove id -> Printf.sprintf "Remove#%d" id
+
+let arb_ops = QCheck.make ~print:(fun l -> String.concat ";" (List.map print_op l))
+    (QCheck.Gen.list_size (QCheck.Gen.int_range 0 25) op_gen)
+
+(* Naive model: list of (interval, id) currently live. *)
+let apply_ops ops =
+  let step (row, model) = function
+    | Add (lo, len, id) ->
+      let range = iv lo (lo + len) in
+      (Row.add_range row range id, (range, id) :: model)
+    | Remove id -> (Row.remove_id row id, List.filter (fun (_, i) -> i <> id) model)
+  in
+  List.fold_left step (Row.empty, []) ops
+
+let model_find model v =
+  set_of_list (List.filter_map (fun (r, id) -> if Interval.contains r v then Some id else None) model)
+
+let prop_row_matches_model =
+  QCheck.Test.make ~name:"row find matches naive model" ~count:500 arb_ops (fun ops ->
+      let row, model = apply_ops ops in
+      let ok = ref true in
+      for v = -2 to 92 do
+        if not (Row.Int_set.equal (Row.find row v) (model_find model v)) then ok := false
+      done;
+      !ok)
+
+let prop_row_invariants =
+  QCheck.Test.make ~name:"row invariants hold under random ops" ~count:500 arb_ops
+    (fun ops ->
+      let row, _ = apply_ops ops in
+      Row.invariants_ok row)
+
+let prop_find_range_is_union =
+  QCheck.Test.make ~name:"find_range equals union of finds" ~count:300
+    (QCheck.pair arb_ops (QCheck.pair (QCheck.int_range 0 60) (QCheck.int_range 0 25)))
+    (fun (ops, (lo, len)) ->
+      let row, _ = apply_ops ops in
+      let range = iv lo (lo + len) in
+      let expected = ref Row.Int_set.empty in
+      for v = lo to lo + len do
+        expected := Row.Int_set.union !expected (Row.find row v)
+      done;
+      Row.Int_set.equal (Row.find_range row range) !expected)
+
+let suite =
+  [
+    ("empty row", `Quick, test_empty);
+    ("single range", `Quick, test_single_range);
+    ("disjoint ranges", `Quick, test_disjoint_ranges);
+    ("overlapping ranges split objects", `Quick, test_overlapping_ranges_split);
+    ("nested range", `Quick, test_nested_range);
+    ("range covering several objects and gaps", `Quick, test_range_covering_several);
+    ("identical ranges share one object", `Quick, test_same_range_twice);
+    ("find_range unions across objects", `Quick, test_find_range_union);
+    ("remove_id splits back and merges", `Quick, test_remove_id);
+    ("remove of unknown id is a no-op", `Quick, test_remove_missing_id_is_noop);
+    ("ids collects everything", `Quick, test_ids);
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_row_matches_model; prop_row_invariants; prop_find_range_is_union ]

@@ -1,0 +1,138 @@
+(* Tests for the sequence-pair representation and its annealing placer. *)
+
+open Mps_rng
+open Mps_geometry
+open Mps_netlist
+open Mps_placement
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let dims4 = Dims.of_pairs [| (4, 3); (2, 5); (6, 2); (3, 3) |]
+
+let test_identity_row () =
+  (* identity pair: every earlier block is left of every later one *)
+  let sp = Seq_pair.identity 4 in
+  let rects = Seq_pair.pack sp dims4 in
+  check_int "x0" 0 rects.(0).Rect.x;
+  check_int "x1" 4 rects.(1).Rect.x;
+  check_int "x2" 6 rects.(2).Rect.x;
+  check_int "x3" 12 rects.(3).Rect.x;
+  Array.iter (fun r -> check_int "one row" 0 r.Rect.y) rects
+
+let test_reversed_column () =
+  (* Γ+ reversed, Γ- identity: every earlier block in Γ- is below *)
+  let sp = Seq_pair.of_arrays ~pos:[| 3; 2; 1; 0 |] ~neg:[| 0; 1; 2; 3 |] in
+  let rects = Seq_pair.pack sp dims4 in
+  Array.iter (fun r -> check_int "one column" 0 r.Rect.x) rects;
+  check_int "y0" 0 rects.(0).Rect.y;
+  check_int "y1" 3 rects.(1).Rect.y;
+  check_int "y2" 8 rects.(2).Rect.y;
+  check_int "y3" 10 rects.(3).Rect.y
+
+let test_two_blocks_relations () =
+  let dims = Dims.of_pairs [| (2, 2); (3, 3) |] in
+  let left_of = Seq_pair.of_arrays ~pos:[| 0; 1 |] ~neg:[| 0; 1 |] in
+  let r = Seq_pair.pack left_of dims in
+  check_bool "0 left of 1" true (Rect.right r.(0) <= r.(1).Rect.x);
+  let below = Seq_pair.of_arrays ~pos:[| 1; 0 |] ~neg:[| 0; 1 |] in
+  let r = Seq_pair.pack below dims in
+  check_bool "0 below 1" true (Rect.top r.(0) <= r.(1).Rect.y)
+
+let test_before_in_both () =
+  let sp = Seq_pair.of_arrays ~pos:[| 0; 1; 2 |] ~neg:[| 1; 0; 2 |] in
+  check_bool "0 before 2" true (Seq_pair.before_in_both sp 0 2);
+  check_bool "0 not before 1" false (Seq_pair.before_in_both sp 0 1)
+
+let test_of_arrays_validation () =
+  Alcotest.check_raises "not a permutation"
+    (Invalid_argument "Seq_pair: pos is not a permutation") (fun () ->
+      ignore (Seq_pair.of_arrays ~pos:[| 0; 0 |] ~neg:[| 0; 1 |]));
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Seq_pair.of_arrays: length mismatch") (fun () ->
+      ignore (Seq_pair.of_arrays ~pos:[| 0 |] ~neg:[| 0; 1 |]))
+
+let prop_pack_overlap_free =
+  QCheck.Test.make ~name:"sequence-pair packings are overlap-free" ~count:300
+    QCheck.(pair small_int (int_range 0 10_000))
+    (fun (n_raw, seed) ->
+      let n = 1 + (n_raw mod 8) in
+      let rng = Rng.create ~seed in
+      let sp = Seq_pair.random rng n in
+      let dims =
+        Dims.of_pairs (Array.init n (fun _ -> (Rng.int_in rng 1 12, Rng.int_in rng 1 12)))
+      in
+      let rects = Seq_pair.pack sp dims in
+      Rect.any_overlap rects = None
+      && Array.for_all (fun r -> r.Rect.x >= 0 && r.Rect.y >= 0) rects)
+
+let prop_perturb_stays_permutation =
+  QCheck.Test.make ~name:"perturb keeps both sequences permutations" ~count:300
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let sp = ref (Seq_pair.random rng 6) in
+      for _ = 1 to 20 do
+        sp := Seq_pair.perturb rng !sp
+      done;
+      let is_perm a = List.sort Int.compare (Array.to_list a) = List.init 6 Fun.id in
+      is_perm (Seq_pair.positive !sp) && is_perm (Seq_pair.negative !sp))
+
+let test_swap_both_preserves_relative_others () =
+  let rng = Rng.create ~seed:4 in
+  let sp = Seq_pair.random rng 5 in
+  let sp' = Seq_pair.apply_move rng Seq_pair.Swap_both sp in
+  (* both sequences remain permutations of 0..4 *)
+  let is_perm a = List.sort Int.compare (Array.to_list a) = List.init 5 Fun.id in
+  check_bool "pos perm" true (is_perm (Seq_pair.positive sp'));
+  check_bool "neg perm" true (is_perm (Seq_pair.negative sp'))
+
+let test_single_block () =
+  let sp = Seq_pair.identity 1 in
+  let rects = Seq_pair.pack sp (Dims.of_pairs [| (7, 9) |]) in
+  check_bool "at origin" true (rects.(0).Rect.x = 0 && rects.(0).Rect.y = 0);
+  check_bool "perturb is identity" true (Seq_pair.equal sp (Seq_pair.perturb (Rng.create ~seed:0) sp))
+
+(* Seqpair placer *)
+
+let circuit = Benchmarks.circ01
+let die_w, die_h = Circuit.default_die circuit
+
+let test_placer_legal_and_improves () =
+  let rng = Rng.create ~seed:6 in
+  let dims = Dimbox.center (Circuit.dim_bounds circuit) in
+  let config = { Mps_baselines.Seqpair_placer.default_config with iterations = 1200 } in
+  let r = Mps_baselines.Seqpair_placer.place ~config ~rng circuit ~die_w ~die_h dims in
+  check_bool "overlap-free" true (Rect.any_overlap r.Mps_baselines.Seqpair_placer.rects = None);
+  check_bool "legal inside die" true r.Mps_baselines.Seqpair_placer.legal;
+  (* beats a random sequence pair *)
+  let random_cost =
+    let sp = Seq_pair.random rng (Circuit.n_blocks circuit) in
+    Mps_cost.Cost.total circuit ~die_w ~die_h (Seq_pair.pack sp dims)
+  in
+  check_bool "annealing improves" true (r.Mps_baselines.Seqpair_placer.cost <= random_cost)
+
+let test_placer_deterministic () =
+  let dims = Dimbox.center (Circuit.dim_bounds circuit) in
+  let config = { Mps_baselines.Seqpair_placer.default_config with iterations = 500 } in
+  let run seed =
+    (Mps_baselines.Seqpair_placer.place ~config ~rng:(Rng.create ~seed) circuit ~die_w
+       ~die_h dims)
+      .Mps_baselines.Seqpair_placer.cost
+  in
+  Alcotest.(check (float 1e-12)) "deterministic" (run 3) (run 3)
+
+let suite =
+  [
+    ("identity pair packs one row", `Quick, test_identity_row);
+    ("reversed pair packs one column", `Quick, test_reversed_column);
+    ("pairwise relations", `Quick, test_two_blocks_relations);
+    ("before_in_both", `Quick, test_before_in_both);
+    ("of_arrays validation", `Quick, test_of_arrays_validation);
+    ("swap-both keeps permutations", `Quick, test_swap_both_preserves_relative_others);
+    ("single block", `Quick, test_single_block);
+    ("placer: legal and improving", `Quick, test_placer_legal_and_improves);
+    ("placer: deterministic", `Quick, test_placer_deterministic);
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_pack_overlap_free; prop_perturb_stays_permutation ]

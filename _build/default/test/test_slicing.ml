@@ -1,0 +1,173 @@
+(* Tests for slicing floorplans (normalized Polish expressions) and the
+   slicing annealing placer. *)
+
+open Mps_rng
+open Mps_geometry
+open Mps_netlist
+open Mps_placement
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let dims3 = Dims.of_pairs [| (4, 3); (2, 5); (6, 2) |]
+
+(* Construction and validation *)
+
+let test_row_expression () =
+  let t = Slicing.row 3 in
+  check_int "three blocks" 3 (Slicing.n_blocks t);
+  check_bool "normalized" true (Slicing.is_normalized (Slicing.elements t))
+
+let test_of_elements_validation () =
+  let bad_cases =
+    [
+      ("empty", [||]);
+      ("operator first", [| Slicing.V; Slicing.Block 0 |]);
+      ("duplicate block", [| Slicing.Block 0; Slicing.Block 0; Slicing.V |]);
+      ("bad id", [| Slicing.Block 0; Slicing.Block 5; Slicing.V |]);
+      ("missing operator", [| Slicing.Block 0; Slicing.Block 1 |]);
+      ("adjacent equal operators",
+       [| Slicing.Block 0; Slicing.Block 1; Slicing.V; Slicing.Block 2; Slicing.V;
+          Slicing.Block 3; Slicing.V; Slicing.V |]);
+    ]
+  in
+  List.iter
+    (fun (name, elements) ->
+      check_bool name false (Slicing.is_normalized elements))
+    bad_cases;
+  Alcotest.check_raises "of_elements rejects"
+    (Invalid_argument "Slicing.of_elements: not a normalized Polish expression")
+    (fun () -> ignore (Slicing.of_elements [| Slicing.V |]))
+
+(* Packing semantics *)
+
+let test_pack_vertical () =
+  (* 0 1 V : blocks side by side *)
+  let t = Slicing.of_elements [| Slicing.Block 0; Slicing.Block 1; Slicing.V |] in
+  let dims = Dims.of_pairs [| (4, 3); (2, 5) |] in
+  let rects = Slicing.pack t dims in
+  check_bool "0 at origin" true (rects.(0).Rect.x = 0 && rects.(0).Rect.y = 0);
+  check_bool "1 to the right" true (rects.(1).Rect.x = 4 && rects.(1).Rect.y = 0);
+  check_bool "bounding" true (Slicing.bounding t dims = (6, 5))
+
+let test_pack_horizontal () =
+  (* 0 1 H : block 1 above block 0 *)
+  let t = Slicing.of_elements [| Slicing.Block 0; Slicing.Block 1; Slicing.H |] in
+  let dims = Dims.of_pairs [| (4, 3); (2, 5) |] in
+  let rects = Slicing.pack t dims in
+  check_bool "0 at origin" true (rects.(0).Rect.x = 0 && rects.(0).Rect.y = 0);
+  check_bool "1 above" true (rects.(1).Rect.x = 0 && rects.(1).Rect.y = 3);
+  check_bool "bounding" true (Slicing.bounding t dims = (4, 8))
+
+let test_pack_nested () =
+  (* (0 1 V) 2 H : 0 beside 1, block 2 stacked on top *)
+  let t =
+    Slicing.of_elements
+      [| Slicing.Block 0; Slicing.Block 1; Slicing.V; Slicing.Block 2; Slicing.H |]
+  in
+  let rects = Slicing.pack t dims3 in
+  check_bool "2 above the pair" true (rects.(2).Rect.y = 5);
+  check_bool "no overlap" true (Rect.any_overlap rects = None);
+  (* widths: max (4+2) 6 = 6; heights: max 3 5 + 2 = 7 *)
+  check_bool "bounding" true (Slicing.bounding t dims3 = (6, 7))
+
+let test_pack_single () =
+  let t = Slicing.row 1 in
+  let rects = Slicing.pack t (Dims.of_pairs [| (7, 9) |]) in
+  check_bool "at origin" true (rects.(0).Rect.x = 0 && rects.(0).Rect.y = 0)
+
+let prop_pack_overlap_free =
+  QCheck.Test.make ~name:"slicing packings are overlap-free" ~count:300
+    QCheck.(pair (int_range 1 8) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rng = Rng.create ~seed in
+      let t = ref (Slicing.random rng n) in
+      for _ = 1 to 15 do
+        t := Slicing.perturb rng !t
+      done;
+      let dims =
+        Dims.of_pairs (Array.init n (fun _ -> (Rng.int_in rng 1 12, Rng.int_in rng 1 12)))
+      in
+      let rects = Slicing.pack !t dims in
+      Rect.any_overlap rects = None
+      && Array.for_all (fun r -> r.Rect.x >= 0 && r.Rect.y >= 0) rects)
+
+let prop_perturb_stays_normalized =
+  QCheck.Test.make ~name:"perturb preserves normalization" ~count:300
+    QCheck.(pair (int_range 1 8) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rng = Rng.create ~seed in
+      let t = ref (Slicing.random rng n) in
+      let ok = ref true in
+      for _ = 1 to 25 do
+        t := Slicing.perturb rng !t;
+        if not (Slicing.is_normalized (Slicing.elements !t)) then ok := false
+      done;
+      !ok)
+
+let prop_bounding_contains_blocks =
+  QCheck.Test.make ~name:"bounding box covers every block" ~count:200
+    QCheck.(pair (int_range 1 6) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rng = Rng.create ~seed in
+      let t = Slicing.random rng n in
+      let dims =
+        Dims.of_pairs (Array.init n (fun _ -> (Rng.int_in rng 1 9, Rng.int_in rng 1 9)))
+      in
+      let w, h = Slicing.bounding t dims in
+      Array.for_all
+        (fun r -> Rect.right r <= w && Rect.top r <= h)
+        (Slicing.pack t dims))
+
+(* Placer *)
+
+let circuit = Benchmarks.circ01
+let die_w, die_h = Circuit.default_die circuit
+
+let test_placer_legal_and_improves () =
+  let rng = Rng.create ~seed:6 in
+  let dims = Dimbox.center (Circuit.dim_bounds circuit) in
+  let config = { Mps_baselines.Slicing_placer.default_config with iterations = 1200 } in
+  let r = Mps_baselines.Slicing_placer.place ~config ~rng circuit ~die_w ~die_h dims in
+  check_bool "overlap-free" true
+    (Rect.any_overlap r.Mps_baselines.Slicing_placer.rects = None);
+  check_bool "inside die" true r.Mps_baselines.Slicing_placer.legal;
+  let random_cost =
+    let t = Slicing.random rng (Circuit.n_blocks circuit) in
+    Mps_cost.Cost.total circuit ~die_w ~die_h (Slicing.pack t dims)
+  in
+  check_bool "annealing improves" true (r.Mps_baselines.Slicing_placer.cost <= random_cost)
+
+let test_placer_deterministic () =
+  let dims = Dimbox.center (Circuit.dim_bounds circuit) in
+  let config = { Mps_baselines.Slicing_placer.default_config with iterations = 400 } in
+  let run seed =
+    (Mps_baselines.Slicing_placer.place ~config ~rng:(Rng.create ~seed) circuit ~die_w
+       ~die_h dims)
+      .Mps_baselines.Slicing_placer.cost
+  in
+  Alcotest.(check (float 1e-12)) "deterministic" (run 4) (run 4)
+
+let test_placer_expression_matches_rects () =
+  let rng = Rng.create ~seed:8 in
+  let dims = Dimbox.center (Circuit.dim_bounds circuit) in
+  let config = { Mps_baselines.Slicing_placer.default_config with iterations = 300 } in
+  let r = Mps_baselines.Slicing_placer.place ~config ~rng circuit ~die_w ~die_h dims in
+  let repacked = Slicing.pack r.Mps_baselines.Slicing_placer.expression dims in
+  check_bool "expression reproduces the floorplan" true
+    (Array.for_all2 Rect.equal repacked r.Mps_baselines.Slicing_placer.rects)
+
+let suite =
+  [
+    ("row expression", `Quick, test_row_expression);
+    ("validation", `Quick, test_of_elements_validation);
+    ("pack: vertical cut", `Quick, test_pack_vertical);
+    ("pack: horizontal cut", `Quick, test_pack_horizontal);
+    ("pack: nested cuts", `Quick, test_pack_nested);
+    ("pack: single block", `Quick, test_pack_single);
+    ("placer: legal and improving", `Quick, test_placer_legal_and_improves);
+    ("placer: deterministic", `Quick, test_placer_deterministic);
+    ("placer: expression reproduces floorplan", `Quick, test_placer_expression_matches_rects);
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_pack_overlap_free; prop_perturb_stays_normalized; prop_bounding_contains_blocks ]

@@ -1,0 +1,220 @@
+(* Tests for the op-amp performance model and the layout-inclusive
+   synthesis loop. *)
+
+open Mps_netlist
+open Mps_core
+open Mps_synthesis
+
+let check_bool = Alcotest.(check bool)
+
+let process = Mps_modgen.Process.default
+let circuit = lazy (Opamp.circuit process)
+
+let test_circuit_shape () =
+  let c = Lazy.force circuit in
+  Alcotest.(check int) "five blocks" 5 (Circuit.n_blocks c);
+  Alcotest.(check int) "nine nets" 9 (Circuit.n_nets c);
+  Alcotest.(check int) "22 terminals" 22 (Circuit.n_terminals c)
+
+let test_sizing_clamp () =
+  let s = { Opamp.w1_um = 1000.0; w3_um = 0.1; w5_um = 10.0; w6_um = 20.0; cc_ff = 1e9 } in
+  let c = Opamp.clamp_sizing s in
+  check_bool "w1 clamped to hi" true (c.Opamp.w1_um = Opamp.sizing_hi.Opamp.w1_um);
+  check_bool "w3 clamped to lo" true (c.Opamp.w3_um = Opamp.sizing_lo.Opamp.w3_um);
+  check_bool "w5 untouched" true (c.Opamp.w5_um = 10.0);
+  check_bool "cc clamped" true (c.Opamp.cc_ff = Opamp.sizing_hi.Opamp.cc_ff)
+
+let test_nominal_inside_bounds () =
+  let n = Opamp.nominal_sizing in
+  check_bool "nominal is its own clamp" true (Opamp.clamp_sizing n = n)
+
+let test_dims_within_circuit_bounds () =
+  let c = Lazy.force circuit in
+  let sizings =
+    [
+      Opamp.sizing_lo;
+      Opamp.sizing_hi;
+      Opamp.nominal_sizing;
+      { Opamp.w1_um = 11.3; w3_um = 29.0; w5_um = 3.7; w6_um = 77.0; cc_ff = 345.0 };
+    ]
+  in
+  List.iter
+    (fun s -> check_bool "dims valid" true (Circuit.dims_valid c (Opamp.dims process c s)))
+    sizings
+
+let test_devices_order () =
+  let devs = Opamp.devices Opamp.nominal_sizing in
+  Alcotest.(check int) "five devices" 5 (Array.length devs);
+  check_bool "cap last" true
+    (match devs.(4) with Mps_modgen.Device.Capacitor _ -> true | _ -> false)
+
+let perf_at sizing =
+  let c = Lazy.force circuit in
+  let die_w, die_h = Circuit.default_die c in
+  let dims = Opamp.dims process c sizing in
+  let rng = Mps_rng.Rng.create ~seed:3 in
+  let p = Mps_placement.Placement.random rng c ~die_w ~die_h in
+  (* shrink dims to legal if needed: use min dims for placement legality *)
+  let rects =
+    if Mps_placement.Placement.is_legal p dims then Mps_placement.Placement.rects p dims
+    else Mps_placement.Repack.instantiate ~die:(die_w, die_h) ~coords:p.Mps_placement.Placement.coords dims
+  in
+  Opamp.performance process c ~die_w ~die_h sizing rects
+
+let test_performance_monotonicity () =
+  let base = Opamp.nominal_sizing in
+  let p0 = perf_at base in
+  (* more compensation cap -> lower GBW and slew *)
+  let p_cap = perf_at { base with Opamp.cc_ff = base.Opamp.cc_ff *. 3.0 } in
+  check_bool "cap reduces GBW" true (p_cap.Opamp.gbw_mhz < p0.Opamp.gbw_mhz);
+  check_bool "cap reduces slew" true (p_cap.Opamp.slew_v_per_us < p0.Opamp.slew_v_per_us);
+  (* more tail current -> more power *)
+  let p_tail = perf_at { base with Opamp.w5_um = base.Opamp.w5_um *. 2.0 } in
+  check_bool "tail increases power" true (p_tail.Opamp.power_mw > p0.Opamp.power_mw)
+
+let test_wire_cap_feedback () =
+  (* a floorplan with longer wires must report more parasitic cap and
+     less bandwidth at the same sizing *)
+  let c = Lazy.force circuit in
+  let die_w, die_h = Circuit.default_die c in
+  let sizing = Opamp.nominal_sizing in
+  let dims = Opamp.dims process c sizing in
+  let compact = Mps_placement.Repack.instantiate ~die:(die_w, die_h)
+      ~coords:(Array.make (Circuit.n_blocks c) (0, 0)) dims
+  in
+  let corners =
+    [| (0, 0); (die_w - 200, die_h - 200); (0, die_h - 200); (die_w - 200, 0); (die_w / 2, 0) |]
+  in
+  let spread = Mps_placement.Repack.instantiate ~die:(die_w, die_h) ~coords:corners dims in
+  let p_compact = Opamp.performance process c ~die_w ~die_h sizing compact in
+  let p_spread = Opamp.performance process c ~die_w ~die_h sizing spread in
+  check_bool "spread has more wire cap" true
+    (p_spread.Opamp.wire_cap_ff > p_compact.Opamp.wire_cap_ff);
+  check_bool "spread has less GBW" true (p_spread.Opamp.gbw_mhz < p_compact.Opamp.gbw_mhz)
+
+let test_spec_cost () =
+  let good =
+    { Opamp.gain_db = 80.0; gbw_mhz = 10.0; slew_v_per_us = 5.0; power_mw = 1.0;
+      wire_cap_ff = 100.0; area = 10_000 }
+  in
+  let bad = { good with Opamp.gain_db = 30.0 } in
+  check_bool "good meets spec" true (Opamp.meets_spec Opamp.default_spec good);
+  check_bool "bad fails spec" false (Opamp.meets_spec Opamp.default_spec bad);
+  check_bool "violation dominates" true
+    (Opamp.spec_cost Opamp.default_spec bad
+     > Opamp.spec_cost Opamp.default_spec good +. 10.0)
+
+let quick_structure =
+  lazy
+    (let c = Lazy.force circuit in
+     fst (Generator.generate ~config:Generator.fast_config c))
+
+let run_loop placer =
+  let c = Lazy.force circuit in
+  let die_w, die_h = Circuit.default_die c in
+  let config = { Synth_loop.default_config with iterations = 25 } in
+  Synth_loop.run ~config process c ~die_w ~die_h placer
+
+let test_loop_mps () =
+  let r = run_loop (Synth_loop.mps_placer (Lazy.force quick_structure)) in
+  check_bool "evaluations" true (r.Synth_loop.evaluations = 26);
+  check_bool "history monotone" true
+    (let ok = ref true in
+     Array.iteri
+       (fun i c -> if i > 0 && c > r.Synth_loop.history.(i - 1) +. 1e-9 then ok := false)
+       r.Synth_loop.history;
+     !ok);
+  check_bool "best cost finite" true (Float.is_finite r.Synth_loop.best_cost);
+  check_bool "placement time <= total" true
+    (r.Synth_loop.placement_seconds <= r.Synth_loop.total_seconds)
+
+let test_loop_template () =
+  let c = Lazy.force circuit in
+  let die_w, die_h = Circuit.default_die c in
+  let rng = Mps_rng.Rng.create ~seed:2 in
+  let template =
+    Mps_baselines.Template_placer.build ~iterations:800 ~rng c ~die_w ~die_h
+  in
+  let r = run_loop (Synth_loop.template_placer template) in
+  check_bool "finishes" true (Float.is_finite r.Synth_loop.best_cost)
+
+let test_loop_deterministic () =
+  let placer = Synth_loop.mps_placer (Lazy.force quick_structure) in
+  let a = run_loop placer and b = run_loop placer in
+  Alcotest.(check (float 1e-12)) "same best cost" a.Synth_loop.best_cost b.Synth_loop.best_cost;
+  check_bool "same best sizing" true (a.Synth_loop.best_sizing = b.Synth_loop.best_sizing)
+
+let test_loop_best_perf_matches_cost () =
+  let r = run_loop (Synth_loop.mps_placer (Lazy.force quick_structure)) in
+  let recomputed = Opamp.spec_cost Opamp.default_spec r.Synth_loop.best_perf in
+  Alcotest.(check (float 1e-9)) "cost consistent" r.Synth_loop.best_cost recomputed
+
+let test_loop_aspect_hints () =
+  let c = Lazy.force circuit in
+  let die_w, die_h = Circuit.default_die c in
+  let config =
+    { Synth_loop.default_config with iterations = 40; optimize_aspect = true }
+  in
+  let r =
+    Synth_loop.run ~config process c ~die_w ~die_h
+      (Synth_loop.mps_placer (Lazy.force quick_structure))
+  in
+  Alcotest.(check int) "one hint per block" (Circuit.n_blocks c)
+    (Array.length r.Synth_loop.best_aspect_hints);
+  Array.iter
+    (fun h -> check_bool "hint within bounds" true (h >= 0.25 && h <= 4.0))
+    r.Synth_loop.best_aspect_hints
+
+let test_loop_aspect_off_keeps_unit_hints () =
+  let c = Lazy.force circuit in
+  let die_w, die_h = Circuit.default_die c in
+  let config =
+    { Synth_loop.default_config with iterations = 15; optimize_aspect = false }
+  in
+  let r =
+    Synth_loop.run ~config process c ~die_w ~die_h
+      (Synth_loop.mps_placer (Lazy.force quick_structure))
+  in
+  check_bool "hints stay at 1.0" true
+    (Array.for_all (fun h -> h = 1.0) r.Synth_loop.best_aspect_hints)
+
+let test_dims_aspect_hint_changes_shape () =
+  let c = Lazy.force circuit in
+  let wide = Opamp.dims ~aspect_hints:[| 4.0; 4.0; 4.0; 4.0; 4.0 |] process c Opamp.nominal_sizing in
+  let tall = Opamp.dims ~aspect_hints:[| 0.25; 0.25; 0.25; 0.25; 0.25 |] process c Opamp.nominal_sizing in
+  let ratio dims i =
+    float_of_int (Mps_geometry.Dims.width dims i) /. float_of_int (Mps_geometry.Dims.height dims i)
+  in
+  (* at least the MOS blocks (0..3) follow the hint direction *)
+  let follows = ref 0 in
+  for i = 0 to 3 do
+    if ratio wide i >= ratio tall i then incr follows
+  done;
+  check_bool "hints steer block shapes" true (!follows >= 3)
+
+let test_dims_mismatched_circuit () =
+  (* the synth circuit and the Table 1 benchmark circuit differ in
+     designer bounds; dims clamp into whichever circuit is passed *)
+  let c = Lazy.force circuit in
+  let dims = Opamp.dims process c Opamp.sizing_hi in
+  check_bool "valid for synth circuit" true (Circuit.dims_valid c dims)
+
+let suite =
+  [
+    ("opamp circuit shape matches Table 1", `Quick, test_circuit_shape);
+    ("sizing clamp", `Quick, test_sizing_clamp);
+    ("nominal sizing inside bounds", `Quick, test_nominal_inside_bounds);
+    ("module dims stay within designer bounds", `Quick, test_dims_within_circuit_bounds);
+    ("device vector order", `Quick, test_devices_order);
+    ("performance monotonic in cap and tail", `Quick, test_performance_monotonicity);
+    ("layout wirelength feeds back into GBW", `Quick, test_wire_cap_feedback);
+    ("spec cost penalizes violations", `Quick, test_spec_cost);
+    ("loop: runs with the MPS placer", `Quick, test_loop_mps);
+    ("loop: runs with the template placer", `Quick, test_loop_template);
+    ("loop: deterministic per seed", `Quick, test_loop_deterministic);
+    ("loop: best perf consistent with best cost", `Quick, test_loop_best_perf_matches_cost);
+    ("loop: aspect hints optimized and bounded", `Quick, test_loop_aspect_hints);
+    ("loop: aspect off keeps unit hints", `Quick, test_loop_aspect_off_keeps_unit_hints);
+    ("dims: aspect hints steer block shapes", `Quick, test_dims_aspect_hint_changes_shape);
+    ("loop: dims valid at extreme sizing", `Quick, test_dims_mismatched_circuit);
+  ]
