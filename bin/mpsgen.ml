@@ -3,12 +3,33 @@
    - [mpsgen list]                    print the Table 1 inventory
    - [mpsgen generate CIRCUIT]        build a structure, report stats
    - [mpsgen instantiate CIRCUIT]     build + query one dimension vector
-   - [mpsgen experiments TARGET]      regenerate a table / figure / ablation *)
+   - [mpsgen query CIRCUIT -i FILE]   query a saved structure
+   - [mpsgen verify CIRCUIT -i FILE]  integrity-check a saved structure
+   - [mpsgen extend CIRCUIT -i FILE]  resume exploration on a saved structure
+   - [mpsgen experiments TARGET]      regenerate a table / figure / ablation
+
+   [generate] and [extend] checkpoint with [--checkpoint FILE
+   --checkpoint-every N --max-seconds S] and resume automatically when
+   the checkpoint file exists. *)
 
 open Cmdliner
 open Mps_geometry
 open Mps_netlist
 open Mps_core
+
+(* Clean one-line failure: no raw Sys_error backtraces out of the CLI. *)
+let die fmt =
+  Format.ksprintf
+    (fun msg ->
+      Format.eprintf "mpsgen: error: %s@." msg;
+      exit 1)
+    fmt
+
+let load_structure ~circuit ~path =
+  match Codec.load ~circuit ~path with
+  | s -> s
+  | exception Codec.Error e -> die "%s: %s" path (Codec.error_to_string e)
+  | exception Sys_error msg -> die "%s" msg
 
 let budget_conv =
   let parse = function
@@ -52,22 +73,70 @@ let list_cmd =
 
 (* generate *)
 
-let generate circuit budget svg_dir save_path =
-  let config = Mps_experiments.Experiments.generator_config budget circuit in
-  Format.printf "Generating a multi-placement structure for %s...@." circuit.Circuit.name;
-  let structure, stats = Generator.generate ~config circuit in
+(* Checkpoint plumbing shared by generate and extend: fold the flags
+   into the generator config, resume automatically when the checkpoint
+   file already exists, and retire a spent checkpoint once its run
+   completed and the result is safely on disk. *)
+
+let with_checkpointing base ~checkpoint ~checkpoint_every ~max_seconds =
+  {
+    base with
+    Generator.checkpoint_path = checkpoint;
+    checkpoint_every;
+    max_seconds;
+  }
+
+let resume_if_checkpointed ~circuit ~checkpoint ~config ~fresh =
+  match checkpoint with
+  | Some path when Sys.file_exists path -> (
+    match Checkpoint.load ~circuit ~path with
+    | cp ->
+      Format.printf "Resuming from checkpoint %s (step %d, %d placements)...@." path
+        cp.Checkpoint.step
+        (Structure.n_placements cp.Checkpoint.structure);
+      Generator.resume ~config cp
+    | exception Codec.Error e -> die "checkpoint %s: %s" path (Codec.error_to_string e))
+  | _ -> fresh ()
+
+let report_stats stats =
   Format.printf
     "  placements stored: %d@.  coverage: %.4f@.  explorer steps: %d@.  dropped: %d@.  \
      CPU time: %s@."
     stats.Generator.placements_stored stats.Generator.coverage
     stats.Generator.explorer_steps stats.Generator.candidates_dropped
     (Mps_experiments.Text_table.seconds stats.Generator.generation_seconds);
+  if stats.Generator.deadline_hit then
+    Format.printf
+      "  stopped early: wall-clock deadline reached (rerun to resume from the checkpoint)@."
+
+let retire_checkpoint ~stats ~saved checkpoint =
+  match checkpoint with
+  | Some path when (not stats.Generator.deadline_hit) && saved && Sys.file_exists path ->
+    (try Sys.remove path with Sys_error _ -> ());
+    Format.printf "  removed spent checkpoint %s@." path
+  | _ -> ()
+
+let generate circuit budget svg_dir save_path checkpoint checkpoint_every max_seconds =
+  let config =
+    with_checkpointing
+      (Mps_experiments.Experiments.generator_config budget circuit)
+      ~checkpoint ~checkpoint_every ~max_seconds
+  in
+  let structure, stats =
+    resume_if_checkpointed ~circuit ~checkpoint ~config ~fresh:(fun () ->
+        Format.printf "Generating a multi-placement structure for %s...@."
+          circuit.Circuit.name;
+        Generator.generate ~config circuit)
+  in
+  report_stats stats;
   print_string (Structure.describe structure);
   (match save_path with
   | None -> ()
-  | Some path ->
-    Codec.save structure ~path;
-    Format.printf "  saved structure to %s@." path);
+  | Some path -> (
+    match Codec.save structure ~path with
+    | () -> Format.printf "  saved structure to %s@." path
+    | exception Codec.Error e -> die "%s: %s" path (Codec.error_to_string e)));
+  retire_checkpoint ~stats ~saved:(save_path <> None) checkpoint;
   match svg_dir with
   | None -> ()
   | Some dir ->
@@ -94,10 +163,38 @@ let save_arg =
     & info [ "o"; "save" ] ~docv:"FILE"
         ~doc:"Persist the generated structure to $(docv) (reload with $(b,mpsgen query)).")
 
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Snapshot the generation run to $(docv) (written atomically) so a crash or \
+           kill loses at most $(b,--checkpoint-every) steps of work.  When $(docv) \
+           already exists the run resumes from it automatically.")
+
+let checkpoint_every_arg =
+  Arg.(
+    value
+    & opt int 5
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:"Write the checkpoint every $(docv) explorer steps (with $(b,--checkpoint)).")
+
+let max_seconds_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "max-seconds" ] ~docv:"S"
+        ~doc:
+          "Wall-clock deadline: stop gracefully after $(docv) seconds, keep the best \
+           structure so far, and leave a final checkpoint to resume from.")
+
 let generate_cmd =
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate a multi-placement structure and report statistics.")
-    Term.(const generate $ circuit_arg $ budget_arg $ svg_arg $ save_arg)
+    Term.(
+      const generate $ circuit_arg $ budget_arg $ svg_arg $ save_arg $ checkpoint_arg
+      $ checkpoint_every_arg $ max_seconds_arg)
 
 (* instantiate *)
 
@@ -173,37 +270,77 @@ let dims_of_point circuit point =
   | Max -> Circuit.max_dims circuit
   | Random seed -> Dimbox.random_dims (Mps_rng.Rng.create ~seed) bounds
 
-let query circuit path point =
-  match Codec.load ~circuit ~path with
-  | exception Failure msg ->
-    Format.eprintf "error: %s@." msg;
-    exit 1
-  | exception Sys_error msg ->
-    Format.eprintf "error: %s@." msg;
-    exit 1
-  | structure ->
-    let dims = dims_of_point circuit point in
-    let answer, stored = Structure.query structure dims in
-    let rects, cost = Structure.instantiate_cost structure dims in
-    let die_w, die_h = Structure.die structure in
-    (match answer with
-    | Structure.Stored_placement id ->
-      Format.printf "Hit stored placement #%d (avg %.1f, best %.1f).@." id
-        stored.Stored.avg_cost stored.Stored.best_cost
-    | Structure.Fallback -> Format.printf "Uncovered dimensions: backup template used.@.");
-    Format.printf "Floorplan (cost %.1f):@.%s" cost
-      (Mps_render.Ascii.render ~max_cols:64 circuit ~die_w ~die_h rects)
+let query circuit path point salvage =
+  let structure =
+    if salvage then
+      match Codec.load_salvage ~circuit ~path with
+      | Ok sv ->
+        Format.printf "Salvaged %d placements (%d dropped%s%s).@." sv.Codec.recovered
+          sv.Codec.dropped
+          (if sv.Codec.backup_recovered then "" else ", backup lost")
+          (if sv.Codec.checksum_ok then "" else ", checksum bad");
+        sv.Codec.structure
+      | Error e -> die "%s: %s" path (Codec.error_to_string e)
+    else load_structure ~circuit ~path
+  in
+  let dims = dims_of_point circuit point in
+  let answer, stored = Structure.query structure dims in
+  let rects, cost = Structure.instantiate_cost structure dims in
+  let die_w, die_h = Structure.die structure in
+  (match answer with
+  | Structure.Stored_placement id ->
+    Format.printf "Hit stored placement #%d (avg %.1f, best %.1f).@." id
+      stored.Stored.avg_cost stored.Stored.best_cost
+  | Structure.Fallback -> Format.printf "Uncovered dimensions: backup template used.@.");
+  Format.printf "Floorplan (cost %.1f):@.%s" cost
+    (Mps_render.Ascii.render ~max_cols:64 circuit ~die_w ~die_h rects)
 
 let load_arg =
   Arg.(
     required
-    & opt (some file) None
+    & opt (some string) None
     & info [ "i"; "load" ] ~docv:"FILE" ~doc:"Structure file written by $(b,mpsgen generate --save).")
+
+let salvage_arg =
+  Arg.(
+    value & flag
+    & info [ "salvage" ]
+        ~doc:
+          "Recover what is intact from a corrupt or truncated file instead of refusing \
+           it; queries over lost territory fall back to the backup placement.")
 
 let query_cmd =
   Cmd.v
     (Cmd.info "query" ~doc:"Query a saved multi-placement structure (no regeneration).")
-    Term.(const query $ circuit_arg $ load_arg $ point_arg)
+    Term.(const query $ circuit_arg $ load_arg $ point_arg $ salvage_arg)
+
+(* verify a saved structure *)
+
+let verify circuit path =
+  match Codec.load ~circuit ~path with
+  | structure ->
+    (* load already proved: readable, version/checksum intact, circuit
+       identity, every placement well-formed, validity boxes disjoint
+       (Structure.of_placements).  Report what was checked. *)
+    let die_w, die_h = Structure.die structure in
+    Format.printf
+      "%s: OK@.  checksum: valid@.  circuit: %s (%d blocks, %d nets)@.  die: %dx%d@.  \
+       placements: %d (%d explored), validity boxes disjoint@.  coverage: %.6f@."
+      path circuit.Circuit.name (Circuit.n_blocks circuit) (Circuit.n_nets circuit) die_w
+      die_h (Structure.n_placements structure)
+      (Structure.n_explored structure) (Structure.coverage structure)
+  | exception Codec.Error e ->
+    Format.eprintf "%s: verify failed: %s@." path (Codec.error_to_string e);
+    exit 1
+
+let verify_cmd =
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Check a saved structure end-to-end: checksum, format version, circuit \
+          identity, placement well-formedness and validity-box disjointness.  Exits \
+          nonzero with a line-accurate message on any failure.")
+    Term.(const verify $ circuit_arg $ load_arg)
 
 (* route a floorplan *)
 
@@ -238,25 +375,31 @@ let route_cmd =
 
 (* extend a saved structure *)
 
-let extend circuit path budget seed save_path =
-  match Codec.load ~circuit ~path with
-  | exception Failure msg ->
-    Format.eprintf "error: %s@." msg;
-    exit 1
-  | structure ->
-    Format.printf "Loaded %d explored placements; resuming exploration...@."
-      (Structure.n_explored structure);
-    let base = Mps_experiments.Experiments.generator_config budget circuit in
-    let config =
+let extend circuit path budget seed save_path checkpoint checkpoint_every max_seconds =
+  let base = Mps_experiments.Experiments.generator_config budget circuit in
+  let config =
+    with_checkpointing
       { base with Generator.seed; max_placements = base.Generator.max_placements * 2 }
-    in
-    let extended, stats = Generator.extend ~config structure in
-    Format.printf "  now %d explored placements (coverage %.6f, %s CPU)@."
-      (Structure.n_explored extended) stats.Generator.coverage
-      (Mps_experiments.Text_table.seconds stats.Generator.generation_seconds);
-    let out = Option.value save_path ~default:path in
-    Codec.save extended ~path:out;
-    Format.printf "  saved to %s@." out
+      ~checkpoint ~checkpoint_every ~max_seconds
+  in
+  let extended, stats =
+    resume_if_checkpointed ~circuit ~checkpoint ~config ~fresh:(fun () ->
+        let structure = load_structure ~circuit ~path in
+        Format.printf "Loaded %d explored placements; resuming exploration...@."
+          (Structure.n_explored structure);
+        Generator.extend ~config structure)
+  in
+  Format.printf "  now %d explored placements (coverage %.6f, %s CPU)@."
+    (Structure.n_explored extended) stats.Generator.coverage
+    (Mps_experiments.Text_table.seconds stats.Generator.generation_seconds);
+  if stats.Generator.deadline_hit then
+    Format.printf
+      "  stopped early: wall-clock deadline reached (rerun to resume from the checkpoint)@.";
+  let out = Option.value save_path ~default:path in
+  (match Codec.save extended ~path:out with
+  | () -> Format.printf "  saved to %s@." out
+  | exception Codec.Error e -> die "%s: %s" out (Codec.error_to_string e));
+  retire_checkpoint ~stats ~saved:true checkpoint
 
 let seed_arg =
   Arg.(
@@ -275,7 +418,9 @@ let extend_cmd =
   Cmd.v
     (Cmd.info "extend"
        ~doc:"Resume exploration on a saved structure and store the extended result.")
-    Term.(const extend $ circuit_arg $ load_arg $ budget_arg $ seed_arg $ extend_save_arg)
+    Term.(
+      const extend $ circuit_arg $ load_arg $ budget_arg $ seed_arg $ extend_save_arg
+      $ checkpoint_arg $ checkpoint_every_arg $ max_seconds_arg)
 
 (* experiments *)
 
@@ -367,5 +512,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; generate_cmd; instantiate_cmd; query_cmd; route_cmd; extend_cmd;
-            experiments_cmd ]))
+          [ list_cmd; generate_cmd; instantiate_cmd; query_cmd; verify_cmd; route_cmd;
+            extend_cmd; experiments_cmd ]))

@@ -1,0 +1,132 @@
+open Mps_netlist
+open Mps_placement
+
+let magic = "mps-checkpoint v1"
+
+type t = {
+  step : int;
+  dropped : int;
+  current : Placement.t;
+  current_cost : float;
+  rng : Mps_rng.Rng.t;
+  structure : Structure.t;
+}
+
+let to_string cp =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "step %d" cp.step;
+  line "dropped %d" cp.dropped;
+  line "current_cost %.17g" cp.current_cost;
+  line "current %s"
+    (String.concat " "
+       (List.map
+          (fun (x, y) -> Printf.sprintf "%d %d" x y)
+          (Array.to_list cp.current.Placement.coords)));
+  line "rng %s" (Mps_rng.Rng.to_string cp.rng);
+  Buffer.add_string buf (Codec.to_string cp.structure);
+  let payload = Buffer.contents buf in
+  Printf.sprintf "%s\nchecksum %s\n%s" magic (Persist.crc32_hex payload) payload
+
+let corrupt lineno fmt =
+  Printf.ksprintf
+    (fun reason -> raise (Codec.Error (Codec.Corrupt { lineno; reason })))
+    fmt
+
+(* [take_line s from] returns the line starting at byte [from] and the
+   offset just past its newline. *)
+let take_line s from =
+  let len = String.length s in
+  if from >= len then None
+  else
+    match String.index_from_opt s from '\n' with
+    | Some i -> Some (String.sub s from (i - from), i + 1)
+    | None -> Some (String.sub s from (len - from), len)
+
+let field ~lineno ~prefix line =
+  let plen = String.length prefix in
+  if String.length line >= plen && String.sub line 0 plen = prefix then
+    String.trim (String.sub line plen (String.length line - plen))
+  else corrupt lineno "expected %S, got %S" prefix line
+
+let of_string ~circuit raw =
+  (* header + checksum over the rest, mirroring the codec's framing *)
+  let l1, o1 =
+    match take_line raw 0 with Some v -> v | None -> corrupt 1 "empty checkpoint"
+  in
+  if l1 <> magic then corrupt 1 "bad header %S" l1;
+  let l2, o2 =
+    match take_line raw o1 with Some v -> v | None -> corrupt 2 "missing checksum line"
+  in
+  let expected = field ~lineno:2 ~prefix:"checksum " l2 in
+  let payload = String.sub raw o2 (String.length raw - o2) in
+  let actual = Persist.crc32_hex payload in
+  if String.lowercase_ascii expected <> actual then
+    corrupt 2 "checksum mismatch: header %s, payload %s" expected actual;
+  let get lineno prefix from =
+    match take_line payload from with
+    | Some (l, next) -> (field ~lineno ~prefix l, next)
+    | None -> corrupt lineno "unexpected end of checkpoint"
+  in
+  let step_s, o = get 3 "step " 0 in
+  let dropped_s, o = get 4 "dropped " o in
+  let cost_s, o = get 5 "current_cost " o in
+  let coords_s, o = get 6 "current " o in
+  let rng_s, o = get 7 "rng " o in
+  let int_field lineno s =
+    match int_of_string_opt s with
+    | Some v when v >= 0 -> v
+    | _ -> corrupt lineno "expected a non-negative integer, got %S" s
+  in
+  let step = int_field 3 step_s in
+  let dropped = int_field 4 dropped_s in
+  let current_cost =
+    match float_of_string_opt cost_s with
+    | Some v -> v
+    | None -> corrupt 5 "expected a float, got %S" cost_s
+  in
+  let rng =
+    match Mps_rng.Rng.of_string rng_s with
+    | Some r -> r
+    | None -> corrupt 7 "unreadable rng state"
+  in
+  let structure =
+    Codec.of_string ~circuit (String.sub payload o (String.length payload - o))
+  in
+  let die_w, die_h = Structure.die structure in
+  let coords =
+    let ints =
+      List.filter_map
+        (fun t -> if t = "" then None else Some t)
+        (String.split_on_char ' ' coords_s)
+      |> List.map (fun t ->
+             match int_of_string_opt t with
+             | Some v -> v
+             | None -> corrupt 6 "expected an integer, got %S" t)
+    in
+    let rec pair_up = function
+      | [] -> []
+      | a :: b :: rest -> (a, b) :: pair_up rest
+      | [ _ ] -> corrupt 6 "odd number of coordinates"
+    in
+    Array.of_list (pair_up ints)
+  in
+  if Array.length coords <> Circuit.n_blocks circuit then
+    corrupt 6 "expected %d coordinates" (Circuit.n_blocks circuit);
+  let current =
+    match Placement.make ~coords ~die_w ~die_h with
+    | p -> p
+    | exception Invalid_argument msg -> corrupt 6 "bad current placement: %s" msg
+  in
+  { step; dropped; current; current_cost; rng; structure }
+
+let save cp ~path =
+  try Persist.atomic_write ~path (to_string cp)
+  with Sys_error msg -> raise (Codec.Error (Codec.Io_error msg))
+
+let load ~circuit ~path =
+  let raw =
+    try Persist.read_file ~path
+    with Sys_error msg -> raise (Codec.Error (Codec.Io_error msg))
+  in
+  of_string ~circuit raw

@@ -1,0 +1,55 @@
+(** Crash-safe snapshots of an in-flight generation run.
+
+    {!Generator} writes one of these every [checkpoint_every] explorer
+    steps; after a crash or kill, {!Generator.resume} reconstitutes the
+    builder from the snapshot and continues the annealing walk.  The
+    snapshot captures {e everything} the walk depends on — the interim
+    structure (live placements + backup), the accepted placement and
+    its cost, the step counters, and the exact RNG state — so a resumed
+    run replays the uninterrupted run's stored-placement set step for
+    step (property-tested).
+
+    File layout (one section after the integrity header, then a full
+    embedded {!Codec} document):
+    {v
+    mps-checkpoint v1
+    checksum <8 hex digits>
+    step <n>
+    dropped <n>
+    current_cost <float>
+    current <x y pairs>
+    rng <hex token>
+    mps-structure v2
+    ...
+    v}
+
+    Saving is atomic ({!Mps_core.Persist.atomic_write}); loading
+    verifies the checksum and the embedded document end to end, and
+    raises {!Codec.Error} on any damage — a checkpoint is either whole
+    or rejected, there is no salvage path (the previous checkpoint or a
+    fresh run is always available). *)
+
+open Mps_netlist
+open Mps_placement
+
+type t = {
+  step : int;  (** Explorer steps already taken. *)
+  dropped : int;  (** Candidates dropped so far (for stats continuity). *)
+  current : Placement.t;  (** The walk's accepted placement. *)
+  current_cost : float;  (** Its BDIO average cost. *)
+  rng : Mps_rng.Rng.t;  (** Exact generator state at the snapshot. *)
+  structure : Structure.t;  (** Interim structure: live placements + backup. *)
+}
+
+val to_string : t -> string
+
+val of_string : circuit:Circuit.t -> string -> t
+(** @raise Codec.Error on a damaged snapshot or circuit mismatch. *)
+
+val save : t -> path:string -> unit
+(** Atomic replace.  @raise Codec.Error ([Io_error]) when the file
+    cannot be written. *)
+
+val load : circuit:Circuit.t -> path:string -> t
+(** @raise Codec.Error — [Io_error] when unreadable, [Corrupt] on any
+    integrity failure, [Circuit_mismatch] on the wrong circuit. *)

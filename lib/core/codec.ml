@@ -2,7 +2,26 @@ open Mps_geometry
 open Mps_netlist
 open Mps_placement
 
-let magic = "mps-structure v1"
+let format_version = 2
+let magic_v2 = "mps-structure v2"
+let magic_v1 = "mps-structure v1"
+
+type error =
+  | Io_error of string
+  | Corrupt of { lineno : int; reason : string }
+  | Circuit_mismatch of string
+
+exception Error of error
+
+let error_to_string = function
+  | Io_error msg -> Printf.sprintf "io error: %s" msg
+  | Corrupt { lineno; reason } -> Printf.sprintf "corrupt document: line %d: %s" lineno reason
+  | Circuit_mismatch msg -> Printf.sprintf "circuit mismatch: %s" msg
+
+let corrupt lineno fmt =
+  Printf.ksprintf (fun reason -> raise (Error (Corrupt { lineno; reason }))) fmt
+
+(* Serialization *)
 
 let box_lines prefix box =
   let n = Dimbox.n_blocks box in
@@ -17,12 +36,11 @@ let box_lines prefix box =
     Printf.sprintf "%s.h %s" prefix (per (Dimbox.h_interval box));
   ]
 
-let to_string structure =
+let payload_of structure =
   let circuit = Structure.circuit structure in
   let die_w, die_h = Structure.die structure in
   let buf = Buffer.create 4096 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
-  line "%s" magic;
   line "circuit %d %d %s" (Circuit.n_blocks circuit) (Circuit.n_nets circuit)
     circuit.Circuit.name;
   line "die %d %d" die_w die_h;
@@ -50,12 +68,19 @@ let to_string structure =
   write_placement (Structure.backup structure);
   Buffer.contents buf
 
-(* Parsing *)
+let to_string structure =
+  let payload = payload_of structure in
+  Printf.sprintf "%s\nchecksum %s\n%s" magic_v2 (Persist.crc32_hex payload) payload
+
+(* Parsing.
+
+   The cursor carries the absolute 1-based line number so every error is
+   line-accurate in the physical file regardless of how many header
+   lines preceded the payload. *)
 
 type cursor = { mutable lines : string list; mutable lineno : int }
 
-let fail cursor fmt =
-  Printf.ksprintf (fun s -> failwith (Printf.sprintf "Codec: line %d: %s" cursor.lineno s)) fmt
+let fail cursor fmt = Printf.ksprintf (fun s -> corrupt (cursor.lineno + 1) "%s" s) fmt
 
 let next cursor =
   match cursor.lines with
@@ -65,35 +90,45 @@ let next cursor =
     cursor.lineno <- cursor.lineno + 1;
     l
 
+let peek cursor = match cursor.lines with [] -> None | l :: _ -> Some l
+
+let skip cursor =
+  match cursor.lines with
+  | [] -> ()
+  | _ :: rest ->
+    cursor.lines <- rest;
+    cursor.lineno <- cursor.lineno + 1
+
 let expect_prefix cursor prefix =
   let l = next cursor in
   match String.length l >= String.length prefix && String.sub l 0 (String.length prefix) = prefix with
   | true -> String.trim (String.sub l (String.length prefix) (String.length l - String.length prefix))
-  | false -> fail cursor "expected %S, got %S" prefix l
+  | false -> corrupt cursor.lineno "expected %S, got %S" prefix l
 
 let ints_of cursor s =
   List.map
     (fun tok ->
       match int_of_string_opt tok with
       | Some v -> v
-      | None -> fail cursor "expected an integer, got %S" tok)
+      | None -> corrupt cursor.lineno "expected an integer, got %S" tok)
     (String.split_on_char ' ' (String.trim s) |> List.filter (fun t -> t <> ""))
 
 let pairs_of cursor s =
   let rec pair_up = function
     | [] -> []
     | a :: b :: rest -> (a, b) :: pair_up rest
-    | [ _ ] -> fail cursor "odd number of integers"
+    | [ _ ] -> corrupt cursor.lineno "odd number of integers"
   in
   pair_up (ints_of cursor s)
 
 let intervals_of cursor n s =
   let pairs = pairs_of cursor s in
-  if List.length pairs <> n then fail cursor "expected %d intervals, got %d" n (List.length pairs);
+  if List.length pairs <> n then
+    corrupt cursor.lineno "expected %d intervals, got %d" n (List.length pairs);
   Array.of_list
     (List.map
        (fun (lo, hi) ->
-         if lo > hi then fail cursor "inverted interval %d..%d" lo hi
+         if lo > hi then corrupt cursor.lineno "inverted interval %d..%d" lo hi
          else Interval.make lo hi)
        pairs)
 
@@ -102,80 +137,237 @@ let box_of cursor n prefix =
   let h = intervals_of cursor n (expect_prefix cursor (prefix ^ ".h ")) in
   Dimbox.make ~w ~h
 
-let of_string ~circuit s =
-  let cursor = { lines = String.split_on_char '\n' s; lineno = 0 } in
-  let header = next cursor in
-  if header <> magic then failwith (Printf.sprintf "Codec: bad header %S" header);
+let read_placement cursor ~n ~die_w ~die_h =
+  let costs = expect_prefix cursor "placement " in
+  let avg_cost, best_cost, template_like =
+    match
+      String.split_on_char ' ' (String.trim costs)
+      |> List.filter (fun t -> t <> "")
+      |> List.map float_of_string_opt
+    with
+    | [ Some a; Some b; Some flag ] -> (a, b, flag <> 0.0)
+    | _ -> corrupt cursor.lineno "malformed placement costs"
+  in
+  let coords = pairs_of cursor (expect_prefix cursor "coords ") in
+  if List.length coords <> n then corrupt cursor.lineno "expected %d coordinates" n;
+  let box = box_of cursor n "box" in
+  let expansion = box_of cursor n "expansion" in
+  let best_pairs = pairs_of cursor (expect_prefix cursor "best_dims ") in
+  if List.length best_pairs <> n then corrupt cursor.lineno "expected %d best dims" n;
+  let best_dims = Dims.of_pairs (Array.of_list best_pairs) in
+  let placement =
+    match Placement.make ~coords:(Array.of_list coords) ~die_w ~die_h with
+    | p -> p
+    | exception Invalid_argument msg -> corrupt cursor.lineno "bad placement: %s" msg
+  in
+  match
+    Stored.make ~template_like ~placement ~box ~expansion ~avg_cost ~best_cost ~best_dims
+  with
+  | s -> s
+  | exception Invalid_argument msg -> corrupt cursor.lineno "inconsistent placement: %s" msg
+
+(* Identity header: circuit line (validated against the caller's
+   circuit) and die line.  Shared by strict parsing and salvage. *)
+
+let read_identity cursor ~circuit =
   let id = expect_prefix cursor "circuit " in
   (match String.split_on_char ' ' id with
   | blocks :: nets :: name_parts ->
     let name = String.concat " " name_parts in
+    (match (int_of_string_opt blocks, int_of_string_opt nets) with
+    | Some _, Some _ -> ()
+    | _ -> corrupt cursor.lineno "malformed circuit line");
     if
       int_of_string_opt blocks <> Some (Circuit.n_blocks circuit)
       || int_of_string_opt nets <> Some (Circuit.n_nets circuit)
       || name <> circuit.Circuit.name
     then
-      failwith
-        (Printf.sprintf "Codec: structure was generated for %s (%s blocks), not %s" name
-           blocks circuit.Circuit.name)
-  | _ -> fail cursor "malformed circuit line");
+      raise
+        (Error
+           (Circuit_mismatch
+              (Printf.sprintf "structure was generated for %s (%s blocks), not %s" name
+                 blocks circuit.Circuit.name)))
+  | _ -> corrupt cursor.lineno "malformed circuit line");
   let die = ints_of cursor (expect_prefix cursor "die ") in
-  let die_w, die_h =
-    match die with [ w; h ] -> (w, h) | _ -> fail cursor "malformed die line"
+  match die with [ w; h ] -> (w, h) | _ -> corrupt cursor.lineno "malformed die line"
+
+(* Split the raw document into (payload, payload's line offset,
+   checksum status).  The checksum covers the exact bytes after the
+   checksum line, so it is verified on the raw string before any line
+   splitting. *)
+
+type checksum_status =
+  | Ok_checksum
+  | No_checksum  (** legacy v0/v1 document *)
+  | Bad_checksum of { lineno : int; reason : string }
+
+let split_header raw =
+  let len = String.length raw in
+  let line_end from =
+    match String.index_from_opt raw from '\n' with Some i -> i | None -> len
   in
+  let rest_after e = if e >= len then "" else String.sub raw (e + 1) (len - e - 1) in
+  let e1 = line_end 0 in
+  let first = String.sub raw 0 e1 in
+  if first = magic_v2 then
+    let e2 = line_end (min len (e1 + 1)) in
+    let second = if e1 >= len then "" else String.sub raw (e1 + 1) (e2 - e1 - 1) in
+    if String.length second >= 9 && String.sub second 0 9 = "checksum " then
+      let payload = rest_after e2 in
+      let expected = String.trim (String.sub second 9 (String.length second - 9)) in
+      let actual = Persist.crc32_hex payload in
+      let status =
+        if String.lowercase_ascii expected = actual then Ok_checksum
+        else
+          Bad_checksum
+            { lineno = 2;
+              reason = Printf.sprintf "checksum mismatch: header %s, payload %s" expected actual }
+      in
+      (payload, 2, status)
+    else
+      (* checksum line damaged or gone: for salvage, keep everything
+         after the magic line scannable *)
+      (rest_after e1, 1, Bad_checksum { lineno = 2; reason = "missing checksum line" })
+  else if first = magic_v1 then (rest_after e1, 1, No_checksum)
+  else if String.length first >= 8 && String.sub first 0 8 = "circuit " then
+    (* v0: headerless, the document starts directly at the identity *)
+    (raw, 0, No_checksum)
+  else ("", 0, Bad_checksum { lineno = 1; reason = Printf.sprintf "bad header %S" first })
+
+let cursor_of ~payload ~offset =
+  { lines = String.split_on_char '\n' payload; lineno = offset }
+
+let parse_payload ~circuit cursor =
+  let die_w, die_h = read_identity cursor ~circuit in
   let count =
     match ints_of cursor (expect_prefix cursor "placements ") with
     | [ c ] when c > 0 -> c
-    | _ -> fail cursor "malformed placements line"
+    | _ -> corrupt cursor.lineno "malformed placements line"
   in
   let n = Circuit.n_blocks circuit in
-  let read_placement () =
-    let costs = expect_prefix cursor "placement " in
-    let avg_cost, best_cost, template_like =
-      match
-        String.split_on_char ' ' (String.trim costs)
-        |> List.filter (fun t -> t <> "")
-        |> List.map float_of_string_opt
-      with
-      | [ Some a; Some b; Some flag ] -> (a, b, flag <> 0.0)
-      | _ -> fail cursor "malformed placement costs"
-    in
-    let coords = pairs_of cursor (expect_prefix cursor "coords ") in
-    if List.length coords <> n then fail cursor "expected %d coordinates" n;
-    let box = box_of cursor n "box" in
-    let expansion = box_of cursor n "expansion" in
-    let best_pairs = pairs_of cursor (expect_prefix cursor "best_dims ") in
-    if List.length best_pairs <> n then fail cursor "expected %d best dims" n;
-    let best_dims = Dims.of_pairs (Array.of_list best_pairs) in
-    let placement = Placement.make ~coords:(Array.of_list coords) ~die_w ~die_h in
-    match
-      Stored.make ~template_like ~placement ~box ~expansion ~avg_cost ~best_cost
-        ~best_dims
-    with
-    | s -> s
-    | exception Invalid_argument msg -> fail cursor "inconsistent placement: %s" msg
-  in
-  let stored = Array.init count (fun _ -> read_placement ()) in
+  let stored = Array.init count (fun _ -> read_placement cursor ~n ~die_w ~die_h) in
   let backup =
     match next cursor with
-    | "backup" -> read_placement ()
-    | other -> fail cursor "expected backup section, got %S" other
+    | "backup" -> read_placement cursor ~n ~die_w ~die_h
+    | other -> corrupt cursor.lineno "expected backup section, got %S" other
   in
   match Structure.of_placements ~backup circuit stored with
   | s -> s
-  | exception Invalid_argument msg -> failwith (Printf.sprintf "Codec: %s" msg)
+  | exception Invalid_argument msg -> corrupt cursor.lineno "%s" msg
+
+let of_string ~circuit raw =
+  match split_header raw with
+  | _, _, Bad_checksum { lineno; reason } -> corrupt lineno "%s" reason
+  | payload, offset, _ -> parse_payload ~circuit (cursor_of ~payload ~offset)
 
 let save structure ~path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string structure))
+  try Persist.atomic_write ~path (to_string structure)
+  with Sys_error msg -> raise (Error (Io_error msg))
 
 let load ~circuit ~path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let len = in_channel_length ic in
-      let s = really_input_string ic len in
-      of_string ~circuit s)
+  let raw =
+    try Persist.read_file ~path with Sys_error msg -> raise (Error (Io_error msg))
+  in
+  of_string ~circuit raw
+
+(* Graceful degradation: scan for intact placement sections, skip the
+   damaged ones, keep the disjoint subset. *)
+
+type salvage = {
+  structure : Structure.t;
+  recovered : int;
+  dropped : int;
+  backup_recovered : bool;
+  checksum_ok : bool;
+}
+
+let salvage_of_string ~circuit raw =
+  match split_header raw with
+  | _, _, Bad_checksum { lineno = 1; reason } ->
+    (* not even the format header survived: nothing to scan *)
+    Result.Error (Corrupt { lineno = 1; reason })
+  | payload, offset, status -> (
+    let checksum_ok = status = Ok_checksum in
+    let cursor = cursor_of ~payload ~offset in
+    match
+      let die_w, die_h = read_identity cursor ~circuit in
+      let claimed =
+        (* a corrupt count line is survivable: we scan rather than trust it *)
+        match peek cursor with
+        | Some l when String.length l >= 11 && String.sub l 0 11 = "placements " -> (
+          skip cursor;
+          match int_of_string_opt (String.trim (String.sub l 11 (String.length l - 11))) with
+          | Some c when c >= 0 -> Some c
+          | _ -> None)
+        | _ -> None
+      in
+      (die_w, die_h, claimed)
+    with
+    | exception Error e -> Result.Error e
+    | die_w, die_h, claimed ->
+      let n = Circuit.n_blocks circuit in
+      let kept = ref [] and failed = ref 0 and overlapped = ref 0 in
+      let backup = ref None in
+      let try_placement () =
+        let snapshot_lines = cursor.lines and snapshot_lineno = cursor.lineno in
+        match read_placement cursor ~n ~die_w ~die_h with
+        | s -> Some s
+        | exception Error _ ->
+          cursor.lines <- snapshot_lines;
+          cursor.lineno <- snapshot_lineno;
+          None
+      in
+      let is_placement l = String.length l >= 10 && String.sub l 0 10 = "placement " in
+      let finished = ref false in
+      while not !finished do
+        match peek cursor with
+        | None -> finished := true
+        | Some "backup" ->
+          skip cursor;
+          backup := try_placement ();
+          if !backup = None then incr failed;
+          finished := true
+        | Some l when is_placement l -> (
+          match try_placement () with
+          | Some s ->
+            if List.exists (fun k -> Dimbox.overlaps k.Stored.box s.Stored.box) !kept then
+              incr overlapped
+            else kept := s :: !kept
+          | None ->
+            incr failed;
+            skip cursor (* resynchronize past the damaged section head *))
+        | Some _ -> skip cursor
+      done;
+      let kept = List.rev !kept in
+      let stored =
+        match (kept, !backup) with
+        | [], None -> [||]
+        | [], Some b -> [| b |]
+        | ks, _ -> Array.of_list ks
+      in
+      if Array.length stored = 0 then
+        Result.Error
+          (Corrupt { lineno = cursor.lineno; reason = "no intact placement recovered" })
+      else
+        let structure =
+          match Structure.of_placements ?backup:!backup circuit stored with
+          | s -> s
+          | exception Invalid_argument msg ->
+            (* cannot happen: kept boxes are pairwise disjoint by
+               construction — but never let salvage blow up *)
+            ignore msg;
+            Structure.of_placements circuit [| stored.(0) |]
+        in
+        let recovered = List.length kept in
+        let dropped =
+          match claimed with
+          | Some c -> max (c - recovered) 0
+          | None -> !failed + !overlapped
+        in
+        Result.Ok
+          { structure; recovered; dropped; backup_recovered = !backup <> None; checksum_ok })
+
+let load_salvage ~circuit ~path =
+  match Persist.read_file ~path with
+  | raw -> salvage_of_string ~circuit raw
+  | exception Sys_error msg -> Result.Error (Io_error msg)

@@ -2,22 +2,93 @@
 
     The whole point of a multi-placement structure is that it is
     generated {e once} per circuit topology (paper Fig. 1a) and reused
-    across synthesis runs, so it must survive the process.  The format
-    is a line-oriented text file; the circuit itself is not stored —
-    loading requires the same circuit and validates its identity (name,
-    block count and dimension bounds, net count). *)
+    across synthesis runs, so the saved artifact sits on the system's
+    durability-critical path.  The format is a line-oriented text file;
+    the circuit itself is not stored — loading requires the same
+    circuit and validates its identity (name, block count, net count).
+
+    Current format (v2):
+    {v
+    mps-structure v2
+    checksum <8 hex digits>      CRC-32 of every byte after this line
+    circuit <blocks> <nets> <name>
+    die <w> <h>
+    placements <count>
+    <placement sections...>
+    backup
+    <placement section>
+    v}
+
+    Legacy compatibility: files whose first line is [mps-structure v1]
+    (the seed format, no checksum line) and headerless files whose
+    first line starts with [circuit ] (v0) still load.
+
+    {!save} is atomic — a crash mid-save leaves the previous complete
+    file in place, never a truncated mix — and {!load_salvage} degrades
+    gracefully on a corrupt or truncated file by recovering every
+    intact stored placement. *)
 
 open Mps_netlist
 
+(** Why a document could not be decoded. *)
+type error =
+  | Io_error of string  (** The file could not be read or written. *)
+  | Corrupt of { lineno : int; reason : string }
+      (** Malformed content: checksum mismatch, truncation, or a bad
+          line.  [lineno] is 1-based in the physical file. *)
+  | Circuit_mismatch of string
+      (** The document is intact but was generated for another
+          circuit. *)
+
+exception Error of error
+
+val error_to_string : error -> string
+(** One-line human-readable rendering (used verbatim by the CLI). *)
+
+val format_version : int
+(** The version number {!to_string} writes (currently 2). *)
+
 val to_string : Structure.t -> string
-(** Serialize (identity header + die + every stored placement). *)
+(** Serialize: version + checksum header, identity, die, every stored
+    placement, backup. *)
 
 val of_string : circuit:Circuit.t -> string -> Structure.t
-(** Parse and recompile.  @raise Failure on a malformed document or a
-    circuit mismatch. *)
+(** Parse and recompile.  @raise Error on a malformed document
+    ([Corrupt]) or a circuit mismatch ([Circuit_mismatch]). *)
 
 val save : Structure.t -> path:string -> unit
+(** Atomic replace: temp file in the same directory, fsync, rename.
+    @raise Error ([Io_error]) when the file cannot be written. *)
 
 val load : circuit:Circuit.t -> path:string -> Structure.t
-(** @raise Sys_error when the file cannot be read; @raise Failure on a
-    malformed document or circuit mismatch. *)
+(** @raise Error — [Io_error] when the file cannot be read, [Corrupt]
+    on a malformed document, [Circuit_mismatch] on the wrong
+    circuit. *)
+
+(** Result of a graceful-degradation load from a damaged file. *)
+type salvage = {
+  structure : Structure.t;
+      (** Recompiled from the intact placements only; queries over
+          dropped territory fall back to the backup placement. *)
+  recovered : int;  (** Intact stored placements kept. *)
+  dropped : int;  (** Stored placements lost to corruption or overlap. *)
+  backup_recovered : bool;
+      (** Whether the backup section itself survived; when [false] the
+          best recovered placement stands in. *)
+  checksum_ok : bool;
+      (** [false] when the checksum line is absent, unparseable or does
+          not match — i.e. whenever {!load} would have refused. *)
+}
+
+val salvage_of_string : circuit:Circuit.t -> string -> (salvage, error) result
+(** Best-effort parse: scan the document for intact placement sections,
+    skip damaged ones (resynchronizing on the next [placement] line),
+    drop any placement whose validity box overlaps an already-recovered
+    one — the result never violates eq. 5 — and recompile via
+    {!Structure.of_placements}.  [Error] only when the identity header
+    is unusable ([Corrupt]), the circuit does not match
+    ([Circuit_mismatch]), or not a single placement survived. *)
+
+val load_salvage : circuit:Circuit.t -> path:string -> (salvage, error) result
+(** {!salvage_of_string} on a file; [Error (Io_error _)] when it cannot
+    be read. *)

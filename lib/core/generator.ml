@@ -20,6 +20,9 @@ type config = {
       (** Short coordinate-annealing refinement applied to each explorer
           candidate, each toward its own random target sizing; [0]
           disables it (the paper's literal walk). *)
+  checkpoint_every : int;
+  checkpoint_path : string option;
+  max_seconds : float option;
 }
 
 let default_config =
@@ -36,6 +39,9 @@ let default_config =
     backup_iterations = 5000;
     seed_walk_with_backup = true;
     refine_iterations = 2000;
+    checkpoint_every = 0;
+    checkpoint_path = None;
+    max_seconds = None;
   }
 
 let fast_config =
@@ -54,6 +60,7 @@ type stats = {
   explorer_steps : int;
   candidates_dropped : int;
   generation_seconds : float;
+  deadline_hit : bool;
 }
 
 (* Local-dominance admission test: over the candidate's claimed box,
@@ -139,40 +146,99 @@ let build_backup config rng circuit ~die_w ~die_h =
     ~avg_cost:(Float.max template_avg bdio.Bdio.avg_cost)
     ~best_cost:bdio.Bdio.best_cost ~best_dims:bdio.Bdio.best_dims
 
-let run_explorer ?builder ?backup ~next_candidate ?config:(cfg = default_config) circuit =
+let run_explorer ?builder ?backup ?resume ~next_candidate ?config:(cfg = default_config)
+    circuit =
   let t_start = Sys.time () in
-  let rng = Rng.create ~seed:cfg.seed in
-  let die_w, die_h = Circuit.default_die ~slack:cfg.die_slack circuit in
-  let builder = match builder with Some b -> b | None -> Builder.create circuit in
-  let backup =
-    match backup with
-    | Some b -> b
-    | None -> build_backup cfg rng circuit ~die_w ~die_h
+  let t_wall = Unix.gettimeofday () in
+  let builder, backup, rng, resumed_state =
+    match resume with
+    | Some cp ->
+      (* Reconstitute the builder from the snapshot.  The snapshot's
+         placement order is the builder's live order at checkpoint
+         time, so re-inserting preserves the relative id order that
+         Resolve Overlaps keys its choices on — the resumed walk
+         replays the uninterrupted run exactly. *)
+      let builder = Structure.to_builder cp.Checkpoint.structure in
+      let backup = Structure.backup cp.Checkpoint.structure in
+      ( builder,
+        backup,
+        Rng.copy cp.Checkpoint.rng,
+        Some
+          ( cp.Checkpoint.step,
+            cp.Checkpoint.dropped,
+            cp.Checkpoint.current,
+            cp.Checkpoint.current_cost ) )
+    | None ->
+      let rng = Rng.create ~seed:cfg.seed in
+      let die_w, die_h = Circuit.default_die ~slack:cfg.die_slack circuit in
+      let builder = match builder with Some b -> b | None -> Builder.create circuit in
+      let backup =
+        match backup with
+        | Some b -> b
+        | None -> build_backup cfg rng circuit ~die_w ~die_h
+      in
+      (builder, backup, rng, None)
   in
-  (* when resuming, inherit the die the existing placements were built on *)
+  (* when resuming or extending, inherit the die the existing
+     placements were built on *)
   let die_w = backup.Stored.placement.Placement.die_w in
   let die_h = backup.Stored.placement.Placement.die_h in
-  (* The backup enters the structure first, owning its whole expansion
-     box: a walk candidate only wins dimension territory by beating it
-     (or a previous winner) on average cost in Resolve Overlaps.  This
-     guarantees covered queries never answer worse than the fallback
-     would. *)
-  ignore (Builder.resolve_and_store builder backup);
-  let current =
-    ref
-      (if cfg.seed_walk_with_backup then backup.Stored.placement
-       else Placement.random rng circuit ~die_w ~die_h)
+  let current, current_cost, steps, dropped =
+    match resumed_state with
+    | Some (step, dropped, current, current_cost) ->
+      (* the snapshot's structure already holds the backup's territory *)
+      (ref current, ref current_cost, ref step, ref dropped)
+    | None ->
+      (* The backup enters the structure first, owning its whole
+         expansion box: a walk candidate only wins dimension territory
+         by beating it (or a previous winner) on average cost in
+         Resolve Overlaps.  This guarantees covered queries never
+         answer worse than the fallback would. *)
+      ignore (Builder.resolve_and_store builder backup);
+      let current =
+        ref
+          (if cfg.seed_walk_with_backup then backup.Stored.placement
+           else Placement.random rng circuit ~die_w ~die_h)
+      in
+      let bdio0, _ = evaluate_and_store builder cfg rng circuit backup !current in
+      (current, ref bdio0.Bdio.avg_cost, ref 1, ref 0)
   in
-  let bdio0, _ = evaluate_and_store builder cfg rng circuit backup !current in
-  let current_cost = ref bdio0.Bdio.avg_cost in
-  let steps = ref 1 and dropped = ref 0 in
   let max_shift =
     max 1 (int_of_float (cfg.max_shift_fraction *. float_of_int (max die_w die_h)))
   in
+  let deadline_hit = ref false in
   let finished () =
-    !steps >= cfg.explorer_iterations
+    let deadline_exceeded =
+      match cfg.max_seconds with
+      | Some s -> Unix.gettimeofday () -. t_wall >= s
+      | None -> false
+    in
+    if deadline_exceeded then deadline_hit := true;
+    deadline_exceeded
+    || !steps >= cfg.explorer_iterations
     || Builder.n_live builder >= cfg.max_placements
     || Builder.coverage builder >= cfg.coverage_target
+  in
+  (* Snapshot the whole walk state — structure, accepted placement,
+     counters, exact RNG state — so a kill between two checkpoints
+     costs at most [checkpoint_every] steps of work. *)
+  let write_checkpoint path =
+    Checkpoint.save
+      {
+        Checkpoint.step = !steps;
+        dropped = !dropped;
+        current = !current;
+        current_cost = !current_cost;
+        rng;
+        structure = Structure.compile ~backup builder;
+      }
+      ~path
+  in
+  let maybe_checkpoint () =
+    match cfg.checkpoint_path with
+    | Some path when cfg.checkpoint_every > 0 && !steps mod cfg.checkpoint_every = 0 ->
+      write_checkpoint path
+    | _ -> ()
   in
   (* Refine a candidate's coordinates with a short annealing run toward
      a random target sizing: explored placements become locally good
@@ -210,8 +276,14 @@ let run_explorer ?builder ?backup ~next_candidate ?config:(cfg = default_config)
       current := candidate;
       current_cost := bdio.Bdio.avg_cost
     end;
-    incr steps
+    incr steps;
+    maybe_checkpoint ()
   done;
+  (* A deadline stop snapshots the final state so resuming loses no
+     work at all (not just up to the last periodic checkpoint). *)
+  (match cfg.checkpoint_path with
+  | Some path when !deadline_hit -> write_checkpoint path
+  | _ -> ());
   let stats =
     {
       placements_stored = Builder.n_live builder;
@@ -219,6 +291,7 @@ let run_explorer ?builder ?backup ~next_candidate ?config:(cfg = default_config)
       explorer_steps = !steps;
       candidates_dropped = !dropped;
       generation_seconds = Sys.time () -. t_start;
+      deadline_hit = !deadline_hit;
     }
   in
   (builder, backup, stats)
@@ -258,5 +331,15 @@ let extend ?(config = default_config) structure =
   in
   let builder, backup, stats =
     run_explorer ~builder ~backup ~next_candidate:next ~config circuit
+  in
+  (Structure.compile ~backup builder, stats)
+
+let resume ?(config = default_config) checkpoint =
+  let circuit = Structure.circuit checkpoint.Checkpoint.structure in
+  let next rng _builder ~max_shift current =
+    Perturb.perturb rng circuit ~fraction:config.perturb_fraction ~max_shift current
+  in
+  let builder, backup, stats =
+    run_explorer ~resume:checkpoint ~next_candidate:next ~config circuit
   in
   (Structure.compile ~backup builder, stats)

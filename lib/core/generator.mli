@@ -36,6 +36,19 @@ type config = {
           candidate, each toward its own random target sizing, before
           expansion and the BDIO; [0] disables it (the paper's literal
           walk).  See DESIGN.md §5. *)
+  checkpoint_every : int;
+      (** Snapshot the whole walk state to [checkpoint_path] every this
+          many explorer steps ({!Checkpoint}); [0] (the default)
+          disables checkpointing. *)
+  checkpoint_path : string option;
+      (** Where the snapshot goes (written atomically); [None] (the
+          default) disables checkpointing. *)
+  max_seconds : float option;
+      (** Wall-clock deadline: once this many seconds have elapsed the
+          run stops gracefully at the next step boundary and returns
+          the best structure so far, with {!stats.deadline_hit} set.
+          [None] (the default) means no deadline.  On a resumed run the
+          budget restarts with the process. *)
 }
 
 val default_config : config
@@ -54,6 +67,10 @@ type stats = {
   explorer_steps : int;  (** Candidate placements evaluated. *)
   candidates_dropped : int;  (** Candidates fully absorbed by better ones. *)
   generation_seconds : float;  (** CPU time of the generation run. *)
+  deadline_hit : bool;
+      (** The run stopped early because [max_seconds] elapsed; the
+          returned structure is valid but below its exploration
+          budget — resume from the checkpoint (or {!extend}) to finish. *)
 }
 
 val generate : ?config:config -> Circuit.t -> Structure.t * stats
@@ -71,3 +88,12 @@ val extend : ?config:config -> Structure.t -> Structure.t * stats
     thaw it, continue the annealing walk from its backup placement, and
     recompile.  Use a different [seed] (and a [max_placements] above
     the current count) to add coverage incrementally. *)
+
+val resume : ?config:config -> Checkpoint.t -> Structure.t * stats
+(** Continue an interrupted generation run from a {!Checkpoint}
+    snapshot: reconstitute the builder, restore the walk's accepted
+    placement, counters and exact RNG state, and continue the standard
+    perturbation walk under the given config's stopping criteria.
+    Determinism guarantee: resuming a run checkpointed at step K yields
+    the same stored-placement set as the uninterrupted run with the
+    same config (property-tested). *)

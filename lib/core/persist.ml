@@ -1,0 +1,57 @@
+(* CRC-32, IEEE 802.3 reflected polynomial 0xedb88320 (the zlib/PNG
+   variant), table-driven one byte at a time. *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xedb88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let crc = ref 0xffffffffl in
+  String.iter
+    (fun ch ->
+      let idx = Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int (Char.code ch))) 0xffl) in
+      crc := Int32.logxor table.(idx) (Int32.shift_right_logical !crc 8))
+    s;
+  Int32.logxor !crc 0xffffffffl
+
+let crc32_hex s = Printf.sprintf "%08lx" (crc32 s)
+
+let atomic_write ~path content =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir (Filename.basename path ^ ".tmp.") "" in
+  match
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc content;
+        flush oc;
+        (* fsync before rename: the rename must not become durable
+           before the data it points at. *)
+        try Unix.fsync (Unix.descr_of_out_channel oc)
+        with Unix.Unix_error _ -> () (* fsync unsupported (some FS): best effort *));
+    Sys.rename tmp path
+  with
+  | () -> ()
+  | exception e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    (match e with
+    | Sys_error _ -> raise e
+    | Unix.Unix_error (err, fn, _) ->
+      raise (Sys_error (Printf.sprintf "%s: %s(%s)" path (Unix.error_message err) fn))
+    | e -> raise e)
+
+let read_file ~path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))

@@ -1,0 +1,26 @@
+(** Low-level durability primitives shared by {!Codec} and
+    {!Checkpoint}: payload checksums and crash-safe file replacement.
+
+    Nothing here knows about the structure format; it only moves bytes
+    safely.  All file errors surface as [Sys_error] so callers can map
+    them into their own typed errors. *)
+
+val crc32 : string -> int32
+(** CRC-32 (IEEE 802.3 polynomial, the zlib/PNG checksum) of the whole
+    string. *)
+
+val crc32_hex : string -> string
+(** {!crc32} rendered as 8 lowercase hex digits — the token written on
+    checksum lines. *)
+
+val atomic_write : path:string -> string -> unit
+(** Replace the file at [path] with the given contents atomically:
+    write a fresh temporary file in the {e same} directory, flush and
+    fsync it, then [rename] over the destination.  A crash at any point
+    leaves either the old complete file or the new complete file, never
+    a truncated mix.  @raise Sys_error when the directory is not
+    writable or the rename fails. *)
+
+val read_file : path:string -> string
+(** The whole file as a string.  @raise Sys_error when the file is
+    missing or unreadable. *)

@@ -6,6 +6,42 @@ let split t = Random.State.split t
 
 let copy t = Random.State.copy t
 
+(* The state is opaque, so serialization goes through Marshal; hex
+   encoding keeps the token printable and whitespace-free for the
+   line-oriented checkpoint format.  Marshal round-trips Random.State
+   bit-exactly (property-tested), which is what resume determinism
+   needs. *)
+
+let to_string t =
+  let blob = Marshal.to_string (Random.State.copy t) [] in
+  let buf = Buffer.create (2 * String.length blob) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) blob;
+  Buffer.contents buf
+
+let of_string s =
+  let len = String.length s in
+  if len = 0 || len mod 2 <> 0 then None
+  else
+    let hex c =
+      match c with
+      | '0' .. '9' -> Some (Char.code c - Char.code '0')
+      | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+      | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+      | _ -> None
+    in
+    let blob = Bytes.create (len / 2) in
+    let ok = ref true in
+    for i = 0 to (len / 2) - 1 do
+      match (hex s.[2 * i], hex s.[(2 * i) + 1]) with
+      | Some hi, Some lo -> Bytes.set blob i (Char.chr ((hi lsl 4) lor lo))
+      | _ -> ok := false
+    done;
+    if not !ok then None
+    else
+      match (Marshal.from_string (Bytes.to_string blob) 0 : Random.State.t) with
+      | state -> Some state
+      | exception _ -> None
+
 let int t n =
   if n <= 0 then invalid_arg "Rng.int: bound must be positive";
   Random.State.int t n

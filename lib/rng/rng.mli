@@ -19,6 +19,15 @@ val copy : t -> t
 (** [copy t] duplicates the current state; the copy replays the same
     stream as [t] would. *)
 
+val to_string : t -> string
+(** Serialize the exact generator state as a single printable token (no
+    whitespace).  [of_string (to_string t)] replays the same stream as
+    [t] — the foundation of checkpoint/resume determinism. *)
+
+val of_string : string -> t option
+(** Rehydrate a state written by {!to_string}; [None] when the token is
+    malformed or from an incompatible runtime. *)
+
 val int : t -> int -> int
 (** [int t n] draws uniformly from [0 .. n-1].  [n] must be positive. *)
 

@@ -1,4 +1,6 @@
-(* Tests for multi-placement structure persistence. *)
+(* Tests for multi-placement structure persistence: round-trips,
+   integrity checking (version + CRC-32), atomic save, legacy formats,
+   and graceful degradation on corrupt or truncated documents. *)
 
 open Mps_geometry
 open Mps_netlist
@@ -11,6 +13,25 @@ let circuit = Benchmarks.circ01
 
 let structure =
   lazy (fst (Generator.generate ~config:Generator.fast_config circuit))
+
+(* Tiny generation budget for the all-benchmarks fixpoint sweep. *)
+let tiny_config =
+  {
+    Generator.fast_config with
+    Generator.explorer_iterations = 4;
+    bdio = { Bdio.default_config with Bdio.iterations = 40 };
+    max_placements = 12;
+    backup_iterations = 150;
+    refine_iterations = 0;
+  }
+
+let is_corrupt = function Codec.Error (Codec.Corrupt _) -> true | _ -> false
+
+let rejects_with pred doc =
+  try
+    ignore (Codec.of_string ~circuit doc);
+    false
+  with e -> pred e
 
 let test_roundtrip_string () =
   let s = Lazy.force structure in
@@ -54,6 +75,49 @@ let test_roundtrip_file () =
   Sys.remove path;
   check_int "count" (Structure.n_placements s) (Structure.n_placements s')
 
+(* to_string → of_string → to_string is a fixpoint, across all nine
+   Table 1 benchmark circuits. *)
+let test_fixpoint_all_benchmarks () =
+  check_int "Table 1 has nine circuits" 9 (List.length Benchmarks.all);
+  List.iter
+    (fun c ->
+      let s, _ = Generator.generate ~config:tiny_config c in
+      let doc = Codec.to_string s in
+      let doc' = Codec.to_string (Codec.of_string ~circuit:c doc) in
+      check_bool (c.Circuit.name ^ ": serialization fixpoint") true (doc = doc'))
+    Benchmarks.all
+
+let test_save_is_atomic_replace () =
+  let s = Lazy.force structure in
+  let dir = Filename.temp_file "mps_codec_dir" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  let path = Filename.concat dir "structure.mps" in
+  Codec.save s ~path;
+  (* overwrite in place: the reload stays valid and no temp litter
+     survives a successful save *)
+  Codec.save s ~path;
+  check_int "reload ok" (Structure.n_placements s)
+    (Structure.n_placements (Codec.load ~circuit ~path));
+  check_bool "no stray temp files" true (Sys.readdir dir = [| "structure.mps" |]);
+  Sys.remove path;
+  Sys.rmdir dir
+
+let test_save_unwritable_is_io_error () =
+  let s = Lazy.force structure in
+  check_bool "Io_error on unwritable dir" true
+    (try
+       Codec.save s ~path:"/nonexistent-dir-mps/structure.mps";
+       false
+     with Codec.Error (Codec.Io_error _) -> true)
+
+let test_load_missing_is_io_error () =
+  check_bool "Io_error on missing file" true
+    (try
+       ignore (Codec.load ~circuit ~path:"/tmp/no-such-mps-file.mps");
+       false
+     with Codec.Error (Codec.Io_error _) -> true)
+
 let test_wrong_circuit_rejected () =
   let s = Lazy.force structure in
   let doc = Codec.to_string s in
@@ -61,43 +125,135 @@ let test_wrong_circuit_rejected () =
     (try
        ignore (Codec.of_string ~circuit:Benchmarks.circ02 doc);
        false
-     with Failure _ -> true)
+     with Codec.Error (Codec.Circuit_mismatch _) -> true)
 
 let test_bad_header () =
-  check_bool "rejects garbage" true
-    (try
-       ignore (Codec.of_string ~circuit "not a structure\n");
-       false
-     with Failure _ -> true)
+  check_bool "rejects garbage" true (rejects_with is_corrupt "not a structure\n")
 
-let test_truncated_document () =
+let test_checksum_detects_any_flip () =
   let s = Lazy.force structure in
   let doc = Codec.to_string s in
-  let truncated = String.sub doc 0 (String.length doc / 2) in
-  check_bool "rejects truncation" true
-    (try
-       ignore (Codec.of_string ~circuit truncated);
-       false
-     with Failure _ -> true)
+  (* flip one payload character in several places; every flip must be
+     caught by the checksum (as Corrupt at line 2) before parsing *)
+  let header_len =
+    (* start of payload: after the two header lines *)
+    String.index_from doc (String.index doc '\n' + 1) '\n' + 1
+  in
+  List.iter
+    (fun pos ->
+      let i = header_len + (pos mod (String.length doc - header_len)) in
+      let b = Bytes.of_string doc in
+      Bytes.set b i (if Bytes.get b i = '0' then '1' else '0');
+      let flipped = Bytes.to_string b in
+      if flipped <> doc then
+        check_bool
+          (Printf.sprintf "flip at %d rejected" i)
+          true
+          (rejects_with
+             (function
+               | Codec.Error (Codec.Corrupt { lineno; _ }) -> lineno = 2
+               | _ -> false)
+             flipped))
+    [ 0; 17; 101; 999; 4242; 100_003 ]
 
 let test_corrupted_interval () =
   let s = Lazy.force structure in
   let doc = Codec.to_string s in
-  (* flip a box line into an inverted interval *)
-  let corrupted =
-    String.split_on_char '\n' doc
+  (* flip a box line into an inverted interval — and refresh the
+     checksum so the structural validation (not the checksum) trips *)
+  let lines = String.split_on_char '\n' (Codec.to_string s) in
+  let payload_lines =
+    List.filteri (fun i _ -> i >= 2) lines
     |> List.map (fun l ->
            if String.length l > 6 && String.sub l 0 6 = "box.w " then "box.w 9 1" else l)
-    |> String.concat "\n"
   in
-  check_bool "rejects inverted interval" true
-    (try
-       ignore (Codec.of_string ~circuit corrupted);
-       false
-     with Failure _ -> true)
+  let payload = String.concat "\n" payload_lines in
+  let forged =
+    Printf.sprintf "mps-structure v2\nchecksum %s\n%s"
+      (Mps_core.Persist.crc32_hex payload)
+      payload
+  in
+  ignore doc;
+  check_bool "rejects inverted interval" true (rejects_with is_corrupt forged)
 
-(* Format freeze: a hand-written v1 document must keep parsing in
-   future versions. *)
+(* Integrity: Codec.load must reject EVERY single-line truncation of a
+   saved file, while load_salvage recovers a queryable structure (or
+   fails with a typed error when nothing is left) and never returns
+   overlapping validity boxes. *)
+let test_truncation_at_every_line () =
+  let s, _ = Generator.generate ~config:tiny_config circuit in
+  let doc = Codec.to_string s in
+  let lines = String.split_on_char '\n' doc in
+  let n_lines = List.length lines in
+  let path = Filename.temp_file "mps_trunc" ".mps" in
+  for keep = 0 to n_lines - 2 do
+    let truncated =
+      String.concat "\n" (List.filteri (fun i _ -> i < keep) lines)
+    in
+    let oc = open_out path in
+    output_string oc truncated;
+    close_out oc;
+    (* strict load always refuses *)
+    check_bool
+      (Printf.sprintf "load rejects truncation to %d lines" keep)
+      true
+      (try
+         ignore (Codec.load ~circuit ~path);
+         false
+       with Codec.Error _ -> true);
+    (* salvage never crashes: either a typed error or a queryable
+       structure with pairwise-disjoint boxes *)
+    match Codec.load_salvage ~circuit ~path with
+    | Error (Codec.Corrupt _) | Error (Codec.Io_error _) -> ()
+    | Error (Codec.Circuit_mismatch _) ->
+      Alcotest.fail "salvage must not misreport the circuit"
+    | Ok sv ->
+      let stored = Structure.placements sv.Codec.structure in
+      Array.iteri
+        (fun i a ->
+          Array.iteri
+            (fun j b ->
+              if i < j then
+                check_bool "salvaged boxes disjoint" false
+                  (Dimbox.overlaps a.Stored.box b.Stored.box))
+            stored)
+        stored;
+      (* the salvaged structure answers queries *)
+      let dims = Dimbox.center (Circuit.dim_bounds circuit) in
+      let rects = Structure.instantiate sv.Codec.structure dims in
+      check_bool "salvaged structure instantiates overlap-free" true
+        (Rect.any_overlap rects = None)
+  done;
+  Sys.remove path
+
+let test_salvage_reports_drops () =
+  let s, _ = Generator.generate ~config:tiny_config circuit in
+  let doc = Codec.to_string s in
+  let lines = String.split_on_char '\n' doc in
+  (* cut the document at 60%: a truncated tail *)
+  let keep = List.length lines * 6 / 10 in
+  let truncated = String.concat "\n" (List.filteri (fun i _ -> i < keep) lines) in
+  match Codec.salvage_of_string ~circuit truncated with
+  | Error e -> Alcotest.fail (Codec.error_to_string e)
+  | Ok sv ->
+    check_bool "something recovered" true (sv.Codec.recovered > 0);
+    check_bool "something dropped" true (sv.Codec.dropped > 0);
+    check_int "recovered + dropped = claimed" (Structure.n_placements s)
+      (sv.Codec.recovered + sv.Codec.dropped);
+    check_bool "checksum reported bad" false sv.Codec.checksum_ok
+
+let test_salvage_intact_file_recovers_everything () =
+  let s = Lazy.force structure in
+  match Codec.salvage_of_string ~circuit (Codec.to_string s) with
+  | Error e -> Alcotest.fail (Codec.error_to_string e)
+  | Ok sv ->
+    check_int "all placements recovered" (Structure.n_placements s) sv.Codec.recovered;
+    check_int "nothing dropped" 0 sv.Codec.dropped;
+    check_bool "backup recovered" true sv.Codec.backup_recovered;
+    check_bool "checksum ok" true sv.Codec.checksum_ok
+
+(* Format freeze: a hand-written legacy v1 document (the seed format:
+   magic line, no checksum) must keep loading in future versions. *)
 let golden_v1 =
   String.concat "\n"
     [
@@ -138,14 +294,58 @@ let test_golden_v1_parses () =
   | Structure.Stored_placement 0, _ -> ()
   | _ -> Alcotest.fail "golden query must hit placement 0"
 
+let test_golden_v1_loads_from_file () =
+  (* the seed wrote v1 files with Codec.save; they must load through
+     the file path too, checksum-free *)
+  let path = Filename.temp_file "mps_legacy" ".mps" in
+  let oc = open_out path in
+  output_string oc golden_v1;
+  close_out oc;
+  let s = Codec.load ~circuit:golden_circuit ~path in
+  Sys.remove path;
+  check_int "legacy file loads" 1 (Structure.n_placements s)
+
+let test_headerless_v0_parses () =
+  (* absent version line: treated as v0, parsed from the circuit line *)
+  let v0 =
+    String.concat "\n"
+      (List.filteri (fun i _ -> i > 0) (String.split_on_char '\n' golden_v1))
+  in
+  let s = Codec.of_string ~circuit:golden_circuit v0 in
+  check_int "v0 document parses" 1 (Structure.n_placements s)
+
+let test_current_format_is_versioned_and_checksummed () =
+  let s = Lazy.force structure in
+  let doc = Codec.to_string s in
+  let lines = String.split_on_char '\n' doc in
+  check_int "format version" 2 Codec.format_version;
+  check_bool "first line carries the version" true
+    (List.nth lines 0 = "mps-structure v2");
+  check_bool "second line carries the checksum" true
+    (String.length (List.nth lines 1) = String.length "checksum " + 8
+    && String.sub (List.nth lines 1) 0 9 = "checksum ")
+
 let suite =
   [
     ("golden v1 document parses", `Quick, test_golden_v1_parses);
+    ("golden v1 file loads (seed compatibility)", `Quick, test_golden_v1_loads_from_file);
+    ("headerless v0 document parses", `Quick, test_headerless_v0_parses);
+    ("current format is versioned and checksummed", `Quick,
+     test_current_format_is_versioned_and_checksummed);
     ("round-trip via string", `Quick, test_roundtrip_string);
     ("round-trip answers identical queries", `Quick, test_roundtrip_queries_agree);
     ("round-trip via file", `Quick, test_roundtrip_file);
+    ("serialization fixpoint on all nine benchmarks", `Slow, test_fixpoint_all_benchmarks);
+    ("save atomically replaces", `Quick, test_save_is_atomic_replace);
+    ("save into unwritable dir is Io_error", `Quick, test_save_unwritable_is_io_error);
+    ("load of missing file is Io_error", `Quick, test_load_missing_is_io_error);
     ("wrong circuit rejected", `Quick, test_wrong_circuit_rejected);
     ("garbage header rejected", `Quick, test_bad_header);
-    ("truncated document rejected", `Quick, test_truncated_document);
+    ("checksum catches single-character flips", `Quick, test_checksum_detects_any_flip);
     ("corrupted interval rejected", `Quick, test_corrupted_interval);
+    ("every single-line truncation: load rejects, salvage degrades", `Quick,
+     test_truncation_at_every_line);
+    ("salvage reports recovered and dropped counts", `Quick, test_salvage_reports_drops);
+    ("salvage of an intact file recovers everything", `Quick,
+     test_salvage_intact_file_recovers_everything);
   ]

@@ -23,6 +23,7 @@ let () =
       ("folded-cascode", Test_folded_cascode.suite);
       ("render", Test_render.suite);
       ("codec", Test_codec.suite);
+      ("checkpoint", Test_checkpoint.suite);
       ("experiments", Test_experiments.suite);
       ("csv", Test_csv.suite);
       ("integration", Test_integration.suite);

@@ -22,6 +22,31 @@ let test_copy_replays () =
   let b = Rng.copy a in
   check_int "copy replays" (Rng.int a 1000) (Rng.int b 1000)
 
+let test_serialization_replays () =
+  (* checkpoint/resume determinism rests on this: a rehydrated state
+     replays the exact stream, across every draw kind *)
+  let a = Rng.create ~seed:11 in
+  for _ = 1 to 257 do
+    ignore (Rng.float a 1.0)
+  done;
+  let token = Rng.to_string a in
+  check_bool "token is one printable word" true
+    (String.for_all (fun c -> c <> ' ' && c <> '\n') token);
+  let b = match Rng.of_string token with Some b -> b | None -> Alcotest.fail "rehydrate" in
+  for _ = 1 to 500 do
+    check_int "ints replay" (Rng.int a 1_000_000) (Rng.int b 1_000_000)
+  done;
+  for _ = 1 to 500 do
+    Alcotest.(check (float 0.0)) "floats replay" (Rng.float a 1.0) (Rng.float b 1.0)
+  done;
+  check_bool "bools replay" (Rng.bool a) (Rng.bool b)
+
+let test_serialization_rejects_garbage () =
+  check_bool "empty rejected" true (Rng.of_string "" = None);
+  check_bool "odd length rejected" true (Rng.of_string "abc" = None);
+  check_bool "non-hex rejected" true (Rng.of_string "zz" = None);
+  check_bool "truncated blob rejected" true (Rng.of_string "0a1b" = None)
+
 let test_split_independent () =
   let a = Rng.create ~seed:3 in
   let b = Rng.split a in
@@ -130,6 +155,8 @@ let suite =
     ("same seed, same stream", `Quick, test_determinism);
     ("different seeds differ", `Quick, test_seed_sensitivity);
     ("copy replays the stream", `Quick, test_copy_replays);
+    ("serialized state replays the stream", `Quick, test_serialization_replays);
+    ("of_string rejects garbage", `Quick, test_serialization_rejects_garbage);
     ("split yields an independent stream", `Quick, test_split_independent);
     ("int_in respects bounds", `Quick, test_int_in_range);
     ("int_in degenerate range", `Quick, test_int_in_degenerate);

@@ -192,6 +192,32 @@ let test_dims_aspect_hint_changes_shape () =
   done;
   check_bool "hints steer block shapes" true (!follows >= 3)
 
+let test_loop_runs_on_salvaged_structure () =
+  (* graceful degradation end to end: truncate a serialized structure,
+     salvage what is left, and drive the full synthesis loop with the
+     salvaged structure — it must still produce finite costs and
+     overlap-free floorplans *)
+  let c = Lazy.force circuit in
+  let s = Lazy.force quick_structure in
+  let doc = Codec.to_string s in
+  let lines = String.split_on_char '\n' doc in
+  let keep = List.length lines / 2 in
+  let truncated = String.concat "\n" (List.filteri (fun i _ -> i < keep) lines) in
+  match Codec.salvage_of_string ~circuit:c truncated with
+  | Error e -> Alcotest.fail (Codec.error_to_string e)
+  | Ok sv ->
+    check_bool "salvage lost something" true
+      (sv.Codec.recovered < Structure.n_placements s);
+    let placer = Synth_loop.mps_placer sv.Codec.structure in
+    let r = run_loop placer in
+    check_bool "salvaged loop finishes" true (Float.is_finite r.Synth_loop.best_cost);
+    (* the winning floorplan is still a legal placement *)
+    let best_dims = Opamp.dims ~aspect_hints:r.Synth_loop.best_aspect_hints process c
+        r.Synth_loop.best_sizing
+    in
+    check_bool "salvaged floorplan overlap-free" true
+      (Mps_geometry.Rect.any_overlap (placer.Synth_loop.place best_dims) = None)
+
 let test_dims_mismatched_circuit () =
   (* the synth circuit and the Table 1 benchmark circuit differ in
      designer bounds; dims clamp into whichever circuit is passed *)
@@ -217,4 +243,5 @@ let suite =
     ("loop: aspect off keeps unit hints", `Quick, test_loop_aspect_off_keeps_unit_hints);
     ("dims: aspect hints steer block shapes", `Quick, test_dims_aspect_hint_changes_shape);
     ("loop: dims valid at extreme sizing", `Quick, test_dims_mismatched_circuit);
+    ("loop: runs on a salvaged structure", `Quick, test_loop_runs_on_salvaged_structure);
   ]
