@@ -7,7 +7,12 @@
 
    Part 2: regenerates every table and figure (Table 1, Table 2,
    Figures 5-7) and the ablation reports.  Pass --quick to use the
-   reduced generation budget. *)
+   reduced generation budget.
+
+   Standalone mode: --gen-bench times one quick-budget generation per
+   Table 1 circuit and writes machine-readable BENCH_GEN.json
+   (circuit, cost evaluations, wall seconds, evaluations/sec) for the
+   CI throughput artifact; nothing else runs. *)
 
 open Bechamel
 open Toolkit
@@ -114,7 +119,62 @@ let run_group ~name tests =
     (List.sort compare !rows);
   print_newline ()
 
-let () =
+(* Generation throughput: the headline number for the incremental
+   delta-cost engine.  The baseline block records the same quick-budget
+   benchmark24 run measured on this machine just before the engine
+   landed, so the JSON carries its own speedup denominator. *)
+let baseline_evaluations = 19001
+let baseline_wall_seconds = 0.613
+
+let gen_bench () =
+  let module E = Mps_experiments.Experiments in
+  let run circuit =
+    let config = E.generator_config E.Quick circuit in
+    let t0 = Unix.gettimeofday () in
+    let _, stats = Generator.generate ~config circuit in
+    let wall = Unix.gettimeofday () -. t0 in
+    (stats.Generator.cost_evaluations, wall)
+  in
+  (* one warm-up generation so the first row is not charged for cold
+     code paths *)
+  ignore (run Benchmarks.circ01);
+  let measured =
+    List.map
+      (fun circuit ->
+        let evals, wall = run circuit in
+        let rate = float_of_int evals /. wall in
+        Printf.printf "%-16s %8d evals  %7.3f s  %10.0f evals/s\n%!"
+          circuit.Circuit.name evals wall rate;
+        (circuit.Circuit.name, evals, wall, rate))
+      Benchmarks.all
+  in
+  let rows =
+    List.map
+      (fun (name, evals, wall, rate) ->
+        Printf.sprintf
+          "    { \"circuit\": %S, \"evaluations\": %d, \"wall_seconds\": %.4f, \
+           \"evals_per_sec\": %.0f }"
+          name evals wall rate)
+      measured
+  in
+  let _, _, _, rate24 =
+    List.find (fun (name, _, _, _) -> String.equal name "benchmark24") measured
+  in
+  let baseline_rate = float_of_int baseline_evaluations /. baseline_wall_seconds in
+  let speedup = rate24 /. baseline_rate in
+  let oc = open_out "BENCH_GEN.json" in
+  Printf.fprintf oc "{\n  \"budget\": \"quick\",\n  \"rows\": [\n%s\n  ],\n"
+    (String.concat ",\n" rows);
+  Printf.fprintf oc
+    "  \"baseline\": { \"circuit\": \"benchmark24\", \"evaluations\": %d, \
+     \"wall_seconds\": %.4f, \"evals_per_sec\": %.0f },\n"
+    baseline_evaluations baseline_wall_seconds baseline_rate;
+  Printf.fprintf oc "  \"speedup_benchmark24\": %.2f\n}\n" speedup;
+  close_out oc;
+  Printf.printf "benchmark24 speedup vs pre-engine baseline: %.2fx\n" speedup;
+  print_endline "wrote BENCH_GEN.json"
+
+let main () =
   print_endline "=== Micro-benchmarks (bechamel) ===";
   print_newline ();
   run_group ~name:"instantiate" (instantiation_tests ());
@@ -148,3 +208,6 @@ let () =
   print_string (E.ablation_refine ~budget ());
   print_newline ();
   print_string (E.synthesis_comparison ~budget ())
+
+let () =
+  if Array.exists (String.equal "--gen-bench") Sys.argv then gen_bench () else main ()

@@ -16,6 +16,62 @@ type 'a result = {
   acceptances : int;
 }
 
+type 'm move_problem = {
+  propose : Rng.t -> 'm;
+  delta_cost : 'm -> float;
+  commit : 'm -> unit;
+  reject : 'm -> unit;
+}
+
+type move_result = {
+  mv_best_cost : float;
+  mv_final_cost : float;
+  mv_average_cost : float;
+  mv_evaluations : int;
+  mv_acceptances : int;
+}
+
+let run_moves ?(on_improve = fun ~cost:_ ~step:_ -> ())
+    ?(should_stop = fun ~best_cost:_ ~step:_ -> false) ~rng ~schedule ~iterations
+    ~initial_cost problem =
+  if iterations < 0 then invalid_arg "Annealer.run_moves: negative iteration count";
+  let current_cost = ref initial_cost in
+  let best_cost = ref initial_cost in
+  let cost_sum = ref initial_cost and evaluations = ref 1 in
+  let acceptances = ref 0 in
+  let step = ref 0 in
+  let continue = ref true in
+  while !continue && !step < iterations do
+    if should_stop ~best_cost:!best_cost ~step:!step then continue := false
+    else begin
+      let m = problem.propose rng in
+      let dc = problem.delta_cost m in
+      let cost = !current_cost +. dc in
+      cost_sum := !cost_sum +. cost;
+      incr evaluations;
+      let temp = Schedule.temperature schedule ~step:!step in
+      let accept = dc <= 0.0 || Rng.float rng 1.0 < exp (-.dc /. temp) in
+      if accept then begin
+        problem.commit m;
+        current_cost := cost;
+        incr acceptances;
+        if cost < !best_cost then begin
+          best_cost := cost;
+          on_improve ~cost ~step:!step
+        end
+      end
+      else problem.reject m;
+      incr step
+    end
+  done;
+  {
+    mv_best_cost = !best_cost;
+    mv_final_cost = !current_cost;
+    mv_average_cost = !cost_sum /. float_of_int !evaluations;
+    mv_evaluations = !evaluations;
+    mv_acceptances = !acceptances;
+  }
+
 let run ?(on_accept = fun _ ~cost:_ ~step:_ -> ()) ?(should_stop = fun ~best_cost:_ ~step:_ -> false)
     ~rng ~schedule ~iterations problem =
   if iterations < 0 then invalid_arg "Annealer.run: negative iteration count";

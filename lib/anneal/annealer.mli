@@ -28,6 +28,49 @@ type 'a result = {
   acceptances : int;
 }
 
+(** A problem whose state lives in the driver as mutable storage — the
+    annealer only sees proposed moves of type ['m] and their cost
+    deltas.  This is the interface the incremental delta-cost engine
+    ({!Mps_cost.Incremental}) plugs into: [delta_cost] tentatively
+    applies the move to the shared evaluator and returns the cost
+    change; the annealer then either [commit]s it (accept) or
+    [reject]s it (the driver undoes the tentative application).  No
+    state is ever copied per move, which is what makes the nested
+    generation loops allocation-free on the hot path. *)
+type 'm move_problem = {
+  propose : Rng.t -> 'm;  (** Draw the next candidate move. *)
+  delta_cost : 'm -> float;
+      (** Tentatively apply the move; return [cost after - cost before]. *)
+  commit : 'm -> unit;  (** Keep the tentatively applied move. *)
+  reject : 'm -> unit;  (** Undo the tentatively applied move. *)
+}
+
+(** Outcome statistics of a move-based run; the state itself lives in
+    the driver (snapshot it from [on_improve] to track the best). *)
+type move_result = {
+  mv_best_cost : float;
+  mv_final_cost : float;  (** Cost of the last accepted state. *)
+  mv_average_cost : float;  (** Mean over every evaluated state. *)
+  mv_evaluations : int;
+  mv_acceptances : int;
+}
+
+val run_moves :
+  ?on_improve:(cost:float -> step:int -> unit) ->
+  ?should_stop:(best_cost:float -> step:int -> bool) ->
+  rng:Rng.t ->
+  schedule:Schedule.t ->
+  iterations:int ->
+  initial_cost:float ->
+  'm move_problem ->
+  move_result
+(** Metropolis acceptance over mutable driver state, same semantics as
+    {!run} (the initial state counts as one evaluation; the uphill
+    acceptance draw is only consumed when [delta_cost > 0]).
+    [on_improve] fires after a commit that produced a new best cost —
+    the driver should snapshot its current state there.
+    @raise Invalid_argument on a negative iteration count. *)
+
 val run :
   ?on_accept:('a -> cost:float -> step:int -> unit) ->
   ?should_stop:(best_cost:float -> step:int -> bool) ->

@@ -30,30 +30,13 @@ type result = {
   avg_cost : float;
   best_cost : float;
   best_dims : Dims.t;
+  evaluations : int;
 }
 
 let cost_of_dims ~weights circuit placement dims =
   let rects = Placement.rects placement dims in
   Mps_cost.Cost.total ~weights circuit ~die_w:placement.Placement.die_w
     ~die_h:placement.Placement.die_h rects
-
-(* Redraw a random subset of the 2N axes uniformly inside their
-   intervals (the Dimensions Selector's perturbation). *)
-let neighbor_dims ~box ~fraction rng dims =
-  let n = Dims.n_blocks dims in
-  let n_axes = 2 * n in
-  let k = max 1 (int_of_float (ceil (fraction *. float_of_int n_axes))) in
-  let victims = Rng.sample_distinct rng ~k ~n:n_axes in
-  let redraw dims axis =
-    if axis < n then
-      let iv = Dimbox.w_interval box axis in
-      Dims.set_width dims axis (Rng.int_in rng (Interval.lo iv) (Interval.hi iv))
-    else
-      let i = axis - n in
-      let iv = Dimbox.h_interval box i in
-      Dims.set_height dims i (Rng.int_in rng (Interval.lo iv) (Interval.hi iv))
-  in
-  List.fold_left redraw dims victims
 
 let shrink_interval ~factor iv best =
   let half =
@@ -88,26 +71,89 @@ let shrink_box ~rule ~box ~best_dims ~avg_cost ~best_cost =
     in
     Dimbox.make ~w ~h
 
+(* The Dimensions Selector runs on one mutable Mps_cost.Incremental
+   evaluator: each move redraws a random subset of the 2N axes in place
+   (resize deltas, no Dims copies), and is committed or undone whole. *)
 let optimize ?(config = default_config) ~rng circuit placement ~box =
   if config.iterations < 1 then invalid_arg "Bdio.optimize: need at least one iteration";
-  let cost dims = cost_of_dims ~weights:config.weights circuit placement dims in
-  let problem =
-    {
-      Annealer.initial = Dimbox.random_dims rng box;
-      cost;
-      neighbor = neighbor_dims ~box ~fraction:config.perturb_fraction;
-    }
+  let initial = Dimbox.random_dims rng box in
+  let n = Dims.n_blocks initial in
+  let n_axes = 2 * n in
+  let eng =
+    Mps_cost.Incremental.create ~weights:config.weights circuit
+      ~die_w:placement.Placement.die_w ~die_h:placement.Placement.die_h
+      (Placement.rects placement initial)
+  in
+  let k =
+    max 1 (int_of_float (ceil (config.perturb_fraction *. float_of_int n_axes)))
+  in
+  (* Preallocated proposal buffers: the axes hit this move and their
+     redrawn values, overwritten in place by [propose]. *)
+  let mv_axes = Array.make k 0 and mv_vals = Array.make k 0 in
+  let propose rng =
+    let victims = Rng.sample_distinct rng ~k ~n:n_axes in
+    List.iteri
+      (fun slot axis ->
+        mv_axes.(slot) <- axis;
+        mv_vals.(slot) <-
+          (if axis < n then
+             let iv = Dimbox.w_interval box axis in
+             Rng.int_in rng (Interval.lo iv) (Interval.hi iv)
+           else
+             let iv = Dimbox.h_interval box (axis - n) in
+             Rng.int_in rng (Interval.lo iv) (Interval.hi iv)))
+      victims
+  in
+  let current_total = ref (Mps_cost.Incremental.total eng) in
+  (* A move redrawing more than ~n/4 axes is cheaper as one staged
+     batch with a single cache rebuild than as per-axis O(n) repairs. *)
+  let use_batch = 4 * k > n in
+  let delta_cost () =
+    if use_batch then Mps_cost.Incremental.begin_batch eng;
+    for slot = 0 to k - 1 do
+      let axis = mv_axes.(slot) and v = mv_vals.(slot) in
+      if axis < n then
+        Mps_cost.Incremental.resize_block eng axis ~w:v
+          ~h:(Mps_cost.Incremental.block_h eng axis)
+      else
+        Mps_cost.Incremental.resize_block eng (axis - n)
+          ~w:(Mps_cost.Incremental.block_w eng (axis - n))
+          ~h:v
+    done;
+    if use_batch then Mps_cost.Incremental.end_batch eng;
+    Mps_cost.Incremental.total eng -. !current_total
+  in
+  let commit () =
+    Mps_cost.Incremental.commit eng;
+    current_total := Mps_cost.Incremental.total eng
+  in
+  let reject () = Mps_cost.Incremental.undo eng in
+  let best_w = Array.init n (Dims.width initial) in
+  let best_h = Array.init n (Dims.height initial) in
+  let snapshot_best () =
+    for i = 0 to n - 1 do
+      best_w.(i) <- Mps_cost.Incremental.block_w eng i;
+      best_h.(i) <- Mps_cost.Incremental.block_h eng i
+    done
   in
   let sa =
-    Annealer.run ~rng ~schedule:config.schedule ~iterations:config.iterations problem
+    Annealer.run_moves
+      ~on_improve:(fun ~cost:_ ~step:_ -> snapshot_best ())
+      ~rng ~schedule:config.schedule ~iterations:config.iterations
+      ~initial_cost:!current_total
+      { Annealer.propose; delta_cost; commit; reject }
   in
-  let reduced =
-    shrink_box ~rule:config.shrink ~box ~best_dims:sa.Annealer.best
-      ~avg_cost:sa.Annealer.average_cost ~best_cost:sa.Annealer.best_cost
-  in
+  let best_dims = Dims.make ~w:best_w ~h:best_h in
+  (* the reported best is a fresh full evaluation (exact, no delta
+     drift); the average keeps the annealer's bookkeeping, floored so
+     the [avg_cost >= best_cost] contract survives float drift *)
+  let best_cost = cost_of_dims ~weights:config.weights circuit placement best_dims in
+  let avg_cost = Float.max sa.Annealer.mv_average_cost best_cost in
+  let reduced = shrink_box ~rule:config.shrink ~box ~best_dims ~avg_cost ~best_cost in
   {
     box = reduced;
-    avg_cost = sa.Annealer.average_cost;
-    best_cost = sa.Annealer.best_cost;
-    best_dims = sa.Annealer.best;
+    avg_cost;
+    best_cost;
+    best_dims;
+    evaluations = sa.Annealer.mv_evaluations;
   }

@@ -41,6 +41,7 @@ type result = {
   avg_cost : float;
   best_cost : float;
   best_dims : Dims.t;
+  evaluations : int;  (** Cost evaluations performed (initial + moves). *)
 }
 
 val cost_of_dims :

@@ -24,6 +24,8 @@ let capacity t = t.capacity
 
 let copy t = { capacity = t.capacity; words = Array.copy t.words }
 
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
 let check t i =
   if i < 0 || i >= t.capacity then
     invalid_arg (Printf.sprintf "Bitset: index %d out of [0, %d)" i t.capacity)
@@ -68,9 +70,22 @@ let choose t =
   in
   word 0
 
+(* Word-by-word: zero words (the common case for sparse sets) cost one
+   test, and set bits are peeled with low-bit tricks instead of probing
+   every index.  Visits members in ascending order, like the naive
+   per-index loop it replaces. *)
 let iter t ~f =
-  for i = 0 to t.capacity - 1 do
-    if t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0 then f i
+  let words = t.words in
+  for k = 0 to Array.length words - 1 do
+    let w = ref words.(k) in
+    if !w <> 0 then begin
+      let base = k * bits_per_word in
+      while !w <> 0 do
+        let low = !w land (- !w) in
+        f (base + popcount (low - 1));
+        w := !w land (!w - 1)
+      done
+    end
   done
 
 let to_list t =

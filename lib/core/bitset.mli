@@ -19,6 +19,9 @@ val capacity : t -> int
 
 val copy : t -> t
 
+val clear : t -> unit
+(** Remove every member (capacity unchanged). *)
+
 val add : t -> int -> unit
 (** @raise Invalid_argument when out of range. *)
 

@@ -93,6 +93,32 @@ let overlapping t box =
     Row.Int_set.elements !acc
   end
 
+(* The resolver only ever needs the smallest overlapping id (or none),
+   and the tree-set unions/intersections of [overlapping] dominated its
+   profile; two scratch bitsets turn the same 2N-axis search into word
+   operations. *)
+let overlapping_any t box =
+  let n = Circuit.n_blocks t.circuit in
+  if n = 0 || t.n_slots = 0 then None
+  else begin
+    let acc = Bitset.create ~capacity:t.n_slots in
+    let axis = Bitset.create ~capacity:t.n_slots in
+    let restrict row iv =
+      Bitset.clear axis;
+      Row.iter_range row iv ~f:(Bitset.add axis);
+      Bitset.inter_into acc axis
+    in
+    Row.iter_range t.w_rows.(0) (Dimbox.w_interval box 0) ~f:(Bitset.add acc);
+    (try
+       for i = 0 to n - 1 do
+         if Bitset.is_empty acc then raise Exit;
+         if i > 0 then restrict t.w_rows.(i) (Dimbox.w_interval box i);
+         restrict t.h_rows.(i) (Dimbox.h_interval box i)
+       done
+     with Exit -> ());
+    Bitset.choose acc
+  end
+
 let w_row t i = t.w_rows.(i)
 let h_row t i = t.h_rows.(i)
 
@@ -136,9 +162,9 @@ let resolve_and_store t candidate =
   Queue.add candidate work;
   while not (Queue.is_empty work) do
     let c = Queue.pop work in
-    match overlapping t c.Stored.box with
-    | [] -> stored_ids := insert t c :: !stored_ids
-    | idx :: _ ->
+    match overlapping_any t c.Stored.box with
+    | None -> stored_ids := insert t c :: !stored_ids
+    | Some idx ->
       let pi =
         match get t idx with
         | Some s -> s

@@ -35,6 +35,12 @@ val overlapping : t -> Dimbox.t -> int list
 (** Indices of stored placements whose box overlaps the given box,
     computed through the rows' range queries (the paper's [I] set). *)
 
+val overlapping_any : t -> Dimbox.t -> int option
+(** Smallest id in {!overlapping}, without materializing the list: the
+    Resolve Overlaps loop peels one conflict at a time, and this query
+    runs once per work-queue item (scratch bitsets instead of tree-set
+    unions per axis). *)
+
 val w_row : t -> int -> Row.t
 val h_row : t -> int -> Row.t
 

@@ -15,6 +15,12 @@ type config = {
   coverage_target : float;
   max_placements : int;
   backup_iterations : int;
+  backup_restarts : int;
+      (** Independent coordinate-annealing restarts for the backup
+          template; the best one wins.  The backup is the quality floor
+          for the whole structure (admission tests and every uncovered
+          query compare against it), so one unlucky annealing run must
+          not be allowed to set it. *)
   seed_walk_with_backup : bool;
   refine_iterations : int;
       (** Short coordinate-annealing refinement applied to each explorer
@@ -37,6 +43,7 @@ let default_config =
     coverage_target = 0.5;
     max_placements = 200;
     backup_iterations = 5000;
+    backup_restarts = 3;
     seed_walk_with_backup = true;
     refine_iterations = 2000;
     checkpoint_every = 0;
@@ -59,6 +66,7 @@ type stats = {
   coverage : float;
   explorer_steps : int;
   candidates_dropped : int;
+  cost_evaluations : int;
   generation_seconds : float;
   deadline_hit : bool;
 }
@@ -67,8 +75,9 @@ type stats = {
    does using the candidate (raw coordinates) beat re-packing the backup
    template at the same dimension vectors?  Point-matched sampling, so
    neither side gets to average over friendlier territory. *)
-let beats_backup_locally config rng circuit backup candidate =
+let beats_backup_locally config rng circuit backup candidate ~evals =
   let samples = 32 in
+  evals := !evals + (2 * samples);
   let die_w = candidate.Stored.placement.Placement.die_w in
   let die_h = candidate.Stored.placement.Placement.die_h in
   let weights = config.bdio.Bdio.weights in
@@ -85,15 +94,16 @@ let beats_backup_locally config rng circuit backup candidate =
    result into the structure (if it passes admission).  Returns the
    BDIO result (the explorer's cost signal) and whether the candidate
    was stored. *)
-let evaluate_and_store builder config rng circuit backup placement =
+let evaluate_and_store builder config rng circuit backup placement ~evals =
   let expansion = Expand.expand circuit placement in
   let bdio = Bdio.optimize ~config:config.bdio ~rng circuit placement ~box:expansion in
+  evals := !evals + bdio.Bdio.evaluations;
   let candidate =
     Stored.make ~template_like:false ~placement ~box:bdio.Bdio.box ~expansion
       ~avg_cost:bdio.Bdio.avg_cost ~best_cost:bdio.Bdio.best_cost
       ~best_dims:bdio.Bdio.best_dims
   in
-  if beats_backup_locally config rng circuit backup candidate then
+  if beats_backup_locally config rng circuit backup candidate ~evals then
     let ids = Builder.resolve_and_store builder candidate in
     (bdio, ids <> [])
   else (bdio, false)
@@ -101,7 +111,7 @@ let evaluate_and_store builder config rng circuit backup placement =
 (* The template-like backup placement for uncovered dimension space
    (paper §3.1.4): coordinates annealed once at the nominal dimensions,
    valid over its whole expansion box. *)
-let build_backup config rng circuit ~die_w ~die_h =
+let build_backup config rng circuit ~die_w ~die_h ~evals =
   let nominal = Dimbox.center (Circuit.dim_bounds circuit) in
   let coord_config =
     {
@@ -110,7 +120,16 @@ let build_backup config rng circuit ~die_w ~die_h =
       weights = config.bdio.Bdio.weights;
     }
   in
-  let optimized = Coord_opt.optimize ~config:coord_config ~rng circuit ~die_w ~die_h nominal in
+  let optimized =
+    let best = ref (Coord_opt.optimize ~config:coord_config ~rng circuit ~die_w ~die_h nominal) in
+    evals := !evals + !best.Coord_opt.evaluations;
+    for _ = 2 to max 1 config.backup_restarts do
+      let r = Coord_opt.optimize ~config:coord_config ~rng circuit ~die_w ~die_h nominal in
+      evals := !evals + r.Coord_opt.evaluations;
+      if r.Coord_opt.cost < !best.Coord_opt.cost then best := r
+    done;
+    !best
+  in
   let placement =
     if Placement.is_legal optimized.Coord_opt.placement (Circuit.min_dims circuit) then
       optimized.Coord_opt.placement
@@ -119,6 +138,7 @@ let build_backup config rng circuit ~die_w ~die_h =
   let expansion = Expand.expand circuit placement in
   let bdio_config = { config.bdio with Bdio.shrink = Bdio.No_shrink } in
   let bdio = Bdio.optimize ~config:bdio_config ~rng circuit placement ~box:expansion in
+  evals := !evals + bdio.Bdio.evaluations;
   (* The backup claims the whole designer dimension space (re-packing
      outside its expansion box), so an explorer placement only wins
      territory by beating it — the structure's quality floor.  Its
@@ -129,6 +149,7 @@ let build_backup config rng circuit ~die_w ~die_h =
   let bounds = Circuit.dim_bounds circuit in
   let template_avg =
     let samples = 200 in
+    evals := !evals + samples;
     let total = ref 0.0 in
     for _ = 1 to samples do
       let dims = Dimbox.random_dims rng bounds in
@@ -150,6 +171,10 @@ let run_explorer ?builder ?backup ?resume ~next_candidate ?config:(cfg = default
     circuit =
   let t_start = Sys.time () in
   let t_wall = Unix.gettimeofday () in
+  (* Placement cost evaluations performed by this run (SA moves across
+     the backup/refine/BDIO loops plus admission sampling); restarts at
+     zero on resume, like the timing stats. *)
+  let evals = ref 0 in
   let builder, backup, rng, resumed_state =
     match resume with
     | Some cp ->
@@ -175,7 +200,7 @@ let run_explorer ?builder ?backup ?resume ~next_candidate ?config:(cfg = default
       let backup =
         match backup with
         | Some b -> b
-        | None -> build_backup cfg rng circuit ~die_w ~die_h
+        | None -> build_backup cfg rng circuit ~die_w ~die_h ~evals
       in
       (builder, backup, rng, None)
   in
@@ -200,7 +225,7 @@ let run_explorer ?builder ?backup ?resume ~next_candidate ?config:(cfg = default
           (if cfg.seed_walk_with_backup then backup.Stored.placement
            else Placement.random rng circuit ~die_w ~die_h)
       in
-      let bdio0, _ = evaluate_and_store builder cfg rng circuit backup !current in
+      let bdio0, _ = evaluate_and_store builder cfg rng circuit backup !current ~evals in
       (current, ref bdio0.Bdio.avg_cost, ref 1, ref 0)
   in
   let max_shift =
@@ -259,6 +284,7 @@ let run_explorer ?builder ?backup ?resume ~next_candidate ?config:(cfg = default
         Coord_opt.optimize ~config:coord_config
           ~initial:placement.Placement.coords ~rng circuit ~die_w ~die_h target
       in
+      evals := !evals + refined.Coord_opt.evaluations;
       if Placement.is_legal refined.Coord_opt.placement (Circuit.min_dims circuit) then
         refined.Coord_opt.placement
       else placement
@@ -266,7 +292,7 @@ let run_explorer ?builder ?backup ?resume ~next_candidate ?config:(cfg = default
   in
   while not (finished ()) do
     let candidate = refine (next_candidate rng builder ~max_shift !current) in
-    let bdio, survived = evaluate_and_store builder cfg rng circuit backup candidate in
+    let bdio, survived = evaluate_and_store builder cfg rng circuit backup candidate ~evals in
     if not survived then incr dropped;
     (* Metropolis acceptance on the BDIO average cost (Fig. 4's
        "Accept New Placement?" check). *)
@@ -290,6 +316,7 @@ let run_explorer ?builder ?backup ?resume ~next_candidate ?config:(cfg = default
       coverage = Builder.coverage builder;
       explorer_steps = !steps;
       candidates_dropped = !dropped;
+      cost_evaluations = !evals;
       generation_seconds = Sys.time () -. t_start;
       deadline_hit = !deadline_hit;
     }

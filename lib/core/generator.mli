@@ -27,6 +27,11 @@ type config = {
   backup_iterations : int;
       (** Coordinate-annealing budget for the template-like backup
           placement built for uncovered dimension space. *)
+  backup_restarts : int;
+      (** Independent annealing restarts for the backup; the best one
+          wins.  The backup is the quality floor for the whole
+          structure (admission tests and every uncovered query compare
+          against it), so one unlucky run must not set it. *)
   seed_walk_with_backup : bool;
       (** Start the explorer walk from the optimized backup placement
           instead of a fresh random placement (quality improvement over
@@ -54,8 +59,8 @@ type config = {
 val default_config : config
 (** seed 1, slack 1.0, 60 explorer iterations, 25% block moves, BDIO
     defaults, coverage target 0.5, at most 200 placements, 5000 backup
-    iterations, 2000 refinement iterations, walk seeded with the
-    backup. *)
+    iterations (best of 3 restarts), 2000 refinement iterations, walk
+    seeded with the backup. *)
 
 val fast_config : config
 (** Reduced budgets for tests and demos (15 explorer iterations, 120
@@ -66,6 +71,12 @@ type stats = {
   coverage : float;
   explorer_steps : int;  (** Candidate placements evaluated. *)
   candidates_dropped : int;  (** Candidates fully absorbed by better ones. *)
+  cost_evaluations : int;
+      (** Placement cost evaluations performed during the run: SA moves
+          across the backup / refinement / BDIO annealing loops plus
+          admission-test sampling.  The generation-throughput benchmarks
+          report this over wall time.  Restarts at zero on a resumed
+          run, like [generation_seconds]. *)
   generation_seconds : float;  (** CPU time of the generation run. *)
   deadline_hit : bool;
       (** The run stopped early because [max_seconds] elapsed; the

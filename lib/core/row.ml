@@ -28,6 +28,21 @@ let find_range t range =
   in
   loop Int_set.empty t
 
+(* Allocation-free variant of [find_range] for the Resolve Overlaps hot
+   path: visit every id whose interval meets the range (duplicates
+   possible when an id spans several interval objects). *)
+let iter_range t range ~f =
+  let rec loop = function
+    | [] -> ()
+    | (iv, set) :: rest ->
+      if Interval.hi range < Interval.lo iv then ()
+      else begin
+        if Interval.overlaps iv range then Int_set.iter f set;
+        loop rest
+      end
+  in
+  loop t
+
 (* Merge neighbours that carry the same set and touch. *)
 let normalize t =
   let rec loop = function

@@ -29,6 +29,12 @@ val find_range : t -> Mps_geometry.Interval.t -> Int_set.t
     placement whose interval overlaps it.  This powers the Resolve
     Overlaps search for placements overlapping a candidate box. *)
 
+val iter_range : t -> Mps_geometry.Interval.t -> f:(int -> unit) -> unit
+(** [find_range] without building a set: calls [f] on every id whose
+    interval meets the range.  An id spanning several interval objects
+    is visited once per object, so [f] must be idempotent (the Resolve
+    Overlaps search accumulates into a {!Bitset}). *)
+
 val add_range : t -> Mps_geometry.Interval.t -> int -> t
 (** Register placement [id] over the whole range, splitting existing
     interval objects at the boundaries and creating fresh ones over

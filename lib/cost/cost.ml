@@ -62,10 +62,25 @@ let evaluate ?(weights = default_weights) circuit ~die_w ~die_h rects =
   if Array.length rects <> Circuit.n_blocks circuit then
     invalid_arg "Cost.evaluate: one rectangle per block required";
   let hpwl = Wirelength.total_hpwl circuit ~rects ~die_w ~die_h in
+  (* direct fold over the array: no [Array.to_list] and no intermediate
+     rects on what is the single hottest full-evaluation entry point *)
   let bbox_area =
-    match Rect.bounding_box (Array.to_list rects) with
-    | Some bb -> Rect.area bb
-    | None -> 0
+    let n = Array.length rects in
+    if n = 0 then 0
+    else begin
+      let r0 = rects.(0) in
+      let min_x = ref r0.Rect.x and min_y = ref r0.Rect.y in
+      let max_x = ref (Rect.right r0) and max_y = ref (Rect.top r0) in
+      for i = 1 to n - 1 do
+        let r = rects.(i) in
+        if r.Rect.x < !min_x then min_x := r.Rect.x;
+        if r.Rect.y < !min_y then min_y := r.Rect.y;
+        let xr = Rect.right r and yt = Rect.top r in
+        if xr > !max_x then max_x := xr;
+        if yt > !max_y then max_y := yt
+      done;
+      (!max_x - !min_x) * (!max_y - !min_y)
+    end
   in
   let overlap_area = total_overlap_area rects in
   let oob_area = total_oob_area ~die_w ~die_h rects in

@@ -1,5 +1,10 @@
 type t = { x : int; y : int; w : int; h : int }
 
+(* Int-specialized [min]/[max]: the polymorphic ones cost a generic
+   compare call each, and [overlap_area] sits in O(n^2) cost loops. *)
+let[@inline] imin (a : int) b = if a <= b then a else b
+let[@inline] imax (a : int) b = if a >= b then a else b
+
 let make ~x ~y ~w ~h =
   if w <= 0 || h <= 0 then
     invalid_arg (Printf.sprintf "Rect.make: non-positive size %dx%d" w h);
@@ -21,8 +26,8 @@ let overlaps a b =
   a.x < right b && b.x < right a && a.y < top b && b.y < top a
 
 let overlap_area a b =
-  let dx = min (right a) (right b) - max a.x b.x in
-  let dy = min (top a) (top b) - max a.y b.y in
+  let dx = imin (right a) (right b) - imax a.x b.x in
+  let dy = imin (top a) (top b) - imax a.y b.y in
   if dx > 0 && dy > 0 then dx * dy else 0
 
 let contains_point t ~x ~y = t.x <= x && x < right t && t.y <= y && y < top t
@@ -39,8 +44,8 @@ let bounding_box = function
   | [] -> None
   | r :: rest ->
     let f acc r =
-      let x = min acc.x r.x and y = min acc.y r.y in
-      let xr = max (right acc) (right r) and yt = max (top acc) (top r) in
+      let x = imin acc.x r.x and y = imin acc.y r.y in
+      let xr = imax (right acc) (right r) and yt = imax (top acc) (top r) in
       { x; y; w = xr - x; h = yt - y }
     in
     Some (List.fold_left f r rest)

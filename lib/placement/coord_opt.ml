@@ -28,42 +28,18 @@ type result = {
   evaluations : int;
 }
 
+(* The annealing state is one mutable Mps_cost.Incremental evaluator;
+   moves are staged on it, costed as deltas, and either committed or
+   undone — no rect array or coordinate array is allocated per move. *)
 let optimize ?(config = default_config) ?initial ~rng circuit ~die_w ~die_h dims =
   let n = Circuit.n_blocks circuit in
   if Dims.n_blocks dims <> n then invalid_arg "Coord_opt.optimize: block count mismatch";
   let max_shift =
     max 1 (int_of_float (config.max_shift_fraction *. float_of_int (max die_w die_h)))
   in
-  let rects_of coords =
-    Array.mapi
-      (fun i (x, y) -> Rect.make ~x ~y ~w:(Dims.width dims i) ~h:(Dims.height dims i))
-      coords
-  in
-  let cost coords =
-    Mps_cost.Cost.total ~weights:config.weights circuit ~die_w ~die_h (rects_of coords)
-  in
   let clamp_pos i (x, y) =
     ( max 0 (min x (die_w - Dims.width dims i)),
       max 0 (min y (die_h - Dims.height dims i)) )
-  in
-  let neighbor rng coords =
-    let coords = Array.copy coords in
-    if n >= 2 && Rng.bernoulli rng config.swap_probability then begin
-      let i = Rng.int rng n in
-      let j = (i + 1 + Rng.int rng (n - 1)) mod n in
-      let tmp = coords.(i) in
-      coords.(i) <- clamp_pos i coords.(j);
-      coords.(j) <- clamp_pos j tmp
-    end
-    else begin
-      let i = Rng.int rng n in
-      let x, y = coords.(i) in
-      coords.(i) <-
-        clamp_pos i
-          ( x + Rng.int_in rng (-max_shift) max_shift,
-            y + Rng.int_in rng (-max_shift) max_shift )
-    end;
-    coords
   in
   let initial =
     match initial with
@@ -75,15 +51,71 @@ let optimize ?(config = default_config) ?initial ~rng circuit ~die_w ~die_h dims
           ( Rng.int_in rng 0 (max 0 (die_w - Dims.width dims i)),
             Rng.int_in rng 0 (max 0 (die_h - Dims.height dims i)) ))
   in
-  let sa =
-    Annealer.run ~rng ~schedule:config.schedule ~iterations:config.iterations
-      { Annealer.initial; cost; neighbor }
+  let rects_of coords =
+    Array.mapi
+      (fun i (x, y) -> Rect.make ~x ~y ~w:(Dims.width dims i) ~h:(Dims.height dims i))
+      coords
   in
-  let rects = rects_of sa.Annealer.best in
+  let eng =
+    Mps_cost.Incremental.create ~weights:config.weights circuit ~die_w ~die_h
+      (rects_of initial)
+  in
+  (* One preallocated proposal buffer; [propose] overwrites it in place. *)
+  let mv_swap = ref false and mv_i = ref 0 and mv_j = ref 0 in
+  let mv_x = ref 0 and mv_y = ref 0 in
+  let propose rng =
+    if n >= 2 && Rng.bernoulli rng config.swap_probability then begin
+      let i = Rng.int rng n in
+      mv_swap := true;
+      mv_i := i;
+      mv_j := (i + 1 + Rng.int rng (n - 1)) mod n
+    end
+    else begin
+      let i = Rng.int rng n in
+      mv_swap := false;
+      mv_i := i;
+      let x, y =
+        clamp_pos i
+          ( Mps_cost.Incremental.block_x eng i + Rng.int_in rng (-max_shift) max_shift,
+            Mps_cost.Incremental.block_y eng i + Rng.int_in rng (-max_shift) max_shift )
+      in
+      mv_x := x;
+      mv_y := y
+    end
+  in
+  let current_total = ref (Mps_cost.Incremental.total eng) in
+  let staged_total = ref !current_total in
+  let delta_cost () =
+    if !mv_swap then Mps_cost.Incremental.swap_blocks eng !mv_i !mv_j
+    else Mps_cost.Incremental.move_block eng !mv_i ~x:!mv_x ~y:!mv_y;
+    staged_total := Mps_cost.Incremental.total eng;
+    !staged_total -. !current_total
+  in
+  let commit () =
+    Mps_cost.Incremental.commit eng;
+    (* re-read rather than trust [staged_total]: the commit may have
+       triggered the periodic anti-drift resync *)
+    current_total := Mps_cost.Incremental.total eng
+  in
+  let reject () = Mps_cost.Incremental.undo eng in
+  let best = Array.map (fun pos -> pos) initial in
+  let snapshot_best () =
+    for i = 0 to n - 1 do
+      best.(i) <- (Mps_cost.Incremental.block_x eng i, Mps_cost.Incremental.block_y eng i)
+    done
+  in
+  let sa =
+    Annealer.run_moves
+      ~on_improve:(fun ~cost:_ ~step:_ -> snapshot_best ())
+      ~rng ~schedule:config.schedule ~iterations:config.iterations
+      ~initial_cost:!current_total
+      { Annealer.propose; delta_cost; commit; reject }
+  in
+  let rects = rects_of best in
   {
-    placement = Placement.make ~coords:sa.Annealer.best ~die_w ~die_h;
+    placement = Placement.make ~coords:best ~die_w ~die_h;
     rects;
-    cost = sa.Annealer.best_cost;
+    cost = Mps_cost.Cost.total ~weights:config.weights circuit ~die_w ~die_h rects;
     legal = Mps_cost.Cost.is_legal ~die_w ~die_h rects;
-    evaluations = sa.Annealer.evaluations;
+    evaluations = sa.Annealer.mv_evaluations;
   }

@@ -14,43 +14,43 @@ let expand circuit placement =
   let min_dims = Circuit.min_dims circuit in
   let w = Array.init n (Dims.width min_dims) in
   let h = Array.init n (Dims.height min_dims) in
-  let rect i = Rect.make ~x:(fst placement.Placement.coords.(i))
-      ~y:(snd placement.Placement.coords.(i)) ~w:w.(i) ~h:h.(i)
-  in
-  let fits i candidate =
-    Rect.inside candidate ~die_w:placement.Placement.die_w
-      ~die_h:placement.Placement.die_h
+  let xs = Array.init n (fun i -> fst placement.Placement.coords.(i)) in
+  let ys = Array.init n (fun i -> snd placement.Placement.coords.(i)) in
+  let die_w = placement.Placement.die_w and die_h = placement.Placement.die_h in
+  (* Every granted unit re-checks the grown block against all others, so
+     this runs O(n) times per unit across thousands of units: plain int
+     comparisons on the coordinate arrays, no Rect allocation. *)
+  let fits i cw ch =
+    let x = xs.(i) and y = ys.(i) in
+    x >= 0 && y >= 0 && x + cw <= die_w && y + ch <= die_h
     &&
     let rec no_clash j =
-      j >= n || ((j = i || not (Rect.overlaps candidate (rect j))) && no_clash (j + 1))
+      j >= n
+      || ((j = i
+          || not
+               (x < xs.(j) + w.(j) && xs.(j) < x + cw
+               && y < ys.(j) + h.(j) && ys.(j) < y + ch))
+         && no_clash (j + 1))
     in
     no_clash 0
   in
   let grow_w i =
     let blk = Circuit.block circuit i in
     if w.(i) >= Interval.hi blk.Block.w_bounds then false
-    else begin
-      let x, y = placement.Placement.coords.(i) in
-      let candidate = Rect.make ~x ~y ~w:(w.(i) + 1) ~h:h.(i) in
-      if fits i candidate then begin
-        w.(i) <- w.(i) + 1;
-        true
-      end
-      else false
+    else if fits i (w.(i) + 1) h.(i) then begin
+      w.(i) <- w.(i) + 1;
+      true
     end
+    else false
   in
   let grow_h i =
     let blk = Circuit.block circuit i in
     if h.(i) >= Interval.hi blk.Block.h_bounds then false
-    else begin
-      let x, y = placement.Placement.coords.(i) in
-      let candidate = Rect.make ~x ~y ~w:w.(i) ~h:(h.(i) + 1) in
-      if fits i candidate then begin
-        h.(i) <- h.(i) + 1;
-        true
-      end
-      else false
+    else if fits i w.(i) (h.(i) + 1) then begin
+      h.(i) <- h.(i) + 1;
+      true
     end
+    else false
   in
   let rec passes () =
     let changed = ref false in

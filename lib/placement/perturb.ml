@@ -9,12 +9,27 @@ let wrap v ~range =
     let m = v mod (range + 1) in
     if m < 0 then m + range + 1 else m
 
+(* A block whose minimum dimensions exceed the die can never be placed:
+   without this check the failure surfaces as an opaque [Rng.int_in] /
+   [wrap] range error (or a 500-try resampling timeout) deep inside the
+   walk.  Fail fast and say which block is impossible. *)
+let check_fits circuit ~min_dims ~die_w ~die_h ~where =
+  for i = 0 to Circuit.n_blocks circuit - 1 do
+    let w = Dims.width min_dims i and h = Dims.height min_dims i in
+    if w > die_w || h > die_h then
+      invalid_arg
+        (Printf.sprintf
+           "Perturb.%s: block %d (%s) minimum size %dx%d exceeds the %dx%d die" where i
+           (Circuit.block circuit i).Block.name w h die_w die_h)
+  done
+
 (* Resample the positions of blocks whose min-dims rectangles clash
    until the placement is legal again. *)
 let legalize rng circuit placement =
   let n = Circuit.n_blocks circuit in
   let min_dims = Circuit.min_dims circuit in
   let die_w = placement.Placement.die_w and die_h = placement.Placement.die_h in
+  check_fits circuit ~min_dims ~die_w ~die_h ~where:"legalize";
   let coords = Array.copy placement.Placement.coords in
   let rect i =
     let x, y = coords.(i) in
@@ -51,6 +66,8 @@ let perturb rng circuit ~fraction ~max_shift placement =
   if max_shift <= 0 then invalid_arg "Perturb.perturb: non-positive max_shift";
   let n = Circuit.n_blocks circuit in
   let min_dims = Circuit.min_dims circuit in
+  check_fits circuit ~min_dims ~die_w:placement.Placement.die_w
+    ~die_h:placement.Placement.die_h ~where:"perturb";
   let k = max 1 (int_of_float (ceil (fraction *. float_of_int n))) in
   let victims = Rng.sample_distinct rng ~k ~n in
   let coords = Array.copy placement.Placement.coords in

@@ -20,5 +20,8 @@ val perturb :
 (** Move [ceil (fraction * N)] randomly chosen blocks (at least one) by
     uniform shifts in [[-max_shift, max_shift]] per axis, wrapping at the
     die boundary, then legalize at minimum dimensions.
-    @raise Invalid_argument when [fraction] is outside [(0, 1]] or
-    [max_shift <= 0]. *)
+    @raise Invalid_argument when [fraction] is outside [(0, 1]], when
+    [max_shift <= 0], or when some block's minimum dimensions exceed the
+    die (the error names the block; checked up front in both [perturb]
+    and the legalization pass rather than surfacing as an opaque range
+    error mid-walk). *)

@@ -100,6 +100,67 @@ let test_annealer_greedy_at_low_temp () =
   check_bool "monotone improvement" true
     (r.Annealer.final_cost <= quadratic_problem.Annealer.cost 50.0)
 
+(* The move-based interface on the same quadratic: state is a mutable
+   driver variable, the annealer sees only deltas. *)
+let run_moves_quadratic ?should_stop seed iterations =
+  let cost x = (x -. 7.0) *. (x -. 7.0) in
+  let cur = ref 50.0 and staged = ref 50.0 and best = ref 50.0 in
+  let problem =
+    {
+      Annealer.propose = (fun rng -> Rng.float_in rng (-3.0) 3.0);
+      delta_cost =
+        (fun dx ->
+          staged := !cur +. dx;
+          cost !staged -. cost !cur);
+      commit = (fun _ -> cur := !staged);
+      reject = (fun _ -> staged := !cur);
+    }
+  in
+  let r =
+    Annealer.run_moves
+      ~on_improve:(fun ~cost:_ ~step:_ -> best := !cur)
+      ?should_stop ~rng:(Rng.create ~seed)
+      ~schedule:(Schedule.geometric ~t0:100.0 ~alpha:0.97 ~t_min:1e-4 ())
+      ~iterations ~initial_cost:(cost 50.0) problem
+  in
+  (r, !best)
+
+let test_run_moves_finds_minimum () =
+  let r, best = run_moves_quadratic 3 2000 in
+  check_bool "near 7" true (abs_float (best -. 7.0) < 0.5);
+  check_bool "best cost small" true (r.Annealer.mv_best_cost < 0.5)
+
+let test_run_moves_matches_run () =
+  (* Same RNG draws, same Metropolis rule: the move-based run must make
+     exactly the decisions of the functional one (costs drift only by
+     delta-accumulation rounding). *)
+  let r = run_quadratic 9 and m, best = run_moves_quadratic 9 2000 in
+  let close = Alcotest.(check (float 1e-6)) in
+  close "same best state" r.Annealer.best best;
+  close "same best cost" r.Annealer.best_cost m.Annealer.mv_best_cost;
+  close "same final cost" r.Annealer.final_cost m.Annealer.mv_final_cost;
+  close "same average" r.Annealer.average_cost m.Annealer.mv_average_cost;
+  Alcotest.(check int) "same evaluations" r.Annealer.evaluations m.Annealer.mv_evaluations;
+  Alcotest.(check int) "same acceptances" r.Annealer.acceptances m.Annealer.mv_acceptances
+
+let test_run_moves_statistics () =
+  let r, _ = run_moves_quadratic 3 2000 in
+  check_bool "best <= final" true (r.Annealer.mv_best_cost <= r.Annealer.mv_final_cost);
+  check_bool "avg >= best" true (r.Annealer.mv_average_cost >= r.Annealer.mv_best_cost);
+  check_bool "evaluations = iterations + initial" true (r.Annealer.mv_evaluations = 2001);
+  check_bool "some acceptances" true (r.Annealer.mv_acceptances > 0)
+
+let test_run_moves_zero_iterations () =
+  let r, _ = run_moves_quadratic 1 0 in
+  check_float "best is initial" ((50.0 -. 7.0) ** 2.0) r.Annealer.mv_best_cost;
+  check_bool "one evaluation" true (r.Annealer.mv_evaluations = 1)
+
+let test_run_moves_should_stop () =
+  let r, _ =
+    run_moves_quadratic ~should_stop:(fun ~best_cost:_ ~step -> step >= 10) 2 1000
+  in
+  check_bool "stopped early" true (r.Annealer.mv_evaluations <= 11)
+
 let prop_best_is_min_of_accepted =
   QCheck.Test.make ~name:"annealer best <= every accepted cost" ~count:50
     QCheck.(int_range 0 10_000)
@@ -128,5 +189,10 @@ let suite =
     ("on_accept hook fires per acceptance", `Quick, test_annealer_on_accept_hook);
     ("should_stop ends the run early", `Quick, test_annealer_should_stop);
     ("greedy at low temperature", `Quick, test_annealer_greedy_at_low_temp);
+    ("run_moves finds a quadratic minimum", `Quick, test_run_moves_finds_minimum);
+    ("run_moves mirrors run decision-for-decision", `Quick, test_run_moves_matches_run);
+    ("run_moves statistics are consistent", `Quick, test_run_moves_statistics);
+    ("run_moves zero iterations", `Quick, test_run_moves_zero_iterations);
+    ("run_moves should_stop ends early", `Quick, test_run_moves_should_stop);
   ]
   @ List.map QCheck_alcotest.to_alcotest [ prop_best_is_min_of_accepted ]

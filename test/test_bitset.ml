@@ -60,6 +60,14 @@ let test_choose_iter () =
   check_bool "choose smallest" true (Bitset.choose s = Some 7);
   Alcotest.(check (list int)) "iter ascending" [ 7; 64; 150 ] (Bitset.to_list s)
 
+let test_clear () =
+  let s = Bitset.of_list ~capacity:130 [ 0; 63; 64; 129 ] in
+  Bitset.clear s;
+  check_bool "empty after clear" true (Bitset.is_empty s);
+  check_int "cardinal 0" 0 (Bitset.cardinal s);
+  Bitset.add s 64;
+  Alcotest.(check (list int)) "reusable" [ 64 ] (Bitset.to_list s)
+
 let test_copy_independent () =
   let a = Bitset.of_list ~capacity:10 [ 2 ] in
   let b = Bitset.copy a in
@@ -102,6 +110,7 @@ let suite =
     ("out-of-range indices raise", `Quick, test_out_of_range);
     ("inter_into", `Quick, test_inter_into);
     ("choose and ascending iteration", `Quick, test_choose_iter);
+    ("clear", `Quick, test_clear);
     ("copy is independent", `Quick, test_copy_independent);
     ("equality", `Quick, test_equal);
   ]

@@ -1,0 +1,232 @@
+(* Tests for the incremental (delta) cost engine: totals must track the
+   from-scratch evaluator through arbitrary move / swap / resize
+   sequences with interleaved undo, on every Table 1 circuit. *)
+
+open Mps_geometry
+open Mps_netlist
+open Mps_cost
+open Mps_rng
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+let random_rects rng circuit ~die_w ~die_h =
+  let bounds = Circuit.dim_bounds circuit in
+  Array.init (Circuit.n_blocks circuit) (fun i ->
+      let wiv = Dimbox.w_interval bounds i and hiv = Dimbox.h_interval bounds i in
+      let w = Rng.int_in rng (Interval.lo wiv) (Interval.hi wiv) in
+      let h = Rng.int_in rng (Interval.lo hiv) (Interval.hi hiv) in
+      Rect.make ~x:(Rng.int_in rng 0 (max 0 (die_w - w)))
+        ~y:(Rng.int_in rng 0 (max 0 (die_h - h)))
+        ~w ~h)
+
+let make_engine ?resync_every circuit rng =
+  let die_w, die_h = Circuit.default_die circuit in
+  let rects = random_rects rng circuit ~die_w ~die_h in
+  (Incremental.create ?resync_every circuit ~die_w ~die_h rects, rects, die_w, die_h)
+
+(* --- unit tests ------------------------------------------------------ *)
+
+let test_initial_matches_evaluate () =
+  List.iter
+    (fun circuit ->
+      let rng = Rng.create ~seed:11 in
+      let eng, rects, die_w, die_h = make_engine circuit rng in
+      let reference = Cost.evaluate circuit ~die_w ~die_h rects in
+      check_float circuit.Circuit.name reference.Cost.total (Incremental.total eng);
+      let b = Incremental.breakdown eng in
+      check_int "bbox" reference.Cost.bbox_area b.Cost.bbox_area;
+      check_int "overlap" reference.Cost.overlap_area b.Cost.overlap_area;
+      check_int "oob" reference.Cost.oob_area b.Cost.oob_area;
+      check_float "hpwl" reference.Cost.hpwl b.Cost.hpwl)
+    Benchmarks.all
+
+let test_staged_then_undo_restores () =
+  let circuit = Benchmarks.circ06 in
+  let rng = Rng.create ~seed:3 in
+  let eng, rects, die_w, die_h = make_engine circuit rng in
+  let before = Incremental.total eng in
+  Incremental.move_block eng 0 ~x:1 ~y:2;
+  Incremental.resize_block eng 1 ~w:9 ~h:7;
+  Incremental.swap_blocks eng 0 2;
+  check_bool "staged ops pending" true (Incremental.pending eng > 0);
+  Incremental.undo eng;
+  check_int "nothing pending" 0 (Incremental.pending eng);
+  check_float "total restored" before (Incremental.total eng);
+  Array.iteri
+    (fun i r ->
+      check_bool "rect restored" true (Rect.equal r (Incremental.rects eng).(i)))
+    rects;
+  ignore die_w;
+  ignore die_h
+
+let test_commit_keeps_staged_state () =
+  let circuit = Benchmarks.circ01 in
+  let rng = Rng.create ~seed:4 in
+  let eng, _, die_w, die_h = make_engine circuit rng in
+  Incremental.move_block eng 0 ~x:3 ~y:5;
+  let staged = Incremental.total eng in
+  Incremental.commit eng;
+  check_float "commit keeps the staged total" staged (Incremental.total eng);
+  let reference = Cost.total circuit ~die_w ~die_h (Incremental.rects eng) in
+  check_float "matches evaluator" reference (Incremental.total eng)
+
+let test_swap_is_clamped_and_self_noop () =
+  let circuit = Benchmarks.circ01 in
+  let rng = Rng.create ~seed:5 in
+  let eng, _, die_w, die_h = make_engine circuit rng in
+  let x0 = Incremental.block_x eng 0 and y0 = Incremental.block_y eng 0 in
+  Incremental.swap_blocks eng 0 0;
+  check_int "self-swap stages nothing" 0 (Incremental.pending eng);
+  Incremental.swap_blocks eng 0 1;
+  List.iter
+    (fun i ->
+      check_bool "x clamped" true
+        (Incremental.block_x eng i >= 0
+        && Incremental.block_x eng i + Incremental.block_w eng i <= die_w);
+      check_bool "y clamped" true
+        (Incremental.block_y eng i >= 0
+        && Incremental.block_y eng i + Incremental.block_h eng i <= die_h))
+    [ 0; 1 ];
+  Incremental.undo eng;
+  check_int "x restored" x0 (Incremental.block_x eng 0);
+  check_int "y restored" y0 (Incremental.block_y eng 0)
+
+let test_batch_mode () =
+  let circuit = Benchmarks.benchmark24 in
+  let rng = Rng.create ~seed:6 in
+  let eng, _, die_w, die_h = make_engine circuit rng in
+  let before = Incremental.total eng in
+  Incremental.begin_batch eng;
+  for i = 0 to 14 do
+    Incremental.resize_block eng i ~w:(10 + i) ~h:(12 + i)
+  done;
+  Incremental.end_batch eng;
+  let reference = Cost.total circuit ~die_w ~die_h (Incremental.rects eng) in
+  check_float "batched state matches evaluator" reference (Incremental.total eng);
+  Incremental.undo eng;
+  check_float "batched group undone whole" before (Incremental.total eng)
+
+let test_argument_errors () =
+  let circuit = Benchmarks.circ01 in
+  let rng = Rng.create ~seed:7 in
+  let eng, _, _, _ = make_engine circuit rng in
+  let n = Incremental.n_blocks eng in
+  Alcotest.check_raises "bad index"
+    (Invalid_argument (Printf.sprintf "Incremental.move_block: block %d out of [0, %d)" n n))
+    (fun () -> Incremental.move_block eng n ~x:0 ~y:0);
+  Alcotest.check_raises "bad size"
+    (Invalid_argument "Incremental.resize_block: non-positive size 0x3") (fun () ->
+      Incremental.resize_block eng 0 ~w:0 ~h:3);
+  Alcotest.check_raises "no batch open"
+    (Invalid_argument "Incremental.end_batch: no batch open") (fun () ->
+      Incremental.end_batch eng);
+  Incremental.begin_batch eng;
+  Alcotest.check_raises "batch already open"
+    (Invalid_argument "Incremental.begin_batch: batch already open") (fun () ->
+      Incremental.begin_batch eng);
+  Alcotest.check_raises "undo inside batch"
+    (Invalid_argument "Incremental.undo: close the open batch first") (fun () ->
+      Incremental.undo eng);
+  Incremental.end_batch eng;
+  Incremental.undo eng
+
+(* --- the agreement property ------------------------------------------ *)
+
+(* Replay the engine's op stream on a plain rect array (including the
+   swap clamping) so [Cost.evaluate] can referee every step. *)
+let clamp v lo hi = max lo (min v hi)
+
+let apply_random_op rng eng mirror ~die_w ~die_h =
+  let n = Array.length mirror in
+  let i = Rng.int_in rng 0 (n - 1) in
+  match Rng.int_in rng 0 2 with
+  | 0 ->
+    (* raw move, deliberately sometimes out of die *)
+    let x = Rng.int_in rng (-10) (die_w + 10) and y = Rng.int_in rng (-10) (die_h + 10) in
+    Incremental.move_block eng i ~x ~y;
+    mirror.(i) <- Rect.make ~x ~y ~w:mirror.(i).Rect.w ~h:mirror.(i).Rect.h
+  | 1 ->
+    let w = Rng.int_in rng 1 (max 2 (die_w / 2)) in
+    let h = Rng.int_in rng 1 (max 2 (die_h / 2)) in
+    Incremental.resize_block eng i ~w ~h;
+    mirror.(i) <- Rect.make ~x:mirror.(i).Rect.x ~y:mirror.(i).Rect.y ~w ~h
+  | _ ->
+    let j = Rng.int_in rng 0 (n - 1) in
+    Incremental.swap_blocks eng i j;
+    if i <> j then begin
+      let ri = mirror.(i) and rj = mirror.(j) in
+      mirror.(i) <-
+        Rect.make
+          ~x:(clamp rj.Rect.x 0 (die_w - ri.Rect.w))
+          ~y:(clamp rj.Rect.y 0 (die_h - ri.Rect.h))
+          ~w:ri.Rect.w ~h:ri.Rect.h;
+      mirror.(j) <-
+        Rect.make
+          ~x:(clamp ri.Rect.x 0 (die_w - rj.Rect.w))
+          ~y:(clamp ri.Rect.y 0 (die_h - rj.Rect.h))
+          ~w:rj.Rect.w ~h:rj.Rect.h
+    end
+
+let agreement_run circuit ~seed ~steps =
+  let rng = Rng.create ~seed in
+  (* a small resync_every so the periodic resync itself is exercised *)
+  let eng, rects, die_w, die_h = make_engine ~resync_every:13 circuit rng in
+  let mirror = Array.copy rects in
+  let ok = ref true in
+  let agree label =
+    let reference = (Cost.evaluate circuit ~die_w ~die_h mirror).Cost.total in
+    let drift = abs_float (reference -. Incremental.total eng) in
+    if drift > 1e-6 then begin
+      Printf.printf "%s %s: drift %g\n" circuit.Circuit.name label drift;
+      ok := false
+    end
+  in
+  for _ = 1 to steps do
+    let saved = Array.copy mirror in
+    (match Rng.int_in rng 0 3 with
+    | 0 ->
+      (* a batched group of resizes *)
+      Incremental.begin_batch eng;
+      for _ = 1 to Rng.int_in rng 2 5 do
+        apply_random_op rng eng mirror ~die_w ~die_h
+      done;
+      Incremental.end_batch eng
+    | k ->
+      for _ = 0 to k - 1 do
+        apply_random_op rng eng mirror ~die_w ~die_h
+      done);
+    agree "staged";
+    if Rng.bool rng then Incremental.commit eng
+    else begin
+      Incremental.undo eng;
+      Array.blit saved 0 mirror 0 (Array.length mirror)
+    end;
+    agree "after commit/undo"
+  done;
+  (* geometry must agree exactly, and resync must land on the evaluator
+     bit for bit *)
+  Array.iteri
+    (fun i r -> ok := !ok && Rect.equal r (Incremental.rects eng).(i))
+    mirror;
+  Incremental.resync eng;
+  ok := !ok && (Cost.evaluate circuit ~die_w ~die_h mirror).Cost.total = Incremental.total eng;
+  !ok
+
+let prop_agrees_with_evaluator =
+  QCheck.Test.make ~name:"incremental total tracks Cost.evaluate (all circuits)" ~count:6
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      List.for_all (fun circuit -> agreement_run circuit ~seed ~steps:40) Benchmarks.all)
+
+let suite =
+  [
+    ("initial totals match the evaluator", `Quick, test_initial_matches_evaluate);
+    ("staged ops undo to the original state", `Quick, test_staged_then_undo_restores);
+    ("commit keeps the staged state", `Quick, test_commit_keeps_staged_state);
+    ("swap clamps into the die; self-swap no-op", `Quick, test_swap_is_clamped_and_self_noop);
+    ("batch mode matches the evaluator", `Quick, test_batch_mode);
+    ("argument errors", `Quick, test_argument_errors);
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_agrees_with_evaluator ]

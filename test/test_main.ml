@@ -8,6 +8,7 @@ let () =
       ("netlist", Test_netlist.suite);
       ("modgen", Test_modgen.suite);
       ("cost", Test_cost.suite);
+      ("incremental", Test_incremental.suite);
       ("anneal", Test_anneal.suite);
       ("placement", Test_placement.suite);
       ("bitset", Test_bitset.suite);

@@ -184,6 +184,21 @@ let test_perturb_invalid_args () =
   Alcotest.check_raises "shift 0" (Invalid_argument "Perturb.perturb: non-positive max_shift")
     (fun () -> ignore (Perturb.perturb rng c ~fraction:0.5 ~max_shift:0 p))
 
+let test_perturb_impossible_block_fails_fast () =
+  (* A block whose minimum size exceeds the die must be reported by
+     name up front, not as an opaque range error mid-walk. *)
+  let rng = Rng.create ~seed:21 in
+  let c =
+    Circuit.make ~name:"impossible"
+      ~blocks:[| Block.make_wh ~id:0 ~name:"big" ~w:(50, 60) ~h:(50, 60) |]
+      ~nets:[||]
+  in
+  let p = Placement.make ~coords:[| (0, 0) |] ~die_w:20 ~die_h:20 in
+  Alcotest.check_raises "named in the error"
+    (Invalid_argument
+       "Perturb.perturb: block 0 (big) minimum size 50x50 exceeds the 20x20 die")
+    (fun () -> ignore (Perturb.perturb rng c ~fraction:1.0 ~max_shift:5 p))
+
 let suite =
   [
     ("rects instantiation", `Quick, test_rects);
@@ -200,4 +215,5 @@ let suite =
     ("perturb: toroidal wrap", `Quick, test_wrap);
     ("perturb: stays legal, usually moves", `Quick, test_perturb_legal_and_different);
     ("perturb: invalid arguments", `Quick, test_perturb_invalid_args);
+    ("perturb: impossible block fails fast", `Quick, test_perturb_impossible_block_fails_fast);
   ]
