@@ -9,10 +9,14 @@
    Figures 5-7) and the ablation reports.  Pass --quick to use the
    reduced generation budget.
 
-   Standalone mode: --gen-bench times one quick-budget generation per
-   Table 1 circuit and writes machine-readable BENCH_GEN.json
-   (circuit, cost evaluations, wall seconds, evaluations/sec) for the
-   CI throughput artifact; nothing else runs. *)
+   Standalone modes (nothing else runs):
+   --gen-bench    times one quick-budget generation per Table 1 circuit
+                  and writes machine-readable BENCH_GEN.json (circuit,
+                  cost evaluations, wall seconds, evaluations/sec) for
+                  the CI throughput artifact.
+   --query-bench  measures per-call query and instantiation latency
+                  (p50/p99 over 2048 seeded probes per circuit) and
+                  writes BENCH_QUERY.json for the CI latency artifact. *)
 
 open Bechamel
 open Toolkit
@@ -174,6 +178,58 @@ let gen_bench () =
   Printf.printf "benchmark24 speedup vs pre-engine baseline: %.2fx\n" speedup;
   print_endline "wrote BENCH_GEN.json"
 
+(* Query-path latency: per-circuit p50/p99 of a single query and of a
+   full instantiation (query + floorplan materialization), measured
+   per-call over a seeded probe set.  Written as BENCH_QUERY.json for
+   the CI latency artifact — the serving-path counterpart of the
+   generation-throughput numbers above. *)
+let query_bench () =
+  let module E = Mps_experiments.Experiments in
+  let percentile sorted p =
+    let n = Array.length sorted in
+    sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+  in
+  let time_calls f probes =
+    let samples =
+      Array.map
+        (fun dims ->
+          let t0 = Unix.gettimeofday () in
+          ignore (Sys.opaque_identity (f dims));
+          Unix.gettimeofday () -. t0)
+        probes
+    in
+    Array.sort compare samples;
+    (percentile samples 0.50 *. 1e6, percentile samples 0.99 *. 1e6)
+  in
+  let rows =
+    List.map
+      (fun circuit ->
+        let config = E.generator_config E.Quick circuit in
+        let structure, _ = Generator.generate ~config circuit in
+        let probes = E.probe_dims ~seed:23 ~n:2048 structure in
+        (* warm up both paths before measuring *)
+        Array.iter (fun d -> ignore (Structure.instantiate structure d))
+          (Array.sub probes 0 64);
+        let q50, q99 = time_calls (fun d -> Structure.query structure d) probes in
+        let i50, i99 = time_calls (fun d -> Structure.instantiate structure d) probes in
+        Printf.printf
+          "%-20s query p50 %7.2f us  p99 %7.2f us   instantiate p50 %7.2f us  p99 %7.2f \
+           us\n\
+           %!"
+          circuit.Circuit.name q50 q99 i50 i99;
+        Printf.sprintf
+          "    { \"circuit\": %S, \"probes\": %d, \"query_p50_us\": %.3f, \
+           \"query_p99_us\": %.3f, \"instantiate_p50_us\": %.3f, \
+           \"instantiate_p99_us\": %.3f }"
+          circuit.Circuit.name (Array.length probes) q50 q99 i50 i99)
+      Benchmarks.all
+  in
+  let oc = open_out "BENCH_QUERY.json" in
+  Printf.fprintf oc "{\n  \"budget\": \"quick\",\n  \"rows\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" rows);
+  close_out oc;
+  print_endline "wrote BENCH_QUERY.json"
+
 let main () =
   print_endline "=== Micro-benchmarks (bechamel) ===";
   print_newline ();
@@ -210,4 +266,6 @@ let main () =
   print_string (E.synthesis_comparison ~budget ())
 
 let () =
-  if Array.exists (String.equal "--gen-bench") Sys.argv then gen_bench () else main ()
+  if Array.exists (String.equal "--gen-bench") Sys.argv then gen_bench ()
+  else if Array.exists (String.equal "--query-bench") Sys.argv then query_bench ()
+  else main ()

@@ -250,7 +250,9 @@ let instantiate circuit budget point =
   | Structure.Stored_placement id ->
     Format.printf "Query hit stored placement #%d (avg cost %.1f, best cost %.1f).@." id
       stored.Stored.avg_cost stored.Stored.best_cost
-  | Structure.Fallback -> Format.printf "Query fell back to the template placement.@.");
+  | Structure.Fallback -> Format.printf "Query fell back to the template placement.@."
+  | Structure.Out_of_domain ->
+    Format.printf "Dimensions outside the designer space: backup template used.@.");
   Format.printf "Instantiated floorplan (cost %.1f):@.%s" cost
     (Mps_render.Ascii.render ~max_cols:64 circuit ~die_w ~die_h rects)
 
@@ -270,20 +272,49 @@ let dims_of_point circuit point =
   | Max -> Circuit.max_dims circuit
   | Random seed -> Dimbox.random_dims (Mps_rng.Rng.create ~seed) bounds
 
-let query circuit path point salvage =
-  let structure =
-    if salvage then
-      match Codec.load_salvage ~circuit ~path with
-      | Ok sv ->
-        Format.printf "Salvaged %d placements (%d dropped%s%s).@." sv.Codec.recovered
-          sv.Codec.dropped
-          (if sv.Codec.backup_recovered then "" else ", backup lost")
-          (if sv.Codec.checksum_ok then "" else ", checksum bad");
-        sv.Codec.structure
-      | Error e -> die "%s: %s" path (Codec.error_to_string e)
-    else load_structure ~circuit ~path
+(* Explicit dimension vectors: "WxH,WxH,..." one pair per block.  Any
+   shape or range problem is a clean one-line error, never a raw
+   exception out of the CLI. *)
+let parse_dims circuit s =
+  let pair tok =
+    match String.split_on_char 'x' (String.trim tok) with
+    | [ w; h ] -> (
+      match (int_of_string_opt w, int_of_string_opt h) with
+      | Some w, Some h -> (w, h)
+      | _ -> die "bad dimension pair %S (expected WxH, e.g. 12x8)" tok)
+    | _ -> die "bad dimension pair %S (expected WxH, e.g. 12x8)" tok
   in
-  let dims = dims_of_point circuit point in
+  let pairs =
+    String.split_on_char ',' s |> List.filter (fun t -> String.trim t <> "")
+    |> List.map pair
+  in
+  let n = Circuit.n_blocks circuit in
+  if List.length pairs <> n then
+    die "expected %d WxH pairs for %s, got %d" n circuit.Circuit.name (List.length pairs);
+  Dims.of_pairs (Array.of_list pairs)
+
+let load_salvaged ~circuit ~path =
+  match Codec.load_salvage ~circuit ~path with
+  | Ok sv ->
+    Format.printf "Salvaged %d placements (%d dropped, %d quarantined%s%s).@."
+      sv.Codec.recovered sv.Codec.dropped sv.Codec.quarantined
+      (if sv.Codec.backup_recovered then "" else ", backup lost")
+      (if sv.Codec.checksum_ok then "" else ", checksum bad");
+    sv.Codec.structure
+  | Error e -> die "%s: %s" path (Codec.error_to_string e)
+
+let query circuit path point dims_opt salvage =
+  let structure =
+    if salvage then load_salvaged ~circuit ~path else load_structure ~circuit ~path
+  in
+  let dims =
+    match dims_opt with
+    | Some s -> parse_dims circuit s
+    | None -> dims_of_point circuit point
+  in
+  if not (Circuit.dims_valid circuit dims) then
+    die "dimension vector outside the designer range for %s (see mpsgen list)"
+      circuit.Circuit.name;
   let answer, stored = Structure.query structure dims in
   let rects, cost = Structure.instantiate_cost structure dims in
   let die_w, die_h = Structure.die structure in
@@ -291,7 +322,9 @@ let query circuit path point salvage =
   | Structure.Stored_placement id ->
     Format.printf "Hit stored placement #%d (avg %.1f, best %.1f).@." id
       stored.Stored.avg_cost stored.Stored.best_cost
-  | Structure.Fallback -> Format.printf "Uncovered dimensions: backup template used.@.");
+  | Structure.Fallback -> Format.printf "Uncovered dimensions: backup template used.@."
+  | Structure.Out_of_domain ->
+    Format.printf "Dimensions outside the designer space: backup template used.@.");
   Format.printf "Floorplan (cost %.1f):@.%s" cost
     (Mps_render.Ascii.render ~max_cols:64 circuit ~die_w ~die_h rects)
 
@@ -309,10 +342,20 @@ let salvage_arg =
           "Recover what is intact from a corrupt or truncated file instead of refusing \
            it; queries over lost territory fall back to the backup placement.")
 
+let dims_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dims" ] ~docv:"DIMS"
+        ~doc:
+          "Explicit dimension vector, one WxH pair per block, comma separated (e.g. \
+           $(b,12x8,10x20)).  Overrides $(b,--point).  Out-of-range vectors are \
+           rejected with exit code 1.")
+
 let query_cmd =
   Cmd.v
     (Cmd.info "query" ~doc:"Query a saved multi-placement structure (no regeneration).")
-    Term.(const query $ circuit_arg $ load_arg $ point_arg $ salvage_arg)
+    Term.(const query $ circuit_arg $ load_arg $ point_arg $ dims_arg $ salvage_arg)
 
 (* verify a saved structure *)
 
@@ -341,6 +384,101 @@ let verify_cmd =
           identity, placement well-formedness and validity-box disjointness.  Exits \
           nonzero with a line-accurate message on any failure.")
     Term.(const verify $ circuit_arg $ load_arg)
+
+(* audit a saved structure *)
+
+let audit circuit path salvage json samples seed out =
+  let structure =
+    if salvage then load_salvaged ~circuit ~path else load_structure ~circuit ~path
+  in
+  let report = Audit.run ~samples_per_box:samples ~seed structure in
+  let rendered = if json then Audit.to_json report else Audit.to_string report in
+  (match out with
+  | None -> print_string rendered
+  | Some p ->
+    (try Persist.atomic_write ~path:p rendered
+     with Sys_error msg -> die "%s" msg);
+    Format.printf "wrote audit report to %s@." p;
+    if not json then print_string rendered);
+  if Audit.clean report then () else exit 1
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Emit the machine-readable JSON report instead of text.")
+
+let samples_arg =
+  Arg.(
+    value
+    & opt int 12
+    & info [ "samples" ] ~docv:"N" ~doc:"Seeded legality samples per validity box.")
+
+let audit_seed_arg =
+  Arg.(
+    value
+    & opt int 7
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Seed for the audit's sampled checks.")
+
+let report_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Also write the report to $(docv).")
+
+let audit_cmd =
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Re-prove every invariant of a saved structure: validity-box disjointness (eq. \
+          5), box-in-expansion containment, floorplan legality at box corners and \
+          seeded samples, cost-field consistency, backup legality and whole-space \
+          query probes.  Exits 1 when any Fatal or Degraded finding survives.")
+    Term.(
+      const audit $ circuit_arg $ load_arg $ salvage_arg $ json_arg $ samples_arg
+      $ audit_seed_arg $ report_out_arg)
+
+(* repair a saved structure *)
+
+let repair circuit path reanneal out =
+  let structure = load_salvaged ~circuit ~path in
+  let config =
+    { Repair.default_config with Repair.reanneal_iterations = reanneal }
+  in
+  let outcome = Repair.run ~config structure in
+  print_string (Audit.to_string outcome.Repair.before);
+  Format.printf "%s@." (Repair.describe outcome);
+  let dest = Option.value out ~default:path in
+  (match Codec.save outcome.Repair.structure ~path:dest with
+  | () -> Format.printf "saved repaired structure to %s@." dest
+  | exception Codec.Error e -> die "%s: %s" dest (Codec.error_to_string e));
+  print_string (Audit.to_string outcome.Repair.after);
+  if Repair.clean outcome then () else exit 1
+
+let reanneal_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "reanneal" ] ~docv:"N"
+        ~doc:
+          "Coordinate-annealing budget (iterations) for re-optimizing quarantined \
+           territory; 0 leaves quarantined territory to the backup template.")
+
+let repair_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "save" ] ~docv:"FILE"
+        ~doc:"Where to write the repaired structure (default: overwrite the input).")
+
+let repair_cmd =
+  Cmd.v
+    (Cmd.info "repair"
+       ~doc:
+         "Salvage a saved structure, audit it, quarantine placements with fatal \
+          findings (their territory falls to the backup template), refresh degraded \
+          cost fields, optionally re-anneal quarantined boxes, re-audit and save.  \
+          Exits 1 when the repaired structure is still not audit-clean.")
+    Term.(const repair $ circuit_arg $ load_arg $ reanneal_arg $ repair_out_arg)
 
 (* route a floorplan *)
 
@@ -512,5 +650,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; generate_cmd; instantiate_cmd; query_cmd; verify_cmd; route_cmd;
-            extend_cmd; experiments_cmd ]))
+          [ list_cmd; generate_cmd; instantiate_cmd; query_cmd; verify_cmd; audit_cmd;
+            repair_cmd; route_cmd; extend_cmd; experiments_cmd ]))

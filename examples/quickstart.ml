@@ -26,6 +26,7 @@ let () =
       match answer with
       | Structure.Stored_placement id -> Printf.sprintf "placement #%d" id
       | Structure.Fallback -> "fallback template"
+      | Structure.Out_of_domain -> "out-of-domain (backup template)"
     in
     Format.printf "@.%s -> %s, cost %.1f@." label kind cost;
     Array.iteri

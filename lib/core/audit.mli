@@ -1,0 +1,89 @@
+(** Typed invariant auditor for compiled/loaded structures.
+
+    A multi-placement structure is generated once and then served inside
+    a synthesis loop for millions of queries; a single corrupted or
+    invariant-violating stored placement silently poisons every sizing
+    run that lands in its hyper-box.  The auditor re-proves, on any
+    {!Structure.t} regardless of where it came from, the properties the
+    generator established by construction:
+
+    - pairwise disjointness of the stored validity boxes (paper eq. 5);
+    - per placement: [box] contained in [expansion] (unless
+      template-like), [best_dims] inside [box], boxes inside the
+      designer dimension space;
+    - legality of each placement's floorplan at its box corners plus
+      seeded samples — no block overlap, nothing outside the die,
+      symmetry scored through {!Mps_cost.Cost.evaluate};
+    - cost-field re-verification: the recorded [best_cost] matches the
+      cost function re-evaluated at [best_dims] within tolerance, and
+      [avg_cost >= best_cost];
+    - the backup template is legal at the circuit's minimum dimensions
+      and over its expansion box;
+    - seeded whole-space query samples: every answer instantiates
+      overlap-free.
+
+    Findings carry a machine-readable code and a severity; the report
+    serializes to JSON for CI artifacts ({!to_json}). *)
+
+open Mps_cost
+
+(** How bad a finding is.  [Fatal] means the structure can answer a
+    query with an illegal or wrong placement (quarantine it); [Degraded]
+    means answers stay legal but quality metadata or territory
+    accounting is wrong (repairable in place); [Info] is advisory. *)
+type severity = Info | Degraded | Fatal
+
+(** What a finding is about. *)
+type subject =
+  | Structure_wide
+  | Placement of int  (** Index into {!Structure.placements}. *)
+  | Backup
+
+type finding = {
+  severity : severity;
+  subject : subject;
+  code : string;  (** Machine-readable, e.g. ["box-overlap"]. *)
+  detail : string;  (** Human-readable specifics. *)
+}
+
+type report = {
+  circuit_name : string;
+  placements : int;
+  explored : int;
+  samples_per_box : int;
+  query_samples : int;
+  findings : finding list;  (** Worst first. *)
+}
+
+val run :
+  ?weights:Cost.weights ->
+  ?samples_per_box:int ->
+  ?query_samples:int ->
+  ?seed:int ->
+  ?tolerance:float ->
+  Structure.t ->
+  report
+(** Audit a structure.  [weights] (default
+    {!Mps_cost.Cost.default_weights}) must be the weights the structure
+    was generated under for the cost re-verification to be meaningful.
+    [samples_per_box] (default 12) seeded legality samples per stored
+    box, [query_samples] (default 64) whole-space query probes, [seed]
+    (default 7) drives both, [tolerance] (default 1e-6) is the relative
+    tolerance of the cost re-verification.  Never raises. *)
+
+val clean : report -> bool
+(** No [Fatal] and no [Degraded] finding ([Info] findings allowed). *)
+
+val worst : report -> severity option
+(** Highest severity present, [None] on a finding-free report. *)
+
+val count : severity -> report -> int
+
+val severity_to_string : severity -> string
+val subject_to_string : subject -> string
+
+val to_string : report -> string
+(** Multi-line human-readable report. *)
+
+val to_json : report -> string
+(** Machine-readable report (stable schema, used as a CI artifact). *)

@@ -4,17 +4,22 @@ open Mps_netlist
 type t = {
   circuit : Circuit.t;
   bounds : Dimbox.t;
+  weights : Mps_cost.Cost.weights;
+      (** Cost weights the stored quality fields were computed under;
+          used to refresh [best_cost] when shrinking moves a
+          placement's [best_dims]. *)
   mutable slots : Stored.t option array;
   mutable n_slots : int;  (** Slots ever allocated; tombstones included. *)
   w_rows : Row.t array;  (** One width row per block, mutated in place. *)
   h_rows : Row.t array;
 }
 
-let create circuit =
+let create ?(weights = Mps_cost.Cost.default_weights) circuit =
   let n = Circuit.n_blocks circuit in
   {
     circuit;
     bounds = Circuit.dim_bounds circuit;
+    weights;
     slots = Array.make 16 None;
     n_slots = 0;
     w_rows = Array.make n Row.empty;
@@ -156,6 +161,24 @@ let shrink_box_against ~victim ~other =
     | None, Some a -> Shrunk (Dimbox.with_axis victim axis a)
     | None, None -> assert false (* [cuttable axis] ruled this out *))
 
+(* Shrink a placement's box, keeping its quality fields honest: when
+   the clamp moves [best_dims], the recorded [best_cost] no longer
+   belongs to the recorded vector — recompute it at the clamped point
+   (and keep [avg_cost >= best_cost]).  This is what lets the auditor
+   re-verify the cost fields of any structure within tolerance. *)
+let with_box_refreshed t stored box =
+  let shrunk = Stored.with_box stored box in
+  if Dims.equal shrunk.Stored.best_dims stored.Stored.best_dims then shrunk
+  else
+    let p = shrunk.Stored.placement in
+    let rects = Mps_placement.Placement.rects p shrunk.Stored.best_dims in
+    let best_cost =
+      Mps_cost.Cost.total ~weights:t.weights t.circuit
+        ~die_w:p.Mps_placement.Placement.die_w ~die_h:p.Mps_placement.Placement.die_h
+        rects
+    in
+    { shrunk with Stored.best_cost; avg_cost = Float.max shrunk.Stored.avg_cost best_cost }
+
 let resolve_and_store t candidate =
   let stored_ids = ref [] in
   let work = Queue.create () in
@@ -178,19 +201,19 @@ let resolve_and_store t candidate =
         remove t idx;
         (match shrink_box_against ~victim:pi.Stored.box ~other:c.Stored.box with
         | Dropped -> ()
-        | Shrunk box -> ignore (insert t (Stored.with_box pi box))
+        | Shrunk box -> ignore (insert t (with_box_refreshed t pi box))
         | Forked (b1, b2) ->
-          ignore (insert t (Stored.with_box pi b1));
-          ignore (insert t (Stored.with_box pi b2)));
+          ignore (insert t (with_box_refreshed t pi b1));
+          ignore (insert t (with_box_refreshed t pi b2)));
         Queue.add c work
       end
       else begin
         match shrink_box_against ~victim:c.Stored.box ~other:pi.Stored.box with
         | Dropped -> ()
-        | Shrunk box -> Queue.add (Stored.with_box c box) work
+        | Shrunk box -> Queue.add (with_box_refreshed t c box) work
         | Forked (b1, b2) ->
-          Queue.add (Stored.with_box c b1) work;
-          Queue.add (Stored.with_box c b2) work
+          Queue.add (with_box_refreshed t c b1) work;
+          Queue.add (with_box_refreshed t c b2) work
       end
   done;
   List.rev !stored_ids

@@ -277,8 +277,10 @@ type salvage = {
   structure : Structure.t;
   recovered : int;
   dropped : int;
+  quarantined : int;
   backup_recovered : bool;
   checksum_ok : bool;
+  audit : Audit.report;
 }
 
 let salvage_of_string ~circuit raw =
@@ -364,8 +366,20 @@ let salvage_of_string ~circuit raw =
           | Some c -> max (c - recovered) 0
           | None -> !failed + !overlapped
         in
+        (* Syntactically intact is not semantically sound: audit the
+           recovered structure and quarantine/repair what fails its
+           invariants (re-annealing stays off on the load path). *)
+        let outcome = Repair.run structure in
         Result.Ok
-          { structure; recovered; dropped; backup_recovered = !backup <> None; checksum_ok })
+          {
+            structure = outcome.Repair.structure;
+            recovered;
+            dropped;
+            quarantined = List.length outcome.Repair.quarantined;
+            backup_recovered = !backup <> None;
+            checksum_ok;
+            audit = outcome.Repair.after;
+          })
 
 let load_salvage ~circuit ~path =
   match Persist.read_file ~path with

@@ -68,16 +68,23 @@ val load : circuit:Circuit.t -> path:string -> Structure.t
 (** Result of a graceful-degradation load from a damaged file. *)
 type salvage = {
   structure : Structure.t;
-      (** Recompiled from the intact placements only; queries over
-          dropped territory fall back to the backup placement. *)
-  recovered : int;  (** Intact stored placements kept. *)
+      (** Recompiled from the intact placements only, then audited and
+          repaired ({!Audit}, {!Repair}); queries over dropped or
+          quarantined territory fall back to the backup placement. *)
+  recovered : int;  (** Syntactically intact stored placements kept. *)
   dropped : int;  (** Stored placements lost to corruption or overlap. *)
+  quarantined : int;
+      (** Recovered placements that failed the semantic audit and were
+          quarantined by the repair pass. *)
   backup_recovered : bool;
       (** Whether the backup section itself survived; when [false] the
           best recovered placement stands in. *)
   checksum_ok : bool;
       (** [false] when the checksum line is absent, unparseable or does
           not match — i.e. whenever {!load} would have refused. *)
+  audit : Audit.report;
+      (** Post-repair audit of [structure]; {!Audit.clean} here means
+          the salvaged structure re-proves every invariant. *)
 }
 
 val salvage_of_string : circuit:Circuit.t -> string -> (salvage, error) result

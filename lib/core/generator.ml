@@ -196,7 +196,11 @@ let run_explorer ?builder ?backup ?resume ~next_candidate ?config:(cfg = default
     | None ->
       let rng = Rng.create ~seed:cfg.seed in
       let die_w, die_h = Circuit.default_die ~slack:cfg.die_slack circuit in
-      let builder = match builder with Some b -> b | None -> Builder.create circuit in
+      let builder =
+        match builder with
+        | Some b -> b
+        | None -> Builder.create ~weights:cfg.bdio.Bdio.weights circuit
+      in
       let backup =
         match backup with
         | Some b -> b

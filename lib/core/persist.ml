@@ -25,24 +25,84 @@ let crc32 s =
 
 let crc32_hex s = Printf.sprintf "%08lx" (crc32 s)
 
+(* Injectable I/O backend.  Every primitive the persistence stack
+   touches goes through the current [io] record, so a fault-injection
+   harness (Mps_fault) can deterministically fail or corrupt any single
+   operation without patching syscalls.  All primitives raise
+   [Sys_error] on failure, like their stdlib counterparts. *)
+
+type io = {
+  read_file : string -> string;
+  write_file : string -> string -> unit;
+      (** Create/truncate the file and write all bytes, flushed and
+          fsynced. *)
+  rename : string -> string -> unit;
+  fsync_dir : string -> unit;
+  remove : string -> unit;
+}
+
+let real_read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let real_write_file path content =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc content;
+      flush oc;
+      (* fsync before rename: the rename must not become durable
+         before the data it points at. *)
+      try Unix.fsync (Unix.descr_of_out_channel oc)
+      with Unix.Unix_error _ -> () (* fsync unsupported (some FS): best effort *))
+
+let real_fsync_dir dir =
+  (* Durability of the rename itself: without a directory fsync the
+     new directory entry can be lost on power failure even though the
+     file data was synced.  Best effort where unsupported. *)
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let default_io =
+  {
+    read_file = real_read_file;
+    write_file = real_write_file;
+    rename = Sys.rename;
+    fsync_dir = real_fsync_dir;
+    remove = Sys.remove;
+  }
+
+let io_ref = ref default_io
+
+let current_io () = !io_ref
+let set_io io = io_ref := io
+
+let with_io io f =
+  let saved = !io_ref in
+  io_ref := io;
+  Fun.protect ~finally:(fun () -> io_ref := saved) f
+
 let atomic_write ~path content =
+  let io = !io_ref in
   let dir = Filename.dirname path in
   let tmp = Filename.temp_file ~temp_dir:dir (Filename.basename path ^ ".tmp.") "" in
   match
-    let oc = open_out_bin tmp in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () ->
-        output_string oc content;
-        flush oc;
-        (* fsync before rename: the rename must not become durable
-           before the data it points at. *)
-        try Unix.fsync (Unix.descr_of_out_channel oc)
-        with Unix.Unix_error _ -> () (* fsync unsupported (some FS): best effort *));
-    Sys.rename tmp path
+    io.write_file tmp content;
+    io.rename tmp path;
+    io.fsync_dir dir
   with
   | () -> ()
   | exception e ->
+    (* No stale temp litter: whether the write or the rename failed,
+       the temporary file is unlinked before the error surfaces.  Use
+       the real remove — the injected one may be the failing op. *)
     (try Sys.remove tmp with Sys_error _ -> ());
     (match e with
     | Sys_error _ -> raise e
@@ -50,8 +110,4 @@ let atomic_write ~path content =
       raise (Sys_error (Printf.sprintf "%s: %s(%s)" path (Unix.error_message err) fn))
     | e -> raise e)
 
-let read_file ~path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+let read_file ~path = !io_ref.read_file path

@@ -3,7 +3,12 @@
 
     Nothing here knows about the structure format; it only moves bytes
     safely.  All file errors surface as [Sys_error] so callers can map
-    them into their own typed errors. *)
+    them into their own typed errors.
+
+    Every file operation routes through an injectable {!io} backend so
+    a fault-injection harness ({!Mps_fault.Fault}) can deterministically
+    fail, truncate or corrupt any single primitive — the foundation of
+    the chaos test suite. *)
 
 val crc32 : string -> int32
 (** CRC-32 (IEEE 802.3 polynomial, the zlib/PNG checksum) of the whole
@@ -13,13 +18,42 @@ val crc32_hex : string -> string
 (** {!crc32} rendered as 8 lowercase hex digits — the token written on
     checksum lines. *)
 
+(** The pluggable I/O backend.  Each primitive raises [Sys_error] on
+    failure, like its stdlib counterpart. *)
+type io = {
+  read_file : string -> string;  (** Whole file as a string. *)
+  write_file : string -> string -> unit;
+      (** Create/truncate and write all bytes, flushed and fsynced. *)
+  rename : string -> string -> unit;
+  fsync_dir : string -> unit;
+      (** Fsync a directory so a completed rename survives power loss;
+          best effort where unsupported. *)
+  remove : string -> unit;
+}
+
+val default_io : io
+(** The real filesystem. *)
+
+val current_io : unit -> io
+
+val set_io : io -> unit
+(** Install a backend globally (tests/fault injection).  Prefer
+    {!with_io} for scoped use. *)
+
+val with_io : io -> (unit -> 'a) -> 'a
+(** Run a thunk with the given backend installed, restoring the
+    previous backend afterwards (also on exceptions). *)
+
 val atomic_write : path:string -> string -> unit
 (** Replace the file at [path] with the given contents atomically:
     write a fresh temporary file in the {e same} directory, flush and
-    fsync it, then [rename] over the destination.  A crash at any point
-    leaves either the old complete file or the new complete file, never
-    a truncated mix.  @raise Sys_error when the directory is not
-    writable or the rename fails. *)
+    fsync it, [rename] over the destination, then fsync the containing
+    directory so the replacement itself is durable.  A crash at any
+    point leaves either the old complete file or the new complete file,
+    never a truncated mix; a failed write or rename unlinks the
+    temporary file before the error surfaces (no [*.tmp] litter).
+    @raise Sys_error when the directory is not writable or the rename
+    fails. *)
 
 val read_file : path:string -> string
 (** The whole file as a string.  @raise Sys_error when the file is

@@ -1,0 +1,63 @@
+(** Quarantine & repair for flawed multi-placement structures.
+
+    Takes any {!Structure.t} — typically one recovered by
+    {!Codec.load_salvage} — and drives it toward an audit-clean state:
+
+    - placements with [Fatal] findings ({!Audit}) are quarantined
+      (dropped); their dimension territory falls to the backup template,
+      the paper's §3.1.4 answer for uncovered space (greedy re-packing);
+    - [Degraded] cost-field findings are repaired in place: the box is
+      clamped into the designer domain and [best_cost] is re-evaluated
+      at [best_dims];
+    - a broken backup is rebuilt — re-annealed from scratch when a
+      re-annealing budget is configured, otherwise the best surviving
+      placement that is legal at the minimum dimensions is promoted to
+      template duty;
+    - optionally, quarantined territory is re-annealed under a bounded
+      budget (coordinate annealing on the incremental delta-cost
+      engine) and re-admitted when the result is legal and disjoint;
+    - the rebuilt structure is re-audited.
+
+    Never raises: when nothing at all can be rebuilt the original
+    structure is returned with a non-clean [after] report. *)
+
+open Mps_cost
+
+type config = {
+  weights : Cost.weights;
+  samples_per_box : int;  (** Audit legality samples per box. *)
+  query_samples : int;  (** Audit whole-space query probes. *)
+  seed : int;
+  tolerance : float;  (** Relative cost re-verification tolerance. *)
+  reanneal_iterations : int;
+      (** Coordinate-annealing budget per quarantined box (and for a
+          backup rebuild); [0] disables re-annealing — quarantined
+          territory is simply left to the backup template. *)
+  max_reanneals : int;  (** At most this many quarantined boxes re-annealed. *)
+}
+
+val default_config : config
+(** Default audit parameters, re-annealing off. *)
+
+type outcome = {
+  structure : Structure.t;  (** The repaired structure. *)
+  before : Audit.report;
+  after : Audit.report;  (** Audit of [structure]. *)
+  quarantined : int list;
+      (** Indices (into the input structure's placement array) that
+          were dropped. *)
+  repaired_in_place : int;  (** Placements with refreshed cost fields/boxes. *)
+  reannealed : int;  (** Quarantined boxes re-annealed and re-admitted. *)
+  backup_rebuilt : bool;
+}
+
+val clean : outcome -> bool
+(** The [after] report is audit-clean. *)
+
+val run : ?config:config -> Structure.t -> outcome
+(** Audit, quarantine, repair, re-audit.  The input structure is not
+    mutated.  Returns the input structure unchanged (with [after =
+    before]) when it is already clean. *)
+
+val describe : outcome -> string
+(** One-paragraph human-readable summary. *)

@@ -90,6 +90,49 @@ let compile ?backup builder =
   if entries = [] then invalid_arg "Structure.compile: empty builder";
   of_placements ?backup (Builder.circuit builder) (Array.of_list (List.map snd entries))
 
+(* Lenient compilation for quarantine/repair: instead of refusing a
+   flawed placement set, keep the largest well-formed disjoint subset —
+   better (lower average-cost) placements win contested territory — and
+   report what was dropped.  Queries over dropped territory fall back to
+   the backup template, the paper's answer for uncovered space. *)
+let of_placements_lenient ?backup circuit stored =
+  let n_blocks = Circuit.n_blocks circuit in
+  let backup =
+    match backup with
+    | Some b when Stored.n_blocks b = n_blocks -> Some b
+    | _ -> None
+  in
+  let indexed = Array.to_list (Array.mapi (fun i s -> (i, s)) stored) in
+  let by_quality =
+    List.stable_sort
+      (fun (_, a) (_, b) -> Float.compare a.Stored.avg_cost b.Stored.avg_cost)
+      indexed
+  in
+  let kept = ref [] and dropped = ref [] in
+  List.iter
+    (fun (i, s) ->
+      let admissible =
+        Stored.n_blocks s = n_blocks
+        && (s.Stored.template_like
+           || Dimbox.contains_box ~outer:s.Stored.expansion ~inner:s.Stored.box)
+        && Dimbox.contains s.Stored.box s.Stored.best_dims
+        && not
+             (List.exists
+                (fun (_, k) -> Dimbox.overlaps k.Stored.box s.Stored.box)
+                !kept)
+      in
+      if admissible then kept := (i, s) :: !kept else dropped := i :: !dropped)
+    by_quality;
+  let kept = List.sort (fun (i, _) (j, _) -> Int.compare i j) !kept in
+  let survivors = Array.of_list (List.map snd kept) in
+  let survivors =
+    if Array.length survivors > 0 then survivors
+    else match backup with Some b -> [| b |] | None -> [||]
+  in
+  if Array.length survivors = 0 then
+    invalid_arg "Structure.of_placements_lenient: no admissible placement";
+  (of_placements ?backup circuit survivors, List.sort Int.compare !dropped)
+
 let circuit t = t.circuit
 let n_placements t = Array.length t.stored
 
@@ -155,10 +198,13 @@ let row_lookup row v =
 type answer =
   | Stored_placement of int
   | Fallback
+  | Out_of_domain
 
 let query t dims =
   if Dims.n_blocks dims <> Circuit.n_blocks t.circuit then
     invalid_arg "Structure.query: block count mismatch";
+  if not (Circuit.dims_valid t.circuit dims) then (Out_of_domain, t.backup)
+  else
   let n = Circuit.n_blocks t.circuit in
   let acc = Bitset.full ~capacity:(Array.length t.stored) in
   let exception Miss in
@@ -184,6 +230,8 @@ let query t dims =
 let query_linear t dims =
   if Dims.n_blocks dims <> Circuit.n_blocks t.circuit then
     invalid_arg "Structure.query_linear: block count mismatch";
+  if not (Circuit.dims_valid t.circuit dims) then (Out_of_domain, t.backup)
+  else
   let n = Array.length t.stored in
   let rec scan id =
     if id >= n then (Fallback, t.backup)
@@ -196,7 +244,7 @@ let query_linear t dims =
 let instantiate t dims =
   match query t dims with
   | Stored_placement _, s -> Stored.instantiate_auto s dims
-  | Fallback, s -> Stored.instantiate_repacked s dims
+  | (Fallback | Out_of_domain), s -> Stored.instantiate_repacked s dims
 
 (* L1 distance from a vector to a box: sum over axes of the distance to
    the axis interval. *)
@@ -233,7 +281,8 @@ let nearest t dims =
 let instantiate_nearest t dims =
   match query t dims with
   | Stored_placement _, s -> Stored.instantiate_auto s dims
-  | Fallback, _ -> Stored.instantiate_repacked t.stored.(nearest t dims) dims
+  | (Fallback | Out_of_domain), _ ->
+    Stored.instantiate_repacked t.stored.(nearest t dims) dims
 
 let to_builder t =
   let builder = Builder.create t.circuit in

@@ -25,6 +25,18 @@ val of_placements : ?backup:Stored.t -> Circuit.t -> Stored.t array -> t
     placement's block count mismatches the circuit, or two validity
     boxes overlap (eq. 5 would break). *)
 
+val of_placements_lenient :
+  ?backup:Stored.t -> Circuit.t -> Stored.t array -> t * int list
+(** Quarantining variant of {!of_placements}: instead of refusing a
+    flawed placement set, keep the largest well-formed pairwise-disjoint
+    subset (lower average-cost placements win contested territory, block
+    count / box-vs-expansion / best-dims violations are dropped) and
+    return the indices of the quarantined placements.  Queries over
+    quarantined territory fall back to the backup template (§3.1.4).  A
+    backup with the wrong block count is ignored.
+    @raise Invalid_argument only when no placement at all is
+    admissible. *)
+
 val circuit : t -> Circuit.t
 
 val n_placements : t -> int
@@ -59,11 +71,18 @@ val describe : t -> string
 type answer =
   | Stored_placement of int  (** Index of the unique covering placement. *)
   | Fallback  (** Dimensions in uncovered space; template backup used. *)
+  | Out_of_domain
+      (** Dimensions outside the designer min/max space entirely; the
+          backup template is returned so answering stays total, but the
+          caller should treat the sizing point as invalid. *)
 
 val query : t -> Dims.t -> answer * Stored.t
 (** The placement to use for the given dimension vector.  When the
     vector lies in some stored box the answer is unique (boxes are
-    disjoint); otherwise the backup template placement is returned.
+    disjoint); otherwise the backup template placement is returned —
+    with {!Out_of_domain} instead of {!Fallback} when the vector is not
+    even inside the designer dimension space.  Total for any vector
+    with the right block count.
     @raise Invalid_argument on block-count mismatch. *)
 
 val instantiate : t -> Dims.t -> Rect.t array

@@ -59,7 +59,8 @@ let figure6 points =
              Printf.sprintf "%.3f" p.Experiments.mps_cost;
              (match p.Experiments.mps_choice with
              | Mps_core.Structure.Stored_placement j -> string_of_int j
-             | Mps_core.Structure.Fallback -> "fallback");
+             | Mps_core.Structure.Fallback -> "fallback"
+             | Mps_core.Structure.Out_of_domain -> "out-of-domain");
              Printf.sprintf "%.3f" min_c;
              string_of_int min_j;
            ])

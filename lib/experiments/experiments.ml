@@ -104,7 +104,7 @@ let table2_row ~budget circuit =
         Array.iter
           (fun dims ->
             (match Structure.query structure dims with
-            | Structure.Fallback, _ -> incr fallbacks
+            | (Structure.Fallback | Structure.Out_of_domain), _ -> incr fallbacks
             | Structure.Stored_placement _, s ->
               if s.Stored.template_like then incr fallbacks);
             let rects = Structure.instantiate structure dims in
@@ -242,7 +242,7 @@ let figure6 ?(budget = Quick) () =
         incr covered;
         let envelope = Array.fold_left (fun acc (_, c) -> Float.min acc c) infinity p.per_placement in
         if p.mps_cost <= envelope +. 1e-6 then incr matched
-      | Structure.Fallback -> ())
+      | Structure.Fallback | Structure.Out_of_domain -> ())
     points;
   let rows =
     List.map
@@ -261,7 +261,8 @@ let figure6 ?(budget = Quick) () =
           | Structure.Stored_placement j ->
             if stored.(j).Stored.template_like then Printf.sprintf "#%d (template)" j
             else Printf.sprintf "#%d" j
-          | Structure.Fallback -> "fallback");
+          | Structure.Fallback -> "fallback"
+          | Structure.Out_of_domain -> "out-of-domain");
         ])
       points
   in
@@ -304,7 +305,7 @@ let structure_metrics structure =
   Array.iter
     (fun dims ->
       (match Structure.query structure dims with
-      | Structure.Fallback, _ -> incr fallbacks
+      | (Structure.Fallback | Structure.Out_of_domain), _ -> incr fallbacks
       | Structure.Stored_placement _, s ->
         if s.Stored.template_like then incr fallbacks);
       let rects = Structure.instantiate structure dims in

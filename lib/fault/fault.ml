@@ -1,0 +1,152 @@
+open Mps_core
+
+type op = Read | Write | Rename | Fsync_dir | Remove
+
+type action =
+  | Fail
+  | Truncate of float
+  | Corrupt of int
+  | Vanish
+
+type injection = {
+  op : op;
+  skip : int;
+  action : action;
+  seed : int;
+}
+
+type plan = injection list
+
+let op_to_string = function
+  | Read -> "read"
+  | Write -> "write"
+  | Rename -> "rename"
+  | Fsync_dir -> "fsync-dir"
+  | Remove -> "remove"
+
+let action_to_string = function
+  | Fail -> "fail"
+  | Truncate f -> Printf.sprintf "truncate to %.0f%%" (100.0 *. f)
+  | Corrupt n -> Printf.sprintf "flip %d bits" n
+  | Vanish -> "vanish"
+
+let describe plan =
+  String.concat "\n"
+    (List.map
+       (fun inj ->
+         Printf.sprintf "fault: %s #%d: %s (seed %d)" (op_to_string inj.op)
+           (inj.skip + 1)
+           (action_to_string inj.action)
+           inj.seed)
+       plan)
+
+let flip_bits ~seed ~flips ?(from = 0) s =
+  let len = String.length s in
+  if len <= from then s
+  else begin
+    let rng = Mps_rng.Rng.create ~seed in
+    let bytes = Bytes.of_string s in
+    for _ = 1 to flips do
+      let pos = from + Mps_rng.Rng.int rng (len - from) in
+      let bit = Mps_rng.Rng.int rng 8 in
+      Bytes.set bytes pos (Char.chr (Char.code (Bytes.get bytes pos) lxor (1 lsl bit)))
+    done;
+    Bytes.to_string bytes
+  end
+
+let truncated fraction s =
+  let keep = int_of_float (fraction *. float_of_int (String.length s)) in
+  String.sub s 0 (max 0 (min keep (String.length s)))
+
+let random_action rng =
+  match Mps_rng.Rng.int rng 4 with
+  | 0 -> Fail
+  | 1 -> Truncate (Mps_rng.Rng.float rng 0.95)
+  | 2 -> Corrupt (1 + Mps_rng.Rng.int rng 16)
+  | _ -> Vanish
+
+let random_injection rng ops =
+  {
+    op = Mps_rng.Rng.choose rng ops;
+    skip = Mps_rng.Rng.int rng 3;
+    action = random_action rng;
+    seed = Mps_rng.Rng.int rng 1_000_000;
+  }
+
+let plan_of rng ops =
+  List.init (1 + Mps_rng.Rng.int rng 3) (fun _ -> random_injection rng ops)
+
+let random_plan rng = plan_of rng [| Read; Write; Rename; Fsync_dir; Remove |]
+let random_save_plan rng = plan_of rng [| Write; Rename; Fsync_dir |]
+let random_read_plan rng = plan_of rng [| Read |]
+
+let io_of_plan ?(base = Persist.default_io) plan =
+  let counters = Hashtbl.create 8 in
+  let fired = ref 0 in
+  let pending = ref plan in
+  (* Which injection, if any, fires on this invocation of [op]?  Each
+     injection is armed for exactly one occurrence and then spent. *)
+  let firing op =
+    let n = try Hashtbl.find counters op with Not_found -> 0 in
+    Hashtbl.replace counters op (n + 1);
+    let rec pick acc = function
+      | [] -> None
+      | inj :: rest when inj.op = op && inj.skip = n ->
+        pending := List.rev_append acc rest;
+        incr fired;
+        Some inj
+      | inj :: rest -> pick (inj :: acc) rest
+    in
+    pick [] !pending
+  in
+  let fail path = raise (Sys_error (path ^ ": injected fault")) in
+  let io =
+    {
+      Persist.read_file =
+        (fun path ->
+          match firing Read with
+          | None -> base.Persist.read_file path
+          | Some { action = Fail; _ } | Some { action = Vanish; _ } -> fail path
+          | Some { action = Truncate f; _ } -> truncated f (base.Persist.read_file path)
+          | Some { action = Corrupt n; seed; _ } ->
+            flip_bits ~seed ~flips:n (base.Persist.read_file path));
+      write_file =
+        (fun path content ->
+          match firing Write with
+          | None -> base.Persist.write_file path content
+          | Some { action = Fail; _ } | Some { action = Vanish; _ } -> fail path
+          | Some { action = Truncate f; _ } ->
+            (* crash mid-write: the prefix lands, then the failure *)
+            base.Persist.write_file path (truncated f content);
+            fail path
+          | Some { action = Corrupt n; seed; _ } ->
+            (* crash with media corruption, before any rename publishes it *)
+            base.Persist.write_file path (flip_bits ~seed ~flips:n content);
+            fail path);
+      rename =
+        (fun src dst ->
+          match firing Rename with
+          | None -> base.Persist.rename src dst
+          | Some { action = Vanish; _ } -> () (* rename silently lost *)
+          | Some _ -> fail dst);
+      fsync_dir =
+        (fun dir ->
+          match firing Fsync_dir with
+          | None -> base.Persist.fsync_dir dir
+          | Some { action = Vanish; _ } -> () (* fsync silently skipped *)
+          | Some _ -> fail dir);
+      remove =
+        (fun path ->
+          match firing Remove with
+          | None -> base.Persist.remove path
+          | Some _ -> fail path);
+    }
+  in
+  (io, fun () -> !fired)
+
+let with_plan ?base plan f =
+  let io, fired = io_of_plan ?base plan in
+  let result =
+    Persist.with_io io (fun () -> match f () with v -> Ok v | exception e -> Error e)
+  in
+  (result, fired ())

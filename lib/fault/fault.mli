@@ -1,0 +1,83 @@
+(** Deterministic fault injection for the persistence stack.
+
+    A multi-placement structure is generated once and reloaded for
+    years; the failures that matter happen on the storage path — torn
+    writes, flipped bits, vanished files.  This module turns those
+    failures into a reproducible test input: a {e fault plan} derived
+    from a single integer seed, injected into {!Mps_core.Persist}
+    through its pluggable {!Mps_core.Persist.io} backend, so the same
+    seed replays the same failure forever.
+
+    The fault model is crash-consistent: a faulted write aborts before
+    the rename that would publish it (data may be missing, truncated or
+    corrupted in the {e temporary} file, never in the destination), a
+    faulted rename either fails loudly or is silently lost, and read
+    faults corrupt only what the reader sees, not the file.  Under this
+    model {!Mps_core.Persist.atomic_write} guarantees the destination
+    always holds a complete old or complete new document — the property
+    the chaos suite asserts.
+
+    Nothing here touches syscalls or processes; injection is a pure
+    wrapper around an [io] record, so plans compose with any backend. *)
+
+(** The persistence primitive a fault targets. *)
+type op = Read | Write | Rename | Fsync_dir | Remove
+
+(** What happens when the fault fires.
+
+    Not every action is meaningful for every op; {!io_of_plan} applies
+    the closest crash-consistent interpretation (e.g. a [Truncate] on a
+    rename degenerates to [Fail]). *)
+type action =
+  | Fail  (** The primitive raises [Sys_error] having done nothing. *)
+  | Truncate of float
+      (** Reads return only this fraction of the bytes.  Writes put the
+          prefix on disk and then raise — a crash mid-write. *)
+  | Corrupt of int
+      (** This many seeded bit flips.  Reads return the flipped bytes;
+          writes put flipped bytes on disk and then raise — a crash
+          with media corruption, caught before publication. *)
+  | Vanish
+      (** Reads fail as if the file were missing; a rename is silently
+          lost (the destination keeps its old content). *)
+
+type injection = {
+  op : op;
+  skip : int;  (** Fire on the [skip+1]-th invocation of [op]. *)
+  action : action;
+  seed : int;  (** Drives the bit-flip positions of [Corrupt]. *)
+}
+
+type plan = injection list
+
+val describe : plan -> string
+(** One line per injection, for failure diagnostics. *)
+
+val random_plan : Mps_rng.Rng.t -> plan
+(** One to three injections with random ops, actions and skips — the
+    generic chaos generator.  Deterministic in the rng state. *)
+
+val random_save_plan : Mps_rng.Rng.t -> plan
+(** Like {!random_plan} but restricted to the ops a save touches
+    ([Write], [Rename], [Fsync_dir]). *)
+
+val random_read_plan : Mps_rng.Rng.t -> plan
+(** Injections on [Read] only, for chaos over the load path. *)
+
+val flip_bits : seed:int -> flips:int -> ?from:int -> string -> string
+(** [flips] seeded bit flips in [s], at byte offsets [>= from]
+    (default 0).  Used both by [Corrupt] injections and directly by
+    corruption tests.  Returns [s] unchanged when it is too short. *)
+
+val io_of_plan : ?base:Mps_core.Persist.io -> plan -> Mps_core.Persist.io * (unit -> int)
+(** An [io] backend that behaves like [base] (default
+    {!Mps_core.Persist.default_io}) except where the plan injects a
+    fault; each injection fires at most once.  The second component
+    counts injections fired so far. *)
+
+val with_plan :
+  ?base:Mps_core.Persist.io -> plan -> (unit -> 'a) -> ('a, exn) result * int
+(** Run a thunk with the plan's backend installed
+    ({!Mps_core.Persist.with_io}), capturing either its value or the
+    exception it raised, plus the number of injections that fired.
+    Never lets an exception escape. *)

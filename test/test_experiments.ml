@@ -127,7 +127,7 @@ let test_figure6_covers_some_points () =
          (fun p ->
            match p.Experiments.mps_choice with
            | Structure.Stored_placement _ -> true
-           | Structure.Fallback -> false)
+           | Structure.Fallback | Structure.Out_of_domain -> false)
          points)
   in
   check_bool "sweep crosses stored boxes" true (covered > 0)

@@ -1,0 +1,263 @@
+(* Chaos suite: seeded fault injection over the persistence stack.
+
+   Every scenario is reproducible from a single integer seed.  The base
+   seed comes from the MPS_CHAOS_SEED environment variable when set (CI
+   derives it from the date so the fleet walks the seed space), default
+   1.  The invariant under test, for every injected fault:
+
+   - no exception other than the typed [Codec.Error] / [Sys_error]
+     escapes the persistence API;
+   - after a faulted save, a fault-free load finds a complete document
+     — bit-exact the old or the new serialization, never a torn mix;
+   - a document corrupted on disk either salvages into a structure
+     whose sampled queries all instantiate overlap-free at quality no
+     worse than the backup template, or is rejected with a typed error.
+*)
+
+open Mps_geometry
+open Mps_netlist
+open Mps_core
+open Mps_fault
+
+let check_bool = Alcotest.(check bool)
+
+let base_seed =
+  match Sys.getenv_opt "MPS_CHAOS_SEED" with
+  | Some s -> (match int_of_string_opt (String.trim s) with Some v -> v | None -> 1)
+  | None -> 1
+
+let circuit = Benchmarks.circ01
+
+let tiny_config =
+  {
+    Generator.fast_config with
+    Generator.explorer_iterations = 4;
+    bdio = { Bdio.default_config with Bdio.iterations = 40 };
+    max_placements = 12;
+    backup_iterations = 150;
+    refine_iterations = 0;
+  }
+
+let structure = lazy (fst (Generator.generate ~config:tiny_config circuit))
+
+(* A second, different structure so old and new serializations differ
+   in the save-under-fault family. *)
+let structure2 =
+  lazy
+    (fst
+       (Generator.generate
+          ~config:{ tiny_config with Generator.seed = tiny_config.Generator.seed + 17 }
+          circuit))
+
+let with_tmp_dir f =
+  let dir = Filename.temp_file "mps_chaos" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () -> f dir)
+
+let is_typed = function
+  | Codec.Error _ | Sys_error _ -> true
+  | _ -> false
+
+(* Sampled-query legality and quality of a (salvaged) structure: every
+   probe instantiates overlap-free, and the mean cost is no worse than
+   answering every probe with the backup template re-pack — the §3.1.4
+   quality floor. *)
+let check_queries_sound tag structure =
+  let c = Structure.circuit structure in
+  let die_w, die_h = Structure.die structure in
+  let weights = Mps_cost.Cost.default_weights in
+  let bounds = Circuit.dim_bounds c in
+  let rng = Mps_rng.Rng.create ~seed:99 in
+  let backup = Structure.backup structure in
+  let n = 64 in
+  let cost_sum = ref 0.0 and floor_sum = ref 0.0 in
+  for k = 1 to n do
+    let dims = Dimbox.random_dims rng bounds in
+    let rects = Structure.instantiate structure dims in
+    check_bool
+      (Printf.sprintf "%s: query %d overlap-free" tag k)
+      true
+      (Rect.any_overlap rects = None);
+    cost_sum := !cost_sum +. Mps_cost.Cost.total ~weights c ~die_w ~die_h rects;
+    let floor_rects = Stored.instantiate_repacked backup dims in
+    floor_sum := !floor_sum +. Mps_cost.Cost.total ~weights c ~die_w ~die_h floor_rects
+  done;
+  check_bool
+    (Printf.sprintf "%s: mean quality no worse than the backup template" tag)
+    true
+    (!cost_sum <= !floor_sum +. 1e-6)
+
+(* Family A: faults while saving.  The destination must afterwards hold
+   a complete old or complete new document. *)
+let save_under_fault scenario () =
+  let s = Lazy.force structure in
+  let seed = (base_seed * 1000) + scenario in
+  let rng = Mps_rng.Rng.create ~seed in
+  with_tmp_dir (fun dir ->
+      let path = Filename.concat dir "structure.mps" in
+      Codec.save s ~path;
+      let old_doc = Persist.read_file ~path in
+      let s2 = Lazy.force structure2 in
+      let new_doc = Codec.to_string s2 in
+      let plan = Fault.random_save_plan rng in
+      let result, _fired = Fault.with_plan plan (fun () -> Codec.save s2 ~path) in
+      (match result with
+      | Ok () -> ()
+      | Error e ->
+        check_bool
+          (Printf.sprintf "seed %d: only typed errors escape save (%s)\n%s" seed
+             (Printexc.to_string e) (Fault.describe plan))
+          true (is_typed e));
+      (* fault-free load: a complete document, bit-exact old or new *)
+      let doc = Persist.read_file ~path in
+      check_bool
+        (Printf.sprintf "seed %d: destination is old or new, never torn\n%s" seed
+           (Fault.describe plan))
+        true
+        (doc = old_doc || doc = new_doc);
+      ignore (Codec.load ~circuit ~path))
+
+(* Family B: faults while loading.  Only typed errors escape; the file
+   itself is untouched, so a fault-free load still succeeds. *)
+let load_under_fault scenario () =
+  let s = Lazy.force structure in
+  let seed = (base_seed * 1000) + 400 + scenario in
+  let rng = Mps_rng.Rng.create ~seed in
+  with_tmp_dir (fun dir ->
+      let path = Filename.concat dir "structure.mps" in
+      Codec.save s ~path;
+      let before = Persist.read_file ~path in
+      let plan = Fault.random_read_plan rng in
+      let result, _fired =
+        Fault.with_plan plan (fun () -> Codec.load ~circuit ~path)
+      in
+      (match result with
+      | Ok _ -> ()
+      | Error e ->
+        check_bool
+          (Printf.sprintf "seed %d: only typed errors escape load (%s)\n%s" seed
+             (Printexc.to_string e) (Fault.describe plan))
+          true (is_typed e));
+      (* salvage under the same faults must also stay typed *)
+      let plan2 = Fault.random_read_plan rng in
+      let result2, _ =
+        Fault.with_plan plan2 (fun () -> Codec.load_salvage ~circuit ~path)
+      in
+      (match result2 with
+      | Ok (Result.Ok sv) -> check_queries_sound (Printf.sprintf "seed %d" seed) sv.Codec.structure
+      | Ok (Result.Error _) -> ()
+      | Error e ->
+        Alcotest.failf "seed %d: salvage let %s escape\n%s" seed (Printexc.to_string e)
+          (Fault.describe plan2));
+      check_bool
+        (Printf.sprintf "seed %d: file untouched by read faults" seed)
+        true
+        (Persist.read_file ~path = before))
+
+(* Family C: bits flipped on disk inside the placement sections.  The
+   strict load must refuse (checksum); salvage must hand back a
+   structure that is audit-sound on the query side — quarantining what
+   the flips broke — or a typed error. *)
+let corruption_salvage scenario () =
+  let s = Lazy.force structure in
+  let seed = (base_seed * 1000) + 800 + scenario in
+  let doc = Codec.to_string s in
+  (* flip bits only after the "placements" line so identity survives *)
+  let from =
+    let needle = "\nplacements " in
+    let n = String.length needle and len = String.length doc in
+    let rec find i =
+      if i + n > len then String.length doc / 2
+      else if String.sub doc i n = needle then i + n
+      else find (i + 1)
+    in
+    find 0
+  in
+  let flips = 1 + (scenario mod 24) in
+  let corrupted = Fault.flip_bits ~seed ~flips ~from doc in
+  if corrupted = doc then () (* flips cancelled out: nothing to test *)
+  else begin
+    (match Codec.of_string ~circuit corrupted with
+    | _ -> Alcotest.failf "seed %d: strict load accepted flipped bits" seed
+    | exception Codec.Error _ -> ()
+    | exception e ->
+      Alcotest.failf "seed %d: strict load let %s escape" seed (Printexc.to_string e));
+    match Codec.salvage_of_string ~circuit corrupted with
+    | Result.Ok sv ->
+      check_bool
+        (Printf.sprintf "seed %d: salvage audit has no fatal query finding" seed)
+        true
+        (not
+           (List.exists
+              (fun f ->
+                f.Audit.severity = Audit.Fatal
+                && (f.Audit.code = "query-overlap" || f.Audit.code = "query-exception"))
+              sv.Codec.audit.Audit.findings));
+      check_queries_sound (Printf.sprintf "seed %d" seed) sv.Codec.structure
+    | Result.Error _ -> () (* typed rejection is an acceptable outcome *)
+    | exception e ->
+      Alcotest.failf "seed %d: salvage let %s escape" seed (Printexc.to_string e)
+  end
+
+(* Family D: truncation at a seeded point; salvage recovers a sound
+   prefix or rejects with a typed error. *)
+let truncation_salvage scenario () =
+  let s = Lazy.force structure in
+  let seed = (base_seed * 1000) + 1200 + scenario in
+  let rng = Mps_rng.Rng.create ~seed in
+  let doc = Codec.to_string s in
+  let cut = Mps_rng.Rng.int rng (String.length doc) in
+  let truncated = String.sub doc 0 cut in
+  match Codec.salvage_of_string ~circuit truncated with
+  | Result.Ok sv -> check_queries_sound (Printf.sprintf "seed %d" seed) sv.Codec.structure
+  | Result.Error _ -> ()
+  | exception e ->
+    Alcotest.failf "seed %d: salvage let %s escape" seed (Printexc.to_string e)
+
+(* Family E: the file is gone entirely. *)
+let missing_file () =
+  with_tmp_dir (fun dir ->
+      let path = Filename.concat dir "absent.mps" in
+      (match Codec.load ~circuit ~path with
+      | _ -> Alcotest.fail "load of a missing file succeeded"
+      | exception Codec.Error (Codec.Io_error _) -> ()
+      | exception e -> Alcotest.failf "missing file let %s escape" (Printexc.to_string e));
+      match Codec.load_salvage ~circuit ~path with
+      | Result.Error (Codec.Io_error _) -> ()
+      | Result.Error e -> Alcotest.failf "unexpected error %s" (Codec.error_to_string e)
+      | Result.Ok _ -> Alcotest.fail "salvage of a missing file succeeded")
+
+(* Query answering is total: out-of-domain vectors get the typed
+   [Out_of_domain] answer and a legal backup floorplan, no exception. *)
+let out_of_domain_total () =
+  let s = Lazy.force structure in
+  let c = Structure.circuit s in
+  let huge =
+    Dims.of_pairs
+      (Array.init (Circuit.n_blocks c) (fun _ -> (100_000, 100_000)))
+  in
+  (match Structure.query s huge with
+  | Structure.Out_of_domain, st ->
+    check_bool "backup answers" true (st == Structure.backup s)
+  | _ -> Alcotest.fail "expected Out_of_domain");
+  let rects = Structure.instantiate s huge in
+  check_bool "out-of-domain floorplan overlap-free" true (Rect.any_overlap rects = None)
+
+let scenarios prefix n f =
+  List.init n (fun k ->
+      Alcotest.test_case (Printf.sprintf "%s %02d" prefix k) `Quick (f k))
+
+let suite =
+  scenarios "chaos save" 20 save_under_fault
+  @ scenarios "chaos load" 12 load_under_fault
+  @ scenarios "chaos bit-flip" 16 corruption_salvage
+  @ scenarios "chaos truncate" 10 truncation_salvage
+  @ [
+      Alcotest.test_case "missing file is a typed error" `Quick missing_file;
+      Alcotest.test_case "out-of-domain query is total" `Quick out_of_domain_total;
+    ]

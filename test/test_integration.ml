@@ -56,7 +56,7 @@ let test_hits_are_legal c structure =
         if not s.Stored.template_like then
           check_bool (c.Circuit.name ^ ": plain hit instantiates legally") true
             (Mps_cost.Cost.is_legal ~die_w ~die_h rects)
-      | Structure.Fallback, _ ->
+      | (Structure.Fallback | Structure.Out_of_domain), _ ->
         (* fallback re-pack is overlap-free by construction *)
         check_bool (c.Circuit.name ^ ": fallback overlap-free") true
           (Rect.any_overlap (Structure.instantiate structure dims) = None))
@@ -202,7 +202,7 @@ let test_nearest_agrees_on_hits () =
       match Structure.query structure dims with
       | Structure.Stored_placement id, _ ->
         Alcotest.(check int) "nearest of covered is the cover" id (Structure.nearest structure dims)
-      | Structure.Fallback, _ ->
+      | (Structure.Fallback | Structure.Out_of_domain), _ ->
         let id = Structure.nearest structure dims in
         check_bool "nearest id valid" true (id >= 0 && id < Structure.n_placements structure))
     probes

@@ -24,6 +24,8 @@ let () =
       ("folded-cascode", Test_folded_cascode.suite);
       ("render", Test_render.suite);
       ("codec", Test_codec.suite);
+      ("audit", Test_audit.suite);
+      ("fault", Test_fault.suite);
       ("checkpoint", Test_checkpoint.suite);
       ("experiments", Test_experiments.suite);
       ("csv", Test_csv.suite);

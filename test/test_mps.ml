@@ -309,11 +309,11 @@ let test_structure_query_hit () =
   (match Structure.query s (Dims.of_pairs [| (5, 5) |]) with
   | Structure.Stored_placement _, st ->
     check_bool "box contains query" true (Dimbox.contains st.Stored.box (Dims.of_pairs [| (5, 5) |]))
-  | Structure.Fallback, _ -> Alcotest.fail "expected a stored hit");
+  | (Structure.Fallback | Structure.Out_of_domain), _ -> Alcotest.fail "expected a stored hit");
   match Structure.query s (Dims.of_pairs [| (25, 5) |]) with
   | Structure.Stored_placement _, st ->
     check_bool "second box" true (Dimbox.contains st.Stored.box (Dims.of_pairs [| (25, 5) |]))
-  | Structure.Fallback, _ -> Alcotest.fail "expected a stored hit"
+  | (Structure.Fallback | Structure.Out_of_domain), _ -> Alcotest.fail "expected a stored hit"
 
 let test_structure_query_miss_fallback () =
   let s = build_structure [ (1, 10, 1, 10, 5.0) ] in
@@ -321,7 +321,7 @@ let test_structure_query_miss_fallback () =
   | Structure.Fallback, st ->
     check_bool "fallback is the backup" true (st == Structure.backup s);
     check_bool "fallback is the best-cost placement" true (st.Stored.best_cost <= 5.0)
-  | Structure.Stored_placement _, _ -> Alcotest.fail "expected fallback"
+  | (Structure.Stored_placement _ | Structure.Out_of_domain), _ -> Alcotest.fail "expected fallback"
 
 let test_structure_fallback_is_lowest_best_cost () =
   let s = build_structure [ (1, 10, 1, 10, 9.0); (20, 30, 1, 10, 3.0); (40, 50, 1, 10, 7.0) ] in
@@ -396,7 +396,7 @@ let test_generator_hits_instantiate_legally () =
         check_bool "overlap-free" true (Rect.any_overlap rects = None);
         if not hit.Stored.template_like then
           check_bool "legal" true (Mps_cost.Cost.is_legal ~die_w ~die_h rects)
-      | Structure.Fallback, _ -> Alcotest.fail "best dims must be covered")
+      | (Structure.Fallback | Structure.Out_of_domain), _ -> Alcotest.fail "best dims must be covered")
     (Structure.placements structure);
   check_bool "circuit preserved" true (Structure.circuit structure == c)
 
