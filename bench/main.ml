@@ -16,7 +16,14 @@
                   the CI throughput artifact.
    --query-bench  measures per-call query and instantiation latency
                   (p50/p99 over 2048 seeded probes per circuit) and
-                  writes BENCH_QUERY.json for the CI latency artifact. *)
+                  writes BENCH_QUERY.json for the CI latency artifact.
+   --par-bench    sweeps the parallel generator over jobs in {1,2,4,8}
+                  on benchmark24 (quick budget) and writes
+                  BENCH_PAR.json (wall seconds, speedup, and the
+                  structure hash per job count — the hashes must all
+                  be equal, which CI asserts).
+   --jobs N       runs --gen-bench generation through the domain pool
+                  with N workers. *)
 
 open Bechamel
 open Toolkit
@@ -130,12 +137,27 @@ let run_group ~name tests =
 let baseline_evaluations = 19001
 let baseline_wall_seconds = 0.613
 
+(* Optional worker count for the generation benches: "--jobs N" routes
+   generation through the domain pool. *)
+let jobs_arg () =
+  let rec scan i =
+    if i >= Array.length Sys.argv - 1 then None
+    else if String.equal Sys.argv.(i) "--jobs" then int_of_string_opt Sys.argv.(i + 1)
+    else scan (i + 1)
+  in
+  scan 1
+
 let gen_bench () =
   let module E = Mps_experiments.Experiments in
+  let jobs = jobs_arg () in
   let run circuit =
     let config = E.generator_config E.Quick circuit in
     let t0 = Unix.gettimeofday () in
-    let _, stats = Generator.generate ~config circuit in
+    let _, stats =
+      match jobs with
+      | Some jobs -> Generator.generate_par ~config ~jobs circuit
+      | None -> Generator.generate ~config circuit
+    in
     let wall = Unix.gettimeofday () -. t0 in
     (stats.Generator.cost_evaluations, wall)
   in
@@ -230,6 +252,67 @@ let query_bench () =
   close_out oc;
   print_endline "wrote BENCH_QUERY.json"
 
+(* Parallel generation scaling: one quick-budget benchmark24 run per
+   job count.  The structure hash (CRC-32 of the serialized structure)
+   must be identical at every job count — that is the determinism
+   contract of Generator.generate_par, and CI fails if it breaks.
+   Speedups are relative to jobs=1 on this host; host_cores records how
+   much hardware was actually available. *)
+let par_bench () =
+  let module E = Mps_experiments.Experiments in
+  let circuit =
+    List.find (fun c -> String.equal c.Circuit.name "benchmark24") Benchmarks.all
+  in
+  let config = E.generator_config E.Quick circuit in
+  let run jobs =
+    let t0 = Unix.gettimeofday () in
+    let structure, stats = Generator.generate_par ~config ~jobs circuit in
+    let wall = Unix.gettimeofday () -. t0 in
+    let hash = Persist.crc32_hex (Codec.to_string structure) in
+    (jobs, wall, stats.Generator.cost_evaluations, hash)
+  in
+  ignore (run 2) (* warm-up: cold code paths and domain spawning *);
+  let rows = List.map run [ 1; 2; 4; 8 ] in
+  let _, base_wall, _, base_hash =
+    List.find (fun (jobs, _, _, _) -> jobs = 1) rows
+  in
+  let hash_equal =
+    List.for_all (fun (_, _, _, hash) -> String.equal hash base_hash) rows
+  in
+  List.iter
+    (fun (jobs, wall, evals, hash) ->
+      Printf.printf "jobs=%d  %7.3f s  %8d evals  %5.2fx  hash %s\n%!" jobs wall evals
+        (base_wall /. wall) hash)
+    rows;
+  let json_rows =
+    List.map
+      (fun (jobs, wall, evals, hash) ->
+        Printf.sprintf
+          "    { \"jobs\": %d, \"wall_seconds\": %.4f, \"evaluations\": %d, \
+           \"speedup\": %.3f, \"structure_hash\": \"%s\" }"
+          jobs wall evals (base_wall /. wall) hash)
+      rows
+  in
+  let oc = open_out "BENCH_PAR.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"budget\": \"quick\",\n\
+    \  \"circuit\": \"benchmark24\",\n\
+    \  \"host_cores\": %d,\n\
+    \  \"rows\": [\n\
+     %s\n\
+    \  ],\n\
+    \  \"structure_hash_equal\": %b\n\
+     }\n"
+    (Domain.recommended_domain_count ())
+    (String.concat ",\n" json_rows)
+    hash_equal;
+  close_out oc;
+  Printf.printf "structure hashes %s across job counts\n"
+    (if hash_equal then "identical" else "DIFFER");
+  print_endline "wrote BENCH_PAR.json";
+  if not hash_equal then exit 1
+
 let main () =
   print_endline "=== Micro-benchmarks (bechamel) ===";
   print_newline ();
@@ -268,4 +351,5 @@ let main () =
 let () =
   if Array.exists (String.equal "--gen-bench") Sys.argv then gen_bench ()
   else if Array.exists (String.equal "--query-bench") Sys.argv then query_bench ()
+  else if Array.exists (String.equal "--par-bench") Sys.argv then par_bench ()
   else main ()

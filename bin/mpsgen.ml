@@ -65,6 +65,15 @@ let circuit_arg =
     & pos 0 (some circuit_conv) None
     & info [] ~docv:"CIRCUIT" ~doc:"Benchmark circuit name from Table 1 (see $(b,mpsgen list)).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Mps_parallel.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel phases (default: the machine's recommended \
+           domain count, capped at 8).  Results are bit-identical at any job count.")
+
 (* list *)
 
 let list_cmd =
@@ -86,7 +95,7 @@ let with_checkpointing base ~checkpoint ~checkpoint_every ~max_seconds =
     max_seconds;
   }
 
-let resume_if_checkpointed ~circuit ~checkpoint ~config ~fresh =
+let resume_if_checkpointed ~circuit ~checkpoint ~config ~jobs ~fresh =
   match checkpoint with
   | Some path when Sys.file_exists path -> (
     match Checkpoint.load ~circuit ~path with
@@ -94,7 +103,11 @@ let resume_if_checkpointed ~circuit ~checkpoint ~config ~fresh =
       Format.printf "Resuming from checkpoint %s (step %d, %d placements)...@." path
         cp.Checkpoint.step
         (Structure.n_placements cp.Checkpoint.structure);
-      Generator.resume ~config cp
+      (* Parallel checkpoints carry per-walk streams and resume through
+         the pool; sequential ones keep the original single-walk path. *)
+      (match cp.Checkpoint.par with
+      | Some _ -> Generator.resume_par ~config ~jobs cp
+      | None -> Generator.resume ~config cp)
     | exception Codec.Error e -> die "checkpoint %s: %s" path (Codec.error_to_string e))
   | _ -> fresh ()
 
@@ -116,17 +129,18 @@ let retire_checkpoint ~stats ~saved checkpoint =
     Format.printf "  removed spent checkpoint %s@." path
   | _ -> ()
 
-let generate circuit budget svg_dir save_path checkpoint checkpoint_every max_seconds =
+let generate circuit budget svg_dir save_path checkpoint checkpoint_every max_seconds
+    jobs =
   let config =
     with_checkpointing
       (Mps_experiments.Experiments.generator_config budget circuit)
       ~checkpoint ~checkpoint_every ~max_seconds
   in
   let structure, stats =
-    resume_if_checkpointed ~circuit ~checkpoint ~config ~fresh:(fun () ->
-        Format.printf "Generating a multi-placement structure for %s...@."
-          circuit.Circuit.name;
-        Generator.generate ~config circuit)
+    resume_if_checkpointed ~circuit ~checkpoint ~config ~jobs ~fresh:(fun () ->
+        Format.printf "Generating a multi-placement structure for %s (%d jobs)...@."
+          circuit.Circuit.name jobs;
+        Generator.generate_par ~config ~jobs circuit)
   in
   report_stats stats;
   print_string (Structure.describe structure);
@@ -194,7 +208,7 @@ let generate_cmd =
     (Cmd.info "generate" ~doc:"Generate a multi-placement structure and report statistics.")
     Term.(
       const generate $ circuit_arg $ budget_arg $ svg_arg $ save_arg $ checkpoint_arg
-      $ checkpoint_every_arg $ max_seconds_arg)
+      $ checkpoint_every_arg $ max_seconds_arg $ jobs_arg)
 
 (* instantiate *)
 
@@ -387,11 +401,14 @@ let verify_cmd =
 
 (* audit a saved structure *)
 
-let audit circuit path salvage json samples seed out =
+let audit circuit path salvage json samples seed out jobs =
   let structure =
     if salvage then load_salvaged ~circuit ~path else load_structure ~circuit ~path
   in
-  let report = Audit.run ~samples_per_box:samples ~seed structure in
+  let report =
+    Mps_parallel.Pool.with_pool ~jobs (fun pool ->
+        Audit.run ~pool ~samples_per_box:samples ~seed structure)
+  in
   let rendered = if json then Audit.to_json report else Audit.to_string report in
   (match out with
   | None -> print_string rendered
@@ -435,16 +452,18 @@ let audit_cmd =
           query probes.  Exits 1 when any Fatal or Degraded finding survives.")
     Term.(
       const audit $ circuit_arg $ load_arg $ salvage_arg $ json_arg $ samples_arg
-      $ audit_seed_arg $ report_out_arg)
+      $ audit_seed_arg $ report_out_arg $ jobs_arg)
 
 (* repair a saved structure *)
 
-let repair circuit path reanneal out =
+let repair circuit path reanneal out jobs =
   let structure = load_salvaged ~circuit ~path in
   let config =
     { Repair.default_config with Repair.reanneal_iterations = reanneal }
   in
-  let outcome = Repair.run ~config structure in
+  let outcome =
+    Mps_parallel.Pool.with_pool ~jobs (fun pool -> Repair.run ~pool ~config structure)
+  in
   print_string (Audit.to_string outcome.Repair.before);
   Format.printf "%s@." (Repair.describe outcome);
   let dest = Option.value out ~default:path in
@@ -478,7 +497,7 @@ let repair_cmd =
           findings (their territory falls to the backup template), refresh degraded \
           cost fields, optionally re-anneal quarantined boxes, re-audit and save.  \
           Exits 1 when the repaired structure is still not audit-clean.")
-    Term.(const repair $ circuit_arg $ load_arg $ reanneal_arg $ repair_out_arg)
+    Term.(const repair $ circuit_arg $ load_arg $ reanneal_arg $ repair_out_arg $ jobs_arg)
 
 (* route a floorplan *)
 
@@ -513,7 +532,8 @@ let route_cmd =
 
 (* extend a saved structure *)
 
-let extend circuit path budget seed save_path checkpoint checkpoint_every max_seconds =
+let extend circuit path budget seed save_path checkpoint checkpoint_every max_seconds
+    jobs =
   let base = Mps_experiments.Experiments.generator_config budget circuit in
   let config =
     with_checkpointing
@@ -521,7 +541,7 @@ let extend circuit path budget seed save_path checkpoint checkpoint_every max_se
       ~checkpoint ~checkpoint_every ~max_seconds
   in
   let extended, stats =
-    resume_if_checkpointed ~circuit ~checkpoint ~config ~fresh:(fun () ->
+    resume_if_checkpointed ~circuit ~checkpoint ~config ~jobs ~fresh:(fun () ->
         let structure = load_structure ~circuit ~path in
         Format.printf "Loaded %d explored placements; resuming exploration...@."
           (Structure.n_explored structure);
@@ -558,7 +578,7 @@ let extend_cmd =
        ~doc:"Resume exploration on a saved structure and store the extended result.")
     Term.(
       const extend $ circuit_arg $ load_arg $ budget_arg $ seed_arg $ extend_save_arg
-      $ checkpoint_arg $ checkpoint_every_arg $ max_seconds_arg)
+      $ checkpoint_arg $ checkpoint_every_arg $ max_seconds_arg $ jobs_arg)
 
 (* experiments *)
 

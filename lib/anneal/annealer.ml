@@ -31,32 +31,56 @@ type move_result = {
   mv_acceptances : int;
 }
 
+(* Loop accumulators.  An all-float record is stored flat (every field
+   unboxed), so mutating it inside the move loop allocates nothing —
+   unlike [float ref], whose every [:=] boxes a fresh float.  [traw]
+   carries the geometric temperature, advanced by one multiply per
+   step instead of recomputing [t0 *. alpha ** step] with a [**] per
+   move. *)
+type acc = {
+  mutable cur : float; (* current cost *)
+  mutable bst : float; (* best cost *)
+  mutable sum : float; (* cost sum for the average *)
+  mutable traw : float; (* geometric temperature before the t_min clamp *)
+}
+
+let traw0 = function Schedule.Geometric { t0; _ } -> t0 | _ -> 0.0
+
+let[@inline] next_temp schedule acc ~step =
+  match schedule with
+  | Schedule.Geometric { alpha; t_min; _ } ->
+      let v = Float.max t_min acc.traw in
+      acc.traw <- acc.traw *. alpha;
+      v
+  | s -> Schedule.temperature s ~step
+
 let run_moves ?(on_improve = fun ~cost:_ ~step:_ -> ())
     ?(should_stop = fun ~best_cost:_ ~step:_ -> false) ~rng ~schedule ~iterations
     ~initial_cost problem =
   if iterations < 0 then invalid_arg "Annealer.run_moves: negative iteration count";
-  let current_cost = ref initial_cost in
-  let best_cost = ref initial_cost in
-  let cost_sum = ref initial_cost and evaluations = ref 1 in
+  let a =
+    { cur = initial_cost; bst = initial_cost; sum = initial_cost; traw = traw0 schedule }
+  in
+  let evaluations = ref 1 in
   let acceptances = ref 0 in
   let step = ref 0 in
   let continue = ref true in
   while !continue && !step < iterations do
-    if should_stop ~best_cost:!best_cost ~step:!step then continue := false
+    if should_stop ~best_cost:a.bst ~step:!step then continue := false
     else begin
       let m = problem.propose rng in
       let dc = problem.delta_cost m in
-      let cost = !current_cost +. dc in
-      cost_sum := !cost_sum +. cost;
+      let cost = a.cur +. dc in
+      a.sum <- a.sum +. cost;
       incr evaluations;
-      let temp = Schedule.temperature schedule ~step:!step in
+      let temp = next_temp schedule a ~step:!step in
       let accept = dc <= 0.0 || Rng.float rng 1.0 < exp (-.dc /. temp) in
       if accept then begin
         problem.commit m;
-        current_cost := cost;
+        a.cur <- cost;
         incr acceptances;
-        if cost < !best_cost then begin
-          best_cost := cost;
+        if cost < a.bst then begin
+          a.bst <- cost;
           on_improve ~cost ~step:!step
         end
       end
@@ -65,9 +89,9 @@ let run_moves ?(on_improve = fun ~cost:_ ~step:_ -> ())
     end
   done;
   {
-    mv_best_cost = !best_cost;
-    mv_final_cost = !current_cost;
-    mv_average_cost = !cost_sum /. float_of_int !evaluations;
+    mv_best_cost = a.bst;
+    mv_final_cost = a.cur;
+    mv_average_cost = a.sum /. float_of_int !evaluations;
     mv_evaluations = !evaluations;
     mv_acceptances = !acceptances;
   }
@@ -76,30 +100,33 @@ let run ?(on_accept = fun _ ~cost:_ ~step:_ -> ()) ?(should_stop = fun ~best_cos
     ~rng ~schedule ~iterations problem =
   if iterations < 0 then invalid_arg "Annealer.run: negative iteration count";
   let current = ref problem.initial in
-  let current_cost = ref (problem.cost problem.initial) in
-  let best = ref !current and best_cost = ref !current_cost in
-  let cost_sum = ref !current_cost and evaluations = ref 1 in
+  let initial_cost = problem.cost problem.initial in
+  let a =
+    { cur = initial_cost; bst = initial_cost; sum = initial_cost; traw = traw0 schedule }
+  in
+  let best = ref !current in
+  let evaluations = ref 1 in
   let acceptances = ref 0 in
   let step = ref 0 in
   let continue = ref true in
   while !continue && !step < iterations do
-    if should_stop ~best_cost:!best_cost ~step:!step then continue := false
+    if should_stop ~best_cost:a.bst ~step:!step then continue := false
     else begin
       let candidate = problem.neighbor rng !current in
       let cost = problem.cost candidate in
-      cost_sum := !cost_sum +. cost;
+      a.sum <- a.sum +. cost;
       incr evaluations;
-      let dc = cost -. !current_cost in
-      let temp = Schedule.temperature schedule ~step:!step in
+      let dc = cost -. a.cur in
+      let temp = next_temp schedule a ~step:!step in
       let accept = dc <= 0.0 || Rng.float rng 1.0 < exp (-.dc /. temp) in
       if accept then begin
         current := candidate;
-        current_cost := cost;
+        a.cur <- cost;
         incr acceptances;
         on_accept candidate ~cost ~step:!step;
-        if cost < !best_cost then begin
+        if cost < a.bst then begin
           best := candidate;
-          best_cost := cost
+          a.bst <- cost
         end
       end;
       incr step
@@ -107,10 +134,10 @@ let run ?(on_accept = fun _ ~cost:_ ~step:_ -> ()) ?(should_stop = fun ~best_cos
   done;
   {
     best = !best;
-    best_cost = !best_cost;
+    best_cost = a.bst;
     final = !current;
-    final_cost = !current_cost;
-    average_cost = !cost_sum /. float_of_int !evaluations;
+    final_cost = a.cur;
+    average_cost = a.sum /. float_of_int !evaluations;
     evaluations = !evaluations;
     acceptances = !acceptances;
   }

@@ -69,6 +69,11 @@ val run_moves :
     acceptance draw is only consumed when [delta_cost > 0]).
     [on_improve] fires after a commit that produced a new best cost —
     the driver should snapshot its current state there.
+
+    The move loop itself is allocation-free: accumulators live in a
+    flat all-float record and geometric temperatures advance by one
+    multiply per step (no [**], no boxed intermediates), so the only
+    per-move work is whatever the [move_problem] callbacks do.
     @raise Invalid_argument on a negative iteration count. *)
 
 val run :

@@ -61,16 +61,19 @@ let legal_breakdown ~weights circuit ~die_w ~die_h rects =
   let b = Cost.evaluate ~weights circuit ~die_w ~die_h rects in
   (b.Cost.overlap_area, b.Cost.oob_area)
 
-let run ?(weights = Cost.default_weights) ?(samples_per_box = 12) ?(query_samples = 64)
-    ?(seed = 7) ?(tolerance = 1e-6) structure =
+let run ?pool ?(weights = Cost.default_weights) ?(samples_per_box = 12)
+    ?(query_samples = 64) ?(seed = 7) ?(tolerance = 1e-6) structure =
   let circuit = Structure.circuit structure in
   let die_w, die_h = Structure.die structure in
   let bounds = Circuit.dim_bounds circuit in
   let stored = Structure.placements structure in
   let backup = Structure.backup structure in
-  let rng = Mps_rng.Rng.create ~seed in
-  let findings = ref [] in
-  let add severity subject code fmt =
+  (* Every audited subject samples from its own stream (query probes =
+     stream 0, backup = stream 1, placement i = stream 2+i), so the
+     per-placement checks can fan out across a domain pool and still
+     produce the identical report a sequential audit does. *)
+  let root = Mps_rng.Rng.create ~seed in
+  let add findings severity subject code fmt =
     Printf.ksprintf
       (fun detail -> findings := { severity; subject; code; detail } :: !findings)
       fmt
@@ -78,20 +81,26 @@ let run ?(weights = Cost.default_weights) ?(samples_per_box = 12) ?(query_sample
   (* eq. 5: stored validity boxes pairwise disjoint.  Blame the
      higher-average-cost placement of an overlapping pair — that is the
      one quarantine will drop. *)
-  Array.iteri
-    (fun i a ->
-      Array.iteri
-        (fun j b ->
-          if i < j && Dimbox.overlaps a.Stored.box b.Stored.box then begin
-            let loser = if a.Stored.avg_cost <= b.Stored.avg_cost then j else i in
-            let other = if loser = j then i else j in
-            add Fatal (Placement loser) "box-overlap"
-              "validity box overlaps placement %d (eq. 5 violated)" other
-          end)
-        stored)
-    stored;
-  (* Per-placement shape and legality checks. *)
-  let check_placement subject (s : Stored.t) =
+  let pair_findings =
+    let acc = ref [] in
+    Array.iteri
+      (fun i a ->
+        Array.iteri
+          (fun j b ->
+            if i < j && Dimbox.overlaps a.Stored.box b.Stored.box then begin
+              let loser = if a.Stored.avg_cost <= b.Stored.avg_cost then j else i in
+              let other = if loser = j then i else j in
+              add acc Fatal (Placement loser) "box-overlap"
+                "validity box overlaps placement %d (eq. 5 violated)" other
+            end)
+          stored)
+      stored;
+    List.rev !acc
+  in
+  (* Per-placement shape and legality checks; [rng] is the subject's
+     private stream, [findings] its private accumulator. *)
+  let check_placement rng findings subject (s : Stored.t) =
+    let add severity subject code fmt = add findings severity subject code fmt in
     let p = s.Stored.placement in
     if p.Placement.die_w <> die_w || p.Placement.die_h <> die_h then
       add Fatal subject "die-mismatch" "placement die %dx%d, structure die %dx%d"
@@ -161,35 +170,60 @@ let run ?(weights = Cost.default_weights) ?(samples_per_box = 12) ?(query_sample
       end
     end
   in
-  Array.iteri (fun i s -> check_placement (Placement i) s) stored;
-  check_placement Backup backup;
-  (* The backup is the quality floor for every uncovered query: it must
-     at least be legal at the circuit's minimum dimensions, the anchor
-     of the re-packing monotonicity argument. *)
-  if Stored.n_blocks backup = Circuit.n_blocks circuit then begin
-    if not (Placement.is_legal backup.Stored.placement (Circuit.min_dims circuit)) then
-      add Fatal Backup "backup-illegal-at-min"
-        "backup placement illegal at the minimum dimension vector"
-  end;
+  (* The per-placement sweep is the audit's O(n · samples) hot loop;
+     with a pool it fans out one task per stored placement, merged back
+     in placement order. *)
+  let placement_findings =
+    let check i =
+      let acc = ref [] in
+      check_placement (Mps_rng.Rng.split root (2 + i)) acc (Placement i) stored.(i);
+      List.rev !acc
+    in
+    let tasks = Array.init (Array.length stored) Fun.id in
+    match pool with
+    | Some pool -> Mps_parallel.Pool.map pool check tasks
+    | None -> Array.map check tasks
+  in
+  let backup_findings =
+    let acc = ref [] in
+    check_placement (Mps_rng.Rng.split root 1) acc Backup backup;
+    (* The backup is the quality floor for every uncovered query: it
+       must at least be legal at the circuit's minimum dimensions, the
+       anchor of the re-packing monotonicity argument. *)
+    if Stored.n_blocks backup = Circuit.n_blocks circuit then begin
+      if not (Placement.is_legal backup.Stored.placement (Circuit.min_dims circuit))
+      then
+        add acc Fatal Backup "backup-illegal-at-min"
+          "backup placement illegal at the minimum dimension vector"
+    end;
+    List.rev !acc
+  in
   (* Whole-space query probes: answering must be total and every answer
      must instantiate without block overlap. *)
-  for k = 1 to query_samples do
-    let dims = Dimbox.random_dims rng bounds in
-    match Structure.instantiate structure dims with
-    | rects -> (
-      match Rect.any_overlap rects with
-      | Some (a, b) ->
-        add Fatal Structure_wide "query-overlap"
-          "query sample %d: blocks %d and %d overlap in the answer" k a b
-      | None -> ())
-    | exception e ->
-      add Fatal Structure_wide "query-exception" "query sample %d raised %s" k
-        (Printexc.to_string e)
-  done;
+  let query_findings =
+    let acc = ref [] in
+    let rng = Mps_rng.Rng.split root 0 in
+    for k = 1 to query_samples do
+      let dims = Dimbox.random_dims rng bounds in
+      match Structure.instantiate structure dims with
+      | rects -> (
+        match Rect.any_overlap rects with
+        | Some (a, b) ->
+          add acc Fatal Structure_wide "query-overlap"
+            "query sample %d: blocks %d and %d overlap in the answer" k a b
+        | None -> ())
+      | exception e ->
+        add acc Fatal Structure_wide "query-exception" "query sample %d raised %s" k
+          (Printexc.to_string e)
+    done;
+    List.rev !acc
+  in
   let ordered =
     List.stable_sort
       (fun a b -> Int.compare (severity_rank b.severity) (severity_rank a.severity))
-      (List.rev !findings)
+      (pair_findings
+      @ List.concat (Array.to_list placement_findings)
+      @ backup_findings @ query_findings)
   in
   {
     circuit_name = circuit.Circuit.name;

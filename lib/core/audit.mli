@@ -56,6 +56,7 @@ type report = {
 }
 
 val run :
+  ?pool:Mps_parallel.Pool.t ->
   ?weights:Cost.weights ->
   ?samples_per_box:int ->
   ?query_samples:int ->
@@ -69,7 +70,12 @@ val run :
     [samples_per_box] (default 12) seeded legality samples per stored
     box, [query_samples] (default 64) whole-space query probes, [seed]
     (default 7) drives both, [tolerance] (default 1e-6) is the relative
-    tolerance of the cost re-verification.  Never raises. *)
+    tolerance of the cost re-verification.  Never raises.
+
+    Every audited subject draws from its own {!Mps_rng.Rng.split}
+    stream of [seed], so passing [pool] fans the per-placement checks
+    out across domains and returns the {e identical} report a
+    sequential audit produces. *)
 
 val clean : report -> bool
 (** No [Fatal] and no [Degraded] finding ([Info] findings allowed). *)

@@ -3,14 +3,28 @@ open Mps_placement
 
 let magic = "mps-checkpoint v1"
 
+type walk = {
+  w_step : int;
+  w_cost : float;
+  w_current : Placement.t;
+  w_rng : Mps_rng.Rng.t;
+}
+
+type par = { restarts : int; chunk : int; walks : walk array }
+
 type t = {
   step : int;
   dropped : int;
   current : Placement.t;
   current_cost : float;
   rng : Mps_rng.Rng.t;
+  par : par option;
   structure : Structure.t;
 }
+
+let coords_line coords =
+  String.concat " "
+    (List.map (fun (x, y) -> Printf.sprintf "%d %d" x y) (Array.to_list coords))
 
 let to_string cp =
   let buf = Buffer.create 4096 in
@@ -18,12 +32,18 @@ let to_string cp =
   line "step %d" cp.step;
   line "dropped %d" cp.dropped;
   line "current_cost %.17g" cp.current_cost;
-  line "current %s"
-    (String.concat " "
-       (List.map
-          (fun (x, y) -> Printf.sprintf "%d %d" x y)
-          (Array.to_list cp.current.Placement.coords)));
+  line "current %s" (coords_line cp.current.Placement.coords);
   line "rng %s" (Mps_rng.Rng.to_string cp.rng);
+  (match cp.par with
+  | None -> ()
+  | Some { restarts; chunk; walks } ->
+      line "par %d %d" restarts chunk;
+      Array.iter
+        (fun w ->
+          line "walk %d %.17g %s" w.w_step w.w_cost
+            (coords_line w.w_current.Placement.coords);
+          line "walk_rng %s" (Mps_rng.Rng.to_string w.w_rng))
+        walks);
   Buffer.add_string buf (Codec.to_string cp.structure);
   let payload = Buffer.contents buf in
   Printf.sprintf "%s\nchecksum %s\n%s" magic (Persist.crc32_hex payload) payload
@@ -48,6 +68,30 @@ let field ~lineno ~prefix line =
   if String.length line >= plen && String.sub line 0 plen = prefix then
     String.trim (String.sub line plen (String.length line - plen))
   else corrupt lineno "expected %S, got %S" prefix line
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let parse_coords ~lineno ~circuit s =
+  let ints =
+    List.filter_map
+      (fun t -> if t = "" then None else Some t)
+      (String.split_on_char ' ' s)
+    |> List.map (fun t ->
+           match int_of_string_opt t with
+           | Some v -> v
+           | None -> corrupt lineno "expected an integer, got %S" t)
+  in
+  let rec pair_up = function
+    | [] -> []
+    | a :: b :: rest -> (a, b) :: pair_up rest
+    | [ _ ] -> corrupt lineno "odd number of coordinates"
+  in
+  let coords = Array.of_list (pair_up ints) in
+  if Array.length coords <> Circuit.n_blocks circuit then
+    corrupt lineno "expected %d coordinates" (Circuit.n_blocks circuit);
+  coords
 
 let of_string ~circuit raw =
   (* header + checksum over the rest, mirroring the codec's framing *)
@@ -78,47 +122,85 @@ let of_string ~circuit raw =
     | Some v when v >= 0 -> v
     | _ -> corrupt lineno "expected a non-negative integer, got %S" s
   in
+  let float_field lineno s =
+    match float_of_string_opt s with
+    | Some v -> v
+    | None -> corrupt lineno "expected a float, got %S" s
+  in
+  let rng_field lineno s =
+    match Mps_rng.Rng.of_string s with
+    | Some r -> r
+    | None -> corrupt lineno "unreadable rng state"
+  in
   let step = int_field 3 step_s in
   let dropped = int_field 4 dropped_s in
-  let current_cost =
-    match float_of_string_opt cost_s with
-    | Some v -> v
-    | None -> corrupt 5 "expected a float, got %S" cost_s
-  in
-  let rng =
-    match Mps_rng.Rng.of_string rng_s with
-    | Some r -> r
-    | None -> corrupt 7 "unreadable rng state"
+  let current_cost = float_field 5 cost_s in
+  let rng = rng_field 7 rng_s in
+  (* optional parallel-walk section: peek before the embedded document *)
+  let raw_par, o =
+    match take_line payload o with
+    | Some (l, next) when starts_with ~prefix:"par " l ->
+        let spec = field ~lineno:8 ~prefix:"par " l in
+        let restarts, chunk =
+          match String.split_on_char ' ' spec with
+          | [ r; c ] -> (int_field 8 r, int_field 8 c)
+          | _ -> corrupt 8 "expected 'par <restarts> <chunk>', got %S" l
+        in
+        if restarts < 1 || chunk < 1 then
+          corrupt 8 "par section needs restarts >= 1 and chunk >= 1";
+        let o = ref next in
+        let walks =
+          Array.init restarts (fun w ->
+              let lineno = 9 + (2 * w) in
+              let walk_s, next = get lineno "walk " !o in
+              let wstep, wcost, wcoords =
+                match String.index_opt walk_s ' ' with
+                | None -> corrupt lineno "expected 'walk <step> <cost> <coords>'"
+                | Some i -> (
+                    let rest = String.sub walk_s (i + 1) (String.length walk_s - i - 1) in
+                    match String.index_opt rest ' ' with
+                    | None -> corrupt lineno "expected 'walk <step> <cost> <coords>'"
+                    | Some j ->
+                        ( int_field lineno (String.sub walk_s 0 i),
+                          float_field lineno (String.sub rest 0 j),
+                          String.sub rest (j + 1) (String.length rest - j - 1) ))
+              in
+              let rng_s, next = get (lineno + 1) "walk_rng " next in
+              o := next;
+              (wstep, wcost, wcoords, rng_field (lineno + 1) rng_s))
+        in
+        (Some (restarts, chunk, walks), !o)
+    | _ -> (None, o)
   in
   let structure =
     Codec.of_string ~circuit (String.sub payload o (String.length payload - o))
   in
   let die_w, die_h = Structure.die structure in
-  let coords =
-    let ints =
-      List.filter_map
-        (fun t -> if t = "" then None else Some t)
-        (String.split_on_char ' ' coords_s)
-      |> List.map (fun t ->
-             match int_of_string_opt t with
-             | Some v -> v
-             | None -> corrupt 6 "expected an integer, got %S" t)
-    in
-    let rec pair_up = function
-      | [] -> []
-      | a :: b :: rest -> (a, b) :: pair_up rest
-      | [ _ ] -> corrupt 6 "odd number of coordinates"
-    in
-    Array.of_list (pair_up ints)
-  in
-  if Array.length coords <> Circuit.n_blocks circuit then
-    corrupt 6 "expected %d coordinates" (Circuit.n_blocks circuit);
-  let current =
+  let placement_of_coords lineno coords_s =
+    let coords = parse_coords ~lineno ~circuit coords_s in
     match Placement.make ~coords ~die_w ~die_h with
     | p -> p
-    | exception Invalid_argument msg -> corrupt 6 "bad current placement: %s" msg
+    | exception Invalid_argument msg -> corrupt lineno "bad placement: %s" msg
   in
-  { step; dropped; current; current_cost; rng; structure }
+  let current = placement_of_coords 6 coords_s in
+  let par =
+    Option.map
+      (fun (restarts, chunk, raw_walks) ->
+        let walks =
+          Array.mapi
+            (fun w (wstep, wcost, wcoords, wrng) ->
+              {
+                w_step = wstep;
+                w_cost = wcost;
+                w_current = placement_of_coords (9 + (2 * w)) wcoords;
+                w_rng = wrng;
+              })
+            raw_walks
+        in
+        { restarts; chunk; walks })
+      raw_par
+  in
+  { step; dropped; current; current_cost; rng; par; structure }
 
 let save cp ~path =
   try Persist.atomic_write ~path (to_string cp)

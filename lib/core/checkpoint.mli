@@ -23,6 +23,17 @@
     ...
     v}
 
+    A checkpoint written by the parallel generator
+    ({!Generator.generate_par}) additionally carries one [par] section
+    between the [rng] line and the embedded document — the restart
+    count, the merge chunk size, and one [walk]/[walk_rng] line pair
+    per explorer restart (step, cost, accepted placement, and the
+    walk's private stream state).  Recording every per-task stream is
+    what makes resume deterministic at {e any} job count: the walks
+    are data, the domain pool is just scheduling.  Checkpoints written
+    by the sequential generator have no [par] section and still parse
+    ([par = None]).
+
     Saving is atomic ({!Mps_core.Persist.atomic_write}); loading
     verifies the checksum and the embedded document end to end, and
     raises {!Codec.Error} on any damage — a checkpoint is either whole
@@ -32,12 +43,27 @@
 open Mps_netlist
 open Mps_placement
 
+type walk = {
+  w_step : int;  (** Explorer steps this walk has taken. *)
+  w_cost : float;  (** BDIO average cost of the accepted placement. *)
+  w_current : Placement.t;  (** The walk's accepted placement. *)
+  w_rng : Mps_rng.Rng.t;  (** The walk's private stream state. *)
+}
+(** One explorer restart of a parallel run. *)
+
+type par = {
+  restarts : int;  (** Number of explorer walks (fixed by config). *)
+  chunk : int;  (** Steps merged per walk per lockstep round. *)
+  walks : walk array;  (** One entry per restart, in task order. *)
+}
+
 type t = {
   step : int;  (** Explorer steps already taken. *)
   dropped : int;  (** Candidates dropped so far (for stats continuity). *)
   current : Placement.t;  (** The walk's accepted placement. *)
   current_cost : float;  (** Its BDIO average cost. *)
   rng : Mps_rng.Rng.t;  (** Exact generator state at the snapshot. *)
+  par : par option;  (** Parallel-walk states; [None] for sequential runs. *)
   structure : Structure.t;  (** Interim structure: live placements + backup. *)
 }
 

@@ -26,6 +26,8 @@ type config = {
       (** Short coordinate-annealing refinement applied to each explorer
           candidate, each toward its own random target sizing; [0]
           disables it (the paper's literal walk). *)
+  explorer_restarts : int;
+  walk_chunk : int;
   checkpoint_every : int;
   checkpoint_path : string option;
   max_seconds : float option;
@@ -46,6 +48,8 @@ let default_config =
     backup_restarts = 3;
     seed_walk_with_backup = true;
     refine_iterations = 2000;
+    explorer_restarts = 4;
+    walk_chunk = 4;
     checkpoint_every = 0;
     checkpoint_path = None;
     max_seconds = None;
@@ -90,11 +94,14 @@ let beats_backup_locally config rng circuit backup candidate ~evals =
   done;
   !candidate_total <= !backup_total
 
-(* Expand a placement, optimize its dimension intervals, and merge the
-   result into the structure (if it passes admission).  Returns the
-   BDIO result (the explorer's cost signal) and whether the candidate
-   was stored. *)
-let evaluate_and_store builder config rng circuit backup placement ~evals =
+(* Expand a placement, optimize its dimension intervals, and run the
+   admission test — everything about a candidate except touching the
+   builder.  This is the unit of work a parallel walk can do on its own
+   domain: it draws only from [rng] and owns its own [Incremental]
+   engine (created inside {!Bdio.optimize}).  Returns the made
+   candidate, the BDIO result (the explorer's cost signal), and the
+   admission verdict. *)
+let evaluate_candidate config rng circuit backup placement ~evals =
   let expansion = Expand.expand circuit placement in
   let bdio = Bdio.optimize ~config:config.bdio ~rng circuit placement ~box:expansion in
   evals := !evals + bdio.Bdio.evaluations;
@@ -103,33 +110,60 @@ let evaluate_and_store builder config rng circuit backup placement ~evals =
       ~avg_cost:bdio.Bdio.avg_cost ~best_cost:bdio.Bdio.best_cost
       ~best_dims:bdio.Bdio.best_dims
   in
-  if beats_backup_locally config rng circuit backup candidate ~evals then
+  let admitted = beats_backup_locally config rng circuit backup candidate ~evals in
+  (candidate, bdio, admitted)
+
+(* Same, then merge the admitted candidate into the structure.  Returns
+   the BDIO result and whether the candidate was stored. *)
+let evaluate_and_store builder config rng circuit backup placement ~evals =
+  let candidate, bdio, admitted =
+    evaluate_candidate config rng circuit backup placement ~evals
+  in
+  if admitted then
     let ids = Builder.resolve_and_store builder candidate in
     (bdio, ids <> [])
   else (bdio, false)
 
+(* Refine a candidate's coordinates with a short annealing run toward
+   a random target sizing: explored placements become locally good
+   arrangements for diverse dimension regions. *)
+let refine_candidate cfg rng circuit ~die_w ~die_h ~evals placement =
+  if cfg.refine_iterations <= 0 then placement
+  else begin
+    let target = Dimbox.random_dims rng (Circuit.dim_bounds circuit) in
+    let coord_config =
+      {
+        Coord_opt.default_config with
+        Coord_opt.iterations = cfg.refine_iterations;
+        weights = cfg.bdio.Bdio.weights;
+        max_shift_fraction = 0.2;
+      }
+    in
+    let refined =
+      Coord_opt.optimize ~config:coord_config ~initial:placement.Placement.coords ~rng
+        circuit ~die_w ~die_h target
+    in
+    evals := !evals + refined.Coord_opt.evaluations;
+    if Placement.is_legal refined.Coord_opt.placement (Circuit.min_dims circuit) then
+      refined.Coord_opt.placement
+    else placement
+  end
+
 (* The template-like backup placement for uncovered dimension space
-   (paper §3.1.4): coordinates annealed once at the nominal dimensions,
-   valid over its whole expansion box. *)
-let build_backup config rng circuit ~die_w ~die_h ~evals =
-  let nominal = Dimbox.center (Circuit.dim_bounds circuit) in
-  let coord_config =
-    {
-      Coord_opt.default_config with
-      Coord_opt.iterations = config.backup_iterations;
-      weights = config.bdio.Bdio.weights;
-    }
-  in
-  let optimized =
-    let best = ref (Coord_opt.optimize ~config:coord_config ~rng circuit ~die_w ~die_h nominal) in
-    evals := !evals + !best.Coord_opt.evaluations;
-    for _ = 2 to max 1 config.backup_restarts do
-      let r = Coord_opt.optimize ~config:coord_config ~rng circuit ~die_w ~die_h nominal in
-      evals := !evals + r.Coord_opt.evaluations;
-      if r.Coord_opt.cost < !best.Coord_opt.cost then best := r
-    done;
-    !best
-  in
+   (paper §3.1.4): coordinates annealed at the nominal dimensions,
+   valid over its whole expansion box.  Split into the best-of-restarts
+   search and the finalization so the parallel path can fan the
+   restarts out and reuse the tail. *)
+
+let backup_coord_config config =
+  {
+    Coord_opt.default_config with
+    Coord_opt.iterations = config.backup_iterations;
+    weights = config.bdio.Bdio.weights;
+  }
+
+let finalize_backup config rng circuit ~die_w ~die_h ~evals
+    (optimized : Coord_opt.result) =
   let placement =
     if Placement.is_legal optimized.Coord_opt.placement (Circuit.min_dims circuit) then
       optimized.Coord_opt.placement
@@ -167,6 +201,21 @@ let build_backup config rng circuit ~die_w ~die_h ~evals =
     ~avg_cost:(Float.max template_avg bdio.Bdio.avg_cost)
     ~best_cost:bdio.Bdio.best_cost ~best_dims:bdio.Bdio.best_dims
 
+let build_backup config rng circuit ~die_w ~die_h ~evals =
+  let nominal = Dimbox.center (Circuit.dim_bounds circuit) in
+  let coord_config = backup_coord_config config in
+  let optimized =
+    let best = ref (Coord_opt.optimize ~config:coord_config ~rng circuit ~die_w ~die_h nominal) in
+    evals := !evals + !best.Coord_opt.evaluations;
+    for _ = 2 to max 1 config.backup_restarts do
+      let r = Coord_opt.optimize ~config:coord_config ~rng circuit ~die_w ~die_h nominal in
+      evals := !evals + r.Coord_opt.evaluations;
+      if r.Coord_opt.cost < !best.Coord_opt.cost then best := r
+    done;
+    !best
+  in
+  finalize_backup config rng circuit ~die_w ~die_h ~evals optimized
+
 let run_explorer ?builder ?backup ?resume ~next_candidate ?config:(cfg = default_config)
     circuit =
   let t_start = Sys.time () in
@@ -178,6 +227,8 @@ let run_explorer ?builder ?backup ?resume ~next_candidate ?config:(cfg = default
   let builder, backup, rng, resumed_state =
     match resume with
     | Some cp ->
+      if cp.Checkpoint.par <> None then
+        invalid_arg "Generator.resume: parallel checkpoint (use resume_par)";
       (* Reconstitute the builder from the snapshot.  The snapshot's
          placement order is the builder's live order at checkpoint
          time, so re-inserting preserves the relative id order that
@@ -259,6 +310,7 @@ let run_explorer ?builder ?backup ?resume ~next_candidate ?config:(cfg = default
         current = !current;
         current_cost = !current_cost;
         rng;
+        par = None;
         structure = Structure.compile ~backup builder;
       }
       ~path
@@ -269,31 +321,7 @@ let run_explorer ?builder ?backup ?resume ~next_candidate ?config:(cfg = default
       write_checkpoint path
     | _ -> ()
   in
-  (* Refine a candidate's coordinates with a short annealing run toward
-     a random target sizing: explored placements become locally good
-     arrangements for diverse dimension regions. *)
-  let refine placement =
-    if cfg.refine_iterations <= 0 then placement
-    else begin
-      let target = Dimbox.random_dims rng (Circuit.dim_bounds circuit) in
-      let coord_config =
-        {
-          Coord_opt.default_config with
-          Coord_opt.iterations = cfg.refine_iterations;
-          weights = cfg.bdio.Bdio.weights;
-          max_shift_fraction = 0.2;
-        }
-      in
-      let refined =
-        Coord_opt.optimize ~config:coord_config
-          ~initial:placement.Placement.coords ~rng circuit ~die_w ~die_h target
-      in
-      evals := !evals + refined.Coord_opt.evaluations;
-      if Placement.is_legal refined.Coord_opt.placement (Circuit.min_dims circuit) then
-        refined.Coord_opt.placement
-      else placement
-    end
-  in
+  let refine placement = refine_candidate cfg rng circuit ~die_w ~die_h ~evals placement in
   while not (finished ()) do
     let candidate = refine (next_candidate rng builder ~max_shift !current) in
     let bdio, survived = evaluate_and_store builder cfg rng circuit backup candidate ~evals in
@@ -374,3 +402,252 @@ let resume ?(config = default_config) checkpoint =
     run_explorer ~resume:checkpoint ~next_candidate:next ~config circuit
   in
   (Structure.compile ~backup builder, stats)
+
+(* ---- Deterministic parallel generation (DESIGN.md §9) ----
+
+   The task list is fixed by the config alone: [backup_restarts]
+   coordinate-annealing tasks, then [explorer_restarts] independent
+   Metropolis walks advanced in lockstep rounds of [walk_chunk] steps
+   each.  Every task draws from its own stream ([Rng.split] by task
+   id), and results are merged into the builder in (round, walk, step)
+   order — so the structure is a pure function of the config, never of
+   the job count or the scheduler.  Each task builds its own
+   [Incremental] engine inside [Bdio.optimize]/[Coord_opt.optimize]:
+   no mutable cost state ever crosses a domain. *)
+
+module Pool = Mps_parallel.Pool
+
+(* One explorer restart.  Mutated only by the domain that owns it for
+   the current round; the pool's batch handshake publishes the writes
+   before the merge reads them. *)
+type walk_state = {
+  mutable ws_step : int;
+  mutable ws_current : Placement.t;
+  mutable ws_cost : float;
+  ws_rng : Rng.t;
+}
+
+let build_backup_par pool config root circuit ~die_w ~die_h ~evals =
+  let nominal = Dimbox.center (Circuit.dim_bounds circuit) in
+  let coord_config = backup_coord_config config in
+  let restarts = max 1 config.backup_restarts in
+  let results =
+    Pool.map pool
+      (fun k ->
+        let rng = Rng.split root k in
+        Coord_opt.optimize ~config:coord_config ~rng circuit ~die_w ~die_h nominal)
+      (Array.init restarts Fun.id)
+  in
+  Array.iter (fun r -> evals := !evals + r.Coord_opt.evaluations) results;
+  (* strict [<]: ties go to the lowest restart index *)
+  let optimized =
+    Array.fold_left
+      (fun best r -> if r.Coord_opt.cost < best.Coord_opt.cost then r else best)
+      results.(0) results
+  in
+  finalize_backup config (Rng.split root restarts) circuit ~die_w ~die_h ~evals optimized
+
+(* Advance one walk by at most [chunk] steps, collecting the evaluated
+   candidates (with their admission verdicts) in step order.  Walk step
+   0 is the evaluation of the initial placement, mirroring the
+   sequential explorer; afterwards each step is perturb -> refine ->
+   evaluate -> Metropolis at the walk's own step temperature.  Runs
+   entirely on the walk's private stream; returns the candidates and
+   the cost evaluations spent (each task counts into its own
+   accumulator — the shared total is summed at merge time). *)
+let advance_walk cfg circuit backup ~die_w ~die_h ~max_shift ~chunk st =
+  let evals = ref 0 in
+  let out = ref [] in
+  let rng = st.ws_rng in
+  let budget = ref chunk in
+  if st.ws_step = 0 && !budget > 0 then begin
+    let candidate, bdio, admitted =
+      evaluate_candidate cfg rng circuit backup st.ws_current ~evals
+    in
+    out := (candidate, admitted) :: !out;
+    st.ws_cost <- bdio.Bdio.avg_cost;
+    st.ws_step <- 1;
+    decr budget
+  end;
+  while !budget > 0 && st.ws_step < cfg.explorer_iterations do
+    let proposed =
+      Perturb.perturb rng circuit ~fraction:cfg.perturb_fraction ~max_shift st.ws_current
+    in
+    let proposed = refine_candidate cfg rng circuit ~die_w ~die_h ~evals proposed in
+    let candidate, bdio, admitted =
+      evaluate_candidate cfg rng circuit backup proposed ~evals
+    in
+    out := (candidate, admitted) :: !out;
+    let dc = bdio.Bdio.avg_cost -. st.ws_cost in
+    let temp = Schedule.temperature cfg.explorer_schedule ~step:st.ws_step in
+    if dc <= 0.0 || Rng.float rng 1.0 < exp (-.dc /. temp) then begin
+      st.ws_current <- proposed;
+      st.ws_cost <- bdio.Bdio.avg_cost
+    end;
+    st.ws_step <- st.ws_step + 1;
+    decr budget
+  done;
+  (List.rev !out, !evals)
+
+let run_par pool ?resume ~cfg circuit =
+  let t_start = Sys.time () in
+  let t_wall = Unix.gettimeofday () in
+  let evals = ref 0 in
+  (* Stream scheme: the root is never drawn from — child 0 seeds the
+     backup restarts (task k -> stream k, finalization -> stream
+     [restarts]), child 1 seeds the walks (walk w -> stream w). *)
+  let root = Rng.create ~seed:cfg.seed in
+  let builder, backup, walks, chunk, steps, dropped =
+    match resume with
+    | Some cp ->
+      let ps =
+        match cp.Checkpoint.par with
+        | Some ps -> ps
+        | None ->
+          invalid_arg "Generator.resume_par: sequential checkpoint (use resume)"
+      in
+      let builder = Structure.to_builder cp.Checkpoint.structure in
+      let backup = Structure.backup cp.Checkpoint.structure in
+      let walks =
+        Array.map
+          (fun w ->
+            {
+              ws_step = w.Checkpoint.w_step;
+              ws_current = w.Checkpoint.w_current;
+              ws_cost = w.Checkpoint.w_cost;
+              ws_rng = Rng.copy w.Checkpoint.w_rng;
+            })
+          ps.Checkpoint.walks
+      in
+      ( builder,
+        backup,
+        walks,
+        ps.Checkpoint.chunk,
+        ref cp.Checkpoint.step,
+        ref cp.Checkpoint.dropped )
+    | None ->
+      let die_w, die_h = Circuit.default_die ~slack:cfg.die_slack circuit in
+      let backup = build_backup_par pool cfg (Rng.split root 0) circuit ~die_w ~die_h ~evals in
+      let builder = Builder.create ~weights:cfg.bdio.Bdio.weights circuit in
+      ignore (Builder.resolve_and_store builder backup);
+      let walk_root = Rng.split root 1 in
+      let walks =
+        Array.init (max 1 cfg.explorer_restarts) (fun w ->
+            let rng = Rng.split walk_root w in
+            let current =
+              if cfg.seed_walk_with_backup then backup.Stored.placement
+              else
+                Placement.random rng circuit ~die_w ~die_h
+            in
+            { ws_step = 0; ws_current = current; ws_cost = 0.0; ws_rng = rng })
+      in
+      (builder, backup, walks, max 1 cfg.walk_chunk, ref 0, ref 0)
+  in
+  let die_w = backup.Stored.placement.Placement.die_w in
+  let die_h = backup.Stored.placement.Placement.die_h in
+  let max_shift =
+    max 1 (int_of_float (cfg.max_shift_fraction *. float_of_int (max die_w die_h)))
+  in
+  let deadline_hit = ref false in
+  let stop = ref false in
+  let limits_reached () =
+    Builder.n_live builder >= cfg.max_placements
+    || Builder.coverage builder >= cfg.coverage_target
+  in
+  let write_checkpoint path =
+    Checkpoint.save
+      {
+        Checkpoint.step = !steps;
+        dropped = !dropped;
+        current = backup.Stored.placement;
+        current_cost = backup.Stored.avg_cost;
+        rng = root;
+        par =
+          Some
+            {
+              Checkpoint.restarts = Array.length walks;
+              chunk;
+              walks =
+                Array.map
+                  (fun st ->
+                    {
+                      Checkpoint.w_step = st.ws_step;
+                      w_cost = st.ws_cost;
+                      w_current = st.ws_current;
+                      w_rng = Rng.copy st.ws_rng;
+                    })
+                  walks;
+            };
+        structure = Structure.compile ~backup builder;
+      }
+      ~path
+  in
+  (* A fresh run checkpoints immediately after the backup phase, so a
+     kill during the (long) first rounds already has something to
+     resume from. *)
+  (match (cfg.checkpoint_path, resume) with
+  | Some path, None when cfg.checkpoint_every > 0 -> write_checkpoint path
+  | _ -> ());
+  let rounds = ref 0 in
+  let unfinished st = st.ws_step < cfg.explorer_iterations in
+  if limits_reached () then stop := true;
+  while (not !stop) && Array.exists unfinished walks do
+    let live = Array.of_list (List.filter unfinished (Array.to_list walks)) in
+    let outs =
+      Pool.map pool
+        (fun st -> advance_walk cfg circuit backup ~die_w ~die_h ~max_shift ~chunk st)
+        live
+    in
+    (* Merge in (walk, step) order; stopping limits are re-checked
+       before each record exactly like the sequential explorer.  A
+       record arriving after the limits trip is discarded — at every
+       job count, because the merge order never depends on jobs. *)
+    Array.iter
+      (fun (records, ev) ->
+        evals := !evals + ev;
+        List.iter
+          (fun (candidate, admitted) ->
+            if not !stop then begin
+              if limits_reached () then stop := true
+              else begin
+                let survived =
+                  admitted && Builder.resolve_and_store builder candidate <> []
+                in
+                if not survived then incr dropped;
+                incr steps
+              end
+            end)
+          records)
+      outs;
+    incr rounds;
+    (match cfg.max_seconds with
+    | Some s when Unix.gettimeofday () -. t_wall >= s ->
+      deadline_hit := true;
+      stop := true
+    | _ -> ());
+    (match cfg.checkpoint_path with
+    | Some path
+      when !deadline_hit
+           || (cfg.checkpoint_every > 0 && !rounds mod cfg.checkpoint_every = 0) ->
+      write_checkpoint path
+    | _ -> ())
+  done;
+  let stats =
+    {
+      placements_stored = Builder.n_live builder;
+      coverage = Builder.coverage builder;
+      explorer_steps = !steps;
+      candidates_dropped = !dropped;
+      cost_evaluations = !evals;
+      generation_seconds = Sys.time () -. t_start;
+      deadline_hit = !deadline_hit;
+    }
+  in
+  (Structure.compile ~backup builder, stats)
+
+let generate_par ?(config = default_config) ?jobs circuit =
+  Pool.with_pool ?jobs (fun pool -> run_par pool ~cfg:config circuit)
+
+let resume_par ?(config = default_config) ?jobs checkpoint =
+  let circuit = Structure.circuit checkpoint.Checkpoint.structure in
+  Pool.with_pool ?jobs (fun pool -> run_par pool ~resume:checkpoint ~cfg:config circuit)

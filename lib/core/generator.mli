@@ -41,10 +41,24 @@ type config = {
           candidate, each toward its own random target sizing, before
           expansion and the BDIO; [0] disables it (the paper's literal
           walk).  See DESIGN.md §5. *)
+  explorer_restarts : int;
+      (** Independent explorer walks run by {!generate_par}, each a
+          full [explorer_iterations]-step Metropolis walk on its own
+          stream.  The sequential {!generate} ignores it (one walk).
+          More walks mean more exploration — the work parallelism
+          makes affordable (DESIGN.md §9). *)
+  walk_chunk : int;
+      (** Steps each parallel walk advances per lockstep round before
+          results are merged into the builder in walk order.  Fixed by
+          config (never by job count) so the merge order — and hence
+          the structure — is identical at any [jobs].  Smaller chunks
+          mean fresher stopping checks and finer checkpoints; larger
+          chunks amortize scheduling.  Only {!generate_par} uses it. *)
   checkpoint_every : int;
       (** Snapshot the whole walk state to [checkpoint_path] every this
-          many explorer steps ({!Checkpoint}); [0] (the default)
-          disables checkpointing. *)
+          many explorer steps ({!Checkpoint}) — or, under
+          {!generate_par}, every this many lockstep rounds; [0] (the
+          default) disables checkpointing. *)
   checkpoint_path : string option;
       (** Where the snapshot goes (written atomically); [None] (the
           default) disables checkpointing. *)
@@ -107,4 +121,28 @@ val resume : ?config:config -> Checkpoint.t -> Structure.t * stats
     perturbation walk under the given config's stopping criteria.
     Determinism guarantee: resuming a run checkpointed at step K yields
     the same stored-placement set as the uninterrupted run with the
-    same config (property-tested). *)
+    same config (property-tested).
+    @raise Invalid_argument on a {!generate_par} checkpoint — those
+    carry per-walk streams and resume through {!resume_par}. *)
+
+val generate_par : ?config:config -> ?jobs:int -> Circuit.t -> Structure.t * stats
+(** Parallel generation over a {!Mps_parallel.Pool} of [jobs] domains
+    ([jobs] defaults to {!Mps_parallel.Pool.default_jobs}; [jobs = 1]
+    runs the same algorithm on the calling domain).  The backup's
+    [backup_restarts] annealing runs fan out one task each; the
+    explorer runs [explorer_restarts] independent walks advanced in
+    lockstep rounds of [walk_chunk] steps, merged into the builder in
+    walk order.  Every task draws from its own {!Mps_rng.Rng.split}
+    stream, so the returned structure is {b byte-identical at any job
+    count} (property-tested) — parallelism only changes wall time.
+    Checkpoints (when configured) record every walk's stream; a fresh
+    run writes one right after the backup phase, then one per
+    [checkpoint_every] rounds, plus a final one on a deadline stop. *)
+
+val resume_par : ?config:config -> ?jobs:int -> Checkpoint.t -> Structure.t * stats
+(** Continue an interrupted {!generate_par} run.  The checkpoint's
+    recorded walk states and streams — not the job count — determine
+    the continuation, so a run checkpointed under [--jobs 4] resumes
+    byte-identically under any [jobs] (property-tested).
+    @raise Invalid_argument on a sequential checkpoint (no parallel
+    section — use {!resume}). *)

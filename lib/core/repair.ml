@@ -36,8 +36,8 @@ type outcome = {
 
 let clean outcome = Audit.clean outcome.after
 
-let audit config structure =
-  Audit.run ~weights:config.weights ~samples_per_box:config.samples_per_box
+let audit ?pool config structure =
+  Audit.run ?pool ~weights:config.weights ~samples_per_box:config.samples_per_box
     ~query_samples:config.query_samples ~seed:config.seed ~tolerance:config.tolerance
     structure
 
@@ -192,8 +192,8 @@ let reanneal_box config rng circuit ~die_w ~die_h kept_boxes (lost : Stored.t) =
             (Stored.make ~template_like:false ~placement ~box ~expansion ~avg_cost
                ~best_cost ~best_dims))
 
-let run ?(config = default_config) structure =
-  let before = audit config structure in
+let run ?pool ?(config = default_config) structure =
+  let before = audit ?pool config structure in
   if Audit.clean before then
     {
       structure;
@@ -211,7 +211,10 @@ let run ?(config = default_config) structure =
     let bounds = Circuit.dim_bounds circuit in
     let die_w, die_h = Structure.die structure in
     let stored = Structure.placements structure in
-    let rng = Mps_rng.Rng.create ~seed:config.seed in
+    (* Stream scheme mirroring the auditor: backup rebuild = stream 0,
+       quarantined placement i = stream 1+i — so the reanneal fan-out
+       below gives the same result with or without a pool. *)
+    let root = Mps_rng.Rng.create ~seed:config.seed in
     let quarantined = ref [] and repaired_in_place = ref 0 in
     (* 1. Quarantine Fatal placements; repair Degraded ones in place. *)
     let survivors =
@@ -238,7 +241,7 @@ let run ?(config = default_config) structure =
       if has_fatal Audit.Backup before then
         let rebuilt =
           if config.reanneal_iterations > 0 then
-            reanneal_backup config rng circuit ~die_w ~die_h
+            reanneal_backup config (Mps_rng.Rng.split root 0) circuit ~die_w ~die_h
           else None
         in
         match rebuilt with
@@ -259,26 +262,49 @@ let run ?(config = default_config) structure =
     let recovered =
       if config.reanneal_iterations <= 0 then []
       else begin
-        let kept_boxes = ref (List.map (fun (_, s) -> s.Stored.box) survivors) in
-        List.filter_map
-          (fun i ->
-            let s = stored.(i) in
-            if s.Stored.template_like || !reannealed >= config.max_reanneals then None
-            else
-              match reanneal_box config rng circuit ~die_w ~die_h !kept_boxes s with
-              | Some fresh ->
-                incr reannealed;
-                kept_boxes := fresh.Stored.box :: !kept_boxes;
-                Some fresh
-              | None -> None)
-          (List.rev !quarantined)
+        (* Fan the annealing runs out (one task per quarantined box, on
+           its own stream, against the survivors' boxes), then admit
+           sequentially in ascending quarantine order.  Admission
+           re-checks disjointness against everything already kept —
+           quarantined boxes may overlap each other — and enforces the
+           [max_reanneals] cap, so the outcome matches at any job
+           count. *)
+        let survivor_boxes = List.map (fun (_, s) -> s.Stored.box) survivors in
+        let order = Array.of_list (List.rev !quarantined) in
+        let candidate i =
+          let s = stored.(i) in
+          if s.Stored.template_like then None
+          else
+            reanneal_box config
+              (Mps_rng.Rng.split root (1 + i))
+              circuit ~die_w ~die_h survivor_boxes s
+        in
+        let candidates =
+          match pool with
+          | Some pool -> Mps_parallel.Pool.map pool candidate order
+          | None -> Array.map candidate order
+        in
+        let kept_boxes = ref survivor_boxes in
+        Array.to_list candidates
+        |> List.filter_map (fun c ->
+               match c with
+               | Some fresh
+                 when !reannealed < config.max_reanneals
+                      && not
+                           (List.exists
+                              (Dimbox.overlaps fresh.Stored.box)
+                              !kept_boxes) ->
+                 incr reannealed;
+                 kept_boxes := fresh.Stored.box :: !kept_boxes;
+                 Some fresh
+               | _ -> None)
       end
     in
     (* 4. Recompile leniently — belt and braces against residual
        overlaps — and re-audit. *)
-    let pool = Array.of_list (List.map snd survivors @ recovered) in
+    let admitted = Array.of_list (List.map snd survivors @ recovered) in
     let structure' =
-      match Structure.of_placements_lenient ~backup circuit pool with
+      match Structure.of_placements_lenient ~backup circuit admitted with
       | s, _residual -> s
       | exception Invalid_argument _ -> (
         (* nothing admissible at all: serve the backup alone if it is
@@ -287,7 +313,7 @@ let run ?(config = default_config) structure =
         | s -> s
         | exception Invalid_argument _ -> structure)
     in
-    let after = audit config structure' in
+    let after = audit ?pool config structure' in
     {
       structure = structure';
       before;

@@ -54,10 +54,16 @@ type outcome = {
 val clean : outcome -> bool
 (** The [after] report is audit-clean. *)
 
-val run : ?config:config -> Structure.t -> outcome
+val run : ?pool:Mps_parallel.Pool.t -> ?config:config -> Structure.t -> outcome
 (** Audit, quarantine, repair, re-audit.  The input structure is not
     mutated.  Returns the input structure unchanged (with [after =
-    before]) when it is already clean. *)
+    before]) when it is already clean.
+
+    [pool] fans out the audits (per stored placement) and the
+    re-annealing of quarantined boxes (one task per box, each on its
+    own {!Mps_rng.Rng.split} stream of [seed], admitted back in
+    ascending quarantine order) — the outcome is identical with or
+    without a pool, at any job count. *)
 
 val describe : outcome -> string
 (** One-paragraph human-readable summary. *)

@@ -1,0 +1,164 @@
+(* Domain pool over stdlib primitives only.
+
+   Batches are published under [mutex]: the caller installs the batch
+   closure, bumps [epoch] and broadcasts; workers wake on the epoch
+   change, pull task indices from the atomic [next] counter, and run
+   tasks with no lock held.  The final mutex handshake (worker
+   decrements [active] under the lock, caller waits for it to reach
+   zero) establishes the happens-before edge that makes the workers'
+   plain writes into the result array visible to the caller — each
+   task writes a distinct slot, so no two domains ever race on the
+   same word.
+
+   Per-worker scratch ([errors]) is allocated once at pool creation
+   and reused for every batch (the pool-resident buffers the perf
+   satellite asks for); a batch only allocates its result array. *)
+
+type t = {
+  size : int; (* workers including the calling domain *)
+  mutex : Mutex.t;
+  work : Condition.t; (* new batch or shutdown *)
+  finished : Condition.t; (* all workers drained the batch *)
+  mutable batch : (int -> unit) option;
+  mutable n_tasks : int;
+  next : int Atomic.t; (* next unclaimed task index *)
+  mutable active : int; (* spawned workers still in the batch *)
+  mutable epoch : int;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+  errors : (int * exn) option array; (* per-worker: lowest failing task *)
+}
+
+let default_jobs_cap = 8
+
+let default_jobs () =
+  max 1 (min default_jobs_cap (Domain.recommended_domain_count ()))
+
+let jobs t = t.size
+
+(* Drain tasks from the shared counter.  [slot] indexes the per-worker
+   error scratch; the calling domain uses the last slot. *)
+let run_share t body ~slot =
+  let n = t.n_tasks in
+  let continue_ = ref true in
+  while !continue_ do
+    let i = Atomic.fetch_and_add t.next 1 in
+    if i >= n then continue_ := false
+    else
+      try body i
+      with exn -> (
+        match t.errors.(slot) with
+        | Some (j, _) when j < i -> ()
+        | _ -> t.errors.(slot) <- Some (i, exn))
+  done
+
+let worker t slot =
+  let rec loop seen =
+    Mutex.lock t.mutex;
+    while (not t.stopping) && t.epoch = seen do
+      Condition.wait t.work t.mutex
+    done;
+    if t.stopping then Mutex.unlock t.mutex
+    else begin
+      let epoch = t.epoch in
+      let body = Option.get t.batch in
+      Mutex.unlock t.mutex;
+      run_share t body ~slot;
+      Mutex.lock t.mutex;
+      t.active <- t.active - 1;
+      if t.active = 0 then Condition.signal t.finished;
+      Mutex.unlock t.mutex;
+      loop epoch
+    end
+  in
+  loop 0
+
+let create ?jobs () =
+  let size = match jobs with None -> default_jobs () | Some j -> j in
+  if size < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    {
+      size;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      batch = None;
+      n_tasks = 0;
+      next = Atomic.make 0;
+      active = 0;
+      epoch = 0;
+      stopping = false;
+      workers = [];
+      errors = Array.make size None;
+    }
+  in
+  if size > 1 then
+    t.workers <-
+      List.init (size - 1) (fun slot -> Domain.spawn (fun () -> worker t slot));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stopping <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* Run [body 0 .. body (n-1)] across the pool and re-raise the failure
+   of the lowest failing task index, if any. *)
+let run_batch t ~n body =
+  if t.stopping then invalid_arg "Pool: used after shutdown";
+  if n <= 0 then ()
+  else if t.size = 1 then
+    (* sequential fast path: in order, exceptions propagate directly
+       (the first to raise is necessarily the lowest index) *)
+    for i = 0 to n - 1 do
+      body i
+    done
+  else begin
+    Array.fill t.errors 0 t.size None;
+    Mutex.lock t.mutex;
+    t.batch <- Some body;
+    t.n_tasks <- n;
+    Atomic.set t.next 0;
+    t.active <- t.size - 1;
+    t.epoch <- t.epoch + 1;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    run_share t body ~slot:(t.size - 1);
+    Mutex.lock t.mutex;
+    while t.active > 0 do
+      Condition.wait t.finished t.mutex
+    done;
+    t.batch <- None;
+    Mutex.unlock t.mutex;
+    let first =
+      Array.fold_left
+        (fun acc e ->
+          match (acc, e) with
+          | Some (i, _), Some (j, _) -> if j < i then e else acc
+          | None, e -> e
+          | acc, None -> acc)
+        None t.errors
+    in
+    match first with None -> () | Some (_, exn) -> raise exn
+  end
+
+let map t f tasks =
+  let n = Array.length tasks in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    run_batch t ~n (fun i -> out.(i) <- Some (f tasks.(i)));
+    Array.map
+      (function Some v -> v | None -> assert false (* run_batch raised *))
+      out
+  end
+
+let map_reduce t ~map:f ~fold ~init tasks =
+  Array.fold_left fold init (map t f tasks)

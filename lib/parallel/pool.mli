@@ -1,0 +1,52 @@
+(** Dependency-free domain pool (stdlib [Domain]/[Mutex]/[Condition]/[Atomic]).
+
+    A pool runs batches of independent tasks across a fixed set of
+    domains.  Results are always delivered **in task order**, so the
+    output of [map]/[map_reduce] is bit-identical regardless of how
+    many domains the pool has or how the scheduler interleaves them —
+    the cornerstone of deterministic parallel generation (DESIGN.md
+    §9).  Determinism of the tasks themselves is the caller's job:
+    each task must draw randomness from its own stream (see
+    {!Mps_rng.Rng.split}) and must not share mutable state with other
+    tasks.
+
+    The calling domain participates in every batch, so a pool of
+    [jobs] workers spawns [jobs - 1] domains.  Scratch buffers
+    (per-worker error slots) are sized once at pool creation and
+    reused across batches — no per-batch allocation beyond the result
+    array. *)
+
+type t
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] capped to 8 (and at least 1).
+    The cap keeps oversubscription in check on large hosts; pass an
+    explicit [jobs] to go wider. *)
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs - 1] worker domains ([jobs]
+    defaults to {!default_jobs}).  [jobs = 1] is a valid pool that
+    runs every batch sequentially on the calling domain.
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val jobs : t -> int
+(** Worker count, including the calling domain. *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map pool f tasks] applies [f] to every task and returns the
+    results in task order.  Tasks run concurrently (work-stealing via
+    an atomic counter); if any task raises, the exception of the
+    {e lowest} failing task index is re-raised after the batch
+    completes, so failures are deterministic too. *)
+
+val map_reduce : t -> map:('a -> 'b) -> fold:('c -> 'b -> 'c) -> init:'c -> 'a array -> 'c
+(** [map_reduce pool ~map ~fold ~init tasks] maps in parallel, then
+    folds the results sequentially in task order. *)
+
+val shutdown : t -> unit
+(** Join all worker domains.  Idempotent.  The pool must not be used
+    afterwards. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] brackets [create]/[shutdown] around [f],
+    shutting down on exceptions as well. *)

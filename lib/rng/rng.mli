@@ -2,31 +2,45 @@
 
     Every stochastic component of the library threads a value of type {!t}
     explicitly, so that whole experiments are reproducible from a single
-    integer seed.  The implementation wraps the standard library
-    [Random.State] splittable generator. *)
+    integer seed.  Draws come from a standard-library [Random.State];
+    each generator additionally carries an immutable 64-bit stream key
+    from which {!split} derives independent child streams. *)
 
 type t
-(** Mutable generator state. *)
+(** Mutable generator state plus an immutable stream key. *)
 
 val create : seed:int -> t
 (** [create ~seed] returns a fresh generator determined by [seed]. *)
 
-val split : t -> t
-(** [split t] returns a new generator whose stream is independent of any
-    further draws from [t]. *)
+val split : t -> int -> t
+(** [split t id] derives the [id]-th child stream of [t] ([id >= 0]).
+    The child's seed is a splitmix64 mix of [t]'s stream key and [id],
+    so:
+    {ul
+    {- it is a pure function of [(seed path, id)] — the same parent
+       and id always yield the identical stream, no matter how many
+       draws [t] has made before or makes after (splitting never
+       touches the parent's state);}
+    {- distinct ids (and distinct parents) give statistically
+       independent streams.}}
+    This is what hands every parallel task its own deterministic
+    stream by task id (DESIGN.md §9).
+    @raise Invalid_argument if [id < 0]. *)
 
 val copy : t -> t
 (** [copy t] duplicates the current state; the copy replays the same
     stream as [t] would. *)
 
 val to_string : t -> string
-(** Serialize the exact generator state as a single printable token (no
-    whitespace).  [of_string (to_string t)] replays the same stream as
-    [t] — the foundation of checkpoint/resume determinism. *)
+(** Serialize the exact generator state (draw state and stream key) as
+    a single printable token (no whitespace).  [of_string (to_string
+    t)] replays the same stream as [t] and splits identically — the
+    foundation of checkpoint/resume determinism. *)
 
 val of_string : string -> t option
 (** Rehydrate a state written by {!to_string}; [None] when the token is
-    malformed or from an incompatible runtime. *)
+    malformed or from an incompatible runtime.  Tokens written before
+    stream keys existed still parse (with a zero key). *)
 
 val int : t -> int -> int
 (** [int t n] draws uniformly from [0 .. n-1].  [n] must be positive. *)

@@ -27,6 +27,7 @@ let () =
       ("audit", Test_audit.suite);
       ("fault", Test_fault.suite);
       ("checkpoint", Test_checkpoint.suite);
+      ("parallel", Test_parallel.suite);
       ("experiments", Test_experiments.suite);
       ("csv", Test_csv.suite);
       ("integration", Test_integration.suite);

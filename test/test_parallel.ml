@@ -1,0 +1,193 @@
+(* Tests for the domain pool and the parallel generation paths: pool
+   results arrive in task order with deterministic failures, generated
+   structures are bit-identical at any job count — including across a
+   kill/resume — and pooled audits/repairs reproduce the sequential
+   outcome exactly. *)
+
+open Mps_netlist
+open Mps_core
+module Pool = Mps_parallel.Pool
+
+let check_bool = Alcotest.(check bool)
+
+(* pool basics *)
+
+let test_map_order () =
+  let tasks = Array.init 97 Fun.id in
+  let expected = Array.map (fun i -> i * i) tasks in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          check_bool
+            (Printf.sprintf "map with %d jobs preserves task order" jobs)
+            true
+            (Pool.map pool (fun i -> i * i) tasks = expected)))
+    [ 1; 2; 3; 4 ]
+
+let test_map_exception_lowest_index () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      match
+        Pool.map pool
+          (fun i -> if i >= 5 then failwith (string_of_int i) else i)
+          (Array.init 64 Fun.id)
+      with
+      | _ -> Alcotest.fail "expected the batch to raise"
+      | exception Failure msg ->
+        check_bool "lowest failing task index re-raised" true (msg = "5"))
+
+let test_map_reduce_fold_order () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      let r =
+        Pool.map_reduce pool ~map:string_of_int
+          ~fold:(fun acc s -> acc ^ "," ^ s)
+          ~init:"" (Array.init 10 Fun.id)
+      in
+      check_bool "folded sequentially in task order" true (r = ",0,1,2,3,4,5,6,7,8,9"))
+
+let test_pool_misuse_rejected () =
+  check_bool "jobs = 0 rejected" true
+    (try
+       ignore (Pool.create ~jobs:0 ());
+       false
+     with Invalid_argument _ -> true);
+  check_bool "default_jobs at least 1" true (Pool.default_jobs () >= 1);
+  (* shutdown is idempotent *)
+  let pool = Pool.create ~jobs:2 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool
+
+(* parallel generation: bit-determinism across job counts *)
+
+let par_config =
+  {
+    Generator.fast_config with
+    Generator.explorer_iterations = 6;
+    bdio = { Bdio.default_config with Bdio.iterations = 40 };
+    coverage_target = 2.0;
+    max_placements = 1000;
+    backup_iterations = 200;
+    refine_iterations = 60;
+  }
+
+let bytes_at ~jobs circuit =
+  Codec.to_string (fst (Generator.generate_par ~config:par_config ~jobs circuit))
+
+(* The acceptance property on three Table 1 circuits: the structure a
+   parallel run produces is a pure function of the config, never of the
+   worker count. *)
+let test_jobs_invariant_structures () =
+  List.iter
+    (fun circuit ->
+      let one = bytes_at ~jobs:1 circuit in
+      List.iter
+        (fun jobs ->
+          check_bool
+            (Printf.sprintf "%s: %d jobs bit-identical to 1 job" circuit.Circuit.name
+               jobs)
+            true
+            (bytes_at ~jobs circuit = one))
+        [ 2; 4 ])
+    [ Benchmarks.circ01; Benchmarks.circ02; Benchmarks.circ06 ]
+
+let with_checkpoint_file f =
+  let path = Filename.temp_file "mps_par_ckpt" ".mpsc" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+(* Kill a 4-job run at time zero, resume it with 3 jobs, and demand the
+   same bytes an uninterrupted 2-job run produces: determinism must
+   survive both the interruption and a job-count change across it. *)
+let test_par_kill_resume_matches () =
+  let circuit = Benchmarks.circ02 in
+  with_checkpoint_file (fun path ->
+      let straight = bytes_at ~jobs:2 circuit in
+      let config =
+        {
+          par_config with
+          Generator.max_seconds = Some 0.0;
+          checkpoint_path = Some path;
+          checkpoint_every = 2;
+        }
+      in
+      let _, stats = Generator.generate_par ~config ~jobs:4 circuit in
+      check_bool "deadline flagged" true stats.Generator.deadline_hit;
+      check_bool "final checkpoint forced" true (Sys.file_exists path);
+      let cp = Checkpoint.load ~circuit ~path in
+      check_bool "checkpoint carries the par section" true (cp.Checkpoint.par <> None);
+      let cp' = Checkpoint.of_string ~circuit (Checkpoint.to_string cp) in
+      check_bool "par checkpoint round-trips bit-exactly" true
+        (Checkpoint.to_string cp = Checkpoint.to_string cp');
+      check_bool "sequential resume refuses a par checkpoint" true
+        (try
+           ignore (Generator.resume ~config:par_config cp);
+           false
+         with Invalid_argument _ -> true);
+      let resumed, rstats = Generator.resume_par ~config:par_config ~jobs:3 cp in
+      check_bool "kill at 4 jobs + resume at 3 equals the straight run" true
+        (Codec.to_string resumed = straight);
+      check_bool "resumed run ran to its budget" true
+        (not rstats.Generator.deadline_hit))
+
+(* pooled audit / repair reproduce the sequential outcome *)
+
+(* A structure with real findings: one placement's recorded cost is
+   drifted (Degraded, repairable in place) and — when the circuit has
+   more than one block — another placement's coordinates are piled onto
+   a corner (Fatal, quarantined then re-annealed). *)
+let flawed_structure =
+  lazy
+    (let s = fst (Generator.generate ~config:par_config Benchmarks.circ01) in
+     let circuit = Structure.circuit s in
+     let stored = Array.map Fun.id (Structure.placements s) in
+     stored.(0) <-
+       { (stored.(0)) with Stored.best_cost = stored.(0).Stored.best_cost +. 500.0 };
+     if Array.length stored > 1 && Stored.n_blocks stored.(1) > 1 then begin
+       let p = stored.(1).Stored.placement in
+       let placement =
+         {
+           p with
+           Mps_placement.Placement.coords =
+             Array.map (fun _ -> (0, 0)) p.Mps_placement.Placement.coords;
+         }
+       in
+       stored.(1) <- { (stored.(1)) with Stored.placement = placement }
+     end;
+     Structure.of_placements ~backup:(Structure.backup s) circuit stored)
+
+let test_pooled_audit_identical () =
+  let s = Lazy.force flawed_structure in
+  let seq = Audit.run s in
+  check_bool "flawed structure has findings" false (Audit.clean seq);
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let par = Audit.run ~pool s in
+      check_bool "pooled audit report identical to sequential" true
+        (Audit.to_json par = Audit.to_json seq))
+
+let test_pooled_repair_identical () =
+  let s = Lazy.force flawed_structure in
+  let config = { Repair.default_config with Repair.reanneal_iterations = 400 } in
+  let seq = Repair.run ~config s in
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let par = Repair.run ~pool ~config s in
+      check_bool "pooled repair yields the identical structure" true
+        (Codec.to_string par.Repair.structure = Codec.to_string seq.Repair.structure);
+      check_bool "pooled repair after-report identical" true
+        (Audit.to_json par.Repair.after = Audit.to_json seq.Repair.after);
+      check_bool "same quarantine set" true
+        (par.Repair.quarantined = seq.Repair.quarantined))
+
+let suite =
+  [
+    ("pool map preserves task order at any job count", `Quick, test_map_order);
+    ("pool re-raises the lowest failing task", `Quick, test_map_exception_lowest_index);
+    ("map_reduce folds in task order", `Quick, test_map_reduce_fold_order);
+    ("pool misuse rejected, shutdown idempotent", `Quick, test_pool_misuse_rejected);
+    ("parallel generation bit-identical at 1/2/4 jobs", `Quick,
+     test_jobs_invariant_structures);
+    ("kill at 4 jobs, resume at 3: equals the straight run", `Quick,
+     test_par_kill_resume_matches);
+    ("pooled audit equals sequential audit", `Quick, test_pooled_audit_identical);
+    ("pooled repair equals sequential repair", `Quick, test_pooled_repair_identical);
+  ]

@@ -47,11 +47,57 @@ let test_serialization_rejects_garbage () =
   check_bool "non-hex rejected" true (Rng.of_string "zz" = None);
   check_bool "truncated blob rejected" true (Rng.of_string "0a1b" = None)
 
+let draws t = List.init 50 (fun _ -> Rng.int t 1_000_000)
+
 let test_split_independent () =
+  (* independence smoke test: parent, siblings, and cross-seed streams
+     must not correlate *)
   let a = Rng.create ~seed:3 in
-  let b = Rng.split a in
-  let draws t = List.init 20 (fun _ -> Rng.int t 1_000_000) in
-  check_bool "split stream differs" true (draws a <> draws b)
+  let b = Rng.split a 0 and c = Rng.split a 1 in
+  check_bool "child differs from parent" true (draws (Rng.copy a) <> draws b);
+  check_bool "siblings differ" true (draws (Rng.copy b) <> draws (Rng.copy c));
+  let d = Rng.split (Rng.create ~seed:4) 0 in
+  check_bool "children of different seeds differ" true (draws b <> draws d);
+  (* coarse correlation check: sibling streams agree on a uniform draw
+     about as often as independent ones would (1/64 per position) *)
+  let x = Rng.split a 2 and y = Rng.split a 3 in
+  let agree = ref 0 in
+  for _ = 1 to 2048 do
+    if Rng.int x 64 = Rng.int y 64 then incr agree
+  done;
+  check_bool "siblings uncorrelated" true (!agree < 100)
+
+let test_split_deterministic () =
+  (* same (seed, id) -> identical stream, regardless of how much the
+     parent has drawn: splitting is a pure function of the key path *)
+  let a = Rng.create ~seed:3 in
+  let early = draws (Rng.split a 5) in
+  for _ = 1 to 100 do
+    ignore (Rng.int a 1000)
+  done;
+  Alcotest.(check (list int)) "same (seed,id) stream" early (draws (Rng.split a 5));
+  Alcotest.(check (list int)) "fresh parent, same stream" early
+    (draws (Rng.split (Rng.create ~seed:3) 5))
+
+let test_split_pure () =
+  (* splitting consumes nothing from the parent *)
+  let a = Rng.create ~seed:3 and b = Rng.create ~seed:3 in
+  ignore (Rng.split a 0);
+  ignore (Rng.split a 1);
+  Alcotest.(check (list int)) "parent stream undisturbed" (draws b) (draws a)
+
+let test_split_survives_serialization () =
+  let a = Rng.create ~seed:3 in
+  ignore (Rng.int a 1000);
+  let b =
+    match Rng.of_string (Rng.to_string a) with
+    | Some b -> b
+    | None -> Alcotest.fail "rehydrate"
+  in
+  Alcotest.(check (list int)) "split replays after round-trip"
+    (draws (Rng.split a 7)) (draws (Rng.split b 7));
+  Alcotest.check_raises "negative id" (Invalid_argument "Rng.split: stream id must be >= 0")
+    (fun () -> ignore (Rng.split a (-1)))
 
 let test_int_in_range () =
   let t = Rng.create ~seed:1 in
@@ -157,7 +203,10 @@ let suite =
     ("copy replays the stream", `Quick, test_copy_replays);
     ("serialized state replays the stream", `Quick, test_serialization_replays);
     ("of_string rejects garbage", `Quick, test_serialization_rejects_garbage);
-    ("split yields an independent stream", `Quick, test_split_independent);
+    ("split yields independent streams", `Quick, test_split_independent);
+    ("split is deterministic in (seed, id)", `Quick, test_split_deterministic);
+    ("split leaves the parent stream intact", `Quick, test_split_pure);
+    ("split survives serialization", `Quick, test_split_survives_serialization);
     ("int_in respects bounds", `Quick, test_int_in_range);
     ("int_in degenerate range", `Quick, test_int_in_degenerate);
     ("int_in covers endpoints", `Quick, test_int_in_covers_endpoints);
