@@ -75,7 +75,13 @@ let query_tests () =
            incr i;
            Sys.opaque_identity (f structure dims)))
   in
-  [ mk "compiled" Structure.query; mk "linear" Structure.query_linear ]
+  let engine = Structure.Engine.create structure in
+  let session = Structure.Engine.new_session () in
+  [
+    mk "compiled" Structure.query;
+    mk "linear" Structure.query_linear;
+    mk "engine" (fun _ dims -> Structure.Engine.query engine session dims);
+  ]
 
 let baseline_tests () =
   let circuit = Benchmarks.two_stage_opamp in
@@ -200,11 +206,43 @@ let gen_bench () =
   Printf.printf "benchmark24 speedup vs pre-engine baseline: %.2fx\n" speedup;
   print_endline "wrote BENCH_GEN.json"
 
-(* Query-path latency: per-circuit p50/p99 of a single query and of a
-   full instantiation (query + floorplan materialization), measured
-   per-call over a seeded probe set.  Written as BENCH_QUERY.json for
-   the CI latency artifact — the serving-path counterpart of the
-   generation-throughput numbers above. *)
+(* Sizing-loop workload: a sequential random walk of slightly perturbed
+   dimension vectors, the traffic pattern a synthesis loop produces —
+   each candidate differs from the previous one by a small bump on one
+   block axis, with an occasional jump to a different operating region.
+   Consecutive probes usually land in the same validity box, which is
+   what the engine's hot-box cache exploits. *)
+let sizing_walk ~seed ~n structure =
+  let module G = Mps_geometry in
+  let rng = Mps_rng.Rng.create ~seed in
+  let circuit = Structure.circuit structure in
+  let bounds = Circuit.dim_bounds circuit in
+  let stored = Structure.placements structure in
+  let jump () = stored.(Mps_rng.Rng.int rng (Array.length stored)).Stored.best_dims in
+  let current = ref (jump ()) in
+  Array.init n (fun _ ->
+      (if Mps_rng.Rng.int rng 64 = 0 then current := jump ()
+       else begin
+         let d = !current in
+         let i = Mps_rng.Rng.int rng (G.Dims.n_blocks d) in
+         let delta = if Mps_rng.Rng.int rng 2 = 0 then 1 else -1 in
+         let d' =
+           if Mps_rng.Rng.int rng 2 = 0 then
+             G.Dims.set_width d i (max 1 (G.Dims.width d i + delta))
+           else G.Dims.set_height d i (max 1 (G.Dims.height d i + delta))
+         in
+         current := G.Dimbox.clamp bounds d'
+       end);
+      !current)
+
+(* Query-path latency and throughput: per-circuit p50/p99 of a single
+   query and of a full instantiation for both the reference compiled
+   path ([Structure.query]) and the zero-allocation engine, plus
+   queries/sec on the sizing-loop walk — the serving-path counterpart
+   of the generation-throughput numbers above.  Every probe is answered
+   by the old path, the engine and the linear oracle; any disagreement
+   is counted and fails the run (exit 1), which is the CI smoke
+   contract for BENCH_QUERY.json. *)
 let query_bench () =
   let module E = Mps_experiments.Experiments in
   let percentile sorted p =
@@ -223,34 +261,103 @@ let query_bench () =
     Array.sort compare samples;
     (percentile samples 0.50 *. 1e6, percentile samples 0.99 *. 1e6)
   in
-  let rows =
+  (* Throughput over the walk, several passes for a stable number. *)
+  let walk_reps = 5 in
+  let qps f walk =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to walk_reps do
+      Array.iter (fun d -> ignore (Sys.opaque_identity (f d))) walk
+    done;
+    let wall = Unix.gettimeofday () -. t0 in
+    float_of_int (walk_reps * Array.length walk) /. wall
+  in
+  let mismatches_total = ref 0 in
+  let results =
     List.map
       (fun circuit ->
         let config = E.generator_config E.Quick circuit in
         let structure, _ = Generator.generate ~config circuit in
+        let engine = Structure.Engine.create structure in
         let probes = E.probe_dims ~seed:23 ~n:2048 structure in
-        (* warm up both paths before measuring *)
-        Array.iter (fun d -> ignore (Structure.instantiate structure d))
+        let walk = sizing_walk ~seed:29 ~n:20000 structure in
+        (* Answer agreement on every probe of both workloads. *)
+        let mismatches = ref 0 in
+        let vsession = Structure.Engine.new_session () in
+        let check d =
+          let a_old = fst (Structure.query structure d) in
+          let a_new = fst (Structure.Engine.query engine vsession d) in
+          let a_lin = fst (Structure.query_linear structure d) in
+          if a_old <> a_lin || a_new <> a_lin then incr mismatches
+        in
+        Array.iter check probes;
+        Array.iter check walk;
+        mismatches_total := !mismatches_total + !mismatches;
+        (* Per-call latency on uniform probes. *)
+        let session = Structure.Engine.new_session () in
+        Array.iter
+          (fun d ->
+            ignore (Structure.instantiate structure d);
+            ignore (Structure.Engine.instantiate_into engine session d))
           (Array.sub probes 0 64);
         let q50, q99 = time_calls (fun d -> Structure.query structure d) probes in
+        let e50, e99 =
+          time_calls (fun d -> Structure.Engine.query engine session d) probes
+        in
         let i50, i99 = time_calls (fun d -> Structure.instantiate structure d) probes in
+        let n50, n99 =
+          time_calls (fun d -> Structure.Engine.instantiate_into engine session d) probes
+        in
+        (* Sizing-loop throughput, old path vs engine. *)
+        let qps_old = qps (fun d -> Structure.query structure d) walk in
+        let wsession = Structure.Engine.new_session () in
+        let qps_new = qps (fun d -> Structure.Engine.query engine wsession d) walk in
+        let wstats = Structure.Engine.stats wsession in
+        let hit_rate =
+          float_of_int wstats.Structure.Engine.cache_hits
+          /. float_of_int (max 1 wstats.Structure.Engine.queries)
+        in
+        let speedup = qps_new /. qps_old in
         Printf.printf
-          "%-20s query p50 %7.2f us  p99 %7.2f us   instantiate p50 %7.2f us  p99 %7.2f \
-           us\n\
+          "%-20s query p50 %6.2f->%5.2f us  p99 %6.2f->%5.2f us   walk %9.0f -> %9.0f \
+           q/s (%4.1fx, cache %4.1f%%)  mismatches %d\n\
            %!"
-          circuit.Circuit.name q50 q99 i50 i99;
-        Printf.sprintf
-          "    { \"circuit\": %S, \"probes\": %d, \"query_p50_us\": %.3f, \
-           \"query_p99_us\": %.3f, \"instantiate_p50_us\": %.3f, \
-           \"instantiate_p99_us\": %.3f }"
-          circuit.Circuit.name (Array.length probes) q50 q99 i50 i99)
+          circuit.Circuit.name q50 e50 q99 e99 qps_old qps_new speedup
+          (100.0 *. hit_rate) !mismatches;
+        let row =
+          Printf.sprintf
+            "    { \"circuit\": %S, \"probes\": %d, \"query_p50_us\": %.3f, \
+             \"query_p99_us\": %.3f, \"engine_query_p50_us\": %.3f, \
+             \"engine_query_p99_us\": %.3f, \"instantiate_p50_us\": %.3f, \
+             \"instantiate_p99_us\": %.3f, \"engine_instantiate_p50_us\": %.3f, \
+             \"engine_instantiate_p99_us\": %.3f, \"walk_qps_old\": %.0f, \
+             \"walk_qps_engine\": %.0f, \"walk_speedup\": %.2f, \
+             \"cache_hit_rate\": %.4f, \"mismatches\": %d }"
+            circuit.Circuit.name (Array.length probes) q50 q99 e50 e99 i50 i99 n50 n99
+            qps_old qps_new speedup hit_rate !mismatches
+        in
+        (circuit.Circuit.name, speedup, row))
       Benchmarks.all
   in
+  let _, speedup24, _ =
+    List.find (fun (name, _, _) -> String.equal name "benchmark24") results
+  in
   let oc = open_out "BENCH_QUERY.json" in
-  Printf.fprintf oc "{\n  \"budget\": \"quick\",\n  \"rows\": [\n%s\n  ]\n}\n"
-    (String.concat ",\n" rows);
+  Printf.fprintf oc
+    "{\n\
+    \  \"budget\": \"quick\",\n\
+    \  \"rows\": [\n\
+     %s\n\
+    \  ],\n\
+    \  \"walk_speedup_benchmark24\": %.2f,\n\
+    \  \"mismatches_total\": %d\n\
+     }\n"
+    (String.concat ",\n" (List.map (fun (_, _, row) -> row) results))
+    speedup24 !mismatches_total;
   close_out oc;
-  print_endline "wrote BENCH_QUERY.json"
+  Printf.printf "benchmark24 sizing-walk speedup (engine vs query): %.2fx\n" speedup24;
+  Printf.printf "answer mismatches across all circuits: %d\n" !mismatches_total;
+  print_endline "wrote BENCH_QUERY.json";
+  if !mismatches_total > 0 then exit 1
 
 (* Parallel generation scaling: one quick-budget benchmark24 run per
    job count.  The structure hash (CRC-32 of the serialized structure)

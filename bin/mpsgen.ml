@@ -257,8 +257,10 @@ let instantiate circuit budget point =
     | Max -> Circuit.max_dims circuit
     | Random seed -> Dimbox.random_dims (Mps_rng.Rng.create ~seed) bounds
   in
-  let answer, stored = Structure.query structure dims in
-  let rects, cost = Structure.instantiate_cost structure dims in
+  let engine = Structure.Engine.create structure in
+  let session = Structure.Engine.new_session () in
+  let answer, stored = Structure.Engine.query engine session dims in
+  let rects, cost = Structure.Engine.instantiate_cost engine session dims in
   let die_w, die_h = Structure.die structure in
   (match answer with
   | Structure.Stored_placement id ->
@@ -329,8 +331,10 @@ let query circuit path point dims_opt salvage =
   if not (Circuit.dims_valid circuit dims) then
     die "dimension vector outside the designer range for %s (see mpsgen list)"
       circuit.Circuit.name;
-  let answer, stored = Structure.query structure dims in
-  let rects, cost = Structure.instantiate_cost structure dims in
+  let engine = Structure.Engine.create structure in
+  let session = Structure.Engine.new_session () in
+  let answer, stored = Structure.Engine.query engine session dims in
+  let rects, cost = Structure.Engine.instantiate_cost engine session dims in
   let die_w, die_h = Structure.die structure in
   (match answer with
   | Structure.Stored_placement id ->

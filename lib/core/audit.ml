@@ -198,14 +198,18 @@ let run ?pool ?(weights = Cost.default_weights) ?(samples_per_box = 12)
     end;
     List.rev !acc
   in
-  (* Whole-space query probes: answering must be total and every answer
-     must instantiate without block overlap. *)
+  (* Whole-space query probes, run through the compiled engine (the
+     path production queries take): answering must be total, every
+     answer must instantiate without block overlap, and the engine must
+     agree with the linear reference oracle on every probe. *)
   let query_findings =
     let acc = ref [] in
     let rng = Mps_rng.Rng.split root 0 in
+    let engine = Structure.Engine.create structure in
+    let session = Structure.Engine.new_session () in
     for k = 1 to query_samples do
       let dims = Dimbox.random_dims rng bounds in
-      match Structure.instantiate structure dims with
+      (match Structure.Engine.instantiate_into engine session dims with
       | rects -> (
         match Rect.any_overlap rects with
         | Some (a, b) ->
@@ -214,7 +218,20 @@ let run ?pool ?(weights = Cost.default_weights) ?(samples_per_box = 12)
         | None -> ())
       | exception e ->
         add acc Fatal Structure_wide "query-exception" "query sample %d raised %s" k
-          (Printexc.to_string e)
+          (Printexc.to_string e));
+      match
+        ( fst (Structure.Engine.query engine session dims),
+          fst (Structure.query_linear structure dims) )
+      with
+      | a1, a2 when a1 = a2 -> ()
+      | a1, a2 ->
+        add acc Fatal Structure_wide "engine-mismatch"
+          "query sample %d: engine answered %s, linear oracle %s" k
+          (Structure.answer_to_string a1)
+          (Structure.answer_to_string a2)
+      | exception e ->
+        add acc Fatal Structure_wide "query-exception"
+          "query sample %d: oracle comparison raised %s" k (Printexc.to_string e)
     done;
     List.rev !acc
   in

@@ -19,7 +19,10 @@
       [avg_cost >= best_cost];
     - the backup template is legal at the circuit's minimum dimensions
       and over its expansion box;
-    - seeded whole-space query samples: every answer instantiates
+    - seeded whole-space query samples, answered through the compiled
+      {!Structure.Engine} (the path production queries take) and
+      cross-checked against the linear reference oracle: every answer
+      instantiates
       overlap-free.
 
     Findings carry a machine-readable code and a severity; the report

@@ -169,9 +169,11 @@ let describe t =
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
   line "structure for %s" t.circuit.Circuit.name;
   line "  die: %dx%d" t.die_w t.die_h;
-  line "  placements: %d explored + %d template pieces"
-    (Array.fold_left (fun acc s -> if s.Stored.template_like then acc else acc + 1) 0 t.stored)
-    (Array.fold_left (fun acc s -> if s.Stored.template_like then acc + 1 else acc) 0 t.stored);
+  let explored = ref 0 and template = ref 0 in
+  Array.iter
+    (fun s -> if s.Stored.template_like then incr template else incr explored)
+    t.stored;
+  line "  placements: %d explored + %d template pieces" !explored !template;
   line "  coverage (explored): %.6f" (coverage t);
   let objects rows =
     Array.fold_left (fun acc row -> acc + Array.length row.lows) 0 rows
@@ -183,22 +185,36 @@ let describe t =
   line "  best stored cost: %.1f (avg %.1f)" !best.Stored.best_cost !best.Stored.avg_cost;
   Buffer.contents buf
 
-(* Largest index with lows.(k) <= v, or -1. *)
-let row_lookup row v =
-  let n = Array.length row.lows in
-  let rec bsearch lo hi =
-    if lo > hi then hi
-    else
-      let mid = (lo + hi) / 2 in
-      if row.lows.(mid) <= v then bsearch (mid + 1) hi else bsearch lo (mid - 1)
-  in
-  let k = bsearch 0 (n - 1) in
-  if k >= 0 && row.highs.(k) >= v then Some row.sets.(k) else None
+(* Index of the interval containing [v], or -1: binary search for the
+   largest k with [lows.(k) <= v], then one inclusion test.  Returns a
+   bare index so the hit path allocates no option. *)
+let row_lookup_idx row v =
+  let lows = row.lows in
+  let l = ref 0 and h = ref (Array.length lows - 1) and k = ref (-1) in
+  while !l <= !h do
+    let mid = (!l + !h) / 2 in
+    if lows.(mid) <= v then begin
+      k := mid;
+      l := mid + 1
+    end
+    else h := mid - 1
+  done;
+  if !k >= 0 && row.highs.(!k) >= v then !k else -1
 
 type answer =
   | Stored_placement of int
   | Fallback
   | Out_of_domain
+
+let answer_to_string = function
+  | Stored_placement id -> Printf.sprintf "stored:%d" id
+  | Fallback -> "fallback"
+  | Out_of_domain -> "out-of-domain"
+
+(* Hoisted out of [query] so the hot path neither defines a fresh
+   exception constructor per call nor pays a backtrace on the miss
+   path ([raise_notrace] below). *)
+exception Miss
 
 let query t dims =
   if Dims.n_blocks dims <> Circuit.n_blocks t.circuit then
@@ -207,23 +223,22 @@ let query t dims =
   else
   let n = Circuit.n_blocks t.circuit in
   let acc = Bitset.full ~capacity:(Array.length t.stored) in
-  let exception Miss in
   let narrow row v =
-    match row_lookup row v with
-    | Some set ->
-      Bitset.inter_into acc set;
-      if Bitset.is_empty acc then raise Miss
-    | None -> raise Miss
+    let k = row_lookup_idx row v in
+    if k < 0 then raise_notrace Miss;
+    Bitset.inter_into acc row.sets.(k);
+    if Bitset.is_empty acc then raise_notrace Miss
   in
   try
     for i = 0 to n - 1 do
       narrow t.w_rows.(i) (Dims.width dims i);
       narrow t.h_rows.(i) (Dims.height dims i)
     done;
+    (* eq. 5 guarantees at most one member; the disjointness invariant
+       itself is re-proved by [Audit.run] and the test suite, not
+       re-checked per query. *)
     match Bitset.choose acc with
-    | Some id ->
-      assert (Bitset.cardinal acc = 1) (* eq. 5: boxes are disjoint *);
-      (Stored_placement id, t.stored.(id))
+    | Some id -> (Stored_placement id, t.stored.(id))
     | None -> (Fallback, t.backup)
   with Miss -> (Fallback, t.backup)
 
@@ -293,3 +308,456 @@ let instantiate_cost ?(weights = Mps_cost.Cost.default_weights) t dims =
   let rects = instantiate t dims in
   let cost = Mps_cost.Cost.total ~weights t.circuit ~die_w:t.die_w ~die_h:t.die_h rects in
   (rects, cost)
+
+(* ------------------------------------------------------------------ *)
+(* The compiled query engine (DESIGN.md §10).
+
+   [query] above walks the frozen rows in fixed block order, allocates
+   a fresh full bitset per call and intersects through boxed [Bitset.t]
+   objects.  The engine compiles the same rows once into contiguous int
+   arrays (interval bounds and set words flattened side by side),
+   orders the narrowing sequence by selectivity, drops rows that can
+   never narrow, and keeps all per-query scratch in a reusable
+   [session] — so a steady-state query allocates nothing.  A hot-box
+   cache answers the common sizing-loop case (consecutive queries
+   landing in the same validity box) with one [Dimbox.contains].
+   [query]/[query_linear] remain the reference oracles. *)
+
+module Engine = struct
+  type source = t
+
+  let bits_per_word = Sys.int_size
+
+  type t = {
+    src : source;
+    n_blocks : int;
+    capacity : int;  (** number of stored placements *)
+    words_per_set : int;
+    tail_mask : int;  (** mask for the last word of a full set *)
+    (* The narrowing plan, selectivity-ordered.  Row [r] tests axis
+       [row_axis.(r)] (code [2i] = width of block [i], [2i+1] = height)
+       against intervals [row_off.(r) .. row_off.(r+1) - 1] of the flat
+       arrays; interval [k]'s placement set occupies words
+       [k * words_per_set ..) of [set_words]. *)
+    row_axis : int array;
+    row_off : int array;
+    lows : int array;
+    highs : int array;
+    set_words : int array;
+    skipped_rows : int;
+    (* Designer dimension space flattened per axis code (2i = width of
+       block i, 2i+1 = height): [Circuit.dims_valid] is exactly
+       containment in these bounds, checked here without going through
+       the block records. *)
+    dom_lo : int array;
+    dom_hi : int array;
+    (* Every validity box flattened the same way ([box id * 2n + code]),
+       so the hot-box test is pure int-array compares; [box_in_domain]
+       marks boxes fully inside the designer space, for which box
+       membership implies domain membership and the domain check can be
+       skipped. *)
+    box_lo : int array;
+    box_hi : int array;
+    box_in_domain : bool array;
+  }
+
+  type session = {
+    mutable owner : t option;  (** engine the scratch is currently sized for *)
+    mutable acc : int array;  (** scratch intersection words *)
+    mutable rects : Rect.t array;  (** scratch floorplan buffer *)
+    mutable last : int;  (** hot-box cache: last stored hit, [-1] if none *)
+    mutable queries : int;
+    mutable cache_hits : int;
+    mutable stored_hits : int;
+    mutable fallbacks : int;
+    mutable out_of_domain : int;
+  }
+
+  type stats = {
+    queries : int;
+    cache_hits : int;
+    stored_hits : int;
+    fallbacks : int;
+    out_of_domain : int;
+  }
+
+  let create src =
+    let n_blocks = Circuit.n_blocks src.circuit in
+    let capacity = Array.length src.stored in
+    let words_per_set = max 1 ((capacity + bits_per_word - 1) / bits_per_word) in
+    let tail_mask =
+      let used = capacity mod bits_per_word in
+      if used = 0 then -1 else (1 lsl used) - 1
+    in
+    (* One candidate row per axis: (code, frozen_row, designer-space
+       axis interval). *)
+    let candidates =
+      List.concat
+        (List.init n_blocks (fun i ->
+             [
+               (2 * i, src.w_rows.(i), Dimbox.w_interval src.space i);
+               ((2 * i) + 1, src.h_rows.(i), Dimbox.h_interval src.space i);
+             ]))
+    in
+    (* A row narrows nothing when its single interval spans the whole
+       designer axis with every placement on it: any in-domain value
+       maps to the full set.  Skip it. *)
+    let narrows (_, (row : frozen_row), bounds_iv) =
+      not
+        (Array.length row.lows = 1
+        && row.lows.(0) <= Interval.lo bounds_iv
+        && row.highs.(0) >= Interval.hi bounds_iv
+        && Bitset.cardinal row.sets.(0) = capacity)
+    in
+    let active, skipped = List.partition narrows candidates in
+    (* Most selective first: smallest average set, then more intervals,
+       then axis code for determinism. *)
+    let avg_set (_, (row : frozen_row), _) =
+      let total = Array.fold_left (fun a s -> a + Bitset.cardinal s) 0 row.sets in
+      float_of_int total /. float_of_int (max 1 (Array.length row.sets))
+    in
+    let ordered =
+      List.stable_sort
+        (fun ((ca, (ra : frozen_row), _) as a) ((cb, (rb : frozen_row), _) as b) ->
+          match Float.compare (avg_set a) (avg_set b) with
+          | 0 -> (
+            match Int.compare (Array.length rb.lows) (Array.length ra.lows) with
+            | 0 -> Int.compare ca cb
+            | c -> c)
+          | c -> c)
+        active
+    in
+    let n_rows = List.length ordered in
+    let n_intervals =
+      List.fold_left
+        (fun a (_, (row : frozen_row), _) -> a + Array.length row.lows)
+        0 ordered
+    in
+    let row_axis = Array.make n_rows 0 in
+    let row_off = Array.make (n_rows + 1) 0 in
+    let lows = Array.make (max 1 n_intervals) 0 in
+    let highs = Array.make (max 1 n_intervals) 0 in
+    let set_words = Array.make (max 1 (n_intervals * words_per_set)) 0 in
+    let cursor = ref 0 in
+    List.iteri
+      (fun r (code, (row : frozen_row), _) ->
+        row_axis.(r) <- code;
+        row_off.(r) <- !cursor;
+        Array.iteri
+          (fun j lo ->
+            let k = !cursor + j in
+            lows.(k) <- lo;
+            highs.(k) <- row.highs.(j);
+            Bitset.iter row.sets.(j) ~f:(fun id ->
+                let w = (k * words_per_set) + (id / bits_per_word) in
+                set_words.(w) <- set_words.(w) lor (1 lsl (id mod bits_per_word))))
+          row.lows;
+        cursor := !cursor + Array.length row.lows)
+      ordered;
+    row_off.(n_rows) <- !cursor;
+    let dom_lo = Array.make (2 * n_blocks) 0 and dom_hi = Array.make (2 * n_blocks) 0 in
+    for i = 0 to n_blocks - 1 do
+      let wi = Dimbox.w_interval src.space i and hi_ = Dimbox.h_interval src.space i in
+      dom_lo.(2 * i) <- Interval.lo wi;
+      dom_hi.(2 * i) <- Interval.hi wi;
+      dom_lo.((2 * i) + 1) <- Interval.lo hi_;
+      dom_hi.((2 * i) + 1) <- Interval.hi hi_
+    done;
+    let box_lo = Array.make (capacity * 2 * n_blocks) 0 in
+    let box_hi = Array.make (capacity * 2 * n_blocks) 0 in
+    let box_in_domain = Array.make capacity false in
+    Array.iteri
+      (fun id s ->
+        let box = s.Stored.box in
+        let base = id * 2 * n_blocks in
+        for i = 0 to n_blocks - 1 do
+          let wi = Dimbox.w_interval box i and hi_ = Dimbox.h_interval box i in
+          box_lo.(base + (2 * i)) <- Interval.lo wi;
+          box_hi.(base + (2 * i)) <- Interval.hi wi;
+          box_lo.(base + (2 * i) + 1) <- Interval.lo hi_;
+          box_hi.(base + (2 * i) + 1) <- Interval.hi hi_
+        done;
+        box_in_domain.(id) <- Dimbox.contains_box ~outer:src.space ~inner:box)
+      src.stored;
+    {
+      src;
+      n_blocks;
+      capacity;
+      words_per_set;
+      tail_mask;
+      row_axis;
+      row_off;
+      lows;
+      highs;
+      set_words;
+      skipped_rows = List.length skipped;
+      dom_lo;
+      dom_hi;
+      box_lo;
+      box_hi;
+      box_in_domain;
+    }
+
+  let structure t = t.src
+  let n_active_rows t = Array.length t.row_axis
+  let n_skipped_rows t = t.skipped_rows
+
+  let new_session () =
+    {
+      owner = None;
+      acc = [||];
+      rects = [||];
+      last = -1;
+      queries = 0;
+      cache_hits = 0;
+      stored_hits = 0;
+      fallbacks = 0;
+      out_of_domain = 0;
+    }
+
+  (* (Re)size the scratch for [t].  A session is engine-agnostic: the
+     first query against a different engine rebinds it (and drops the
+     hot-box entry, which indexes the previous engine's placements). *)
+  let bind t session =
+    match session.owner with
+    | Some o when o == t -> ()
+    | _ ->
+      if Array.length session.acc < t.words_per_set then
+        session.acc <- Array.make t.words_per_set 0;
+      if Array.length session.rects <> t.n_blocks then
+        session.rects <- Array.init t.n_blocks (fun _ -> Rect.make ~x:0 ~y:0 ~w:1 ~h:1);
+      session.owner <- Some t;
+      session.last <- -1
+
+  (* [dims] inside the validity box of stored placement [id]?  Pure
+     int-array compares over the flattened box bounds. *)
+  let box_contains t id dims =
+    let n = t.n_blocks in
+    let base = id * 2 * n in
+    let box_lo = t.box_lo and box_hi = t.box_hi in
+    let rec go i =
+      i >= n
+      ||
+      let w = Dims.width dims i in
+      let j = base + (2 * i) in
+      w >= box_lo.(j)
+      && w <= box_hi.(j)
+      &&
+      let h = Dims.height dims i in
+      h >= box_lo.(j + 1) && h <= box_hi.(j + 1) && go (i + 1)
+    in
+    go 0
+
+  (* Equivalent to [Circuit.dims_valid] (designer bounds containment),
+     over the flattened bounds. *)
+  let in_domain t dims =
+    let n = t.n_blocks in
+    let dom_lo = t.dom_lo and dom_hi = t.dom_hi in
+    let rec go i =
+      i >= n
+      ||
+      let w = Dims.width dims i in
+      let j = 2 * i in
+      w >= dom_lo.(j)
+      && w <= dom_hi.(j)
+      &&
+      let h = Dims.height dims i in
+      h >= dom_lo.(j + 1) && h <= dom_hi.(j + 1) && go (i + 1)
+    in
+    go 0
+
+  (* The zero-allocation primitive: the stored-placement index on a
+     hit, [-1] for fallback, [-2] for out-of-domain. *)
+  let query_id t session dims =
+    if Dims.n_blocks dims <> t.n_blocks then
+      invalid_arg "Structure.Engine.query: block count mismatch";
+    bind t session;
+    session.queries <- session.queries + 1;
+    let last = session.last in
+    (* Hot-box fast path: a box fully inside the designer space that
+       contains the vector answers immediately — membership implies
+       domain validity, so even the domain check is skipped. *)
+    if last >= 0 && t.box_in_domain.(last) && box_contains t last dims then begin
+      session.cache_hits <- session.cache_hits + 1;
+      session.stored_hits <- session.stored_hits + 1;
+      last
+    end
+    else if not (in_domain t dims) then begin
+      session.out_of_domain <- session.out_of_domain + 1;
+      session.last <- -1;
+      -2
+    end
+    else begin
+      (* Hot-box slow path: a box that sticks out of the designer space
+         (degraded structures) may only answer after the domain check. *)
+      if last >= 0 && (not t.box_in_domain.(last)) && box_contains t last dims
+      then begin
+        session.cache_hits <- session.cache_hits + 1;
+        session.stored_hits <- session.stored_hits + 1;
+        last
+      end
+      else begin
+        let acc = session.acc in
+        let wps = t.words_per_set in
+        Array.fill acc 0 wps (-1);
+        acc.(wps - 1) <- t.tail_mask;
+        let n_rows = Array.length t.row_axis in
+        let lows = t.lows and highs = t.highs and set_words = t.set_words in
+        let rec narrow r =
+          r >= n_rows
+          ||
+          let code = t.row_axis.(r) in
+          let v =
+            if code land 1 = 0 then Dims.width dims (code lsr 1)
+            else Dims.height dims (code lsr 1)
+          in
+          (* Largest k in the row's interval range with lows.(k) <= v. *)
+          let l = ref t.row_off.(r) and h = ref (t.row_off.(r + 1) - 1) in
+          let k = ref (-1) in
+          while !l <= !h do
+            let mid = (!l + !h) / 2 in
+            if lows.(mid) <= v then begin
+              k := mid;
+              l := mid + 1
+            end
+            else h := mid - 1
+          done;
+          !k >= 0
+          && highs.(!k) >= v
+          &&
+          let base = !k * wps in
+          let any = ref 0 in
+          for w = 0 to wps - 1 do
+            let x = acc.(w) land set_words.(base + w) in
+            acc.(w) <- x;
+            any := !any lor x
+          done;
+          !any <> 0 && narrow (r + 1)
+        in
+        if narrow 0 then begin
+          (* Non-empty by construction; eq. 5 makes the member unique. *)
+          let id = ref (-1) and w = ref 0 in
+          while !id < 0 do
+            if acc.(!w) <> 0 then begin
+              let word = acc.(!w) in
+              let b = ref 0 in
+              while word land (1 lsl !b) = 0 do
+                incr b
+              done;
+              id := (!w * bits_per_word) + !b
+            end
+            else incr w
+          done;
+          session.last <- !id;
+          session.stored_hits <- session.stored_hits + 1;
+          !id
+        end
+        else begin
+          session.fallbacks <- session.fallbacks + 1;
+          session.last <- -1;
+          -1
+        end
+      end
+    end
+
+  let query t session dims =
+    match query_id t session dims with
+    | -2 -> (Out_of_domain, t.src.backup)
+    | -1 -> (Fallback, t.src.backup)
+    | id -> (Stored_placement id, t.src.stored.(id))
+
+  (* Fill the session's rect buffer in place and return it: valid until
+     the session's next [instantiate_into].  Fallback and template-like
+     answers re-pack (which allocates) — by construction those are the
+     rare, uncovered-space cases. *)
+  let instantiate_into t session dims =
+    let id = query_id t session dims in
+    if id >= 0 then begin
+      let s = t.src.stored.(id) in
+      if Dimbox.contains s.Stored.expansion dims then begin
+        let coords = s.Stored.placement.Mps_placement.Placement.coords in
+        let rects = session.rects in
+        for i = 0 to t.n_blocks - 1 do
+          let x, y = coords.(i) in
+          Rect.set rects.(i) ~x ~y ~w:(Dims.width dims i) ~h:(Dims.height dims i)
+        done;
+        rects
+      end
+      else Stored.instantiate_repacked s dims
+    end
+    else Stored.instantiate_repacked t.src.backup dims
+
+  (* Freshly allocated floorplan (safe to retain), same answers. *)
+  let instantiate t session dims =
+    let id = query_id t session dims in
+    if id >= 0 then Stored.instantiate_auto t.src.stored.(id) dims
+    else Stored.instantiate_repacked t.src.backup dims
+
+  let instantiate_cost ?(weights = Mps_cost.Cost.default_weights) t session dims =
+    let rects = instantiate_into t session dims in
+    let cost =
+      Mps_cost.Cost.total ~weights t.src.circuit ~die_w:t.src.die_w ~die_h:t.src.die_h
+        rects
+    in
+    (rects, cost)
+
+  (* Batch serving: fan contiguous chunks across the pool in task
+     order.  Each chunk gets its own session, so chunks keep hot-box
+     locality and share no mutable state; answers are independent of
+     session state, so the output is identical at any job count. *)
+  let batch ?pool ~f dims_arr =
+    let n = Array.length dims_arr in
+    let run (lo, len) =
+      let session = new_session () in
+      Array.init len (fun k -> f session dims_arr.(lo + k))
+    in
+    match pool with
+    | None -> run (0, n)
+    | Some pool ->
+      let chunks = min n (max 1 (Mps_parallel.Pool.jobs pool * 4)) in
+      if chunks <= 1 then run (0, n)
+      else begin
+        let ranges =
+          Array.init chunks (fun c ->
+              let lo = c * n / chunks and hi = (c + 1) * n / chunks in
+              (lo, hi - lo))
+        in
+        Array.concat (Array.to_list (Mps_parallel.Pool.map pool run ranges))
+      end
+
+  let query_batch ?pool t dims_arr = batch ?pool ~f:(fun s d -> query t s d) dims_arr
+
+  let instantiate_batch ?pool t dims_arr =
+    batch ?pool ~f:(fun s d -> instantiate t s d) dims_arr
+
+  let stats (session : session) : stats =
+    {
+      queries = session.queries;
+      cache_hits = session.cache_hits;
+      stored_hits = session.stored_hits;
+      fallbacks = session.fallbacks;
+      out_of_domain = session.out_of_domain;
+    }
+
+  let reset_stats (session : session) =
+    session.queries <- 0;
+    session.cache_hits <- 0;
+    session.stored_hits <- 0;
+    session.fallbacks <- 0;
+    session.out_of_domain <- 0
+
+  let describe t session =
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf (describe t.src);
+    let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+    line "  engine: %d narrowing rows (%d skipped as non-selective), %d intervals"
+      (n_active_rows t) t.skipped_rows
+      t.row_off.(Array.length t.row_axis);
+    let s = stats session in
+    line "  queries: %d (%d stored hits, %d fallbacks, %d out-of-domain)" s.queries
+      s.stored_hits s.fallbacks s.out_of_domain;
+    line "  hot-box cache: %d hits / %d queries (%.1f%%)" s.cache_hits s.queries
+      (if s.queries = 0 then 0.0
+       else 100.0 *. float_of_int s.cache_hits /. float_of_int s.queries);
+    Buffer.contents buf
+end

@@ -76,6 +76,10 @@ type answer =
           backup template is returned so answering stays total, but the
           caller should treat the sizing point as invalid. *)
 
+val answer_to_string : answer -> string
+(** ["stored:<id>"], ["fallback"] or ["out-of-domain"] — for logs,
+    audits and benchmark reports. *)
+
 val query : t -> Dims.t -> answer * Stored.t
 (** The placement to use for the given dimension vector.  When the
     vector lies in some stored box the answer is unique (boxes are
@@ -83,6 +87,10 @@ val query : t -> Dims.t -> answer * Stored.t
     with {!Out_of_domain} instead of {!Fallback} when the vector is not
     even inside the designer dimension space.  Total for any vector
     with the right block count.
+
+    This is the reference compiled path; serving-scale callers should
+    prefer {!Engine.query}, which answers identically but allocates
+    nothing in steady state.
     @raise Invalid_argument on block-count mismatch. *)
 
 val instantiate : t -> Dims.t -> Rect.t array
@@ -116,3 +124,100 @@ val to_builder : t -> Builder.t
     incrementally ({!Generator.extend}). *)
 
 val die : t -> int * int
+
+(** The compiled zero-allocation query engine (DESIGN.md §10).
+
+    [Engine.create] flattens the frozen per-block rows into contiguous
+    int arrays (interval bounds plus bitset words side by side), orders
+    the narrowing sequence by selectivity (smallest average placement
+    set first), and drops rows that cannot narrow (a single interval
+    spanning the whole designer axis with every placement on it).  All
+    per-query scratch lives in a reusable {!Engine.session}, so
+    steady-state queries and {!Engine.instantiate_into} allocate
+    nothing; a hot-box cache answers consecutive queries landing in the
+    same validity box — the dominant sizing-loop case — with a single
+    [Dimbox.contains].
+
+    Answers are always identical to {!query} / {!query_linear}
+    (property-tested on every Table 1 circuit and re-checked by the
+    audit's query probes). *)
+module Engine : sig
+  type structure := t
+
+  type t
+  (** The compiled plan.  Immutable and safe to share across domains. *)
+
+  type session
+  (** Mutable per-caller scratch: intersection words, a rect buffer,
+      the hot-box cache and query counters.  Not thread-safe — use one
+      session per domain.  A session is engine-agnostic: it may be
+      reused across engines (even interleaved); rebinding to a
+      different engine resizes the scratch and drops the hot-box
+      entry. *)
+
+  type stats = {
+    queries : int;
+    cache_hits : int;  (** Queries answered by the hot-box cache. *)
+    stored_hits : int;  (** Queries answered by a stored placement. *)
+    fallbacks : int;
+    out_of_domain : int;
+  }
+
+  val create : structure -> t
+  (** Compile the narrowing plan.  O(total interval objects); done once
+      per structure, amortized over every query that follows. *)
+
+  val structure : t -> structure
+
+  val new_session : unit -> session
+
+  val query : t -> session -> Dims.t -> answer * Stored.t
+  (** Same contract and answers as {!Structure.query}; allocates only
+      the result pair.  @raise Invalid_argument on block-count
+      mismatch. *)
+
+  val query_id : t -> session -> Dims.t -> int
+  (** The allocation-free primitive behind {!query}: the stored
+      placement index on a hit, [-1] for fallback, [-2] for
+      out-of-domain. *)
+
+  val instantiate_into : t -> session -> Dims.t -> Rect.t array
+  (** Floorplan at the requested dimensions, written into the session's
+      reusable rect buffer — the returned array (and the rects inside
+      it) are valid until the session's next call.  Allocation-free on
+      stored hits inside the expansion box; fallback answers re-pack
+      (and allocate) exactly like {!Structure.instantiate}. *)
+
+  val instantiate : t -> session -> Dims.t -> Rect.t array
+  (** Like {!instantiate_into} but returns a freshly allocated
+      floorplan that is safe to retain. *)
+
+  val instantiate_cost :
+    ?weights:Mps_cost.Cost.weights -> t -> session -> Dims.t -> Rect.t array * float
+  (** {!instantiate_into} plus the cost of the resulting floorplan. *)
+
+  val query_batch :
+    ?pool:Mps_parallel.Pool.t -> t -> Dims.t array -> (answer * Stored.t) array
+  (** Answer a batch of dimension vectors, fanning contiguous chunks
+      across the pool (when given) in deterministic task order: the
+      result is bit-identical at any job count, including none.  Each
+      chunk runs on its own session, preserving hot-box locality. *)
+
+  val instantiate_batch :
+    ?pool:Mps_parallel.Pool.t -> t -> Dims.t array -> Rect.t array array
+  (** Batched {!instantiate} (fresh floorplans), same determinism
+      contract as {!query_batch}. *)
+
+  val stats : session -> stats
+  val reset_stats : session -> unit
+
+  val n_active_rows : t -> int
+  (** Rows in the narrowing plan after the skip rule. *)
+
+  val n_skipped_rows : t -> int
+  (** Rows dropped because they could never narrow. *)
+
+  val describe : t -> session -> string
+  (** {!Structure.describe} of the source plus plan shape and the
+      session's query / hot-box-cache hit-rate counters. *)
+end

@@ -1,4 +1,4 @@
-type t = { x : int; y : int; w : int; h : int }
+type t = { mutable x : int; mutable y : int; mutable w : int; mutable h : int }
 
 (* Int-specialized [min]/[max]: the polymorphic ones cost a generic
    compare call each, and [overlap_area] sits in O(n^2) cost loops. *)
@@ -9,6 +9,14 @@ let make ~x ~y ~w ~h =
   if w <= 0 || h <= 0 then
     invalid_arg (Printf.sprintf "Rect.make: non-positive size %dx%d" w h);
   { x; y; w; h }
+
+let set t ~x ~y ~w ~h =
+  if w <= 0 || h <= 0 then
+    invalid_arg (Printf.sprintf "Rect.set: non-positive size %dx%d" w h);
+  t.x <- x;
+  t.y <- y;
+  t.w <- w;
+  t.h <- h
 
 let area t = t.w * t.h
 

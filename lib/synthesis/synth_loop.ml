@@ -7,8 +7,18 @@ type placer = {
   place : Dims.t -> Rect.t array;
 }
 
+(* One compiled engine + session per placer: the sizing loop calls
+   [place] thousands of times with slightly perturbed dims, exactly the
+   workload the hot-box cache and the reusable rect buffer exist for.
+   The returned floorplan is the session's scratch buffer — valid until
+   the next [place] call, which is all the cost evaluation needs. *)
 let mps_placer structure =
-  { name = "mps"; place = (fun dims -> Mps_core.Structure.instantiate structure dims) }
+  let engine = Mps_core.Structure.Engine.create structure in
+  let session = Mps_core.Structure.Engine.new_session () in
+  {
+    name = "mps";
+    place = (fun dims -> Mps_core.Structure.Engine.instantiate_into engine session dims);
+  }
 
 let template_placer template =
   {

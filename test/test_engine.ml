@@ -1,0 +1,240 @@
+(* Property tests for the compiled zero-allocation query engine
+   (Structure.Engine): on every Table 1 circuit the engine must answer
+   exactly like the linear reference oracle — including out-of-domain
+   and fallback probes — sessions must be safely reusable across
+   interleaved structures, the hot-box cache must actually hit on
+   sizing-loop traffic, and batch serving must be bit-identical to
+   sequential answering at any job count. *)
+
+open Mps_rng
+open Mps_geometry
+open Mps_netlist
+open Mps_core
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let tiny_config =
+  {
+    Generator.fast_config with
+    Generator.explorer_iterations = 8;
+    bdio = { Generator.fast_config.Generator.bdio with Bdio.iterations = 60 };
+    max_placements = 25;
+    backup_iterations = 300;
+  }
+
+let structures =
+  lazy
+    (List.map
+       (fun c -> (c, fst (Generator.generate ~config:tiny_config c)))
+       Benchmarks.all)
+
+let for_all f () = List.iter (fun (c, s) -> f c s) (Lazy.force structures)
+
+(* Probe generator mixing the three answer regimes: uniform in-domain
+   vectors (hits and fallbacks), vectors pushed past the designer max
+   on one axis (out-of-domain), and jitter around a stored best vector
+   (mostly hits, the sizing-loop shape). *)
+let probe rng structure stored =
+  let circuit = Structure.circuit structure in
+  let bounds = Circuit.dim_bounds circuit in
+  let base = Dimbox.random_dims rng bounds in
+  match Rng.int rng 4 with
+  | 0 | 1 -> base
+  | 2 ->
+    let i = Rng.int rng (Dims.n_blocks base) in
+    if Rng.int rng 2 = 0 then
+      Dims.set_width base i (Interval.hi (Dimbox.w_interval bounds i) + 1 + Rng.int rng 8)
+    else
+      Dims.set_height base i
+        (Interval.hi (Dimbox.h_interval bounds i) + 1 + Rng.int rng 8)
+  | _ ->
+    let s : Stored.t = stored.(Rng.int rng (Array.length stored)) in
+    let d = ref s.Stored.best_dims in
+    for _ = 1 to 2 do
+      let i = Rng.int rng (Dims.n_blocks !d) in
+      let bump = Rng.int_in rng (-2) 2 in
+      d :=
+        (if Rng.int rng 2 = 0 then Dims.set_width !d i (max 1 (Dims.width !d i + bump))
+         else Dims.set_height !d i (max 1 (Dims.height !d i + bump)))
+    done;
+    !d
+
+(* Satellite: engine answers == linear oracle (and the reference
+   compiled query) on 10k mixed probes per circuit. *)
+let test_engine_matches_oracle c structure =
+  let engine = Structure.Engine.create structure in
+  let session = Structure.Engine.new_session () in
+  let stored = Structure.placements structure in
+  let rng = Rng.create ~seed:11 in
+  let seen_hit = ref false and seen_fb = ref false and seen_ood = ref false in
+  for k = 1 to 10_000 do
+    let dims = probe rng structure stored in
+    let a_lin, s_lin = Structure.query_linear structure dims in
+    let a_eng, s_eng = Structure.Engine.query engine session dims in
+    let a_old, _ = Structure.query structure dims in
+    (match a_lin with
+    | Structure.Stored_placement _ -> seen_hit := true
+    | Structure.Fallback -> seen_fb := true
+    | Structure.Out_of_domain -> seen_ood := true);
+    if not (a_eng = a_lin && a_old = a_lin && s_eng == s_lin) then
+      Alcotest.failf "%s probe %d: engine %s, query %s, linear %s" c.Circuit.name k
+        (Structure.answer_to_string a_eng)
+        (Structure.answer_to_string a_old)
+        (Structure.answer_to_string a_lin)
+  done;
+  check_bool (c.Circuit.name ^ ": probes covered stored hits") true !seen_hit;
+  check_bool (c.Circuit.name ^ ": probes covered out-of-domain") true !seen_ood;
+  ignore !seen_fb (* fallbacks occur unless coverage is total; not guaranteed *)
+
+(* Satellite: one session interleaved across two different engines
+   (different block counts and capacities) answers exactly like two
+   dedicated sessions. *)
+let test_session_interleaving_safe () =
+  let all = Lazy.force structures in
+  let _, s1 = List.hd all in
+  let _, s2 =
+    List.find (fun (c, _) -> String.equal c.Circuit.name "benchmark24") all
+  in
+  let e1 = Structure.Engine.create s1 and e2 = Structure.Engine.create s2 in
+  let shared = Structure.Engine.new_session () in
+  let own1 = Structure.Engine.new_session () in
+  let own2 = Structure.Engine.new_session () in
+  let st1 = Structure.placements s1 and st2 = Structure.placements s2 in
+  let rng = Rng.create ~seed:13 in
+  for _ = 1 to 2000 do
+    let d1 = probe rng s1 st1 and d2 = probe rng s2 st2 in
+    let a1_shared, _ = Structure.Engine.query e1 shared d1 in
+    let a2_shared, _ = Structure.Engine.query e2 shared d2 in
+    let a1_own, _ = Structure.Engine.query e1 own1 d1 in
+    let a2_own, _ = Structure.Engine.query e2 own2 d2 in
+    check_bool "interleaved answer (engine 1)" true (a1_shared = a1_own);
+    check_bool "interleaved answer (engine 2)" true (a2_shared = a2_own)
+  done;
+  check_int "shared session counted every query" 4000
+    (Structure.Engine.stats shared).Structure.Engine.queries
+
+(* The hot-box cache must answer repeated and slightly perturbed
+   queries without re-narrowing, and must never change an answer. *)
+let test_hot_box_cache c structure =
+  let engine = Structure.Engine.create structure in
+  let session = Structure.Engine.new_session () in
+  (* A guaranteed stored hit: any explored placement's best vector. *)
+  let stored = Structure.placements structure in
+  let hit =
+    match
+      Array.find_opt
+        (fun (s : Stored.t) ->
+          match Structure.query_linear structure s.Stored.best_dims with
+          | Structure.Stored_placement _, _ -> true
+          | _ -> false)
+        stored
+    with
+    | Some s -> s.Stored.best_dims
+    | None -> Alcotest.failf "%s: no stored best vector queries back" c.Circuit.name
+  in
+  let reference = fst (Structure.query_linear structure hit) in
+  for _ = 1 to 50 do
+    let a, _ = Structure.Engine.query engine session hit in
+    check_bool (c.Circuit.name ^ ": cached answer stable") true (a = reference)
+  done;
+  let s = Structure.Engine.stats session in
+  check_int (c.Circuit.name ^ ": queries counted") 50 s.Structure.Engine.queries;
+  check_bool
+    (Printf.sprintf "%s: cache hit on every repeat (%d/50)" c.Circuit.name
+       s.Structure.Engine.cache_hits)
+    true
+    (s.Structure.Engine.cache_hits = 49)
+
+(* instantiate_into fills the scratch buffer with exactly the rects the
+   allocating paths produce. *)
+let test_instantiate_into_matches c structure =
+  let engine = Structure.Engine.create structure in
+  let session = Structure.Engine.new_session () in
+  let stored = Structure.placements structure in
+  let rng = Rng.create ~seed:17 in
+  for _ = 1 to 500 do
+    let dims = probe rng structure stored in
+    let expected = Structure.instantiate structure dims in
+    let got = Structure.Engine.instantiate_into engine session dims in
+    check_int (c.Circuit.name ^ ": rect count") (Array.length expected)
+      (Array.length got);
+    Array.iteri
+      (fun i r ->
+        check_bool (c.Circuit.name ^ ": rect equal") true (Rect.equal r got.(i)))
+      expected
+  done
+
+(* Batch serving: identical answers sequentially, with a pool, and at
+   different job counts. *)
+let test_batch_matches_sequential c structure =
+  let engine = Structure.Engine.create structure in
+  let stored = Structure.placements structure in
+  let rng = Rng.create ~seed:19 in
+  let dims = Array.init 257 (fun _ -> probe rng structure stored) in
+  let expected =
+    Array.map (fun d -> fst (Structure.query_linear structure d)) dims
+  in
+  let answers_seq = Array.map fst (Structure.Engine.query_batch engine dims) in
+  check_bool (c.Circuit.name ^ ": sequential batch") true (answers_seq = expected);
+  Mps_parallel.Pool.with_pool ~jobs:3 (fun pool ->
+      let answers_par =
+        Array.map fst (Structure.Engine.query_batch ~pool engine dims)
+      in
+      check_bool (c.Circuit.name ^ ": pooled batch") true (answers_par = expected);
+      let rects_seq = Structure.Engine.instantiate_batch engine dims in
+      let rects_par = Structure.Engine.instantiate_batch ~pool engine dims in
+      Array.iteri
+        (fun k rs ->
+          Array.iteri
+            (fun i r ->
+              check_bool
+                (c.Circuit.name ^ ": batched floorplans equal")
+                true
+                (Rect.equal r rects_par.(k).(i)))
+            rs)
+        rects_seq)
+
+(* Plan shape: every axis row is either in the narrowing plan or
+   provably non-selective, and the skip rule never hides a row that
+   could narrow (the oracle test above is the semantic check; this one
+   pins the accounting). *)
+let test_plan_accounting c structure =
+  let engine = Structure.Engine.create structure in
+  let n = Circuit.n_blocks (Structure.circuit structure) in
+  check_int
+    (c.Circuit.name ^ ": rows partition the 2N axes")
+    (2 * n)
+    (Structure.Engine.n_active_rows engine + Structure.Engine.n_skipped_rows engine)
+
+let test_describe_reports_cache () =
+  let _, structure = List.hd (Lazy.force structures) in
+  let engine = Structure.Engine.create structure in
+  let session = Structure.Engine.new_session () in
+  ignore (Structure.Engine.query engine session (Dimbox.center (Circuit.dim_bounds (Structure.circuit structure))));
+  let text = Structure.Engine.describe engine session in
+  let contains needle =
+    let n = String.length needle and m = String.length text in
+    let rec scan i = i + n <= m && (String.equal (String.sub text i n) needle || scan (i + 1)) in
+    scan 0
+  in
+  check_bool "describe mentions the hot-box cache" true (contains "hot-box cache");
+  check_bool "describe mentions narrowing rows" true (contains "narrowing rows")
+
+let suite =
+  [
+    Alcotest.test_case "all benchmarks: engine == linear oracle on 10k probes" `Quick
+      (for_all test_engine_matches_oracle);
+    Alcotest.test_case "session reuse across interleaved engines is safe" `Quick
+      test_session_interleaving_safe;
+    Alcotest.test_case "all benchmarks: hot-box cache hits and stays exact" `Quick
+      (for_all test_hot_box_cache);
+    Alcotest.test_case "all benchmarks: instantiate_into matches instantiate" `Quick
+      (for_all test_instantiate_into_matches);
+    Alcotest.test_case "all benchmarks: batch serving matches sequential" `Quick
+      (for_all test_batch_matches_sequential);
+    Alcotest.test_case "all benchmarks: plan rows partition the axes" `Quick
+      (for_all test_plan_accounting);
+    Alcotest.test_case "describe reports plan shape and cache counters" `Quick
+      test_describe_reports_cache;
+  ]

@@ -14,6 +14,7 @@ let () =
       ("bitset", Test_bitset.suite);
       ("row", Test_row.suite);
       ("mps", Test_mps.suite);
+      ("engine", Test_engine.suite);
       ("mps-multiblock", Test_mps_multiblock.suite);
       ("seqpair", Test_seqpair.suite);
       ("slicing", Test_slicing.suite);
