@@ -7,6 +7,8 @@
    - [mpsgen verify CIRCUIT -i FILE]  integrity-check a saved structure
    - [mpsgen extend CIRCUIT -i FILE]  resume exploration on a saved structure
    - [mpsgen experiments TARGET]      regenerate a table / figure / ablation
+   - [mpsgen serve -d DIR]            run the mpsd structure-serving daemon
+   - [mpsgen bench-serve CIRCUIT]     end-to-end serving throughput/latency
 
    [generate] and [extend] checkpoint with [--checkpoint FILE
    --checkpoint-every N --max-seconds S] and resume automatically when
@@ -377,31 +379,47 @@ let query_cmd =
 
 (* verify a saved structure *)
 
-let verify circuit path =
+(* Exit codes double as a machine interface (the CI serve smoke job
+   scripts against them): 0 intact, 1 corrupt or for another circuit,
+   2 missing or unreadable. *)
+let verify circuit path quiet =
   match Codec.load ~circuit ~path with
   | structure ->
     (* load already proved: readable, version/checksum intact, circuit
        identity, every placement well-formed, validity boxes disjoint
        (Structure.of_placements).  Report what was checked. *)
-    let die_w, die_h = Structure.die structure in
-    Format.printf
-      "%s: OK@.  checksum: valid@.  circuit: %s (%d blocks, %d nets)@.  die: %dx%d@.  \
-       placements: %d (%d explored), validity boxes disjoint@.  coverage: %.6f@."
-      path circuit.Circuit.name (Circuit.n_blocks circuit) (Circuit.n_nets circuit) die_w
-      die_h (Structure.n_placements structure)
-      (Structure.n_explored structure) (Structure.coverage structure)
+    if not quiet then begin
+      let die_w, die_h = Structure.die structure in
+      Format.printf
+        "%s: OK@.  checksum: valid@.  circuit: %s (%d blocks, %d nets)@.  die: %dx%d@.  \
+         placements: %d (%d explored), validity boxes disjoint@.  coverage: %.6f@."
+        path circuit.Circuit.name (Circuit.n_blocks circuit) (Circuit.n_nets circuit)
+        die_w die_h (Structure.n_placements structure)
+        (Structure.n_explored structure) (Structure.coverage structure)
+    end
   | exception Codec.Error e ->
-    Format.eprintf "%s: verify failed: %s@." path (Codec.error_to_string e);
-    exit 1
+    if not quiet then
+      Format.eprintf "%s: verify failed: %s@." path (Codec.error_to_string e);
+    exit (match e with Codec.Io_error _ -> 2 | Codec.Corrupt _ | Codec.Circuit_mismatch _ -> 1)
+  | exception Sys_error msg ->
+    if not quiet then Format.eprintf "%s: verify failed: %s@." path msg;
+    exit 2
+
+let quiet_arg =
+  Arg.(
+    value & flag
+    & info [ "q"; "quiet" ]
+        ~doc:"Print nothing; communicate through the exit code only.")
 
 let verify_cmd =
   Cmd.v
     (Cmd.info "verify"
        ~doc:
          "Check a saved structure end-to-end: checksum, format version, circuit \
-          identity, placement well-formedness and validity-box disjointness.  Exits \
-          nonzero with a line-accurate message on any failure.")
-    Term.(const verify $ circuit_arg $ load_arg)
+          identity, placement well-formedness and validity-box disjointness.  Exits 0 \
+          when the file is intact, 1 when it is corrupt or belongs to another circuit, \
+          2 when it is missing or unreadable.")
+    Term.(const verify $ circuit_arg $ load_arg $ quiet_arg)
 
 (* audit a saved structure *)
 
@@ -668,6 +686,388 @@ let experiments_cmd =
     (Cmd.info "experiments" ~doc:"Regenerate a table, figure or ablation from the paper.")
     Term.(const run_experiment $ target_arg $ budget_arg $ csv_arg)
 
+(* serve: the mpsd daemon *)
+
+module Server = Mps_serve.Server
+module Store = Mps_serve.Store
+module Client = Mps_serve.Client
+
+let parse_tcp spec =
+  match String.rindex_opt spec ':' with
+  | Some i -> (
+    let host = String.sub spec 0 i in
+    let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+    match int_of_string_opt port with
+    | Some p -> Server.Tcp ((if host = "" then "127.0.0.1" else host), p)
+    | None -> die "bad address %S (expected HOST:PORT)" spec)
+  | None -> die "bad address %S (expected HOST:PORT)" spec
+
+let parse_addr spec =
+  match String.index_opt spec ':' with
+  | Some 3 when String.sub spec 0 3 = "tcp" ->
+    parse_tcp (String.sub spec 4 (String.length spec - 4))
+  | _ -> Server.Unix_path spec
+
+let addr_to_string = function
+  | Server.Unix_path p -> p
+  | Server.Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
+
+let serve dir socket tcp capacity max_connections max_inflight idle_timeout
+    drain_timeout =
+  let store = Store.create ~capacity ~dir () in
+  let config =
+    {
+      Server.default_config with
+      max_connections;
+      max_inflight;
+      idle_timeout;
+      drain_timeout;
+    }
+  in
+  let addr =
+    match tcp with
+    | Some spec -> parse_tcp spec
+    | None ->
+      Server.Unix_path (Option.value socket ~default:(Filename.concat dir "mpsd.sock"))
+  in
+  let server =
+    try Server.create ~config ~store addr
+    with Unix.Unix_error (e, fn, arg) ->
+      die "cannot bind %s: %s(%s): %s" (addr_to_string addr) fn arg
+        (Unix.error_message e)
+  in
+  Server.install_sigterm server;
+  Format.printf "mpsd: serving structures from %s on %s (SIGTERM drains)@."
+    dir
+    (addr_to_string (Server.bound_addr server));
+  Format.print_flush ();
+  Server.run server;
+  let s = Server.stats server in
+  Format.printf
+    "mpsd: drained: %d requests (%d queries, %d degraded) served; %d timeouts, %d \
+     overloaded, %d bad, %d store errors; %d connections (%d shed, %d crashed), %d \
+     accept failures@."
+    s.Server.requests_served s.Server.queries_served s.Server.degraded_served
+    s.Server.timeouts s.Server.overloaded s.Server.bad_requests s.Server.store_errors
+    s.Server.accepted s.Server.shed_connections s.Server.connection_crashes
+    s.Server.accept_failures
+
+let store_dir_arg =
+  Arg.(
+    value
+    & opt string "."
+    & info [ "d"; "dir" ] ~docv:"DIR"
+        ~doc:
+          "Structure store: one $(b,<circuit>.mps) per circuit (spaces as \
+           underscores), as written by $(b,mpsgen generate -o).")
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix socket to listen on (default $(b,DIR/mpsd.sock)).")
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tcp" ] ~docv:"HOST:PORT"
+        ~doc:"Listen on TCP instead of a Unix socket; port 0 picks a free port.")
+
+let capacity_arg =
+  Arg.(
+    value
+    & opt int 8
+    & info [ "capacity" ] ~docv:"N" ~doc:"Compiled engines kept live (LRU beyond).")
+
+let max_connections_arg =
+  Arg.(
+    value
+    & opt int Server.default_config.Server.max_connections
+    & info [ "max-connections" ] ~docv:"N"
+        ~doc:"Connections beyond $(docv) are told overloaded and closed.")
+
+let max_inflight_arg =
+  Arg.(
+    value
+    & opt int Server.default_config.Server.max_inflight
+    & info [ "max-inflight" ] ~docv:"N"
+        ~doc:"Concurrently served requests beyond $(docv) are shed.")
+
+let idle_timeout_arg =
+  Arg.(
+    value
+    & opt float Server.default_config.Server.idle_timeout
+    & info [ "idle-timeout" ] ~docv:"S" ~doc:"Drop connections silent for $(docv) seconds.")
+
+let drain_timeout_arg =
+  Arg.(
+    value
+    & opt float Server.default_config.Server.drain_timeout
+    & info [ "drain-timeout" ] ~docv:"S"
+        ~doc:"Seconds a graceful stop waits for in-flight requests.")
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run mpsd: serve saved multi-placement structures over a length-prefixed \
+          binary protocol with per-request deadlines, bounded load shedding, hot \
+          reload after $(b,mpsgen repair) (epoch-stamped replies), and degraded-mode \
+          answers (flagged, never silently wrong) for structures with audit findings.  \
+          SIGTERM drains gracefully.")
+    Term.(
+      const serve $ store_dir_arg $ socket_arg $ tcp_arg $ capacity_arg
+      $ max_connections_arg $ max_inflight_arg $ idle_timeout_arg $ drain_timeout_arg)
+
+(* bench-serve: end-to-end serving throughput and latency *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0 else sorted.(min (n - 1) (int_of_float (p *. float_of_int (n - 1))))
+
+(* The sizing-loop traffic pattern (bench/main.ml): small bumps on one
+   block axis with occasional jumps to another stored operating
+   region, so consecutive queries exercise the engine's hot-box
+   cache the way a synthesis loop would. *)
+let walk_step rng structure bounds current =
+  let stored = Structure.placements structure in
+  if Mps_rng.Rng.int rng 64 = 0 then
+    stored.(Mps_rng.Rng.int rng (Array.length stored)).Stored.best_dims
+  else begin
+    let d = current in
+    let i = Mps_rng.Rng.int rng (Dims.n_blocks d) in
+    let delta = if Mps_rng.Rng.int rng 2 = 0 then 1 else -1 in
+    let d' =
+      if Mps_rng.Rng.int rng 2 = 0 then Dims.set_width d i (max 1 (Dims.width d i + delta))
+      else Dims.set_height d i (max 1 (Dims.height d i + delta))
+    in
+    Dimbox.clamp bounds d'
+  end
+
+let bench_serve circuit budget batch requests clients attach out jobs =
+  let config = Mps_experiments.Experiments.generator_config budget circuit in
+  Format.printf "bench-serve: generating %s (%s budget)...@." circuit.Circuit.name
+    (match budget with Mps_experiments.Experiments.Quick -> "quick" | _ -> "full");
+  Format.print_flush ();
+  let structure, _ = Generator.generate_par ~config ~jobs circuit in
+  (* the in-process oracle every served answer is checked against *)
+  let engine = Structure.Engine.create structure in
+  let addr, self_hosted =
+    match attach with
+    | Some spec -> (parse_addr spec, None)
+    | None ->
+      let dir =
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "mpsd-bench.%d" (Unix.getpid ()))
+      in
+      (try Unix.mkdir dir 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      let store = Store.create ~dir () in
+      let path = Store.path_for store circuit.Circuit.name in
+      (match Codec.save structure ~path with
+      | () -> ()
+      | exception Codec.Error e -> die "%s: %s" path (Codec.error_to_string e));
+      let server =
+        Server.create
+          ~config:{ Server.default_config with Server.max_inflight = 2 * clients }
+          ~store
+          (Server.Unix_path (Filename.concat dir "mpsd.sock"))
+      in
+      (* the server gets exactly one core: its accept loop and every
+         connection handler are threads of this one domain *)
+      let domain = Domain.spawn (fun () -> Server.run server) in
+      (Server.bound_addr server, Some (server, domain, dir, path))
+  in
+  let name = circuit.Circuit.name in
+  let bounds = Circuit.dim_bounds circuit in
+  let per_client = max 1 (requests / max 1 clients) in
+  (* Everything that is not serving happens outside the timed window:
+     each client pregenerates a pool of sizing-walk batches and cycles
+     them during the run (the repetition re-exercises the same validity
+     boxes, which is what a sizing loop does anyway), then cross-checks
+     every served answer against the in-process engine afterwards. *)
+  let distinct = min per_client 8 in
+  let ready = Atomic.make 0 in
+  let go = Atomic.make false in
+  let run_client k =
+    let rng = Mps_rng.Rng.create ~seed:(1000 + k) in
+    let client = Client.connect addr in
+    let session = Structure.Engine.new_session () in
+    let current = ref (Dimbox.center bounds) in
+    let pool =
+      Array.init distinct (fun _ ->
+          Array.init batch (fun _ ->
+              current := walk_step rng structure bounds !current;
+              !current))
+    in
+    let latencies = Array.make per_client 0.0 in
+    let replies = Array.make per_client [||] in
+    let errors = ref 0 and served = ref 0 and degraded = ref 0 in
+    (* all clients enter the timed phase together *)
+    Atomic.incr ready;
+    while not (Atomic.get go) do
+      Unix.sleepf 0.001
+    done;
+    let t_start = Unix.gettimeofday () in
+    (* timed phase: pure request/reply traffic; a streak of requests
+       failing even through retry-with-backoff means the daemon is
+       gone for good — stop burning backoff time on the remainder *)
+    let give_up = 8 in
+    let streak = ref 0 in
+    let completed = ref 0 in
+    (try
+       for r = 0 to per_client - 1 do
+         let t0 = Unix.gettimeofday () in
+         (match
+            Client.with_retry ~rng (fun () ->
+                Client.query_ids ~budget:10.0 client ~circuit:name pool.(r mod distinct))
+          with
+         | Ok (ids, meta) ->
+           streak := 0;
+           served := !served + batch;
+           if meta.Client.degraded then incr degraded;
+           replies.(r) <- ids
+         | Error e ->
+           incr errors;
+           incr streak;
+           Format.eprintf "bench-serve: client %d: %s@." k (Client.error_to_string e));
+         latencies.(r) <- Unix.gettimeofday () -. t0;
+         incr completed;
+         if !streak >= give_up then raise Exit
+       done
+     with Exit ->
+       Format.eprintf "bench-serve: client %d: giving up after %d consecutive failures@."
+         k give_up);
+    let t_end = Unix.gettimeofday () in
+    let latencies = Array.sub latencies 0 !completed in
+    Client.close client;
+    (* untimed phase: every served answer against the oracle *)
+    let expected =
+      Array.map
+        (fun dims -> Array.map (Structure.Engine.query_id engine session) dims)
+        pool
+    in
+    let mismatches = ref 0 in
+    Array.iteri
+      (fun r ids ->
+        if Array.length ids > 0 then
+          Array.iteri
+            (fun i id -> if id <> expected.(r mod distinct).(i) then incr mismatches)
+            ids)
+      replies;
+    (latencies, !served, !mismatches, !errors, !degraded, t_start, t_end)
+  in
+  Format.printf "bench-serve: %d client domain(s) x %d requests x %d queries on %s@."
+    clients per_client batch (addr_to_string addr);
+  Format.print_flush ();
+  let workers = Array.init clients (fun k -> Domain.spawn (fun () -> run_client k)) in
+  while Atomic.get ready < clients do
+    Unix.sleepf 0.001
+  done;
+  Atomic.set go true;
+  let results = Array.map Domain.join workers in
+  let seconds =
+    let starts = Array.map (fun (_, _, _, _, _, s, _) -> s) results in
+    let ends = Array.map (fun (_, _, _, _, _, _, e) -> e) results in
+    Array.fold_left max ends.(0) ends -. Array.fold_left min starts.(0) starts
+  in
+  (match self_hosted with
+  | None -> ()
+  | Some (server, domain, dir, path) ->
+    Server.stop server;
+    Domain.join domain;
+    (try Sys.remove path with Sys_error _ -> ());
+    (try Unix.rmdir dir with Unix.Unix_error _ -> ()));
+  let latencies =
+    Array.concat (Array.to_list (Array.map (fun (l, _, _, _, _, _, _) -> l) results))
+  in
+  Array.sort compare latencies;
+  let sum f = Array.fold_left (fun acc r -> acc + f r) 0 results in
+  let served = sum (fun (_, s, _, _, _, _, _) -> s) in
+  let mismatches = sum (fun (_, _, m, _, _, _, _) -> m) in
+  let errors = sum (fun (_, _, _, e, _, _, _) -> e) in
+  let degraded = sum (fun (_, _, _, _, d, _, _) -> d) in
+  let rate = float_of_int served /. seconds in
+  let p50 = 1e6 *. percentile latencies 0.50 in
+  let p99 = 1e6 *. percentile latencies 0.99 in
+  Format.printf
+    "bench-serve: %d queries in %.3f s (%.0f served queries/s); request p50 %.0f us, \
+     p99 %.0f us; %d mismatches, %d errors, %d degraded replies@."
+    served seconds rate p50 p99 mismatches errors degraded;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"circuit\": %S,\n\
+      \  \"budget\": %S,\n\
+      \  \"clients\": %d,\n\
+      \  \"requests_per_client\": %d,\n\
+      \  \"batch\": %d,\n\
+      \  \"queries_served\": %d,\n\
+      \  \"wall_seconds\": %.4f,\n\
+      \  \"served_queries_per_sec\": %.0f,\n\
+      \  \"request_p50_us\": %.1f,\n\
+      \  \"request_p99_us\": %.1f,\n\
+      \  \"mismatches\": %d,\n\
+      \  \"errors\": %d,\n\
+      \  \"degraded_replies\": %d\n\
+       }\n"
+      circuit.Circuit.name
+      (match budget with Mps_experiments.Experiments.Quick -> "quick" | _ -> "full")
+      clients per_client batch served seconds rate p50 p99 mismatches errors degraded
+  in
+  (try Persist.atomic_write ~path:out json with Sys_error msg -> die "%s" msg);
+  Format.printf "wrote %s@." out;
+  if mismatches > 0 then die "%d served answers disagreed with the in-process engine" mismatches
+
+let batch_arg =
+  Arg.(
+    value
+    & opt int 2048
+    & info [ "batch" ] ~docv:"N" ~doc:"Queries per batch request.")
+
+let requests_arg =
+  Arg.(
+    value
+    & opt int 256
+    & info [ "requests" ] ~docv:"N" ~doc:"Batch requests, split across the clients.")
+
+let clients_arg =
+  Arg.(
+    value
+    & opt int 2
+    & info [ "clients" ] ~docv:"N" ~doc:"Client domains generating load.")
+
+let attach_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "attach" ] ~docv:"ADDR"
+        ~doc:
+          "Benchmark a running daemon at $(docv) (a Unix socket path, or \
+           $(b,tcp:HOST:PORT)) instead of self-hosting one.  The daemon must serve \
+           the same deterministically generated structure, or every answer counts as \
+           a mismatch.")
+
+let bench_out_arg =
+  Arg.(
+    value
+    & opt string "BENCH_SERVE.json"
+    & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Where to write the JSON report.")
+
+let bench_serve_cmd =
+  Cmd.v
+    (Cmd.info "bench-serve"
+       ~doc:
+         "Measure end-to-end serving throughput and latency: self-host an mpsd on one \
+          core (or $(b,--attach) to one), drive sizing-walk batches from client \
+          domains, cross-check every served answer against an in-process engine, and \
+          record served queries/sec with p50/p99 request latency in a JSON report.  \
+          Exits 1 on any mismatch.")
+    Term.(
+      const bench_serve $ circuit_arg $ budget_arg $ batch_arg $ requests_arg
+      $ clients_arg $ attach_arg $ bench_out_arg $ jobs_arg)
+
 let () =
   let doc = "multi-placement structures for analog placement (DATE 2005 reproduction)" in
   let info = Cmd.info "mpsgen" ~version:"1.0.0" ~doc in
@@ -675,4 +1075,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; generate_cmd; instantiate_cmd; query_cmd; verify_cmd; audit_cmd;
-            repair_cmd; route_cmd; extend_cmd; experiments_cmd ]))
+            repair_cmd; route_cmd; extend_cmd; experiments_cmd; serve_cmd;
+            bench_serve_cmd ]))

@@ -89,10 +89,19 @@ let with_io io f =
   io_ref := io;
   Fun.protect ~finally:(fun () -> io_ref := saved) f
 
+(* Temp names must be unique per writer: pid separates processes,
+   the atomic counter separates threads and domains within one.  (The
+   previous Filename.temp_file scheme also pre-created the file
+   through the real filesystem, bypassing the injected io.) *)
+let tmp_counter = Atomic.make 0
+
 let atomic_write ~path content =
   let io = !io_ref in
   let dir = Filename.dirname path in
-  let tmp = Filename.temp_file ~temp_dir:dir (Filename.basename path ^ ".tmp.") "" in
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+      (Atomic.fetch_and_add tmp_counter 1)
+  in
   match
     io.write_file tmp content;
     io.rename tmp path;

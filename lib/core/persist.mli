@@ -52,6 +52,11 @@ val atomic_write : path:string -> string -> unit
     point leaves either the old complete file or the new complete file,
     never a truncated mix; a failed write or rename unlinks the
     temporary file before the error surfaces (no [*.tmp] litter).
+    Temporary names embed the writer's pid and a process-wide atomic
+    counter, so concurrent writers — threads, domains or separate
+    processes racing on the same [path] — never share a temporary
+    file: the destination always ends up as {e some} writer's complete
+    document.
     @raise Sys_error when the directory is not writable or the rename
     fails. *)
 

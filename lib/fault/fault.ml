@@ -1,12 +1,13 @@
 open Mps_core
 
-type op = Read | Write | Rename | Fsync_dir | Remove
+type op = Read | Write | Rename | Fsync_dir | Remove | Net_recv | Net_send | Net_accept
 
 type action =
   | Fail
   | Truncate of float
   | Corrupt of int
   | Vanish
+  | Stall of float
 
 type injection = {
   op : op;
@@ -23,12 +24,16 @@ let op_to_string = function
   | Rename -> "rename"
   | Fsync_dir -> "fsync-dir"
   | Remove -> "remove"
+  | Net_recv -> "net-recv"
+  | Net_send -> "net-send"
+  | Net_accept -> "net-accept"
 
 let action_to_string = function
   | Fail -> "fail"
   | Truncate f -> Printf.sprintf "truncate to %.0f%%" (100.0 *. f)
   | Corrupt n -> Printf.sprintf "flip %d bits" n
   | Vanish -> "vanish"
+  | Stall s -> Printf.sprintf "stall %.0f ms" (1000.0 *. s)
 
 let describe plan =
   String.concat "\n"
@@ -65,20 +70,32 @@ let random_action rng =
   | 2 -> Corrupt (1 + Mps_rng.Rng.int rng 16)
   | _ -> Vanish
 
-let random_injection rng ops =
+(* Socket faults: no media corruption in the model (frames are either
+   delivered intact, delivered short, delayed, or the peer is gone) —
+   so no [Corrupt] here, and a [Stall] long enough to blow a typical
+   test deadline instead. *)
+let random_net_action rng =
+  match Mps_rng.Rng.int rng 4 with
+  | 0 -> Fail
+  | 1 -> Truncate (Mps_rng.Rng.float rng 0.95)
+  | 2 -> Vanish
+  | _ -> Stall (0.02 +. Mps_rng.Rng.float rng 0.1)
+
+let random_injection ?(net = false) rng ops =
   {
     op = Mps_rng.Rng.choose rng ops;
     skip = Mps_rng.Rng.int rng 3;
-    action = random_action rng;
+    action = (if net then random_net_action rng else random_action rng);
     seed = Mps_rng.Rng.int rng 1_000_000;
   }
 
-let plan_of rng ops =
-  List.init (1 + Mps_rng.Rng.int rng 3) (fun _ -> random_injection rng ops)
+let plan_of ?net rng ops =
+  List.init (1 + Mps_rng.Rng.int rng 3) (fun _ -> random_injection ?net rng ops)
 
 let random_plan rng = plan_of rng [| Read; Write; Rename; Fsync_dir; Remove |]
 let random_save_plan rng = plan_of rng [| Write; Rename; Fsync_dir |]
 let random_read_plan rng = plan_of rng [| Read |]
+let random_net_plan rng = plan_of ~net:true rng [| Net_recv; Net_send; Net_accept |]
 
 let io_of_plan ?(base = Persist.default_io) plan =
   let counters = Hashtbl.create 8 in
@@ -108,6 +125,9 @@ let io_of_plan ?(base = Persist.default_io) plan =
           | None -> base.Persist.read_file path
           | Some { action = Fail; _ } | Some { action = Vanish; _ } -> fail path
           | Some { action = Truncate f; _ } -> truncated f (base.Persist.read_file path)
+          | Some { action = Stall s; _ } ->
+            Thread.delay s;
+            base.Persist.read_file path
           | Some { action = Corrupt n; seed; _ } ->
             flip_bits ~seed ~flips:n (base.Persist.read_file path));
       write_file =
@@ -119,6 +139,9 @@ let io_of_plan ?(base = Persist.default_io) plan =
             (* crash mid-write: the prefix lands, then the failure *)
             base.Persist.write_file path (truncated f content);
             fail path
+          | Some { action = Stall s; _ } ->
+            Thread.delay s;
+            base.Persist.write_file path content
           | Some { action = Corrupt n; seed; _ } ->
             (* crash with media corruption, before any rename publishes it *)
             base.Persist.write_file path (flip_bits ~seed ~flips:n content);
@@ -128,21 +151,111 @@ let io_of_plan ?(base = Persist.default_io) plan =
           match firing Rename with
           | None -> base.Persist.rename src dst
           | Some { action = Vanish; _ } -> () (* rename silently lost *)
+          | Some { action = Stall s; _ } ->
+            Thread.delay s;
+            base.Persist.rename src dst
           | Some _ -> fail dst);
       fsync_dir =
         (fun dir ->
           match firing Fsync_dir with
           | None -> base.Persist.fsync_dir dir
           | Some { action = Vanish; _ } -> () (* fsync silently skipped *)
+          | Some { action = Stall s; _ } ->
+            Thread.delay s;
+            base.Persist.fsync_dir dir
           | Some _ -> fail dir);
       remove =
         (fun path ->
           match firing Remove with
           | None -> base.Persist.remove path
+          | Some { action = Stall s; _ } ->
+            Thread.delay s;
+            base.Persist.remove path
           | Some _ -> fail path);
     }
   in
   (io, fun () -> !fired)
+
+module T = Mps_serve.Transport
+
+(* Same firing bookkeeping as [io_of_plan] but behind a mutex: a
+   transport is shared by the accept loop and every connection
+   handler. *)
+let make_firing plan =
+  let mutex = Mutex.create () in
+  let counters = Hashtbl.create 8 in
+  let fired = ref 0 in
+  let pending = ref plan in
+  let firing op =
+    Mutex.lock mutex;
+    let n = try Hashtbl.find counters op with Not_found -> 0 in
+    Hashtbl.replace counters op (n + 1);
+    let rec pick acc = function
+      | [] -> None
+      | inj :: rest when inj.op = op && inj.skip = n ->
+        pending := List.rev_append acc rest;
+        incr fired;
+        Some inj
+      | inj :: rest -> pick (inj :: acc) rest
+    in
+    let hit = pick [] !pending in
+    Mutex.unlock mutex;
+    hit
+  in
+  let count () =
+    Mutex.lock mutex;
+    let n = !fired in
+    Mutex.unlock mutex;
+    n
+  in
+  (firing, count)
+
+let transport_of_plan ?(base = T.default) plan =
+  let firing, fired = make_firing plan in
+  let short_len f len = min len (max 1 (int_of_float (f *. float_of_int len))) in
+  let transport =
+    {
+      T.recv =
+        (fun fd buf off len ->
+          match firing Net_recv with
+          | None -> base.T.recv fd buf off len
+          | Some { action = Fail | Corrupt _; _ } ->
+            (* no wire corruption in the model: a damaged segment is a
+               dead connection, not flipped bits *)
+            raise (Unix.Unix_error (Unix.ECONNRESET, "recv", "injected fault"))
+          | Some { action = Vanish; _ } -> 0 (* peer gone: EOF *)
+          | Some { action = Truncate f; _ } -> base.T.recv fd buf off (short_len f len)
+          | Some { action = Stall s; _ } ->
+            Thread.delay s;
+            base.T.recv fd buf off len);
+      send =
+        (fun fd buf off len ->
+          match firing Net_send with
+          | None -> base.T.send fd buf off len
+          | Some { action = Fail | Corrupt _; _ } ->
+            raise (Unix.Unix_error (Unix.EPIPE, "send", "injected fault"))
+          | Some { action = Vanish; _ } -> len (* bytes silently lost *)
+          | Some { action = Truncate f; _ } -> base.T.send fd buf off (short_len f len)
+          | Some { action = Stall s; _ } ->
+            Thread.delay s;
+            base.T.send fd buf off len);
+      accept =
+        (fun fd ->
+          match firing Net_accept with
+          | None -> base.T.accept fd
+          | Some { action = Vanish; _ } ->
+            (* the connection was there and is gone: accept it, drop it *)
+            let conn, _ = base.T.accept fd in
+            (try Unix.close conn with Unix.Unix_error _ -> ());
+            raise (Unix.Unix_error (Unix.ECONNABORTED, "accept", "injected fault"))
+          | Some { action = Stall s; _ } ->
+            Thread.delay s;
+            base.T.accept fd
+          | Some _ ->
+            raise (Unix.Unix_error (Unix.EMFILE, "accept", "injected fault")));
+    }
+  in
+  (transport, fired)
 
 let with_plan ?base plan f =
   let io, fired = io_of_plan ?base plan in

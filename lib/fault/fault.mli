@@ -17,11 +17,21 @@
     always holds a complete old or complete new document — the property
     the chaos suite asserts.
 
-    Nothing here touches syscalls or processes; injection is a pure
-    wrapper around an [io] record, so plans compose with any backend. *)
+    The same machinery covers the serving path: the [Net_*] ops target
+    the daemon's injectable socket transport
+    ({!Mps_serve.Transport.t}), modelling short reads and writes,
+    stalls past a deadline, peers vanishing mid-request and failed
+    accepts.  The socket model excludes corruption — a damaged TCP
+    segment surfaces as a dead connection, never as flipped bits
+    handed to the application — so [Corrupt] on a [Net_*] op
+    degenerates to [Fail].
 
-(** The persistence primitive a fault targets. *)
-type op = Read | Write | Rename | Fsync_dir | Remove
+    Nothing here touches syscalls or processes; injection is a pure
+    wrapper around an [io] or transport record, so plans compose with
+    any backend. *)
+
+(** The persistence or socket primitive a fault targets. *)
+type op = Read | Write | Rename | Fsync_dir | Remove | Net_recv | Net_send | Net_accept
 
 (** What happens when the fault fires.
 
@@ -39,7 +49,13 @@ type action =
           with media corruption, caught before publication. *)
   | Vanish
       (** Reads fail as if the file were missing; a rename is silently
-          lost (the destination keeps its old content). *)
+          lost (the destination keeps its old content).  On sockets the
+          peer is gone: a recv sees EOF, sent bytes are silently
+          dropped, an accepted connection is closed on the spot. *)
+  | Stall of float
+      (** The primitive sleeps this many seconds, then proceeds
+          normally — a slow disk or a congested link.  Harmless on its
+          own; what it exercises is every deadline around it. *)
 
 type injection = {
   op : op;
@@ -64,6 +80,12 @@ val random_save_plan : Mps_rng.Rng.t -> plan
 val random_read_plan : Mps_rng.Rng.t -> plan
 (** Injections on [Read] only, for chaos over the load path. *)
 
+val random_net_plan : Mps_rng.Rng.t -> plan
+(** Injections on the socket ops only ([Net_recv], [Net_send],
+    [Net_accept]) with socket-appropriate actions: [Fail], short
+    [Truncate], [Vanish], or a [Stall] of 20–120 ms (long enough to
+    blow a test deadline). *)
+
 val flip_bits : seed:int -> flips:int -> ?from:int -> string -> string
 (** [flips] seeded bit flips in [s], at byte offsets [>= from]
     (default 0).  Used both by [Corrupt] injections and directly by
@@ -74,6 +96,15 @@ val io_of_plan : ?base:Mps_core.Persist.io -> plan -> Mps_core.Persist.io * (uni
     {!Mps_core.Persist.default_io}) except where the plan injects a
     fault; each injection fires at most once.  The second component
     counts injections fired so far. *)
+
+val transport_of_plan :
+  ?base:Mps_serve.Transport.t -> plan -> Mps_serve.Transport.t * (unit -> int)
+(** A socket transport that behaves like [base] (default
+    {!Mps_serve.Transport.default}) except where the plan injects a
+    [Net_*] fault; each injection fires at most once.  Unlike
+    {!io_of_plan} the bookkeeping is thread-safe — one transport is
+    shared by the daemon's accept loop and every connection handler.
+    The second component counts injections fired so far. *)
 
 val with_plan :
   ?base:Mps_core.Persist.io -> plan -> (unit -> 'a) -> ('a, exn) result * int

@@ -10,6 +10,8 @@ let make ~w ~h =
   validate w h;
   { w = Array.copy w; h = Array.copy h }
 
+let unsafe_of_arrays ~w ~h = { w; h }
+
 let of_pairs pairs =
   let w = Array.map fst pairs and h = Array.map snd pairs in
   validate w h;

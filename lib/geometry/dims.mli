@@ -10,6 +10,13 @@ val make : w:int array -> h:int array -> t
 (** @raise Invalid_argument when the arrays differ in length or any
     entry is not positive. *)
 
+val unsafe_of_arrays : w:int array -> h:int array -> t
+(** Wrap the arrays without copying or validating.  The caller owns the
+    invariants ({!make}'s equal lengths and positive entries) and must
+    not mutate the arrays while the value is live.  Exists for
+    serving-rate decode loops that reuse one scratch pair per
+    connection; everywhere else, use {!make}. *)
+
 val of_pairs : (int * int) array -> t
 (** [of_pairs [| (w0, h0); ... |]]. *)
 

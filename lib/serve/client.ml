@@ -1,0 +1,317 @@
+open Mps_geometry
+
+type error =
+  | Refused of Wire.status * string
+  | Timed_out
+  | Disconnected of string
+
+let error_to_string = function
+  | Refused (status, msg) ->
+    Printf.sprintf "server refused: %s (%s)" (Wire.status_to_string status) msg
+  | Timed_out -> "client-side deadline expired"
+  | Disconnected msg -> Printf.sprintf "disconnected: %s" msg
+
+let retryable = function
+  | Timed_out | Disconnected _ -> true
+  | Refused ((Wire.Err_overloaded | Wire.Err_timeout | Wire.Err_shutting_down), _) ->
+    true
+  | Refused _ -> false
+
+type meta = { epoch : int; degraded : bool }
+
+type t = {
+  addr : Server.addr;
+  transport : Transport.t;
+  max_frame_bytes : int;
+  mutable fd : Unix.file_descr option;
+  mutable next_req_id : int;
+  (* circuit name -> (handle, n_blocks); valid for the current
+     connection only *)
+  handles : (string, int * int) Hashtbl.t;
+  inbuf : Bytes.t ref;
+  outbuf : Bytes.t ref;
+}
+
+let connect ?(transport = Transport.default) ?(max_frame_bytes = Wire.max_frame_default)
+    addr =
+  (* A daemon that dies mid-request must surface as EPIPE (mapped to
+     [Disconnected]), never kill the client process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  {
+    addr;
+    transport;
+    max_frame_bytes;
+    fd = None;
+    next_req_id = 1;
+    handles = Hashtbl.create 4;
+    inbuf = ref (Bytes.create 4096);
+    outbuf = ref (Bytes.create 4096);
+  }
+
+let poison t =
+  (match t.fd with
+  | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
+  t.fd <- None;
+  Hashtbl.reset t.handles
+
+let close = poison
+
+let sockaddr_of = function
+  | Server.Unix_path path -> Unix.ADDR_UNIX path
+  | Server.Tcp (host, port) ->
+    let inet =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found | Invalid_argument _ ->
+          raise (Unix.Unix_error (Unix.EINVAL, "gethostbyname", host)))
+    in
+    Unix.ADDR_INET (inet, port)
+
+let ensure_connected t =
+  match t.fd with
+  | Some fd -> Ok fd
+  | None -> (
+    match
+      let fd =
+        Unix.socket ~cloexec:true
+          (match t.addr with Server.Unix_path _ -> Unix.PF_UNIX | _ -> Unix.PF_INET)
+          Unix.SOCK_STREAM 0
+      in
+      (try
+         Unix.connect fd (sockaddr_of t.addr);
+         try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ()
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e);
+      fd
+    with
+    | fd ->
+      t.fd <- Some fd;
+      Ok fd
+    | exception Unix.Unix_error (err, fn, _) ->
+      Error (Disconnected (Printf.sprintf "connect: %s: %s" fn (Unix.error_message err)))
+    )
+
+let prefix = Wire.frame_prefix_bytes
+let req_header = Wire.request_header_bytes
+let rep_header = Wire.reply_header_bytes
+
+(* One request/reply exchange.  [build] writes the request body at
+   [prefix + req_header] into [t.outbuf] and returns the payload
+   length; [parse] reads the reply body out of [t.inbuf].  Any
+   transport failure or protocol desync poisons the connection. *)
+let roundtrip ?budget t ~opcode ~build ~parse =
+  match ensure_connected t with
+  | Error _ as e -> e
+  | Ok fd -> (
+    let deadline = Option.map (fun b -> Unix.gettimeofday () +. b) budget in
+    let deadline_us =
+      match budget with
+      | None -> 0
+      | Some b -> max 1 (int_of_float (b *. 1e6)) land 0xffffffff
+    in
+    let req_id = t.next_req_id in
+    t.next_req_id <- (if req_id >= 0xffffffff then 1 else req_id + 1);
+    let recv_and_parse deadline =
+      match
+        Wire.recv_frame t.transport ?deadline ~max_bytes:t.max_frame_bytes
+          ~buf:t.inbuf fd
+      with
+      | exception Wire.Timed_out ->
+        poison t;
+        Error Timed_out
+      | exception Wire.Closed ->
+        poison t;
+        Error (Disconnected "connection closed by server")
+      | exception Wire.Truncated msg ->
+        poison t;
+        Error (Disconnected msg)
+      | exception Wire.Too_large n ->
+        poison t;
+        Error (Disconnected (Printf.sprintf "oversized reply frame (%d bytes)" n))
+      | exception Unix.Unix_error (err, fn, _) ->
+        poison t;
+        Error (Disconnected (Printf.sprintf "%s: %s" fn (Unix.error_message err)))
+      | len -> (
+        let b = !(t.inbuf) in
+        match
+          let status_i = Wire.get_u8 b ~len 0 in
+          let rep_id = Wire.get_u32 b ~len 1 in
+          let epoch = Wire.get_u32 b ~len 5 in
+          (Wire.status_of_int status_i, rep_id, epoch)
+        with
+        | exception Wire.Truncated msg ->
+          poison t;
+          Error (Disconnected ("short reply header: " ^ msg))
+        | None, _, _ ->
+          poison t;
+          Error (Disconnected "unknown reply status")
+        | Some status, rep_id, epoch ->
+          (* a shed / shutting-down farewell is stamped request id 0 —
+             it answers whatever we were waiting for *)
+          if rep_id <> req_id && rep_id <> 0 then begin
+            poison t;
+            Error
+              (Disconnected
+                 (Printf.sprintf "reply for request %d while waiting on %d" rep_id
+                    req_id))
+          end
+          else
+            match status with
+            | Wire.Ok | Wire.Ok_degraded -> (
+              let meta = { epoch; degraded = status = Wire.Ok_degraded } in
+              match parse b ~len meta with
+              | v -> Ok v
+              | exception Wire.Truncated msg ->
+                poison t;
+                Error (Disconnected ("malformed reply body: " ^ msg)))
+            | err_status ->
+              let msg =
+                match Wire.get_string16 b ~len rep_header with
+                | s, _ -> s
+                | exception Wire.Truncated _ -> ""
+              in
+              Error (Refused (err_status, msg)))
+    in
+    match
+      let payload_len = req_header + build t.outbuf in
+      let b = !(t.outbuf) in
+      Wire.set_u8 b prefix (Wire.opcode_to_int opcode);
+      Wire.set_u32 b (prefix + 1) req_id;
+      Wire.set_u32 b (prefix + 5) deadline_us;
+      Wire.send_frame t.transport fd b ~payload_len
+    with
+    | () -> recv_and_parse deadline
+    | exception Unix.Unix_error (((Unix.EPIPE | Unix.ECONNRESET) as err), fn, _) ->
+      (* The daemon writes its shed / shutting-down farewell before it
+         closes, and those bytes survive in the socket buffer even
+         when our own send broke mid-way.  Salvage the farewell so the
+         caller learns the real reason; only a refusal is trustworthy
+         here — anything else reports the send failure. *)
+      let salvage = Unix.gettimeofday () +. 0.2 in
+      let salvage = match deadline with Some d -> Float.min d salvage | None -> salvage in
+      let result = recv_and_parse (Some salvage) in
+      poison t;
+      (match result with
+      | Error (Refused _) as refused -> refused
+      | _ -> Error (Disconnected (Printf.sprintf "%s: %s" fn (Unix.error_message err))))
+    | exception Unix.Unix_error (err, fn, _) ->
+      poison t;
+      Error (Disconnected (Printf.sprintf "%s: %s" fn (Unix.error_message err))))
+
+let ping ?budget t =
+  roundtrip ?budget t ~opcode:Wire.Ping
+    ~build:(fun _ -> 0)
+    ~parse:(fun _ ~len:_ meta -> meta)
+
+(* Open (or look up) this connection's handle for a circuit. *)
+let handle_for ?budget t circuit =
+  match Hashtbl.find_opt t.handles circuit with
+  | Some hb -> Ok hb
+  | None -> (
+    match
+      roundtrip ?budget t ~opcode:Wire.Open_circuit
+        ~build:(fun outbuf ->
+          Wire.put_string16 outbuf (prefix + req_header) circuit - (prefix + req_header))
+        ~parse:(fun b ~len _meta ->
+          let handle = Wire.get_u16 b ~len rep_header in
+          let n_blocks = Wire.get_u16 b ~len (rep_header + 3) in
+          (handle, n_blocks))
+    with
+    | Ok hb ->
+      Hashtbl.replace t.handles circuit hb;
+      Ok hb
+    | Error _ as e -> e)
+
+(* Dims are u16 on the wire; anything outside that range cannot be a
+   designer dimension and is the caller's bug, not a transport
+   problem. *)
+let put_dim b off v =
+  if v < 1 || v > 0xffff then
+    invalid_arg (Printf.sprintf "Client: dimension %d outside the u16 wire range" v);
+  Bytes.set_uint16_le b off v
+
+let put_batch_request outbuf ~handle ~n dims =
+  let count = Array.length dims in
+  let body = 6 + (count * 4 * n) in
+  Wire.ensure outbuf (prefix + req_header + body);
+  let b = !outbuf in
+  let base = prefix + req_header in
+  Wire.set_u16 b base handle;
+  Wire.set_u32 b (base + 2) count;
+  Array.iteri
+    (fun i d ->
+      let off = base + 6 + (i * 4 * n) in
+      for j = 0 to n - 1 do
+        put_dim b (off + (j * 4)) (Dims.width d j);
+        put_dim b (off + (j * 4) + 2) (Dims.height d j)
+      done)
+    dims;
+  body
+
+let check_count b ~len expected =
+  let count = Wire.get_u32 b ~len rep_header in
+  if count <> expected then
+    raise
+      (Wire.Truncated (Printf.sprintf "%d results for %d queries" count expected));
+  ()
+
+let query_ids ?budget t ~circuit dims =
+  match handle_for ?budget t circuit with
+  | Error _ as e -> e
+  | Ok (handle, n) ->
+    roundtrip ?budget t ~opcode:Wire.Query_batch
+      ~build:(fun outbuf -> put_batch_request outbuf ~handle ~n dims)
+      ~parse:(fun b ~len meta ->
+        check_count b ~len (Array.length dims);
+        let base = rep_header + 4 in
+        (Array.init (Array.length dims) (fun i -> Wire.get_i32 b ~len (base + (i * 4))),
+         meta))
+
+let instantiate ?budget t ~circuit dims =
+  match handle_for ?budget t circuit with
+  | Error _ as e -> e
+  | Ok (handle, n) ->
+    roundtrip ?budget t ~opcode:Wire.Instantiate_batch
+      ~build:(fun outbuf -> put_batch_request outbuf ~handle ~n dims)
+      ~parse:(fun b ~len meta ->
+        check_count b ~len (Array.length dims);
+        let base = rep_header + 4 in
+        let item = 16 * n in
+        (Array.init (Array.length dims) (fun i ->
+             Array.init n (fun j ->
+                 let off = base + (i * item) + (j * 16) in
+                 Rect.make
+                   ~x:(Wire.get_i32 b ~len off)
+                   ~y:(Wire.get_i32 b ~len (off + 4))
+                   ~w:(Wire.get_i32 b ~len (off + 8))
+                   ~h:(Wire.get_i32 b ~len (off + 12)))),
+         meta))
+
+let reload ?budget t ~circuit =
+  roundtrip ?budget t ~opcode:Wire.Reload
+    ~build:(fun outbuf ->
+      Wire.put_string16 outbuf (prefix + req_header) circuit - (prefix + req_header))
+    ~parse:(fun _ ~len:_ meta -> meta)
+
+let server_stats ?budget t =
+  roundtrip ?budget t ~opcode:Wire.Stats
+    ~build:(fun _ -> 0)
+    ~parse:(fun b ~len meta ->
+      let text, _ = Wire.get_string16 b ~len rep_header in
+      (text, meta))
+
+let with_retry ?(attempts = 6) ?(base_delay = 0.01) ?(max_delay = 1.0) ~rng f =
+  let rec go attempt =
+    match f () with
+    | Ok _ as ok -> ok
+    | Error e when attempt + 1 < attempts && retryable e ->
+      let cap = min max_delay (base_delay *. (2.0 ** float_of_int attempt)) in
+      (* jitter into [cap/2, cap): synchronized clients desynchronize *)
+      Thread.delay (cap *. Mps_rng.Rng.float_in rng 0.5 1.0);
+      go (attempt + 1)
+    | Error _ as e -> e
+  in
+  go 0

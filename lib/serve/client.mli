@@ -1,0 +1,91 @@
+(** Client for the mpsd wire protocol, with deadline-aware retry.
+
+    A client owns one connection (lazily opened, transparently
+    re-opened after a failure) plus the per-connection circuit handles
+    the server hands out.  Any transport-level failure — EOF, a torn
+    frame, a reply for the wrong request — {e poisons} the connection:
+    it is closed and the handle table dropped, so the next call starts
+    from a clean connect + re-open.  That makes every operation safe
+    to retry, which {!with_retry} does with exponential backoff and
+    deterministic jitter.
+
+    Deadline semantics: [?budget] (seconds) bounds one attempt
+    end-to-end on the client side {e and} travels to the server as the
+    request's microsecond budget, so both sides give up around the
+    same time — the server with a typed [Err_timeout] reply, the
+    client by poisoning the connection and reporting {!Timed_out}
+    (whichever happens first). *)
+
+open Mps_geometry
+
+type t
+
+(** Why a call failed.  [Refused] carries a typed server reply —
+    the request was received and answered, just not with data.
+    [Timed_out] and [Disconnected] are client-side: the attempt died
+    somewhere in the transport and the connection was poisoned. *)
+type error =
+  | Refused of Wire.status * string
+  | Timed_out
+  | Disconnected of string
+
+val error_to_string : error -> string
+
+val retryable : error -> bool
+(** Worth retrying: [Timed_out], [Disconnected], and refusals that are
+    about the moment rather than the request ([Err_overloaded],
+    [Err_timeout], [Err_shutting_down]).  [Err_bad_request],
+    [Err_unknown_circuit] and [Err_store] will fail the same way again
+    and are not retryable. *)
+
+(** Reply metadata: the answering entry's generation epoch and whether
+    the entry was degraded (backup-template answers). *)
+type meta = { epoch : int; degraded : bool }
+
+val connect :
+  ?transport:Transport.t -> ?max_frame_bytes:int -> Server.addr -> t
+(** Create a client for the address.  No I/O happens until the first
+    call (so this never fails); [max_frame_bytes] caps reply frames
+    (default {!Wire.max_frame_default}). *)
+
+val close : t -> unit
+(** Close the underlying connection (idempotent; the client may still
+    be used afterwards — the next call reconnects). *)
+
+val ping : ?budget:float -> t -> (meta, error) result
+
+val query_ids :
+  ?budget:float -> t -> circuit:string -> Dims.t array -> (int array * meta, error) result
+(** Placement ids for a batch of dimension vectors ([>= 0] stored
+    index, [-1] fallback-to-backup, [-2] out-of-domain), opening the
+    circuit on this connection first when needed.  All vectors must
+    have the circuit's block count. *)
+
+val instantiate :
+  ?budget:float ->
+  t ->
+  circuit:string ->
+  Dims.t array ->
+  (Rect.t array array * meta, error) result
+(** Instantiated floorplans (one rect per block) for a batch of
+    dimension vectors. *)
+
+val reload : ?budget:float -> t -> circuit:string -> (meta, error) result
+(** Ask the server to reload the circuit from disk (epoch bump). *)
+
+val server_stats : ?budget:float -> t -> (string * meta, error) result
+(** The server's human-readable stats/store report. *)
+
+val with_retry :
+  ?attempts:int ->
+  ?base_delay:float ->
+  ?max_delay:float ->
+  rng:Mps_rng.Rng.t ->
+  (unit -> ('a, error) result) ->
+  ('a, error) result
+(** Run [f], retrying {!retryable} errors up to [attempts] times
+    (default 6) with exponential backoff from [base_delay] (default
+    10 ms) capped at [max_delay] (default 1 s), each delay jittered to
+    [50..100]% by draws from [rng] so synchronized clients do not
+    stampede a recovering server.  Returns the first success or the
+    last error. *)

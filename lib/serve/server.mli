@@ -1,0 +1,104 @@
+(** mpsd: the multi-placement-structure serving daemon.
+
+    One accept loop, one lightweight thread per connection, one
+    {!Store.t} of compiled engines behind them.  The design goal is
+    that no single client — slow, malicious, or unlucky — can take the
+    daemon or its other clients down:
+
+    - {b Deadlines.}  Every request may carry a microsecond budget;
+      the server stamps it on receipt and re-checks it between batch
+      chunks, replying [Err_timeout] instead of returning a stale
+      answer late.
+    - {b Load shedding.}  Admission is bounded twice: beyond
+      [max_connections] a fresh connection is told [Err_overloaded]
+      and closed instead of queueing, and beyond [max_inflight]
+      concurrently-served requests each extra request is shed with
+      [Err_overloaded] instead of growing an unbounded queue.
+    - {b Crash isolation.}  A connection handler that dies — protocol
+      garbage, an injected transport fault, an engine invariant — is
+      counted, its socket closed, and the daemon carries on.  Accept
+      failures back off and retry; they never tear the loop down.
+    - {b Graceful drain.}  {!stop} (wired to SIGTERM by
+      {!install_sigterm}) stops accepting, lets in-flight requests
+      finish and answers anything arriving during the drain with
+      [Err_shutting_down]; {!run} returns once the last connection is
+      gone (or [drain_timeout] forces it).
+    - {b Degradation.}  Store entries with audit findings serve from
+      the backup template and every reply from a degraded entry is
+      flagged, so a client is never silently handed a wrong answer.
+
+    The transport is injectable ({!Transport.t}), which is how the
+    chaos suite drives short reads, stalls, mid-request disconnects
+    and accept failures through the full stack deterministically. *)
+
+type addr =
+  | Unix_path of string
+  | Tcp of string * int  (** host, port; port [0] picks a free port. *)
+
+type config = {
+  max_connections : int;  (** Accepted connections beyond this are shed. *)
+  max_inflight : int;  (** Concurrently served requests beyond this are shed. *)
+  max_batch : int;  (** Queries per batch request. *)
+  max_frame_bytes : int;  (** Hard cap on any frame payload. *)
+  idle_timeout : float;
+      (** Seconds a connection may sit silent (or dribble a partial
+          frame) before it is dropped. *)
+  drain_timeout : float;  (** Seconds {!stop} waits before forcing. *)
+  accept_retry_delay : float;  (** Back-off after a failed [accept]. *)
+}
+
+val default_config : config
+(** 64 connections, 32 in-flight, 65536-query batches, 32 MiB frames,
+    30 s idle, 10 s drain, 50 ms accept back-off. *)
+
+(** Monotonic counters, readable at any time. *)
+type stats = {
+  accepted : int;
+  shed_connections : int;
+  requests_served : int;  (** Replies with status [Ok] / [Ok_degraded]. *)
+  queries_served : int;  (** Individual queries inside served batches. *)
+  degraded_served : int;  (** Requests answered [Ok_degraded]. *)
+  timeouts : int;
+  overloaded : int;
+  bad_requests : int;
+  store_errors : int;
+  connection_crashes : int;
+  accept_failures : int;
+}
+
+type t
+
+val create : ?config:config -> ?transport:Transport.t -> store:Store.t -> addr -> t
+(** Bind and listen immediately (so a caller may connect before
+    {!run} is entered), but accept nothing until {!run}.  Sets the
+    process's SIGPIPE disposition to ignore — the daemon cannot
+    operate under the default (a vanished peer would kill it on the
+    next reply write).
+    @raise Unix.Unix_error when the address cannot be bound. *)
+
+val bound_addr : t -> addr
+(** The address actually bound — [Tcp] with the resolved port when
+    port [0] was requested. *)
+
+val store : t -> Store.t
+val stats : t -> stats
+
+val run : t -> unit
+(** Serve until {!stop} or {!abort}, then drain and release every
+    socket.  Never raises: all per-connection failures are contained
+    and counted. *)
+
+val start : t -> Thread.t
+(** {!run} on a background thread (tests, benches). *)
+
+val stop : t -> unit
+(** Begin a graceful drain.  Safe from any thread and from a signal
+    handler; idempotent. *)
+
+val abort : t -> unit
+(** Simulated [kill -9]: hard-close the listener and every connection
+    with no drain and no farewell replies.  What a real crash looks
+    like to clients — the chaos suite's crash scenarios use it. *)
+
+val install_sigterm : t -> unit
+(** Route SIGTERM (and SIGINT) to {!stop} for clean drain-on-SIGTERM. *)

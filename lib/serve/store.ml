@@ -1,0 +1,232 @@
+open Mps_netlist
+open Mps_core
+
+type error =
+  | Unknown_circuit of string
+  | Unreadable of { path : string; reason : string }
+  | Corrupt of { path : string; reason : string }
+
+let error_to_string = function
+  | Unknown_circuit name -> Printf.sprintf "unknown circuit %S" name
+  | Unreadable { path; reason } -> Printf.sprintf "%s: unreadable: %s" path reason
+  | Corrupt { path; reason } -> Printf.sprintf "%s: corrupt: %s" path reason
+
+type entry = {
+  name : string;
+  path : string;
+  circuit : Circuit.t;
+  structure : Structure.t;
+  engine : Structure.Engine.t;
+  epoch : int;
+  degraded : bool;
+  backup_only : bool;
+  findings : int;
+  salvaged : bool;
+  mtime : float;
+}
+
+(* A slot is [Loading] while some thread builds the entry outside the
+   lock; everyone else waits on [cond] instead of loading twice. *)
+type slot =
+  | Ready of entry * (* last-used stamp *) int ref
+  | Loading
+
+type t = {
+  dir : string;
+  capacity : int;
+  audit_samples : int;
+  audit_query_samples : int;
+  audit_seed : int;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  slots : (string, slot) Hashtbl.t;
+  epochs : (string, int) Hashtbl.t;  (* survives eviction *)
+  clock : int ref;  (* LRU stamp source *)
+}
+
+let create ?(capacity = 8) ?(audit_samples = 4) ?(audit_query_samples = 32)
+    ?(audit_seed = 7) ~dir () =
+  if capacity < 1 then invalid_arg "Store.create: capacity < 1";
+  {
+    dir;
+    capacity;
+    audit_samples;
+    audit_query_samples;
+    audit_seed;
+    mutex = Mutex.create ();
+    cond = Condition.create ();
+    slots = Hashtbl.create 16;
+    epochs = Hashtbl.create 16;
+    clock = ref 0;
+  }
+
+let dir t = t.dir
+
+let sanitize name = String.map (function ' ' -> '_' | c -> c) name
+
+let path_for t name = Filename.concat t.dir (sanitize name ^ ".mps")
+
+(* Build an entry from disk: strict load, audit, degradation policy.
+   Runs outside the store lock — may take a while on big structures. *)
+let build t name =
+  match Benchmarks.by_name name with
+  | exception Not_found -> Error (Unknown_circuit name)
+  | circuit -> (
+    let path = path_for t name in
+    match Unix.stat path with
+    | exception Unix.Unix_error (err, _, _) ->
+      Error (Unreadable { path; reason = Unix.error_message err })
+    | st -> (
+      let mtime = st.Unix.st_mtime in
+      let audit structure =
+        Audit.run ~samples_per_box:t.audit_samples
+          ~query_samples:t.audit_query_samples ~seed:t.audit_seed structure
+      in
+      let entry ~structure ~salvaged ~territory_lost ~report =
+        let clean = Audit.clean report in
+        let findings = List.length report.Audit.findings in
+        Ok
+          {
+            name;
+            path;
+            circuit;
+            structure;
+            engine = Structure.Engine.create structure;
+            epoch = 0 (* stamped under the lock *);
+            degraded = (not clean) || salvaged || territory_lost;
+            backup_only = not clean;
+            findings;
+            salvaged;
+            mtime;
+          }
+      in
+      match Codec.load ~circuit ~path with
+      | structure ->
+        entry ~structure ~salvaged:false ~territory_lost:false ~report:(audit structure)
+      | exception Codec.Error (Codec.Io_error reason) ->
+        Error (Unreadable { path; reason })
+      | exception Codec.Error (Codec.Circuit_mismatch reason) ->
+        Error (Corrupt { path; reason })
+      | exception Codec.Error (Codec.Corrupt _) -> (
+        (* Damaged file: salvage what is intact (the salvage pass
+           audits and repairs internally) and re-audit the result. *)
+        match Codec.load_salvage ~circuit ~path with
+        | Ok sv ->
+          entry ~structure:sv.Codec.structure ~salvaged:true
+            ~territory_lost:(sv.Codec.dropped > 0 || sv.Codec.quarantined > 0)
+            ~report:sv.Codec.audit
+        | Error e -> Error (Corrupt { path; reason = Codec.error_to_string e })
+        | exception Sys_error reason -> Error (Unreadable { path; reason }))))
+
+let touch t stamp =
+  incr t.clock;
+  stamp := !(t.clock)
+
+let evict_beyond_capacity t =
+  let ready = ref [] in
+  Hashtbl.iter
+    (fun name -> function Ready (_, stamp) -> ready := (name, !stamp) :: !ready
+      | Loading -> ())
+    t.slots;
+  let excess = List.length !ready - t.capacity in
+  if excess > 0 then
+    List.sort (fun (_, a) (_, b) -> compare a b) !ready
+    |> List.filteri (fun i _ -> i < excess)
+    |> List.iter (fun (name, _) -> Hashtbl.remove t.slots name)
+
+(* Publish a finished load (or clear the Loading marker on failure)
+   and wake the waiters. *)
+let publish t name result =
+  Mutex.lock t.mutex;
+  let result =
+    match result with
+    | Ok entry ->
+      let epoch = 1 + (try Hashtbl.find t.epochs name with Not_found -> 0) in
+      Hashtbl.replace t.epochs name epoch;
+      let entry = { entry with epoch } in
+      let stamp = ref 0 in
+      touch t stamp;
+      Hashtbl.replace t.slots name (Ready (entry, stamp));
+      evict_beyond_capacity t;
+      Ok entry
+    | Error _ ->
+      Hashtbl.remove t.slots name;
+      result
+  in
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex;
+  result
+
+(* Never leave a [Loading] marker behind: an unexpected exception out
+   of the load path becomes a typed [Corrupt] error (the server maps it
+   to an [Err_store] reply) instead of wedging every waiter. *)
+let load_and_publish t name =
+  let result =
+    try build t name
+    with e ->
+      Error
+        (Corrupt
+           { path = path_for t name; reason = "load exception: " ^ Printexc.to_string e })
+  in
+  publish t name result
+
+let rec get_with ~force t name =
+  Mutex.lock t.mutex;
+  match Hashtbl.find_opt t.slots name with
+  | Some Loading ->
+    (* someone else is loading this circuit: wait for the publish *)
+    Condition.wait t.cond t.mutex;
+    Mutex.unlock t.mutex;
+    get_with ~force t name
+  | Some (Ready (entry, stamp)) ->
+    let stale =
+      force
+      ||
+      match Unix.stat entry.path with
+      | st -> st.Unix.st_mtime <> entry.mtime
+      | exception Unix.Unix_error _ -> true
+      (* file vanished: reload to surface the typed error *)
+    in
+    if not stale then begin
+      touch t stamp;
+      Mutex.unlock t.mutex;
+      Ok entry
+    end
+    else begin
+      Hashtbl.replace t.slots name Loading;
+      Mutex.unlock t.mutex;
+      load_and_publish t name
+    end
+  | None ->
+    Hashtbl.replace t.slots name Loading;
+    Mutex.unlock t.mutex;
+    load_and_publish t name
+
+let get t name = get_with ~force:false t name
+let reload t name = get_with ~force:true t name
+
+let loaded t =
+  Mutex.lock t.mutex;
+  let entries = ref [] in
+  Hashtbl.iter
+    (fun _ -> function Ready (e, stamp) -> entries := (e, !stamp) :: !entries
+      | Loading -> ())
+    t.slots;
+  Mutex.unlock t.mutex;
+  List.sort (fun (_, a) (_, b) -> compare b a) !entries |> List.map fst
+
+let describe t =
+  let lines =
+    loaded t
+    |> List.map (fun e ->
+           Printf.sprintf "%s: epoch %d, %s%s%d findings, %d placements" e.name e.epoch
+             (if e.backup_only then "backup-only, "
+              else if e.degraded then "degraded, "
+              else "serving, ")
+             (if e.salvaged then "salvaged, " else "")
+             e.findings
+             (Structure.n_placements e.structure))
+  in
+  match lines with
+  | [] -> Printf.sprintf "store %s: no circuits loaded\n" t.dir
+  | ls -> String.concat "\n" ls ^ "\n"

@@ -1,0 +1,97 @@
+(** The daemon's structure store: many compiled engines, one per
+    circuit, loaded from a directory of [*.mps] files.
+
+    Each entry pairs a {!Mps_core.Structure.Engine.t} with a
+    {e generation epoch}: every (re)load of a circuit bumps its epoch,
+    and replies stamp the epoch they were served from, so a client can
+    tell when a [repair] run has been picked up.  Reloads are
+    {e hot} — the store publishes the new entry while requests already
+    holding the old one finish on it (entries are immutable; the old
+    engine stays alive exactly as long as someone references it).
+
+    Degradation policy (never silently wrong):
+    - a file that loads strictly and audits clean serves normally;
+    - audit findings on an intact file demote the entry to
+      {e backup-only}: every query is answered by the backup template
+      ({!Mps_core.Structure.Fallback} semantics) and flagged degraded;
+    - a corrupt file is salvaged ({!Mps_core.Codec.load_salvage});
+      if the post-repair audit is clean the salvaged engine serves,
+      still flagged degraded (territory was lost), otherwise
+      backup-only;
+    - a file that is unreadable or beyond salvage yields a typed
+      {!error}, which the server maps to an [Err_store] reply.
+
+    Entries are evicted least-recently-used beyond [capacity]; epochs
+    survive eviction so a later reload of the same circuit continues
+    the sequence.  All operations are thread-safe; a slow load happens
+    outside the store lock, with concurrent requests for the same
+    circuit waiting on it rather than loading twice. *)
+
+open Mps_netlist
+open Mps_core
+
+type error =
+  | Unknown_circuit of string
+      (** Not a Table 1 circuit name — nothing to validate against. *)
+  | Unreadable of { path : string; reason : string }
+      (** Missing or unreadable file ([mpsgen verify] exit 2). *)
+  | Corrupt of { path : string; reason : string }
+      (** Malformed beyond salvage, or for another circuit
+          ([mpsgen verify] exit 1). *)
+
+val error_to_string : error -> string
+
+(** An immutable snapshot of one loaded circuit.  Requests resolve an
+    entry once and use it for their whole lifetime, even if a reload
+    publishes a newer epoch meanwhile. *)
+type entry = {
+  name : string;  (** Circuit name (store key). *)
+  path : string;  (** File the entry was loaded from. *)
+  circuit : Circuit.t;
+  structure : Structure.t;
+  engine : Structure.Engine.t;
+  epoch : int;  (** Monotonic per circuit, starting at 1. *)
+  degraded : bool;  (** Replies from this entry carry the degraded flag. *)
+  backup_only : bool;
+      (** Audit findings: answer every query from the backup template. *)
+  findings : int;  (** Audit finding count behind the demotion. *)
+  salvaged : bool;  (** The file needed {!Codec.load_salvage}. *)
+  mtime : float;  (** File mtime at load, for hot-reload detection. *)
+}
+
+type t
+
+val create :
+  ?capacity:int ->
+  ?audit_samples:int ->
+  ?audit_query_samples:int ->
+  ?audit_seed:int ->
+  dir:string ->
+  unit ->
+  t
+(** [capacity] (default 8) live engines before LRU eviction;
+    [audit_samples] (default 4) / [audit_query_samples] (default 32) /
+    [audit_seed] (default 7) parameterize the load-time audit. *)
+
+val dir : t -> string
+
+val path_for : t -> string -> string
+(** Where a circuit's structure file lives: [dir/<name>.mps] with
+    spaces mapped to underscores (the layout [mpsgen generate -o]
+    should target). *)
+
+val get : t -> string -> (entry, error) result
+(** The current entry for a circuit, loading (and auditing) it on
+    first use and hot-reloading when the file's mtime changed since
+    the entry was built. *)
+
+val reload : t -> string -> (entry, error) result
+(** Force a fresh load and epoch bump, regardless of mtime (the
+    [reload] wire request). *)
+
+val loaded : t -> entry list
+(** Live entries, most recently used first. *)
+
+val describe : t -> string
+(** One line per live entry (epoch, mode, findings) for the [stats]
+    reply and logs. *)

@@ -1,0 +1,12 @@
+type t = {
+  recv : Unix.file_descr -> Bytes.t -> int -> int -> int;
+  send : Unix.file_descr -> Bytes.t -> int -> int -> int;
+  accept : Unix.file_descr -> Unix.file_descr * Unix.sockaddr;
+}
+
+let default =
+  {
+    recv = Unix.read;
+    send = Unix.write;
+    accept = (fun fd -> Unix.accept ~cloexec:true fd);
+  }

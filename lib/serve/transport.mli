@@ -1,0 +1,30 @@
+(** The injectable socket layer under the serving daemon.
+
+    Every byte the daemon moves goes through one of these three
+    primitives, mirroring {!Mps_core.Persist.io} on the persistence
+    side: the production record ({!default}) is a thin veneer over
+    [Unix], and the chaos harness ({!Mps_fault.Fault.transport_of_plan})
+    wraps any base record to deterministically shorten, stall or sever
+    a single call — which is how the network-fault scenarios drive the
+    daemon end-to-end without a flaky network in the loop.
+
+    [recv]/[send] have [Unix.read]/[Unix.write]-style contracts: they
+    may move fewer bytes than asked (framing must loop), return [0] on
+    a peer gone away ([recv]), and raise [Unix.Unix_error] on failure.
+    Unlike {!Mps_core.Persist.io} there is no global instance: a
+    transport is passed explicitly to each server and client, so one
+    endpoint can run faulted while its peer runs clean. *)
+
+type t = {
+  recv : Unix.file_descr -> Bytes.t -> int -> int -> int;
+      (** [recv fd buf off len] reads at most [len] bytes into [buf] at
+          [off]; [0] means the peer closed the connection. *)
+  send : Unix.file_descr -> Bytes.t -> int -> int -> int;
+      (** [send fd buf off len] writes at most [len] bytes; callers
+          loop on short writes. *)
+  accept : Unix.file_descr -> Unix.file_descr * Unix.sockaddr;
+}
+
+val default : t
+(** The real socket layer ([Unix.read]/[Unix.write]/[Unix.accept],
+    with [accept] marking the connection close-on-exec). *)

@@ -27,6 +27,8 @@ let () =
       ("codec", Test_codec.suite);
       ("audit", Test_audit.suite);
       ("fault", Test_fault.suite);
+      ("persist", Test_persist.suite);
+      ("serve", Test_serve.suite);
       ("checkpoint", Test_checkpoint.suite);
       ("parallel", Test_parallel.suite);
       ("experiments", Test_experiments.suite);

@@ -1,0 +1,68 @@
+(* Persistence-layer contracts that sit below the codec: atomic_write
+   under concurrent writers (the daemon's stats, the bench reports and
+   a repair run may all write at once). *)
+
+open Mps_core
+
+let check_bool = Alcotest.(check bool)
+
+let with_tmp_dir f =
+  let dir = Filename.temp_file "mps_persist" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () -> f dir)
+
+(* Four domains hammer the same destination.  Whatever interleaving
+   the scheduler picks, the destination must always hold one writer's
+   complete document (temp names are unique per writer, so no writer
+   can tear another's staging file), and no temp litter survives. *)
+let concurrent_writers () =
+  with_tmp_dir (fun dir ->
+      let path = Filename.concat dir "doc.txt" in
+      let contents =
+        Array.init 4 (fun i -> String.make 8192 (Char.chr (Char.code 'a' + i)))
+      in
+      let domains =
+        Array.map
+          (fun c ->
+            Domain.spawn (fun () ->
+                for _ = 1 to 25 do
+                  Persist.atomic_write ~path c
+                done))
+          contents
+      in
+      Array.iter Domain.join domains;
+      let final = Persist.read_file ~path in
+      check_bool "destination is one writer's complete document" true
+        (Array.exists (fun c -> c = final) contents);
+      let litter =
+        Sys.readdir dir |> Array.to_list |> List.filter (fun f -> f <> "doc.txt")
+      in
+      check_bool
+        (Printf.sprintf "no staging litter (%s)" (String.concat ", " litter))
+        true (litter = []))
+
+(* Repeated writes from one thread also leave no litter and always
+   land the latest content. *)
+let sequential_overwrite () =
+  with_tmp_dir (fun dir ->
+      let path = Filename.concat dir "doc.txt" in
+      for i = 1 to 10 do
+        Persist.atomic_write ~path (Printf.sprintf "generation %d\n" i)
+      done;
+      check_bool "latest write wins" true
+        (Persist.read_file ~path = "generation 10\n");
+      check_bool "no staging litter" true
+        (Sys.readdir dir = [| "doc.txt" |]))
+
+let suite =
+  [
+    Alcotest.test_case "atomic_write survives concurrent writers" `Quick
+      concurrent_writers;
+    Alcotest.test_case "sequential overwrites leave no litter" `Quick
+      sequential_overwrite;
+  ]

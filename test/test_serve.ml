@@ -1,0 +1,539 @@
+(* Contract and chaos tests for the mpsd serving stack.
+
+   Every scenario drives the real daemon — accept loop, per-connection
+   threads, store, wire protocol — over a Unix socket in a temp
+   directory, with faults injected through the pluggable transport.
+   The invariant mirrors the persistence chaos suite: a network fault
+   surfaces as a typed client error or a flagged degraded answer,
+   never as a wrong answer or an escaped exception, and a client
+   retrying with backoff converges once the fault clears. *)
+
+open Mps_geometry
+open Mps_netlist
+open Mps_core
+open Mps_serve
+open Mps_fault
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let circuit = Benchmarks.circ01
+let circuit_name = "circ01"
+
+let tiny_config =
+  {
+    Generator.fast_config with
+    Generator.explorer_iterations = 4;
+    bdio = { Bdio.default_config with Bdio.iterations = 40 };
+    max_placements = 12;
+    backup_iterations = 150;
+    refine_iterations = 0;
+  }
+
+let structure = lazy (fst (Generator.generate ~config:tiny_config circuit))
+
+(* Oracle: the same structure compiled in-process.  The codec
+   round-trip is bit-exact, so the daemon (serving from the saved
+   file) must agree with it query for query. *)
+let oracle = lazy (Structure.Engine.create (Lazy.force structure))
+
+let random_batch ~seed n =
+  let rng = Mps_rng.Rng.create ~seed in
+  let bounds = Circuit.dim_bounds circuit in
+  Array.init n (fun _ -> Dimbox.random_dims rng bounds)
+
+let expected_ids dims =
+  let engine = Lazy.force oracle in
+  let session = Structure.Engine.new_session () in
+  Array.map (Structure.Engine.query_id engine session) dims
+
+let with_tmp_dir f =
+  let dir = Filename.temp_file "mps_serve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () -> f dir)
+
+(* A daemon over a fresh store in a temp dir, stopped (gracefully) and
+   joined on the way out so no test leaks a thread or a socket. *)
+let with_server ?config ?transport ?(save = true) f =
+  with_tmp_dir (fun dir ->
+      let store = Store.create ~dir () in
+      if save then
+        Codec.save (Lazy.force structure) ~path:(Store.path_for store circuit_name);
+      let server =
+        Server.create ?config ?transport ~store
+          (Server.Unix_path (Filename.concat dir "mpsd.sock"))
+      in
+      let th = Server.start server in
+      Fun.protect
+        ~finally:(fun () ->
+          Server.stop server;
+          Thread.join th)
+        (fun () -> f server (Server.bound_addr server)))
+
+let with_client ?transport addr f =
+  let client = Client.connect ?transport addr in
+  Fun.protect ~finally:(fun () -> Client.close client) (fun () -> f client)
+
+let ok_or_fail tag = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" tag (Client.error_to_string e)
+
+(* --- Round trips ----------------------------------------------------- *)
+
+let round_trip () =
+  with_server (fun _server addr ->
+      with_client addr (fun client ->
+          let dims = random_batch ~seed:11 64 in
+          let ids, meta =
+            ok_or_fail "query" (Client.query_ids client ~circuit:circuit_name dims)
+          in
+          check_bool "not degraded" false meta.Client.degraded;
+          check_int "first epoch" 1 meta.Client.epoch;
+          let expect = expected_ids dims in
+          Array.iteri
+            (fun i id -> check_int (Printf.sprintf "query %d id" i) expect.(i) id)
+            ids;
+          let sub = Array.sub dims 0 8 in
+          let plans, _ =
+            ok_or_fail "instantiate" (Client.instantiate client ~circuit:circuit_name sub)
+          in
+          let engine = Lazy.force oracle in
+          let session = Structure.Engine.new_session () in
+          Array.iteri
+            (fun i rects ->
+              check_bool
+                (Printf.sprintf "floorplan %d overlap-free" i)
+                true
+                (Rect.any_overlap rects = None);
+              check_bool
+                (Printf.sprintf "floorplan %d matches the oracle" i)
+                true
+                (rects = Structure.Engine.instantiate engine session sub.(i)))
+            plans))
+
+let unknown_and_missing () =
+  with_server (fun _server addr ->
+      with_client addr (fun client ->
+          let dims = random_batch ~seed:3 2 in
+          (match Client.query_ids client ~circuit:"not a circuit" dims with
+          | Error (Client.Refused (Wire.Err_unknown_circuit, _)) -> ()
+          | Error e ->
+            Alcotest.failf "unknown circuit: %s" (Client.error_to_string e)
+          | Ok _ -> Alcotest.fail "unknown circuit was served");
+          (* a Table 1 circuit whose file is absent from the store *)
+          match Client.query_ids client ~circuit:"circ02" dims with
+          | Error (Client.Refused (Wire.Err_store, _)) -> ()
+          | Error e -> Alcotest.failf "missing file: %s" (Client.error_to_string e)
+          | Ok _ -> Alcotest.fail "missing file was served"))
+
+(* --- Raw frames: deadlines and malformed requests -------------------- *)
+
+let connect_raw addr =
+  match addr with
+  | Server.Unix_path path ->
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    fd
+  | Server.Tcp _ -> Alcotest.fail "raw tests use unix sockets"
+
+(* One exchange built byte by byte, bypassing the client — how a buggy
+   or adversarial peer reaches the daemon.  [build] writes the body at
+   the given offset into the buffer ref and returns its length. *)
+let raw_roundtrip fd ~opcode ~deadline_us ~build =
+  let req_header = Wire.request_header_bytes in
+  let prefix = Wire.frame_prefix_bytes in
+  let outbuf = ref (Bytes.create 1024) in
+  let body_len = build outbuf (prefix + req_header) in
+  let b = !outbuf in
+  Wire.set_u8 b prefix opcode;
+  Wire.set_u32 b (prefix + 1) 7;
+  Wire.set_u32 b (prefix + 5) deadline_us;
+  Wire.send_frame Transport.default fd b ~payload_len:(req_header + body_len);
+  let inbuf = ref (Bytes.create 1024) in
+  let len =
+    Wire.recv_frame Transport.default ~max_bytes:Wire.max_frame_default ~buf:inbuf fd
+  in
+  match Wire.status_of_int (Wire.get_u8 !inbuf ~len 0) with
+  | Some status -> (status, !inbuf, len)
+  | None -> Alcotest.fail "daemon replied with an unknown status byte"
+
+let raw_open_circuit fd =
+  let status, b, len =
+    raw_roundtrip fd ~opcode:(Wire.opcode_to_int Wire.Open_circuit) ~deadline_us:0
+      ~build:(fun buf off -> Wire.put_string16 buf off circuit_name - off)
+  in
+  check_bool "open circuit ok" true (status = Wire.Ok);
+  let handle = Wire.get_u16 b ~len Wire.reply_header_bytes in
+  let n = Wire.get_u16 b ~len (Wire.reply_header_bytes + 3) in
+  (handle, n)
+
+let build_batch ~handle ~n ~count buf off =
+  let body = 6 + (count * 4 * n) in
+  Wire.ensure buf (off + body);
+  let b = !buf in
+  Wire.set_u16 b off handle;
+  Wire.set_u32 b (off + 2) count;
+  let mins = Circuit.min_dims circuit in
+  for i = 0 to count - 1 do
+    let base = off + 6 + (i * 4 * n) in
+    for j = 0 to n - 1 do
+      Bytes.set_uint16_le b (base + (j * 4)) (Dims.width mins j);
+      Bytes.set_uint16_le b (base + (j * 4) + 2) (Dims.height mins j)
+    done
+  done;
+  body
+
+let server_side_deadline () =
+  with_server (fun server addr ->
+      let fd = connect_raw addr in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let handle, n = raw_open_circuit fd in
+          (* a one-microsecond budget on a 2048-query batch cannot be
+             met; the daemon must say so instead of answering late *)
+          let status, _, _ =
+            raw_roundtrip fd ~opcode:(Wire.opcode_to_int Wire.Query_batch)
+              ~deadline_us:1 ~build:(build_batch ~handle ~n ~count:2048)
+          in
+          check_bool "expired budget is a typed timeout" true
+            (status = Wire.Err_timeout);
+          check_bool "timeout counted" true ((Server.stats server).timeouts >= 1)))
+
+let malformed_requests () =
+  with_server (fun server addr ->
+      let fd = connect_raw addr in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let handle, n = raw_open_circuit fd in
+          (* unknown opcode *)
+          let status, _, _ =
+            raw_roundtrip fd ~opcode:99 ~deadline_us:0 ~build:(fun _ _ -> 0)
+          in
+          check_bool "unknown opcode rejected" true (status = Wire.Err_bad_request);
+          (* count does not match the payload size *)
+          let status, _, _ =
+            raw_roundtrip fd ~opcode:(Wire.opcode_to_int Wire.Query_batch)
+              ~deadline_us:0
+              ~build:(fun buf off ->
+                let body = build_batch ~handle ~n ~count:4 buf off in
+                Wire.set_u32 !buf (off + 2) 64;
+                body)
+          in
+          check_bool "mismatched count rejected" true (status = Wire.Err_bad_request);
+          (* a handle this connection never opened *)
+          let status, _, _ =
+            raw_roundtrip fd ~opcode:(Wire.opcode_to_int Wire.Query_batch)
+              ~deadline_us:0 ~build:(build_batch ~handle:999 ~n ~count:1)
+          in
+          check_bool "unknown handle rejected" true (status = Wire.Err_bad_request);
+          (* a zero dimension on the wire *)
+          let status, _, _ =
+            raw_roundtrip fd ~opcode:(Wire.opcode_to_int Wire.Query_batch)
+              ~deadline_us:0
+              ~build:(fun buf off ->
+                let body = build_batch ~handle ~n ~count:1 buf off in
+                Bytes.set_uint16_le !buf (off + 6) 0;
+                body)
+          in
+          check_bool "zero dimension rejected" true (status = Wire.Err_bad_request);
+          check_bool "bad requests counted" true
+            ((Server.stats server).bad_requests >= 4);
+          (* the connection survived all of it *)
+          let status, _, _ =
+            raw_roundtrip fd ~opcode:(Wire.opcode_to_int Wire.Query_batch)
+              ~deadline_us:0 ~build:(build_batch ~handle ~n ~count:2)
+          in
+          check_bool "connection still serves after rejects" true (status = Wire.Ok)))
+
+(* --- Load shedding ---------------------------------------------------- *)
+
+let shed_inflight () =
+  let config = { Server.default_config with Server.max_inflight = 0 } in
+  with_server ~config (fun server addr ->
+      with_client addr (fun client ->
+          let dims = random_batch ~seed:5 4 in
+          (match Client.query_ids client ~circuit:circuit_name dims with
+          | Error (Client.Refused (Wire.Err_overloaded, _) as e) ->
+            check_bool "overload is retryable" true (Client.retryable e)
+          | Error e -> Alcotest.failf "expected overload: %s" (Client.error_to_string e)
+          | Ok _ -> Alcotest.fail "request served past the admission limit");
+          check_bool "shed counted" true ((Server.stats server).overloaded >= 1)))
+
+let shed_connections () =
+  let config = { Server.default_config with Server.max_connections = 1 } in
+  with_server ~config (fun server addr ->
+      with_client addr (fun first ->
+          let _ = ok_or_fail "first client ping" (Client.ping first) in
+          with_client addr (fun second ->
+              (match Client.ping second with
+              | Error (Client.Refused (Wire.Err_overloaded, _)) -> ()
+              | Error e ->
+                Alcotest.failf "expected connection shed: %s"
+                  (Client.error_to_string e)
+              | Ok _ -> Alcotest.fail "second connection admitted past the limit");
+              check_bool "connection shed counted" true
+                ((Server.stats server).shed_connections >= 1);
+              (* the first connection is unharmed *)
+              let dims = random_batch ~seed:6 4 in
+              let ids, _ =
+                ok_or_fail "first client still served"
+                  (Client.query_ids first ~circuit:circuit_name dims)
+              in
+              check_bool "first client answers correct" true
+                (ids = expected_ids dims))))
+
+(* --- Injected transport faults --------------------------------------- *)
+
+let inj op skip action seed = { Fault.op; skip; action; seed }
+
+(* Short reads and writes are healed by the framing layer: the answer
+   still arrives and is still right. *)
+let short_io_heals () =
+  with_server (fun _server addr ->
+      let plan =
+        [
+          inj Fault.Net_send 0 (Fault.Truncate 0.3) 1;
+          inj Fault.Net_recv 1 (Fault.Truncate 0.4) 2;
+        ]
+      in
+      let transport, fired = Fault.transport_of_plan plan in
+      with_client ~transport addr (fun client ->
+          let dims = random_batch ~seed:21 32 in
+          let ids, _ =
+            ok_or_fail "query through short io"
+              (Client.query_ids client ~circuit:circuit_name dims)
+          in
+          check_bool "short io answers correct" true (ids = expected_ids dims);
+          check_int "both injections fired" 2 (fired ())))
+
+(* A stalled peer blows the client deadline: typed [Timed_out], and a
+   retry (the stall fires once) converges on the right answer. *)
+let stall_past_deadline () =
+  with_server (fun _server addr ->
+      let dims = random_batch ~seed:22 16 in
+      let transport, fired =
+        Fault.transport_of_plan [ inj Fault.Net_recv 0 (Fault.Stall 0.3) 1 ]
+      in
+      with_client ~transport addr (fun client ->
+          (match Client.query_ids ~budget:0.05 client ~circuit:circuit_name dims with
+          | Error Client.Timed_out -> ()
+          | Error e -> Alcotest.failf "expected timeout: %s" (Client.error_to_string e)
+          | Ok _ -> Alcotest.fail "stalled reply beat a 50 ms deadline");
+          check_int "stall fired" 1 (fired ()));
+      let transport, _ =
+        Fault.transport_of_plan [ inj Fault.Net_recv 0 (Fault.Stall 0.3) 1 ]
+      in
+      with_client ~transport addr (fun client ->
+          let rng = Mps_rng.Rng.create ~seed:1 in
+          let ids, _ =
+            ok_or_fail "retry after stall"
+              (Client.with_retry ~attempts:4 ~base_delay:0.005 ~rng (fun () ->
+                   Client.query_ids ~budget:0.05 client ~circuit:circuit_name dims))
+          in
+          check_bool "retry converges on the right answer" true
+            (ids = expected_ids dims)))
+
+(* The peer vanishes mid-request: typed [Disconnected], and the retry
+   reconnects and converges. *)
+let disconnect_mid_request () =
+  with_server (fun _server addr ->
+      let dims = random_batch ~seed:23 16 in
+      let transport, fired =
+        Fault.transport_of_plan [ inj Fault.Net_recv 0 Fault.Vanish 1 ]
+      in
+      with_client ~transport addr (fun client ->
+          (match Client.query_ids client ~circuit:circuit_name dims with
+          | Error (Client.Disconnected _ as e) ->
+            check_bool "disconnect is retryable" true (Client.retryable e)
+          | Error e ->
+            Alcotest.failf "expected disconnect: %s" (Client.error_to_string e)
+          | Ok _ -> Alcotest.fail "vanished peer produced an answer");
+          check_int "vanish fired" 1 (fired ());
+          (* same client object: retry reconnects through the poisoned fd *)
+          let rng = Mps_rng.Rng.create ~seed:2 in
+          let ids, _ =
+            ok_or_fail "retry after disconnect"
+              (Client.with_retry ~attempts:4 ~base_delay:0.005 ~rng (fun () ->
+                   Client.query_ids client ~circuit:circuit_name dims))
+          in
+          check_bool "reconnect converges on the right answer" true
+            (ids = expected_ids dims)))
+
+(* A failed accept is counted and retried; the connection waiting in
+   the backlog is served on the next pass. *)
+let accept_failure_survived () =
+  let config = { Server.default_config with Server.accept_retry_delay = 0.01 } in
+  let transport, fired =
+    Fault.transport_of_plan [ inj Fault.Net_accept 0 Fault.Fail 1 ]
+  in
+  with_server ~config ~transport (fun server addr ->
+      with_client addr (fun client ->
+          let dims = random_batch ~seed:24 8 in
+          let ids, _ =
+            ok_or_fail "served after accept failure"
+              (Client.query_ids client ~circuit:circuit_name dims)
+          in
+          check_bool "answers correct after accept failure" true
+            (ids = expected_ids dims);
+          check_int "accept fault fired" 1 (fired ());
+          check_bool "accept failure counted" true
+            ((Server.stats server).accept_failures >= 1)))
+
+(* --- Crash, restart, converge ---------------------------------------- *)
+
+let crash_restart_converge () =
+  with_tmp_dir (fun dir ->
+      let store = Store.create ~dir () in
+      let path = Store.path_for store circuit_name in
+      Codec.save (Lazy.force structure) ~path;
+      let sock = Filename.concat dir "mpsd.sock" in
+      let server1 = Server.create ~store (Server.Unix_path sock) in
+      let th1 = Server.start server1 in
+      let addr = Server.bound_addr server1 in
+      with_client addr (fun client ->
+          let dims = random_batch ~seed:31 16 in
+          let ids, _ =
+            ok_or_fail "query before crash"
+              (Client.query_ids client ~circuit:circuit_name dims)
+          in
+          check_bool "pre-crash answers correct" true (ids = expected_ids dims);
+          (* the daemon dies hard, mid-conversation *)
+          Server.abort server1;
+          Thread.join th1;
+          (match Client.query_ids client ~circuit:circuit_name dims with
+          | Error e ->
+            check_bool "crash surfaces as a retryable typed error" true
+              (Client.retryable e)
+          | Ok _ -> Alcotest.fail "query answered by a dead daemon");
+          (* the store file survived the crash intact *)
+          ignore (Codec.load ~circuit ~path);
+          (* a restarted daemon on the same socket; the same client
+             object converges through retry with backoff *)
+          let server2 = Server.create ~store:(Store.create ~dir ()) (Server.Unix_path sock) in
+          let th2 = Server.start server2 in
+          Fun.protect
+            ~finally:(fun () ->
+              Server.stop server2;
+              Thread.join th2)
+            (fun () ->
+              let rng = Mps_rng.Rng.create ~seed:3 in
+              let ids, meta =
+                ok_or_fail "retry against the restarted daemon"
+                  (Client.with_retry ~attempts:6 ~base_delay:0.01 ~rng (fun () ->
+                       Client.query_ids client ~circuit:circuit_name dims))
+              in
+              check_bool "post-restart answers correct" true (ids = expected_ids dims);
+              check_int "fresh process starts the epoch sequence anew" 1
+                meta.Client.epoch)))
+
+(* --- Degradation and hot reload --------------------------------------- *)
+
+(* A truncated store file salvages; every reply is flagged degraded and
+   the floorplans are still legal — degraded, never silently wrong. *)
+let degraded_serving () =
+  with_server ~save:false (fun server addr ->
+      let store = Server.store server in
+      let doc = Codec.to_string (Lazy.force structure) in
+      let cut = String.length doc * 2 / 3 in
+      Persist.atomic_write ~path:(Store.path_for store circuit_name)
+        (String.sub doc 0 cut);
+      with_client addr (fun client ->
+          let dims = random_batch ~seed:41 16 in
+          match Client.instantiate client ~circuit:circuit_name dims with
+          | Error (Client.Refused (Wire.Err_store, _)) ->
+            (* beyond salvage is an acceptable typed outcome, but then
+               nothing may have been served *)
+            check_int "nothing served from a rejected file" 0
+              (Server.stats server).requests_served
+          | Error e -> Alcotest.failf "degraded query: %s" (Client.error_to_string e)
+          | Ok (plans, meta) ->
+            check_bool "salvaged entry is flagged degraded" true meta.Client.degraded;
+            check_bool "degraded replies counted" true
+              ((Server.stats server).degraded_served >= 1);
+            Array.iteri
+              (fun i rects ->
+                check_bool
+                  (Printf.sprintf "degraded floorplan %d overlap-free" i)
+                  true
+                  (Rect.any_overlap rects = None))
+              plans))
+
+let hot_reload_epochs () =
+  with_server (fun server addr ->
+      with_client addr (fun client ->
+          let dims = random_batch ~seed:42 4 in
+          let _, meta =
+            ok_or_fail "first query" (Client.query_ids client ~circuit:circuit_name dims)
+          in
+          check_int "first epoch" 1 meta.Client.epoch;
+          (* a forced reload bumps the epoch with no file change *)
+          let meta = ok_or_fail "reload" (Client.reload client ~circuit:circuit_name) in
+          check_int "forced reload bumps the epoch" 2 meta.Client.epoch;
+          (* rewriting the file (newer mtime) hot-reloads on next use *)
+          let path = Store.path_for (Server.store server) circuit_name in
+          Codec.save (Lazy.force structure) ~path;
+          let later = Unix.gettimeofday () +. 10.0 in
+          Unix.utimes path later later;
+          let ids, meta =
+            ok_or_fail "query after rewrite"
+              (Client.query_ids client ~circuit:circuit_name dims)
+          in
+          check_int "mtime change hot-reloads" 3 meta.Client.epoch;
+          check_bool "reloaded answers correct" true (ids = expected_ids dims)))
+
+let idle_timeout_drops () =
+  let config = { Server.default_config with Server.idle_timeout = 0.05 } in
+  with_server ~config (fun _server addr ->
+      with_client addr (fun client ->
+          let dims = random_batch ~seed:43 4 in
+          let _ = ok_or_fail "warm-up" (Client.query_ids client ~circuit:circuit_name dims) in
+          Thread.delay 0.3;
+          (match Client.query_ids client ~circuit:circuit_name dims with
+          | Error e -> check_bool "idle drop is retryable" true (Client.retryable e)
+          | Ok _ ->
+            (* a race where the reply beat the drop is acceptable only
+               if the daemon genuinely had not dropped us yet — but at
+               6x the idle budget it must have *)
+            Alcotest.fail "idle connection survived 6x the idle budget");
+          (* reconnect converges *)
+          let rng = Mps_rng.Rng.create ~seed:4 in
+          let ids, _ =
+            ok_or_fail "reconnect after idle drop"
+              (Client.with_retry ~attempts:4 ~base_delay:0.005 ~rng (fun () ->
+                   Client.query_ids client ~circuit:circuit_name dims))
+          in
+          check_bool "post-idle answers correct" true (ids = expected_ids dims)))
+
+let suite =
+  [
+    Alcotest.test_case "round trip matches the in-process oracle" `Quick round_trip;
+    Alcotest.test_case "unknown circuit and missing file are typed" `Quick
+      unknown_and_missing;
+    Alcotest.test_case "server-side deadline is enforced" `Quick server_side_deadline;
+    Alcotest.test_case "malformed requests are rejected, connection lives" `Quick
+      malformed_requests;
+    Alcotest.test_case "in-flight admission sheds with Err_overloaded" `Quick
+      shed_inflight;
+    Alcotest.test_case "connection limit sheds, first client unharmed" `Quick
+      shed_connections;
+    Alcotest.test_case "chaos: short reads and writes heal" `Quick short_io_heals;
+    Alcotest.test_case "chaos: stall past deadline, retry converges" `Quick
+      stall_past_deadline;
+    Alcotest.test_case "chaos: disconnect mid-request, retry converges" `Quick
+      disconnect_mid_request;
+    Alcotest.test_case "chaos: accept failure is survived" `Quick
+      accept_failure_survived;
+    Alcotest.test_case "chaos: crash, restart, client converges" `Quick
+      crash_restart_converge;
+    Alcotest.test_case "degraded entries are flagged, never silently wrong" `Quick
+      degraded_serving;
+    Alcotest.test_case "hot reload bumps epochs" `Quick hot_reload_epochs;
+    Alcotest.test_case "idle connections are dropped" `Quick idle_timeout_drops;
+  ]
