@@ -18,10 +18,14 @@
                   (p50/p99 over 2048 seeded probes per circuit) and
                   writes BENCH_QUERY.json for the CI latency artifact.
    --par-bench    sweeps the parallel generator over jobs in {1,2,4,8}
-                  on benchmark24 (quick budget) and writes
-                  BENCH_PAR.json (wall seconds, speedup, and the
-                  structure hash per job count — the hashes must all
-                  be equal, which CI asserts).
+                  on circ06, tso-cascode and benchmark24 (quick budget)
+                  and writes BENCH_PAR.json: wall seconds, speedup,
+                  per-worker scheduler counters (tasks/steals/minor
+                  words) and the structure hash per job count — the
+                  hashes must all be equal per circuit, which CI
+                  asserts — plus a seed_baseline block with the
+                  pre-work-stealing benchmark24 walls for
+                  cross-revision speedup.
    --jobs N       runs --gen-bench generation through the domain pool
                   with N workers. *)
 
@@ -359,66 +363,134 @@ let query_bench () =
   print_endline "wrote BENCH_QUERY.json";
   if !mismatches_total > 0 then exit 1
 
-(* Parallel generation scaling: one quick-budget benchmark24 run per
-   job count.  The structure hash (CRC-32 of the serialized structure)
-   must be identical at every job count — that is the determinism
-   contract of Generator.generate_par, and CI fails if it breaks.
-   Speedups are relative to jobs=1 on this host; host_cores records how
-   much hardware was actually available. *)
+(* Parallel generation scaling: one quick-budget run per (circuit, job
+   count).  The structure hash (CRC-32 of the serialized structure)
+   must be identical at every job count per circuit — that is the
+   determinism contract of Generator.generate_par, and CI fails if it
+   breaks.  Speedups are relative to jobs=1 on this host; host_cores
+   records how much hardware was actually available (on a 1-core host
+   the sweep still proves determinism and measures scheduler overhead,
+   it just cannot show parallel speedup).  Per-worker scheduler
+   counters (tasks, chunks, steals, minor words, busy seconds) come
+   from the pool via on_pool_stats — the diagnosis surface for scaling
+   regressions: rising minor_words means allocation churn is back in
+   the hot path, and every minor collection is a stop-the-world across
+   domains.
+
+   The seed_baseline block records the same quick-budget benchmark24
+   sweep measured on this host just before the work-stealing pool,
+   per-worker arenas and move LUTs landed, so the JSON carries its own
+   cross-revision denominator ("speedup_vs_seed"). *)
+let seed_baseline_walls = [ (1, 0.336); (2, 0.364); (4, 0.540); (8, 0.780) ]
+let seed_baseline_evaluations = 73540
+let seed_baseline_hash = "5a8a8386"
+
 let par_bench () =
   let module E = Mps_experiments.Experiments in
-  let circuit =
-    List.find (fun c -> String.equal c.Circuit.name "benchmark24") Benchmarks.all
-  in
-  let config = E.generator_config E.Quick circuit in
-  let run jobs =
+  let job_counts = [ 1; 2; 4; 8 ] in
+  let circuits = [ Benchmarks.circ06; Benchmarks.tso_cascode; Benchmarks.benchmark24 ] in
+  let run circuit jobs =
+    let config = E.generator_config E.Quick circuit in
+    let pool_stats = ref [||] in
     let t0 = Unix.gettimeofday () in
-    let structure, stats = Generator.generate_par ~config ~jobs circuit in
+    let structure, stats =
+      Generator.generate_par ~config ~jobs
+        ~on_pool_stats:(fun s -> pool_stats := s)
+        circuit
+    in
     let wall = Unix.gettimeofday () -. t0 in
     let hash = Persist.crc32_hex (Codec.to_string structure) in
-    (jobs, wall, stats.Generator.cost_evaluations, hash)
+    (jobs, wall, stats.Generator.cost_evaluations, hash, !pool_stats)
   in
-  ignore (run 2) (* warm-up: cold code paths and domain spawning *);
-  let rows = List.map run [ 1; 2; 4; 8 ] in
-  let _, base_wall, _, base_hash =
-    List.find (fun (jobs, _, _, _) -> jobs = 1) rows
+  ignore (run Benchmarks.circ06 2) (* warm-up: cold code paths and domain spawning *);
+  let worker_json stats =
+    String.concat ", "
+      (Array.to_list
+         (Array.mapi
+            (fun slot (s : Mps_parallel.Pool.stats) ->
+              Printf.sprintf
+                "{ \"slot\": %d, \"tasks\": %d, \"chunks\": %d, \"steals\": %d, \
+                 \"batches\": %d, \"minor_words\": %.0f, \"busy_seconds\": %.4f }"
+                slot s.Mps_parallel.Pool.tasks s.chunks s.steals s.batches
+                s.minor_words s.busy_seconds)
+            stats))
   in
-  let hash_equal =
-    List.for_all (fun (_, _, _, hash) -> String.equal hash base_hash) rows
-  in
-  List.iter
-    (fun (jobs, wall, evals, hash) ->
-      Printf.printf "jobs=%d  %7.3f s  %8d evals  %5.2fx  hash %s\n%!" jobs wall evals
-        (base_wall /. wall) hash)
-    rows;
-  let json_rows =
+  let per_circuit =
     List.map
-      (fun (jobs, wall, evals, hash) ->
-        Printf.sprintf
-          "    { \"jobs\": %d, \"wall_seconds\": %.4f, \"evaluations\": %d, \
-           \"speedup\": %.3f, \"structure_hash\": \"%s\" }"
-          jobs wall evals (base_wall /. wall) hash)
-      rows
+      (fun circuit ->
+        let name = circuit.Circuit.name in
+        let rows = List.map (run circuit) job_counts in
+        let _, base_wall, _, base_hash, _ =
+          List.find (fun (jobs, _, _, _, _) -> jobs = 1) rows
+        in
+        let hash_equal =
+          List.for_all (fun (_, _, _, hash, _) -> String.equal hash base_hash) rows
+        in
+        Printf.printf "%s:\n" name;
+        List.iter
+          (fun (jobs, wall, evals, hash, stats) ->
+            let steals =
+              Array.fold_left (fun acc s -> acc + s.Mps_parallel.Pool.steals) 0 stats
+            in
+            Printf.printf "  jobs=%d  %7.3f s  %8d evals  %5.2fx  steals %4d  hash %s\n%!"
+              jobs wall evals (base_wall /. wall) steals hash)
+          rows;
+        let json_rows =
+          List.map
+            (fun (jobs, wall, evals, hash, stats) ->
+              let vs_seed =
+                if String.equal name "benchmark24" then
+                  match List.assoc_opt jobs seed_baseline_walls with
+                  | Some seed_wall ->
+                    Printf.sprintf ", \"speedup_vs_seed\": %.3f" (seed_wall /. wall)
+                  | None -> ""
+                else ""
+              in
+              Printf.sprintf
+                "        { \"jobs\": %d, \"wall_seconds\": %.4f, \"evaluations\": %d, \
+                 \"speedup\": %.3f%s, \"structure_hash\": \"%s\",\n\
+                \          \"workers\": [ %s ] }"
+                jobs wall evals (base_wall /. wall) vs_seed hash (worker_json stats))
+            rows
+        in
+        let block =
+          Printf.sprintf
+            "    { \"circuit\": %S, \"hash_equal\": %b, \"rows\": [\n%s\n    ] }"
+            name hash_equal
+            (String.concat ",\n" json_rows)
+        in
+        (name, hash_equal, block))
+      circuits
+  in
+  let all_equal = List.for_all (fun (_, eq, _) -> eq) per_circuit in
+  let seed_rows =
+    String.concat ", "
+      (List.map
+         (fun (jobs, wall) ->
+           Printf.sprintf "{ \"jobs\": %d, \"wall_seconds\": %.4f }" jobs wall)
+         seed_baseline_walls)
   in
   let oc = open_out "BENCH_PAR.json" in
   Printf.fprintf oc
     "{\n\
     \  \"budget\": \"quick\",\n\
-    \  \"circuit\": \"benchmark24\",\n\
     \  \"host_cores\": %d,\n\
-    \  \"rows\": [\n\
+    \  \"circuits\": [\n\
      %s\n\
     \  ],\n\
+    \  \"seed_baseline\": { \"circuit\": \"benchmark24\", \"evaluations\": %d, \
+     \"structure_hash\": \"%s\", \"host_cores\": 1,\n\
+    \                     \"rows\": [ %s ] },\n\
     \  \"structure_hash_equal\": %b\n\
      }\n"
     (Domain.recommended_domain_count ())
-    (String.concat ",\n" json_rows)
-    hash_equal;
+    (String.concat ",\n" (List.map (fun (_, _, block) -> block) per_circuit))
+    seed_baseline_evaluations seed_baseline_hash seed_rows all_equal;
   close_out oc;
   Printf.printf "structure hashes %s across job counts\n"
-    (if hash_equal then "identical" else "DIFFER");
+    (if all_equal then "identical" else "DIFFER");
   print_endline "wrote BENCH_PAR.json";
-  if not hash_equal then exit 1
+  if not all_equal then exit 1
 
 let main () =
   print_endline "=== Micro-benchmarks (bechamel) ===";

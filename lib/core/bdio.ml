@@ -71,40 +71,78 @@ let shrink_box ~rule ~box ~best_dims ~avg_cost ~best_cost =
     in
     Dimbox.make ~w ~h
 
+(* All-float accumulator record: stored flat, so per-move updates
+   allocate nothing (a [float ref] boxes a fresh float per [:=]). *)
+type totals = { mutable cur : float }
+
 (* The Dimensions Selector runs on one mutable Mps_cost.Incremental
-   evaluator: each move redraws a random subset of the 2N axes in place
-   (resize deltas, no Dims copies), and is committed or undone whole. *)
-let optimize ?(config = default_config) ~rng circuit placement ~box =
+   evaluator (the arena's, when given): each move redraws a random
+   subset of the 2N axes in place (resize deltas, no Dims copies), and
+   is committed or undone whole.  The axis intervals are compiled once
+   per run into a Move_lut over the 2N axes (widths then heights), so
+   a value redraw is two array loads and an unchecked uniform draw. *)
+let optimize ?(config = default_config) ?arena ~rng circuit placement ~box =
   if config.iterations < 1 then invalid_arg "Bdio.optimize: need at least one iteration";
   let initial = Dimbox.random_dims rng box in
   let n = Dims.n_blocks initial in
   let n_axes = 2 * n in
+  let die_w = placement.Placement.die_w and die_h = placement.Placement.die_h in
+  let init_rects =
+    match arena with
+    | Some a ->
+      let buf = Arena.rect_buffer a ~slot:0 n in
+      Placement.rects_into buf placement initial;
+      buf
+    | None -> Placement.rects placement initial
+  in
   let eng =
-    Mps_cost.Incremental.create ~weights:config.weights circuit
-      ~die_w:placement.Placement.die_w ~die_h:placement.Placement.die_h
-      (Placement.rects placement initial)
+    match arena with
+    | Some a -> Arena.engine a ~weights:config.weights circuit ~die_w ~die_h init_rects
+    | None -> Mps_cost.Incremental.create ~weights:config.weights circuit ~die_w ~die_h init_rects
+  in
+  let lut =
+    Move_lut.make ~n:n_axes
+      ~lo:(fun a ->
+        Interval.lo
+          (if a < n then Dimbox.w_interval box a else Dimbox.h_interval box (a - n)))
+      ~hi:(fun a ->
+        Interval.hi
+          (if a < n then Dimbox.w_interval box a else Dimbox.h_interval box (a - n)))
   in
   let k =
     max 1 (int_of_float (ceil (config.perturb_fraction *. float_of_int n_axes)))
   in
+  if k > n_axes then
+    invalid_arg "Bdio.optimize: perturb_fraction selects more axes than exist";
   (* Preallocated proposal buffers: the axes hit this move and their
-     redrawn values, overwritten in place by [propose]. *)
+     redrawn values, overwritten in place by [propose]; [perm] backs
+     the distinct-axis sampling. *)
   let mv_axes = Array.make k 0 and mv_vals = Array.make k 0 in
-  let propose rng =
-    let victims = Rng.sample_distinct rng ~k ~n:n_axes in
-    List.iteri
-      (fun slot axis ->
-        mv_axes.(slot) <- axis;
-        mv_vals.(slot) <-
-          (if axis < n then
-             let iv = Dimbox.w_interval box axis in
-             Rng.int_in rng (Interval.lo iv) (Interval.hi iv)
-           else
-             let iv = Dimbox.h_interval box (axis - n) in
-             Rng.int_in rng (Interval.lo iv) (Interval.hi iv)))
-      victims
+  let perm =
+    match arena with
+    | Some a -> Arena.int_buffer a ~slot:0 n_axes
+    | None -> Array.make n_axes 0
   in
-  let current_total = ref (Mps_cost.Incremental.total eng) in
+  let propose rng =
+    (* partial Fisher-Yates over a reinitialized identity permutation:
+       draw-for-draw identical to [Rng.sample_distinct], without its
+       per-move array-plus-list allocation *)
+    for a = 0 to n_axes - 1 do
+      Array.unsafe_set perm a a
+    done;
+    for i = 0 to k - 1 do
+      let j = i + Rng.unsafe_int rng (n_axes - i) in
+      let tmp = Array.unsafe_get perm i in
+      Array.unsafe_set perm i (Array.unsafe_get perm j);
+      Array.unsafe_set perm j tmp
+    done;
+    for slot = 0 to k - 1 do
+      let axis = Array.unsafe_get perm slot in
+      mv_axes.(slot) <- axis;
+      mv_vals.(slot) <- Move_lut.draw lut rng axis
+    done
+  in
+  let totals = { cur = Mps_cost.Incremental.total eng } in
   (* A move redrawing more than ~n/4 axes is cheaper as one staged
      batch with a single cache rebuild than as per-axis O(n) repairs. *)
   let use_batch = 4 * k > n in
@@ -121,11 +159,11 @@ let optimize ?(config = default_config) ~rng circuit placement ~box =
           ~h:v
     done;
     if use_batch then Mps_cost.Incremental.end_batch eng;
-    Mps_cost.Incremental.total eng -. !current_total
+    Mps_cost.Incremental.total eng -. totals.cur
   in
   let commit () =
     Mps_cost.Incremental.commit eng;
-    current_total := Mps_cost.Incremental.total eng
+    totals.cur <- Mps_cost.Incremental.total eng
   in
   let reject () = Mps_cost.Incremental.undo eng in
   let best_w = Array.init n (Dims.width initial) in
@@ -140,7 +178,7 @@ let optimize ?(config = default_config) ~rng circuit placement ~box =
     Annealer.run_moves
       ~on_improve:(fun ~cost:_ ~step:_ -> snapshot_best ())
       ~rng ~schedule:config.schedule ~iterations:config.iterations
-      ~initial_cost:!current_total
+      ~initial_cost:totals.cur
       { Annealer.propose; delta_cost; commit; reject }
   in
   let best_dims = Dims.make ~w:best_w ~h:best_h in

@@ -61,7 +61,15 @@ val shrink_box :
     in [box]. *)
 
 val optimize :
-  ?config:config -> rng:Rng.t -> Circuit.t -> Placement.t -> box:Dimbox.t -> result
+  ?config:config ->
+  ?arena:Arena.t ->
+  rng:Rng.t -> Circuit.t -> Placement.t -> box:Dimbox.t -> result
 (** Run the full BDIO on one expanded placement.  The returned box is
     contained in the input box and contains [best_dims]; [avg_cost >=
-    best_cost]. *)
+    best_cost].
+
+    Axis intervals are compiled once per run into a
+    {!Mps_anneal.Move_lut}, making each move's axis selection and
+    value redraws allocation-free.  [arena] supplies the
+    incremental-cost engine and scratch from per-worker reusable
+    state; results are bit-identical with or without it. *)

@@ -79,45 +79,66 @@ type stats = {
    does using the candidate (raw coordinates) beat re-packing the backup
    template at the same dimension vectors?  Point-matched sampling, so
    neither side gets to average over friendlier territory. *)
-let beats_backup_locally config rng circuit backup candidate ~evals =
+let beats_backup_locally config rng circuit backup candidate ~arena ~evals =
   let samples = 32 in
   evals := !evals + (2 * samples);
   let die_w = candidate.Stored.placement.Placement.die_w in
   let die_h = candidate.Stored.placement.Placement.die_h in
   let weights = config.bdio.Bdio.weights in
-  let cost rects = Mps_cost.Cost.total ~weights circuit ~die_w ~die_h rects in
+  (* Full evaluations go through the arena engine's [reset] (a
+     from-scratch resync, bit-identical to [Cost.total] — the
+     incremental evaluator mirrors its arithmetic term for term) so
+     the 64 evaluations per candidate allocate nothing. *)
+  let cost rects =
+    Mps_cost.Incremental.total (Arena.engine arena ~weights circuit ~die_w ~die_h rects)
+  in
+  (* Arena scratch: both floorplans and the sampled dimension vector
+     live in per-worker buffers refilled per sample — this loop runs
+     64 instantiations per candidate.  (Int slot 0 is the BDIO's axis
+     permutation; rect slot 0 doubles as the engine-init buffer, which
+     is dead by now.) *)
+  let n = Stored.n_blocks candidate in
+  let dw = Arena.int_buffer arena ~slot:1 n and dh = Arena.int_buffer arena ~slot:2 n in
+  let cand_buf = Arena.rect_buffer arena ~slot:0 n in
+  let back_buf = Arena.rect_buffer arena ~slot:1 n in
+  let scratch = Arena.repack_scratch arena in
   let candidate_total = ref 0.0 and backup_total = ref 0.0 in
   for _ = 1 to samples do
-    let dims = Dimbox.random_dims rng candidate.Stored.box in
-    candidate_total := !candidate_total +. cost (Stored.instantiate candidate dims);
-    backup_total := !backup_total +. cost (Stored.instantiate_repacked backup dims)
+    Dimbox.random_dims_into rng candidate.Stored.box ~w:dw ~h:dh;
+    let dims = Dims.unsafe_of_arrays ~w:dw ~h:dh in
+    Stored.instantiate_into candidate ~out:cand_buf dims;
+    candidate_total := !candidate_total +. cost cand_buf;
+    Stored.instantiate_repacked_into backup ~scratch ~out:back_buf dims;
+    backup_total := !backup_total +. cost back_buf
   done;
   !candidate_total <= !backup_total
 
 (* Expand a placement, optimize its dimension intervals, and run the
    admission test — everything about a candidate except touching the
    builder.  This is the unit of work a parallel walk can do on its own
-   domain: it draws only from [rng] and owns its own [Incremental]
-   engine (created inside {!Bdio.optimize}).  Returns the made
-   candidate, the BDIO result (the explorer's cost signal), and the
-   admission verdict. *)
-let evaluate_candidate config rng circuit backup placement ~evals =
+   domain: it draws only from [rng], and all mutable evaluation state
+   (the [Incremental] engine, scratch buffers) comes from the worker's
+   own [arena].  Returns the made candidate, the BDIO result (the
+   explorer's cost signal), and the admission verdict. *)
+let evaluate_candidate config rng circuit backup placement ~arena ~evals =
   let expansion = Expand.expand circuit placement in
-  let bdio = Bdio.optimize ~config:config.bdio ~rng circuit placement ~box:expansion in
+  let bdio =
+    Bdio.optimize ~config:config.bdio ~arena ~rng circuit placement ~box:expansion
+  in
   evals := !evals + bdio.Bdio.evaluations;
   let candidate =
     Stored.make ~template_like:false ~placement ~box:bdio.Bdio.box ~expansion
       ~avg_cost:bdio.Bdio.avg_cost ~best_cost:bdio.Bdio.best_cost
       ~best_dims:bdio.Bdio.best_dims
   in
-  let admitted = beats_backup_locally config rng circuit backup candidate ~evals in
+  let admitted = beats_backup_locally config rng circuit backup candidate ~arena ~evals in
   (candidate, bdio, admitted)
 
 (* Same, then merge the admitted candidate into the structure.  Returns
    the BDIO result and whether the candidate was stored. *)
-let evaluate_and_store builder config rng circuit backup placement ~evals =
+let evaluate_and_store builder config rng circuit backup placement ~arena ~evals =
   let candidate, bdio, admitted =
-    evaluate_candidate config rng circuit backup placement ~evals
+    evaluate_candidate config rng circuit backup placement ~arena ~evals
   in
   if admitted then
     let ids = Builder.resolve_and_store builder candidate in
@@ -127,7 +148,7 @@ let evaluate_and_store builder config rng circuit backup placement ~evals =
 (* Refine a candidate's coordinates with a short annealing run toward
    a random target sizing: explored placements become locally good
    arrangements for diverse dimension regions. *)
-let refine_candidate cfg rng circuit ~die_w ~die_h ~evals placement =
+let refine_candidate cfg rng circuit ~die_w ~die_h ~arena ~evals placement =
   if cfg.refine_iterations <= 0 then placement
   else begin
     let target = Dimbox.random_dims rng (Circuit.dim_bounds circuit) in
@@ -140,8 +161,8 @@ let refine_candidate cfg rng circuit ~die_w ~die_h ~evals placement =
       }
     in
     let refined =
-      Coord_opt.optimize ~config:coord_config ~initial:placement.Placement.coords ~rng
-        circuit ~die_w ~die_h target
+      Coord_opt.optimize ~config:coord_config ~arena ~initial:placement.Placement.coords
+        ~rng circuit ~die_w ~die_h target
     in
     evals := !evals + refined.Coord_opt.evaluations;
     if Placement.is_legal refined.Coord_opt.placement (Circuit.min_dims circuit) then
@@ -162,7 +183,7 @@ let backup_coord_config config =
     weights = config.bdio.Bdio.weights;
   }
 
-let finalize_backup config rng circuit ~die_w ~die_h ~evals
+let finalize_backup config rng circuit ~die_w ~die_h ~arena ~evals
     (optimized : Coord_opt.result) =
   let placement =
     if Placement.is_legal optimized.Coord_opt.placement (Circuit.min_dims circuit) then
@@ -171,7 +192,9 @@ let finalize_backup config rng circuit ~die_w ~die_h ~evals
   in
   let expansion = Expand.expand circuit placement in
   let bdio_config = { config.bdio with Bdio.shrink = Bdio.No_shrink } in
-  let bdio = Bdio.optimize ~config:bdio_config ~rng circuit placement ~box:expansion in
+  let bdio =
+    Bdio.optimize ~config:bdio_config ~arena ~rng circuit placement ~box:expansion
+  in
   evals := !evals + bdio.Bdio.evaluations;
   (* The backup claims the whole designer dimension space (re-packing
      outside its expansion box), so an explorer placement only wins
@@ -184,16 +207,23 @@ let finalize_backup config rng circuit ~die_w ~die_h ~evals
   let template_avg =
     let samples = 200 in
     evals := !evals + samples;
+    let n = Placement.n_blocks placement in
+    let dw = Arena.int_buffer arena ~slot:1 n and dh = Arena.int_buffer arena ~slot:2 n in
+    let buf = Arena.rect_buffer arena ~slot:1 n in
+    let scratch = Arena.repack_scratch arena in
     let total = ref 0.0 in
     for _ = 1 to samples do
-      let dims = Dimbox.random_dims rng bounds in
-      let rects =
-        Repack.instantiate ~die:(die_w, die_h) ~coords:placement.Placement.coords dims
-      in
+      Dimbox.random_dims_into rng bounds ~w:dw ~h:dh;
+      let dims = Dims.unsafe_of_arrays ~w:dw ~h:dh in
+      Repack.instantiate_into ~scratch ~out:buf ~die:(die_w, die_h)
+        ~coords:placement.Placement.coords dims;
+      (* allocation-free full evaluation, bit-identical to [Cost.total]
+         (see [beats_backup_locally]) *)
       total :=
         !total
-        +. Mps_cost.Cost.total ~weights:config.bdio.Bdio.weights circuit ~die_w ~die_h
-             rects
+        +. Mps_cost.Incremental.total
+             (Arena.engine arena ~weights:config.bdio.Bdio.weights circuit ~die_w ~die_h
+                buf)
     done;
     !total /. float_of_int samples
   in
@@ -201,20 +231,24 @@ let finalize_backup config rng circuit ~die_w ~die_h ~evals
     ~avg_cost:(Float.max template_avg bdio.Bdio.avg_cost)
     ~best_cost:bdio.Bdio.best_cost ~best_dims:bdio.Bdio.best_dims
 
-let build_backup config rng circuit ~die_w ~die_h ~evals =
+let build_backup config rng circuit ~die_w ~die_h ~arena ~evals =
   let nominal = Dimbox.center (Circuit.dim_bounds circuit) in
   let coord_config = backup_coord_config config in
   let optimized =
-    let best = ref (Coord_opt.optimize ~config:coord_config ~rng circuit ~die_w ~die_h nominal) in
+    let best =
+      ref (Coord_opt.optimize ~config:coord_config ~arena ~rng circuit ~die_w ~die_h nominal)
+    in
     evals := !evals + !best.Coord_opt.evaluations;
     for _ = 2 to max 1 config.backup_restarts do
-      let r = Coord_opt.optimize ~config:coord_config ~rng circuit ~die_w ~die_h nominal in
+      let r =
+        Coord_opt.optimize ~config:coord_config ~arena ~rng circuit ~die_w ~die_h nominal
+      in
       evals := !evals + r.Coord_opt.evaluations;
       if r.Coord_opt.cost < !best.Coord_opt.cost then best := r
     done;
     !best
   in
-  finalize_backup config rng circuit ~die_w ~die_h ~evals optimized
+  finalize_backup config rng circuit ~die_w ~die_h ~arena ~evals optimized
 
 let run_explorer ?builder ?backup ?resume ~next_candidate ?config:(cfg = default_config)
     circuit =
@@ -224,6 +258,9 @@ let run_explorer ?builder ?backup ?resume ~next_candidate ?config:(cfg = default
      the backup/refine/BDIO loops plus admission sampling); restarts at
      zero on resume, like the timing stats. *)
   let evals = ref 0 in
+  (* The sequential explorer is a one-worker pool: one arena, reused
+     across every candidate — same serial allocation win, no domains. *)
+  let arena = Arena.create () in
   let builder, backup, rng, resumed_state =
     match resume with
     | Some cp ->
@@ -255,7 +292,7 @@ let run_explorer ?builder ?backup ?resume ~next_candidate ?config:(cfg = default
       let backup =
         match backup with
         | Some b -> b
-        | None -> build_backup cfg rng circuit ~die_w ~die_h ~evals
+        | None -> build_backup cfg rng circuit ~die_w ~die_h ~arena ~evals
       in
       (builder, backup, rng, None)
   in
@@ -280,7 +317,9 @@ let run_explorer ?builder ?backup ?resume ~next_candidate ?config:(cfg = default
           (if cfg.seed_walk_with_backup then backup.Stored.placement
            else Placement.random rng circuit ~die_w ~die_h)
       in
-      let bdio0, _ = evaluate_and_store builder cfg rng circuit backup !current ~evals in
+      let bdio0, _ =
+        evaluate_and_store builder cfg rng circuit backup !current ~arena ~evals
+      in
       (current, ref bdio0.Bdio.avg_cost, ref 1, ref 0)
   in
   let max_shift =
@@ -321,10 +360,14 @@ let run_explorer ?builder ?backup ?resume ~next_candidate ?config:(cfg = default
       write_checkpoint path
     | _ -> ()
   in
-  let refine placement = refine_candidate cfg rng circuit ~die_w ~die_h ~evals placement in
+  let refine placement =
+    refine_candidate cfg rng circuit ~die_w ~die_h ~arena ~evals placement
+  in
   while not (finished ()) do
     let candidate = refine (next_candidate rng builder ~max_shift !current) in
-    let bdio, survived = evaluate_and_store builder cfg rng circuit backup candidate ~evals in
+    let bdio, survived =
+      evaluate_and_store builder cfg rng circuit backup candidate ~arena ~evals
+    in
     if not survived then incr dropped;
     (* Metropolis acceptance on the BDIO average cost (Fig. 4's
        "Accept New Placement?" check). *)
@@ -427,15 +470,20 @@ type walk_state = {
   ws_rng : Rng.t;
 }
 
-let build_backup_par pool config root circuit ~die_w ~die_h ~evals =
+let build_backup_par pool arenas config root circuit ~die_w ~die_h ~evals =
   let nominal = Dimbox.center (Circuit.dim_bounds circuit) in
   let coord_config = backup_coord_config config in
   let restarts = max 1 config.backup_restarts in
+  (* chunk 1: a handful of heavyweight annealing runs — maximum
+     balance, negligible claim traffic.  The worker slot picks the
+     arena; stealing moves a restart to another worker's arena, never
+     changes its result. *)
   let results =
-    Pool.map pool
-      (fun k ->
+    Pool.map_chunked pool ~chunk:1
+      (fun ~worker k ->
         let rng = Rng.split root k in
-        Coord_opt.optimize ~config:coord_config ~rng circuit ~die_w ~die_h nominal)
+        Coord_opt.optimize ~config:coord_config ~arena:arenas.(worker) ~rng circuit
+          ~die_w ~die_h nominal)
       (Array.init restarts Fun.id)
   in
   Array.iter (fun r -> evals := !evals + r.Coord_opt.evaluations) results;
@@ -445,7 +493,10 @@ let build_backup_par pool config root circuit ~die_w ~die_h ~evals =
       (fun best r -> if r.Coord_opt.cost < best.Coord_opt.cost then r else best)
       results.(0) results
   in
-  finalize_backup config (Rng.split root restarts) circuit ~die_w ~die_h ~evals optimized
+  (* finalization runs on the calling domain — its usual slot is the
+     last one, but any arena would do (results never depend on one) *)
+  finalize_backup config (Rng.split root restarts) circuit ~die_w ~die_h
+    ~arena:arenas.(Array.length arenas - 1) ~evals optimized
 
 (* Advance one walk by at most [chunk] steps, collecting the evaluated
    candidates (with their admission verdicts) in step order.  Walk step
@@ -455,14 +506,14 @@ let build_backup_par pool config root circuit ~die_w ~die_h ~evals =
    entirely on the walk's private stream; returns the candidates and
    the cost evaluations spent (each task counts into its own
    accumulator — the shared total is summed at merge time). *)
-let advance_walk cfg circuit backup ~die_w ~die_h ~max_shift ~chunk st =
+let advance_walk cfg circuit backup ~die_w ~die_h ~max_shift ~chunk ~arena st =
   let evals = ref 0 in
   let out = ref [] in
   let rng = st.ws_rng in
   let budget = ref chunk in
   if st.ws_step = 0 && !budget > 0 then begin
     let candidate, bdio, admitted =
-      evaluate_candidate cfg rng circuit backup st.ws_current ~evals
+      evaluate_candidate cfg rng circuit backup st.ws_current ~arena ~evals
     in
     out := (candidate, admitted) :: !out;
     st.ws_cost <- bdio.Bdio.avg_cost;
@@ -473,9 +524,9 @@ let advance_walk cfg circuit backup ~die_w ~die_h ~max_shift ~chunk st =
     let proposed =
       Perturb.perturb rng circuit ~fraction:cfg.perturb_fraction ~max_shift st.ws_current
     in
-    let proposed = refine_candidate cfg rng circuit ~die_w ~die_h ~evals proposed in
+    let proposed = refine_candidate cfg rng circuit ~die_w ~die_h ~arena ~evals proposed in
     let candidate, bdio, admitted =
-      evaluate_candidate cfg rng circuit backup proposed ~evals
+      evaluate_candidate cfg rng circuit backup proposed ~arena ~evals
     in
     out := (candidate, admitted) :: !out;
     let dc = bdio.Bdio.avg_cost -. st.ws_cost in
@@ -497,6 +548,11 @@ let run_par pool ?resume ~cfg circuit =
      backup restarts (task k -> stream k, finalization -> stream
      [restarts]), child 1 seeds the walks (walk w -> stream w). *)
   let root = Rng.create ~seed:cfg.seed in
+  (* One arena per worker slot, reused across every chunk and round the
+     slot ever runs (the whole point: candidate evaluation allocates
+     nothing after warm-up, so domains stop triggering each other's
+     stop-the-world minor collections). *)
+  let arenas = Array.init (Pool.jobs pool) (fun _ -> Arena.create ()) in
   let builder, backup, walks, chunk, steps, dropped =
     match resume with
     | Some cp ->
@@ -527,7 +583,9 @@ let run_par pool ?resume ~cfg circuit =
         ref cp.Checkpoint.dropped )
     | None ->
       let die_w, die_h = Circuit.default_die ~slack:cfg.die_slack circuit in
-      let backup = build_backup_par pool cfg (Rng.split root 0) circuit ~die_w ~die_h ~evals in
+      let backup =
+        build_backup_par pool arenas cfg (Rng.split root 0) circuit ~die_w ~die_h ~evals
+      in
       let builder = Builder.create ~weights:cfg.bdio.Bdio.weights circuit in
       ignore (Builder.resolve_and_store builder backup);
       let walk_root = Rng.split root 1 in
@@ -593,9 +651,14 @@ let run_par pool ?resume ~cfg circuit =
   if limits_reached () then stop := true;
   while (not !stop) && Array.exists unfinished walks do
     let live = Array.of_list (List.filter unfinished (Array.to_list walks)) in
+    (* scheduling chunk 1: each walk advance is a heavyweight task
+       (refine + BDIO + admission per step), so per-task claims cost
+       nothing relative to the work and idle workers steal whole walks *)
     let outs =
-      Pool.map pool
-        (fun st -> advance_walk cfg circuit backup ~die_w ~die_h ~max_shift ~chunk st)
+      Pool.map_chunked pool ~chunk:1
+        (fun ~worker st ->
+          advance_walk cfg circuit backup ~die_w ~die_h ~max_shift ~chunk
+            ~arena:arenas.(worker) st)
         live
     in
     (* Merge in (walk, step) order; stopping limits are re-checked
@@ -645,9 +708,15 @@ let run_par pool ?resume ~cfg circuit =
   in
   (Structure.compile ~backup builder, stats)
 
-let generate_par ?(config = default_config) ?jobs circuit =
-  Pool.with_pool ?jobs (fun pool -> run_par pool ~cfg:config circuit)
+let generate_par ?(config = default_config) ?jobs ?on_pool_stats circuit =
+  Pool.with_pool ?jobs (fun pool ->
+      let r = run_par pool ~cfg:config circuit in
+      (match on_pool_stats with Some f -> f (Pool.stats pool) | None -> ());
+      r)
 
-let resume_par ?(config = default_config) ?jobs checkpoint =
+let resume_par ?(config = default_config) ?jobs ?on_pool_stats checkpoint =
   let circuit = Structure.circuit checkpoint.Checkpoint.structure in
-  Pool.with_pool ?jobs (fun pool -> run_par pool ~resume:checkpoint ~cfg:config circuit)
+  Pool.with_pool ?jobs (fun pool ->
+      let r = run_par pool ~resume:checkpoint ~cfg:config circuit in
+      (match on_pool_stats with Some f -> f (Pool.stats pool) | None -> ());
+      r)

@@ -125,7 +125,12 @@ val resume : ?config:config -> Checkpoint.t -> Structure.t * stats
     @raise Invalid_argument on a {!generate_par} checkpoint — those
     carry per-walk streams and resume through {!resume_par}. *)
 
-val generate_par : ?config:config -> ?jobs:int -> Circuit.t -> Structure.t * stats
+val generate_par :
+  ?config:config ->
+  ?jobs:int ->
+  ?on_pool_stats:(Mps_parallel.Pool.stats array -> unit) ->
+  Circuit.t ->
+  Structure.t * stats
 (** Parallel generation over a {!Mps_parallel.Pool} of [jobs] domains
     ([jobs] defaults to {!Mps_parallel.Pool.default_jobs}; [jobs = 1]
     runs the same algorithm on the calling domain).  The backup's
@@ -137,9 +142,22 @@ val generate_par : ?config:config -> ?jobs:int -> Circuit.t -> Structure.t * sta
     count} (property-tested) — parallelism only changes wall time.
     Checkpoints (when configured) record every walk's stream; a fresh
     run writes one right after the backup phase, then one per
-    [checkpoint_every] rounds, plus a final one on a deadline stop. *)
+    [checkpoint_every] rounds, plus a final one on a deadline stop.
 
-val resume_par : ?config:config -> ?jobs:int -> Checkpoint.t -> Structure.t * stats
+    Fan-outs run under the pool's chunked work-stealing scheduler with
+    one evaluation {!Mps_placement.Arena} per worker slot (engines and
+    scratch reused across every chunk a slot runs); stealing and arena
+    identity move {e where} a task runs, never what it computes.
+    [on_pool_stats] receives the per-worker scheduling counters
+    ({!Mps_parallel.Pool.stats}) just before the pool shuts down —
+    the [--par-bench] diagnosis surface. *)
+
+val resume_par :
+  ?config:config ->
+  ?jobs:int ->
+  ?on_pool_stats:(Mps_parallel.Pool.stats array -> unit) ->
+  Checkpoint.t ->
+  Structure.t * stats
 (** Continue an interrupted {!generate_par} run.  The checkpoint's
     recorded walk states and streams — not the job count — determine
     the continuation, so a run checkpointed under [--jobs 4] resumes

@@ -59,6 +59,16 @@ val instantiate_repacked : t -> Dims.t -> Rect.t array
     ({!Mps_placement.Repack}).  Always overlap-free; used for fallback
     answers on uncovered dimension vectors (paper §3.1.4). *)
 
+val instantiate_into : t -> out:Rect.t array -> Dims.t -> unit
+(** {!instantiate} into a caller buffer (one rect per block, refilled
+    in place) — for sampling loops running against per-worker scratch.
+    @raise Invalid_argument on a buffer-length mismatch. *)
+
+val instantiate_repacked_into :
+  t -> scratch:Repack.scratch -> out:Rect.t array -> Dims.t -> unit
+(** {!instantiate_repacked} into a caller buffer, allocation-free (see
+    {!Mps_placement.Repack.instantiate_into}). *)
+
 val instantiate_auto : t -> Dims.t -> Rect.t array
 (** "Commit to this placement for these dimensions": raw coordinates
     when the vector lies inside the expansion box (legal by

@@ -234,6 +234,27 @@ let resync t =
   recompute_sym t;
   t.committed <- 0
 
+(* [reset] makes an engine reusable across candidates: [create] pays
+   O(n + pins) allocation for the compiled pin/incidence arrays, which
+   depend only on (circuit, die, weights) — not on the floorplan — so
+   an arena can rebind the same engine to a new rect set with zero
+   allocation.  [resync] rebuilds every cache from scratch, so the
+   resulting state is bit-identical to a fresh [create] on the same
+   inputs (property-tested). *)
+let reset t rects =
+  if Array.length rects <> t.n then
+    invalid_arg "Incremental.reset: one rectangle per block required";
+  for i = 0 to t.n - 1 do
+    let r = Array.unsafe_get rects i in
+    t.x.(i) <- r.Rect.x;
+    t.y.(i) <- r.Rect.y;
+    t.w.(i) <- r.Rect.w;
+    t.h.(i) <- r.Rect.h
+  done;
+  t.u_len <- 0;
+  t.batching <- false;
+  resync t
+
 let create ?(weights = Cost.default_weights) ?(resync_every = 1024) circuit ~die_w ~die_h
     rects =
   let n = Circuit.n_blocks circuit in

@@ -102,3 +102,14 @@ val undo : t -> unit
 val resync : t -> unit
 (** Recompute every cache from the current geometry from scratch: the
     drift bound, and the reference the property tests compare against. *)
+
+val reset : t -> Rect.t array -> unit
+(** [reset t rects] rebinds the engine to a new floorplan of the same
+    circuit/die/weights, discarding any staged changes and open batch.
+    After [reset] the state is bit-identical to [create] on the same
+    inputs, but nothing is allocated: the compiled pin and incidence
+    arrays depend only on the circuit and die, so a per-worker arena
+    can reuse one engine across thousands of candidate evaluations
+    instead of paying [create]'s allocation each time — the minor-heap
+    churn that stalls every domain on OCaml 5 (DESIGN.md §9).
+    @raise Invalid_argument on a block-count mismatch. *)

@@ -138,10 +138,29 @@ let volume_fraction t ~bounds =
   done;
   !acc
 
+(* Draw order is pinned: all heights first, then all widths, each
+   ascending by block.  (The original implementation built the two
+   arrays as labeled arguments of one [Dims.make] call, which OCaml
+   evaluates right to left — checkpoints and regression hashes replay
+   that order, so it is now explicit.) *)
+let random_dims_into rng t ~w ~h =
+  let n = n_blocks t in
+  if Array.length w <> n || Array.length h <> n then
+    invalid_arg "Dimbox.random_dims_into: bad buffer length";
+  let draw iv = Mps_rng.Rng.int_in rng (Interval.lo iv) (Interval.hi iv) in
+  for i = 0 to n - 1 do
+    h.(i) <- draw t.h.(i)
+  done;
+  for i = 0 to n - 1 do
+    w.(i) <- draw t.w.(i)
+  done
+
 let random_dims rng t =
   let n = n_blocks t in
-  let draw iv = Mps_rng.Rng.int_in rng (Interval.lo iv) (Interval.hi iv) in
-  Dims.make ~w:(Array.init n (fun i -> draw t.w.(i))) ~h:(Array.init n (fun i -> draw t.h.(i)))
+  let w = Array.make n 1 and h = Array.make n 1 in
+  random_dims_into rng t ~w ~h;
+  (* fresh arrays, never aliased — safe to adopt without the copy *)
+  Dims.unsafe_of_arrays ~w ~h
 
 let equal a b =
   n_blocks a = n_blocks b

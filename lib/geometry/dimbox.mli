@@ -77,7 +77,17 @@ val volume_fraction : t -> bounds:t -> float
     explorer's percentage-coverage stopping criterion. *)
 
 val random_dims : Mps_rng.Rng.t -> t -> Dims.t
-(** Uniform sample inside the box. *)
+(** Uniform sample inside the box.  Draw order is part of the
+    deterministic contract: all heights (ascending by block), then all
+    widths. *)
+
+val random_dims_into : Mps_rng.Rng.t -> t -> w:int array -> h:int array -> unit
+(** {!random_dims} into caller buffers (same draws, same order) —
+    nothing allocated, for sampling loops that draw thousands of
+    vectors against per-worker scratch.  The values are written raw;
+    pair with [Dims.unsafe_of_arrays] only while the buffers are not
+    being overwritten.
+    @raise Invalid_argument on a buffer-length mismatch. *)
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

@@ -28,37 +28,61 @@ type result = {
   evaluations : int;
 }
 
-(* The annealing state is one mutable Mps_cost.Incremental evaluator;
-   moves are staged on it, costed as deltas, and either committed or
-   undone — no rect array or coordinate array is allocated per move. *)
-let optimize ?(config = default_config) ?initial ~rng circuit ~die_w ~die_h dims =
+(* All-float accumulator record: stored flat, so the per-move cost
+   updates allocate nothing (a [float ref] boxes a fresh float on
+   every [:=]). *)
+type totals = { mutable cur : float; mutable staged : float }
+
+(* The annealing state is one mutable Mps_cost.Incremental evaluator
+   (the arena's, when given); moves are staged on it, costed as
+   deltas, and either committed or undone.  Move bounds are compiled
+   once per run into Move_lut tables, so a move draw is two array
+   loads and an unchecked uniform draw — no rect, coordinate pair, or
+   interval allocated per move. *)
+let optimize ?(config = default_config) ?arena ?initial ~rng circuit ~die_w ~die_h dims =
   let n = Circuit.n_blocks circuit in
   if Dims.n_blocks dims <> n then invalid_arg "Coord_opt.optimize: block count mismatch";
   let max_shift =
     max 1 (int_of_float (config.max_shift_fraction *. float_of_int (max die_w die_h)))
   in
-  let clamp_pos i (x, y) =
-    ( max 0 (min x (die_w - Dims.width dims i)),
-      max 0 (min y (die_h - Dims.height dims i)) )
+  (* Legal positions at these dimensions.  A block wider than the die
+     pins to x = 0 (hi clamps to 0), exactly as the old
+     [max 0 (min x (die_w - w))] arithmetic did. *)
+  let lut_x =
+    Move_lut.make ~n ~lo:(fun _ -> 0) ~hi:(fun i -> max 0 (die_w - Dims.width dims i))
   in
-  let initial =
-    match initial with
-    | Some coords ->
-      if Array.length coords <> n then invalid_arg "Coord_opt.optimize: bad initial";
-      Array.mapi (fun i pos -> clamp_pos i pos) coords
-    | None ->
-      Array.init n (fun i ->
-          ( Rng.int_in rng 0 (max 0 (die_w - Dims.width dims i)),
-            Rng.int_in rng 0 (max 0 (die_h - Dims.height dims i)) ))
+  let lut_y =
+    Move_lut.make ~n ~lo:(fun _ -> 0) ~hi:(fun i -> max 0 (die_h - Dims.height dims i))
   in
-  let rects_of coords =
-    Array.mapi
-      (fun i (x, y) -> Rect.make ~x ~y ~w:(Dims.width dims i) ~h:(Dims.height dims i))
-      coords
+  let init_x = Array.make n 0 and init_y = Array.make n 0 in
+  (match initial with
+  | Some coords ->
+    if Array.length coords <> n then invalid_arg "Coord_opt.optimize: bad initial";
+    for i = 0 to n - 1 do
+      let x, y = coords.(i) in
+      init_x.(i) <- Move_lut.clamp lut_x i x;
+      init_y.(i) <- Move_lut.clamp lut_y i y
+    done
+  | None ->
+    (* draw order pinned: y before x per block (the original built an
+       [(x, y)] tuple, which OCaml evaluates right to left) *)
+    for i = 0 to n - 1 do
+      init_y.(i) <- Move_lut.draw lut_y rng i;
+      init_x.(i) <- Move_lut.draw lut_x rng i
+    done);
+  let rect_buf =
+    match arena with
+    | Some a -> Arena.rect_buffer a ~slot:0 n
+    | None -> Array.init n (fun _ -> Rect.make ~x:0 ~y:0 ~w:1 ~h:1)
   in
+  for i = 0 to n - 1 do
+    Rect.set rect_buf.(i) ~x:init_x.(i) ~y:init_y.(i) ~w:(Dims.width dims i)
+      ~h:(Dims.height dims i)
+  done;
   let eng =
-    Mps_cost.Incremental.create ~weights:config.weights circuit ~die_w ~die_h
-      (rects_of initial)
+    match arena with
+    | Some a -> Arena.engine a ~weights:config.weights circuit ~die_w ~die_h rect_buf
+    | None -> Mps_cost.Incremental.create ~weights:config.weights circuit ~die_w ~die_h rect_buf
   in
   (* One preallocated proposal buffer; [propose] overwrites it in place. *)
   let mv_swap = ref false and mv_i = ref 0 and mv_j = ref 0 in
@@ -74,46 +98,54 @@ let optimize ?(config = default_config) ?initial ~rng circuit ~die_w ~die_h dims
       let i = Rng.int rng n in
       mv_swap := false;
       mv_i := i;
-      let x, y =
-        clamp_pos i
-          ( Mps_cost.Incremental.block_x eng i + Rng.int_in rng (-max_shift) max_shift,
-            Mps_cost.Incremental.block_y eng i + Rng.int_in rng (-max_shift) max_shift )
-      in
-      mv_x := x;
-      mv_y := y
+      (* y shift drawn before x, matching the original tuple order *)
+      mv_y :=
+        Move_lut.draw_shift lut_y rng i ~cur:(Mps_cost.Incremental.block_y eng i)
+          ~max_shift;
+      mv_x :=
+        Move_lut.draw_shift lut_x rng i ~cur:(Mps_cost.Incremental.block_x eng i)
+          ~max_shift
     end
   in
-  let current_total = ref (Mps_cost.Incremental.total eng) in
-  let staged_total = ref !current_total in
+  let totals =
+    let c = Mps_cost.Incremental.total eng in
+    { cur = c; staged = c }
+  in
   let delta_cost () =
     if !mv_swap then Mps_cost.Incremental.swap_blocks eng !mv_i !mv_j
     else Mps_cost.Incremental.move_block eng !mv_i ~x:!mv_x ~y:!mv_y;
-    staged_total := Mps_cost.Incremental.total eng;
-    !staged_total -. !current_total
+    totals.staged <- Mps_cost.Incremental.total eng;
+    totals.staged -. totals.cur
   in
   let commit () =
     Mps_cost.Incremental.commit eng;
-    (* re-read rather than trust [staged_total]: the commit may have
+    (* re-read rather than trust [staged]: the commit may have
        triggered the periodic anti-drift resync *)
-    current_total := Mps_cost.Incremental.total eng
+    totals.cur <- Mps_cost.Incremental.total eng
   in
   let reject () = Mps_cost.Incremental.undo eng in
-  let best = Array.map (fun pos -> pos) initial in
+  let best_x = Array.copy init_x and best_y = Array.copy init_y in
   let snapshot_best () =
     for i = 0 to n - 1 do
-      best.(i) <- (Mps_cost.Incremental.block_x eng i, Mps_cost.Incremental.block_y eng i)
+      best_x.(i) <- Mps_cost.Incremental.block_x eng i;
+      best_y.(i) <- Mps_cost.Incremental.block_y eng i
     done
   in
   let sa =
     Annealer.run_moves
       ~on_improve:(fun ~cost:_ ~step:_ -> snapshot_best ())
       ~rng ~schedule:config.schedule ~iterations:config.iterations
-      ~initial_cost:!current_total
+      ~initial_cost:totals.cur
       { Annealer.propose; delta_cost; commit; reject }
   in
-  let rects = rects_of best in
+  let rects =
+    Array.init n (fun i ->
+        Rect.make ~x:best_x.(i) ~y:best_y.(i) ~w:(Dims.width dims i)
+          ~h:(Dims.height dims i))
+  in
+  let coords = Array.init n (fun i -> (best_x.(i), best_y.(i))) in
   {
-    placement = Placement.make ~coords:best ~die_w ~die_h;
+    placement = Placement.make ~coords ~die_w ~die_h;
     rects;
     cost = Mps_cost.Cost.total ~weights:config.weights circuit ~die_w ~die_h rects;
     legal = Mps_cost.Cost.is_legal ~die_w ~die_h rects;

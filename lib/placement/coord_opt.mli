@@ -30,10 +30,17 @@ type result = {
 
 val optimize :
   ?config:config ->
+  ?arena:Arena.t ->
   ?initial:(int * int) array ->
   rng:Rng.t -> Circuit.t -> die_w:int -> die_h:int -> Dims.t -> result
 (** Anneal coordinates for the given dimensions under the penalized
     cost function (overlap and out-of-bounds discouraged, not
     forbidden, so the walk can pass through illegal states).
     [initial] seeds the walk (random corners by default); useful for
-    refining an existing arrangement with a short run. *)
+    refining an existing arrangement with a short run.
+
+    Move bounds are compiled once per run into {!Mps_anneal.Move_lut}
+    tables, so each move draw is branch-free and allocation-free.
+    [arena] supplies the incremental-cost engine and scratch buffers
+    from per-worker reusable state; the result is bit-identical with
+    or without it (fresh state is allocated when absent). *)

@@ -21,6 +21,15 @@ let rects t dims =
     (fun i (x, y) -> Rect.make ~x ~y ~w:(Dims.width dims i) ~h:(Dims.height dims i))
     t.coords
 
+let rects_into out t dims =
+  let n = n_blocks t in
+  if Dims.n_blocks dims <> n then invalid_arg "Placement.rects_into: block count mismatch";
+  if Array.length out <> n then invalid_arg "Placement.rects_into: bad buffer length";
+  for i = 0 to n - 1 do
+    let x, y = t.coords.(i) in
+    Rect.set out.(i) ~x ~y ~w:(Dims.width dims i) ~h:(Dims.height dims i)
+  done
+
 let is_legal t dims =
   let rs = rects t dims in
   Rect.any_overlap rs = None

@@ -26,6 +26,13 @@ val rects : t -> Dims.t -> Rect.t array
     [coords.(i)] with dimensions [dims.(i)].
     @raise Invalid_argument on block-count mismatch. *)
 
+val rects_into : Rect.t array -> t -> Dims.t -> unit
+(** {!rects} into a caller buffer of exactly [n_blocks] rectangles,
+    refilled in place ([Rect.set]) — the allocation-free variant for
+    per-worker scratch in sampling and evaluation loops.
+    @raise Invalid_argument on a block-count or buffer-length
+    mismatch. *)
+
 val is_legal : t -> Dims.t -> bool
 (** The instantiated floorplan has no overlaps and stays inside the die. *)
 

@@ -2,41 +2,99 @@ open Mps_geometry
 
 (* Translate the packed floorplan back toward the origin so it fits the
    die when its bounding box allows (independently per axis). *)
-let fit_die ~die_w ~die_h rects =
-  match Rect.bounding_box (Array.to_list rects) with
-  | None -> rects
-  | Some bb ->
-    let shift extent lo hi die =
-      if extent <= die then -(max 0 (hi - die)) |> max (-lo) else -lo
-    in
-    let dx = shift bb.Rect.w bb.Rect.x (Rect.right bb) die_w in
-    let dy = shift bb.Rect.h bb.Rect.y (Rect.top bb) die_h in
-    if dx = 0 && dy = 0 then rects else Array.map (Rect.translate ~dx ~dy) rects
+let[@inline] shift_amount extent lo hi die =
+  if extent <= die then max (-lo) (-(max 0 (hi - die))) else -lo
 
-let instantiate ?die ~coords dims =
+let fit_die_in_place ~die_w ~die_h out =
+  let n = Array.length out in
+  if n > 0 then begin
+    let r0 = out.(0) in
+    let min_x = ref r0.Rect.x and min_y = ref r0.Rect.y in
+    let max_x = ref (Rect.right r0) and max_y = ref (Rect.top r0) in
+    for i = 1 to n - 1 do
+      let r = out.(i) in
+      if r.Rect.x < !min_x then min_x := r.Rect.x;
+      if r.Rect.y < !min_y then min_y := r.Rect.y;
+      if Rect.right r > !max_x then max_x := Rect.right r;
+      if Rect.top r > !max_y then max_y := Rect.top r
+    done;
+    let dx = shift_amount (!max_x - !min_x) !min_x !max_x die_w in
+    let dy = shift_amount (!max_y - !min_y) !min_y !max_y die_h in
+    if dx <> 0 || dy <> 0 then
+      for i = 0 to n - 1 do
+        let r = out.(i) in
+        r.Rect.x <- r.Rect.x + dx;
+        r.Rect.y <- r.Rect.y + dy
+      done
+  end
+
+type scratch = { mutable sc_order : int array; mutable sc_placed : Bytes.t }
+
+let scratch () = { sc_order = [||]; sc_placed = Bytes.empty }
+
+(* The allocation-free kernel: instantiation runs in admission-test and
+   template-averaging loops that re-pack hundreds of dimension samples
+   per candidate, so the sort permutation, the placed flags, and the
+   output rectangles all live in caller-owned buffers refilled in
+   place.  Identical results to the allocating wrapper below: same
+   visit order (same comparator over the same identity permutation),
+   same settle predicate, same die translation. *)
+let instantiate_into ~scratch ~out ?die ~coords dims =
   let n = Array.length coords in
-  if Dims.n_blocks dims <> n then invalid_arg "Repack.instantiate: block count mismatch";
-  let order = Array.init n Fun.id in
+  if Dims.n_blocks dims <> n then
+    invalid_arg "Repack.instantiate_into: block count mismatch";
+  if Array.length out <> n then invalid_arg "Repack.instantiate_into: bad buffer length";
+  if Array.length scratch.sc_order <> n then begin
+    scratch.sc_order <- Array.make n 0;
+    scratch.sc_placed <- Bytes.make n '\000'
+  end;
+  let order = scratch.sc_order in
+  for i = 0 to n - 1 do
+    order.(i) <- i
+  done;
   Array.sort
     (fun i j ->
       let xi, yi = coords.(i) and xj, yj = coords.(j) in
       match Int.compare xi xj with 0 -> Int.compare yi yj | c -> c)
     order;
-  let placed = Array.make n None in
-  let place i =
+  let placed = scratch.sc_placed in
+  Bytes.fill placed 0 n '\000';
+  for oi = 0 to n - 1 do
+    let i = order.(oi) in
     let x, y = coords.(i) in
     let w = Dims.width dims i and h = Dims.height dims i in
-    let rec settle y =
-      let candidate = Rect.make ~x ~y ~w ~h in
-      let clash =
-        Array.exists (function Some r -> Rect.overlaps candidate r | None -> false) placed
-      in
-      if clash then settle (y + 1) else candidate
-    in
-    placed.(i) <- Some (settle y)
-  in
-  Array.iter place order;
-  let rects = Array.map (function Some r -> r | None -> assert false) placed in
+    (* slide upward to the first y where (x, y, w, h) clashes with no
+       already-placed block — integer compares against the filled
+       prefix of [out], no candidate rect materialized per tried y *)
+    let yy = ref y in
+    let clash = ref true in
+    while !clash do
+      clash := false;
+      let j = ref 0 in
+      while (not !clash) && !j < n do
+        if Bytes.unsafe_get placed !j <> '\000' then begin
+          let r = Array.unsafe_get out !j in
+          if x < r.Rect.x + r.Rect.w && r.Rect.x < x + w && !yy < r.Rect.y + r.Rect.h
+             && r.Rect.y < !yy + h
+          then clash := true
+        end;
+        incr j
+      done;
+      if !clash then incr yy
+    done;
+    Rect.set out.(i) ~x ~y:!yy ~w ~h;
+    Bytes.set placed i '\001'
+  done;
   match die with
-  | None -> rects
-  | Some (die_w, die_h) -> fit_die ~die_w ~die_h rects
+  | None -> ()
+  | Some (die_w, die_h) -> fit_die_in_place ~die_w ~die_h out
+
+let instantiate ?die ~coords dims =
+  let n = Array.length coords in
+  if Dims.n_blocks dims <> n then invalid_arg "Repack.instantiate: block count mismatch";
+  let out =
+    Array.init n (fun i ->
+        Rect.make ~x:0 ~y:0 ~w:(Dims.width dims i) ~h:(Dims.height dims i))
+  in
+  instantiate_into ~scratch:(scratch ()) ~out ?die ~coords dims;
+  out

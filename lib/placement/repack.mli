@@ -17,3 +17,26 @@ val instantiate : ?die:int * int -> coords:(int * int) array -> Dims.t -> Rect.t
     (per axis); a bounding box larger than the die still sticks out —
     rigidity is the template's defining weakness.
     @raise Invalid_argument on block-count mismatch. *)
+
+type scratch
+(** Reusable working set for {!instantiate_into} (sort permutation and
+    placed flags); sized lazily to the block count on first use and
+    reused for free while the count is stable.  Not thread-safe — one
+    per worker (see [Arena]). *)
+
+val scratch : unit -> scratch
+
+val instantiate_into :
+  scratch:scratch ->
+  out:Rect.t array ->
+  ?die:int * int ->
+  coords:(int * int) array ->
+  Dims.t ->
+  unit
+(** {!instantiate} into a caller buffer of exactly one rectangle per
+    block, refilled in place: the allocation-free variant for the
+    admission-test and template-averaging loops, which re-pack
+    hundreds of sampled dimension vectors per candidate.  Results are
+    identical to {!instantiate}.
+    @raise Invalid_argument on a block-count or buffer-length
+    mismatch. *)

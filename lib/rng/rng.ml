@@ -107,6 +107,8 @@ let int t n =
   if n <= 0 then invalid_arg "Rng.int: bound must be positive";
   Random.State.int t.state n
 
+let[@inline] unsafe_int t n = Random.State.int t.state n
+
 let int_in t lo hi =
   if lo > hi then invalid_arg "Rng.int_in: empty range";
   lo + Random.State.int t.state (hi - lo + 1)

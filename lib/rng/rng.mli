@@ -45,6 +45,12 @@ val of_string : string -> t option
 val int : t -> int -> int
 (** [int t n] draws uniformly from [0 .. n-1].  [n] must be positive. *)
 
+val unsafe_int : t -> int -> int
+(** [int] without the bound check — same draw, same stream position.
+    For compiled move tables ({!Mps_anneal.Move_lut}) whose spans are
+    validated once at build time; the behaviour is undefined when
+    [n < 1].  Anywhere else, use {!int}. *)
+
 val int_in : t -> int -> int -> int
 (** [int_in t lo hi] draws uniformly from the inclusive range [lo .. hi].
     Requires [lo <= hi]. *)

@@ -51,10 +51,129 @@ let test_pool_misuse_rejected () =
        false
      with Invalid_argument _ -> true);
   check_bool "default_jobs at least 1" true (Pool.default_jobs () >= 1);
+  check_bool "chunk = 0 rejected" true
+    (Pool.with_pool ~jobs:2 (fun pool ->
+         try
+           ignore (Pool.map_chunked pool ~chunk:0 (fun ~worker:_ i -> i) [| 1 |]);
+           false
+         with Invalid_argument _ -> true));
   (* shutdown is idempotent *)
   let pool = Pool.create ~jobs:2 () in
   Pool.shutdown pool;
   Pool.shutdown pool
+
+(* map_chunked: any (jobs, chunk) pair delivers results in task order,
+   and every task sees a worker slot inside [0, jobs). *)
+let test_map_chunked_order_and_slots () =
+  let n = 101 in
+  let tasks = Array.init n Fun.id in
+  let expected = Array.map (fun i -> 3 * i) tasks in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          List.iter
+            (fun chunk ->
+              let slots = Array.make n (-1) in
+              let got =
+                Pool.map_chunked pool ~chunk
+                  (fun ~worker i ->
+                    slots.(i) <- worker;
+                    3 * i)
+                  tasks
+              in
+              check_bool
+                (Printf.sprintf "jobs=%d chunk=%d results in task order" jobs chunk)
+                true (got = expected);
+              check_bool
+                (Printf.sprintf "jobs=%d chunk=%d worker slots in range" jobs chunk)
+                true
+                (Array.for_all (fun w -> w >= 0 && w < jobs) slots))
+            [ 1; 3; 64; 200 ]))
+    [ 1; 2; 3 ]
+
+(* Scheduler counters: every task is accounted to exactly one worker,
+   and reset_stats zeroes the lot. *)
+let test_pool_stats_accounting () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      Pool.reset_stats pool;
+      let n = 57 in
+      ignore (Pool.map_chunked pool ~chunk:2 (fun ~worker:_ i -> i) (Array.init n Fun.id));
+      let stats = pool |> Pool.stats in
+      let total_tasks = Array.fold_left (fun acc s -> acc + s.Pool.tasks) 0 stats in
+      let total_chunks = Array.fold_left (fun acc s -> acc + s.Pool.chunks) 0 stats in
+      check_bool "tasks across workers sum to the batch size" true (total_tasks = n);
+      check_bool "at least one chunk was claimed" true (total_chunks >= 1);
+      check_bool "chunks never exceed tasks" true (total_chunks <= total_tasks);
+      check_bool "busy time is non-negative" true
+        (Array.for_all (fun s -> s.Pool.busy_seconds >= 0.0) stats);
+      Pool.reset_stats pool;
+      check_bool "reset_stats zeroes every counter" true
+        (Array.for_all
+           (fun s ->
+             s.Pool.tasks = 0 && s.Pool.chunks = 0 && s.Pool.steals = 0
+             && s.Pool.batches = 0 && s.Pool.minor_words = 0.0
+             && s.Pool.busy_seconds = 0.0)
+           (Pool.stats pool)))
+
+(* default_jobs cap: ~max_jobs beats MPS_MAX_JOBS beats the built-in 8.
+   The expected value is computed against the host's own domain count,
+   so the assertions are exact on any machine. *)
+let test_default_jobs_cap () =
+  let expected cap = max 1 (min cap (Domain.recommended_domain_count ())) in
+  let with_env value f =
+    let old = Sys.getenv_opt "MPS_MAX_JOBS" in
+    Unix.putenv "MPS_MAX_JOBS" value;
+    Fun.protect
+      ~finally:(fun () ->
+        Unix.putenv "MPS_MAX_JOBS" (match old with Some v -> v | None -> ""))
+      f
+  in
+  check_bool "built-in cap is 8" true (Pool.default_jobs () = expected 8);
+  check_bool "~max_jobs caps directly" true
+    (Pool.default_jobs ~max_jobs:1 () = expected 1);
+  with_env "3" (fun () ->
+      check_bool "MPS_MAX_JOBS caps the default" true
+        (Pool.default_jobs () = expected 3);
+      check_bool "~max_jobs overrides the environment" true
+        (Pool.default_jobs ~max_jobs:1 () = expected 1));
+  with_env "garbage" (fun () ->
+      check_bool "unparseable MPS_MAX_JOBS falls back to 8" true
+        (Pool.default_jobs () = expected 8));
+  with_env "0" (fun () ->
+      check_bool "non-positive MPS_MAX_JOBS falls back to 8" true
+        (Pool.default_jobs () = expected 8))
+
+(* The annealers' move-draw path must stay allocation-free: on OCaml 5
+   every minor collection is a stop-the-world across all domains, so a
+   single boxed float per move would serialize the whole pool.  The
+   Move_lut draw / draw_shift / clamp path is exercised 100k times and
+   the per-draw minor-heap cost asserted at zero (the tiny constant
+   slack absorbs the counter reads' own boxing). *)
+let test_move_lut_draws_do_not_allocate () =
+  let module Move_lut = Mps_anneal.Move_lut in
+  let module Rng = Mps_rng.Rng in
+  let lut = Move_lut.make ~n:16 ~lo:(fun i -> i) ~hi:(fun i -> 3 * i + 7) in
+  let rng = Rng.create ~seed:11 in
+  let sink = ref 0 in
+  let exercise iters =
+    for i = 0 to iters - 1 do
+      let a = i land 15 in
+      sink := !sink + Move_lut.draw lut rng a;
+      sink := !sink + Move_lut.draw_shift lut rng a ~cur:(i land 31) ~max_shift:4;
+      sink := !sink + Move_lut.clamp lut a (i * 7)
+    done
+  in
+  exercise 1000 (* warm-up: code paths compiled, rng state touched *);
+  let iters = 100_000 in
+  let before = Gc.minor_words () in
+  exercise iters;
+  let delta = Gc.minor_words () -. before in
+  ignore (Sys.opaque_identity !sink);
+  check_bool
+    (Printf.sprintf "move draws allocated %.0f minor words over %dk draws" delta
+       (3 * iters / 1000))
+    true
+    (delta < 256.0)
 
 (* parallel generation: bit-determinism across job counts *)
 
@@ -74,7 +193,10 @@ let bytes_at ~jobs circuit =
 
 (* The acceptance property on three Table 1 circuits: the structure a
    parallel run produces is a pure function of the config, never of the
-   worker count. *)
+   worker count.  Jobs 2 and 3 split the walk ranges unevenly (and 3
+   does not divide the restart counts), 8 oversubscribes this class of
+   host — each a distinct scheduling regime, all required to reproduce
+   the 1-job bytes. *)
 let test_jobs_invariant_structures () =
   List.iter
     (fun circuit ->
@@ -86,7 +208,7 @@ let test_jobs_invariant_structures () =
                jobs)
             true
             (bytes_at ~jobs circuit = one))
-        [ 2; 4 ])
+        [ 2; 3; 8 ])
     [ Benchmarks.circ01; Benchmarks.circ02; Benchmarks.circ06 ]
 
 let with_checkpoint_file f =
@@ -184,7 +306,13 @@ let suite =
     ("pool re-raises the lowest failing task", `Quick, test_map_exception_lowest_index);
     ("map_reduce folds in task order", `Quick, test_map_reduce_fold_order);
     ("pool misuse rejected, shutdown idempotent", `Quick, test_pool_misuse_rejected);
-    ("parallel generation bit-identical at 1/2/4 jobs", `Quick,
+    ("map_chunked keeps task order, slots in range", `Quick,
+     test_map_chunked_order_and_slots);
+    ("scheduler stats account for every task", `Quick, test_pool_stats_accounting);
+    ("default_jobs cap: max_jobs > MPS_MAX_JOBS > 8", `Quick, test_default_jobs_cap);
+    ("move LUT draw path allocates nothing", `Quick,
+     test_move_lut_draws_do_not_allocate);
+    ("parallel generation bit-identical at 1/2/3/8 jobs", `Quick,
      test_jobs_invariant_structures);
     ("kill at 4 jobs, resume at 3: equals the straight run", `Quick,
      test_par_kill_resume_matches);
