@@ -8,6 +8,7 @@
    - [mpsgen extend CIRCUIT -i FILE]  resume exploration on a saved structure
    - [mpsgen experiments TARGET]      regenerate a table / figure / ablation
    - [mpsgen serve -d DIR]            run the mpsd structure-serving daemon
+   - [mpsgen health ADDR]             readiness probe against a running mpsd
    - [mpsgen bench-serve CIRCUIT]     end-to-end serving throughput/latency
 
    [generate] and [extend] checkpoint with [--checkpoint FILE
@@ -691,6 +692,7 @@ let experiments_cmd =
 module Server = Mps_serve.Server
 module Store = Mps_serve.Store
 module Client = Mps_serve.Client
+module Wire = Mps_serve.Wire
 
 let parse_tcp spec =
   match String.rindex_opt spec ':' with
@@ -712,12 +714,17 @@ let addr_to_string = function
   | Server.Unix_path p -> p
   | Server.Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
 
-let serve dir socket tcp capacity max_connections max_inflight idle_timeout
+let serve dir socket tcp capacity workers max_connections max_inflight idle_timeout
     drain_timeout =
   let store = Store.create ~capacity ~dir () in
+  let workers =
+    if workers < 1 then die "--workers must be at least 1"
+    else min workers (Domain.recommended_domain_count ())
+  in
   let config =
     {
       Server.default_config with
+      workers;
       max_connections;
       max_inflight;
       idle_timeout;
@@ -737,20 +744,24 @@ let serve dir socket tcp capacity max_connections max_inflight idle_timeout
         (Unix.error_message e)
   in
   Server.install_sigterm server;
-  Format.printf "mpsd: serving structures from %s on %s (SIGTERM drains)@."
+  Format.printf
+    "mpsd: serving structures from %s on %s with %d worker domain(s) (SIGTERM drains)@."
     dir
-    (addr_to_string (Server.bound_addr server));
+    (addr_to_string (Server.bound_addr server))
+    workers;
   Format.print_flush ();
   Server.run server;
   let s = Server.stats server in
   Format.printf
     "mpsd: drained: %d requests (%d queries, %d degraded) served; %d timeouts, %d \
      overloaded, %d bad, %d store errors; %d connections (%d shed, %d crashed), %d \
-     accept failures@."
+     accept failures; %d worker crashes, %d restarts, %d lost replies, %d breaker \
+     trips@."
     s.Server.requests_served s.Server.queries_served s.Server.degraded_served
     s.Server.timeouts s.Server.overloaded s.Server.bad_requests s.Server.store_errors
     s.Server.accepted s.Server.shed_connections s.Server.connection_crashes
-    s.Server.accept_failures
+    s.Server.accept_failures s.Server.worker_crashes s.Server.worker_restarts
+    s.Server.worker_lost_replies s.Server.breaker_trips
 
 let store_dir_arg =
   Arg.(
@@ -780,6 +791,17 @@ let capacity_arg =
     value
     & opt int 8
     & info [ "capacity" ] ~docv:"N" ~doc:"Compiled engines kept live (LRU beyond).")
+
+let workers_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "Worker domains serving connections (capped at the host's core count).  \
+           Each worker is crash-isolated and restarted under exponential backoff; \
+           a restart storm trips a circuit breaker into degraded single-worker \
+           mode.")
 
 let max_connections_arg =
   Arg.(
@@ -816,10 +838,54 @@ let serve_cmd =
           binary protocol with per-request deadlines, bounded load shedding, hot \
           reload after $(b,mpsgen repair) (epoch-stamped replies), and degraded-mode \
           answers (flagged, never silently wrong) for structures with audit findings.  \
-          SIGTERM drains gracefully.")
+          With $(b,--workers) the connections are served by a pool of supervised, \
+          crash-isolated worker domains; $(b,mpsgen health) probes the pool's \
+          readiness.  SIGTERM drains gracefully.")
     Term.(
-      const serve $ store_dir_arg $ socket_arg $ tcp_arg $ capacity_arg
+      const serve $ store_dir_arg $ socket_arg $ tcp_arg $ capacity_arg $ workers_arg
       $ max_connections_arg $ max_inflight_arg $ idle_timeout_arg $ drain_timeout_arg)
+
+(* health: the readiness probe *)
+
+(* Exit codes are the machine interface (orchestrator probes script
+   against them): 0 ready, 1 not ready or unreachable. *)
+let health_probe addr_spec timeout =
+  let addr = parse_addr addr_spec in
+  let client = Client.connect addr in
+  match Client.health ~budget:timeout client with
+  | Ok h ->
+    Format.printf "%s@." (Wire.health_to_string h);
+    if not h.Wire.ready then exit 1
+  | Error e ->
+    (* a daemon whose workers are all down cannot serve even the
+       probe: unreachable IS the not-ready signal *)
+    Format.printf "mpsd at %s: not ready: %s@." (addr_to_string addr)
+      (Client.error_to_string e);
+    exit 1
+
+let health_addr_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"ADDR"
+        ~doc:"Daemon address: a Unix socket path, or $(b,tcp:HOST:PORT).")
+
+let health_timeout_arg =
+  Arg.(
+    value
+    & opt float 2.0
+    & info [ "timeout" ] ~docv:"S" ~doc:"Probe budget in seconds.")
+
+let health_cmd =
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:
+         "Probe a running mpsd: print the supervisor's health snapshot (readiness, \
+          draining and circuit-breaker flags, per-worker state with restart counts \
+          and queue depths, generation epoch) and exit 0 when ready, 1 when \
+          not ready or unreachable — the shape an orchestrator's readiness probe \
+          wants.")
+    Term.(const health_probe $ health_addr_arg $ health_timeout_arg)
 
 (* bench-serve: end-to-end serving throughput and latency *)
 
@@ -846,7 +912,20 @@ let walk_step rng structure bounds current =
     Dimbox.clamp bounds d'
   end
 
-let bench_serve circuit budget batch requests clients attach out jobs =
+(* One measurement's aggregate numbers. *)
+type bench_serve_row = {
+  bs_workers : int;
+  bs_served : int;
+  bs_seconds : float;
+  bs_rate : float;
+  bs_p50 : float;
+  bs_p99 : float;
+  bs_mismatches : int;
+  bs_errors : int;
+  bs_degraded : int;
+}
+
+let bench_serve circuit budget batch requests clients workers attach out jobs =
   let config = Mps_experiments.Experiments.generator_config budget circuit in
   Format.printf "bench-serve: generating %s (%s budget)...@." circuit.Circuit.name
     (match budget with Mps_experiments.Experiments.Quick -> "quick" | _ -> "full");
@@ -854,31 +933,6 @@ let bench_serve circuit budget batch requests clients attach out jobs =
   let structure, _ = Generator.generate_par ~config ~jobs circuit in
   (* the in-process oracle every served answer is checked against *)
   let engine = Structure.Engine.create structure in
-  let addr, self_hosted =
-    match attach with
-    | Some spec -> (parse_addr spec, None)
-    | None ->
-      let dir =
-        Filename.concat (Filename.get_temp_dir_name ())
-          (Printf.sprintf "mpsd-bench.%d" (Unix.getpid ()))
-      in
-      (try Unix.mkdir dir 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
-      let store = Store.create ~dir () in
-      let path = Store.path_for store circuit.Circuit.name in
-      (match Codec.save structure ~path with
-      | () -> ()
-      | exception Codec.Error e -> die "%s: %s" path (Codec.error_to_string e));
-      let server =
-        Server.create
-          ~config:{ Server.default_config with Server.max_inflight = 2 * clients }
-          ~store
-          (Server.Unix_path (Filename.concat dir "mpsd.sock"))
-      in
-      (* the server gets exactly one core: its accept loop and every
-         connection handler are threads of this one domain *)
-      let domain = Domain.spawn (fun () -> Server.run server) in
-      (Server.bound_addr server, Some (server, domain, dir, path))
-  in
   let name = circuit.Circuit.name in
   let bounds = Circuit.dim_bounds circuit in
   let per_client = max 1 (requests / max 1 clients) in
@@ -888,113 +942,191 @@ let bench_serve circuit budget batch requests clients attach out jobs =
      boxes, which is what a sizing loop does anyway), then cross-checks
      every served answer against the in-process engine afterwards. *)
   let distinct = min per_client 8 in
-  let ready = Atomic.make 0 in
-  let go = Atomic.make false in
-  let run_client k =
-    let rng = Mps_rng.Rng.create ~seed:(1000 + k) in
-    let client = Client.connect addr in
-    let session = Structure.Engine.new_session () in
-    let current = ref (Dimbox.center bounds) in
-    let pool =
-      Array.init distinct (fun _ ->
-          Array.init batch (fun _ ->
-              current := walk_step rng structure bounds !current;
-              !current))
+  let run_measurement ~nw addr =
+    let ready = Atomic.make 0 in
+    let go = Atomic.make false in
+    let run_client k =
+      let rng = Mps_rng.Rng.create ~seed:(1000 + k) in
+      let client = Client.connect addr in
+      let session = Structure.Engine.new_session () in
+      let current = ref (Dimbox.center bounds) in
+      let pool =
+        Array.init distinct (fun _ ->
+            Array.init batch (fun _ ->
+                current := walk_step rng structure bounds !current;
+                !current))
+      in
+      let latencies = Array.make per_client 0.0 in
+      let replies = Array.make per_client [||] in
+      let errors = ref 0 and served = ref 0 and degraded = ref 0 in
+      (* all clients enter the timed phase together *)
+      Atomic.incr ready;
+      while not (Atomic.get go) do
+        Unix.sleepf 0.001
+      done;
+      let t_start = Unix.gettimeofday () in
+      (* timed phase: pure request/reply traffic; a streak of requests
+         failing even through retry-with-backoff means the daemon is
+         gone for good — stop burning backoff time on the remainder *)
+      let give_up = 8 in
+      let streak = ref 0 in
+      let completed = ref 0 in
+      (try
+         for r = 0 to per_client - 1 do
+           let t0 = Unix.gettimeofday () in
+           (match
+              Client.with_retry ~rng client (fun () ->
+                  Client.query_ids ~budget:10.0 client ~circuit:name
+                    pool.(r mod distinct))
+            with
+           | Ok (ids, meta) ->
+             streak := 0;
+             served := !served + batch;
+             if meta.Client.degraded then incr degraded;
+             replies.(r) <- ids
+           | Error e ->
+             incr errors;
+             incr streak;
+             Format.eprintf "bench-serve: client %d: %s@." k (Client.error_to_string e));
+           latencies.(r) <- Unix.gettimeofday () -. t0;
+           incr completed;
+           if !streak >= give_up then raise Exit
+         done
+       with Exit ->
+         Format.eprintf
+           "bench-serve: client %d: giving up after %d consecutive failures@." k give_up);
+      let t_end = Unix.gettimeofday () in
+      let latencies = Array.sub latencies 0 !completed in
+      Client.close client;
+      (* untimed phase: every served answer against the oracle *)
+      let expected =
+        Array.map
+          (fun dims -> Array.map (Structure.Engine.query_id engine session) dims)
+          pool
+      in
+      let mismatches = ref 0 in
+      Array.iteri
+        (fun r ids ->
+          if Array.length ids > 0 then
+            Array.iteri
+              (fun i id -> if id <> expected.(r mod distinct).(i) then incr mismatches)
+              ids)
+        replies;
+      (latencies, !served, !mismatches, !errors, !degraded, t_start, t_end)
     in
-    let latencies = Array.make per_client 0.0 in
-    let replies = Array.make per_client [||] in
-    let errors = ref 0 and served = ref 0 and degraded = ref 0 in
-    (* all clients enter the timed phase together *)
-    Atomic.incr ready;
-    while not (Atomic.get go) do
+    Format.printf
+      "bench-serve: %d client domain(s) x %d requests x %d queries on %s@." clients
+      per_client batch (addr_to_string addr);
+    Format.print_flush ();
+    let domains = Array.init clients (fun k -> Domain.spawn (fun () -> run_client k)) in
+    while Atomic.get ready < clients do
       Unix.sleepf 0.001
     done;
-    let t_start = Unix.gettimeofday () in
-    (* timed phase: pure request/reply traffic; a streak of requests
-       failing even through retry-with-backoff means the daemon is
-       gone for good — stop burning backoff time on the remainder *)
-    let give_up = 8 in
-    let streak = ref 0 in
-    let completed = ref 0 in
-    (try
-       for r = 0 to per_client - 1 do
-         let t0 = Unix.gettimeofday () in
-         (match
-            Client.with_retry ~rng (fun () ->
-                Client.query_ids ~budget:10.0 client ~circuit:name pool.(r mod distinct))
-          with
-         | Ok (ids, meta) ->
-           streak := 0;
-           served := !served + batch;
-           if meta.Client.degraded then incr degraded;
-           replies.(r) <- ids
-         | Error e ->
-           incr errors;
-           incr streak;
-           Format.eprintf "bench-serve: client %d: %s@." k (Client.error_to_string e));
-         latencies.(r) <- Unix.gettimeofday () -. t0;
-         incr completed;
-         if !streak >= give_up then raise Exit
-       done
-     with Exit ->
-       Format.eprintf "bench-serve: client %d: giving up after %d consecutive failures@."
-         k give_up);
-    let t_end = Unix.gettimeofday () in
-    let latencies = Array.sub latencies 0 !completed in
-    Client.close client;
-    (* untimed phase: every served answer against the oracle *)
-    let expected =
-      Array.map
-        (fun dims -> Array.map (Structure.Engine.query_id engine session) dims)
-        pool
+    Atomic.set go true;
+    let results = Array.map Domain.join domains in
+    let seconds =
+      let starts = Array.map (fun (_, _, _, _, _, s, _) -> s) results in
+      let ends = Array.map (fun (_, _, _, _, _, _, e) -> e) results in
+      Array.fold_left max ends.(0) ends -. Array.fold_left min starts.(0) starts
     in
-    let mismatches = ref 0 in
-    Array.iteri
-      (fun r ids ->
-        if Array.length ids > 0 then
-          Array.iteri
-            (fun i id -> if id <> expected.(r mod distinct).(i) then incr mismatches)
-            ids)
-      replies;
-    (latencies, !served, !mismatches, !errors, !degraded, t_start, t_end)
+    let latencies =
+      Array.concat (Array.to_list (Array.map (fun (l, _, _, _, _, _, _) -> l) results))
+    in
+    Array.sort compare latencies;
+    let sum f = Array.fold_left (fun acc r -> acc + f r) 0 results in
+    let served = sum (fun (_, s, _, _, _, _, _) -> s) in
+    let row =
+      {
+        bs_workers = nw;
+        bs_served = served;
+        bs_seconds = seconds;
+        bs_rate = float_of_int served /. seconds;
+        bs_p50 = 1e6 *. percentile latencies 0.50;
+        bs_p99 = 1e6 *. percentile latencies 0.99;
+        bs_mismatches = sum (fun (_, _, m, _, _, _, _) -> m);
+        bs_errors = sum (fun (_, _, _, e, _, _, _) -> e);
+        bs_degraded = sum (fun (_, _, _, _, d, _, _) -> d);
+      }
+    in
+    Format.printf
+      "bench-serve: workers=%d: %d queries in %.3f s (%.0f served queries/s); \
+       request p50 %.0f us, p99 %.0f us; %d mismatches, %d errors, %d degraded \
+       replies@."
+      nw row.bs_served row.bs_seconds row.bs_rate row.bs_p50 row.bs_p99
+      row.bs_mismatches row.bs_errors row.bs_degraded;
+    Format.print_flush ();
+    row
   in
-  Format.printf "bench-serve: %d client domain(s) x %d requests x %d queries on %s@."
-    clients per_client batch (addr_to_string addr);
-  Format.print_flush ();
-  let workers = Array.init clients (fun k -> Domain.spawn (fun () -> run_client k)) in
-  while Atomic.get ready < clients do
-    Unix.sleepf 0.001
-  done;
-  Atomic.set go true;
-  let results = Array.map Domain.join workers in
-  let seconds =
-    let starts = Array.map (fun (_, _, _, _, _, s, _) -> s) results in
-    let ends = Array.map (fun (_, _, _, _, _, _, e) -> e) results in
-    Array.fold_left max ends.(0) ends -. Array.fold_left min starts.(0) starts
+  let main_row, baseline =
+    match attach with
+    | Some spec ->
+      (* a remote daemon's worker count is whatever it was started
+         with; no sweep, just the one measurement *)
+      (run_measurement ~nw:workers (parse_addr spec), None)
+    | None ->
+      let dir =
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "mpsd-bench.%d" (Unix.getpid ()))
+      in
+      (try Unix.mkdir dir 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      let path = Store.path_for (Store.create ~dir ()) circuit.Circuit.name in
+      (match Codec.save structure ~path with
+      | () -> ()
+      | exception Codec.Error e -> die "%s: %s" path (Codec.error_to_string e));
+      (* each measurement self-hosts a fresh daemon in its own domain
+         (plus its worker domains) on the same socket *)
+      let hosted nw =
+        let server =
+          Server.create
+            ~config:
+              {
+                Server.default_config with
+                Server.max_inflight = 2 * clients;
+                workers = nw;
+              }
+            ~store:(Store.create ~dir ())
+            (Server.Unix_path (Filename.concat dir "mpsd.sock"))
+        in
+        let domain = Domain.spawn (fun () -> Server.run server) in
+        let row = run_measurement ~nw (Server.bound_addr server) in
+        Server.stop server;
+        Domain.join domain;
+        row
+      in
+      let base = hosted 1 in
+      let result =
+        if workers <= 1 then (base, None) else (hosted workers, Some base)
+      in
+      (try Sys.remove path with Sys_error _ -> ());
+      (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+      result
   in
-  (match self_hosted with
-  | None -> ()
-  | Some (server, domain, dir, path) ->
-    Server.stop server;
-    Domain.join domain;
-    (try Sys.remove path with Sys_error _ -> ());
-    (try Unix.rmdir dir with Unix.Unix_error _ -> ()));
-  let latencies =
-    Array.concat (Array.to_list (Array.map (fun (l, _, _, _, _, _, _) -> l) results))
+  let row_fields indent r =
+    Printf.sprintf
+      "%s\"workers\": %d,\n\
+       %s\"queries_served\": %d,\n\
+       %s\"wall_seconds\": %.4f,\n\
+       %s\"served_queries_per_sec\": %.0f,\n\
+       %s\"request_p50_us\": %.1f,\n\
+       %s\"request_p99_us\": %.1f,\n\
+       %s\"mismatches\": %d,\n\
+       %s\"errors\": %d,\n\
+       %s\"degraded_replies\": %d"
+      indent r.bs_workers indent r.bs_served indent r.bs_seconds indent r.bs_rate
+      indent r.bs_p50 indent r.bs_p99 indent r.bs_mismatches indent r.bs_errors
+      indent r.bs_degraded
   in
-  Array.sort compare latencies;
-  let sum f = Array.fold_left (fun acc r -> acc + f r) 0 results in
-  let served = sum (fun (_, s, _, _, _, _, _) -> s) in
-  let mismatches = sum (fun (_, _, m, _, _, _, _) -> m) in
-  let errors = sum (fun (_, _, _, e, _, _, _) -> e) in
-  let degraded = sum (fun (_, _, _, _, d, _, _) -> d) in
-  let rate = float_of_int served /. seconds in
-  let p50 = 1e6 *. percentile latencies 0.50 in
-  let p99 = 1e6 *. percentile latencies 0.99 in
-  Format.printf
-    "bench-serve: %d queries in %.3f s (%.0f served queries/s); request p50 %.0f us, \
-     p99 %.0f us; %d mismatches, %d errors, %d degraded replies@."
-    served seconds rate p50 p99 mismatches errors degraded;
+  let tail =
+    match baseline with
+    | None -> ""
+    | Some base ->
+      Printf.sprintf
+        ",\n\
+        \  \"single_worker_baseline\": {\n%s\n  },\n\
+        \  \"speedup_vs_single_worker\": %.3f"
+        (row_fields "    " base)
+        (main_row.bs_rate /. base.bs_rate)
+  in
   let json =
     Printf.sprintf
       "{\n\
@@ -1003,22 +1135,24 @@ let bench_serve circuit budget batch requests clients attach out jobs =
       \  \"clients\": %d,\n\
       \  \"requests_per_client\": %d,\n\
       \  \"batch\": %d,\n\
-      \  \"queries_served\": %d,\n\
-      \  \"wall_seconds\": %.4f,\n\
-      \  \"served_queries_per_sec\": %.0f,\n\
-      \  \"request_p50_us\": %.1f,\n\
-      \  \"request_p99_us\": %.1f,\n\
-      \  \"mismatches\": %d,\n\
-      \  \"errors\": %d,\n\
-      \  \"degraded_replies\": %d\n\
+      \  \"host_cores\": %d,\n\
+       %s%s\n\
        }\n"
       circuit.Circuit.name
       (match budget with Mps_experiments.Experiments.Quick -> "quick" | _ -> "full")
-      clients per_client batch served seconds rate p50 p99 mismatches errors degraded
+      clients per_client batch
+      (Domain.recommended_domain_count ())
+      (row_fields "  " main_row)
+      tail
   in
   (try Persist.atomic_write ~path:out json with Sys_error msg -> die "%s" msg);
   Format.printf "wrote %s@." out;
-  if mismatches > 0 then die "%d served answers disagreed with the in-process engine" mismatches
+  let mismatches =
+    main_row.bs_mismatches
+    + match baseline with Some b -> b.bs_mismatches | None -> 0
+  in
+  if mismatches > 0 then
+    die "%d served answers disagreed with the in-process engine" mismatches
 
 let batch_arg =
   Arg.(
@@ -1055,18 +1189,29 @@ let bench_out_arg =
     & opt string "BENCH_SERVE.json"
     & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Where to write the JSON report.")
 
+let bench_workers_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "Worker domains in the self-hosted daemon.  With $(docv) > 1 the bench \
+           first measures a single-worker baseline and reports the speedup next to \
+           it in the JSON.  Ignored (recorded verbatim) with $(b,--attach).")
+
 let bench_serve_cmd =
   Cmd.v
     (Cmd.info "bench-serve"
        ~doc:
-         "Measure end-to-end serving throughput and latency: self-host an mpsd on one \
-          core (or $(b,--attach) to one), drive sizing-walk batches from client \
-          domains, cross-check every served answer against an in-process engine, and \
-          record served queries/sec with p50/p99 request latency in a JSON report.  \
-          Exits 1 on any mismatch.")
+         "Measure end-to-end serving throughput and latency: self-host an mpsd (or \
+          $(b,--attach) to one), drive sizing-walk batches from client domains, \
+          cross-check every served answer against an in-process engine, and record \
+          served queries/sec with p50/p99 request latency in a JSON report.  With \
+          $(b,--workers) > 1 a single-worker baseline runs first and the report \
+          carries both blocks plus the speedup.  Exits 1 on any mismatch.")
     Term.(
       const bench_serve $ circuit_arg $ budget_arg $ batch_arg $ requests_arg
-      $ clients_arg $ attach_arg $ bench_out_arg $ jobs_arg)
+      $ clients_arg $ bench_workers_arg $ attach_arg $ bench_out_arg $ jobs_arg)
 
 let () =
   let doc = "multi-placement structures for analog placement (DATE 2005 reproduction)" in
@@ -1075,5 +1220,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; generate_cmd; instantiate_cmd; query_cmd; verify_cmd; audit_cmd;
-            repair_cmd; route_cmd; extend_cmd; experiments_cmd; serve_cmd;
+            repair_cmd; route_cmd; extend_cmd; experiments_cmd; serve_cmd; health_cmd;
             bench_serve_cmd ]))

@@ -1,6 +1,16 @@
 open Mps_core
 
-type op = Read | Write | Rename | Fsync_dir | Remove | Net_recv | Net_send | Net_accept
+type op =
+  | Read
+  | Write
+  | Rename
+  | Fsync_dir
+  | Remove
+  | Net_recv
+  | Net_send
+  | Net_accept
+  | Worker_crash
+  | Worker_stall
 
 type action =
   | Fail
@@ -27,6 +37,8 @@ let op_to_string = function
   | Net_recv -> "net-recv"
   | Net_send -> "net-send"
   | Net_accept -> "net-accept"
+  | Worker_crash -> "worker-crash"
+  | Worker_stall -> "worker-stall"
 
 let action_to_string = function
   | Fail -> "fail"
@@ -256,6 +268,39 @@ let transport_of_plan ?(base = T.default) plan =
     }
   in
   (transport, fired)
+
+(* Worker-level faults ride the supervisor's per-request hook.  A
+   [Worker_stall] sleeps in the serving worker (exercising deadlines,
+   hedging and health probes around a wedged domain); a [Worker_crash]
+   raises {!Mps_serve.Supervisor.Worker_killed}, which the supervisor
+   turns into a typed [Err_worker_lost] reply plus a supervised
+   restart.  The [~worker] slot is deliberately ignored for firing —
+   the plan speaks in occurrences ("the 3rd request served"), not
+   slots, so a scenario stays deterministic under any dispatch. *)
+let worker_hook_of_plan plan =
+  let firing, fired = make_firing plan in
+  let hook ~worker:_ =
+    (match firing Worker_stall with
+    | Some { action = Stall s; _ } -> Thread.delay s
+    | Some _ -> Thread.delay 0.05
+    | None -> ());
+    match firing Worker_crash with
+    | Some _ -> raise Mps_serve.Supervisor.Worker_killed
+    | None -> ()
+  in
+  (hook, fired)
+
+let random_worker_injection rng =
+  let crash = Mps_rng.Rng.int rng 2 = 0 in
+  {
+    op = (if crash then Worker_crash else Worker_stall);
+    skip = Mps_rng.Rng.int rng 4;
+    action = (if crash then Fail else Stall (0.02 +. Mps_rng.Rng.float rng 0.1));
+    seed = Mps_rng.Rng.int rng 1_000_000;
+  }
+
+let random_worker_plan rng =
+  List.init (1 + Mps_rng.Rng.int rng 2) (fun _ -> random_worker_injection rng)
 
 let with_plan ?base plan f =
   let io, fired = io_of_plan ?base plan in

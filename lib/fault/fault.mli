@@ -30,8 +30,23 @@
     wrapper around an [io] or transport record, so plans compose with
     any backend. *)
 
-(** The persistence or socket primitive a fault targets. *)
-type op = Read | Write | Rename | Fsync_dir | Remove | Net_recv | Net_send | Net_accept
+(** The persistence, socket, or worker primitive a fault targets.
+    [Worker_crash] / [Worker_stall] fire through the supervisor's
+    per-request fault hook ({!worker_hook_of_plan}) rather than an IO
+    record: a stall wedges the serving worker domain mid-request, a
+    crash kills it (typed [Err_worker_lost] reply + supervised
+    restart). *)
+type op =
+  | Read
+  | Write
+  | Rename
+  | Fsync_dir
+  | Remove
+  | Net_recv
+  | Net_send
+  | Net_accept
+  | Worker_crash
+  | Worker_stall
 
 (** What happens when the fault fires.
 
@@ -105,6 +120,20 @@ val transport_of_plan :
     {!io_of_plan} the bookkeeping is thread-safe — one transport is
     shared by the daemon's accept loop and every connection handler.
     The second component counts injections fired so far. *)
+
+val worker_hook_of_plan : plan -> (worker:int -> unit) * (unit -> int)
+(** A hook for {!Mps_serve.Server.create}'s [?fault] (equivalently
+    {!Mps_serve.Supervisor.create}) injecting the plan's
+    [Worker_stall] / [Worker_crash] faults: the [skip+1]-th request
+    served (across all workers — occurrences, not slots, keep a
+    scenario deterministic under any dispatch) stalls and/or raises
+    {!Mps_serve.Supervisor.Worker_killed}.  Thread-safe; each
+    injection fires at most once.  The second component counts
+    injections fired so far. *)
+
+val random_worker_plan : Mps_rng.Rng.t -> plan
+(** One or two worker-level injections: a [Worker_crash], or a
+    [Worker_stall] of 20–120 ms. *)
 
 val with_plan :
   ?base:Mps_core.Persist.io -> plan -> (unit -> 'a) -> ('a, exn) result * int

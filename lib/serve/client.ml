@@ -13,11 +13,31 @@ let error_to_string = function
 
 let retryable = function
   | Timed_out | Disconnected _ -> true
-  | Refused ((Wire.Err_overloaded | Wire.Err_timeout | Wire.Err_shutting_down), _) ->
+  | Refused
+      ( ( Wire.Err_overloaded | Wire.Err_timeout | Wire.Err_shutting_down
+        | Wire.Err_worker_lost ),
+        _ ) ->
     true
   | Refused _ -> false
 
 type meta = { epoch : int; degraded : bool }
+
+type stats = {
+  connects : int;
+  retries : int;
+  hedges : int;
+  hedge_wins : int;
+  pipelined : int;
+}
+
+(* A parked in-flight request.  The reply pump routes each frame to
+   its slot by request id; the slot's continuations write the caller's
+   result cell, so replies may arrive in any order. *)
+type slot = {
+  s_parse : Bytes.t -> len:int -> meta -> unit;  (* may raise Wire.Truncated *)
+  s_refuse : Wire.status -> string -> unit;
+  s_fail : error -> unit;
+}
 
 type t = {
   addr : Server.addr;
@@ -28,8 +48,24 @@ type t = {
   (* circuit name -> (handle, n_blocks); valid for the current
      connection only *)
   handles : (string, int * int) Hashtbl.t;
+  inflight : (int, slot) Hashtbl.t;
   inbuf : Bytes.t ref;
   outbuf : Bytes.t ref;
+  (* stats *)
+  mutable s_connects : int;
+  mutable s_retries : int;
+  mutable s_hedges : int;
+  mutable s_hedge_wins : int;
+  mutable s_pipelined : int;
+  (* whether the most recent frame sent may be blindly re-issued — the
+     retry/hedge gate *)
+  mutable last_idempotent : bool;
+  (* recent request latencies (ring), for the p99-derived hedge delay *)
+  lat : float array;
+  mutable lat_n : int;
+  mutable lat_i : int;
+  (* lazily-opened second connection for hedged requests *)
+  mutable hedge_peer : t option;
 }
 
 let connect ?(transport = Transport.default) ?(max_frame_bytes = Wire.max_frame_default)
@@ -44,18 +80,50 @@ let connect ?(transport = Transport.default) ?(max_frame_bytes = Wire.max_frame_
     fd = None;
     next_req_id = 1;
     handles = Hashtbl.create 4;
+    inflight = Hashtbl.create 8;
     inbuf = ref (Bytes.create 4096);
     outbuf = ref (Bytes.create 4096);
+    s_connects = 0;
+    s_retries = 0;
+    s_hedges = 0;
+    s_hedge_wins = 0;
+    s_pipelined = 0;
+    last_idempotent = true;
+    lat = Array.make 64 0.0;
+    lat_n = 0;
+    lat_i = 0;
+    hedge_peer = None;
   }
 
-let poison t =
+let stats t =
+  {
+    connects = t.s_connects;
+    retries = t.s_retries;
+    hedges = t.s_hedges;
+    hedge_wins = t.s_hedge_wins;
+    pipelined = t.s_pipelined;
+  }
+
+(* Drop the connection and fail everything still in flight on it with
+   [err] — a transport failure or desync taints every outstanding
+   reply, not just the one we were pumping for. *)
+let poison_with t err =
   (match t.fd with
   | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
   | None -> ());
   t.fd <- None;
-  Hashtbl.reset t.handles
+  Hashtbl.reset t.handles;
+  let slots = Hashtbl.fold (fun _ s acc -> s :: acc) t.inflight [] in
+  Hashtbl.reset t.inflight;
+  List.iter (fun s -> s.s_fail err) slots
 
-let close = poison
+let close t =
+  poison_with t (Disconnected "closed by caller");
+  match t.hedge_peer with
+  | Some p ->
+    poison_with p (Disconnected "closed by caller");
+    t.hedge_peer <- None
+  | None -> ()
 
 let sockaddr_of = function
   | Server.Unix_path path -> Unix.ADDR_UNIX path
@@ -89,6 +157,7 @@ let ensure_connected t =
     with
     | fd ->
       t.fd <- Some fd;
+      t.s_connects <- t.s_connects + 1;
       Ok fd
     | exception Unix.Unix_error (err, fn, _) ->
       Error (Disconnected (Printf.sprintf "connect: %s: %s" fn (Unix.error_message err)))
@@ -98,113 +167,174 @@ let prefix = Wire.frame_prefix_bytes
 let req_header = Wire.request_header_bytes
 let rep_header = Wire.reply_header_bytes
 
-(* One request/reply exchange.  [build] writes the request body at
-   [prefix + req_header] into [t.outbuf] and returns the payload
-   length; [parse] reads the reply body out of [t.inbuf].  Any
-   transport failure or protocol desync poisons the connection. *)
+let record_latency t dt =
+  let cap = Array.length t.lat in
+  t.lat.(t.lat_i) <- dt;
+  t.lat_i <- (t.lat_i + 1) mod cap;
+  if t.lat_n < cap then t.lat_n <- t.lat_n + 1
+
+(* The p99-derived hedge delay: generous before any samples exist,
+   never below 2 ms (a hedge cheaper than a scheduler quantum is just
+   double load). *)
+let hedge_delay t =
+  if t.lat_n = 0 then 0.05
+  else begin
+    let n = t.lat_n in
+    let copy = Array.sub t.lat 0 n in
+    Array.sort compare copy;
+    let p99 = copy.(min (n - 1) (n * 99 / 100)) in
+    Float.max 0.002 (p99 *. 1.5)
+  end
+
+(* Receive one frame and deliver it to its slot.  Any transport
+   failure or protocol desync poisons the connection (failing every
+   in-flight slot), so a caller looping on an unresolved cell always
+   makes progress. *)
+let pump_one t fd ~deadline =
+  match
+    Wire.recv_frame t.transport ?deadline ~max_bytes:t.max_frame_bytes ~buf:t.inbuf fd
+  with
+  | exception Wire.Timed_out -> poison_with t Timed_out
+  | exception Wire.Closed -> poison_with t (Disconnected "connection closed by server")
+  | exception Wire.Truncated msg -> poison_with t (Disconnected msg)
+  | exception Wire.Too_large n ->
+    poison_with t (Disconnected (Printf.sprintf "oversized reply frame (%d bytes)" n))
+  | exception Unix.Unix_error (err, fn, _) ->
+    poison_with t (Disconnected (Printf.sprintf "%s: %s" fn (Unix.error_message err)))
+  | len -> (
+    let b = !(t.inbuf) in
+    match
+      let status_i = Wire.get_u8 b ~len 0 in
+      let rep_id = Wire.get_u32 b ~len 1 in
+      let epoch = Wire.get_u32 b ~len 5 in
+      (Wire.status_of_int status_i, rep_id, epoch)
+    with
+    | exception Wire.Truncated msg ->
+      poison_with t (Disconnected ("short reply header: " ^ msg))
+    | None, _, _ -> poison_with t (Disconnected "unknown reply status")
+    | Some status, rep_id, epoch -> (
+      let error_body () =
+        match Wire.get_string16 b ~len rep_header with
+        | s, _ -> s
+        | exception Wire.Truncated _ -> ""
+      in
+      if rep_id = 0 then
+        (* a shed / shutting-down farewell answers everything we have
+           in flight, and the server closes after it *)
+        match status with
+        | Wire.Ok | Wire.Ok_degraded ->
+          poison_with t (Disconnected "success reply with request id 0")
+        | err_status ->
+          let msg = error_body () in
+          let slots = Hashtbl.fold (fun _ s acc -> s :: acc) t.inflight [] in
+          Hashtbl.reset t.inflight;
+          List.iter (fun s -> s.s_refuse err_status msg) slots;
+          poison_with t (Disconnected "server sent a farewell")
+      else
+        match Hashtbl.find_opt t.inflight rep_id with
+        | None ->
+          poison_with t
+            (Disconnected (Printf.sprintf "reply for unknown request %d" rep_id))
+        | Some slot -> (
+          Hashtbl.remove t.inflight rep_id;
+          match status with
+          | Wire.Ok | Wire.Ok_degraded -> (
+            let meta = { epoch; degraded = status = Wire.Ok_degraded } in
+            match slot.s_parse b ~len meta with
+            | () -> ()
+            | exception Wire.Truncated msg ->
+              let e = Disconnected ("malformed reply body: " ^ msg) in
+              slot.s_fail e;
+              poison_with t e)
+          | err_status ->
+            slot.s_refuse err_status (error_body ());
+            (* the worker serving this connection is gone; the server
+               severs it next, so start the next call fresh *)
+            if err_status = Wire.Err_worker_lost then
+              poison_with t (Disconnected "worker lost"))))
+
+(* Register [slot] and send one request frame.  On a send failure the
+   connection is poisoned — but a daemon that died mid-send may have
+   left a farewell in the socket buffer, so salvage it first: a typed
+   refusal is a better answer than "broken pipe". *)
+let issue t fd ~opcode ~deadline ~build slot =
+  t.last_idempotent <- Wire.idempotent opcode;
+  let req_id = t.next_req_id in
+  t.next_req_id <- (if req_id >= 0xffffffff then 1 else req_id + 1);
+  if Hashtbl.length t.inflight > 0 then t.s_pipelined <- t.s_pipelined + 1;
+  Hashtbl.replace t.inflight req_id slot;
+  let deadline_us =
+    match deadline with
+    | None -> 0
+    | Some d ->
+      let remaining = d -. Unix.gettimeofday () in
+      max 1 (int_of_float (remaining *. 1e6)) land 0xffffffff
+  in
+  match
+    let payload_len = req_header + build t.outbuf in
+    let b = !(t.outbuf) in
+    Wire.set_u8 b prefix (Wire.opcode_to_int opcode);
+    Wire.set_u32 b (prefix + 1) req_id;
+    Wire.set_u32 b (prefix + 5) deadline_us;
+    Wire.send_frame t.transport fd b ~payload_len
+  with
+  | () -> ()
+  | exception Unix.Unix_error (((Unix.EPIPE | Unix.ECONNRESET) as err), fn, _) ->
+    let salvage = Unix.gettimeofday () +. 0.2 in
+    let salvage = match deadline with Some d -> Float.min d salvage | None -> salvage in
+    pump_one t fd ~deadline:(Some salvage);
+    poison_with t (Disconnected (Printf.sprintf "%s: %s" fn (Unix.error_message err)))
+  | exception Unix.Unix_error (err, fn, _) ->
+    poison_with t (Disconnected (Printf.sprintf "%s: %s" fn (Unix.error_message err)))
+
+(* Pump until the cell resolves.  Poisoning fails every registered
+   slot, so each iteration either resolves the cell or strictly
+   shrinks what is still pending. *)
+let await t cell ~deadline =
+  let rec go () =
+    match !cell with
+    | Some r -> r
+    | None -> (
+      match t.fd with
+      | None -> Error (Disconnected "connection poisoned")
+      | Some fd ->
+        pump_one t fd ~deadline;
+        go ())
+  in
+  go ()
+
 let roundtrip ?budget t ~opcode ~build ~parse =
   match ensure_connected t with
-  | Error _ as e -> e
-  | Ok fd -> (
-    let deadline = Option.map (fun b -> Unix.gettimeofday () +. b) budget in
-    let deadline_us =
-      match budget with
-      | None -> 0
-      | Some b -> max 1 (int_of_float (b *. 1e6)) land 0xffffffff
+  | Error e ->
+    t.last_idempotent <- Wire.idempotent opcode;
+    Error e
+  | Ok fd ->
+    let start = Unix.gettimeofday () in
+    let deadline = Option.map (fun b -> start +. b) budget in
+    let cell = ref None in
+    let slot =
+      {
+        s_parse = (fun b ~len meta -> cell := Some (Ok (parse b ~len meta)));
+        s_refuse = (fun st msg -> cell := Some (Error (Refused (st, msg))));
+        s_fail = (fun e -> if !cell = None then cell := Some (Error e));
+      }
     in
-    let req_id = t.next_req_id in
-    t.next_req_id <- (if req_id >= 0xffffffff then 1 else req_id + 1);
-    let recv_and_parse deadline =
-      match
-        Wire.recv_frame t.transport ?deadline ~max_bytes:t.max_frame_bytes
-          ~buf:t.inbuf fd
-      with
-      | exception Wire.Timed_out ->
-        poison t;
-        Error Timed_out
-      | exception Wire.Closed ->
-        poison t;
-        Error (Disconnected "connection closed by server")
-      | exception Wire.Truncated msg ->
-        poison t;
-        Error (Disconnected msg)
-      | exception Wire.Too_large n ->
-        poison t;
-        Error (Disconnected (Printf.sprintf "oversized reply frame (%d bytes)" n))
-      | exception Unix.Unix_error (err, fn, _) ->
-        poison t;
-        Error (Disconnected (Printf.sprintf "%s: %s" fn (Unix.error_message err)))
-      | len -> (
-        let b = !(t.inbuf) in
-        match
-          let status_i = Wire.get_u8 b ~len 0 in
-          let rep_id = Wire.get_u32 b ~len 1 in
-          let epoch = Wire.get_u32 b ~len 5 in
-          (Wire.status_of_int status_i, rep_id, epoch)
-        with
-        | exception Wire.Truncated msg ->
-          poison t;
-          Error (Disconnected ("short reply header: " ^ msg))
-        | None, _, _ ->
-          poison t;
-          Error (Disconnected "unknown reply status")
-        | Some status, rep_id, epoch ->
-          (* a shed / shutting-down farewell is stamped request id 0 —
-             it answers whatever we were waiting for *)
-          if rep_id <> req_id && rep_id <> 0 then begin
-            poison t;
-            Error
-              (Disconnected
-                 (Printf.sprintf "reply for request %d while waiting on %d" rep_id
-                    req_id))
-          end
-          else
-            match status with
-            | Wire.Ok | Wire.Ok_degraded -> (
-              let meta = { epoch; degraded = status = Wire.Ok_degraded } in
-              match parse b ~len meta with
-              | v -> Ok v
-              | exception Wire.Truncated msg ->
-                poison t;
-                Error (Disconnected ("malformed reply body: " ^ msg)))
-            | err_status ->
-              let msg =
-                match Wire.get_string16 b ~len rep_header with
-                | s, _ -> s
-                | exception Wire.Truncated _ -> ""
-              in
-              Error (Refused (err_status, msg)))
-    in
-    match
-      let payload_len = req_header + build t.outbuf in
-      let b = !(t.outbuf) in
-      Wire.set_u8 b prefix (Wire.opcode_to_int opcode);
-      Wire.set_u32 b (prefix + 1) req_id;
-      Wire.set_u32 b (prefix + 5) deadline_us;
-      Wire.send_frame t.transport fd b ~payload_len
-    with
-    | () -> recv_and_parse deadline
-    | exception Unix.Unix_error (((Unix.EPIPE | Unix.ECONNRESET) as err), fn, _) ->
-      (* The daemon writes its shed / shutting-down farewell before it
-         closes, and those bytes survive in the socket buffer even
-         when our own send broke mid-way.  Salvage the farewell so the
-         caller learns the real reason; only a refusal is trustworthy
-         here — anything else reports the send failure. *)
-      let salvage = Unix.gettimeofday () +. 0.2 in
-      let salvage = match deadline with Some d -> Float.min d salvage | None -> salvage in
-      let result = recv_and_parse (Some salvage) in
-      poison t;
-      (match result with
-      | Error (Refused _) as refused -> refused
-      | _ -> Error (Disconnected (Printf.sprintf "%s: %s" fn (Unix.error_message err))))
-    | exception Unix.Unix_error (err, fn, _) ->
-      poison t;
-      Error (Disconnected (Printf.sprintf "%s: %s" fn (Unix.error_message err))))
+    issue t fd ~opcode ~deadline ~build slot;
+    let r = await t cell ~deadline in
+    (match r with
+    | Ok _ -> record_latency t (Unix.gettimeofday () -. start)
+    | Error _ -> ());
+    r
 
 let ping ?budget t =
   roundtrip ?budget t ~opcode:Wire.Ping
     ~build:(fun _ -> 0)
     ~parse:(fun _ ~len:_ meta -> meta)
+
+let health ?budget t =
+  roundtrip ?budget t ~opcode:Wire.Health
+    ~build:(fun _ -> 0)
+    ~parse:(fun b ~len _meta -> Wire.get_health b ~len rep_header)
 
 (* Open (or look up) this connection's handle for a circuit. *)
 let handle_for ?budget t circuit =
@@ -258,17 +388,18 @@ let check_count b ~len expected =
       (Wire.Truncated (Printf.sprintf "%d results for %d queries" count expected));
   ()
 
+let parse_ids b ~len count =
+  check_count b ~len count;
+  let base = rep_header + 4 in
+  Array.init count (fun i -> Wire.get_i32 b ~len (base + (i * 4)))
+
 let query_ids ?budget t ~circuit dims =
   match handle_for ?budget t circuit with
   | Error _ as e -> e
   | Ok (handle, n) ->
     roundtrip ?budget t ~opcode:Wire.Query_batch
       ~build:(fun outbuf -> put_batch_request outbuf ~handle ~n dims)
-      ~parse:(fun b ~len meta ->
-        check_count b ~len (Array.length dims);
-        let base = rep_header + 4 in
-        (Array.init (Array.length dims) (fun i -> Wire.get_i32 b ~len (base + (i * 4))),
-         meta))
+      ~parse:(fun b ~len meta -> (parse_ids b ~len (Array.length dims), meta))
 
 let instantiate ?budget t ~circuit dims =
   match handle_for ?budget t circuit with
@@ -303,11 +434,211 @@ let server_stats ?budget t =
       let text, _ = Wire.get_string16 b ~len rep_header in
       (text, meta))
 
-let with_retry ?(attempts = 6) ?(base_delay = 0.01) ?(max_delay = 1.0) ~rng f =
+(* ---- pipelining -------------------------------------------------- *)
+
+let query_ids_pipelined ?budget ?(depth = 8) t ~circuit batches =
+  let nb = Array.length batches in
+  if depth < 1 then invalid_arg "Client.query_ids_pipelined: depth < 1";
+  match handle_for ?budget t circuit with
+  | Error e -> Array.make nb (Error e)
+  | Ok (handle, n) ->
+    let deadline = Option.map (fun b -> Unix.gettimeofday () +. b) budget in
+    let cells = Array.init nb (fun _ -> ref None) in
+    let resolved = ref 0 in
+    let set c r =
+      if !c = None then begin
+        c := Some r;
+        incr resolved
+      end
+    in
+    let slot_for i =
+      let c = cells.(i) in
+      {
+        s_parse =
+          (fun b ~len meta ->
+            set c (Ok (parse_ids b ~len (Array.length batches.(i)), meta)));
+        s_refuse = (fun st msg -> set c (Error (Refused (st, msg))));
+        s_fail = (fun e -> set c (Error e));
+      }
+    in
+    let next = ref 0 in
+    let rec drive () =
+      if !resolved < nb then
+        match t.fd with
+        | None ->
+          (* poisoned: in-flight cells were failed by the poison;
+             never-sent ones inherit the disconnect *)
+          for i = !next to nb - 1 do
+            set cells.(i) (Error (Disconnected "connection poisoned"))
+          done
+        | Some fd ->
+          if !next < nb && Hashtbl.length t.inflight < depth then begin
+            let i = !next in
+            incr next;
+            issue t fd ~opcode:Wire.Query_batch ~deadline
+              ~build:(fun outbuf -> put_batch_request outbuf ~handle ~n batches.(i))
+              (slot_for i);
+            drive ()
+          end
+          else begin
+            pump_one t fd ~deadline;
+            drive ()
+          end
+    in
+    drive ();
+    Array.map
+      (fun c ->
+        match !c with
+        | Some r -> r
+        | None -> Error (Disconnected "connection poisoned"))
+      cells
+
+(* ---- hedging ----------------------------------------------------- *)
+
+let hedge_peer t =
+  match t.hedge_peer with
+  | Some p -> p
+  | None ->
+    let p = connect ~transport:t.transport ~max_frame_bytes:t.max_frame_bytes t.addr in
+    t.hedge_peer <- Some p;
+    p
+
+let hedged_query_ids ?budget ?hedge_after t ~circuit dims =
+  match handle_for ?budget t circuit with
+  | Error _ as e -> e
+  | Ok (handle, n) -> (
+    match ensure_connected t with
+    | Error _ as e -> e
+    | Ok fd ->
+      let start = Unix.gettimeofday () in
+      let deadline = Option.map (fun b -> start +. b) budget in
+      let count = Array.length dims in
+      let cell_a = ref None and cell_b = ref None in
+      let slot_of cell =
+        {
+          s_parse =
+            (fun b ~len meta -> cell := Some (Ok (parse_ids b ~len count, meta)));
+          s_refuse = (fun st msg -> cell := Some (Error (Refused (st, msg))));
+          s_fail = (fun e -> if !cell = None then cell := Some (Error e));
+        }
+      in
+      issue t fd ~opcode:Wire.Query_batch ~deadline
+        ~build:(fun outbuf -> put_batch_request outbuf ~handle ~n dims)
+        (slot_of cell_a);
+      let delay = match hedge_after with Some d -> d | None -> hedge_delay t in
+      let hedge_at =
+        let at = start +. delay in
+        match deadline with Some d -> Float.min d at | None -> at
+      in
+      let hedged = ref false in
+      let launch_hedge () =
+        hedged := true;
+        t.s_hedges <- t.s_hedges + 1;
+        let p = hedge_peer t in
+        let remaining = Option.map (fun d -> d -. Unix.gettimeofday ()) deadline in
+        match remaining with
+        | Some r when r <= 0.0 -> cell_b := Some (Error Timed_out)
+        | _ -> (
+          match handle_for ?budget:remaining p circuit with
+          | Error e -> cell_b := Some (Error e)
+          | Ok (h2, n2) -> (
+            match ensure_connected p with
+            | Error e -> cell_b := Some (Error e)
+            | Ok pfd ->
+              issue p pfd ~opcode:Wire.Query_batch ~deadline
+                ~build:(fun outbuf -> put_batch_request outbuf ~handle:h2 ~n:n2 dims)
+                (slot_of cell_b)))
+      in
+      let is_ok c = match !c with Some (Ok _) -> true | _ -> false in
+      let abandon c =
+        (* the loser's reply (if any) will never be matched: drop its
+           connection rather than desync the next call *)
+        if Hashtbl.length c.inflight > 0 then
+          poison_with c (Disconnected "lost the hedge race")
+      in
+      let rec race () =
+        if is_ok cell_a then begin
+          (match t.hedge_peer with Some p when !hedged -> abandon p | _ -> ());
+          record_latency t (Unix.gettimeofday () -. start);
+          Option.get !cell_a
+        end
+        else if is_ok cell_b then begin
+          t.s_hedge_wins <- t.s_hedge_wins + 1;
+          abandon t;
+          Option.get !cell_b
+        end
+        else if !cell_a <> None && not !hedged then begin
+          (* the primary failed before the hedge point: hedge now *)
+          launch_hedge ();
+          race ()
+        end
+        else if !cell_a <> None && !cell_b <> None then
+          (* both failed: the primary's error is the canonical one *)
+          Option.get !cell_a
+        else begin
+          let now = Unix.gettimeofday () in
+          match deadline with
+          | Some d when now > d ->
+            if Hashtbl.length t.inflight > 0 then poison_with t Timed_out;
+            (match t.hedge_peer with
+            | Some p when Hashtbl.length p.inflight > 0 -> poison_with p Timed_out
+            | _ -> ());
+            (match (!cell_a, !cell_b) with
+            | Some r, _ | _, Some r -> r
+            | None, None -> Error Timed_out)
+          | _ ->
+            if (not !hedged) && now >= hedge_at then begin
+              launch_hedge ();
+              race ()
+            end
+            else begin
+              let fds =
+                (if !cell_a = None then
+                   match t.fd with Some f -> [ (f, t) ] | None -> []
+                 else [])
+                @
+                if !hedged && !cell_b = None then
+                  match t.hedge_peer with
+                  | Some p -> ( match p.fd with Some f -> [ (f, p) ] | None -> [])
+                  | None -> []
+                else []
+              in
+              match fds with
+              | [] ->
+                (* both connections are gone but a cell is unresolved —
+                   cannot happen (poison fails registered slots), but
+                   never spin on it *)
+                Error (Disconnected "connection poisoned")
+              | _ ->
+                let until =
+                  if !hedged then
+                    match deadline with Some d -> d | None -> now +. 1.0
+                  else hedge_at
+                in
+                let timeout = Float.max 0.0 (until -. now) in
+                (match Unix.select (List.map fst fds) [] [] timeout with
+                | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+                | ready, _, _ ->
+                  List.iter
+                    (fun (f, c) ->
+                      if List.mem f ready then pump_one c f ~deadline)
+                    fds);
+                race ()
+            end
+        end
+      in
+      race ())
+
+(* ---- retry ------------------------------------------------------- *)
+
+let with_retry ?(attempts = 6) ?(base_delay = 0.01) ?(max_delay = 1.0) ~rng t f =
   let rec go attempt =
     match f () with
-    | Ok _ as ok -> ok
-    | Error e when attempt + 1 < attempts && retryable e ->
+    | Ok _ as ok ->
+      (* a degraded answer is still an answer — never re-issued *)
+      ok
+    | Error e when attempt + 1 < attempts && retryable e && t.last_idempotent ->
+      t.s_retries <- t.s_retries + 1;
       let cap = min max_delay (base_delay *. (2.0 ** float_of_int attempt)) in
       (* jitter into [cap/2, cap): synchronized clients desynchronize *)
       Thread.delay (cap *. Mps_rng.Rng.float_in rng 0.5 1.0);

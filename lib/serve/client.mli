@@ -1,13 +1,29 @@
-(** Client for the mpsd wire protocol, with deadline-aware retry.
+(** Client for the mpsd wire protocol: deadline-aware retry, request
+    pipelining, and hedged queries.
 
     A client owns one connection (lazily opened, transparently
     re-opened after a failure) plus the per-connection circuit handles
-    the server hands out.  Any transport-level failure — EOF, a torn
-    frame, a reply for the wrong request — {e poisons} the connection:
-    it is closed and the handle table dropped, so the next call starts
-    from a clean connect + re-open.  That makes every operation safe
-    to retry, which {!with_retry} does with exponential backoff and
-    deterministic jitter.
+    the server hands out.  Replies are matched to requests by id
+    through an in-flight table, so requests may be {e pipelined}:
+    several frames on the wire at once, replies consumed in whatever
+    order the server produces them ({!query_ids_pipelined}).
+
+    Any transport-level failure — EOF, a torn frame, a reply for an
+    unknown request — {e poisons} the connection: it is closed, the
+    handle table dropped, and every in-flight request failed, so the
+    next call starts from a clean connect + re-open.  That makes every
+    operation safe to retry, which {!with_retry} does with exponential
+    backoff and deterministic jitter — but only when the last frame
+    sent was {e idempotent} ({!Wire.idempotent}): a [Reload] is never
+    blindly re-issued, and a successful-but-degraded answer is an
+    answer, never retried.
+
+    {!hedged_query_ids} races two connections: when the primary has
+    not answered within a p99-derived delay (from this client's own
+    latency history), the same idempotent query is re-issued on a
+    lazily-opened second connection and the first answer wins — the
+    tail-latency insurance for a query stuck behind a stalled or
+    crashed worker.
 
     Deadline semantics: [?budget] (seconds) bounds one attempt
     end-to-end on the client side {e and} travels to the server as the
@@ -34,13 +50,22 @@ val error_to_string : error -> string
 val retryable : error -> bool
 (** Worth retrying: [Timed_out], [Disconnected], and refusals that are
     about the moment rather than the request ([Err_overloaded],
-    [Err_timeout], [Err_shutting_down]).  [Err_bad_request],
-    [Err_unknown_circuit] and [Err_store] will fail the same way again
-    and are not retryable. *)
+    [Err_timeout], [Err_shutting_down], [Err_worker_lost]).
+    [Err_bad_request], [Err_unknown_circuit] and [Err_store] will fail
+    the same way again and are not retryable. *)
 
 (** Reply metadata: the answering entry's generation epoch and whether
     the entry was degraded (backup-template answers). *)
 type meta = { epoch : int; degraded : bool }
+
+(** Client-side counters: how much work the resilience machinery did. *)
+type stats = {
+  connects : int;  (** Sockets opened (reconnects included). *)
+  retries : int;  (** Re-issues by {!with_retry}. *)
+  hedges : int;  (** Hedge requests launched. *)
+  hedge_wins : int;  (** Races where the hedge answered first. *)
+  pipelined : int;  (** Frames sent while another was already in flight. *)
+}
 
 val connect :
   ?transport:Transport.t -> ?max_frame_bytes:int -> Server.addr -> t
@@ -49,10 +74,19 @@ val connect :
     (default {!Wire.max_frame_default}). *)
 
 val close : t -> unit
-(** Close the underlying connection (idempotent; the client may still
-    be used afterwards — the next call reconnects). *)
+(** Close the underlying connection and the hedge connection if one
+    was opened (idempotent; the client may still be used afterwards —
+    the next call reconnects). *)
+
+val stats : t -> stats
 
 val ping : ?budget:float -> t -> (meta, error) result
+
+val health : ?budget:float -> t -> (Wire.health, error) result
+(** The daemon's liveness/readiness snapshot.  Note that a daemon
+    whose workers are all down cannot serve even this — the resulting
+    [Refused]/[Disconnected] {e is} the not-ready signal, exactly as
+    an orchestrator's probe would see it. *)
 
 val query_ids :
   ?budget:float -> t -> circuit:string -> Dims.t array -> (int array * meta, error) result
@@ -60,6 +94,19 @@ val query_ids :
     index, [-1] fallback-to-backup, [-2] out-of-domain), opening the
     circuit on this connection first when needed.  All vectors must
     have the circuit's block count. *)
+
+val query_ids_pipelined :
+  ?budget:float ->
+  ?depth:int ->
+  t ->
+  circuit:string ->
+  Dims.t array array ->
+  (int array * meta, error) result array
+(** {!query_ids} for several batches with up to [depth] (default 8)
+    request frames in flight at once — one connection, no per-request
+    round-trip stall.  Results arrive positionally.  [?budget] covers
+    the whole call.  A connection failure fails the in-flight and
+    unsent tail; completed results are kept. *)
 
 val instantiate :
   ?budget:float ->
@@ -70,8 +117,24 @@ val instantiate :
 (** Instantiated floorplans (one rect per block) for a batch of
     dimension vectors. *)
 
+val hedged_query_ids :
+  ?budget:float ->
+  ?hedge_after:float ->
+  t ->
+  circuit:string ->
+  Dims.t array ->
+  (int array * meta, error) result
+(** {!query_ids}, hedged: when no answer arrives within
+    [hedge_after] seconds (default: p99 of this client's recent
+    request latencies, x1.5, floor 2 ms), re-issue the query on a
+    second connection and take the first [Ok].  The loser's
+    connection is poisoned (its late reply must not desync a later
+    call).  Only ever sends idempotent frames. *)
+
 val reload : ?budget:float -> t -> circuit:string -> (meta, error) result
-(** Ask the server to reload the circuit from disk (epoch bump). *)
+(** Ask the server to reload the circuit from disk (epoch bump).
+    Deliberately {e not} idempotent: {!with_retry} will not re-issue
+    it. *)
 
 val server_stats : ?budget:float -> t -> (string * meta, error) result
 (** The server's human-readable stats/store report. *)
@@ -81,11 +144,14 @@ val with_retry :
   ?base_delay:float ->
   ?max_delay:float ->
   rng:Mps_rng.Rng.t ->
+  t ->
   (unit -> ('a, error) result) ->
   ('a, error) result
 (** Run [f], retrying {!retryable} errors up to [attempts] times
     (default 6) with exponential backoff from [base_delay] (default
     10 ms) capped at [max_delay] (default 1 s), each delay jittered to
     [50..100]% by draws from [rng] so synchronized clients do not
-    stampede a recovering server.  Returns the first success or the
-    last error. *)
+    stampede a recovering server.  Retries only when the last frame
+    [t] sent was idempotent ([Reload] is not), and never after a
+    success — degraded or not.  Each retry is counted in {!stats}.
+    Returns the first success or the last error. *)

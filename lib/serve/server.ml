@@ -1,12 +1,13 @@
-open Mps_geometry
-open Mps_netlist
-open Mps_core
-
 type addr =
   | Unix_path of string
   | Tcp of string * int
 
-type config = {
+(* The knobs and counters live with the supervisor (which owns the
+   workers and the request path); re-exporting the records here keeps
+   [Server.default_config] / field access working for callers. *)
+type config = Supervisor.config = {
+  workers : int;
+  queue_capacity : int;
   max_connections : int;
   max_inflight : int;
   max_batch : int;
@@ -14,20 +15,15 @@ type config = {
   idle_timeout : float;
   drain_timeout : float;
   accept_retry_delay : float;
+  restart_base_delay : float;
+  restart_max_delay : float;
+  breaker_window : float;
+  breaker_max_restarts : int;
 }
 
-let default_config =
-  {
-    max_connections = 64;
-    max_inflight = 32;
-    max_batch = 65536;
-    max_frame_bytes = Wire.max_frame_default;
-    idle_timeout = 30.0;
-    drain_timeout = 10.0;
-    accept_retry_delay = 0.05;
-  }
+let default_config = Supervisor.default_config
 
-type stats = {
+type stats = Supervisor.stats = {
   accepted : int;
   shed_connections : int;
   requests_served : int;
@@ -39,23 +35,12 @@ type stats = {
   store_errors : int;
   connection_crashes : int;
   accept_failures : int;
+  dispatched : int;
+  worker_crashes : int;
+  worker_restarts : int;
+  worker_lost_replies : int;
+  breaker_trips : int;
 }
-
-type counters = {
-  c_accepted : int Atomic.t;
-  c_shed_connections : int Atomic.t;
-  c_requests_served : int Atomic.t;
-  c_queries_served : int Atomic.t;
-  c_degraded_served : int Atomic.t;
-  c_timeouts : int Atomic.t;
-  c_overloaded : int Atomic.t;
-  c_bad_requests : int Atomic.t;
-  c_store_errors : int Atomic.t;
-  c_connection_crashes : int Atomic.t;
-  c_accept_failures : int Atomic.t;
-}
-
-type conn = { conn_id : int; fd : Unix.file_descr }
 
 type t = {
   config : config;
@@ -67,15 +52,8 @@ type t = {
   aborted : bool Atomic.t;
   wake_r : Unix.file_descr;
   wake_w : Unix.file_descr;
-  conns : (int, conn) Hashtbl.t;
-  conns_mutex : Mutex.t;
-  next_conn_id : int Atomic.t;
-  inflight : int Atomic.t;
-  c : counters;
+  sup : Supervisor.t;
 }
-
-let bump a = Atomic.incr a
-let add a n = ignore (Atomic.fetch_and_add a n)
 
 let resolve_host host =
   try Unix.inet_addr_of_string host
@@ -84,7 +62,24 @@ let resolve_host host =
     with Not_found | Invalid_argument _ ->
       raise (Unix.Unix_error (Unix.EINVAL, "gethostbyname", host)))
 
-let create ?(config = default_config) ?(transport = Transport.default) ~store addr =
+(* A restarting daemon racing its predecessor's TIME_WAIT (or its own
+   not-yet-unlinked socket) must not die on the bind: retry EADDRINUSE
+   briefly — SO_REUSEADDR covers the common case, this covers the race. *)
+let bind_retrying fd sockaddr =
+  let deadline = Unix.gettimeofday () +. 1.0 in
+  let rec go () =
+    match Unix.bind fd sockaddr with
+    | () -> ()
+    | exception Unix.Unix_error (Unix.EADDRINUSE, _, _)
+      when Unix.gettimeofday () < deadline ->
+      Thread.delay 0.02;
+      go ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let create ?(config = default_config) ?transport:(tr = Transport.default) ?fault
+    ~store addr =
   (* A peer that vanishes mid-reply must surface as EPIPE on the
      write, never kill the process — the daemon cannot operate under
      the default SIGPIPE disposition, so creating one claims it. *)
@@ -95,14 +90,14 @@ let create ?(config = default_config) ?(transport = Transport.default) ~store ad
       (* a stale socket file from a previous run would make bind fail *)
       (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ());
       let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      (try Unix.bind fd (Unix.ADDR_UNIX path)
+      (try bind_retrying fd (Unix.ADDR_UNIX path)
        with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
       (fd, Unix_path path)
     | Tcp (host, port) ->
       let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
       (try
          Unix.setsockopt fd Unix.SO_REUSEADDR true;
-         Unix.bind fd (Unix.ADDR_INET (resolve_host host, port))
+         bind_retrying fd (Unix.ADDR_INET (resolve_host host, port))
        with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
       let port =
         match Unix.getsockname fd with
@@ -116,70 +111,43 @@ let create ?(config = default_config) ?(transport = Transport.default) ~store ad
      and accept must not block the whole accept loop. *)
   Unix.set_nonblock listen_fd;
   let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  let stopping = Atomic.make false in
+  let sup = Supervisor.create ?fault ~config ~transport:tr ~store ~stopping () in
   {
     config;
-    transport;
+    transport = tr;
     the_store = store;
     listen_fd;
     addr;
-    stopping = Atomic.make false;
+    stopping;
     aborted = Atomic.make false;
     wake_r;
     wake_w;
-    conns = Hashtbl.create 32;
-    conns_mutex = Mutex.create ();
-    next_conn_id = Atomic.make 1;
-    inflight = Atomic.make 0;
-    c =
-      {
-        c_accepted = Atomic.make 0;
-        c_shed_connections = Atomic.make 0;
-        c_requests_served = Atomic.make 0;
-        c_queries_served = Atomic.make 0;
-        c_degraded_served = Atomic.make 0;
-        c_timeouts = Atomic.make 0;
-        c_overloaded = Atomic.make 0;
-        c_bad_requests = Atomic.make 0;
-        c_store_errors = Atomic.make 0;
-        c_connection_crashes = Atomic.make 0;
-        c_accept_failures = Atomic.make 0;
-      };
+    sup;
   }
 
 let bound_addr t = t.addr
 let store t = t.the_store
+let stats t = Supervisor.stats t.sup
+let health t = Supervisor.health t.sup
+let kill_worker t slot = Supervisor.kill_worker t.sup slot
 
-let stats t =
-  {
-    accepted = Atomic.get t.c.c_accepted;
-    shed_connections = Atomic.get t.c.c_shed_connections;
-    requests_served = Atomic.get t.c.c_requests_served;
-    queries_served = Atomic.get t.c.c_queries_served;
-    degraded_served = Atomic.get t.c.c_degraded_served;
-    timeouts = Atomic.get t.c.c_timeouts;
-    overloaded = Atomic.get t.c.c_overloaded;
-    bad_requests = Atomic.get t.c.c_bad_requests;
-    store_errors = Atomic.get t.c.c_store_errors;
-    connection_crashes = Atomic.get t.c.c_connection_crashes;
-    accept_failures = Atomic.get t.c.c_accept_failures;
-  }
-
-let wake t = try ignore (Unix.write t.wake_w (Bytes.make 1 'w') 0 1) with Unix.Unix_error _ -> ()
+let wake t =
+  try ignore (Unix.write t.wake_w (Bytes.make 1 'w') 0 1) with Unix.Unix_error _ -> ()
 
 let stop t =
-  if not (Atomic.exchange t.stopping true) then wake t
-
-let shutdown_conn ?(how = Unix.SHUTDOWN_ALL) conn =
-  try Unix.shutdown conn.fd how with Unix.Unix_error _ -> ()
+  if not (Atomic.exchange t.stopping true) then begin
+    Supervisor.notify_stop t.sup;
+    wake t
+  end
 
 let abort t =
   Atomic.set t.aborted true;
   Atomic.set t.stopping true;
   (* Hard-sever every connection from here; the handler threads wake
      with EOF/EPIPE and close their own fds. *)
-  Mutex.lock t.conns_mutex;
-  Hashtbl.iter (fun _ conn -> shutdown_conn conn) t.conns;
-  Mutex.unlock t.conns_mutex;
+  Supervisor.sever_all t.sup;
+  Supervisor.notify_stop t.sup;
   wake t
 
 let install_sigterm t =
@@ -189,381 +157,35 @@ let install_sigterm t =
   Sys.set_signal Sys.sigterm handle;
   Sys.set_signal Sys.sigint handle
 
-(* ---- replies ---------------------------------------------------- *)
-
-let prefix = Wire.frame_prefix_bytes
-let header = Wire.reply_header_bytes
-
-(* Fill the reply header at the front of [outbuf] and send the frame. *)
-let send_reply t fd outbuf ~status ~req_id ~epoch ~payload_len =
-  Wire.ensure outbuf (prefix + payload_len);
-  let b = !outbuf in
-  Wire.set_u8 b prefix (Wire.status_to_int status);
-  Wire.set_u32 b (prefix + 1) req_id;
-  Wire.set_u32 b (prefix + 5) epoch;
-  Wire.send_frame t.transport fd b ~payload_len
-
-let send_error t fd outbuf ~status ~req_id msg =
-  let payload_len = Wire.put_string16 outbuf (prefix + header) msg - prefix in
-  (match status with
-  | Wire.Err_timeout -> bump t.c.c_timeouts
-  | Wire.Err_overloaded -> bump t.c.c_overloaded
-  | Wire.Err_bad_request -> bump t.c.c_bad_requests
-  | Wire.Err_unknown_circuit | Wire.Err_store -> bump t.c.c_store_errors
-  | _ -> ());
-  send_reply t fd outbuf ~status ~req_id ~epoch:0 ~payload_len
-
-(* Farewell on a shed or draining connection: best effort, then close. *)
-let farewell_and_close t fd status msg =
-  let outbuf = ref (Bytes.create 64) in
-  (try
-     let payload_len = Wire.put_string16 outbuf (prefix + header) msg - prefix in
-     let b = !outbuf in
-     Wire.set_u8 b prefix (Wire.status_to_int status);
-     Wire.set_u32 b (prefix + 1) 0;
-     Wire.set_u32 b (prefix + 5) 0;
-     Wire.send_frame t.transport fd b ~payload_len
-   with Unix.Unix_error _ | Sys_error _ -> ());
-  try Unix.close fd with Unix.Unix_error _ -> ()
-
-(* ---- request handling ------------------------------------------- *)
-
-exception Deadline_hit
-
-(* Per-connection state: one engine session (engine-agnostic, rebinds
-   across store entries), the open-circuit handle table, reusable
-   frame buffers and dimension scratch. *)
-type conn_state = {
-  session : Structure.Engine.session;
-  handles : (int, string) Hashtbl.t;
-  mutable next_handle : int;
-  inbuf : Bytes.t ref;
-  outbuf : Bytes.t ref;
-  mutable w_scratch : int array;
-  mutable h_scratch : int array;
-}
-
-let scratch_for state n =
-  if Array.length state.w_scratch <> n then begin
-    state.w_scratch <- Array.make n 1;
-    state.h_scratch <- Array.make n 1
-  end;
-  (state.w_scratch, state.h_scratch)
-
-let store_error_reply t fd outbuf ~req_id err =
-  let status =
-    match err with
-    | Store.Unknown_circuit _ -> Wire.Err_unknown_circuit
-    | Store.Unreadable _ | Store.Corrupt _ -> Wire.Err_store
-  in
-  send_error t fd outbuf ~status ~req_id (Store.error_to_string err)
-
-let served t ~degraded ~queries =
-  bump t.c.c_requests_served;
-  add t.c.c_queries_served queries;
-  if degraded then bump t.c.c_degraded_served
-
-(* Decode the dims of query [i] straight out of the validated payload
-   (bounds were checked once for the whole batch; dims are u16 on the
-   wire).  The scratch arrays are aliased into the [Dims.t] without a
-   copy — the engine reads dims only for the duration of the call, so
-   the next query may safely overwrite them.  The zero-dim check is
-   folded into the decode loop: [v - 1] is negative exactly when a u16
-   is zero, and a bad request surfaces as [Invalid_argument]. *)
-let dims_at buf ~base ~n i (w, h) =
-  let off = base + (i * 4 * n) in
-  let acc = ref 0 in
-  for j = 0 to n - 1 do
-    let wv = Bytes.get_uint16_le buf (off + (j * 4)) in
-    let hv = Bytes.get_uint16_le buf (off + (j * 4) + 2) in
-    w.(j) <- wv;
-    h.(j) <- hv;
-    acc := !acc lor (wv - 1) lor (hv - 1)
-  done;
-  if !acc < 0 then invalid_arg "zero dimension on the wire";
-  Dims.unsafe_of_arrays ~w ~h
-
-let check_deadline deadline =
-  match deadline with
-  | Some d when Unix.gettimeofday () > d -> raise Deadline_hit
-  | _ -> ()
-
-let handle_batch t fd state ~req_id ~deadline ~len ~instantiate =
-  let buf = !(state.inbuf) in
-  let handle = Wire.get_u16 buf ~len 9 in
-  let count = Wire.get_u32 buf ~len 11 in
-  match Hashtbl.find_opt state.handles handle with
-  | None ->
-    send_error t fd state.outbuf ~status:Wire.Err_bad_request ~req_id
-      (Printf.sprintf "unknown handle %d (open the circuit first)" handle)
-  | Some name -> (
-    match Store.get t.the_store name with
-    | Error err -> store_error_reply t fd state.outbuf ~req_id err
-    | Ok entry ->
-      let n = Circuit.n_blocks entry.Store.circuit in
-      let expected = 15 + (count * 4 * n) in
-      if count > t.config.max_batch then
-        send_error t fd state.outbuf ~status:Wire.Err_bad_request ~req_id
-          (Printf.sprintf "batch of %d exceeds the %d-query cap" count
-             t.config.max_batch)
-      else if len <> expected then
-        send_error t fd state.outbuf ~status:Wire.Err_bad_request ~req_id
-          (Printf.sprintf "payload is %d bytes, %d expected for %d %d-block queries"
-             len expected count n)
-      else begin
-        let scratch = scratch_for state n in
-        let item = if instantiate then 16 * n else 4 in
-        let body = header + 4 + (count * item) in
-        Wire.ensure state.outbuf (prefix + body);
-        let out = !(state.outbuf) in
-        Wire.set_u32 out (prefix + header) count;
-        let base = 15 in
-        let out_base = prefix + header + 4 in
-        let backup = Structure.backup entry.Store.structure in
-        match
-          for i = 0 to count - 1 do
-            if i land 255 = 0 then check_deadline deadline;
-            let dims = dims_at buf ~base ~n i scratch in
-            if instantiate then begin
-              let rects =
-                if entry.Store.backup_only then Stored.instantiate_repacked backup dims
-                else
-                  Structure.Engine.instantiate_into entry.Store.engine state.session
-                    dims
-              in
-              let off = out_base + (i * item) in
-              for j = 0 to n - 1 do
-                let r = rects.(j) in
-                Wire.set_i32 out (off + (j * 16)) r.Rect.x;
-                Wire.set_i32 out (off + (j * 16) + 4) r.Rect.y;
-                Wire.set_i32 out (off + (j * 16) + 8) r.Rect.w;
-                Wire.set_i32 out (off + (j * 16) + 12) r.Rect.h
-              done
-            end
-            else begin
-              let id =
-                if entry.Store.backup_only then
-                  if Circuit.dims_valid entry.Store.circuit dims then -1 else -2
-                else Structure.Engine.query_id entry.Store.engine state.session dims
-              in
-              Wire.set_i32 out (out_base + (i * 4)) id
-            end
-          done
-        with
-        | () ->
-          let degraded = entry.Store.degraded in
-          served t ~degraded ~queries:count;
-          send_reply t fd state.outbuf
-            ~status:(if degraded then Wire.Ok_degraded else Wire.Ok)
-            ~req_id ~epoch:entry.Store.epoch ~payload_len:body
-        | exception Deadline_hit ->
-          send_error t fd state.outbuf ~status:Wire.Err_timeout ~req_id
-            "deadline expired mid-batch"
-        | exception Invalid_argument m ->
-          send_error t fd state.outbuf ~status:Wire.Err_bad_request ~req_id
-            (Printf.sprintf "bad dimension vector: %s" m)
-      end)
-
-let handle_open t fd state ~req_id ~len =
-  let buf = !(state.inbuf) in
-  let name, _ = Wire.get_string16 buf ~len 9 in
-  match Store.get t.the_store name with
-  | Error err -> store_error_reply t fd state.outbuf ~req_id err
-  | Ok entry ->
-    if state.next_handle > 0xffff then
-      send_error t fd state.outbuf ~status:Wire.Err_bad_request ~req_id
-        "handle space exhausted on this connection"
-    else begin
-      let handle = state.next_handle in
-      state.next_handle <- handle + 1;
-      Hashtbl.replace state.handles handle name;
-      let body = header + 9 in
-      Wire.ensure state.outbuf (prefix + body);
-      let out = !(state.outbuf) in
-      Wire.set_u16 out (prefix + header) handle;
-      Wire.set_u8 out (prefix + header + 2) (if entry.Store.degraded then 1 else 0);
-      Wire.set_u16 out (prefix + header + 3) (Circuit.n_blocks entry.Store.circuit);
-      Wire.set_u32 out (prefix + header + 5)
-        (Structure.n_placements entry.Store.structure);
-      served t ~degraded:entry.Store.degraded ~queries:0;
-      send_reply t fd state.outbuf
-        ~status:(if entry.Store.degraded then Wire.Ok_degraded else Wire.Ok)
-        ~req_id ~epoch:entry.Store.epoch ~payload_len:body
-    end
-
-let handle_reload t fd state ~req_id ~len =
-  let buf = !(state.inbuf) in
-  let name, _ = Wire.get_string16 buf ~len 9 in
-  match Store.reload t.the_store name with
-  | Error err -> store_error_reply t fd state.outbuf ~req_id err
-  | Ok entry ->
-    let body = header + 1 in
-    Wire.ensure state.outbuf (prefix + body);
-    Wire.set_u8 !(state.outbuf) (prefix + header)
-      (if entry.Store.degraded then 1 else 0);
-    served t ~degraded:entry.Store.degraded ~queries:0;
-    send_reply t fd state.outbuf
-      ~status:(if entry.Store.degraded then Wire.Ok_degraded else Wire.Ok)
-      ~req_id ~epoch:entry.Store.epoch ~payload_len:body
-
-let stats_text t =
-  let s = stats t in
-  Store.describe t.the_store
-  ^ Printf.sprintf
-      "accepted %d, shed %d, served %d requests / %d queries (%d degraded), timeouts \
-       %d, overloaded %d, bad %d, store errors %d, conn crashes %d, accept failures %d\n"
-      s.accepted s.shed_connections s.requests_served s.queries_served s.degraded_served
-      s.timeouts s.overloaded s.bad_requests s.store_errors s.connection_crashes
-      s.accept_failures
-
-let handle_request t conn state ~len =
-  let fd = conn.fd in
-  let buf = !(state.inbuf) in
-  let now = Unix.gettimeofday () in
-  match
-    let opcode_i = Wire.get_u8 buf ~len 0 in
-    let req_id = Wire.get_u32 buf ~len 1 in
-    let deadline_us = Wire.get_u32 buf ~len 5 in
-    (opcode_i, req_id, deadline_us)
-  with
-  | exception Wire.Truncated _ ->
-    bump t.c.c_bad_requests;
-    send_reply t fd state.outbuf ~status:Wire.Err_bad_request ~req_id:0 ~epoch:0
-      ~payload_len:
-        (Wire.put_string16 state.outbuf (prefix + header) "short request header"
-        - prefix)
-  | opcode_i, req_id, deadline_us -> (
-    let deadline =
-      if deadline_us = 0 then None else Some (now +. (float_of_int deadline_us *. 1e-6))
-    in
-    let inflight = 1 + Atomic.fetch_and_add t.inflight 1 in
-    Fun.protect
-      ~finally:(fun () -> Atomic.decr t.inflight)
-      (fun () ->
-        if Atomic.get t.stopping then
-          send_error t fd state.outbuf ~status:Wire.Err_shutting_down ~req_id
-            "daemon is draining"
-        else if inflight > t.config.max_inflight then
-          send_error t fd state.outbuf ~status:Wire.Err_overloaded ~req_id
-            (Printf.sprintf "%d requests in flight (limit %d)" inflight
-               t.config.max_inflight)
-        else
-          match Wire.opcode_of_int opcode_i with
-          | None ->
-            send_error t fd state.outbuf ~status:Wire.Err_bad_request ~req_id
-              (Printf.sprintf "unknown opcode %d" opcode_i)
-          | Some _ when deadline <> None && Unix.gettimeofday () > Option.get deadline
-            ->
-            (* expired before any work (queueing, a store load ahead of
-               us): a typed timeout, not a late answer *)
-            send_error t fd state.outbuf ~status:Wire.Err_timeout ~req_id
-              "deadline expired before serving"
-          | Some Wire.Ping ->
-            served t ~degraded:false ~queries:0;
-            send_reply t fd state.outbuf ~status:Wire.Ok ~req_id ~epoch:0
-              ~payload_len:header
-          | Some Wire.Open_circuit -> (
-            match handle_open t fd state ~req_id ~len with
-            | () -> ()
-            | exception Wire.Truncated m ->
-              send_error t fd state.outbuf ~status:Wire.Err_bad_request ~req_id m)
-          | Some Wire.Reload -> (
-            match handle_reload t fd state ~req_id ~len with
-            | () -> ()
-            | exception Wire.Truncated m ->
-              send_error t fd state.outbuf ~status:Wire.Err_bad_request ~req_id m)
-          | Some Wire.Stats ->
-            let text = stats_text t in
-            let payload_len =
-              Wire.put_string16 state.outbuf (prefix + header) text - prefix
-            in
-            served t ~degraded:false ~queries:0;
-            send_reply t fd state.outbuf ~status:Wire.Ok ~req_id ~epoch:0 ~payload_len
-          | Some ((Wire.Query_batch | Wire.Instantiate_batch) as op) -> (
-            let instantiate = op = Wire.Instantiate_batch in
-            match handle_batch t fd state ~req_id ~deadline ~len ~instantiate with
-            | () -> ()
-            | exception Wire.Truncated m ->
-              send_error t fd state.outbuf ~status:Wire.Err_bad_request ~req_id m)))
-
-(* ---- connection lifecycle --------------------------------------- *)
-
-let unregister t conn =
-  Mutex.lock t.conns_mutex;
-  Hashtbl.remove t.conns conn.conn_id;
-  Mutex.unlock t.conns_mutex
-
-let serve_conn t conn =
-  let state =
-    {
-      session = Structure.Engine.new_session ();
-      handles = Hashtbl.create 4;
-      next_handle = 1;
-      inbuf = ref (Bytes.create 4096);
-      outbuf = ref (Bytes.create 4096);
-      w_scratch = [||];
-      h_scratch = [||];
-    }
-  in
-  (try
-     let continue = ref true in
-     while !continue do
-       let idle_deadline = Unix.gettimeofday () +. t.config.idle_timeout in
-       match
-         Wire.recv_frame t.transport ~deadline:idle_deadline
-           ~max_bytes:t.config.max_frame_bytes ~buf:state.inbuf conn.fd
-       with
-       | exception Wire.Closed -> continue := false
-       | exception Wire.Timed_out ->
-         (* idle or dribbling a frame for idle_timeout: drop it *)
-         continue := false
-       | len -> handle_request t conn state ~len
-     done
-   with
-  | Wire.Truncated _ | Wire.Too_large _ | Unix.Unix_error _ | Sys_error _ ->
-    (* torn frame, abusive length or transport failure: this
-       connection is done, the daemon is not *)
-    bump t.c.c_connection_crashes
-  | _ ->
-    (* anything else (engine invariant, decode bug): same isolation *)
-    bump t.c.c_connection_crashes);
-  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
-  unregister t conn
-
-let register_and_spawn t fd =
-  let conn = { conn_id = Atomic.fetch_and_add t.next_conn_id 1; fd } in
-  Mutex.lock t.conns_mutex;
-  Hashtbl.replace t.conns conn.conn_id conn;
-  Mutex.unlock t.conns_mutex;
-  ignore (Thread.create (fun () -> serve_conn t conn) ())
-
-let conn_count t =
-  Mutex.lock t.conns_mutex;
-  let n = Hashtbl.length t.conns in
-  Mutex.unlock t.conns_mutex;
-  n
-
 let do_accept t =
+  let c = Supervisor.counters t.sup in
   match t.transport.Transport.accept t.listen_fd with
-  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+  | exception
+      Unix.Unix_error
+        ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED), _, _) ->
     () (* the pending connection vanished between select and accept *)
   | exception Unix.Unix_error _ ->
     (* EMFILE, injected fault, ...: count, back off, keep accepting *)
-    bump t.c.c_accept_failures;
+    Atomic.incr c.Supervisor.c_accept_failures;
     Thread.delay t.config.accept_retry_delay
   | fd, _ ->
-    bump t.c.c_accepted;
+    Atomic.incr c.Supervisor.c_accepted;
     (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
-    if Atomic.get t.stopping then begin
-      bump t.c.c_shed_connections;
-      farewell_and_close t fd Wire.Err_shutting_down "daemon is draining"
-    end
-    else if conn_count t >= t.config.max_connections then begin
-      bump t.c.c_shed_connections;
-      farewell_and_close t fd Wire.Err_overloaded
+    let shed status msg =
+      Atomic.incr c.Supervisor.c_shed_connections;
+      Supervisor.farewell t.sup fd status msg
+    in
+    if Atomic.get t.stopping then shed Wire.Err_shutting_down "daemon is draining"
+    else if Supervisor.conn_count t.sup >= t.config.max_connections then
+      shed Wire.Err_overloaded
         (Printf.sprintf "connection limit %d reached" t.config.max_connections)
-    end
-    else register_and_spawn t fd
+    else
+      match Supervisor.dispatch t.sup fd with
+      | Supervisor.Dispatched -> ()
+      | Supervisor.Backpressure ->
+        shed Wire.Err_overloaded "every worker queue is full"
+      | Supervisor.No_worker ->
+        shed Wire.Err_worker_lost "no worker available (restarting)"
 
 let drain_wake t =
   let scratch = Bytes.create 64 in
@@ -588,33 +210,28 @@ let run t =
       if List.mem t.listen_fd ready && not (Atomic.get t.stopping) then do_accept t
   done;
   close_listener t;
-  if Atomic.get t.aborted then begin
+  if Atomic.get t.aborted then
     (* simulated crash: sever everything, no drain, no farewells *)
-    Mutex.lock t.conns_mutex;
-    Hashtbl.iter (fun _ conn -> shutdown_conn conn) t.conns;
-    Mutex.unlock t.conns_mutex
-  end
+    Supervisor.sever_all t.sup
   else begin
     (* graceful drain: no new requests (handlers answer
        Err_shutting_down), in-flight ones finish; connections close as
        their clients see EOF on the receive side *)
-    Mutex.lock t.conns_mutex;
-    Hashtbl.iter (fun _ conn -> shutdown_conn ~how:Unix.SHUTDOWN_RECEIVE conn) t.conns;
-    Mutex.unlock t.conns_mutex;
+    Supervisor.begin_drain t.sup;
     let deadline = Unix.gettimeofday () +. t.config.drain_timeout in
-    while conn_count t > 0 && Unix.gettimeofday () < deadline do
+    while Supervisor.conn_count t.sup > 0 && Unix.gettimeofday () < deadline do
       Thread.delay 0.01
     done;
-    if conn_count t > 0 then begin
+    if Supervisor.conn_count t.sup > 0 then begin
       (* drain deadline blown: force the stragglers *)
-      Mutex.lock t.conns_mutex;
-      Hashtbl.iter (fun _ conn -> shutdown_conn conn) t.conns;
-      Mutex.unlock t.conns_mutex;
+      Supervisor.sever_all t.sup;
       let force_deadline = Unix.gettimeofday () +. 1.0 in
-      while conn_count t > 0 && Unix.gettimeofday () < force_deadline do
+      while Supervisor.conn_count t.sup > 0 && Unix.gettimeofday () < force_deadline do
         Thread.delay 0.01
       done
     end
-  end
+  end;
+  (* join the supervision thread and every worker domain *)
+  Supervisor.join t.sup
 
 let start t = Thread.create run t

@@ -1,41 +1,54 @@
 (** mpsd: the multi-placement-structure serving daemon.
 
-    One accept loop, one lightweight thread per connection, one
-    {!Store.t} of compiled engines behind them.  The design goal is
-    that no single client — slow, malicious, or unlucky — can take the
-    daemon or its other clients down:
+    One accept loop in front of a {!Supervisor} — N crash-isolated
+    worker domains, each serving its connections on domain-local
+    threads — and one {!Store.t} of compiled engines behind them.  The
+    design goal is that no single client {e or worker} — slow,
+    malicious, crashed, or unlucky — can take the daemon or its other
+    clients down:
 
     - {b Deadlines.}  Every request may carry a microsecond budget;
       the server stamps it on receipt and re-checks it between batch
       chunks, replying [Err_timeout] instead of returning a stale
       answer late.
-    - {b Load shedding.}  Admission is bounded twice: beyond
+    - {b Load shedding.}  Admission is bounded three times: beyond
       [max_connections] a fresh connection is told [Err_overloaded]
-      and closed instead of queueing, and beyond [max_inflight]
+      and closed instead of queueing, a full set of worker queues is
+      backpressure (shed at the door), and beyond [max_inflight]
       concurrently-served requests each extra request is shed with
       [Err_overloaded] instead of growing an unbounded queue.
-    - {b Crash isolation.}  A connection handler that dies — protocol
-      garbage, an injected transport fault, an engine invariant — is
-      counted, its socket closed, and the daemon carries on.  Accept
-      failures back off and retry; they never tear the loop down.
+    - {b Crash isolation, supervised.}  A connection handler that dies
+      is counted and contained.  A whole {e worker} that dies has its
+      in-flight requests answered with a typed [Err_worker_lost], is
+      respawned under exponential backoff, and a restart storm trips a
+      circuit breaker into degraded single-worker mode — see
+      {!Supervisor}.
+    - {b Health.}  The [Health] frame (and {!health}) reports
+      readiness, per-worker state, restart counts, queue depths and
+      spawn epochs, so an orchestrator can probe liveness/readiness on
+      the same wire it queries on.
     - {b Graceful drain.}  {!stop} (wired to SIGTERM by
       {!install_sigterm}) stops accepting, lets in-flight requests
       finish and answers anything arriving during the drain with
       [Err_shutting_down]; {!run} returns once the last connection is
-      gone (or [drain_timeout] forces it).
+      gone (or [drain_timeout] forces it) and every worker domain is
+      joined.
     - {b Degradation.}  Store entries with audit findings serve from
       the backup template and every reply from a degraded entry is
       flagged, so a client is never silently handed a wrong answer.
 
-    The transport is injectable ({!Transport.t}), which is how the
-    chaos suite drives short reads, stalls, mid-request disconnects
-    and accept failures through the full stack deterministically. *)
+    The transport is injectable ({!Transport.t}), and worker faults
+    are injectable through [?fault], which is how the chaos suite
+    drives short reads, stalls, disconnects, worker crashes and
+    restart storms through the full stack deterministically. *)
 
 type addr =
   | Unix_path of string
   | Tcp of string * int  (** host, port; port [0] picks a free port. *)
 
-type config = {
+type config = Supervisor.config = {
+  workers : int;  (** Worker domains behind the accept loop. *)
+  queue_capacity : int;  (** Pending connections per worker queue. *)
   max_connections : int;  (** Accepted connections beyond this are shed. *)
   max_inflight : int;  (** Concurrently served requests beyond this are shed. *)
   max_batch : int;  (** Queries per batch request. *)
@@ -45,14 +58,18 @@ type config = {
           frame) before it is dropped. *)
   drain_timeout : float;  (** Seconds {!stop} waits before forcing. *)
   accept_retry_delay : float;  (** Back-off after a failed [accept]. *)
+  restart_base_delay : float;  (** First respawn delay after a worker crash. *)
+  restart_max_delay : float;  (** Backoff cap. *)
+  breaker_window : float;  (** Sliding window for the restart storm count. *)
+  breaker_max_restarts : int;
+      (** Crashes inside the window beyond this trip the breaker. *)
 }
 
 val default_config : config
-(** 64 connections, 32 in-flight, 65536-query batches, 32 MiB frames,
-    30 s idle, 10 s drain, 50 ms accept back-off. *)
+(** See {!Supervisor.default_config}. *)
 
 (** Monotonic counters, readable at any time. *)
-type stats = {
+type stats = Supervisor.stats = {
   accepted : int;
   shed_connections : int;
   requests_served : int;  (** Replies with status [Ok] / [Ok_degraded]. *)
@@ -64,16 +81,30 @@ type stats = {
   store_errors : int;
   connection_crashes : int;
   accept_failures : int;
+  dispatched : int;  (** Connections placed on a worker queue. *)
+  worker_crashes : int;  (** Worker generations killed. *)
+  worker_restarts : int;  (** Worker slots respawned. *)
+  worker_lost_replies : int;  (** Requests answered [Err_worker_lost]. *)
+  breaker_trips : int;
 }
 
 type t
 
-val create : ?config:config -> ?transport:Transport.t -> store:Store.t -> addr -> t
+val create :
+  ?config:config ->
+  ?transport:Transport.t ->
+  ?fault:(worker:int -> unit) ->
+  store:Store.t ->
+  addr ->
+  t
 (** Bind and listen immediately (so a caller may connect before
-    {!run} is entered), but accept nothing until {!run}.  Sets the
-    process's SIGPIPE disposition to ignore — the daemon cannot
-    operate under the default (a vanished peer would kill it on the
-    next reply write).
+    {!run} is entered), but accept nothing until {!run}.  The worker
+    domains and supervision thread spawn here.  Sets the process's
+    SIGPIPE disposition to ignore — the daemon cannot operate under
+    the default (a vanished peer would kill it on the next reply
+    write).  [fault] is the per-request worker fault hook (chaos
+    suite); see {!Supervisor.create}.  Binding retries [EADDRINUSE]
+    briefly so a restart under load cannot lose the bind race.
     @raise Unix.Unix_error when the address cannot be bound. *)
 
 val bound_addr : t -> addr
@@ -83,10 +114,18 @@ val bound_addr : t -> addr
 val store : t -> Store.t
 val stats : t -> stats
 
+val health : t -> Wire.health
+(** In-process health snapshot (the [Health] frame serves the same). *)
+
+val kill_worker : t -> int -> bool
+(** Chaos surface: simulate a hard crash of one worker slot.  [false]
+    when the slot is out of range or not up.  See
+    {!Supervisor.kill_worker}. *)
+
 val run : t -> unit
-(** Serve until {!stop} or {!abort}, then drain and release every
-    socket.  Never raises: all per-connection failures are contained
-    and counted. *)
+(** Serve until {!stop} or {!abort}, then drain, join every worker
+    domain and release every socket.  Never raises: all
+    per-connection and per-worker failures are contained and counted. *)
 
 val start : t -> Thread.t
 (** {!run} on a background thread (tests, benches). *)

@@ -1,0 +1,162 @@
+(** The mpsd supervision tree: N crash-isolated worker domains behind
+    the accept loop.
+
+    The accept loop (owned by {!Server}) hands each accepted socket to
+    {!dispatch}, which places it on the least-loaded up worker's
+    {e bounded} queue — a full set of queues is backpressure, answered
+    with [Err_overloaded] at the door instead of unbounded buffering.
+    Each worker is an OCaml domain that pops sockets off its queue and
+    serves every connection on a domain-local thread, so request
+    handling runs in true parallel across workers while one worker's
+    threads interleave cheaply.
+
+    {b Crash isolation.}  A worker crash — an injected
+    {!Worker_killed}, or any escape from the dispatch loop — kills the
+    worker's {e generation}, never the daemon: in-flight requests on
+    that worker are answered with a typed [Err_worker_lost] (safe to
+    retry), its connections are severed, and the slot is respawned
+    under an exponential-backoff restart policy.  A restart storm
+    (more than [breaker_max_restarts] crashes inside
+    [breaker_window] seconds) trips a circuit breaker that parks every
+    slot but 0 — degraded single-worker mode — rather than burning the
+    host on a crash loop.
+
+    {b Health.}  {!health} snapshots readiness (not draining, at least
+    one worker up), per-worker state, restart counts, queue depths and
+    spawn epochs; it is served on the wire as the [Health] frame.
+
+    The connection/request handling itself (deadlines, admission,
+    batch queries, store access) lives here too — the supervisor {e is}
+    the serving layer; {!Server} is the listener in front of it. *)
+
+exception Worker_killed
+(** Raised inside a worker to simulate (or propagate) its death; the
+    fault hook raises it to drive the chaos scenarios. *)
+
+type config = {
+  workers : int;  (** Worker domains ([>= 1]). *)
+  queue_capacity : int;  (** Pending connections per worker queue. *)
+  max_connections : int;  (** Accepted connections beyond this are shed. *)
+  max_inflight : int;  (** Concurrently served requests beyond this are shed. *)
+  max_batch : int;  (** Queries per batch request. *)
+  max_frame_bytes : int;  (** Hard cap on any frame payload. *)
+  idle_timeout : float;
+      (** Seconds a connection may sit silent (or dribble a partial
+          frame) before it is dropped. *)
+  drain_timeout : float;  (** Seconds a graceful stop waits before forcing. *)
+  accept_retry_delay : float;  (** Back-off after a failed [accept]. *)
+  restart_base_delay : float;  (** First respawn delay after a crash. *)
+  restart_max_delay : float;  (** Backoff cap. *)
+  breaker_window : float;  (** Sliding window for the restart storm count. *)
+  breaker_max_restarts : int;
+      (** Crashes inside the window beyond this trip the breaker. *)
+}
+
+val default_config : config
+(** 1 worker, 16-deep queues, 64 connections, 32 in-flight,
+    65536-query batches, 32 MiB frames, 30 s idle, 10 s drain, 50 ms
+    accept back-off; restarts 50 ms doubling to 2 s, breaker at 5
+    crashes / 10 s. *)
+
+(** Monotonic counters, readable at any time. *)
+type stats = {
+  accepted : int;
+  shed_connections : int;
+  requests_served : int;  (** Replies with status [Ok] / [Ok_degraded]. *)
+  queries_served : int;  (** Individual queries inside served batches. *)
+  degraded_served : int;  (** Requests answered [Ok_degraded]. *)
+  timeouts : int;
+  overloaded : int;
+  bad_requests : int;
+  store_errors : int;
+  connection_crashes : int;
+  accept_failures : int;
+  dispatched : int;  (** Connections placed on a worker queue. *)
+  worker_crashes : int;  (** Generations killed. *)
+  worker_restarts : int;  (** Slots respawned. *)
+  worker_lost_replies : int;  (** Requests answered [Err_worker_lost]. *)
+  breaker_trips : int;
+}
+
+(** The raw counters, for the accept loop to bump. *)
+type counters = {
+  c_accepted : int Atomic.t;
+  c_shed_connections : int Atomic.t;
+  c_requests_served : int Atomic.t;
+  c_queries_served : int Atomic.t;
+  c_degraded_served : int Atomic.t;
+  c_timeouts : int Atomic.t;
+  c_overloaded : int Atomic.t;
+  c_bad_requests : int Atomic.t;
+  c_store_errors : int Atomic.t;
+  c_connection_crashes : int Atomic.t;
+  c_accept_failures : int Atomic.t;
+  c_dispatched : int Atomic.t;
+  c_worker_crashes : int Atomic.t;
+  c_worker_restarts : int Atomic.t;
+  c_worker_lost_replies : int Atomic.t;
+  c_breaker_trips : int Atomic.t;
+}
+
+type t
+
+val create :
+  ?fault:(worker:int -> unit) ->
+  config:config ->
+  transport:Transport.t ->
+  store:Store.t ->
+  stopping:bool Atomic.t ->
+  unit ->
+  t
+(** Spawn the worker domains and the supervision thread immediately.
+    [stopping] is shared with the accept loop: setting it (plus
+    {!notify_stop}) begins the drain everywhere at once.  [fault] is
+    called before each request with the serving worker's slot — the
+    chaos suite's hook; raising {!Worker_killed} from it crashes that
+    worker after the in-flight request is answered [Err_worker_lost].
+    @raise Invalid_argument on [workers < 1] or [queue_capacity < 1]. *)
+
+val stats : t -> stats
+val counters : t -> counters
+
+(** Outcome of routing one accepted connection. *)
+type verdict =
+  | Dispatched  (** Queued on an up worker. *)
+  | Backpressure  (** Every up worker's queue is full — shed at the door. *)
+  | No_worker  (** No worker is up (all restarting/disabled). *)
+
+val dispatch : t -> Unix.file_descr -> verdict
+(** Route to the least-loaded (queue + live connections) up worker
+    with queue space, round-robin on ties.  On anything but
+    [Dispatched] the caller still owns the fd. *)
+
+val conn_count : t -> int
+(** Connections queued or live across all workers. *)
+
+val health : t -> Wire.health
+(** Snapshot for the [Health] frame and the CLI probe. *)
+
+val kill_worker : t -> int -> bool
+(** Simulate a hard crash of the given worker slot (chaos surface):
+    its generation dies exactly as if a handler had raised
+    {!Worker_killed}.  Returns [false] when the slot is out of range
+    or not currently up. *)
+
+val farewell : t -> Unix.file_descr -> Wire.status -> string -> unit
+(** Best-effort one-frame reply (request id 0) and close — for
+    connections shed before reaching a worker. *)
+
+val notify_stop : t -> unit
+(** Wake every worker blocked on its queue so they observe [stopping]. *)
+
+val begin_drain : t -> unit
+(** Farewell queued-but-unserved connections and sever the receive
+    side of live ones: in-flight requests finish, nothing new starts. *)
+
+val sever_all : t -> unit
+(** Hard-sever every live connection (abort / blown drain deadline). *)
+
+val join : t -> unit
+(** Final teardown once [stopping] is set and the drain budget is
+    spent: close still-queued sockets, join the supervision thread and
+    every worker domain.  Idempotent. *)

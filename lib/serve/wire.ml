@@ -5,6 +5,7 @@ type opcode =
   | Instantiate_batch
   | Stats
   | Reload
+  | Health
 
 type status =
   | Ok
@@ -15,6 +16,7 @@ type status =
   | Err_unknown_circuit
   | Err_store
   | Err_shutting_down
+  | Err_worker_lost
 
 let opcode_to_int = function
   | Ping -> 1
@@ -23,6 +25,7 @@ let opcode_to_int = function
   | Instantiate_batch -> 4
   | Stats -> 5
   | Reload -> 6
+  | Health -> 7
 
 let opcode_of_int = function
   | 1 -> Some Ping
@@ -31,7 +34,14 @@ let opcode_of_int = function
   | 4 -> Some Instantiate_batch
   | 5 -> Some Stats
   | 6 -> Some Reload
+  | 7 -> Some Health
   | _ -> None
+
+(* Only these may be hedged or blindly retried: re-executing them
+   cannot change server state ([Reload] bumps the store epoch). *)
+let idempotent = function
+  | Ping | Open_circuit | Query_batch | Instantiate_batch | Stats | Health -> true
+  | Reload -> false
 
 let status_to_int = function
   | Ok -> 0
@@ -42,6 +52,7 @@ let status_to_int = function
   | Err_unknown_circuit -> 5
   | Err_store -> 6
   | Err_shutting_down -> 7
+  | Err_worker_lost -> 8
 
 let status_of_int = function
   | 0 -> Some Ok
@@ -52,6 +63,7 @@ let status_of_int = function
   | 5 -> Some Err_unknown_circuit
   | 6 -> Some Err_store
   | 7 -> Some Err_shutting_down
+  | 8 -> Some Err_worker_lost
   | _ -> None
 
 let status_to_string = function
@@ -63,6 +75,7 @@ let status_to_string = function
   | Err_unknown_circuit -> "unknown-circuit"
   | Err_store -> "store-error"
   | Err_shutting_down -> "shutting-down"
+  | Err_worker_lost -> "worker-lost"
 
 let request_header_bytes = 9
 let reply_header_bytes = 9
@@ -174,3 +187,99 @@ let put_string16 buf off s =
   set_u16 !buf off n;
   Bytes.blit_string s 0 !buf (off + 2) n;
   off + 2 + n
+
+(* ---- the Health frame ------------------------------------------- *)
+
+type worker_state = W_up | W_restarting | W_disabled
+
+let worker_state_to_int = function W_up -> 0 | W_restarting -> 1 | W_disabled -> 2
+
+let worker_state_of_int = function
+  | 0 -> Some W_up
+  | 1 -> Some W_restarting
+  | 2 -> Some W_disabled
+  | _ -> None
+
+let worker_state_to_string = function
+  | W_up -> "up"
+  | W_restarting -> "restarting"
+  | W_disabled -> "disabled"
+
+type worker_health = {
+  w_state : worker_state;
+  w_restarts : int;
+  w_queue : int;
+  w_conns : int;
+  w_epoch : int;
+}
+
+type health = {
+  ready : bool;
+  draining : bool;
+  breaker : bool;
+  epoch : int;
+  workers : worker_health array;
+}
+
+let worker_health_bytes = 11
+
+let put_health buf off h =
+  let n = Array.length h.workers in
+  if n > 0xff then invalid_arg "Wire.put_health: too many workers";
+  let body = 8 + (n * worker_health_bytes) in
+  ensure buf (off + body);
+  let b = !buf in
+  set_u8 b off (if h.ready then 1 else 0);
+  set_u8 b (off + 1) (if h.draining then 1 else 0);
+  set_u8 b (off + 2) (if h.breaker then 1 else 0);
+  set_u8 b (off + 3) n;
+  set_u32 b (off + 4) h.epoch;
+  Array.iteri
+    (fun i w ->
+      let o = off + 8 + (i * worker_health_bytes) in
+      set_u8 b o (worker_state_to_int w.w_state);
+      set_u16 b (o + 1) (min 0xffff w.w_restarts);
+      set_u16 b (o + 3) (min 0xffff w.w_queue);
+      set_u16 b (o + 5) (min 0xffff w.w_conns);
+      set_u32 b (o + 7) w.w_epoch)
+    h.workers;
+  off + body
+
+let get_health b ~len off =
+  let ready = get_u8 b ~len off = 1 in
+  let draining = get_u8 b ~len (off + 1) = 1 in
+  let breaker = get_u8 b ~len (off + 2) = 1 in
+  let n = get_u8 b ~len (off + 3) in
+  let epoch = get_u32 b ~len (off + 4) in
+  let workers =
+    Array.init n (fun i ->
+        let o = off + 8 + (i * worker_health_bytes) in
+        let w_state =
+          match worker_state_of_int (get_u8 b ~len o) with
+          | Some s -> s
+          | None -> raise (Truncated "unknown worker state on the wire")
+        in
+        {
+          w_state;
+          w_restarts = get_u16 b ~len (o + 1);
+          w_queue = get_u16 b ~len (o + 3);
+          w_conns = get_u16 b ~len (o + 5);
+          w_epoch = get_u32 b ~len (o + 7);
+        })
+  in
+  { ready; draining; breaker; epoch; workers }
+
+let health_to_string h =
+  Printf.sprintf "%s%s%s epoch %d [%s]"
+    (if h.ready then "ready" else "not-ready")
+    (if h.draining then " draining" else "")
+    (if h.breaker then " breaker-tripped" else "")
+    h.epoch
+    (String.concat "; "
+       (Array.to_list
+          (Array.mapi
+             (fun i w ->
+               Printf.sprintf "w%d %s restarts %d queue %d conns %d epoch %d" i
+                 (worker_state_to_string w.w_state)
+                 w.w_restarts w.w_queue w.w_conns w.w_epoch)
+             h.workers)))

@@ -37,6 +37,7 @@ type opcode =
   | Instantiate_batch  (** same body as {!Query_batch} *)
   | Stats  (** no body *)
   | Reload  (** body: string16 circuit name *)
+  | Health  (** no body; reply carries a {!health} record *)
 
 (** Typed reply statuses (the [u8] status on the wire).  Anything but
     [Ok] / [Ok_degraded] carries a string16 diagnostic as its body. *)
@@ -52,9 +53,19 @@ type status =
   | Err_unknown_circuit
   | Err_store  (** The structure file is missing or beyond salvage. *)
   | Err_shutting_down  (** The daemon is draining. *)
+  | Err_worker_lost
+      (** The worker domain serving this connection crashed mid-request;
+          the request was not (fully) served and is safe to retry on a
+          fresh connection. *)
 
 val opcode_to_int : opcode -> int
 val opcode_of_int : int -> opcode option
+
+val idempotent : opcode -> bool
+(** Whether re-executing the request cannot change server state — the
+    frames a client may hedge or blindly retry ([Reload] is the one
+    opcode that is not: it bumps the store epoch). *)
+
 val status_to_int : status -> int
 val status_of_int : int -> status option
 val status_to_string : status -> string
@@ -127,3 +138,54 @@ val put_string16 : Bytes.t ref -> int -> string -> int
 (** Write a u16 length + bytes at the offset (growing the buffer);
     returns the offset just past it.  @raise Invalid_argument when the
     string exceeds 65535 bytes. *)
+
+(** {1 The Health frame}
+
+    Liveness/readiness probes travel on the same wire as queries.  The
+    reply body is
+
+    {v
+    u8 ready   u8 draining   u8 breaker   u8 n_workers   u32 epoch
+    n_workers * (u8 state, u16 restarts, u16 queue, u16 conns, u32 epoch)
+    v}
+
+    [ready] means the daemon can serve a query {e right now}: it is not
+    draining and at least one worker is up.  [epoch] counts worker
+    spawns since the daemon started, so a probe can tell two
+    encounters with the "same" worker slot apart across a restart. *)
+
+(** One worker slot's condition. *)
+type worker_state =
+  | W_up  (** Accepting and serving connections. *)
+  | W_restarting  (** Crashed; a backoff-delayed respawn is pending. *)
+  | W_disabled  (** Parked by the circuit breaker (degraded mode). *)
+
+val worker_state_to_int : worker_state -> int
+val worker_state_of_int : int -> worker_state option
+val worker_state_to_string : worker_state -> string
+
+type worker_health = {
+  w_state : worker_state;
+  w_restarts : int;  (** Times this slot has been respawned. *)
+  w_queue : int;  (** Connections queued, not yet picked up. *)
+  w_conns : int;  (** Connections live on this worker. *)
+  w_epoch : int;  (** Spawn generation of the current domain. *)
+}
+
+type health = {
+  ready : bool;
+  draining : bool;
+  breaker : bool;  (** Restart storm tripped the breaker. *)
+  epoch : int;  (** Total worker spawns since daemon start. *)
+  workers : worker_health array;
+}
+
+val put_health : Bytes.t ref -> int -> health -> int
+(** Encode at the offset (growing the buffer); returns the offset just
+    past the record.  @raise Invalid_argument beyond 255 workers. *)
+
+val get_health : Bytes.t -> len:int -> int -> health
+(** Decode; @raise Truncated on a short or malformed body. *)
+
+val health_to_string : health -> string
+(** One line for logs and the CLI health check. *)

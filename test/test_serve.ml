@@ -58,14 +58,14 @@ let with_tmp_dir f =
     (fun () -> f dir)
 
 (* A daemon over a fresh store in a temp dir, stopped (gracefully) and
-   joined on the way out so no test leaks a thread or a socket. *)
-let with_server ?config ?transport ?(save = true) f =
+   joined on the way out so no test leaks a thread, domain or socket. *)
+let with_server ?config ?transport ?fault ?(save = true) f =
   with_tmp_dir (fun dir ->
       let store = Store.create ~dir () in
       if save then
         Codec.save (Lazy.force structure) ~path:(Store.path_for store circuit_name);
       let server =
-        Server.create ?config ?transport ~store
+        Server.create ?config ?transport ?fault ~store
           (Server.Unix_path (Filename.concat dir "mpsd.sock"))
       in
       let th = Server.start server in
@@ -82,6 +82,20 @@ let with_client ?transport addr f =
 let ok_or_fail tag = function
   | Ok v -> v
   | Error e -> Alcotest.failf "%s: %s" tag (Client.error_to_string e)
+
+let wait_until ?(timeout = 5.0) pred =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    if pred () then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Thread.delay 0.01;
+      go ()
+    end
+  in
+  go ()
+
+let all_up h = Array.for_all (fun w -> w.Wire.w_state = Wire.W_up) h.Wire.workers
 
 (* --- Round trips ----------------------------------------------------- *)
 
@@ -334,7 +348,7 @@ let stall_past_deadline () =
           let rng = Mps_rng.Rng.create ~seed:1 in
           let ids, _ =
             ok_or_fail "retry after stall"
-              (Client.with_retry ~attempts:4 ~base_delay:0.005 ~rng (fun () ->
+              (Client.with_retry ~attempts:4 ~base_delay:0.005 ~rng client (fun () ->
                    Client.query_ids ~budget:0.05 client ~circuit:circuit_name dims))
           in
           check_bool "retry converges on the right answer" true
@@ -360,7 +374,7 @@ let disconnect_mid_request () =
           let rng = Mps_rng.Rng.create ~seed:2 in
           let ids, _ =
             ok_or_fail "retry after disconnect"
-              (Client.with_retry ~attempts:4 ~base_delay:0.005 ~rng (fun () ->
+              (Client.with_retry ~attempts:4 ~base_delay:0.005 ~rng client (fun () ->
                    Client.query_ids client ~circuit:circuit_name dims))
           in
           check_bool "reconnect converges on the right answer" true
@@ -426,7 +440,7 @@ let crash_restart_converge () =
               let rng = Mps_rng.Rng.create ~seed:3 in
               let ids, meta =
                 ok_or_fail "retry against the restarted daemon"
-                  (Client.with_retry ~attempts:6 ~base_delay:0.01 ~rng (fun () ->
+                  (Client.with_retry ~attempts:6 ~base_delay:0.01 ~rng client (fun () ->
                        Client.query_ids client ~circuit:circuit_name dims))
               in
               check_bool "post-restart answers correct" true (ids = expected_ids dims);
@@ -506,10 +520,301 @@ let idle_timeout_drops () =
           let rng = Mps_rng.Rng.create ~seed:4 in
           let ids, _ =
             ok_or_fail "reconnect after idle drop"
-              (Client.with_retry ~attempts:4 ~base_delay:0.005 ~rng (fun () ->
+              (Client.with_retry ~attempts:4 ~base_delay:0.005 ~rng client (fun () ->
                    Client.query_ids client ~circuit:circuit_name dims))
           in
           check_bool "post-idle answers correct" true (ids = expected_ids dims)))
+
+(* --- Pipelining -------------------------------------------------------- *)
+
+let pipelined_batches () =
+  with_server (fun _server addr ->
+      with_client addr (fun client ->
+          let batches = Array.init 12 (fun i -> random_batch ~seed:(200 + i) 8) in
+          let results =
+            Client.query_ids_pipelined ~depth:4 client ~circuit:circuit_name batches
+          in
+          check_int "one result per batch" (Array.length batches)
+            (Array.length results);
+          Array.iteri
+            (fun i r ->
+              let ids, _ = ok_or_fail (Printf.sprintf "pipelined batch %d" i) r in
+              check_bool
+                (Printf.sprintf "pipelined batch %d matches the oracle" i)
+                true
+                (ids = expected_ids batches.(i)))
+            results;
+          check_bool "request frames actually overlapped" true
+            ((Client.stats client).Client.pipelined > 0)))
+
+(* --- Worker faults: crash isolation, supervision, hedging -------------- *)
+
+(* A worker crash mid-request is a typed, retryable [Err_worker_lost]
+   reply — never a hang or a wrong answer — and the supervised restart
+   lets the same client converge. *)
+let worker_crash_typed_reply () =
+  let plan = [ inj Fault.Worker_crash 2 Fault.Fail 1 ] in
+  let hook, fired = Fault.worker_hook_of_plan plan in
+  let config = { Server.default_config with Server.restart_base_delay = 0.02 } in
+  with_server ~config ~fault:hook (fun server addr ->
+      with_client addr (fun client ->
+          let _ = ok_or_fail "ping" (Client.ping client) in
+          let dims = random_batch ~seed:61 8 in
+          (* ping = request 1, open = 2, query = 3 -> the crash fires
+             while the query is being served *)
+          (match Client.query_ids client ~circuit:circuit_name dims with
+          | Error (Client.Refused (Wire.Err_worker_lost, _) as e) ->
+            check_bool "worker loss is retryable" true (Client.retryable e)
+          | Error (Client.Disconnected _) ->
+            (* the sever may beat the typed farewell to the socket *)
+            ()
+          | Error e ->
+            Alcotest.failf "expected worker-lost: %s" (Client.error_to_string e)
+          | Ok _ -> Alcotest.fail "crashed worker produced an answer");
+          check_int "crash fired" 1 (fired ());
+          check_bool "crash survives until counted" true
+            (wait_until (fun () -> (Server.stats server).worker_crashes >= 1));
+          let rng = Mps_rng.Rng.create ~seed:8 in
+          let ids, _ =
+            ok_or_fail "retry converges after the restart"
+              (Client.with_retry ~attempts:8 ~base_delay:0.01 ~rng client (fun () ->
+                   Client.query_ids client ~circuit:circuit_name dims))
+          in
+          check_bool "post-restart answers correct" true (ids = expected_ids dims);
+          check_bool "worker restarted" true
+            (wait_until (fun () -> (Server.stats server).worker_restarts >= 1))))
+
+(* Kill workers under concurrent client load: no accepted connection
+   is lost permanently — every client converges through typed errors
+   and retry, and every answer matches the oracle. *)
+let kill_worker_under_load () =
+  let config =
+    {
+      Server.default_config with
+      Server.workers = 2;
+      restart_base_delay = 0.02;
+      restart_max_delay = 0.1;
+    }
+  in
+  with_server ~config (fun server addr ->
+      let mismatches = Atomic.make 0 in
+      let failures = Atomic.make 0 in
+      let threads =
+        List.init 3 (fun k ->
+            Thread.create
+              (fun () ->
+                let client = Client.connect addr in
+                let rng = Mps_rng.Rng.create ~seed:(100 + k) in
+                for i = 0 to 24 do
+                  let dims = random_batch ~seed:((k * 1000) + i) 8 in
+                  (match
+                     Client.with_retry ~attempts:8 ~base_delay:0.01 ~rng client
+                       (fun () ->
+                         Client.query_ids ~budget:2.0 client ~circuit:circuit_name
+                           dims)
+                   with
+                  | Ok (ids, _) ->
+                    if ids <> expected_ids dims then Atomic.incr mismatches
+                  | Error _ -> Atomic.incr failures);
+                  Thread.delay 0.004
+                done;
+                Client.close client)
+              ())
+      in
+      Thread.delay 0.03;
+      let killed1 = Server.kill_worker server 0 in
+      Thread.delay 0.1;
+      ignore (Server.kill_worker server 1);
+      List.iter Thread.join threads;
+      check_bool "first kill landed on a live worker" true killed1;
+      check_int "no mismatched answers under worker kills" 0
+        (Atomic.get mismatches);
+      check_int "every query converged" 0 (Atomic.get failures);
+      let s = Server.stats server in
+      check_bool "crashes counted" true (s.worker_crashes >= 1);
+      check_bool "restarts counted" true (s.worker_restarts >= 1);
+      check_bool "pool recovers to fully ready" true
+        (wait_until (fun () ->
+             let h = Server.health server in
+             h.Wire.ready && all_up h)))
+
+(* A restart storm trips the circuit breaker: extra slots park in
+   [W_disabled], slot 0 keeps serving correct answers in degraded
+   single-worker mode, and the health probe says so on the wire. *)
+let restart_storm_breaker () =
+  let config =
+    {
+      Server.default_config with
+      Server.workers = 2;
+      restart_base_delay = 0.01;
+      restart_max_delay = 0.05;
+      breaker_window = 30.0;
+      breaker_max_restarts = 2;
+    }
+  in
+  with_server ~config (fun server addr ->
+      let killed = ref 0 in
+      let slot = ref 0 in
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      (* alternate slots; a kill only lands on an Up worker, so poll
+         through the restart windows until three crashes are in *)
+      while !killed < 3 && Unix.gettimeofday () < deadline do
+        if Server.kill_worker server (!slot land 1) then begin
+          incr killed;
+          incr slot
+        end
+        else Thread.delay 0.01
+      done;
+      check_int "three crashes injected" 3 !killed;
+      check_bool "breaker tripped" true
+        (wait_until (fun () -> (Server.health server).Wire.breaker));
+      check_bool "trip counted" true ((Server.stats server).breaker_trips >= 1);
+      check_bool "slot 1 parked, slot 0 back up" true
+        (wait_until (fun () ->
+             let h = Server.health server in
+             h.Wire.workers.(1).Wire.w_state = Wire.W_disabled
+             && h.Wire.workers.(0).Wire.w_state = Wire.W_up));
+      check_bool "degraded pool is still ready" true
+        (Server.health server).Wire.ready;
+      with_client addr (fun client ->
+          let rng = Mps_rng.Rng.create ~seed:7 in
+          let dims = random_batch ~seed:77 16 in
+          let ids, _ =
+            ok_or_fail "served in degraded single-worker mode"
+              (Client.with_retry ~attempts:6 ~base_delay:0.01 ~rng client (fun () ->
+                   Client.query_ids client ~circuit:circuit_name dims))
+          in
+          check_bool "degraded-mode answers correct" true (ids = expected_ids dims);
+          let h =
+            ok_or_fail "health over the wire"
+              (Client.with_retry ~attempts:6 ~base_delay:0.01 ~rng client (fun () ->
+                   Client.health client))
+          in
+          check_bool "wire health shows the breaker" true h.Wire.breaker))
+
+(* Readiness tracks worker state: kill one of two workers and the
+   health probe (served by the survivor) stays ready while showing the
+   dead slot restarting; after the backoff the slot is back up with
+   its restart counted and a fresh generation epoch. *)
+let readiness_flap () =
+  let config =
+    {
+      Server.default_config with
+      Server.workers = 2;
+      restart_base_delay = 0.6;
+      restart_max_delay = 1.0;
+    }
+  in
+  with_server ~config (fun server addr ->
+      with_client addr (fun c0 ->
+          let h0 = ok_or_fail "initial health" (Client.health c0) in
+          check_bool "initially ready" true h0.Wire.ready;
+          check_int "two workers" 2 (Array.length h0.Wire.workers);
+          check_bool "all workers up" true (all_up h0);
+          check_int "one spawn per worker" 2 h0.Wire.epoch);
+      check_bool "kill landed" true (Server.kill_worker server 0);
+      (* a fresh connection dispatches to the survivor *)
+      with_client addr (fun c1 ->
+          let rng = Mps_rng.Rng.create ~seed:9 in
+          let h1 =
+            ok_or_fail "health during the restart window"
+              (Client.with_retry ~attempts:6 ~base_delay:0.01 ~rng c1 (fun () ->
+                   Client.health c1))
+          in
+          check_bool "still ready on the survivor" true h1.Wire.ready;
+          check_bool "dead slot reported restarting" true
+            (h1.Wire.workers.(0).Wire.w_state = Wire.W_restarting);
+          check_bool "flaps back to all-up" true
+            (wait_until (fun () ->
+                 let h = Server.health server in
+                 h.Wire.ready && all_up h));
+          let h2 =
+            ok_or_fail "health after recovery"
+              (Client.with_retry ~attempts:6 ~base_delay:0.01 ~rng c1 (fun () ->
+                   Client.health c1))
+          in
+          check_bool "all up after the flap" true (all_up h2);
+          check_int "respawn bumped the supervisor epoch" 3 h2.Wire.epoch;
+          check_int "restart counted in health" 1
+            h2.Wire.workers.(0).Wire.w_restarts))
+
+(* A hedged query beats a stalled worker: the primary's query wedges
+   600 ms in worker A, the hedge fires at 50 ms on a second connection
+   (dispatched to worker B) and wins with the right answer. *)
+let hedge_beats_stalled_worker () =
+  let plan = [ inj Fault.Worker_stall 1 (Fault.Stall 0.6) 1 ] in
+  let hook, fired = Fault.worker_hook_of_plan plan in
+  let config = { Server.default_config with Server.workers = 2 } in
+  with_server ~config ~fault:hook (fun _server addr ->
+      with_client addr (fun client ->
+          let dims = random_batch ~seed:71 8 in
+          (* open = request 1; the query (request 2) stalls *)
+          let ids, _ =
+            ok_or_fail "hedged query"
+              (Client.hedged_query_ids ~hedge_after:0.05 client
+                 ~circuit:circuit_name dims)
+          in
+          check_bool "hedged answers correct" true (ids = expected_ids dims);
+          check_int "stall fired" 1 (fired ());
+          let s = Client.stats client in
+          check_int "one hedge launched" 1 s.Client.hedges;
+          check_int "the hedge won" 1 s.Client.hedge_wins))
+
+(* --- Store hot-reload race --------------------------------------------- *)
+
+(* Concurrent forced reloads (with stalled reads widening the publish
+   window) against querying threads: no thread ever sees a torn
+   engine — every answer matches the oracle — and per-thread epochs
+   are monotonic. *)
+let store_reload_race () =
+  with_tmp_dir (fun dir ->
+      let store = Store.create ~dir () in
+      Codec.save (Lazy.force structure) ~path:(Store.path_for store circuit_name);
+      let plan = List.init 4 (fun i -> inj Fault.Read (i + 1) (Fault.Stall 0.03) 1) in
+      let io, _ = Fault.io_of_plan plan in
+      Persist.with_io io (fun () ->
+          (* pin the initial load to epoch 1 (read occurrence 1, not
+             stalled) before any contention starts *)
+          (match Store.get store circuit_name with
+          | Ok e -> check_int "initial epoch" 1 e.Store.epoch
+          | Error e -> Alcotest.failf "initial load: %s" (Store.error_to_string e));
+          let stop = Atomic.make false in
+          let torn = Atomic.make 0 in
+          let threads =
+            List.init 3 (fun k ->
+                Thread.create
+                  (fun () ->
+                    let dims = random_batch ~seed:(300 + k) 4 in
+                    let expect = expected_ids dims in
+                    let session = Structure.Engine.new_session () in
+                    let last_epoch = ref 0 in
+                    while not (Atomic.get stop) do
+                      match Store.get store circuit_name with
+                      | Error _ -> Atomic.incr torn
+                      | Ok entry ->
+                        if entry.Store.epoch < !last_epoch then Atomic.incr torn;
+                        last_epoch := entry.Store.epoch;
+                        let ids =
+                          Array.map
+                            (Structure.Engine.query_id entry.Store.engine session)
+                            dims
+                        in
+                        if ids <> expect then Atomic.incr torn
+                    done)
+                  ())
+          in
+          let final = ref 0 in
+          for _ = 1 to 5 do
+            Thread.delay 0.01;
+            match Store.reload store circuit_name with
+            | Ok e -> final := e.Store.epoch
+            | Error _ -> Atomic.incr torn
+          done;
+          Atomic.set stop true;
+          List.iter Thread.join threads;
+          check_int "no torn engine, failed get or epoch regression" 0
+            (Atomic.get torn);
+          check_int "five forced reloads landed" 6 !final))
 
 let suite =
   [
@@ -536,4 +841,17 @@ let suite =
       degraded_serving;
     Alcotest.test_case "hot reload bumps epochs" `Quick hot_reload_epochs;
     Alcotest.test_case "idle connections are dropped" `Quick idle_timeout_drops;
+    Alcotest.test_case "pipelined batches match the oracle" `Quick pipelined_batches;
+    Alcotest.test_case "chaos: worker crash is a typed, retryable loss" `Quick
+      worker_crash_typed_reply;
+    Alcotest.test_case "chaos: workers killed under load, clients converge" `Quick
+      kill_worker_under_load;
+    Alcotest.test_case "chaos: restart storm trips the breaker" `Quick
+      restart_storm_breaker;
+    Alcotest.test_case "chaos: readiness flaps with worker state" `Quick
+      readiness_flap;
+    Alcotest.test_case "chaos: hedge beats a stalled worker" `Quick
+      hedge_beats_stalled_worker;
+    Alcotest.test_case "store hot-reload race never serves a torn engine" `Quick
+      store_reload_race;
   ]
