@@ -26,6 +26,13 @@
                   asserts — plus a seed_baseline block with the
                   pre-work-stealing benchmark24 walls for
                   cross-revision speedup.
+   --load-bench   times cold load-to-query-ready for the text format
+                  (parse + recompile) vs the MPSZ container (mmap) per
+                  Table 1 circuit, measures the size win of compaction,
+                  cross-checks mapped vs heap answers on 4096 probes
+                  each, and writes BENCH_LOAD.json — CI gates the
+                  benchmark24 row (>= 10x load speedup, >= 20% bytes
+                  after compact, zero mismatches).
    --jobs N       runs --gen-bench generation through the domain pool
                   with N workers. *)
 
@@ -375,9 +382,149 @@ let query_bench () =
    from the pool via on_pool_stats — the diagnosis surface for scaling
    regressions: rising minor_words means allocation churn is back in
    the hot path, and every minor collection is a stop-the-world across
-   domains.
+   domains. *)
 
-   The seed_baseline block records the same quick-budget benchmark24
+(* Zero-copy load benchmark: per Table 1 circuit, time "cold load to
+   query-ready" for the text document (parse + overlap validation +
+   engine compilation) against the MPSZ container (map + record
+   decode), measure the size win of `mpsgen compact`, and cross-check
+   the mapped engine against the heap engine probe for probe.  Emits
+   BENCH_LOAD.json; the CI load-bench job gates the benchmark24 row:
+   >= 10x cold-load speedup, >= 20% bytes after compaction, zero
+   query mismatches. *)
+let load_bench () =
+  let module E = Mps_experiments.Experiments in
+  let percentile sorted p =
+    let n = Array.length sorted in
+    sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+  in
+  let time_calls f probes =
+    let samples =
+      Array.map
+        (fun dims ->
+          let t0 = Unix.gettimeofday () in
+          ignore (Sys.opaque_identity (f dims));
+          Unix.gettimeofday () -. t0)
+        probes
+    in
+    Array.sort compare samples;
+    (percentile samples 0.50 *. 1e6, percentile samples 0.99 *. 1e6)
+  in
+  let median f reps =
+    let samples =
+      Array.init reps (fun _ ->
+          let t0 = Unix.gettimeofday () in
+          ignore (Sys.opaque_identity (f ()));
+          Unix.gettimeofday () -. t0)
+    in
+    Array.sort compare samples;
+    samples.(reps / 2)
+  in
+  let file_bytes path = (Unix.stat path).Unix.st_size in
+  let dir = Filename.temp_file "mps_loadbench" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let mismatches_total = ref 0 in
+  let rows =
+    List.map
+      (fun circuit ->
+        let config = E.generator_config E.Quick circuit in
+        let structure, _ = Generator.generate ~config circuit in
+        let tpath = Filename.concat dir "s.mps" in
+        let zpath = Filename.concat dir "s.mpsz" in
+        let cpath = Filename.concat dir "c.mpsz" in
+        Codec.save structure ~path:tpath;
+        Zcodec.save structure ~path:zpath;
+        let compacted, _ = Compact.run structure in
+        Zcodec.save ~packed:true compacted ~path:cpath;
+        let text_bytes = file_bytes tpath
+        and mpsz_bytes = file_bytes zpath
+        and compact_bytes = file_bytes cpath in
+        let reduction =
+          1.0 -. (float_of_int compact_bytes /. float_of_int mpsz_bytes)
+        in
+        (* cold load to query-ready: the text path must recompile, the
+           container just maps and decodes the record table *)
+        let reps = 15 in
+        let text_s =
+          median
+            (fun () -> Structure.Engine.create (Codec.load ~circuit ~path:tpath))
+            reps
+        in
+        let mpsz_s = median (fun () -> Zcodec.load ~circuit zpath) reps in
+        let speedup = text_s /. mpsz_s in
+        (* mapped vs heap engine: identical answers on every probe *)
+        let heap = Structure.Engine.create compacted in
+        let view = Zcodec.load ~circuit cpath in
+        let mapped = view.Zcodec.engine in
+        let probes = E.probe_dims ~seed:31 ~n:4096 compacted in
+        let hs = Structure.Engine.new_session ()
+        and ms = Structure.Engine.new_session () in
+        let mismatches = ref 0 in
+        Array.iter
+          (fun d ->
+            if
+              Structure.Engine.query_id heap hs d
+              <> Structure.Engine.query_id mapped ms d
+            then incr mismatches)
+          probes;
+        mismatches_total := !mismatches_total + !mismatches;
+        let hsession = Structure.Engine.new_session () in
+        let msession = Structure.Engine.new_session () in
+        let h50, h99 =
+          time_calls (fun d -> Structure.Engine.query heap hsession d) probes
+        in
+        let m50, m99 =
+          time_calls (fun d -> Structure.Engine.query mapped msession d) probes
+        in
+        List.iter Sys.remove [ tpath; zpath; cpath ];
+        Printf.printf
+          "%-20s cold %7.2f -> %6.3f ms (%5.1fx)   bytes %6d -> %6d -> %6d \
+           (-%4.1f%%)   query p50 %5.2f/%5.2f us p99 %5.2f/%5.2f us   mismatches %d\n\
+           %!"
+          circuit.Circuit.name (text_s *. 1e3) (mpsz_s *. 1e3) speedup text_bytes
+          mpsz_bytes compact_bytes (100. *. reduction) h50 m50 h99 m99 !mismatches;
+        let row =
+          Printf.sprintf
+            "    { \"circuit\": %S, \"text_bytes\": %d, \"mpsz_bytes\": %d, \
+             \"compact_bytes\": %d, \"bytes_reduction\": %.4f, \
+             \"cold_load_text_ms\": %.4f, \"cold_load_mpsz_ms\": %.4f, \
+             \"load_speedup\": %.2f, \"probes\": %d, \"mismatches\": %d, \
+             \"heap_query_p50_us\": %.3f, \"heap_query_p99_us\": %.3f, \
+             \"mapped_query_p50_us\": %.3f, \"mapped_query_p99_us\": %.3f }"
+            circuit.Circuit.name text_bytes mpsz_bytes compact_bytes reduction
+            (text_s *. 1e3) (mpsz_s *. 1e3) speedup (Array.length probes)
+            !mismatches h50 h99 m50 m99
+        in
+        (circuit.Circuit.name, speedup, reduction, row))
+      Benchmarks.all
+  in
+  Unix.rmdir dir;
+  let _, speedup24, reduction24, _ =
+    List.find (fun (name, _, _, _) -> String.equal name "benchmark24") rows
+  in
+  let oc = open_out "BENCH_LOAD.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"budget\": \"quick\",\n\
+    \  \"rows\": [\n\
+     %s\n\
+    \  ],\n\
+    \  \"load_speedup_benchmark24\": %.2f,\n\
+    \  \"bytes_reduction_benchmark24\": %.4f,\n\
+    \  \"mismatches_total\": %d\n\
+     }\n"
+    (String.concat ",\n" (List.map (fun (_, _, _, row) -> row) rows))
+    speedup24 reduction24 !mismatches_total;
+  close_out oc;
+  Printf.printf "benchmark24 cold-load speedup (mpsz vs text): %.2fx\n" speedup24;
+  Printf.printf "benchmark24 bytes reduction after compact: %.1f%%\n"
+    (100. *. reduction24);
+  Printf.printf "query mismatches across all circuits: %d\n" !mismatches_total;
+  print_endline "wrote BENCH_LOAD.json";
+  if !mismatches_total > 0 then exit 1
+
+(* The seed_baseline block records the same quick-budget benchmark24
    sweep measured on this host just before the work-stealing pool,
    per-worker arenas and move LUTs landed, so the JSON carries its own
    cross-revision denominator ("speedup_vs_seed"). *)
@@ -531,4 +678,5 @@ let () =
   if Array.exists (String.equal "--gen-bench") Sys.argv then gen_bench ()
   else if Array.exists (String.equal "--query-bench") Sys.argv then query_bench ()
   else if Array.exists (String.equal "--par-bench") Sys.argv then par_bench ()
+  else if Array.exists (String.equal "--load-bench") Sys.argv then load_bench ()
   else main ()

@@ -34,6 +34,43 @@ let load_structure ~circuit ~path =
   | exception Codec.Error e -> die "%s: %s" path (Codec.error_to_string e)
   | exception Sys_error msg -> die "%s" msg
 
+(* Structure file format selection, shared by generate/pack/compact:
+   [auto] picks by destination extension (.mpsz is the zero-copy
+   container, anything else the text document). *)
+type file_format = Fmt_auto | Fmt_text | Fmt_mpsz
+
+let resolve_format format path =
+  match format with
+  | Fmt_text -> `Text
+  | Fmt_mpsz -> `Mpsz
+  | Fmt_auto -> if Filename.check_suffix path ".mpsz" then `Mpsz else `Text
+
+let save_structure ?(packed = false) ~format structure ~path =
+  match resolve_format format path with
+  | `Text -> (
+    match Codec.save structure ~path with
+    | () -> ()
+    | exception Codec.Error e -> die "%s: %s" path (Codec.error_to_string e))
+  | `Mpsz -> (
+    match Zcodec.save ~packed structure ~path with
+    | () -> ()
+    | exception Zcodec.Error e -> die "%s: %s" path (Zcodec.error_to_string e))
+
+let format_arg =
+  let fmt_conv =
+    Arg.enum [ ("auto", Fmt_auto); ("text", Fmt_text); ("mpsz", Fmt_mpsz) ]
+  in
+  Arg.(
+    value
+    & opt fmt_conv Fmt_auto
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:
+          "Structure file format: $(b,text) (the line-oriented document), $(b,mpsz) \
+           (the zero-copy binary container, loaded by mapping instead of \
+           recompiling), or $(b,auto) (default: by destination extension, \
+           $(b,.mpsz) means the container).  Reads always sniff the file magic, so \
+           either format loads everywhere regardless of this flag.")
+
 let budget_conv =
   let parse = function
     | "quick" -> Ok Mps_experiments.Experiments.Quick
@@ -132,8 +169,8 @@ let retire_checkpoint ~stats ~saved checkpoint =
     Format.printf "  removed spent checkpoint %s@." path
   | _ -> ()
 
-let generate circuit budget svg_dir save_path checkpoint checkpoint_every max_seconds
-    jobs =
+let generate circuit budget svg_dir save_path format checkpoint checkpoint_every
+    max_seconds jobs =
   let config =
     with_checkpointing
       (Mps_experiments.Experiments.generator_config budget circuit)
@@ -149,10 +186,9 @@ let generate circuit budget svg_dir save_path checkpoint checkpoint_every max_se
   print_string (Structure.describe structure);
   (match save_path with
   | None -> ()
-  | Some path -> (
-    match Codec.save structure ~path with
-    | () -> Format.printf "  saved structure to %s@." path
-    | exception Codec.Error e -> die "%s: %s" path (Codec.error_to_string e)));
+  | Some path ->
+    save_structure ~format structure ~path;
+    Format.printf "  saved structure to %s@." path);
   retire_checkpoint ~stats ~saved:(save_path <> None) checkpoint;
   match svg_dir with
   | None -> ()
@@ -210,8 +246,8 @@ let generate_cmd =
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate a multi-placement structure and report statistics.")
     Term.(
-      const generate $ circuit_arg $ budget_arg $ svg_arg $ save_arg $ checkpoint_arg
-      $ checkpoint_every_arg $ max_seconds_arg $ jobs_arg)
+      const generate $ circuit_arg $ budget_arg $ svg_arg $ save_arg $ format_arg
+      $ checkpoint_arg $ checkpoint_every_arg $ max_seconds_arg $ jobs_arg)
 
 (* instantiate *)
 
@@ -322,9 +358,30 @@ let load_salvaged ~circuit ~path =
     sv.Codec.structure
   | Error e -> die "%s: %s" path (Codec.error_to_string e)
 
+(* Sniff the container magic without reading the whole file, so query
+   can map a [.mpsz] zero-copy instead of recompiling it. *)
+let file_is_mpsz path =
+  match open_in_bin path with
+  | exception Sys_error _ -> false
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match really_input_string ic 8 with
+        | head -> Zcodec.is_magic head
+        | exception End_of_file -> false)
+
 let query circuit path point dims_opt salvage =
-  let structure =
-    if salvage then load_salvaged ~circuit ~path else load_structure ~circuit ~path
+  let engine =
+    if (not salvage) && file_is_mpsz path then
+      (* zero-copy: map the compiled engine, skip recompilation *)
+      match Zcodec.load ~circuit path with
+      | v -> v.Zcodec.engine
+      | exception Zcodec.Error e -> die "%s: %s" path (Zcodec.error_to_string e)
+    else
+      Structure.Engine.create
+        (if salvage then load_salvaged ~circuit ~path
+         else load_structure ~circuit ~path)
   in
   let dims =
     match dims_opt with
@@ -334,11 +391,10 @@ let query circuit path point dims_opt salvage =
   if not (Circuit.dims_valid circuit dims) then
     die "dimension vector outside the designer range for %s (see mpsgen list)"
       circuit.Circuit.name;
-  let engine = Structure.Engine.create structure in
   let session = Structure.Engine.new_session () in
   let answer, stored = Structure.Engine.query engine session dims in
   let rects, cost = Structure.Engine.instantiate_cost engine session dims in
-  let die_w, die_h = Structure.die structure in
+  let die_w, die_h = Structure.Engine.die engine in
   (match answer with
   | Structure.Stored_placement id ->
     Format.printf "Hit stored placement #%d (avg %.1f, best %.1f).@." id
@@ -392,9 +448,12 @@ let verify circuit path quiet =
     if not quiet then begin
       let die_w, die_h = Structure.die structure in
       Format.printf
-        "%s: OK@.  checksum: valid@.  circuit: %s (%d blocks, %d nets)@.  die: %dx%d@.  \
-         placements: %d (%d explored), validity boxes disjoint@.  coverage: %.6f@."
-        path circuit.Circuit.name (Circuit.n_blocks circuit) (Circuit.n_nets circuit)
+        "%s: OK@.  format: %s@.  checksum: valid@.  circuit: %s (%d blocks, %d \
+         nets)@.  die: %dx%d@.  placements: %d (%d explored), validity boxes \
+         disjoint@.  coverage: %.6f@."
+        path
+        (if file_is_mpsz path then "mpsz container" else "text document")
+        circuit.Circuit.name (Circuit.n_blocks circuit) (Circuit.n_nets circuit)
         die_w die_h (Structure.n_placements structure)
         (Structure.n_explored structure) (Structure.coverage structure)
     end
@@ -421,6 +480,200 @@ let verify_cmd =
           when the file is intact, 1 when it is corrupt or belongs to another circuit, \
           2 when it is missing or unreadable.")
     Term.(const verify $ circuit_arg $ load_arg $ quiet_arg)
+
+(* pack: convert between the text document and the MPSZ container *)
+
+let file_bytes path =
+  match Unix.stat path with
+  | st -> st.Unix.st_size
+  | exception Unix.Unix_error _ -> 0
+
+let pack circuit path out format =
+  let structure = load_structure ~circuit ~path in
+  let dest =
+    match out with
+    | Some p -> p
+    | None ->
+      (* default: the sibling file in the other format *)
+      if Filename.check_suffix path ".mpsz" then Filename.chop_suffix path ".mpsz"
+      else path ^ ".mpsz"
+  in
+  save_structure ~format structure ~path:dest;
+  let before = file_bytes path and after = file_bytes dest in
+  Format.printf "packed %s (%d bytes) -> %s (%d bytes, %.2fx)@." path before dest after
+    (if after > 0 then float_of_int before /. float_of_int after else 0.)
+
+let pack_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"FILE"
+        ~doc:
+          "Destination (default: the input path with $(b,.mpsz) appended, or \
+           stripped when converting a container back to text).")
+
+let pack_cmd =
+  Cmd.v
+    (Cmd.info "pack"
+       ~doc:
+         "Convert a structure file between formats: text document to zero-copy MPSZ \
+          container (the default direction) or back.  The container stores the \
+          compiled engine, so later loads map it in O(1) instead of recompiling.")
+    Term.(const pack $ circuit_arg $ load_arg $ pack_out_arg $ format_arg)
+
+(* compact: dedupe/merge/prune a saved structure *)
+
+let compact circuit path out audit_gate =
+  let structure = load_structure ~circuit ~path in
+  let compacted, st = Compact.run ~audit:audit_gate ~measure:true structure in
+  print_string (Compact.stats_to_string st);
+  print_newline ();
+  if st.Compact.reverted then
+    Format.printf "audit regression: compaction reverted, rewriting the input as-is@.";
+  let dest = Option.value out ~default:path in
+  (* compact's output is the archival form: half-packed coordinate
+     sections when the destination is a container *)
+  save_structure ~packed:true ~format:Fmt_auto compacted ~path:dest;
+  Format.printf "wrote %s@." dest
+
+let compact_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"FILE"
+        ~doc:
+          "Where to write the compacted structure (default: overwrite the input).  \
+           A $(b,.mpsz) extension writes the zero-copy container.")
+
+let no_audit_arg =
+  Arg.(
+    value & flag
+    & info [ "no-audit" ]
+        ~doc:
+          "Skip the post-compaction audit gate.  Without it a compaction that \
+           worsens the audit is kept instead of reverted — only for debugging the \
+           pass itself.")
+
+let compact_cmd =
+  Cmd.v
+    (Cmd.info "compact"
+       ~doc:
+         "Shrink a saved structure without changing any query answer: share \
+          bit-identical placements, merge adjacent boxes with equal placements, \
+          absorb boxes dominated by a cheaper neighbour's expansion, and drop \
+          template pieces that answer identically to the backup fallback.  The \
+          result is re-audited and the pass reverts itself on any regression.")
+    Term.(
+      const compact $ circuit_arg $ load_arg $ compact_out_arg
+      $ (const not $ no_audit_arg))
+
+(* stats: size accounting for a saved structure *)
+
+let stats circuit path json =
+  let raw =
+    match Persist.read_file ~path with
+    | raw -> raw
+    | exception Sys_error msg -> die "%s" msg
+  in
+  let bytes = String.length raw in
+  if Zcodec.is_magic raw then begin
+    let v =
+      match Zcodec.of_string ~circuit raw with
+      | v -> v
+      | exception Zcodec.Error e -> die "%s: %s" path (Zcodec.error_to_string e)
+    in
+    let records = v.Zcodec.n_stored + 1 in
+    let dedupe =
+      float_of_int (records - v.Zcodec.n_pool) /. float_of_int records
+    in
+    let header_bytes =
+      match v.Zcodec.sections with
+      | s :: _ -> 8 * s.Zcodec.off_words
+      | [] -> bytes
+    in
+    if json then begin
+      let section_json =
+        v.Zcodec.sections
+        |> List.map (fun s ->
+               Printf.sprintf "    {\"tag\": %S, \"bytes\": %d}" s.Zcodec.tag
+                 (8 * s.Zcodec.len_words))
+        |> String.concat ",\n"
+      in
+      Printf.printf
+        "{\n\
+        \  \"path\": %S,\n\
+        \  \"format\": \"mpsz\",\n\
+        \  \"bytes\": %d,\n\
+        \  \"placements\": %d,\n\
+        \  \"pool\": %d,\n\
+        \  \"dedupe_ratio\": %.4f,\n\
+        \  \"bytes_per_placement\": %.1f,\n\
+        \  \"header_bytes\": %d,\n\
+        \  \"sections\": [\n%s\n  ]\n\
+         }\n"
+        path bytes v.Zcodec.n_stored v.Zcodec.n_pool dedupe
+        (float_of_int bytes /. float_of_int records)
+        header_bytes section_json
+    end
+    else begin
+      Format.printf
+        "%s: mpsz container@.  bytes: %d (%.1f per placement)@.  placements: %d (+ \
+         backup)@.  coordinate pool: %d arrays (dedupe ratio %.1f%%)@.  header: %d \
+         bytes@.  sections:@."
+        path bytes
+        (float_of_int bytes /. float_of_int records)
+        v.Zcodec.n_stored v.Zcodec.n_pool (100. *. dedupe) header_bytes;
+      List.iter
+        (fun s ->
+          Format.printf "    %-4s %8d bytes@." s.Zcodec.tag (8 * s.Zcodec.len_words))
+        v.Zcodec.sections
+    end
+  end
+  else begin
+    let structure =
+      match Codec.of_string ~circuit raw with
+      | s -> s
+      | exception Codec.Error e -> die "%s: %s" path (Codec.error_to_string e)
+    in
+    let records = Structure.n_placements structure + 1 in
+    if json then
+      Printf.printf
+        "{\n\
+        \  \"path\": %S,\n\
+        \  \"format\": \"text\",\n\
+        \  \"bytes\": %d,\n\
+        \  \"placements\": %d,\n\
+        \  \"bytes_per_placement\": %.1f,\n\
+        \  \"coverage\": %.6f\n\
+         }\n"
+        path bytes
+        (Structure.n_placements structure)
+        (float_of_int bytes /. float_of_int records)
+        (Structure.coverage structure)
+    else
+      Format.printf
+        "%s: text document@.  bytes: %d (%.1f per placement)@.  placements: %d (+ \
+         backup)@.  coverage: %.6f@.  (pack to .mpsz for per-section accounting and \
+         zero-copy loads)@."
+        path bytes
+        (float_of_int bytes /. float_of_int records)
+        (Structure.n_placements structure)
+        (Structure.coverage structure)
+  end
+
+let stats_json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Emit machine-readable JSON instead of text.")
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Size accounting for a saved structure: bytes on disk, placement and \
+          coordinate-pool counts, dedupe ratio, and (for MPSZ containers) the \
+          per-section byte breakdown.")
+    Term.(const stats $ circuit_arg $ load_arg $ stats_json_arg)
 
 (* audit a saved structure *)
 
@@ -1219,6 +1472,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; generate_cmd; instantiate_cmd; query_cmd; verify_cmd; audit_cmd;
-            repair_cmd; route_cmd; extend_cmd; experiments_cmd; serve_cmd; health_cmd;
-            bench_serve_cmd ]))
+          [ list_cmd; generate_cmd; instantiate_cmd; query_cmd; verify_cmd; pack_cmd;
+            compact_cmd; stats_cmd; audit_cmd; repair_cmd; route_cmd; extend_cmd;
+            experiments_cmd; serve_cmd; health_cmd; bench_serve_cmd ]))

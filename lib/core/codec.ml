@@ -232,7 +232,17 @@ let split_header raw =
   else if String.length first >= 8 && String.sub first 0 8 = "circuit " then
     (* v0: headerless, the document starts directly at the identity *)
     (raw, 0, No_checksum)
-  else ("", 0, Bad_checksum { lineno = 1; reason = Printf.sprintf "bad header %S" first })
+  else
+    (* Unknown magic: one clean line, never a dump of binary junk. *)
+    ( "",
+      0,
+      Bad_checksum
+        {
+          lineno = 1;
+          reason =
+            "unrecognized format (expected mps-structure v1/v2 or an MPSZ \
+             container)";
+        } )
 
 let cursor_of ~payload ~offset =
   { lines = String.split_on_char '\n' payload; lineno = offset }
@@ -255,10 +265,25 @@ let parse_payload ~circuit cursor =
   | s -> s
   | exception Invalid_argument msg -> corrupt cursor.lineno "%s" msg
 
+(* MPSZ routing: the binary container has its own codec (Zcodec); this
+   module sniffs the magic so every entry point — strict load, verify,
+   salvage — accepts either format transparently. *)
+
+let of_zcodec_error = function
+  | Zcodec.Io_error msg -> Io_error msg
+  | Zcodec.Corrupt { section; reason } ->
+    Corrupt { lineno = 0; reason = Printf.sprintf "MPSZ %s: %s" section reason }
+  | Zcodec.Circuit_mismatch msg -> Circuit_mismatch msg
+
 let of_string ~circuit raw =
-  match split_header raw with
-  | _, _, Bad_checksum { lineno; reason } -> corrupt lineno "%s" reason
-  | payload, offset, _ -> parse_payload ~circuit (cursor_of ~payload ~offset)
+  if Zcodec.is_magic raw then
+    match Zcodec.of_string ~circuit raw with
+    | v -> Structure.Engine.structure v.Zcodec.engine
+    | exception Zcodec.Error e -> raise (Error (of_zcodec_error e))
+  else
+    match split_header raw with
+    | _, _, Bad_checksum { lineno; reason } -> corrupt lineno "%s" reason
+    | payload, offset, _ -> parse_payload ~circuit (cursor_of ~payload ~offset)
 
 let save structure ~path =
   try Persist.atomic_write ~path (to_string structure)
@@ -283,7 +308,56 @@ type salvage = {
   audit : Audit.report;
 }
 
+(* MPSZ salvage: Zcodec scans the pool and record table for intact
+   records; the tail — overlap filtering, recompile, audit-and-repair —
+   is the same graceful-degradation pipeline the text path runs. *)
+let salvage_of_zwords ~circuit words ~bytes =
+  match Zcodec.salvage_parts ~circuit words ~bytes with
+  | Result.Error e -> Result.Error (of_zcodec_error e)
+  | Result.Ok r ->
+    let kept = ref [] and overlapped = ref 0 in
+    List.iter
+      (fun (s : Stored.t) ->
+        if List.exists (fun k -> Dimbox.overlaps k.Stored.box s.Stored.box) !kept
+        then incr overlapped
+        else kept := s :: !kept)
+      r.Zcodec.r_stored;
+    let kept = List.rev !kept in
+    let backup = r.Zcodec.r_backup in
+    let stored =
+      match (kept, backup) with
+      | [], None -> [||]
+      | [], Some b -> [| b |]
+      | ks, _ -> Array.of_list ks
+    in
+    if Array.length stored = 0 then
+      Result.Error (Corrupt { lineno = 0; reason = "no intact placement recovered" })
+    else
+      let structure =
+        match Structure.of_placements ?backup circuit stored with
+        | s -> s
+        | exception Invalid_argument _ ->
+          (* kept boxes are pairwise disjoint by construction — but
+             never let salvage blow up *)
+          Structure.of_placements circuit [| stored.(0) |]
+      in
+      let recovered = List.length kept in
+      let outcome = Repair.run structure in
+      Result.Ok
+        {
+          structure = outcome.Repair.structure;
+          recovered;
+          dropped = max (r.Zcodec.r_claimed - recovered) 0;
+          quarantined = List.length outcome.Repair.quarantined;
+          backup_recovered = backup <> None;
+          checksum_ok = r.Zcodec.r_crc_ok;
+          audit = outcome.Repair.after;
+        }
+
 let salvage_of_string ~circuit raw =
+  if Zcodec.is_magic raw then
+    salvage_of_zwords ~circuit (Zcodec.words_of_string raw) ~bytes:(String.length raw)
+  else
   match split_header raw with
   | _, _, Bad_checksum { lineno = 1; reason } ->
     (* not even the format header survived: nothing to scan *)

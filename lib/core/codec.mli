@@ -26,7 +26,16 @@
     {!save} is atomic — a crash mid-save leaves the previous complete
     file in place, never a truncated mix — and {!load_salvage} degrades
     gracefully on a corrupt or truncated file by recovering every
-    intact stored placement. *)
+    intact stored placement.
+
+    Every decoding entry point sniffs the file magic and routes MPSZ
+    binary containers ({!Zcodec}) transparently: {!load} decodes them
+    into a full heap structure, {!load_salvage} scans their record
+    table with the same graceful-degradation pipeline as the text
+    path, and an unrecognized magic fails with a clean one-line
+    [Corrupt] instead of a parse backtrace.  (To {e serve} an MPSZ
+    file, prefer {!Zcodec.load}, which maps it zero-copy instead of
+    recompiling.) *)
 
 open Mps_netlist
 

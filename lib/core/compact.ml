@@ -1,0 +1,264 @@
+open Mps_geometry
+open Mps_placement
+
+type stats = {
+  records_before : int;
+  records_after : int;
+  deduped : int;
+  merged : int;
+  absorbed : int;
+  dropped : int;
+  bytes_before : int;
+  bytes_after : int;
+  reverted : bool;
+}
+
+let stats_to_string s =
+  Printf.sprintf
+    "%d -> %d records (%d merged, %d absorbed, %d dropped, %d deduped); %d -> %d bytes%s"
+    s.records_before s.records_after s.merged s.absorbed s.dropped s.deduped
+    s.bytes_before s.bytes_after
+    (if s.reverted then "; REVERTED (audit regressed)" else "")
+
+let coords_equal (a : (int * int) array) b =
+  Array.length a = Array.length b && Array.for_all2 ( = ) a b
+
+(* Boxes equal on every axis except exactly one, where they touch
+   (hi + 1 = lo in either direction): the shape under which the hull
+   of the two boxes IS their union, so fusing them changes no answer
+   and creates no new territory. *)
+let adjacent_boxes a b =
+  let axes = Dimbox.axes a in
+  let differing =
+    List.filter
+      (fun ax ->
+        not (Interval.equal (Dimbox.axis_interval a ax) (Dimbox.axis_interval b ax)))
+      axes
+  in
+  match differing with
+  | [ ax ] ->
+    let ia = Dimbox.axis_interval a ax and ib = Dimbox.axis_interval b ax in
+    Interval.hi ia + 1 = Interval.lo ib || Interval.hi ib + 1 = Interval.lo ia
+  | _ -> false
+
+let hull a b =
+  let n = Dimbox.n_blocks a in
+  Dimbox.make
+    ~w:(Array.init n (fun i -> Interval.hull (Dimbox.w_interval a i) (Dimbox.w_interval b i)))
+    ~h:(Array.init n (fun i -> Interval.hull (Dimbox.h_interval a i) (Dimbox.h_interval b i)))
+
+(* Float volume: axis counts multiply far past [max_int] on big
+   circuits, and only the ratio matters (average-cost weighting). *)
+let volume box =
+  List.fold_left
+    (fun acc ax -> acc *. float_of_int (Interval.length (Dimbox.axis_interval box ax)))
+    1.0 (Dimbox.axes box)
+
+(* Rewrites.  Each takes the current record list and returns
+   [Some better_list] on the first applicable opportunity (scanning in
+   index order, so the pass is deterministic) or [None] at a local
+   fixpoint. *)
+
+let same_arrangement (a : Stored.t) (b : Stored.t) =
+  a.Stored.placement == b.Stored.placement
+  && a.Stored.template_like = b.Stored.template_like
+
+(* Merge: same coordinates, same flag, same expansion, adjacent boxes.
+   The fused record covers the union with the cheaper best point; its
+   average cost is the volume-weighted mean of the parts. *)
+let try_merge records =
+  let arr = Array.of_list records in
+  let n = Array.length arr in
+  let found = ref None in
+  (try
+     for i = 0 to n - 2 do
+       for j = i + 1 to n - 1 do
+         let a = arr.(i) and b = arr.(j) in
+         if
+           same_arrangement a b
+           && Dimbox.equal a.Stored.expansion b.Stored.expansion
+           && adjacent_boxes a.Stored.box b.Stored.box
+         then begin
+           let va = volume a.Stored.box and vb = volume b.Stored.box in
+           let cheap = if a.Stored.best_cost <= b.Stored.best_cost then a else b in
+           let merged =
+             Stored.make ~template_like:a.Stored.template_like
+               ~placement:a.Stored.placement
+               ~box:(hull a.Stored.box b.Stored.box)
+               ~expansion:a.Stored.expansion
+               ~avg_cost:
+                 (((va *. a.Stored.avg_cost) +. (vb *. b.Stored.avg_cost))
+                 /. (va +. vb))
+               ~best_cost:cheap.Stored.best_cost ~best_dims:cheap.Stored.best_dims
+           in
+           arr.(i) <- merged;
+           found :=
+             Some (Array.to_list arr |> List.filteri (fun k _ -> k <> j));
+           raise Exit
+         end
+       done
+     done
+   with Exit -> ());
+  !found
+
+(* Absorb: [b]'s box is annexed by a strictly cheaper non-template
+   neighbor [a] whose expansion box contains it — every annexed vector
+   keeps a legal arrangement (expansion-box guarantee) at a lower
+   per-placement cost curve, so the Figure 6 lower envelope only
+   improves.  The hull-equals-union shape keeps disjointness intact. *)
+let try_absorb records =
+  let arr = Array.of_list records in
+  let n = Array.length arr in
+  let found = ref None in
+  (try
+     for i = 0 to n - 1 do
+       for j = 0 to n - 1 do
+         if i <> j then begin
+           let a = arr.(i) and b = arr.(j) in
+           if
+             (not a.Stored.template_like)
+             && a.Stored.best_cost < b.Stored.best_cost
+             && adjacent_boxes a.Stored.box b.Stored.box
+             && Dimbox.contains_box ~outer:a.Stored.expansion ~inner:b.Stored.box
+           then begin
+             let va = volume a.Stored.box and vb = volume b.Stored.box in
+             let annexed =
+               Stored.make ~template_like:false ~placement:a.Stored.placement
+                 ~box:(hull a.Stored.box b.Stored.box)
+                 ~expansion:a.Stored.expansion
+                 ~avg_cost:
+                   (((va *. a.Stored.avg_cost) +. (vb *. b.Stored.avg_cost))
+                   /. (va +. vb))
+                 ~best_cost:a.Stored.best_cost ~best_dims:a.Stored.best_dims
+             in
+             arr.(i) <- annexed;
+             found :=
+               Some (Array.to_list arr |> List.filteri (fun k _ -> k <> j));
+             raise Exit
+           end
+         end
+       done
+     done
+   with Exit -> ());
+  !found
+
+(* Drop: a template piece that repeats the backup's coordinates and
+   whose box never meets its expansion box answers only by greedy
+   re-packing — bitwise what the fallback path would do without it. *)
+let try_drop ~backup records =
+  let is_dead (s : Stored.t) =
+    s.Stored.template_like
+    && s.Stored.placement == backup.Stored.placement
+    && Dimbox.inter s.Stored.box s.Stored.expansion = None
+  in
+  if List.exists is_dead records && List.length records > 1 then begin
+    let gone = ref false in
+    Some
+      (List.filter
+         (fun s ->
+           if (not !gone) && is_dead s then (
+             gone := true;
+             false)
+           else true)
+         records)
+  end
+  else None
+
+let run ?(audit = true) ?(measure = true) structure =
+  let circuit = Structure.circuit structure in
+  let stored = Structure.placements structure in
+  let backup0 = Structure.backup structure in
+  let records_before = Array.length stored in
+  (* Dedupe: rebind content-equal coordinate arrays to one canonical
+     placement record (the backup's first, so its territory pieces
+     collapse onto it), letting the MPSZ pool store each once. *)
+  let canon : Placement.t list ref = ref [] in
+  let deduped = ref 0 in
+  let canonical (p : Placement.t) =
+    match
+      List.find_opt
+        (fun (cp : Placement.t) ->
+          coords_equal cp.Placement.coords p.Placement.coords
+          && cp.Placement.die_w = p.Placement.die_w
+          && cp.Placement.die_h = p.Placement.die_h)
+        !canon
+    with
+    | Some cp -> cp
+    | None ->
+      canon := p :: !canon;
+      p
+  in
+  let rebind (s : Stored.t) =
+    let cp = canonical s.Stored.placement in
+    if cp == s.Stored.placement then s
+    else begin
+      incr deduped;
+      { s with Stored.placement = cp }
+    end
+  in
+  let backup = rebind backup0 in
+  let records = ref (Array.to_list (Array.map rebind stored)) in
+  (* Fixpoint over the three structural rewrites; each fires at most
+     once per iteration so the counters stay exact. *)
+  let merged = ref 0 and absorbed = ref 0 and dropped = ref 0 in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    (match try_merge !records with
+    | Some r ->
+      records := r;
+      incr merged;
+      progress := true
+    | None -> ());
+    if not !progress then (
+      match try_absorb !records with
+      | Some r ->
+        records := r;
+        incr absorbed;
+        progress := true
+      | None -> ());
+    if not !progress then
+      match try_drop ~backup !records with
+      | Some r ->
+        records := r;
+        incr dropped;
+        progress := true
+      | None -> ()
+  done;
+  let compacted =
+    match Structure.of_placements ~backup circuit (Array.of_list !records) with
+    | s -> Some s
+    | exception Invalid_argument _ -> None
+  in
+  let accepted, reverted =
+    match compacted with
+    | None -> (structure, true)
+    | Some c ->
+      if not audit then (c, false)
+      else begin
+        (* Regression gate: the rewrite must not introduce findings the
+           original did not have. *)
+        let before = Audit.run structure and after = Audit.run c in
+        let worse sev = Audit.count sev after > Audit.count sev before in
+        if worse Audit.Fatal || worse Audit.Degraded then (structure, true)
+        else (c, false)
+      end
+  in
+  let bytes_before, bytes_after =
+    if measure then
+      ( String.length (Zcodec.to_string structure),
+        String.length (Zcodec.to_string ~packed:true accepted) )
+    else (0, 0)
+  in
+  ( accepted,
+    {
+      records_before;
+      records_after = Structure.n_placements accepted;
+      deduped = !deduped;
+      merged = !merged;
+      absorbed = !absorbed;
+      dropped = !dropped;
+      bytes_before;
+      bytes_after;
+      reverted;
+    } )

@@ -18,6 +18,17 @@ val crc32_hex : string -> string
 (** {!crc32} rendered as 8 lowercase hex digits — the token written on
     checksum lines. *)
 
+type words = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** A read-only word view of a file: every 8 little-endian bytes is one
+    OCaml int.  The substrate of the MPSZ zero-copy format
+    ({!Zcodec}). *)
+
+val crc32_words : words -> pos:int -> len:int -> int32
+(** CRC-32 of [len] words starting at [pos], each word contributing the
+    8 little-endian bytes of its [Int64.of_int] image — byte-identical
+    to {!crc32} of the same range as serialized by the MPSZ writer, so
+    save-side (string) and load-side (mapped ints) checksums agree. *)
+
 (** The pluggable I/O backend.  Each primitive raises [Sys_error] on
     failure, like its stdlib counterpart. *)
 type io = {
@@ -29,6 +40,13 @@ type io = {
       (** Fsync a directory so a completed rename survives power loss;
           best effort where unsupported. *)
   remove : string -> unit;
+  map_words : string -> words * int;
+      (** Map the whole file read-only as little-endian 8-byte words
+          (a private mapping: the file cannot be modified through the
+          view, and an {!atomic_write} rename replaces the inode
+          without disturbing existing views).  Returns the view and
+          the exact file size in bytes (the view covers the largest
+          whole-word prefix). *)
 }
 
 val default_io : io
@@ -63,3 +81,8 @@ val atomic_write : path:string -> string -> unit
 val read_file : path:string -> string
 (** The whole file as a string.  @raise Sys_error when the file is
     missing or unreadable. *)
+
+val map_words : path:string -> words * int
+(** The whole file as a mapped word view plus its byte size, through
+    the current {!io} backend.  @raise Sys_error when the file is
+    missing or the mapping fails. *)

@@ -324,9 +324,25 @@ let instantiate_cost ?(weights = Mps_cost.Cost.default_weights) t dims =
    [query]/[query_linear] remain the reference oracles. *)
 
 module Engine = struct
-  type source = t
-
   let bits_per_word = Sys.int_size
+
+  type ints = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+  (* What the engine actually needs of its origin: the stored records
+     (for instantiation), the backup, circuit and die.  The full
+     structure — frozen rows included — is only materialized on demand
+     ([structure] below), so an engine loaded from an MPSZ mapping
+     (Zcodec) never pays the O(n²) overlap re-validation and row
+     rebuild unless somebody asks for the heap structure. *)
+  type source = {
+    s_circuit : Circuit.t;
+    s_stored : Stored.t array;
+    s_backup : Stored.t;
+    s_space : Dimbox.t;
+    s_die_w : int;
+    s_die_h : int;
+    mutable s_full : t option;
+  }
 
   type t = {
     src : source;
@@ -334,32 +350,48 @@ module Engine = struct
     capacity : int;  (** number of stored placements *)
     words_per_set : int;
     tail_mask : int;  (** mask for the last word of a full set *)
+    n_rows : int;
+    lows_len : int;
+        (** usable interval slots: caps binary-search indices so even
+            garbage offsets read under a corrupted mapping stay inside
+            [lows]/[highs]/[set_words] *)
     (* The narrowing plan, selectivity-ordered.  Row [r] tests axis
-       [row_axis.(r)] (code [2i] = width of block [i], [2i+1] = height)
-       against intervals [row_off.(r) .. row_off.(r+1) - 1] of the flat
+       [row_axis.{r}] (code [2i] = width of block [i], [2i+1] = height)
+       against intervals [row_off.{r} .. row_off.{r+1} - 1] of the flat
        arrays; interval [k]'s placement set occupies words
-       [k * words_per_set ..) of [set_words]. *)
-    row_axis : int array;
-    row_off : int array;
-    lows : int array;
-    highs : int array;
-    set_words : int array;
+       [k * words_per_set ..) of [set_words].  The arrays are int
+       bigarrays so they can either live on the heap (built by
+       [create]) or be zero-copy views into a read-only file mapping
+       ([of_flat]); the query kernel is the same either way. *)
+    row_axis : ints;
+    row_off : ints;
+    lows : ints;
+    highs : ints;
+    set_words : ints;
     skipped_rows : int;
     (* Designer dimension space flattened per axis code (2i = width of
        block i, 2i+1 = height): [Circuit.dims_valid] is exactly
        containment in these bounds, checked here without going through
        the block records. *)
-    dom_lo : int array;
-    dom_hi : int array;
+    dom_lo : ints;
+    dom_hi : ints;
     (* Every validity box flattened the same way ([box id * 2n + code]),
        so the hot-box test is pure int-array compares; [box_in_domain]
-       marks boxes fully inside the designer space, for which box
-       membership implies domain membership and the domain check can be
-       skipped. *)
-    box_lo : int array;
-    box_hi : int array;
-    box_in_domain : bool array;
+       (0/1 words) marks boxes fully inside the designer space, for
+       which box membership implies domain membership and the domain
+       check can be skipped. *)
+    box_lo : ints;
+    box_hi : ints;
+    box_in_domain : ints;
   }
+
+  let ints_of_array (a : int array) : ints =
+    let b = Bigarray.Array1.create Bigarray.int Bigarray.c_layout (Array.length a) in
+    Array.iteri (fun i v -> Bigarray.Array1.unsafe_set b i v) a;
+    b
+
+  let usable_intervals ~lows ~set_words ~words_per_set =
+    min (Bigarray.Array1.dim lows) (Bigarray.Array1.dim set_words / words_per_set)
 
   type session = {
     mutable owner : t option;  (** engine the scratch is currently sized for *)
@@ -465,7 +497,7 @@ module Engine = struct
     done;
     let box_lo = Array.make (capacity * 2 * n_blocks) 0 in
     let box_hi = Array.make (capacity * 2 * n_blocks) 0 in
-    let box_in_domain = Array.make capacity false in
+    let box_in_domain = Array.make capacity 0 in
     Array.iteri
       (fun id s ->
         let box = s.Stored.box in
@@ -477,29 +509,60 @@ module Engine = struct
           box_lo.(base + (2 * i) + 1) <- Interval.lo hi_;
           box_hi.(base + (2 * i) + 1) <- Interval.hi hi_
         done;
-        box_in_domain.(id) <- Dimbox.contains_box ~outer:src.space ~inner:box)
+        box_in_domain.(id) <-
+          (if Dimbox.contains_box ~outer:src.space ~inner:box then 1 else 0))
       src.stored;
+    let lows = ints_of_array lows
+    and highs = ints_of_array highs
+    and set_words = ints_of_array set_words in
     {
-      src;
+      src =
+        {
+          s_circuit = src.circuit;
+          s_stored = src.stored;
+          s_backup = src.backup;
+          s_space = src.space;
+          s_die_w = src.die_w;
+          s_die_h = src.die_h;
+          s_full = Some src;
+        };
       n_blocks;
       capacity;
       words_per_set;
       tail_mask;
-      row_axis;
-      row_off;
+      n_rows;
+      lows_len = usable_intervals ~lows ~set_words ~words_per_set;
+      row_axis = ints_of_array row_axis;
+      row_off = ints_of_array row_off;
       lows;
       highs;
       set_words;
       skipped_rows = List.length skipped;
-      dom_lo;
-      dom_hi;
-      box_lo;
-      box_hi;
-      box_in_domain;
+      dom_lo = ints_of_array dom_lo;
+      dom_hi = ints_of_array dom_hi;
+      box_lo = ints_of_array box_lo;
+      box_hi = ints_of_array box_hi;
+      box_in_domain = ints_of_array box_in_domain;
     }
 
-  let structure t = t.src
-  let n_active_rows t = Array.length t.row_axis
+  (* Materialize the full structure (frozen rows included) for callers
+     that need the reference paths.  O(1) for [create]d engines; an
+     engine loaded from a flat mapping compiles it on first demand and
+     memoizes. *)
+  let structure t =
+    match t.src.s_full with
+    | Some s -> s
+    | None ->
+      let s = of_placements ~backup:t.src.s_backup t.src.s_circuit t.src.s_stored in
+      t.src.s_full <- Some s;
+      s
+
+  let circuit t = t.src.s_circuit
+  let backup t = t.src.s_backup
+  let n_stored t = t.capacity
+  let stored_at t id = t.src.s_stored.(id)
+  let die t = (t.src.s_die_w, t.src.s_die_h)
+  let n_active_rows t = t.n_rows
   let n_skipped_rows t = t.skipped_rows
 
   let new_session () =
@@ -540,11 +603,11 @@ module Engine = struct
       ||
       let w = Dims.width dims i in
       let j = base + (2 * i) in
-      w >= box_lo.(j)
-      && w <= box_hi.(j)
+      w >= box_lo.{j}
+      && w <= box_hi.{j}
       &&
       let h = Dims.height dims i in
-      h >= box_lo.(j + 1) && h <= box_hi.(j + 1) && go (i + 1)
+      h >= box_lo.{j + 1} && h <= box_hi.{j + 1} && go (i + 1)
     in
     go 0
 
@@ -558,11 +621,11 @@ module Engine = struct
       ||
       let w = Dims.width dims i in
       let j = 2 * i in
-      w >= dom_lo.(j)
-      && w <= dom_hi.(j)
+      w >= dom_lo.{j}
+      && w <= dom_hi.{j}
       &&
       let h = Dims.height dims i in
-      h >= dom_lo.(j + 1) && h <= dom_hi.(j + 1) && go (i + 1)
+      h >= dom_lo.{j + 1} && h <= dom_hi.{j + 1} && go (i + 1)
     in
     go 0
 
@@ -577,7 +640,7 @@ module Engine = struct
     (* Hot-box fast path: a box fully inside the designer space that
        contains the vector answers immediately — membership implies
        domain validity, so even the domain check is skipped. *)
-    if last >= 0 && t.box_in_domain.(last) && box_contains t last dims then begin
+    if last >= 0 && t.box_in_domain.{last} <> 0 && box_contains t last dims then begin
       session.cache_hits <- session.cache_hits + 1;
       session.stored_hits <- session.stored_hits + 1;
       last
@@ -590,7 +653,7 @@ module Engine = struct
     else begin
       (* Hot-box slow path: a box that sticks out of the designer space
          (degraded structures) may only answer after the domain check. *)
-      if last >= 0 && (not t.box_in_domain.(last)) && box_contains t last dims
+      if last >= 0 && t.box_in_domain.{last} = 0 && box_contains t last dims
       then begin
         session.cache_hits <- session.cache_hits + 1;
         session.stored_hits <- session.stored_hits + 1;
@@ -601,34 +664,44 @@ module Engine = struct
         let wps = t.words_per_set in
         Array.fill acc 0 wps (-1);
         acc.(wps - 1) <- t.tail_mask;
-        let n_rows = Array.length t.row_axis in
+        let n_rows = t.n_rows in
         let lows = t.lows and highs = t.highs and set_words = t.set_words in
+        let lows_len = t.lows_len in
         let rec narrow r =
           r >= n_rows
           ||
-          let code = t.row_axis.(r) in
+          (* The plan may be a view into a file mapping that gets
+             corrupted underneath us: a garbage axis code or interval
+             range must turn into a miss (fallback), never an
+             out-of-bounds access — hence the code guard and the
+             clamped binary-search range. *)
+          let code = t.row_axis.{r} in
+          code >= 0
+          && code lsr 1 < t.n_blocks
+          &&
           let v =
             if code land 1 = 0 then Dims.width dims (code lsr 1)
             else Dims.height dims (code lsr 1)
           in
-          (* Largest k in the row's interval range with lows.(k) <= v. *)
-          let l = ref t.row_off.(r) and h = ref (t.row_off.(r + 1) - 1) in
+          (* Largest k in the row's interval range with lows.{k} <= v. *)
+          let l = ref (max 0 t.row_off.{r})
+          and h = ref (min t.row_off.{r + 1} lows_len - 1) in
           let k = ref (-1) in
           while !l <= !h do
             let mid = (!l + !h) / 2 in
-            if lows.(mid) <= v then begin
+            if lows.{mid} <= v then begin
               k := mid;
               l := mid + 1
             end
             else h := mid - 1
           done;
           !k >= 0
-          && highs.(!k) >= v
+          && highs.{!k} >= v
           &&
           let base = !k * wps in
           let any = ref 0 in
           for w = 0 to wps - 1 do
-            let x = acc.(w) land set_words.(base + w) in
+            let x = acc.(w) land set_words.{base + w} in
             acc.(w) <- x;
             any := !any lor x
           done;
@@ -648,9 +721,19 @@ module Engine = struct
             end
             else incr w
           done;
-          session.last <- !id;
-          session.stored_hits <- session.stored_hits + 1;
-          !id
+          if !id < t.capacity then begin
+            session.last <- !id;
+            session.stored_hits <- session.stored_hits + 1;
+            !id
+          end
+          else begin
+            (* A phantom bit past capacity: only set-word corruption can
+               put one there (the tail mask clears them on a healthy
+               engine).  Fall back rather than index out of range. *)
+            session.fallbacks <- session.fallbacks + 1;
+            session.last <- -1;
+            -1
+          end
         end
         else begin
           session.fallbacks <- session.fallbacks + 1;
@@ -662,9 +745,9 @@ module Engine = struct
 
   let query t session dims =
     match query_id t session dims with
-    | -2 -> (Out_of_domain, t.src.backup)
-    | -1 -> (Fallback, t.src.backup)
-    | id -> (Stored_placement id, t.src.stored.(id))
+    | -2 -> (Out_of_domain, t.src.s_backup)
+    | -1 -> (Fallback, t.src.s_backup)
+    | id -> (Stored_placement id, t.src.s_stored.(id))
 
   (* Fill the session's rect buffer in place and return it: valid until
      the session's next [instantiate_into].  Fallback and template-like
@@ -673,7 +756,7 @@ module Engine = struct
   let instantiate_into t session dims =
     let id = query_id t session dims in
     if id >= 0 then begin
-      let s = t.src.stored.(id) in
+      let s = t.src.s_stored.(id) in
       if Dimbox.contains s.Stored.expansion dims then begin
         let coords = s.Stored.placement.Mps_placement.Placement.coords in
         let rects = session.rects in
@@ -685,19 +768,19 @@ module Engine = struct
       end
       else Stored.instantiate_repacked s dims
     end
-    else Stored.instantiate_repacked t.src.backup dims
+    else Stored.instantiate_repacked t.src.s_backup dims
 
   (* Freshly allocated floorplan (safe to retain), same answers. *)
   let instantiate t session dims =
     let id = query_id t session dims in
-    if id >= 0 then Stored.instantiate_auto t.src.stored.(id) dims
-    else Stored.instantiate_repacked t.src.backup dims
+    if id >= 0 then Stored.instantiate_auto t.src.s_stored.(id) dims
+    else Stored.instantiate_repacked t.src.s_backup dims
 
   let instantiate_cost ?(weights = Mps_cost.Cost.default_weights) t session dims =
     let rects = instantiate_into t session dims in
     let cost =
-      Mps_cost.Cost.total ~weights t.src.circuit ~die_w:t.src.die_w ~die_h:t.src.die_h
-        rects
+      Mps_cost.Cost.total ~weights t.src.s_circuit ~die_w:t.src.s_die_w
+        ~die_h:t.src.s_die_h rects
     in
     (rects, cost)
 
@@ -748,11 +831,10 @@ module Engine = struct
 
   let describe t session =
     let buf = Buffer.create 512 in
-    Buffer.add_string buf (describe t.src);
+    Buffer.add_string buf (describe (structure t));
     let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
     line "  engine: %d narrowing rows (%d skipped as non-selective), %d intervals"
-      (n_active_rows t) t.skipped_rows
-      t.row_off.(Array.length t.row_axis);
+      (n_active_rows t) t.skipped_rows t.row_off.{t.n_rows};
     let s = stats session in
     line "  queries: %d (%d stored hits, %d fallbacks, %d out-of-domain)" s.queries
       s.stored_hits s.fallbacks s.out_of_domain;
@@ -760,4 +842,128 @@ module Engine = struct
       (if s.queries = 0 then 0.0
        else 100.0 *. float_of_int s.cache_hits /. float_of_int s.queries);
     Buffer.contents buf
+
+  (* ---------------------------------------------------------------- *)
+  (* Flat exchange form: the engine's plan as bare int vectors, for the
+     MPSZ container (Zcodec).  [flatten] exposes the live arrays (the
+     caller copies them out when serializing); [of_flat] wraps existing
+     vectors — typically zero-copy sub-views of a file mapping —
+     after validating every shape invariant the query kernel relies on
+     for memory safety, so a crafted or damaged file can make queries
+     {e wrong} at worst (the CRCs catch that), never out-of-bounds. *)
+
+  type flat = {
+    f_capacity : int;
+    f_words_per_set : int;
+    f_skipped_rows : int;
+    f_row_axis : ints;
+    f_row_off : ints;
+    f_lows : ints;
+    f_highs : ints;
+    f_set_words : ints;
+    f_dom_lo : ints;
+    f_dom_hi : ints;
+    f_box_lo : ints;
+    f_box_hi : ints;
+    f_box_in_domain : ints;
+  }
+
+  let flatten t =
+    {
+      f_capacity = t.capacity;
+      f_words_per_set = t.words_per_set;
+      f_skipped_rows = t.skipped_rows;
+      f_row_axis = t.row_axis;
+      f_row_off = t.row_off;
+      f_lows = t.lows;
+      f_highs = t.highs;
+      f_set_words = t.set_words;
+      f_dom_lo = t.dom_lo;
+      f_dom_hi = t.dom_hi;
+      f_box_lo = t.box_lo;
+      f_box_hi = t.box_hi;
+      f_box_in_domain = t.box_in_domain;
+    }
+
+  let of_flat ~circuit ~stored ~backup ~die f =
+    let fail fmt = Printf.ksprintf invalid_arg ("Engine.of_flat: " ^^ fmt) in
+    let dim = Bigarray.Array1.dim in
+    let n_blocks = Circuit.n_blocks circuit in
+    let capacity = f.f_capacity in
+    if capacity <= 0 || capacity <> Array.length stored then
+      fail "capacity %d vs %d stored placements" capacity (Array.length stored);
+    Array.iter
+      (fun s -> if Stored.n_blocks s <> n_blocks then fail "stored block count mismatch")
+      stored;
+    if Stored.n_blocks backup <> n_blocks then fail "backup block count mismatch";
+    let wps = f.f_words_per_set in
+    if wps < 1 || wps < (capacity + bits_per_word - 1) / bits_per_word then
+      fail "words_per_set %d too small for %d placements" wps capacity;
+    let n_rows = dim f.f_row_axis in
+    if dim f.f_row_off <> n_rows + 1 then
+      fail "row_off length %d for %d rows" (dim f.f_row_off) n_rows;
+    if dim f.f_lows <> dim f.f_highs then fail "lows/highs length mismatch";
+    let n_intervals = if n_rows = 0 then 0 else f.f_row_off.{n_rows} in
+    if n_intervals > dim f.f_lows then fail "row offsets exceed the interval table";
+    if dim f.f_set_words < n_intervals * wps then fail "set-word table too short";
+    let prev = ref 0 in
+    for r = 0 to n_rows - 1 do
+      let code = f.f_row_axis.{r} in
+      if code < 0 || code >= 2 * n_blocks then fail "axis code %d out of range" code;
+      let off = f.f_row_off.{r} and stop = f.f_row_off.{r + 1} in
+      if off <> !prev || stop < off then fail "non-contiguous row offsets";
+      prev := stop;
+      for k = off + 1 to stop - 1 do
+        if f.f_lows.{k - 1} > f.f_lows.{k} then fail "unsorted interval row"
+      done
+    done;
+    if dim f.f_dom_lo <> 2 * n_blocks || dim f.f_dom_hi <> 2 * n_blocks then
+      fail "domain table length mismatch";
+    let space = Circuit.dim_bounds circuit in
+    for i = 0 to n_blocks - 1 do
+      let wi = Dimbox.w_interval space i and hi_ = Dimbox.h_interval space i in
+      if
+        f.f_dom_lo.{2 * i} <> Interval.lo wi
+        || f.f_dom_hi.{2 * i} <> Interval.hi wi
+        || f.f_dom_lo.{(2 * i) + 1} <> Interval.lo hi_
+        || f.f_dom_hi.{(2 * i) + 1} <> Interval.hi hi_
+      then fail "domain bounds disagree with the circuit"
+    done;
+    if dim f.f_box_lo <> capacity * 2 * n_blocks || dim f.f_box_hi <> capacity * 2 * n_blocks
+    then fail "box table length mismatch";
+    if dim f.f_box_in_domain <> capacity then fail "box_in_domain length mismatch";
+    let die_w, die_h = die in
+    let tail_mask =
+      let used = capacity mod bits_per_word in
+      if used = 0 then -1 else (1 lsl used) - 1
+    in
+    {
+      src =
+        {
+          s_circuit = circuit;
+          s_stored = Array.copy stored;
+          s_backup = backup;
+          s_space = space;
+          s_die_w = die_w;
+          s_die_h = die_h;
+          s_full = None;
+        };
+      n_blocks;
+      capacity;
+      words_per_set = wps;
+      tail_mask;
+      n_rows;
+      lows_len = usable_intervals ~lows:f.f_lows ~set_words:f.f_set_words ~words_per_set:wps;
+      row_axis = f.f_row_axis;
+      row_off = f.f_row_off;
+      lows = f.f_lows;
+      highs = f.f_highs;
+      set_words = f.f_set_words;
+      skipped_rows = f.f_skipped_rows;
+      dom_lo = f.f_dom_lo;
+      dom_hi = f.f_dom_hi;
+      box_lo = f.f_box_lo;
+      box_hi = f.f_box_hi;
+      box_in_domain = f.f_box_in_domain;
+    }
 end

@@ -168,6 +168,25 @@ module Engine : sig
       per structure, amortized over every query that follows. *)
 
   val structure : t -> structure
+  (** The full heap structure behind the engine.  O(1) for engines
+      built by {!create}; an engine loaded from a flat mapping
+      ({!of_flat} via {!Zcodec}) compiles it on first demand (the
+      O(n²) validation and row rebuild the flat path exists to avoid)
+      and memoizes the result. *)
+
+  val circuit : t -> Circuit.t
+  val backup : t -> Stored.t
+  (** The template placement answering fallback queries — O(1), no
+      structure materialization. *)
+
+  val n_stored : t -> int
+  (** Stored placements (backup territory pieces included) — the valid
+      range of {!query_id} hits. *)
+
+  val stored_at : t -> int -> Stored.t
+  (** The stored placement behind a {!query_id} hit. *)
+
+  val die : t -> int * int
 
   val new_session : unit -> session
 
@@ -220,4 +239,52 @@ module Engine : sig
   val describe : t -> session -> string
   (** {!Structure.describe} of the source plus plan shape and the
       session's query / hot-box-cache hit-rate counters. *)
+
+  type ints = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+  (** The engine's array substrate: plain heap vectors for {!create}d
+      engines, zero-copy sub-views of a read-only file mapping for
+      engines loaded through {!Zcodec}.  The query kernel is identical
+      either way. *)
+
+  (** The compiled plan as bare int vectors — the exchange form the
+      MPSZ container stores verbatim.  Row [r] tests axis
+      [f_row_axis.{r}] (code [2i] = width of block [i], [2i+1] =
+      height) against intervals [f_row_off.{r} .. f_row_off.{r+1} - 1];
+      interval [k]'s placement bitset occupies words
+      [k * f_words_per_set ..) of [f_set_words]; [f_dom_*] flatten the
+      designer space and [f_box_*]/[f_box_in_domain] the per-placement
+      validity boxes, all indexed by axis code. *)
+  type flat = {
+    f_capacity : int;
+    f_words_per_set : int;
+    f_skipped_rows : int;
+    f_row_axis : ints;
+    f_row_off : ints;
+    f_lows : ints;
+    f_highs : ints;
+    f_set_words : ints;
+    f_dom_lo : ints;
+    f_dom_hi : ints;
+    f_box_lo : ints;
+    f_box_hi : ints;
+    f_box_in_domain : ints;
+  }
+
+  val flatten : t -> flat
+  (** The engine's live arrays (no copy) — for serialization. *)
+
+  val of_flat :
+    circuit:Circuit.t ->
+    stored:Stored.t array ->
+    backup:Stored.t ->
+    die:int * int ->
+    flat ->
+    t
+  (** Wrap flat vectors (typically mapped file views) as a ready
+      engine, without recompiling anything.  Validates every shape
+      invariant the kernel needs for memory safety — lengths, row
+      offsets, axis codes, per-row sortedness, domain bounds against
+      the circuit — so a damaged container can at worst answer wrongly
+      (which the container CRCs detect), never crash.
+      @raise Invalid_argument on any violated invariant. *)
 end

@@ -1,0 +1,574 @@
+open Mps_geometry
+open Mps_netlist
+open Mps_placement
+
+let format_version = 1
+let magic = "MPSZ0001"
+let magic_word = Int64.to_int (String.get_int64_le magic 0)
+let is_magic raw = String.length raw >= 8 && String.sub raw 0 8 = magic
+
+type error =
+  | Io_error of string
+  | Corrupt of { section : string; reason : string }
+  | Circuit_mismatch of string
+
+exception Error of error
+
+let error_to_string = function
+  | Io_error msg -> Printf.sprintf "io error: %s" msg
+  | Corrupt { section; reason } ->
+    Printf.sprintf "corrupt container: %s: %s" section reason
+  | Circuit_mismatch msg -> Printf.sprintf "circuit mismatch: %s" msg
+
+let corrupt section fmt =
+  Printf.ksprintf (fun reason -> raise (Error (Corrupt { section; reason }))) fmt
+
+type section = { tag : string; off_words : int; len_words : int }
+
+type view = {
+  engine : Structure.Engine.t;
+  n_stored : int;
+  n_pool : int;
+  bytes : int;
+  sections : section list;
+}
+
+(* Words and bytes.
+
+   Reading a mapped word through the int bigarray kind drops bit 63
+   (OCaml ints are 63-bit), so the format never stores a word with it
+   set: values are OCaml ints written as their sign-extended [Int64]
+   image, ASCII (tags, the circuit name) is packed 4 bytes per word,
+   and CRC words carry 32 bits.  Under that discipline the int lens is
+   lossless, and [Persist.crc32_words] over mapped ints reproduces the
+   writer's byte-level CRC exactly. *)
+
+let add_word buf v = Buffer.add_int64_le buf (Int64.of_int v)
+let crc_int c = Int32.to_int c land 0xFFFF_FFFF
+
+let tag_word s =
+  Char.code s.[0]
+  lor (Char.code s.[1] lsl 8)
+  lor (Char.code s.[2] lsl 16)
+  lor (Char.code s.[3] lsl 24)
+
+let tag_string v =
+  String.init 4 (fun b -> Char.chr ((v lsr (8 * b)) land 0xff))
+
+let float_words f =
+  let b = Int64.bits_of_float f in
+  ( Int64.to_int (Int64.shift_right_logical b 32),
+    Int64.to_int (Int64.logand b 0xFFFF_FFFFL) )
+
+let float_of_words hi lo =
+  Int64.float_of_bits
+    (Int64.logor (Int64.shift_left (Int64.of_int hi) 32) (Int64.of_int lo))
+
+let section_tags =
+  [ "ROWA"; "ROWO"; "LOWS"; "HIGH"; "SETW"; "DOML"; "DOMH"; "BOXL"; "BOXH";
+    "BIND"; "POOL"; "PLCT" ]
+
+(* The pool and record slots admit the half-packed variants the
+   size-optimized writer emits ([to_string ~packed:true]). *)
+let tag_matches canonical tag =
+  tag = canonical
+  || (canonical = "POOL" && tag = "POLH")
+  || (canonical = "PLCT" && tag = "PLCH")
+
+let n_sections = List.length section_tags
+let record_stride n = 6 + (10 * n)
+let record_stride_packed n = 6 + (5 * n)
+
+(* Serialization *)
+
+(* The six per-record scalars: pool index, template flag, and the two
+   costs as split IEEE-754 words.  The cost halves use the full 32-bit
+   range, so these words are never half-packed. *)
+let record_head pool_idx (s : Stored.t) =
+  let ahi, alo = float_words s.Stored.avg_cost in
+  let bhi, blo = float_words s.Stored.best_cost in
+  [ pool_idx; (if s.Stored.template_like then 1 else 0); ahi; alo; bhi; blo ]
+
+(* The 10n per-record coordinates: best dims, then the validity and
+   expansion boxes, each as lows then highs in axis-code order (2i =
+   width of block i, 2i+1 = height) — the same flattening the engine
+   tables use. *)
+let record_tail ~n (s : Stored.t) =
+  let out = Array.make (10 * n) 0 in
+  let p = ref 0 in
+  let push v =
+    out.(!p) <- v;
+    incr p
+  in
+  for i = 0 to n - 1 do
+    push (Dims.width s.Stored.best_dims i);
+    push (Dims.height s.Stored.best_dims i)
+  done;
+  let push_box box =
+    for i = 0 to n - 1 do
+      push (Interval.lo (Dimbox.w_interval box i));
+      push (Interval.lo (Dimbox.h_interval box i))
+    done;
+    for i = 0 to n - 1 do
+      push (Interval.hi (Dimbox.w_interval box i));
+      push (Interval.hi (Dimbox.h_interval box i))
+    done
+  in
+  push_box s.Stored.box;
+  push_box s.Stored.expansion;
+  out
+
+(* Half-word packing: two non-negative 31-bit values per 8-byte word,
+   low value in bits 0..31, high value in bits 32..62.  Keeping each
+   value under 2^31 leaves bit 63 clear, so the int lens stays
+   lossless.  Only the coordinate payloads (POOL entries, PLCT tails)
+   qualify; the engine sections are the mapped hot path and stay one
+   value per word. *)
+let fits_half v = v >= 0 && v <= 0x7FFF_FFFF
+
+let add_packed buf (vals : int array) =
+  for k = 0 to (Array.length vals / 2) - 1 do
+    add_word buf (vals.(2 * k) lor (vals.((2 * k) + 1) lsl 32))
+  done
+
+let to_string ?(packed = false) structure =
+  let circuit = Structure.circuit structure in
+  let n = Circuit.n_blocks circuit in
+  let die_w, die_h = Structure.die structure in
+  let engine = Structure.Engine.create structure in
+  let f = Structure.Engine.flatten engine in
+  let stored = Structure.placements structure in
+  let backup = Structure.backup structure in
+  (* The coordinate pool dedupes by physical identity: placements that
+     share one coords array in memory (the backup's territory pieces,
+     content-merged records after Compact) store it once. *)
+  let assoc = ref [] and pool_rev = ref [] and pool_n = ref 0 in
+  let idx_of (s : Stored.t) =
+    let coords = s.Stored.placement.Placement.coords in
+    match List.find_opt (fun (c, _) -> c == coords) !assoc with
+    | Some (_, i) -> i
+    | None ->
+      let i = !pool_n in
+      assoc := (coords, i) :: !assoc;
+      pool_rev := coords :: !pool_rev;
+      incr pool_n;
+      i
+  in
+  let idxs = Array.map idx_of stored in
+  let backup_idx = idx_of backup in
+  let pool = Array.of_list (List.rev !pool_rev) in
+  let words_section (v : Structure.Engine.ints) =
+    let d = Bigarray.Array1.dim v in
+    let buf = Buffer.create (8 * d) in
+    for i = 0 to d - 1 do
+      add_word buf v.{i}
+    done;
+    Buffer.contents buf
+  in
+  let pool_vals =
+    let out = Array.make (Array.length pool * 2 * n) 0 in
+    Array.iteri
+      (fun e coords ->
+        Array.iteri
+          (fun i (x, y) ->
+            out.((e * 2 * n) + (2 * i)) <- x;
+            out.((e * 2 * n) + (2 * i) + 1) <- y)
+          coords)
+      pool;
+    out
+  in
+  (* Packing is per section and best-effort: a value outside the 31-bit
+     range (none arises from real die geometry) falls that section back
+     to the plain one-word-per-value layout, still a valid container. *)
+  let pool_packed = packed && Array.for_all fits_half pool_vals in
+  let pool_buf = Buffer.create 1024 in
+  if pool_packed then add_packed pool_buf pool_vals
+  else Array.iter (add_word pool_buf) pool_vals;
+  let records =
+    Array.to_list (Array.mapi (fun k s -> (idxs.(k), s)) stored)
+    @ [ (backup_idx, backup) ]
+  in
+  let tails = List.map (fun (_, s) -> record_tail ~n s) records in
+  let plct_packed = packed && List.for_all (Array.for_all fits_half) tails in
+  let plct_buf = Buffer.create 4096 in
+  List.iter2
+    (fun (idx, s) tail ->
+      List.iter (add_word plct_buf) (record_head idx s);
+      if plct_packed then add_packed plct_buf tail
+      else Array.iter (add_word plct_buf) tail)
+    records tails;
+  let sections =
+    [
+      ("ROWA", words_section f.Structure.Engine.f_row_axis);
+      ("ROWO", words_section f.Structure.Engine.f_row_off);
+      ("LOWS", words_section f.Structure.Engine.f_lows);
+      ("HIGH", words_section f.Structure.Engine.f_highs);
+      ("SETW", words_section f.Structure.Engine.f_set_words);
+      ("DOML", words_section f.Structure.Engine.f_dom_lo);
+      ("DOMH", words_section f.Structure.Engine.f_dom_hi);
+      ("BOXL", words_section f.Structure.Engine.f_box_lo);
+      ("BOXH", words_section f.Structure.Engine.f_box_hi);
+      ("BIND", words_section f.Structure.Engine.f_box_in_domain);
+      ((if pool_packed then "POLH" else "POOL"), Buffer.contents pool_buf);
+      ((if plct_packed then "PLCH" else "PLCT"), Buffer.contents plct_buf);
+    ]
+  in
+  let name = circuit.Circuit.name in
+  let name_len = String.length name in
+  let nw = (name_len + 3) / 4 in
+  let header_words = 13 + nw + (n_sections * 4) + 1 in
+  let section_lens = List.map (fun (_, c) -> String.length c / 8) sections in
+  let total_words = header_words + List.fold_left ( + ) 0 section_lens in
+  let buf = Buffer.create (total_words * 8) in
+  Buffer.add_string buf magic;
+  List.iter (add_word buf)
+    [
+      format_version; total_words; header_words; n; Circuit.n_nets circuit;
+      die_w; die_h; Array.length stored; Array.length pool;
+      f.Structure.Engine.f_words_per_set; f.Structure.Engine.f_skipped_rows;
+      name_len;
+    ];
+  for j = 0 to nw - 1 do
+    let w = ref 0 in
+    for b = 0 to 3 do
+      let p = (4 * j) + b in
+      if p < name_len then w := !w lor (Char.code name.[p] lsl (8 * b))
+    done;
+    add_word buf !w
+  done;
+  let off = ref header_words in
+  List.iter2
+    (fun (tag, contents) len ->
+      add_word buf (tag_word tag);
+      add_word buf !off;
+      add_word buf len;
+      add_word buf (crc_int (Persist.crc32 contents));
+      off := !off + len)
+    sections section_lens;
+  add_word buf (crc_int (Persist.crc32 (Buffer.contents buf)));
+  List.iter (fun (_, contents) -> Buffer.add_string buf contents) sections;
+  Buffer.contents buf
+
+let save ?packed structure ~path =
+  try Persist.atomic_write ~path (to_string ?packed structure)
+  with Sys_error msg -> raise (Error (Io_error msg))
+
+(* Parsing *)
+
+type header = {
+  h_total : int;
+  h_header_words : int;
+  h_size_ok : bool;  (** header's total-words claim matches the file size *)
+  h_n_blocks : int;
+  h_n_nets : int;
+  h_die_w : int;
+  h_die_h : int;
+  h_n_stored : int;
+  h_n_pool : int;
+  h_words_per_set : int;
+  h_skipped : int;
+  h_name : string;
+  h_table : (string * int * int * int) list;  (** tag, off, len, crc *)
+  h_crc_ok : bool;
+}
+
+(* The fixed header plus the section table; raises only when the
+   header itself is unusable — damage past it is for the caller (and
+   recorded in [h_size_ok] / [h_crc_ok], which salvage tolerates). *)
+let parse_header (w : Persist.words) ~bytes =
+  let dim = Bigarray.Array1.dim w in
+  if dim < 13 then corrupt "header" "file too short (%d bytes)" bytes;
+  if w.{0} <> magic_word then corrupt "header" "bad magic";
+  let version = w.{1} in
+  if version <> format_version then
+    corrupt "header" "unsupported container version %d" version;
+  let total = w.{2} and header_words = w.{3} in
+  let name_len = w.{12} in
+  if name_len < 0 || name_len > 4096 then
+    corrupt "header" "implausible circuit-name length %d" name_len;
+  let nw = (name_len + 3) / 4 in
+  if header_words <> 13 + nw + (n_sections * 4) + 1 || header_words > dim then
+    corrupt "header" "malformed header geometry";
+  let name =
+    String.init name_len (fun p ->
+        Char.chr ((w.{13 + (p / 4)} lsr (8 * (p mod 4))) land 0xff))
+  in
+  let table_base = 13 + nw in
+  let table =
+    List.init n_sections (fun k ->
+        let b = table_base + (4 * k) in
+        (tag_string (w.{b} land 0xFFFF_FFFF), w.{b + 1}, w.{b + 2}, w.{b + 3}))
+  in
+  let crc_ok =
+    w.{header_words - 1}
+    = crc_int (Persist.crc32_words w ~pos:0 ~len:(header_words - 1))
+  in
+  {
+    h_total = total;
+    h_header_words = header_words;
+    h_size_ok = total * 8 = bytes && total = dim;
+    h_n_blocks = w.{4};
+    h_n_nets = w.{5};
+    h_die_w = w.{6};
+    h_die_h = w.{7};
+    h_n_stored = w.{8};
+    h_n_pool = w.{9};
+    h_words_per_set = w.{10};
+    h_skipped = w.{11};
+    h_name = name;
+    h_table = table;
+    h_crc_ok = crc_ok;
+  }
+
+let check_circuit h ~circuit =
+  if
+    h.h_n_blocks <> Circuit.n_blocks circuit
+    || h.h_n_nets <> Circuit.n_nets circuit
+    || h.h_name <> circuit.Circuit.name
+  then
+    raise
+      (Error
+         (Circuit_mismatch
+            (Printf.sprintf "container was generated for %s (%d blocks), not %s"
+               h.h_name h.h_n_blocks circuit.Circuit.name)))
+
+let decode_record ~(pool : Persist.words) ~pool_packed ~n_pool ~n ~die_w
+    ~die_h ~(plct : Persist.words) ~plct_packed k =
+  let stride = if plct_packed then record_stride_packed n else record_stride n in
+  let base = k * stride in
+  (* The six head words are always plain; a packed tail holds two
+     coordinates per word, low value first. *)
+  let g =
+    if plct_packed then fun i ->
+      if i < 6 then plct.{base + i}
+      else
+        let j = i - 6 in
+        (plct.{base + 6 + (j lsr 1)} lsr (32 * (j land 1))) land 0xFFFF_FFFF
+    else fun i -> plct.{base + i}
+  in
+  let pool_at idx j =
+    if pool_packed then
+      (pool.{(idx * n) + (j lsr 1)} lsr (32 * (j land 1))) land 0xFFFF_FFFF
+    else pool.{(idx * 2 * n) + j}
+  in
+  let pool_idx = g 0 in
+  if pool_idx < 0 || pool_idx >= n_pool then
+    invalid_arg (Printf.sprintf "pool index %d out of range" pool_idx);
+  let coords =
+    Array.init n (fun i -> (pool_at pool_idx (2 * i), pool_at pool_idx ((2 * i) + 1)))
+  in
+  let placement = Placement.make ~coords ~die_w ~die_h in
+  let template_like = g 1 <> 0 in
+  let word32 i =
+    let v = g i in
+    if v < 0 || v > 0xFFFF_FFFF then invalid_arg "cost word out of range";
+    v
+  in
+  let avg_cost = float_of_words (word32 2) (word32 3) in
+  let best_cost = float_of_words (word32 4) (word32 5) in
+  let best_dims =
+    Dims.make
+      ~w:(Array.init n (fun i -> g (6 + (2 * i))))
+      ~h:(Array.init n (fun i -> g (6 + (2 * i) + 1)))
+  in
+  let box_at o =
+    let wiv =
+      Array.init n (fun i -> Interval.make (g (o + (2 * i))) (g (o + (2 * n) + (2 * i))))
+    in
+    let hiv =
+      Array.init n (fun i ->
+          Interval.make (g (o + (2 * i) + 1)) (g (o + (2 * n) + (2 * i) + 1)))
+    in
+    Dimbox.make ~w:wiv ~h:hiv
+  in
+  let box = box_at (6 + (2 * n)) in
+  let expansion = box_at (6 + (6 * n)) in
+  Stored.make ~template_like ~placement ~box ~expansion ~avg_cost ~best_cost
+    ~best_dims
+
+let parse ~verify ~circuit (w : Persist.words) ~bytes =
+  let h = parse_header w ~bytes in
+  if not h.h_size_ok then
+    corrupt "header" "size mismatch: header says %d words, file has %d bytes"
+      h.h_total bytes;
+  if not h.h_crc_ok then corrupt "header" "header checksum mismatch";
+  check_circuit h ~circuit;
+  if h.h_n_stored <= 0 then corrupt "header" "no stored placements";
+  if h.h_n_pool <= 0 then corrupt "header" "empty coordinate pool";
+  if h.h_skipped < 0 then corrupt "header" "negative skipped-row count";
+  let off = ref h.h_header_words in
+  List.iter2
+    (fun etag (tag, o, l, _) ->
+      if not (tag_matches etag tag) then
+        corrupt etag "section tag %S out of order" tag;
+      if o <> !off || l < 0 || o + l > h.h_total then
+        corrupt etag "bad section bounds (%d + %d words)" o l;
+      off := o + l)
+    section_tags h.h_table;
+  if !off <> h.h_total then corrupt "header" "sections do not cover the file";
+  if verify then
+    List.iter
+      (fun (tag, o, l, c) ->
+        if crc_int (Persist.crc32_words w ~pos:o ~len:l) <> c then
+          corrupt tag "section checksum mismatch")
+      h.h_table;
+  let sec tag =
+    let _, o, l, _ = List.find (fun (t, _, _, _) -> t = tag) h.h_table in
+    Bigarray.Array1.sub w o l
+  in
+  let n = h.h_n_blocks in
+  let pool_tag, po, pl, _ = List.nth h.h_table 10 in
+  let plct_tag, ro, rl, _ = List.nth h.h_table 11 in
+  let pool = Bigarray.Array1.sub w po pl
+  and plct = Bigarray.Array1.sub w ro rl in
+  let pool_packed = pool_tag = "POLH"
+  and plct_packed = plct_tag = "PLCH" in
+  if Bigarray.Array1.dim pool <> h.h_n_pool * (if pool_packed then n else 2 * n)
+  then corrupt pool_tag "pool length disagrees with the header";
+  let stride = if plct_packed then record_stride_packed n else record_stride n in
+  if Bigarray.Array1.dim plct <> (h.h_n_stored + 1) * stride then
+    corrupt plct_tag "record-table length disagrees with the header";
+  let record k =
+    match
+      decode_record ~pool ~pool_packed ~n_pool:h.h_n_pool ~n ~die_w:h.h_die_w
+        ~die_h:h.h_die_h ~plct ~plct_packed k
+    with
+    | s -> s
+    | exception Invalid_argument msg -> corrupt plct_tag "record %d: %s" k msg
+  in
+  let stored = Array.init h.h_n_stored record in
+  let backup = record h.h_n_stored in
+  let flat =
+    {
+      Structure.Engine.f_capacity = h.h_n_stored;
+      f_words_per_set = h.h_words_per_set;
+      f_skipped_rows = h.h_skipped;
+      f_row_axis = sec "ROWA";
+      f_row_off = sec "ROWO";
+      f_lows = sec "LOWS";
+      f_highs = sec "HIGH";
+      f_set_words = sec "SETW";
+      f_dom_lo = sec "DOML";
+      f_dom_hi = sec "DOMH";
+      f_box_lo = sec "BOXL";
+      f_box_hi = sec "BOXH";
+      f_box_in_domain = sec "BIND";
+    }
+  in
+  let engine =
+    match
+      Structure.Engine.of_flat ~circuit ~stored ~backup
+        ~die:(h.h_die_w, h.h_die_h) flat
+    with
+    | e -> e
+    | exception Invalid_argument msg -> corrupt "engine" "%s" msg
+  in
+  {
+    engine;
+    n_stored = h.h_n_stored;
+    n_pool = h.h_n_pool;
+    bytes;
+    sections =
+      List.map
+        (fun (tag, o, l, _) -> { tag; off_words = o; len_words = l })
+        h.h_table;
+  }
+
+let words_of_string raw =
+  let nwords = String.length raw / 8 in
+  let b = Bigarray.Array1.create Bigarray.int Bigarray.c_layout nwords in
+  for i = 0 to nwords - 1 do
+    (* [Int64.to_int] drops bit 63 exactly like the int lens over a
+       mapped file, so in-memory and mapped parses agree on any input *)
+    b.{i} <- Int64.to_int (String.get_int64_le raw (i * 8))
+  done;
+  b
+
+let of_string ?(verify = true) ~circuit raw =
+  parse ~verify ~circuit (words_of_string raw) ~bytes:(String.length raw)
+
+let load ?(verify = true) ~circuit path =
+  let w, bytes =
+    try Persist.map_words ~path
+    with Sys_error msg -> raise (Error (Io_error msg))
+  in
+  parse ~verify ~circuit w ~bytes
+
+(* Salvage *)
+
+type recovered = {
+  r_stored : Stored.t list;
+  r_backup : Stored.t option;
+  r_claimed : int;
+  r_crc_ok : bool;
+}
+
+let salvage_parts ~circuit (w : Persist.words) ~bytes =
+  match parse_header w ~bytes with
+  | exception Error e -> Result.Error e
+  | h -> (
+    match check_circuit h ~circuit with
+    | exception Error e -> Result.Error e
+    | () ->
+      let dim = Bigarray.Array1.dim w in
+      let n = h.h_n_blocks in
+      (* Only the pool and record table matter here: salvage recompiles
+         from placements, so the engine sections may be arbitrary
+         garbage.  Bound every count by what the file actually holds
+         rather than trusting the header. *)
+      let find tags =
+        List.find_opt
+          (fun (t, o, l, _) ->
+            List.mem t tags && o >= 0 && l >= 0 && o + l <= dim)
+          h.h_table
+      in
+      (match (find [ "POOL"; "POLH" ], find [ "PLCT"; "PLCH" ]) with
+      | Some (ptag, po, pl, _), Some (rtag, ro, rl, _) when n > 0 ->
+        let pool = Bigarray.Array1.sub w po pl in
+        let plct = Bigarray.Array1.sub w ro rl in
+        let pool_packed = ptag = "POLH"
+        and plct_packed = rtag = "PLCH" in
+        let crc_ok =
+          h.h_crc_ok && h.h_size_ok
+          && List.for_all
+               (fun (_, o, l, c) ->
+                 o >= 0 && l >= 0 && o + l <= dim
+                 && crc_int (Persist.crc32_words w ~pos:o ~len:l) = c)
+               h.h_table
+        in
+        let n_pool =
+          min h.h_n_pool (pl / (if pool_packed then n else 2 * n))
+        in
+        let stride =
+          if plct_packed then record_stride_packed n else record_stride n
+        in
+        let n_records = min (h.h_n_stored + 1) (rl / stride) in
+        let record k =
+          match
+            decode_record ~pool ~pool_packed ~n_pool ~n ~die_w:h.h_die_w
+              ~die_h:h.h_die_h ~plct ~plct_packed k
+          with
+          | s -> Some s
+          | exception Invalid_argument _ -> None
+        in
+        let stored = ref [] in
+        for k = min h.h_n_stored n_records - 1 downto 0 do
+          match record k with Some s -> stored := s :: !stored | None -> ()
+        done;
+        let backup =
+          if n_records > h.h_n_stored then record h.h_n_stored else None
+        in
+        Result.Ok
+          {
+            r_stored = !stored;
+            r_backup = backup;
+            r_claimed = h.h_n_stored;
+            r_crc_ok = crc_ok;
+          }
+      | _ ->
+        Result.Error
+          (Corrupt
+             {
+               section = "header";
+               reason = "no recoverable placement records";
+             })))

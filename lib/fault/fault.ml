@@ -6,6 +6,7 @@ type op =
   | Rename
   | Fsync_dir
   | Remove
+  | Map
   | Net_recv
   | Net_send
   | Net_accept
@@ -34,6 +35,7 @@ let op_to_string = function
   | Rename -> "rename"
   | Fsync_dir -> "fsync-dir"
   | Remove -> "remove"
+  | Map -> "map"
   | Net_recv -> "net-recv"
   | Net_send -> "net-send"
   | Net_accept -> "net-accept"
@@ -74,6 +76,22 @@ let flip_bits ~seed ~flips ?(from = 0) s =
 let truncated fraction s =
   let keep = int_of_float (fraction *. float_of_int (String.length s)) in
   String.sub s 0 (max 0 (min keep (String.length s)))
+
+(* Seeded bit flips over a word view — the mmap-path counterpart of
+   {!flip_bits}.  Flips land on bits 0..62 of each word (the 63 bits a
+   stored word round-trips through the int bigarray kind), which is
+   exactly the damage an in-place file flip produces as seen through
+   an active mapping. *)
+let flip_words ~seed ~flips (w : Mps_core.Persist.words) =
+  let n = Bigarray.Array1.dim w in
+  if n > 0 then begin
+    let rng = Mps_rng.Rng.create ~seed in
+    for _ = 1 to flips do
+      let pos = Mps_rng.Rng.int rng n in
+      let bit = Mps_rng.Rng.int rng 63 in
+      w.{pos} <- w.{pos} lxor (1 lsl bit)
+    done
+  end
 
 let random_action rng =
   match Mps_rng.Rng.int rng 4 with
@@ -184,6 +202,34 @@ let io_of_plan ?(base = Persist.default_io) plan =
             Thread.delay s;
             base.Persist.remove path
           | Some _ -> fail path);
+      map_words =
+        (fun path ->
+          match firing Map with
+          | None -> base.Persist.map_words path
+          | Some { action = Fail; _ } | Some { action = Vanish; _ } -> fail path
+          | Some { action = Stall s; _ } ->
+            Thread.delay s;
+            base.Persist.map_words path
+          | Some { action = Truncate f; _ } ->
+            (* a short mapping: the file lost its tail (truncated
+               section table and all) *)
+            let w, bytes = base.Persist.map_words path in
+            let keep_bytes =
+              max 0 (min (int_of_float (f *. float_of_int bytes)) bytes)
+            in
+            (Bigarray.Array1.sub w 0 (keep_bytes / 8), keep_bytes)
+          | Some { action = Corrupt n; seed; _ } ->
+            (* media corruption under the mapping: hand out a private
+               flipped copy, so the damage is live in the very words
+               the engine will read — the on-disk file is untouched *)
+            let w, bytes = base.Persist.map_words path in
+            let copy =
+              Bigarray.Array1.create Bigarray.int Bigarray.c_layout
+                (Bigarray.Array1.dim w)
+            in
+            Bigarray.Array1.blit w copy;
+            flip_words ~seed ~flips:n copy;
+            (copy, bytes));
     }
   in
   (io, fun () -> !fired)

@@ -42,6 +42,14 @@ type op =
   | Rename
   | Fsync_dir
   | Remove
+  | Map
+      (** {!Mps_core.Persist.io}[.map_words] — the MPSZ zero-copy load
+          path.  [Fail]/[Vanish] make the mapping fail ([Sys_error]);
+          [Truncate] hands out a mapping of only the leading fraction
+          of the file (a lost tail: truncated section table and all);
+          [Corrupt] hands out a flipped {e private copy} of the words,
+          so the damage sits live under the loader's feet while the
+          on-disk file stays intact. *)
   | Net_recv
   | Net_send
   | Net_accept
@@ -105,6 +113,12 @@ val flip_bits : seed:int -> flips:int -> ?from:int -> string -> string
 (** [flips] seeded bit flips in [s], at byte offsets [>= from]
     (default 0).  Used both by [Corrupt] injections and directly by
     corruption tests.  Returns [s] unchanged when it is too short. *)
+
+val flip_words : seed:int -> flips:int -> Mps_core.Persist.words -> unit
+(** [flips] seeded bit flips {e in place} over a word view (bits 0..62
+    of each word — what an on-disk flip looks like through the int
+    bigarray kind).  Used by [Corrupt] on [Map] and directly by tests
+    that damage a live mapping mid-session. *)
 
 val io_of_plan : ?base:Mps_core.Persist.io -> plan -> Mps_core.Persist.io * (unit -> int)
 (** An [io] backend that behaves like [base] (default

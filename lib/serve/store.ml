@@ -15,13 +15,14 @@ type entry = {
   name : string;
   path : string;
   circuit : Circuit.t;
-  structure : Structure.t;
   engine : Structure.Engine.t;
   epoch : int;
   degraded : bool;
   backup_only : bool;
   findings : int;
   salvaged : bool;
+  mapped : bool;
+  bytes : int;
   mtime : float;
 }
 
@@ -34,6 +35,7 @@ type slot =
 type t = {
   dir : string;
   capacity : int;
+  max_mapped_bytes : int;
   audit_samples : int;
   audit_query_samples : int;
   audit_seed : int;
@@ -44,12 +46,14 @@ type t = {
   clock : int ref;  (* LRU stamp source *)
 }
 
-let create ?(capacity = 8) ?(audit_samples = 4) ?(audit_query_samples = 32)
-    ?(audit_seed = 7) ~dir () =
+let create ?(capacity = 8) ?(max_mapped_bytes = 512 * 1024 * 1024)
+    ?(audit_samples = 4) ?(audit_query_samples = 32) ?(audit_seed = 7) ~dir () =
   if capacity < 1 then invalid_arg "Store.create: capacity < 1";
+  if max_mapped_bytes < 1 then invalid_arg "Store.create: max_mapped_bytes < 1";
   {
     dir;
     capacity;
+    max_mapped_bytes;
     audit_samples;
     audit_query_samples;
     audit_seed;
@@ -65,24 +69,50 @@ let dir t = t.dir
 let sanitize name = String.map (function ' ' -> '_' | c -> c) name
 
 let path_for t name = Filename.concat t.dir (sanitize name ^ ".mps")
+let zpath_for t name = Filename.concat t.dir (sanitize name ^ ".mpsz")
+
+(* The file a (re)load would read right now: the MPSZ container when
+   present, else the text document.  Also drives the staleness check —
+   an entry whose source is no longer the preferred file reloads. *)
+let source_for t name =
+  let zpath = zpath_for t name in
+  if Sys.file_exists zpath then zpath else path_for t name
+
+let file_bytes path =
+  match Unix.stat path with
+  | st -> st.Unix.st_size
+  | exception Unix.Unix_error _ -> 0
 
 (* Build an entry from disk: strict load, audit, degradation policy.
-   Runs outside the store lock — may take a while on big structures. *)
+   Runs outside the store lock — may take a while on big structures.
+
+   The MPSZ container is preferred when present: it maps zero-copy
+   ({!Zcodec.load}) instead of recompiling, and the CRC verification
+   stands in for the load-time audit — the container stores the
+   already-audited compiled engine bit-exact, so re-auditing at load
+   would re-prove what the checksum just proved.  A damaged container
+   falls back to the text document beside it when one exists, else to
+   salvaging the container itself; every step is typed, never a
+   crash. *)
 let build t name =
   match Benchmarks.by_name name with
   | exception Not_found -> Error (Unknown_circuit name)
   | circuit -> (
-    let path = path_for t name in
-    match Unix.stat path with
+    let source = source_for t name in
+    match Unix.stat source with
     | exception Unix.Unix_error (err, _, _) ->
-      Error (Unreadable { path; reason = Unix.error_message err })
-    | st -> (
+      Error (Unreadable { path = source; reason = Unix.error_message err })
+    | st ->
+      (* the staleness check re-stats [source_for]; stamping the
+         source's mtime (even when a broken container falls back to
+         the text file) makes a later fix of the container get picked
+         up on the next [get] *)
       let mtime = st.Unix.st_mtime in
       let audit structure =
         Audit.run ~samples_per_box:t.audit_samples
           ~query_samples:t.audit_query_samples ~seed:t.audit_seed structure
       in
-      let entry ~structure ~salvaged ~territory_lost ~report =
+      let heap_entry ~path ~structure ~salvaged ~territory_lost ~report =
         let clean = Audit.clean report in
         let findings = List.length report.Audit.findings in
         Ok
@@ -90,49 +120,118 @@ let build t name =
             name;
             path;
             circuit;
-            structure;
             engine = Structure.Engine.create structure;
             epoch = 0 (* stamped under the lock *);
             degraded = (not clean) || salvaged || territory_lost;
             backup_only = not clean;
             findings;
             salvaged;
+            mapped = false;
+            bytes = file_bytes path;
             mtime;
           }
       in
-      match Codec.load ~circuit ~path with
-      | structure ->
-        entry ~structure ~salvaged:false ~territory_lost:false ~report:(audit structure)
-      | exception Codec.Error (Codec.Io_error reason) ->
-        Error (Unreadable { path; reason })
-      | exception Codec.Error (Codec.Circuit_mismatch reason) ->
-        Error (Corrupt { path; reason })
-      | exception Codec.Error (Codec.Corrupt _) -> (
-        (* Damaged file: salvage what is intact (the salvage pass
-           audits and repairs internally) and re-audit the result. *)
-        match Codec.load_salvage ~circuit ~path with
-        | Ok sv ->
-          entry ~structure:sv.Codec.structure ~salvaged:true
-            ~territory_lost:(sv.Codec.dropped > 0 || sv.Codec.quarantined > 0)
-            ~report:sv.Codec.audit
-        | Error e -> Error (Corrupt { path; reason = Codec.error_to_string e })
-        | exception Sys_error reason -> Error (Unreadable { path; reason }))))
+      let load_text path =
+        match Codec.load ~circuit ~path with
+        | structure ->
+          heap_entry ~path ~structure ~salvaged:false ~territory_lost:false
+            ~report:(audit structure)
+        | exception Codec.Error (Codec.Io_error reason) ->
+          Error (Unreadable { path; reason })
+        | exception Codec.Error (Codec.Circuit_mismatch reason) ->
+          Error (Corrupt { path; reason })
+        | exception Codec.Error (Codec.Corrupt _) -> (
+          (* Damaged file: salvage what is intact (the salvage pass
+             audits and repairs internally) and re-audit the result. *)
+          match Codec.load_salvage ~circuit ~path with
+          | Ok sv ->
+            heap_entry ~path ~structure:sv.Codec.structure ~salvaged:true
+              ~territory_lost:(sv.Codec.dropped > 0 || sv.Codec.quarantined > 0)
+              ~report:sv.Codec.audit
+          | Error e -> Error (Corrupt { path; reason = Codec.error_to_string e })
+          | exception Sys_error reason -> Error (Unreadable { path; reason }))
+      in
+      if Filename.check_suffix source ".mpsz" then begin
+        match Zcodec.load ~circuit source with
+        | view ->
+          Ok
+            {
+              name;
+              path = source;
+              circuit;
+              engine = view.Zcodec.engine;
+              epoch = 0;
+              degraded = false;
+              backup_only = false;
+              findings = 0;
+              salvaged = false;
+              mapped = true;
+              bytes = view.Zcodec.bytes;
+              mtime;
+            }
+        | exception Zcodec.Error ze -> (
+          let tpath = path_for t name in
+          match ze with
+          | Zcodec.Circuit_mismatch reason when not (Sys.file_exists tpath) ->
+            Error (Corrupt { path = source; reason })
+          | _ when Sys.file_exists tpath ->
+            (* clean fallback: a complete text document lives beside
+               the damaged container *)
+            load_text tpath
+          | Zcodec.Io_error reason -> Error (Unreadable { path = source; reason })
+          | _ -> (
+            (* no text fallback: salvage the container's record table *)
+            match Codec.load_salvage ~circuit ~path:source with
+            | Ok sv ->
+              heap_entry ~path:source ~structure:sv.Codec.structure ~salvaged:true
+                ~territory_lost:(sv.Codec.dropped > 0 || sv.Codec.quarantined > 0)
+                ~report:sv.Codec.audit
+            | Error e ->
+              Error (Corrupt { path = source; reason = Codec.error_to_string e })
+            | exception Sys_error reason ->
+              Error (Unreadable { path = source; reason })))
+      end
+      else load_text source)
 
 let touch t stamp =
   incr t.clock;
   stamp := !(t.clock)
 
+(* LRU eviction on two budgets: entry count and total mapped bytes.
+   Evicting only drops the table's reference — an engine (and its
+   file mapping) stays alive exactly as long as some in-flight request
+   still holds the entry; the mapping is released when the last
+   reference dies.  The most recently used entry is never evicted, so
+   a single container bigger than the byte budget still serves. *)
 let evict_beyond_capacity t =
   let ready = ref [] in
   Hashtbl.iter
-    (fun name -> function Ready (_, stamp) -> ready := (name, !stamp) :: !ready
+    (fun name -> function
+      | Ready (e, stamp) -> ready := (name, !stamp, e) :: !ready
       | Loading -> ())
     t.slots;
-  let excess = List.length !ready - t.capacity in
-  if excess > 0 then
-    List.sort (fun (_, a) (_, b) -> compare a b) !ready
-    |> List.filteri (fun i _ -> i < excess)
-    |> List.iter (fun (name, _) -> Hashtbl.remove t.slots name)
+  let by_lru =
+    List.sort (fun (_, a, _) (_, b, _) -> compare a b) !ready
+    (* oldest first *)
+  in
+  let total = List.length by_lru in
+  let mapped_bytes =
+    List.fold_left (fun acc (_, _, e) -> if e.mapped then acc + e.bytes else acc) 0 by_lru
+  in
+  let excess_entries = ref (total - t.capacity) in
+  let excess_bytes = ref (mapped_bytes - t.max_mapped_bytes) in
+  List.iteri
+    (fun i (name, _, e) ->
+      let keep_last = i = total - 1 in
+      if
+        (not keep_last)
+        && (!excess_entries > 0 || (!excess_bytes > 0 && e.mapped))
+      then begin
+        decr excess_entries;
+        if e.mapped then excess_bytes := !excess_bytes - e.bytes;
+        Hashtbl.remove t.slots name
+      end)
+    by_lru
 
 (* Publish a finished load (or clear the Loading marker on failure)
    and wake the waiters. *)
@@ -182,7 +281,11 @@ let rec get_with ~force t name =
     let stale =
       force
       ||
-      match Unix.stat entry.path with
+      (* watch the *preferred* source, not necessarily the loaded
+         file: a container appearing, vanishing or being repaired next
+         to the text document triggers a hot reload — which remaps the
+         container in O(1) instead of recompiling *)
+      match Unix.stat (source_for t name) with
       | st -> st.Unix.st_mtime <> entry.mtime
       | exception Unix.Unix_error _ -> true
       (* file vanished: reload to surface the typed error *)
@@ -219,13 +322,16 @@ let describe t =
   let lines =
     loaded t
     |> List.map (fun e ->
-           Printf.sprintf "%s: epoch %d, %s%s%d findings, %d placements" e.name e.epoch
+           Printf.sprintf "%s: epoch %d, %s%s%s%d findings, %d placements, %d bytes"
+             e.name e.epoch
              (if e.backup_only then "backup-only, "
               else if e.degraded then "degraded, "
               else "serving, ")
              (if e.salvaged then "salvaged, " else "")
+             (if e.mapped then "mapped, " else "")
              e.findings
-             (Structure.n_placements e.structure))
+             (Structure.Engine.n_stored e.engine)
+             e.bytes)
   in
   match lines with
   | [] -> Printf.sprintf "store %s: no circuits loaded\n" t.dir

@@ -1,5 +1,17 @@
 (** The daemon's structure store: many compiled engines, one per
-    circuit, loaded from a directory of [*.mps] files.
+    circuit, loaded from a directory of [*.mpsz] containers and/or
+    [*.mps] text files.
+
+    For each circuit the MPSZ container is preferred when present: it
+    is mapped zero-copy ({!Mps_core.Zcodec.load}) — no parsing, no
+    recompilation, the bulk engine tables served straight off the page
+    cache — and its CRC verification stands in for the load-time
+    audit, because the container stores the already-audited compiled
+    engine bit-exact.  A damaged container falls back, typed, to the
+    text document beside it (or to salvaging the container's own
+    record table when there is none).  Hot reloads of a container
+    {e remap} instead of recompiling, so picking up a repaired or
+    regenerated [*.mpsz] costs O(1).
 
     Each entry pairs a {!Mps_core.Structure.Engine.t} with a
     {e generation epoch}: every (re)load of a circuit bumps its epoch,
@@ -48,21 +60,33 @@ type entry = {
   name : string;  (** Circuit name (store key). *)
   path : string;  (** File the entry was loaded from. *)
   circuit : Circuit.t;
-  structure : Structure.t;
   engine : Structure.Engine.t;
+      (** Query-ready; for structure-level metadata use the engine
+          accessors ({!Structure.Engine.backup},
+          {!Structure.Engine.n_stored}, ...) — they are O(1) and do not
+          materialize the heap structure. *)
   epoch : int;  (** Monotonic per circuit, starting at 1. *)
   degraded : bool;  (** Replies from this entry carry the degraded flag. *)
   backup_only : bool;
       (** Audit findings: answer every query from the backup template. *)
   findings : int;  (** Audit finding count behind the demotion. *)
   salvaged : bool;  (** The file needed {!Codec.load_salvage}. *)
-  mtime : float;  (** File mtime at load, for hot-reload detection. *)
+  mapped : bool;
+      (** Served from a zero-copy container mapping ([*.mpsz]) rather
+          than a recompiled heap engine. *)
+  bytes : int;  (** Size on disk; counts against [max_mapped_bytes]
+                    when [mapped]. *)
+  mtime : float;
+      (** Mtime of the {e preferred} source file at load (the
+          container when one existed, even if the entry fell back to
+          the text document), for hot-reload detection. *)
 }
 
 type t
 
 val create :
   ?capacity:int ->
+  ?max_mapped_bytes:int ->
   ?audit_samples:int ->
   ?audit_query_samples:int ->
   ?audit_seed:int ->
@@ -70,15 +94,29 @@ val create :
   unit ->
   t
 (** [capacity] (default 8) live engines before LRU eviction;
-    [audit_samples] (default 4) / [audit_query_samples] (default 32) /
-    [audit_seed] (default 7) parameterize the load-time audit. *)
+    [max_mapped_bytes] (default 512 MiB) total on-disk bytes of mapped
+    containers the store keeps referenced — beyond it, mapped entries
+    are evicted least-recently-used (the mapping itself is released
+    when the last in-flight request drops the entry; the most recently
+    used entry is never evicted, so one oversized container still
+    serves).  [audit_samples] (default 4) / [audit_query_samples]
+    (default 32) / [audit_seed] (default 7) parameterize the
+    load-time audit of text-format loads. *)
 
 val dir : t -> string
 
 val path_for : t -> string -> string
-(** Where a circuit's structure file lives: [dir/<name>.mps] with
+(** Where a circuit's text structure file lives: [dir/<name>.mps] with
     spaces mapped to underscores (the layout [mpsgen generate -o]
     should target). *)
+
+val zpath_for : t -> string -> string
+(** Where a circuit's MPSZ container lives: [dir/<name>.mpsz].  When
+    both files exist the container is preferred. *)
+
+val source_for : t -> string -> string
+(** The file a (re)load would read right now: {!zpath_for} when that
+    file exists, else {!path_for}. *)
 
 val get : t -> string -> (entry, error) result
 (** The current entry for a circuit, loading (and auditing) it on

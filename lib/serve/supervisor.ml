@@ -344,7 +344,7 @@ let handle_batch t gen fd state ~req_id ~deadline ~len ~instantiate =
         Wire.set_u32 out (prefix + header) count;
         let base = 15 in
         let out_base = prefix + header + 4 in
-        let backup = Structure.backup entry.Store.structure in
+        let backup = Structure.Engine.backup entry.Store.engine in
         match
           for i = 0 to count - 1 do
             if i land 255 = 0 then check_progress gen deadline;
@@ -412,7 +412,7 @@ let handle_open t fd state ~req_id ~len =
       Wire.set_u8 out (prefix + header + 2) (if entry.Store.degraded then 1 else 0);
       Wire.set_u16 out (prefix + header + 3) (Circuit.n_blocks entry.Store.circuit);
       Wire.set_u32 out (prefix + header + 5)
-        (Structure.n_placements entry.Store.structure);
+        (Structure.Engine.n_stored entry.Store.engine);
       served t ~degraded:entry.Store.degraded ~queries:0;
       send_reply t fd state.outbuf
         ~status:(if entry.Store.degraded then Wire.Ok_degraded else Wire.Ok)

@@ -248,6 +248,150 @@ let out_of_domain_total () =
   let rects = Structure.instantiate s huge in
   check_bool "out-of-domain floorplan overlap-free" true (Rect.any_overlap rects = None)
 
+(* Family F: faults on the MPSZ zero-copy path.  The serving pattern
+   under test is the one Serve.Store runs: try the mapped container,
+   and on any typed failure fall back to the text document — never a
+   crash, never a silently wrong structure. *)
+
+let save_both dir =
+  let s = Lazy.force structure in
+  let tpath = Filename.concat dir "structure.mps" in
+  let zpath = Filename.concat dir "structure.mpsz" in
+  Codec.save s ~path:tpath;
+  Zcodec.save s ~path:zpath;
+  (s, tpath, zpath)
+
+let load_with_fallback ~tpath ~zpath =
+  match Zcodec.load ~circuit zpath with
+  | v -> `Mpsz v
+  | exception Zcodec.Error _ -> `Text (Codec.load ~circuit ~path:tpath)
+
+(* Every Map action — failed mapping, vanished file, truncated view
+   (lost tail, section table and all), seeded flips, a stall — either
+   yields a verified view or falls back to the text codec with only
+   typed errors in between. *)
+let mmap_fault_falls_back scenario () =
+  let seed = (base_seed * 1000) + 1600 + scenario in
+  let action =
+    match scenario mod 7 with
+    | 0 -> Fault.Fail
+    | 1 -> Fault.Vanish
+    | 2 -> Fault.Stall 0.005
+    | 3 -> Fault.Truncate 0.05  (* barely a header: lost section table *)
+    | 4 -> Fault.Truncate 0.8  (* lost tail: records cut mid-stride *)
+    | 5 -> Fault.Corrupt 1
+    | _ -> Fault.Corrupt (1 + (scenario mod 13))
+  in
+  let plan = [ { Fault.op = Fault.Map; skip = 0; action; seed } ] in
+  with_tmp_dir (fun dir ->
+      let s, tpath, zpath = save_both dir in
+      let result, fired =
+        Fault.with_plan plan (fun () -> load_with_fallback ~tpath ~zpath)
+      in
+      check_bool (Printf.sprintf "seed %d: map fault injected" seed) true (fired = 1);
+      match result with
+      | Error e ->
+        Alcotest.failf "seed %d: %s escaped the fallback loader\n%s" seed
+          (Printexc.to_string e) (Fault.describe plan)
+      | Ok outcome ->
+        let recovered =
+          match outcome with
+          | `Mpsz v ->
+            (* a stall proceeds normally; seeded flips may cancel
+               pairwise, and every word is CRC-covered, so a verified
+               mapping is provably undamaged — the exactness check
+               below confirms it.  Fail/Vanish/Truncate can never
+               verify. *)
+            (match action with
+            | Fault.Stall _ | Fault.Corrupt _ -> ()
+            | _ ->
+              Alcotest.failf "seed %d: damaged mapping verified\n%s" seed
+                (Fault.describe plan));
+            Structure.Engine.structure v.Zcodec.engine
+          | `Text t -> t
+        in
+        check_bool
+          (Printf.sprintf "seed %d: fallback serves the exact structure" seed)
+          true
+          (Codec.to_string recovered = Codec.to_string s))
+
+(* Damage landing under an already-verified mapping: queries may go
+   wrong but must stay in-bounds and crash-free, and a re-verification
+   of the same words must detect the damage. *)
+let flip_under_active_mapping scenario () =
+  let seed = (base_seed * 1000) + 2000 + scenario in
+  with_tmp_dir (fun dir ->
+      let _s, _tpath, zpath = save_both dir in
+      let mapping = ref None in
+      let io =
+        {
+          Persist.default_io with
+          Persist.map_words =
+            (fun p ->
+              let w, b = Persist.default_io.Persist.map_words p in
+              mapping := Some (w, b);
+              (w, b));
+        }
+      in
+      let view = Persist.with_io io (fun () -> Zcodec.load ~circuit zpath) in
+      let words, bytes =
+        match !mapping with Some wb -> wb | None -> Alcotest.fail "no mapping seen"
+      in
+      (* the mapping is private (copy-on-write): flipping words damages
+         what the engine reads without touching the file *)
+      Fault.flip_words ~seed ~flips:(1 + (scenario * 3)) words;
+      let engine = view.Zcodec.engine in
+      let session = Structure.Engine.new_session () in
+      let bounds = Circuit.dim_bounds circuit in
+      let rng = Mps_rng.Rng.create ~seed in
+      let capacity = view.Zcodec.n_stored in
+      for k = 1 to 500 do
+        let dims = Dimbox.random_dims rng bounds in
+        (* answers may be wrong under live corruption; they must stay
+           in-bounds and exception-free *)
+        let id = Structure.Engine.query_id engine session dims in
+        check_bool
+          (Printf.sprintf "seed %d: query %d stays in-bounds" seed k)
+          true
+          (id >= -2 && id < capacity)
+      done;
+      (* ... and the damage is detectable on the same words *)
+      match Zcodec.salvage_parts ~circuit words ~bytes with
+      | Result.Ok r ->
+        check_bool
+          (Printf.sprintf "seed %d: re-verification flags the flips" seed)
+          false r.Zcodec.r_crc_ok
+      | Result.Error _ -> () (* flips hit the header: typed rejection *)
+      | exception e ->
+        Alcotest.failf "seed %d: re-verification let %s escape" seed
+          (Printexc.to_string e))
+
+(* A container cut off inside the header or section table is a typed
+   [Corrupt], not a parse backtrace. *)
+let truncated_section_table scenario () =
+  let seed = (base_seed * 1000) + 2400 + scenario in
+  let s = Lazy.force structure in
+  let raw = Zcodec.to_string s in
+  let rng = Mps_rng.Rng.create ~seed in
+  (* cut inside the fixed header + table region (first ~70 words) *)
+  let cut = 8 * (1 + Mps_rng.Rng.int rng 70) in
+  let truncated = String.sub raw 0 (min cut (String.length raw - 8)) in
+  (match Zcodec.of_string ~circuit truncated with
+  | _ -> Alcotest.failf "seed %d: truncated table accepted" seed
+  | exception Zcodec.Error (Zcodec.Corrupt _) -> ()
+  | exception e ->
+    Alcotest.failf "seed %d: truncation let %s escape" seed (Printexc.to_string e));
+  match
+    Zcodec.salvage_parts ~circuit
+      (Zcodec.words_of_string truncated)
+      ~bytes:(String.length truncated)
+  with
+  | Result.Ok _ | Result.Error (Zcodec.Corrupt _) | Result.Error (Zcodec.Circuit_mismatch _) -> ()
+  | Result.Error (Zcodec.Io_error _) -> ()
+  | exception e ->
+    Alcotest.failf "seed %d: salvage of truncation let %s escape" seed
+      (Printexc.to_string e)
+
 let scenarios prefix n f =
   List.init n (fun k ->
       Alcotest.test_case (Printf.sprintf "%s %02d" prefix k) `Quick (f k))
@@ -257,6 +401,9 @@ let suite =
   @ scenarios "chaos load" 12 load_under_fault
   @ scenarios "chaos bit-flip" 16 corruption_salvage
   @ scenarios "chaos truncate" 10 truncation_salvage
+  @ scenarios "chaos mmap" 14 mmap_fault_falls_back
+  @ scenarios "chaos live-flip" 6 flip_under_active_mapping
+  @ scenarios "chaos zheader-cut" 8 truncated_section_table
   @ [
       Alcotest.test_case "missing file is a typed error" `Quick missing_file;
       Alcotest.test_case "out-of-domain query is total" `Quick out_of_domain_total;

@@ -34,4 +34,5 @@ let () =
       ("experiments", Test_experiments.suite);
       ("csv", Test_csv.suite);
       ("integration", Test_integration.suite);
+      ("zcodec", Test_zcodec.suite);
     ]

@@ -816,6 +816,64 @@ let store_reload_race () =
             (Atomic.get torn);
           check_int "five forced reloads landed" 6 !final))
 
+(* --- MPSZ container preference and typed fallback ---------------------- *)
+
+(* The store prefers the zero-copy container, serves query-identical
+   answers off the mapping, falls back (typed, flagged) to the text
+   document when the container is damaged, and remaps — epoch bump,
+   no recompile — once the container is repaired. *)
+let store_prefers_container () =
+  with_tmp_dir (fun dir ->
+      let store = Store.create ~dir () in
+      let s = Lazy.force structure in
+      let tpath = Store.path_for store circuit_name in
+      let zpath = Store.zpath_for store circuit_name in
+      Codec.save s ~path:tpath;
+      Zcodec.save s ~path:zpath;
+      let dims = random_batch ~seed:77 64 in
+      let expect = expected_ids dims in
+      let check_answers tag entry =
+        let session = Structure.Engine.new_session () in
+        let ids =
+          Array.map (Structure.Engine.query_id entry.Store.engine session) dims
+        in
+        check_bool (tag ^ ": answers match the oracle") true (ids = expect)
+      in
+      (match Store.get store circuit_name with
+      | Error e -> Alcotest.failf "initial get: %s" (Store.error_to_string e)
+      | Ok entry ->
+        check_bool "container preferred" true entry.Store.mapped;
+        check_bool "loaded from the container" true (entry.Store.path = zpath);
+        check_int "epoch 1" 1 entry.Store.epoch;
+        check_bool "container load is not degraded" false entry.Store.degraded;
+        check_answers "mapped" entry);
+      (* damage the container: the store falls back to the text file *)
+      let raw = Persist.read_file ~path:zpath in
+      Persist.atomic_write ~path:zpath (Fault.flip_bits ~seed:5 ~flips:6 ~from:256 raw);
+      (match Store.reload store circuit_name with
+      | Error e -> Alcotest.failf "reload over damage: %s" (Store.error_to_string e)
+      | Ok entry ->
+        check_bool "fell back to the text document" false entry.Store.mapped;
+        check_bool "loaded from the text path" true (entry.Store.path = tpath);
+        check_int "epoch 2" 2 entry.Store.epoch;
+        check_answers "fallback" entry);
+      (* repair the container: a reload remaps it *)
+      Zcodec.save s ~path:zpath;
+      (match Store.reload store circuit_name with
+      | Error e -> Alcotest.failf "reload after repair: %s" (Store.error_to_string e)
+      | Ok entry ->
+        check_bool "repaired container remapped" true entry.Store.mapped;
+        check_int "epoch 3" 3 entry.Store.epoch;
+        check_answers "remapped" entry);
+      (* damaged container with no text fallback: salvage, flagged *)
+      Persist.atomic_write ~path:zpath (Fault.flip_bits ~seed:6 ~flips:4 ~from:256 raw);
+      Sys.remove tpath;
+      match Store.reload store circuit_name with
+      | Error _ -> () (* beyond salvage is an acceptable typed outcome *)
+      | Ok entry ->
+        check_bool "salvaged container is flagged" true entry.Store.salvaged;
+        check_bool "salvage serves from the heap" false entry.Store.mapped)
+
 let suite =
   [
     Alcotest.test_case "round trip matches the in-process oracle" `Quick round_trip;
@@ -852,6 +910,8 @@ let suite =
       readiness_flap;
     Alcotest.test_case "chaos: hedge beats a stalled worker" `Quick
       hedge_beats_stalled_worker;
+    Alcotest.test_case "store prefers the container, falls back typed" `Quick
+      store_prefers_container;
     Alcotest.test_case "store hot-reload race never serves a torn engine" `Quick
       store_reload_race;
   ]

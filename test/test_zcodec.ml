@@ -1,0 +1,417 @@
+(* The MPSZ zero-copy container (Zcodec) and the compaction pass
+   (Compact).
+
+   The format stores the compiled engine verbatim, so the property that
+   matters is bit-identical answers: an engine served straight off the
+   mapped words must agree with the heap engine and the linear oracle
+   on every probe, and instantiation must produce the same floorplans.
+   Damage must surface as a typed [Corrupt] — never a crash, never a
+   silently wrong answer on a verified load. *)
+
+open Mps_rng
+open Mps_geometry
+open Mps_netlist
+open Mps_core
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let tiny_config =
+  {
+    Generator.fast_config with
+    Generator.explorer_iterations = 8;
+    bdio = { Generator.fast_config.Generator.bdio with Bdio.iterations = 60 };
+    max_placements = 25;
+    backup_iterations = 300;
+  }
+
+let structures =
+  lazy
+    (List.map
+       (fun c -> (c, fst (Generator.generate ~config:tiny_config c)))
+       Benchmarks.all)
+
+let for_all f () = List.iter (fun (c, s) -> f c s) (Lazy.force structures)
+
+(* Same mixed-regime probe generator as the engine suite: uniform
+   in-domain vectors, past-the-max out-of-domain vectors, and jitter
+   around stored best vectors (the sizing-loop shape). *)
+let probe rng structure stored =
+  let circuit = Structure.circuit structure in
+  let bounds = Circuit.dim_bounds circuit in
+  let base = Dimbox.random_dims rng bounds in
+  match Rng.int rng 4 with
+  | 0 | 1 -> base
+  | 2 ->
+    let i = Rng.int rng (Dims.n_blocks base) in
+    if Rng.int rng 2 = 0 then
+      Dims.set_width base i (Interval.hi (Dimbox.w_interval bounds i) + 1 + Rng.int rng 8)
+    else
+      Dims.set_height base i
+        (Interval.hi (Dimbox.h_interval bounds i) + 1 + Rng.int rng 8)
+  | _ ->
+    let s : Stored.t = stored.(Rng.int rng (Array.length stored)) in
+    let d = ref s.Stored.best_dims in
+    for _ = 1 to 2 do
+      let i = Rng.int rng (Dims.n_blocks !d) in
+      let bump = Rng.int_in rng (-2) 2 in
+      d :=
+        (if Rng.int rng 2 = 0 then Dims.set_width !d i (max 1 (Dims.width !d i + bump))
+         else Dims.set_height !d i (max 1 (Dims.height !d i + bump)))
+    done;
+    !d
+
+let save_tmp structure =
+  let path = Filename.temp_file "mps_zcodec" ".mpsz" in
+  Zcodec.save structure ~path;
+  path
+
+let load_view ?verify circuit path =
+  try Zcodec.load ?verify ~circuit path
+  with Zcodec.Error e -> Alcotest.failf "load: %s" (Zcodec.error_to_string e)
+
+let rects_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun (r1 : Rect.t) (r2 : Rect.t) ->
+         r1.Rect.x = r2.Rect.x && r1.Rect.y = r2.Rect.y && r1.Rect.w = r2.Rect.w
+         && r1.Rect.h = r2.Rect.h)
+       a b
+
+(* Tentpole property: the mapped engine answers and instantiates
+   bit-identically to the heap engine and the linear oracle on 10k
+   mixed probes per circuit. *)
+let test_mapped_engine_matches_oracle c structure =
+  let heap = Structure.Engine.create structure in
+  let path = save_tmp structure in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let view = load_view c path in
+      let mapped = view.Zcodec.engine in
+      let s_heap = Structure.Engine.new_session () in
+      let s_map = Structure.Engine.new_session () in
+      let stored = Structure.placements structure in
+      let rng = Rng.create ~seed:29 in
+      for k = 1 to 10_000 do
+        let dims = probe rng structure stored in
+        let a_lin, _ = Structure.query_linear structure dims in
+        let a_heap = Structure.Engine.query_id heap s_heap dims in
+        let a_map = Structure.Engine.query_id mapped s_map dims in
+        if a_heap <> a_map then
+          Alcotest.failf "%s probe %d: heap engine %d, mapped engine %d"
+            c.Circuit.name k a_heap a_map;
+        (match (a_lin, a_map) with
+        | Structure.Stored_placement i, j when i <> j ->
+          Alcotest.failf "%s probe %d: linear %d, mapped %d" c.Circuit.name k i j
+        | Structure.Fallback, j when j <> -1 ->
+          Alcotest.failf "%s probe %d: linear fallback, mapped %d" c.Circuit.name k j
+        | Structure.Out_of_domain, j when j <> -2 ->
+          Alcotest.failf "%s probe %d: linear out-of-domain, mapped %d" c.Circuit.name
+            k j
+        | _ -> ());
+        if k mod 7 = 0 then
+          let r_heap = Structure.Engine.instantiate heap s_heap dims in
+          let r_map = Structure.Engine.instantiate mapped s_map dims in
+          if not (rects_equal r_heap r_map) then
+            Alcotest.failf "%s probe %d: instantiation differs" c.Circuit.name k
+      done)
+
+(* [of_string] must parse the writer's bytes identically to a mapped
+   load, and the view must report honest size accounting. *)
+let test_of_string_agrees c structure =
+  let raw = Zcodec.to_string structure in
+  check_bool (c.Circuit.name ^ ": magic sniffs") true (Zcodec.is_magic raw);
+  let view = Zcodec.of_string ~circuit:c raw in
+  check_int (c.Circuit.name ^ ": bytes") (String.length raw) view.Zcodec.bytes;
+  check_int
+    (c.Circuit.name ^ ": stored count")
+    (Array.length (Structure.placements structure))
+    view.Zcodec.n_stored;
+  let last = List.nth view.Zcodec.sections (List.length view.Zcodec.sections - 1) in
+  check_int
+    (c.Circuit.name ^ ": sections end at the file end")
+    (String.length raw / 8)
+    (last.Zcodec.off_words + last.Zcodec.len_words);
+  check_bool (c.Circuit.name ^ ": pool dedupes template pieces") true
+    (view.Zcodec.n_pool <= view.Zcodec.n_stored + 1)
+
+(* The mapped engine materializes the full heap structure on demand,
+   and that structure round-trips through the text codec. *)
+let test_materialize_structure c structure =
+  let raw = Zcodec.to_string structure in
+  let view = Zcodec.of_string ~circuit:c raw in
+  let s2 = Structure.Engine.structure view.Zcodec.engine in
+  check_int
+    (c.Circuit.name ^ ": placement count survives")
+    (Structure.n_placements structure)
+    (Structure.n_placements s2);
+  check_bool (c.Circuit.name ^ ": text round-trip agrees") true
+    (Codec.to_string s2 = Codec.to_string structure)
+
+(* Every single-bit flip anywhere in the container must be caught by a
+   verified load (or be semantically invisible: bit 63 of a word never
+   carries information).  No flip may crash. *)
+let test_flips_detected () =
+  let _, structure = List.hd (Lazy.force structures) in
+  let circuit = Structure.circuit structure in
+  let raw = Zcodec.to_string structure in
+  let rng = Rng.create ~seed:41 in
+  let flips = ref 0 and caught = ref 0 in
+  for _ = 1 to 200 do
+    let pos = Rng.int rng (String.length raw) in
+    let bit = Rng.int rng 8 in
+    if not (bit = 7 && pos mod 8 = 7) then begin
+      (* skip bit 63 of a word: dropped by the int lens, semantically void *)
+      incr flips;
+      let b = Bytes.of_string raw in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+      match Zcodec.of_string ~circuit (Bytes.to_string b) with
+      | exception Zcodec.Error (Zcodec.Corrupt _) -> incr caught
+      | exception Zcodec.Error (Zcodec.Circuit_mismatch _) ->
+        (* a flip inside the stored identity reads as another circuit *)
+        incr caught
+      | _view -> ()
+    end
+  done;
+  check_int "every informative flip detected" !flips !caught
+
+let test_wrong_circuit_rejected () =
+  let all = Lazy.force structures in
+  let _, s1 = List.hd all in
+  let other =
+    List.find (fun c -> c.Circuit.name <> (Structure.circuit s1).Circuit.name)
+      Benchmarks.all
+  in
+  let raw = Zcodec.to_string s1 in
+  match Zcodec.of_string ~circuit:other raw with
+  | exception Zcodec.Error (Zcodec.Circuit_mismatch _) -> ()
+  | exception e -> Alcotest.failf "expected Circuit_mismatch, got %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "wrong circuit accepted"
+
+let test_load_missing_is_io_error () =
+  let c = List.hd Benchmarks.all in
+  match Zcodec.load ~circuit:c "/nonexistent/dir/x.mpsz" with
+  | exception Zcodec.Error (Zcodec.Io_error _) -> ()
+  | exception e -> Alcotest.failf "expected Io_error, got %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "missing file loaded"
+
+(* Salvage: wreck every engine section; the placement records must
+   still come back intact. *)
+let test_salvage_survives_engine_damage () =
+  let _, structure = List.hd (Lazy.force structures) in
+  let circuit = Structure.circuit structure in
+  let raw = Zcodec.to_string structure in
+  let view = Zcodec.of_string ~circuit raw in
+  let b = Bytes.of_string raw in
+  List.iter
+    (fun s ->
+      if s.Zcodec.tag <> "POOL" && s.Zcodec.tag <> "PLCT" then
+        for wi = s.Zcodec.off_words to s.Zcodec.off_words + s.Zcodec.len_words - 1 do
+          Bytes.set_int64_le b (wi * 8) 0x0123_4567_89AB_CDEFL
+        done)
+    view.Zcodec.sections;
+  let damaged = Bytes.to_string b in
+  (* strict load refuses *)
+  (match Zcodec.of_string ~circuit damaged with
+  | exception Zcodec.Error (Zcodec.Corrupt _) -> ()
+  | _ -> Alcotest.fail "damaged container loaded strictly");
+  (* salvage recovers every record *)
+  let path = Filename.temp_file "mps_zsalvage" ".mpsz" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc damaged);
+      let w, bytes = Persist.map_words ~path in
+      match Zcodec.salvage_parts ~circuit w ~bytes with
+      | Error e -> Alcotest.failf "salvage failed: %s" (Zcodec.error_to_string e)
+      | Ok r ->
+        check_int "all records recovered" view.Zcodec.n_stored
+          (List.length r.Zcodec.r_stored);
+        check_bool "backup recovered" true (r.Zcodec.r_backup <> None);
+        check_bool "crc failure reported" false r.Zcodec.r_crc_ok)
+
+(* Compaction: audit-clean, monotone on size, idempotent, and the
+   compacted container still answers exactly like its own heap
+   engine. *)
+let compacted =
+  lazy
+    (List.map
+       (fun (c, s) -> (c, s, Compact.run s))
+       (Lazy.force structures))
+
+let test_compact_clean_and_smaller () =
+  let any_rewrite = ref 0 in
+  List.iter
+    (fun (c, s, (cs, stats)) ->
+      let name = c.Circuit.name in
+      check_bool (name ^ ": not reverted") false stats.Compact.reverted;
+      check_bool (name ^ ": records shrink or hold") true
+        (stats.Compact.records_after <= stats.Compact.records_before);
+      check_bool (name ^ ": bytes shrink or hold") true
+        (stats.Compact.bytes_after <= stats.Compact.bytes_before);
+      check_int
+        (name ^ ": records_after matches the structure")
+        (Structure.n_placements cs)
+        stats.Compact.records_after;
+      any_rewrite :=
+        !any_rewrite + stats.Compact.merged + stats.Compact.absorbed
+        + stats.Compact.dropped;
+      check_bool (name ^ ": compacted audit is clean") true
+        (Audit.clean (Audit.run cs));
+      ignore s)
+    (Lazy.force compacted);
+  check_bool "compaction found work on the benchmark set" true (!any_rewrite > 0)
+
+let test_compact_idempotent () =
+  List.iter
+    (fun (c, _, (cs, _)) ->
+      let again, stats2 = Compact.run cs in
+      check_int
+        (c.Circuit.name ^ ": second pass rewrites nothing")
+        0
+        (stats2.Compact.merged + stats2.Compact.absorbed + stats2.Compact.dropped);
+      check_bool (c.Circuit.name ^ ": fixpoint is byte-stable") true
+        (Zcodec.to_string again = Zcodec.to_string cs);
+      check_bool (c.Circuit.name ^ ": packed fixpoint is byte-stable") true
+        (Zcodec.to_string ~packed:true again = Zcodec.to_string ~packed:true cs))
+    (Lazy.force compacted)
+
+let test_compact_then_map_parity () =
+  List.iter
+    (fun (c, _, (cs, _)) ->
+      let heap = Structure.Engine.create cs in
+      let view = Zcodec.of_string ~circuit:c (Zcodec.to_string cs) in
+      let s_heap = Structure.Engine.new_session () in
+      let s_map = Structure.Engine.new_session () in
+      let stored = Structure.placements cs in
+      let rng = Rng.create ~seed:53 in
+      for k = 1 to 2_000 do
+        let dims = probe rng cs stored in
+        let a = Structure.Engine.query_id heap s_heap dims in
+        let b = Structure.Engine.query_id view.Zcodec.engine s_map dims in
+        if a <> b then
+          Alcotest.failf "%s probe %d: heap %d, mapped %d" c.Circuit.name k a b
+      done)
+    (Lazy.force compacted)
+
+(* The half-packed archival layout (what compact writes) must be
+   genuinely smaller, decode to the bit-identical structure, and
+   answer exactly like the heap engine. *)
+let test_packed_layout_parity c structure =
+  let plain = Zcodec.to_string structure in
+  let raw = Zcodec.to_string ~packed:true structure in
+  check_bool (c.Circuit.name ^ ": packed is smaller") true
+    (String.length raw < String.length plain);
+  check_bool (c.Circuit.name ^ ": packed magic sniffs") true (Zcodec.is_magic raw);
+  let view = Zcodec.of_string ~circuit:c raw in
+  let tags = List.map (fun s -> s.Zcodec.tag) view.Zcodec.sections in
+  check_bool (c.Circuit.name ^ ": packed tags present") true
+    (List.mem "POLH" tags && List.mem "PLCH" tags);
+  let s2 = Structure.Engine.structure view.Zcodec.engine in
+  check_bool (c.Circuit.name ^ ": packed decodes bit-identical") true
+    (Codec.to_string s2 = Codec.to_string structure);
+  let heap = Structure.Engine.create structure in
+  let s_heap = Structure.Engine.new_session () in
+  let s_map = Structure.Engine.new_session () in
+  let stored = Structure.placements structure in
+  let rng = Rng.create ~seed:61 in
+  for k = 1 to 2_000 do
+    let dims = probe rng structure stored in
+    let a = Structure.Engine.query_id heap s_heap dims in
+    let b = Structure.Engine.query_id view.Zcodec.engine s_map dims in
+    if a <> b then
+      Alcotest.failf "%s probe %d: heap %d, packed-mapped %d" c.Circuit.name k a b
+  done
+
+(* Packed containers salvage like plain ones, and every informative
+   bit flip is still caught by a verified parse. *)
+let test_packed_salvage_and_flips () =
+  let _, structure = List.hd (Lazy.force structures) in
+  let circuit = Structure.circuit structure in
+  let raw = Zcodec.to_string ~packed:true structure in
+  let view = Zcodec.of_string ~circuit raw in
+  (match
+     Zcodec.salvage_parts ~circuit
+       (Zcodec.words_of_string raw)
+       ~bytes:(String.length raw)
+   with
+  | Error e -> Alcotest.failf "packed salvage: %s" (Zcodec.error_to_string e)
+  | Ok r ->
+    check_int "packed salvage recovers all" view.Zcodec.n_stored
+      (List.length r.Zcodec.r_stored);
+    check_bool "packed salvage backup" true (r.Zcodec.r_backup <> None);
+    check_bool "packed salvage crc ok" true r.Zcodec.r_crc_ok);
+  let rng = Rng.create ~seed:43 in
+  let flips = ref 0 and caught = ref 0 in
+  for _ = 1 to 120 do
+    let pos = Rng.int rng (String.length raw) in
+    let bit = Rng.int rng 8 in
+    if not (bit = 7 && pos mod 8 = 7) then begin
+      incr flips;
+      let b = Bytes.of_string raw in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+      match Zcodec.of_string ~circuit (Bytes.to_string b) with
+      | exception Zcodec.Error _ -> incr caught
+      | _ -> ()
+    end
+  done;
+  check_int "every informative flip detected (packed)" !flips !caught
+
+(* The text codec must sniff the binary magic and route MPSZ files
+   through Zcodec — strict load and salvage both — and reject unknown
+   magic with one clean line, not a parse backtrace. *)
+let test_codec_routes_mpsz () =
+  let _, structure = List.hd (Lazy.force structures) in
+  let circuit = Structure.circuit structure in
+  let path = Filename.temp_file "mps_route" ".mpsz" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Zcodec.save structure ~path;
+      let s2 = Codec.load ~circuit ~path in
+      check_bool "strict load routes and agrees" true
+        (Codec.to_string s2 = Codec.to_string structure);
+      match Codec.load_salvage ~circuit ~path with
+      | Error e -> Alcotest.failf "salvage: %s" (Codec.error_to_string e)
+      | Ok sv ->
+        check_bool "container checksums verified" true sv.Codec.checksum_ok;
+        check_int "all records recovered"
+          (Array.length (Structure.placements structure))
+          sv.Codec.recovered)
+
+let test_unknown_magic_clean_error () =
+  let c = List.hd Benchmarks.all in
+  let garbage = "\x7fELF\x02\x01\x01\x00 definitely not a structure\xff\xfe" in
+  match Codec.of_string ~circuit:c garbage with
+  | exception Codec.Error (Codec.Corrupt { reason; _ }) ->
+    check_bool "reason is one short clean line" true
+      ((not (String.contains reason '\n'))
+      && String.length reason < 120
+      && String.for_all (fun ch -> ch >= ' ' && ch < '\x7f') reason)
+  | exception e -> Alcotest.failf "expected Corrupt, got %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "garbage accepted"
+
+let suite =
+  [
+    ("all circuits: mapped engine equals heap engine and oracle on 10k probes",
+     `Slow, for_all test_mapped_engine_matches_oracle);
+    ("all circuits: compact is clean and never grows", `Slow,
+     test_compact_clean_and_smaller);
+    ("all circuits: compact is idempotent", `Slow, test_compact_idempotent);
+    ("all circuits: compacted container keeps query parity", `Slow,
+     test_compact_then_map_parity);
+    ("all circuits: of_string agrees with load", `Slow, for_all test_of_string_agrees);
+    ("all circuits: materialized structure round-trips", `Slow,
+     for_all test_materialize_structure);
+    ("all circuits: packed layout keeps parity and shrinks", `Slow,
+     for_all test_packed_layout_parity);
+    ("packed container salvages and detects flips", `Slow,
+     test_packed_salvage_and_flips);
+    ("random flips are detected, never crash", `Slow, test_flips_detected);
+    ("wrong circuit rejected", `Quick, test_wrong_circuit_rejected);
+    ("missing file is Io_error", `Quick, test_load_missing_is_io_error);
+    ("salvage survives engine-section damage", `Quick, test_salvage_survives_engine_damage);
+    ("text codec routes MPSZ files", `Quick, test_codec_routes_mpsz);
+    ("unknown magic fails with one clean line", `Quick, test_unknown_magic_clean_error);
+  ]
