@@ -33,6 +33,12 @@
                   each, and writes BENCH_LOAD.json — CI gates the
                   benchmark24 row (>= 10x load speedup, >= 20% bytes
                   after compact, zero mismatches).
+   --shm-bench    measures the shared-memory ring (DESIGN.md §13) in
+                  isolation against an echo peer in a second domain:
+                  round-trip latency p50/p99 per frame size, and
+                  pipelined throughput with a full window in flight.
+                  Writes BENCH_SHM.json — the transport-level bound on
+                  what the serve-layer fast path can deliver here.
    --jobs N       runs --gen-bench generation through the domain pool
                   with N workers. *)
 
@@ -674,9 +680,103 @@ let main () =
   print_newline ();
   print_string (E.synthesis_comparison ~budget ())
 
+(* --shm-bench: the ring transport in isolation.  An echo peer runs in
+   its own domain; every frame the main domain sends comes straight
+   back, so a round trip is two publishes and two consumes with no
+   serving work in between — the floor under the serve layer's
+   per-request cost over shm. *)
+let shm_bench () =
+  let module Shm = Mps_serve.Shm in
+  let percentile sorted p =
+    let n = Array.length sorted in
+    sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+  in
+  let dir = Filename.temp_file "mps_shmbench" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let path = Filename.concat dir "ring" in
+  let ring_words = 64 * 1024 in
+  let server = Shm.create ~ring_words ~path () in
+  let sizes = [ 32; 256; 2048 ] in
+  let rtts = 4096 in
+  let pipe_frames = 65536 in
+  let pipe_window = 256 in
+  let pipe_bytes = 32 in
+  let echo =
+    Domain.spawn (fun () ->
+        let client = Shm.attach ~path () in
+        let buf = ref (Bytes.create 4096) in
+        let total = (List.length sizes * rtts) + pipe_frames in
+        (try
+           for _ = 1 to total do
+             let len =
+               Shm.recv ~deadline:(Unix.gettimeofday () +. 120.0) client ~buf
+             in
+             Shm.send client !buf ~off:0 ~len
+           done
+         with Shm.Dead _ | Shm.Timeout -> ());
+        Shm.close client)
+  in
+  let buf = ref (Bytes.create 4096) in
+  let payload = Bytes.make 4096 'x' in
+  let rtt_rows =
+    List.map
+      (fun size ->
+        let samples =
+          Array.init rtts (fun _ ->
+              let t0 = Unix.gettimeofday () in
+              Shm.send server payload ~off:0 ~len:size;
+              ignore
+                (Shm.recv ~deadline:(Unix.gettimeofday () +. 120.0) server ~buf);
+              Unix.gettimeofday () -. t0)
+        in
+        Array.sort compare samples;
+        let p50 = percentile samples 0.50 *. 1e6 in
+        let p99 = percentile samples 0.99 *. 1e6 in
+        Printf.printf "shm rtt %5d B  p50 %7.2f us  p99 %7.2f us\n%!" size p50 p99;
+        (size, p50, p99))
+      sizes
+  in
+  let t0 = Unix.gettimeofday () in
+  let sent = ref 0 and got = ref 0 in
+  while !got < pipe_frames do
+    if !sent < pipe_frames && !sent - !got < pipe_window then begin
+      Shm.send server payload ~off:0 ~len:pipe_bytes;
+      incr sent
+    end
+    else begin
+      ignore (Shm.recv ~deadline:(Unix.gettimeofday () +. 120.0) server ~buf);
+      incr got
+    end
+  done;
+  let pipe_secs = Unix.gettimeofday () -. t0 in
+  let fps = float_of_int pipe_frames /. pipe_secs in
+  Printf.printf "shm pipelined %d B x %d in flight: %d frames in %.3f s (%.0f frames/s)\n%!"
+    pipe_bytes pipe_window pipe_frames pipe_secs fps;
+  Domain.join echo;
+  Shm.close server;
+  Shm.remove server;
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  let oc = open_out "BENCH_SHM.json" in
+  Printf.fprintf oc "{\n  \"ring_words\": %d,\n  \"round_trip\": [\n%s\n  ],\n"
+    ring_words
+    (String.concat ",\n"
+       (List.map
+          (fun (size, p50, p99) ->
+            Printf.sprintf
+              "    { \"frame_bytes\": %d, \"rtt_p50_us\": %.2f, \"rtt_p99_us\": %.2f }"
+              size p50 p99)
+          rtt_rows));
+  Printf.fprintf oc
+    "  \"pipelined\": { \"frame_bytes\": %d, \"window\": %d, \"frames_per_sec\": %.0f }\n}\n"
+    pipe_bytes pipe_window fps;
+  close_out oc;
+  print_endline "wrote BENCH_SHM.json"
+
 let () =
   if Array.exists (String.equal "--gen-bench") Sys.argv then gen_bench ()
   else if Array.exists (String.equal "--query-bench") Sys.argv then query_bench ()
   else if Array.exists (String.equal "--par-bench") Sys.argv then par_bench ()
   else if Array.exists (String.equal "--load-bench") Sys.argv then load_bench ()
+  else if Array.exists (String.equal "--shm-bench") Sys.argv then shm_bench ()
   else main ()

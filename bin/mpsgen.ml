@@ -968,8 +968,8 @@ let addr_to_string = function
   | Server.Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
 
 let serve dir socket tcp capacity workers max_connections max_inflight idle_timeout
-    drain_timeout =
-  let store = Store.create ~capacity ~dir () in
+    drain_timeout stat_interval =
+  let store = Store.create ~capacity ~stat_interval ~dir () in
   let workers =
     if workers < 1 then die "--workers must be at least 1"
     else min workers (Domain.recommended_domain_count ())
@@ -1083,6 +1083,16 @@ let drain_timeout_arg =
     & info [ "drain-timeout" ] ~docv:"S"
         ~doc:"Seconds a graceful stop waits for in-flight requests.")
 
+let stat_interval_arg =
+  Arg.(
+    value
+    & opt float 0.05
+    & info [ "stat-interval" ] ~docv:"S"
+        ~doc:
+          "Debounce hot-reload detection: re-stat a circuit's source file at most \
+           once per $(docv) seconds (0 stats on every request).  A repaired file is \
+           picked up within the interval; meanwhile requests cost no stat syscall.")
+
 let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
@@ -1096,7 +1106,8 @@ let serve_cmd =
           readiness.  SIGTERM drains gracefully.")
     Term.(
       const serve $ store_dir_arg $ socket_arg $ tcp_arg $ capacity_arg $ workers_arg
-      $ max_connections_arg $ max_inflight_arg $ idle_timeout_arg $ drain_timeout_arg)
+      $ max_connections_arg $ max_inflight_arg $ idle_timeout_arg $ drain_timeout_arg
+      $ stat_interval_arg)
 
 (* health: the readiness probe *)
 
@@ -1167,18 +1178,21 @@ let walk_step rng structure bounds current =
 
 (* One measurement's aggregate numbers. *)
 type bench_serve_row = {
+  bs_transport : string;
   bs_workers : int;
   bs_served : int;
   bs_seconds : float;
   bs_rate : float;
   bs_p50 : float;
   bs_p99 : float;
+  bs_ring : int;
   bs_mismatches : int;
   bs_errors : int;
   bs_degraded : int;
 }
 
-let bench_serve circuit budget batch requests clients workers attach out jobs =
+let bench_serve circuit budget batch requests clients workers attach out jobs transport
+    depth =
   let config = Mps_experiments.Experiments.generator_config budget circuit in
   Format.printf "bench-serve: generating %s (%s budget)...@." circuit.Circuit.name
     (match budget with Mps_experiments.Experiments.Quick -> "quick" | _ -> "full");
@@ -1195,12 +1209,12 @@ let bench_serve circuit budget batch requests clients workers attach out jobs =
      boxes, which is what a sizing loop does anyway), then cross-checks
      every served answer against the in-process engine afterwards. *)
   let distinct = min per_client 8 in
-  let run_measurement ~nw addr =
+  let run_measurement ~label ~shm ~nw addr =
     let ready = Atomic.make 0 in
     let go = Atomic.make false in
     let run_client k =
       let rng = Mps_rng.Rng.create ~seed:(1000 + k) in
-      let client = Client.connect addr in
+      let client = Client.connect ~shm addr in
       let session = Structure.Engine.new_session () in
       let current = ref (Dimbox.center bounds) in
       let pool =
@@ -1224,32 +1238,60 @@ let bench_serve circuit budget batch requests clients workers attach out jobs =
       let give_up = 8 in
       let streak = ref 0 in
       let completed = ref 0 in
+      let take r = function
+        | Ok (ids, meta) ->
+          streak := 0;
+          served := !served + batch;
+          if meta.Client.degraded then incr degraded;
+          replies.(r) <- ids
+        | Error e ->
+          incr errors;
+          incr streak;
+          Format.eprintf "bench-serve: client %d: %s@." k (Client.error_to_string e)
+      in
       (try
-         for r = 0 to per_client - 1 do
-           let t0 = Unix.gettimeofday () in
-           (match
-              Client.with_retry ~rng client (fun () ->
-                  Client.query_ids ~budget:10.0 client ~circuit:name
-                    pool.(r mod distinct))
-            with
-           | Ok (ids, meta) ->
-             streak := 0;
-             served := !served + batch;
-             if meta.Client.degraded then incr degraded;
-             replies.(r) <- ids
-           | Error e ->
-             incr errors;
-             incr streak;
-             Format.eprintf "bench-serve: client %d: %s@." k (Client.error_to_string e));
-           latencies.(r) <- Unix.gettimeofday () -. t0;
-           incr completed;
-           if !streak >= give_up then raise Exit
-         done
+         if depth <= 1 then
+           for r = 0 to per_client - 1 do
+             let t0 = Unix.gettimeofday () in
+             take r
+               (Client.with_retry ~rng client (fun () ->
+                    Client.query_ids ~budget:10.0 client ~circuit:name
+                      pool.(r mod distinct)));
+             latencies.(r) <- Unix.gettimeofday () -. t0;
+             incr completed;
+             if !streak >= give_up then raise Exit
+           done
+         else begin
+           (* pipelined: windows of [depth] requests in flight at once;
+              the per-request latency is the window's wall time split
+              evenly — amortized, which is the number that matters for
+              a pipelined sizing loop *)
+           let r = ref 0 in
+           while !r < per_client do
+             let count = min depth (per_client - !r) in
+             let group = Array.init count (fun j -> pool.((!r + j) mod distinct)) in
+             let t0 = Unix.gettimeofday () in
+             let results =
+               Client.query_ids_pipelined ~budget:10.0 ~depth client ~circuit:name
+                 group
+             in
+             let dt = (Unix.gettimeofday () -. t0) /. float_of_int count in
+             Array.iteri
+               (fun j out ->
+                 take (!r + j) out;
+                 latencies.(!r + j) <- dt)
+               results;
+             r := !r + count;
+             completed := !r;
+             if !streak >= give_up then raise Exit
+           done
+         end
        with Exit ->
          Format.eprintf
            "bench-serve: client %d: giving up after %d consecutive failures@." k give_up);
       let t_end = Unix.gettimeofday () in
       let latencies = Array.sub latencies 0 !completed in
+      let ring = (Client.stats client).Client.ring_requests in
       Client.close client;
       (* untimed phase: every served answer against the oracle *)
       let expected =
@@ -1265,11 +1307,11 @@ let bench_serve circuit budget batch requests clients workers attach out jobs =
               (fun i id -> if id <> expected.(r mod distinct).(i) then incr mismatches)
               ids)
         replies;
-      (latencies, !served, !mismatches, !errors, !degraded, t_start, t_end)
+      (latencies, !served, !mismatches, !errors, !degraded, ring, t_start, t_end)
     in
     Format.printf
-      "bench-serve: %d client domain(s) x %d requests x %d queries on %s@." clients
-      per_client batch (addr_to_string addr);
+      "bench-serve: [%s] %d client domain(s) x %d requests x %d queries on %s@." label
+      clients per_client batch (addr_to_string addr);
     Format.print_flush ();
     let domains = Array.init clients (fun k -> Domain.spawn (fun () -> run_client k)) in
     while Atomic.get ready < clients do
@@ -1278,99 +1320,172 @@ let bench_serve circuit budget batch requests clients workers attach out jobs =
     Atomic.set go true;
     let results = Array.map Domain.join domains in
     let seconds =
-      let starts = Array.map (fun (_, _, _, _, _, s, _) -> s) results in
-      let ends = Array.map (fun (_, _, _, _, _, _, e) -> e) results in
+      let starts = Array.map (fun (_, _, _, _, _, _, s, _) -> s) results in
+      let ends = Array.map (fun (_, _, _, _, _, _, _, e) -> e) results in
       Array.fold_left max ends.(0) ends -. Array.fold_left min starts.(0) starts
     in
     let latencies =
-      Array.concat (Array.to_list (Array.map (fun (l, _, _, _, _, _, _) -> l) results))
+      Array.concat
+        (Array.to_list (Array.map (fun (l, _, _, _, _, _, _, _) -> l) results))
     in
     Array.sort compare latencies;
     let sum f = Array.fold_left (fun acc r -> acc + f r) 0 results in
-    let served = sum (fun (_, s, _, _, _, _, _) -> s) in
+    let served = sum (fun (_, s, _, _, _, _, _, _) -> s) in
     let row =
       {
+        bs_transport = label;
         bs_workers = nw;
         bs_served = served;
         bs_seconds = seconds;
         bs_rate = float_of_int served /. seconds;
         bs_p50 = 1e6 *. percentile latencies 0.50;
         bs_p99 = 1e6 *. percentile latencies 0.99;
-        bs_mismatches = sum (fun (_, _, m, _, _, _, _) -> m);
-        bs_errors = sum (fun (_, _, _, e, _, _, _) -> e);
-        bs_degraded = sum (fun (_, _, _, _, d, _, _) -> d);
+        bs_ring = sum (fun (_, _, _, _, _, g, _, _) -> g);
+        bs_mismatches = sum (fun (_, _, m, _, _, _, _, _) -> m);
+        bs_errors = sum (fun (_, _, _, e, _, _, _, _) -> e);
+        bs_degraded = sum (fun (_, _, _, _, d, _, _, _) -> d);
       }
     in
     Format.printf
-      "bench-serve: workers=%d: %d queries in %.3f s (%.0f served queries/s); \
-       request p50 %.0f us, p99 %.0f us; %d mismatches, %d errors, %d degraded \
-       replies@."
-      nw row.bs_served row.bs_seconds row.bs_rate row.bs_p50 row.bs_p99
-      row.bs_mismatches row.bs_errors row.bs_degraded;
+      "bench-serve: [%s] workers=%d: %d queries in %.3f s (%.0f served queries/s); \
+       request p50 %.0f us, p99 %.0f us; %d over ring; %d mismatches, %d errors, %d \
+       degraded replies@."
+      label nw row.bs_served row.bs_seconds row.bs_rate row.bs_p50 row.bs_p99
+      row.bs_ring row.bs_mismatches row.bs_errors row.bs_degraded;
     Format.print_flush ();
     row
   in
-  let main_row, baseline =
+  let label =
+    match transport with `Unix -> "unix" | `Tcp -> "tcp" | `Shm -> "shm"
+  in
+  let main_row, baseline, tcp_row =
     match attach with
     | Some spec ->
       (* a remote daemon's worker count is whatever it was started
-         with; no sweep, just the one measurement *)
-      (run_measurement ~nw:workers (parse_addr spec), None)
+         with; no sweep, just the one measurement.  --transport=shm
+         against an attached daemon asks for the ring — only sensible
+         when the daemon is on this host. *)
+      ( run_measurement ~label ~shm:(transport = `Shm) ~nw:workers (parse_addr spec),
+        None, None )
     | None ->
       let dir =
         Filename.concat (Filename.get_temp_dir_name ())
           (Printf.sprintf "mpsd-bench.%d" (Unix.getpid ()))
       in
       (try Unix.mkdir dir 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
-      let path = Store.path_for (Store.create ~dir ()) circuit.Circuit.name in
+      let store0 = Store.create ~dir () in
+      let path = Store.path_for store0 circuit.Circuit.name in
       (match Codec.save structure ~path with
       | () -> ()
       | exception Codec.Error e -> die "%s: %s" path (Codec.error_to_string e));
-      (* each measurement self-hosts a fresh daemon in its own domain
-         (plus its worker domains) on the same socket *)
-      let hosted nw =
-        let server =
-          Server.create
-            ~config:
-              {
-                Server.default_config with
-                Server.max_inflight = 2 * clients;
-                workers = nw;
-              }
-            ~store:(Store.create ~dir ())
-            (Server.Unix_path (Filename.concat dir "mpsd.sock"))
+      (* the MPSZ container too, so ring replies come back as
+         zero-copy descriptors into the client-mapped container *)
+      let zpath = Store.zpath_for store0 circuit.Circuit.name in
+      (match Zcodec.save structure ~path:zpath with
+      | () -> ()
+      | exception Zcodec.Error e -> die "%s: %s" zpath (Zcodec.error_to_string e));
+      (* Each measurement execs a fresh `mpsgen serve` daemon in its
+         own PROCESS — co-located the way production is, and with no
+         shared OCaml heap: on OCaml 5 every minor collection is a
+         stop-the-world across the domains of one runtime, so an
+         in-process daemon would let client allocation pause the
+         server (and vice versa), flattening the very transport gap
+         this benchmark exists to measure. *)
+      let free_port () =
+        let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt s Unix.SO_REUSEADDR true;
+        Unix.bind s (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+        let port =
+          match Unix.getsockname s with Unix.ADDR_INET (_, p) -> p | _ -> assert false
         in
-        let domain = Domain.spawn (fun () -> Server.run server) in
-        let row = run_measurement ~nw (Server.bound_addr server) in
-        Server.stop server;
-        Domain.join domain;
+        Unix.close s;
+        port
+      in
+      let hosted ~label ~shm ~tcp nw =
+        let sock = Filename.concat dir "mpsd.sock" in
+        (try Sys.remove sock with Sys_error _ -> ());
+        let addr =
+          if tcp then Server.Tcp ("127.0.0.1", free_port ()) else Server.Unix_path sock
+        in
+        let argv =
+          Array.append
+            [|
+              Sys.executable_name; "serve"; "--dir"; dir; "--workers";
+              string_of_int nw; "--max-inflight"; string_of_int (2 * clients);
+            |]
+            (match addr with
+            | Server.Tcp (h, p) -> [| "--tcp"; Printf.sprintf "%s:%d" h p |]
+            | Server.Unix_path p -> [| "--socket"; p |])
+        in
+        let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+        let pid =
+          Unix.create_process Sys.executable_name argv Unix.stdin devnull Unix.stderr
+        in
+        Unix.close devnull;
+        let probe = Client.connect addr in
+        let deadline = Unix.gettimeofday () +. 10.0 in
+        let rec wait_ready () =
+          match Client.ping ~budget:0.25 probe with
+          | Ok _ -> ()
+          | Error _ ->
+            if Unix.gettimeofday () > deadline then begin
+              (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+              die "bench-serve: daemon did not come up within 10 s"
+            end
+            else begin
+              Unix.sleepf 0.02;
+              wait_ready ()
+            end
+        in
+        wait_ready ();
+        Client.close probe;
+        let row = run_measurement ~label ~shm ~nw addr in
+        (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+        (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
         row
       in
-      let base = hosted 1 in
-      let result =
-        if workers <= 1 then (base, None) else (hosted workers, Some base)
+      let shm = transport = `Shm in
+      let tcp = transport = `Tcp in
+      let base = hosted ~label ~shm ~tcp 1 in
+      let main = if workers <= 1 then base else hosted ~label ~shm ~tcp workers in
+      (* --transport=shm always measures a loopback-TCP run of the same
+         shape in the same process, so the speedup is apples-to-apples:
+         same structure, same walk, same worker count, same host *)
+      let tcp_row =
+        if shm then Some (hosted ~label:"tcp" ~shm:false ~tcp:true workers) else None
       in
-      (try Sys.remove path with Sys_error _ -> ());
-      (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+      let result =
+        (main, (if workers <= 1 then None else Some base), tcp_row)
+      in
+      let rec rm p =
+        if Sys.is_directory p then begin
+          Array.iter (fun n -> rm (Filename.concat p n)) (Sys.readdir p);
+          try Unix.rmdir p with Unix.Unix_error _ -> ()
+        end
+        else try Sys.remove p with Sys_error _ -> ()
+      in
+      rm dir;
       result
   in
   let row_fields indent r =
     Printf.sprintf
-      "%s\"workers\": %d,\n\
+      "%s\"transport\": %S,\n\
+       %s\"workers\": %d,\n\
        %s\"queries_served\": %d,\n\
        %s\"wall_seconds\": %.4f,\n\
        %s\"served_queries_per_sec\": %.0f,\n\
        %s\"request_p50_us\": %.1f,\n\
        %s\"request_p99_us\": %.1f,\n\
+       %s\"ring_requests\": %d,\n\
        %s\"mismatches\": %d,\n\
        %s\"errors\": %d,\n\
        %s\"degraded_replies\": %d"
-      indent r.bs_workers indent r.bs_served indent r.bs_seconds indent r.bs_rate
-      indent r.bs_p50 indent r.bs_p99 indent r.bs_mismatches indent r.bs_errors
-      indent r.bs_degraded
+      indent r.bs_transport indent r.bs_workers indent r.bs_served indent r.bs_seconds
+      indent r.bs_rate indent r.bs_p50 indent r.bs_p99 indent r.bs_ring
+      indent r.bs_mismatches indent r.bs_errors indent r.bs_degraded
   in
   let tail =
-    match baseline with
+    (match baseline with
     | None -> ""
     | Some base ->
       Printf.sprintf
@@ -1378,7 +1493,17 @@ let bench_serve circuit budget batch requests clients workers attach out jobs =
         \  \"single_worker_baseline\": {\n%s\n  },\n\
         \  \"speedup_vs_single_worker\": %.3f"
         (row_fields "    " base)
-        (main_row.bs_rate /. base.bs_rate)
+        (main_row.bs_rate /. base.bs_rate))
+    ^
+    match tcp_row with
+    | None -> ""
+    | Some t ->
+      Printf.sprintf
+        ",\n\
+        \  \"tcp_baseline\": {\n%s\n  },\n\
+        \  \"speedup_shm_vs_tcp\": %.3f"
+        (row_fields "    " t)
+        (main_row.bs_rate /. t.bs_rate)
   in
   let json =
     Printf.sprintf
@@ -1388,12 +1513,13 @@ let bench_serve circuit budget batch requests clients workers attach out jobs =
       \  \"clients\": %d,\n\
       \  \"requests_per_client\": %d,\n\
       \  \"batch\": %d,\n\
+      \  \"depth\": %d,\n\
       \  \"host_cores\": %d,\n\
        %s%s\n\
        }\n"
       circuit.Circuit.name
       (match budget with Mps_experiments.Experiments.Quick -> "quick" | _ -> "full")
-      clients per_client batch
+      clients per_client batch depth
       (Domain.recommended_domain_count ())
       (row_fields "  " main_row)
       tail
@@ -1402,10 +1528,13 @@ let bench_serve circuit budget batch requests clients workers attach out jobs =
   Format.printf "wrote %s@." out;
   let mismatches =
     main_row.bs_mismatches
-    + match baseline with Some b -> b.bs_mismatches | None -> 0
+    + (match baseline with Some b -> b.bs_mismatches | None -> 0)
+    + match tcp_row with Some t -> t.bs_mismatches | None -> 0
   in
   if mismatches > 0 then
-    die "%d served answers disagreed with the in-process engine" mismatches
+    die "%d served answers disagreed with the in-process engine" mismatches;
+  if transport = `Shm && main_row.bs_ring = 0 then
+    die "--transport=shm but no request was served over the ring"
 
 let batch_arg =
   Arg.(
@@ -1442,6 +1571,30 @@ let bench_out_arg =
     & opt string "BENCH_SERVE.json"
     & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Where to write the JSON report.")
 
+let transport_arg =
+  Arg.(
+    value
+    & opt (enum [ ("unix", `Unix); ("tcp", `Tcp); ("shm", `Shm) ]) `Unix
+    & info [ "transport" ] ~docv:"KIND"
+        ~doc:
+          "Transport under test.  $(b,unix) (default): Unix-domain socket.  \
+           $(b,tcp): loopback TCP.  $(b,shm): the co-located shared-memory fast \
+           path — clients negotiate a per-session ring over a Unix socket and route \
+           batches through it, with MPSZ descriptor replies; a loopback-TCP run of \
+           the same shape is measured in the same process and the report carries \
+           both rows plus $(b,speedup_shm_vs_tcp).")
+
+let depth_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "depth" ] ~docv:"N"
+        ~doc:
+          "Requests each client keeps in flight at once.  $(docv) = 1 (default): \
+           one blocking request at a time.  $(docv) > 1: pipelined windows of \
+           $(docv) requests; the reported per-request latency is each window's \
+           wall time split evenly (amortized).")
+
 let bench_workers_arg =
   Arg.(
     value
@@ -1464,7 +1617,8 @@ let bench_serve_cmd =
           carries both blocks plus the speedup.  Exits 1 on any mismatch.")
     Term.(
       const bench_serve $ circuit_arg $ budget_arg $ batch_arg $ requests_arg
-      $ clients_arg $ bench_workers_arg $ attach_arg $ bench_out_arg $ jobs_arg)
+      $ clients_arg $ bench_workers_arg $ attach_arg $ bench_out_arg $ jobs_arg
+      $ transport_arg $ depth_arg)
 
 let () =
   let doc = "multi-placement structures for analog placement (DATE 2005 reproduction)" in

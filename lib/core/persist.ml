@@ -153,6 +153,46 @@ let real_map_words path =
       | exception Unix.Unix_error (err, fn, _) ->
         raise (Sys_error (Printf.sprintf "%s: %s(%s)" path (Unix.error_message err) fn)))
 
+(* A read-write MAP_SHARED word view — the substrate of the shm ring
+   transport (Mps_serve.Shm): both sides of a session map the same
+   file-backed ring and stores become visible to the peer without a
+   syscall.  [size = Some n] creates (or truncates) the file at [n]
+   bytes first, which is the server/owner side; [size = None] maps an
+   existing file as-is, the client/attach side.  Deliberately NOT part
+   of the injectable {!io} record: ring faults are modelled at the
+   frame level (Mps_serve.Shm hooks), not the mapping level. *)
+let map_shared ?size ~path () =
+  let flags, perm =
+    match size with
+    | Some _ -> ([ Unix.O_RDWR; Unix.O_CREAT ], 0o600)
+    | None -> ([ Unix.O_RDWR ], 0)
+  in
+  let fd =
+    match Unix.openfile path flags perm with
+    | fd -> fd
+    | exception Unix.Unix_error (err, fn, _) ->
+      raise (Sys_error (Printf.sprintf "%s: %s(%s)" path (Unix.error_message err) fn))
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      match
+        let bytes =
+          match size with
+          | Some n ->
+            Unix.ftruncate fd n;
+            n
+          | None -> (Unix.fstat fd).Unix.st_size
+        in
+        let nwords = bytes / 8 in
+        ( Bigarray.array1_of_genarray
+            (Unix.map_file fd Bigarray.int Bigarray.c_layout true [| nwords |]),
+          bytes )
+      with
+      | view -> view
+      | exception Unix.Unix_error (err, fn, _) ->
+        raise (Sys_error (Printf.sprintf "%s: %s(%s)" path (Unix.error_message err) fn)))
+
 let default_io =
   {
     read_file = real_read_file;

@@ -86,3 +86,14 @@ val map_words : path:string -> words * int
 (** The whole file as a mapped word view plus its byte size, through
     the current {!io} backend.  @raise Sys_error when the file is
     missing or the mapping fails. *)
+
+val map_shared : ?size:int -> path:string -> unit -> words * int
+(** A {e read-write, MAP_SHARED} word view of the file: stores through
+    the view land in the shared pages and are visible to every other
+    process mapping the same file — the substrate of the shm ring
+    transport ({!Mps_serve.Shm}).  [size = Some n] creates the file if
+    needed and truncates it to [n] bytes first (the ring owner);
+    [size = None] maps the existing file as-is (the attaching peer).
+    Bypasses the injectable {!io} backend on purpose: ring faults are
+    injected at the frame level, not the mapping level.
+    @raise Sys_error when the open, truncate or mapping fails. *)

@@ -80,7 +80,18 @@ type t = {
   mutable workers : unit Domain.t list;
   errors : (int * exn) option array; (* per-worker: lowest failing task *)
   stats : worker_stats array;
+  (* Auto-tuned divisor behind the default scheduling grain
+     [n / (size * chunk_divisor)].  Retuned after every default-grain
+     batch from that batch's steal/chunk ratio: heavy stealing means
+     the split was too coarse to balance (finer chunks), near-zero
+     stealing means claim traffic is pure overhead (coarser chunks).
+     Scheduling grain never affects results, so tuning is invisible in
+     the output — only in the claim/steal counters. *)
+  mutable chunk_divisor : int;
 }
+
+let min_chunk_divisor = 2
+let max_chunk_divisor = 32
 
 let default_jobs_cap = 8
 
@@ -245,6 +256,7 @@ let create ?jobs () =
       workers = [];
       errors = Array.make size None;
       stats = Array.init size (fun _ -> fresh_stats ());
+      chunk_divisor = 8;
     }
   in
   if size > 1 then
@@ -268,14 +280,33 @@ let with_pool ?jobs f =
    the failure of the lowest failing task index, if any.  [chunk] is
    the scheduling grain: tasks are claimed (and stolen) [chunk] at a
    time. *)
+let steal_chunk_totals t =
+  Array.fold_left (fun (s, c) w -> (s + w.st_steals, c + w.st_chunks)) (0, 0) t.stats
+
+(* One retuning step from the finished batch's steal ratio.  The
+   thresholds bracket a wide dead band so the divisor settles instead
+   of oscillating; doubling/halving converges in a few batches from
+   either extreme. *)
+let retune t ~steals ~chunks =
+  if chunks > 0 then begin
+    let ratio = float_of_int steals /. float_of_int chunks in
+    if ratio > 0.25 then
+      t.chunk_divisor <- imin max_chunk_divisor (t.chunk_divisor * 2)
+    else if ratio < 0.05 then
+      t.chunk_divisor <- imax min_chunk_divisor (t.chunk_divisor / 2)
+  end
+
+let chunk_divisor t = t.chunk_divisor
+
 let run_batch t ?chunk ~n body =
   if t.stopping then invalid_arg "Pool: used after shutdown";
   if n > max_tasks then invalid_arg "Pool: batch too large";
+  let auto = chunk = None in
   let chunk =
     match chunk with
     | Some c when c >= 1 -> c
     | Some _ -> invalid_arg "Pool: chunk must be >= 1"
-    | None -> imax 1 (n / (t.size * 8))
+    | None -> imax 1 (n / (t.size * t.chunk_divisor))
   in
   if n <= 0 then ()
   else if t.size = 1 then begin
@@ -295,6 +326,7 @@ let run_batch t ?chunk ~n body =
   end
   else begin
     Array.fill t.errors 0 t.size None;
+    let steals0, chunks0 = if auto then steal_chunk_totals t else (0, 0) in
     (* Never wake more workers than there are chunks to run.  The
        caller always participates and takes the last slot, so slots
        0 .. parts-2 belong to spawned workers. *)
@@ -321,6 +353,12 @@ let run_batch t ?chunk ~n body =
     done;
     t.batch <- None;
     Mutex.unlock t.mutex;
+    (* the finished handshake above makes the workers' stats writes
+       visible, so the batch's steal/chunk delta is exact *)
+    (if auto && parts > 1 then begin
+       let steals1, chunks1 = steal_chunk_totals t in
+       retune t ~steals:(steals1 - steals0) ~chunks:(chunks1 - chunks0)
+     end);
     let first =
       Array.fold_left
         (fun acc e ->

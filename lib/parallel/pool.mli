@@ -59,10 +59,22 @@ val jobs : t -> int
 val map : t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map pool f tasks] applies [f] to every task and returns the
     results in task order.  Tasks run concurrently under the chunked
-    work-stealing scheduler (default grain: [n / (jobs * 8)] tasks per
-    chunk, at least 1); if any task raises, the exception of the
-    {e lowest} failing task index is re-raised after the batch
-    completes, so failures are deterministic too. *)
+    work-stealing scheduler (default grain: [n / (jobs * d)] tasks per
+    chunk, at least 1, where [d] is the auto-tuned {!chunk_divisor});
+    if any task raises, the exception of the {e lowest} failing task
+    index is re-raised after the batch completes, so failures are
+    deterministic too. *)
+
+val chunk_divisor : t -> int
+(** The divisor [d] behind the default scheduling grain
+    [n / (jobs * d)].  Starts at 8 and is retuned after every
+    default-grain parallel batch from that batch's steal/chunk ratio:
+    above 25% stolen chunks the split was too coarse to balance and
+    [d] doubles (finer chunks), below 5% the claim traffic is pure
+    overhead and [d] halves (coarser chunks); clamped to [2 .. 32].
+    Tuning moves only the scheduling grain — results are in task order
+    and bit-identical under any divisor, and an explicit [?chunk]
+    bypasses both the default and the tuning. *)
 
 val map_chunked : t -> ?chunk:int -> (worker:int -> 'a -> 'b) -> 'a array -> 'b array
 (** [map_chunked pool ~chunk f tasks] — like {!map}, with the

@@ -28,6 +28,20 @@ type stats = {
   hedges : int;
   hedge_wins : int;
   pipelined : int;
+  ring_requests : int;
+}
+
+(* The client-side view of a server container (DESIGN.md §13): where
+   the [*.mpsz] file behind a circuit lives, so descriptor replies can
+   be validated (and read) against our own read-only mapping of the
+   same inode.  Mapped lazily on the first descriptor reply; remapped
+   when the reply epoch moves past the mapping (a reload republished
+   the file). *)
+type container = {
+  c_path : string;
+  mutable c_words : int;  (* descriptor bound: the mapping size once mapped *)
+  mutable c_epoch : int;
+  mutable c_map : Mps_core.Persist.words option;
 }
 
 (* A parked in-flight request.  The reply pump routes each frame to
@@ -51,12 +65,20 @@ type t = {
   inflight : (int, slot) Hashtbl.t;
   inbuf : Bytes.t ref;
   outbuf : Bytes.t ref;
+  (* shm fast path: ask for a ring on connect, give up after repeated
+     failures, and keep the per-circuit container views across
+     reconnects (the mapping outlives the session) *)
+  want_shm : bool;
+  mutable ring : Shm.t option;
+  mutable ring_failed : int;
+  containers : (string, container) Hashtbl.t;
   (* stats *)
   mutable s_connects : int;
   mutable s_retries : int;
   mutable s_hedges : int;
   mutable s_hedge_wins : int;
   mutable s_pipelined : int;
+  mutable s_ring_requests : int;
   (* whether the most recent frame sent may be blindly re-issued — the
      retry/hedge gate *)
   mutable last_idempotent : bool;
@@ -69,7 +91,7 @@ type t = {
 }
 
 let connect ?(transport = Transport.default) ?(max_frame_bytes = Wire.max_frame_default)
-    addr =
+    ?(shm = false) addr =
   (* A daemon that dies mid-request must surface as EPIPE (mapped to
      [Disconnected]), never kill the client process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -83,11 +105,16 @@ let connect ?(transport = Transport.default) ?(max_frame_bytes = Wire.max_frame_
     inflight = Hashtbl.create 8;
     inbuf = ref (Bytes.create 4096);
     outbuf = ref (Bytes.create 4096);
+    want_shm = shm;
+    ring = None;
+    ring_failed = 0;
+    containers = Hashtbl.create 4;
     s_connects = 0;
     s_retries = 0;
     s_hedges = 0;
     s_hedge_wins = 0;
     s_pipelined = 0;
+    s_ring_requests = 0;
     last_idempotent = true;
     lat = Array.make 64 0.0;
     lat_n = 0;
@@ -102,12 +129,23 @@ let stats t =
     hedges = t.s_hedges;
     hedge_wins = t.s_hedge_wins;
     pipelined = t.s_pipelined;
+    ring_requests = t.s_ring_requests;
   }
+
+let ring_active t = t.ring <> None
 
 (* Drop the connection and fail everything still in flight on it with
    [err] — a transport failure or desync taints every outstanding
    reply, not just the one we were pumping for. *)
 let poison_with t err =
+  (* The ring session dies with the connection: closing the socket is
+     the server's immediate reap signal, and the closed flag covers the
+     case where it is still polling the ring. *)
+  (match t.ring with
+  | Some ring ->
+    (try Shm.close ring with Shm.Dead _ -> ());
+    t.ring <- None
+  | None -> ());
   (match t.fd with
   | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
   | None -> ());
@@ -125,6 +163,14 @@ let close t =
     t.hedge_peer <- None
   | None -> ()
 
+(* The ring itself failed (torn frame, stale server heartbeat, dead
+   mapping): count it against further negotiation attempts and poison
+   the whole connection — reconnecting renegotiates (or gives up and
+   stays on the socket). *)
+let ring_dead t msg =
+  t.ring_failed <- t.ring_failed + 1;
+  poison_with t (Disconnected ("shm session dead: " ^ msg))
+
 let sockaddr_of = function
   | Server.Unix_path path -> Unix.ADDR_UNIX path
   | Server.Tcp (host, port) ->
@@ -136,32 +182,6 @@ let sockaddr_of = function
           raise (Unix.Unix_error (Unix.EINVAL, "gethostbyname", host)))
     in
     Unix.ADDR_INET (inet, port)
-
-let ensure_connected t =
-  match t.fd with
-  | Some fd -> Ok fd
-  | None -> (
-    match
-      let fd =
-        Unix.socket ~cloexec:true
-          (match t.addr with Server.Unix_path _ -> Unix.PF_UNIX | _ -> Unix.PF_INET)
-          Unix.SOCK_STREAM 0
-      in
-      (try
-         Unix.connect fd (sockaddr_of t.addr);
-         try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ()
-       with e ->
-         (try Unix.close fd with Unix.Unix_error _ -> ());
-         raise e);
-      fd
-    with
-    | fd ->
-      t.fd <- Some fd;
-      t.s_connects <- t.s_connects + 1;
-      Ok fd
-    | exception Unix.Unix_error (err, fn, _) ->
-      Error (Disconnected (Printf.sprintf "connect: %s: %s" fn (Unix.error_message err)))
-    )
 
 let prefix = Wire.frame_prefix_bytes
 let req_header = Wire.request_header_bytes
@@ -186,22 +206,11 @@ let hedge_delay t =
     Float.max 0.002 (p99 *. 1.5)
   end
 
-(* Receive one frame and deliver it to its slot.  Any transport
-   failure or protocol desync poisons the connection (failing every
-   in-flight slot), so a caller looping on an unresolved cell always
-   makes progress. *)
-let pump_one t fd ~deadline =
-  match
-    Wire.recv_frame t.transport ?deadline ~max_bytes:t.max_frame_bytes ~buf:t.inbuf fd
-  with
-  | exception Wire.Timed_out -> poison_with t Timed_out
-  | exception Wire.Closed -> poison_with t (Disconnected "connection closed by server")
-  | exception Wire.Truncated msg -> poison_with t (Disconnected msg)
-  | exception Wire.Too_large n ->
-    poison_with t (Disconnected (Printf.sprintf "oversized reply frame (%d bytes)" n))
-  | exception Unix.Unix_error (err, fn, _) ->
-    poison_with t (Disconnected (Printf.sprintf "%s: %s" fn (Unix.error_message err)))
-  | len -> (
+(* Deliver one received reply (already in [t.inbuf], payload at offset
+   0 — both the socket and the ring present frames this way) to its
+   slot.  Any protocol desync poisons the connection. *)
+let deliver t ~len =
+  (
     let b = !(t.inbuf) in
     match
       let status_i = Wire.get_u8 b ~len 0 in
@@ -253,11 +262,71 @@ let pump_one t fd ~deadline =
             if err_status = Wire.Err_worker_lost then
               poison_with t (Disconnected "worker lost"))))
 
+(* Receive one frame from the socket and deliver it.  Any transport
+   failure poisons the connection (failing every in-flight slot), so a
+   caller looping on an unresolved cell always makes progress. *)
+let pump_one t fd ~deadline =
+  match
+    Wire.recv_frame t.transport ?deadline ~max_bytes:t.max_frame_bytes ~buf:t.inbuf fd
+  with
+  | exception Wire.Timed_out -> poison_with t Timed_out
+  | exception Wire.Closed -> poison_with t (Disconnected "connection closed by server")
+  | exception Wire.Truncated msg -> poison_with t (Disconnected msg)
+  | exception Wire.Too_large n ->
+    poison_with t (Disconnected (Printf.sprintf "oversized reply frame (%d bytes)" n))
+  | exception Unix.Unix_error (err, fn, _) ->
+    poison_with t (Disconnected (Printf.sprintf "%s: %s" fn (Unix.error_message err)))
+  | len -> deliver t ~len
+
+(* Ring-aware pump: spin on the reply ring (the hot path is
+   syscall-free), then fall into a sleep phase whose select doubles as
+   the socket poll — the socket still carries control replies,
+   oversized replies and farewells, and its readability is also how a
+   dead server is noticed fastest. *)
+let pump_ring t ring fd ~deadline =
+  let rec go spins =
+    match Shm.try_recv ring ~buf:t.inbuf with
+    | exception Shm.Dead msg -> ring_dead t msg
+    | Some len -> deliver t ~len
+    | None ->
+      if spins < 200 then begin
+        Domain.cpu_relax ();
+        go (spins + 1)
+      end
+      else if spins < 232 then begin
+        (* middle gear (see [Shm.wait_step]): on a core shared with
+           the daemon, hand it the core instead of blocking 200 us in
+           select while it is runnable *)
+        Thread.yield ();
+        go (spins + 1)
+      end
+      else begin
+        Shm.heartbeat ring;
+        if Shm.peer_closed ring then ring_dead t "server closed the session"
+        else if not (Shm.peer_alive ring ~timeout:3.0) then
+          ring_dead t "server heartbeat stale"
+        else
+          match deadline with
+          | Some d when Unix.gettimeofday () > d -> poison_with t Timed_out
+          | _ -> (
+            match Unix.select [ fd ] [] [] 0.0002 with
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> go spins
+            | [], _, _ -> go spins
+            | _ready, _, _ -> pump_one t fd ~deadline)
+      end
+  in
+  go 0
+
+let pump t fd ~deadline =
+  match t.ring with
+  | Some ring -> pump_ring t ring fd ~deadline
+  | None -> pump_one t fd ~deadline
+
 (* Register [slot] and send one request frame.  On a send failure the
    connection is poisoned — but a daemon that died mid-send may have
    left a farewell in the socket buffer, so salvage it first: a typed
    refusal is a better answer than "broken pipe". *)
-let issue t fd ~opcode ~deadline ~build slot =
+let issue ?(via_ring = false) t fd ~opcode ~deadline ~build slot =
   t.last_idempotent <- Wire.idempotent opcode;
   let req_id = t.next_req_id in
   t.next_req_id <- (if req_id >= 0xffffffff then 1 else req_id + 1);
@@ -276,16 +345,101 @@ let issue t fd ~opcode ~deadline ~build slot =
     Wire.set_u8 b prefix (Wire.opcode_to_int opcode);
     Wire.set_u32 b (prefix + 1) req_id;
     Wire.set_u32 b (prefix + 5) deadline_us;
-    Wire.send_frame t.transport fd b ~payload_len
+    (* A ring-routed request is answered in ring reply format whichever
+       channel carries the reply, so the route must be decided before
+       the parse closure is built — [via_ring] comes from the caller,
+       never inferred here. *)
+    match (if via_ring then t.ring else None) with
+    | Some ring ->
+      t.s_ring_requests <- t.s_ring_requests + 1;
+      Shm.send ?deadline ring b ~off:prefix ~len:payload_len
+    | None ->
+      if via_ring then
+        (* the caller routed to a ring that vanished meanwhile: the
+           reply format would desync, so fail fast instead *)
+        raise (Shm.Dead "ring vanished before send");
+      Wire.send_frame t.transport fd b ~payload_len
   with
   | () -> ()
+  | exception Shm.Timeout -> poison_with t Timed_out
+  | exception Shm.Dead msg -> ring_dead t msg
   | exception Unix.Unix_error (((Unix.EPIPE | Unix.ECONNRESET) as err), fn, _) ->
     let salvage = Unix.gettimeofday () +. 0.2 in
     let salvage = match deadline with Some d -> Float.min d salvage | None -> salvage in
-    pump_one t fd ~deadline:(Some salvage);
+    (* drain, not peek: data replies may sit ahead of the farewell, and
+       every one of them resolves an in-flight request typed.  Each
+       pump either resolves a slot, delivers the farewell (which
+       poisons), or hits EOF (which poisons) — so this terminates. *)
+    while t.fd <> None && Hashtbl.length t.inflight > 0 && Unix.gettimeofday () < salvage
+    do
+      pump_one t fd ~deadline:(Some salvage)
+    done;
     poison_with t (Disconnected (Printf.sprintf "%s: %s" fn (Unix.error_message err)))
   | exception Unix.Unix_error (err, fn, _) ->
     poison_with t (Disconnected (Printf.sprintf "%s: %s" fn (Unix.error_message err)))
+
+(* Negotiate the shm fast path on a fresh connection: one Shm_hello
+   roundtrip on the socket; on acceptance, attach the ring file the
+   server created for this session.  A decline or a failed attach
+   counts against [ring_failed] — after 3 strikes the client stops
+   asking and stays on the socket for good. *)
+let negotiate_ring t fd =
+  let cell = ref None in
+  let deadline = Some (Unix.gettimeofday () +. 5.0) in
+  let slot =
+    {
+      s_parse =
+        (fun b ~len _meta ->
+          if Wire.get_u8 b ~len rep_header = 1 then
+            let path, _ = Wire.get_string16 b ~len (rep_header + 5) in
+            cell := Some (Some path)
+          else cell := Some None);
+      s_refuse = (fun _ _ -> cell := Some None);
+      s_fail = (fun _ -> if !cell = None then cell := Some None);
+    }
+  in
+  issue t fd ~opcode:Wire.Shm_hello ~deadline ~build:(fun _ -> 0) slot;
+  while !cell = None && t.fd <> None do
+    pump_one t fd ~deadline
+  done;
+  match !cell with
+  | Some (Some path) -> (
+    match Shm.attach ~path () with
+    | ring ->
+      Shm.heartbeat ring;
+      t.ring <- Some ring
+    | exception Shm.Dead _ -> t.ring_failed <- t.ring_failed + 1)
+  | _ -> t.ring_failed <- t.ring_failed + 1
+
+let ensure_connected t =
+  match t.fd with
+  | Some fd -> Ok fd
+  | None -> (
+    match
+      let fd =
+        Unix.socket ~cloexec:true
+          (match t.addr with Server.Unix_path _ -> Unix.PF_UNIX | _ -> Unix.PF_INET)
+          Unix.SOCK_STREAM 0
+      in
+      (try
+         Unix.connect fd (sockaddr_of t.addr);
+         try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ()
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e);
+      fd
+    with
+    | fd -> (
+      t.fd <- Some fd;
+      t.s_connects <- t.s_connects + 1;
+      if t.want_shm && t.ring_failed < 3 then negotiate_ring t fd;
+      (* negotiation may have poisoned the connection under us *)
+      match t.fd with
+      | Some fd -> Ok fd
+      | None -> Error (Disconnected "connection lost during shm negotiation"))
+    | exception Unix.Unix_error (err, fn, _) ->
+      Error (Disconnected (Printf.sprintf "connect: %s: %s" fn (Unix.error_message err)))
+    )
 
 (* Pump until the cell resolves.  Poisoning fails every registered
    slot, so each iteration either resolves the cell or strictly
@@ -298,12 +452,12 @@ let await t cell ~deadline =
       match t.fd with
       | None -> Error (Disconnected "connection poisoned")
       | Some fd ->
-        pump_one t fd ~deadline;
+        pump t fd ~deadline;
         go ())
   in
   go ()
 
-let roundtrip ?budget t ~opcode ~build ~parse =
+let roundtrip ?budget ?(via_ring = false) t ~opcode ~build ~parse =
   match ensure_connected t with
   | Error e ->
     t.last_idempotent <- Wire.idempotent opcode;
@@ -319,7 +473,7 @@ let roundtrip ?budget t ~opcode ~build ~parse =
         s_fail = (fun e -> if !cell = None then cell := Some (Error e));
       }
     in
-    issue t fd ~opcode ~deadline ~build slot;
+    issue t fd ~via_ring ~opcode ~deadline ~build slot;
     let r = await t cell ~deadline in
     (match r with
     | Ok _ -> record_latency t (Unix.gettimeofday () -. start)
@@ -336,7 +490,10 @@ let health ?budget t =
     ~build:(fun _ -> 0)
     ~parse:(fun b ~len _meta -> Wire.get_health b ~len rep_header)
 
-(* Open (or look up) this connection's handle for a circuit. *)
+(* Open (or look up) this connection's handle for a circuit.  The open
+   reply's container trailer (DESIGN.md §13) tells us where the mpsz
+   file behind the entry lives, so descriptor replies can be validated
+   against our own mapping of it. *)
 let handle_for ?budget t circuit =
   match Hashtbl.find_opt t.handles circuit with
   | Some hb -> Ok hb
@@ -345,9 +502,17 @@ let handle_for ?budget t circuit =
       roundtrip ?budget t ~opcode:Wire.Open_circuit
         ~build:(fun outbuf ->
           Wire.put_string16 outbuf (prefix + req_header) circuit - (prefix + req_header))
-        ~parse:(fun b ~len _meta ->
+        ~parse:(fun b ~len meta ->
           let handle = Wire.get_u16 b ~len rep_header in
           let n_blocks = Wire.get_u16 b ~len (rep_header + 3) in
+          (if len > rep_header + 9 && Wire.get_u8 b ~len (rep_header + 9) = 1 then begin
+             let words = Wire.get_u32 b ~len (rep_header + 10) in
+             let path, _ = Wire.get_string16 b ~len (rep_header + 14) in
+             (* drop any previous mapping: one mmap per (re)open is
+                cheap and always matches the entry we just opened *)
+             Hashtbl.replace t.containers circuit
+               { c_path = path; c_words = words; c_epoch = meta.epoch; c_map = None }
+           end);
           (handle, n_blocks))
     with
     | Ok hb ->
@@ -393,25 +558,121 @@ let parse_ids b ~len count =
   let base = rep_header + 4 in
   Array.init count (fun i -> Wire.get_i32 b ~len (base + (i * 4)))
 
+(* ---- the shm fast path ------------------------------------------- *)
+
+(* Route a batch through the ring only when both directions can carry
+   it: the request frame, and the worst-case reply (descriptor triples
+   for queries, rect payloads for instantiation).  Anything bigger
+   stays on the socket. *)
+let ring_for_batch t ~count ~n ~instantiate =
+  match t.ring with
+  | None -> false
+  | Some ring ->
+    let req = req_header + 6 + (count * 4 * n) in
+    let rep = rep_header + 5 + (count * (if instantiate then 16 * n else 12)) in
+    Shm.tx_fits ring ~len:req && Shm.rx_fits ring ~len:rep
+
+(* The container view a descriptor reply points into, mapped on first
+   use and remapped when the reply epoch moved past the mapping (a
+   reload republished the file).  Raises [Wire.Truncated] — i.e. the
+   reply is undeliverable — when there is no container or it cannot be
+   mapped; the pump turns that into a typed [Disconnected]. *)
+let container_view t ~circuit ~epoch =
+  match Hashtbl.find_opt t.containers circuit with
+  | None -> raise (Wire.Truncated "descriptor reply for an unmapped container")
+  | Some c ->
+    if c.c_map = None || epoch <> c.c_epoch then
+      (match Mps_core.Persist.map_words ~path:c.c_path with
+      | words, _bytes ->
+        c.c_map <- Some words;
+        c.c_words <- Bigarray.Array1.dim words;
+        c.c_epoch <- epoch
+      | exception (Sys_error _ | Unix.Unix_error _) ->
+        raise
+          (Wire.Truncated
+             (Printf.sprintf "container %s cannot be mapped" c.c_path)));
+    c
+
+(* Bounds-check one descriptor against the mapped container, then read
+   through the mapping: the zero-copy answer is the record's words in
+   the server's own mpsz file, not bytes copied over a channel. *)
+let check_descr c ~off ~words =
+  if off < 0 || words <= 0 || off + words > c.c_words then
+    raise
+      (Wire.Truncated
+         (Printf.sprintf "descriptor [%d, +%d) outside container (%d words)" off
+            words c.c_words));
+  match c.c_map with
+  | Some m ->
+    ignore (Bigarray.Array1.get m off : int);
+    ignore (Bigarray.Array1.get m (off + words - 1) : int)
+  | None -> ()
+
+(* A ring-routed batch reply: a kind byte (0 inline, 1 descriptors),
+   then the counted items.  Descriptors are validated against (and
+   read through) the client's own mapping of the server's container. *)
+let parse_ring_ids t ~circuit ~epoch b ~len count =
+  let kind = Wire.get_u8 b ~len rep_header in
+  let base = rep_header + 1 in
+  let got = Wire.get_u32 b ~len base in
+  if got <> count then
+    raise (Wire.Truncated (Printf.sprintf "%d results for %d queries" got count));
+  match kind with
+  | 0 -> Array.init count (fun i -> Wire.get_i32 b ~len (base + 4 + (i * 4)))
+  | 1 ->
+    let c = container_view t ~circuit ~epoch in
+    Array.init count (fun i ->
+        let off = base + 4 + (i * 12) in
+        let id = Wire.get_i32 b ~len off in
+        if id >= 0 then
+          check_descr c
+            ~off:(Wire.get_u32 b ~len (off + 4))
+            ~words:(Wire.get_u32 b ~len (off + 8));
+        id)
+  | k -> raise (Wire.Truncated (Printf.sprintf "unknown ring reply kind %d" k))
+
 let query_ids ?budget t ~circuit dims =
   match handle_for ?budget t circuit with
   | Error _ as e -> e
   | Ok (handle, n) ->
-    roundtrip ?budget t ~opcode:Wire.Query_batch
+    let count = Array.length dims in
+    let via_ring = ring_for_batch t ~count ~n ~instantiate:false in
+    roundtrip ?budget ~via_ring t ~opcode:Wire.Query_batch
       ~build:(fun outbuf -> put_batch_request outbuf ~handle ~n dims)
-      ~parse:(fun b ~len meta -> (parse_ids b ~len (Array.length dims), meta))
+      ~parse:(fun b ~len meta ->
+        ( (if via_ring then parse_ring_ids t ~circuit ~epoch:meta.epoch b ~len count
+           else parse_ids b ~len count),
+          meta ))
 
 let instantiate ?budget t ~circuit dims =
   match handle_for ?budget t circuit with
   | Error _ as e -> e
   | Ok (handle, n) ->
-    roundtrip ?budget t ~opcode:Wire.Instantiate_batch
+    let count = Array.length dims in
+    let via_ring = ring_for_batch t ~count ~n ~instantiate:true in
+    roundtrip ?budget ~via_ring t ~opcode:Wire.Instantiate_batch
       ~build:(fun outbuf -> put_batch_request outbuf ~handle ~n dims)
       ~parse:(fun b ~len meta ->
-        check_count b ~len (Array.length dims);
-        let base = rep_header + 4 in
+        (* instantiation answers are always inline rects; a ring reply
+           only differs by its kind byte in front of the count *)
+        let head =
+          if via_ring then begin
+            let kind = Wire.get_u8 b ~len rep_header in
+            if kind <> 0 then
+              raise
+                (Wire.Truncated
+                   (Printf.sprintf "descriptor reply (kind %d) to instantiate" kind));
+            rep_header + 1
+          end
+          else rep_header
+        in
+        let got = Wire.get_u32 b ~len head in
+        if got <> count then
+          raise
+            (Wire.Truncated (Printf.sprintf "%d results for %d queries" got count));
+        let base = head + 4 in
         let item = 16 * n in
-        (Array.init (Array.length dims) (fun i ->
+        (Array.init count (fun i ->
              Array.init n (fun j ->
                  let off = base + (i * item) + (j * 16) in
                  Rect.make
@@ -451,12 +712,18 @@ let query_ids_pipelined ?budget ?(depth = 8) t ~circuit batches =
         incr resolved
       end
     in
-    let slot_for i =
+    let slot_for ~ring i =
       let c = cells.(i) in
       {
         s_parse =
           (fun b ~len meta ->
-            set c (Ok (parse_ids b ~len (Array.length batches.(i)), meta)));
+            let count = Array.length batches.(i) in
+            set c
+              (Ok
+                 ( (if ring then
+                      parse_ring_ids t ~circuit ~epoch:meta.epoch b ~len count
+                    else parse_ids b ~len count),
+                   meta )));
         s_refuse = (fun st msg -> set c (Error (Refused (st, msg))));
         s_fail = (fun e -> set c (Error e));
       }
@@ -475,13 +742,17 @@ let query_ids_pipelined ?budget ?(depth = 8) t ~circuit batches =
           if !next < nb && Hashtbl.length t.inflight < depth then begin
             let i = !next in
             incr next;
-            issue t fd ~opcode:Wire.Query_batch ~deadline
+            let via_ring =
+              ring_for_batch t ~count:(Array.length batches.(i)) ~n
+                ~instantiate:false
+            in
+            issue t fd ~via_ring ~opcode:Wire.Query_batch ~deadline
               ~build:(fun outbuf -> put_batch_request outbuf ~handle ~n batches.(i))
-              (slot_for i);
+              (slot_for ~ring:via_ring i);
             drive ()
           end
           else begin
-            pump_one t fd ~deadline;
+            pump t fd ~deadline;
             drive ()
           end
     in
@@ -495,15 +766,22 @@ let query_ids_pipelined ?budget ?(depth = 8) t ~circuit batches =
 
 (* ---- hedging ----------------------------------------------------- *)
 
-let hedge_peer t =
+(* The hedge connection is socket-only by construction ([connect]
+   without [~shm]): the race machinery selects on fds, and a hedge is
+   for when the primary daemon is slow — often a different daemon
+   entirely, where no shared memory exists. *)
+let hedge_peer t addr =
   match t.hedge_peer with
-  | Some p -> p
-  | None ->
-    let p = connect ~transport:t.transport ~max_frame_bytes:t.max_frame_bytes t.addr in
+  | Some p when p.addr = addr -> p
+  | prev ->
+    (match prev with
+    | Some p -> poison_with p (Disconnected "hedge peer replaced")
+    | None -> ());
+    let p = connect ~transport:t.transport ~max_frame_bytes:t.max_frame_bytes addr in
     t.hedge_peer <- Some p;
     p
 
-let hedged_query_ids ?budget ?hedge_after t ~circuit dims =
+let hedged_query_ids ?budget ?hedge_after ?(peers = []) t ~circuit dims =
   match handle_for ?budget t circuit with
   | Error _ as e -> e
   | Ok (handle, n) -> (
@@ -530,11 +808,18 @@ let hedged_query_ids ?budget ?hedge_after t ~circuit dims =
         let at = start +. delay in
         match deadline with Some d -> Float.min d at | None -> at
       in
+      (* which daemon the hedge goes to: round-robin over [peers]
+         across calls, or a second connection to our own daemon *)
+      let peer_addr =
+        match peers with
+        | [] -> t.addr
+        | _ -> List.nth peers (t.s_hedges mod List.length peers)
+      in
       let hedged = ref false in
       let launch_hedge () =
         hedged := true;
         t.s_hedges <- t.s_hedges + 1;
-        let p = hedge_peer t in
+        let p = hedge_peer t peer_addr in
         let remaining = Option.map (fun d -> d -. Unix.gettimeofday ()) deadline in
         match remaining with
         | Some r when r <= 0.0 -> cell_b := Some (Error Timed_out)

@@ -65,13 +65,29 @@ type stats = {
   hedges : int;  (** Hedge requests launched. *)
   hedge_wins : int;  (** Races where the hedge answered first. *)
   pipelined : int;  (** Frames sent while another was already in flight. *)
+  ring_requests : int;  (** Requests routed over the shm ring. *)
 }
 
 val connect :
-  ?transport:Transport.t -> ?max_frame_bytes:int -> Server.addr -> t
+  ?transport:Transport.t -> ?max_frame_bytes:int -> ?shm:bool -> Server.addr -> t
 (** Create a client for the address.  No I/O happens until the first
     call (so this never fails); [max_frame_bytes] caps reply frames
-    (default {!Wire.max_frame_default}). *)
+    (default {!Wire.max_frame_default}).
+
+    [~shm:true] asks for the shared-memory fast path (DESIGN.md §13)
+    on every fresh connection: one [Shm_hello] roundtrip, then the
+    client maps the per-session ring file the server created and
+    routes batch queries through it — no syscall per request, and
+    MPSZ-backed answers arrive as descriptors into the container the
+    client maps read-only.  Only sensible for a client co-located with
+    the daemon (the ring file must be the same file on both sides).
+    The socket stays open as the control channel; requests that do not
+    fit the ring, and every non-batch request, use it.  A declined
+    negotiation or a dead ring falls back to the socket; after 3
+    failures the client stops asking. *)
+
+val ring_active : t -> bool
+(** The current connection carries a negotiated shm ring. *)
 
 val close : t -> unit
 (** Close the underlying connection and the hedge connection if one
@@ -120,6 +136,7 @@ val instantiate :
 val hedged_query_ids :
   ?budget:float ->
   ?hedge_after:float ->
+  ?peers:Server.addr list ->
   t ->
   circuit:string ->
   Dims.t array ->
@@ -129,7 +146,16 @@ val hedged_query_ids :
     request latencies, x1.5, floor 2 ms), re-issue the query on a
     second connection and take the first [Ok].  The loser's
     connection is poisoned (its late reply must not desync a later
-    call).  Only ever sends idempotent frames. *)
+    call) — only the loser: the winning connection is untouched.
+    Only ever sends idempotent frames, and always over the socket
+    (never the shm ring).
+
+    [peers] hedges {e across daemons}: the hedge connection goes to
+    one of the listed addresses (round-robin across calls) instead of
+    a second connection to this client's own daemon — so a whole
+    stalled daemon, not just a slow worker, is raced.  The hedge
+    connection is reused while the chosen address is stable and
+    replaced (old one poisoned) when it changes. *)
 
 val reload : ?budget:float -> t -> circuit:string -> (meta, error) result
 (** Ask the server to reload the circuit from disk (epoch bump).

@@ -19,6 +19,10 @@ type config = Supervisor.config = {
   restart_max_delay : float;
   breaker_window : float;
   breaker_max_restarts : int;
+  shm : bool;
+  shm_dir : string option;
+  shm_ring_words : int;
+  shm_heartbeat_timeout : float;
 }
 
 let default_config = Supervisor.default_config
@@ -40,6 +44,9 @@ type stats = Supervisor.stats = {
   worker_restarts : int;
   worker_lost_replies : int;
   breaker_trips : int;
+  shm_sessions : int;
+  shm_served : int;
+  shm_reaped : int;
 }
 
 type t = {
@@ -79,7 +86,7 @@ let bind_retrying fd sockaddr =
   go ()
 
 let create ?(config = default_config) ?transport:(tr = Transport.default) ?fault
-    ~store addr =
+    ?shm_hooks ~store addr =
   (* A peer that vanishes mid-reply must surface as EPIPE on the
      write, never kill the process — the daemon cannot operate under
      the default SIGPIPE disposition, so creating one claims it. *)
@@ -112,7 +119,9 @@ let create ?(config = default_config) ?transport:(tr = Transport.default) ?fault
   Unix.set_nonblock listen_fd;
   let wake_r, wake_w = Unix.pipe ~cloexec:true () in
   let stopping = Atomic.make false in
-  let sup = Supervisor.create ?fault ~config ~transport:tr ~store ~stopping () in
+  let sup =
+    Supervisor.create ?fault ?shm_hooks ~config ~transport:tr ~store ~stopping ()
+  in
   {
     config;
     transport = tr;

@@ -63,6 +63,12 @@ type config = Supervisor.config = {
   breaker_window : float;  (** Sliding window for the restart storm count. *)
   breaker_max_restarts : int;
       (** Crashes inside the window beyond this trip the breaker. *)
+  shm : bool;  (** Accept shm fast-path negotiations (DESIGN.md §13). *)
+  shm_dir : string option;
+      (** Ring-file directory; [None] derives [<store dir>/.shm]. *)
+  shm_ring_words : int;  (** Data words per ring direction. *)
+  shm_heartbeat_timeout : float;
+      (** Staleness budget before a session peer is declared dead. *)
 }
 
 val default_config : config
@@ -86,6 +92,9 @@ type stats = Supervisor.stats = {
   worker_restarts : int;  (** Worker slots respawned. *)
   worker_lost_replies : int;  (** Requests answered [Err_worker_lost]. *)
   breaker_trips : int;
+  shm_sessions : int;  (** Shm ring sessions negotiated. *)
+  shm_served : int;  (** Requests that arrived over a ring. *)
+  shm_reaped : int;  (** Ring sessions torn down (any cause). *)
 }
 
 type t
@@ -94,6 +103,7 @@ val create :
   ?config:config ->
   ?transport:Transport.t ->
   ?fault:(worker:int -> unit) ->
+  ?shm_hooks:Shm.hooks ->
   store:Store.t ->
   addr ->
   t

@@ -1,0 +1,441 @@
+(* The shared-memory fast path for co-located clients (DESIGN.md §13).
+
+   A session is one file-backed mapping holding a pair of
+   single-producer/single-consumer rings: client->server (requests)
+   and server->client (replies).  Both sides map the same file
+   MAP_SHARED ({!Mps_core.Persist.map_shared}), so moving a frame is
+   pointer arithmetic plus one memcpy out of the ring — no syscall, no
+   kernel buffer, no wakeup.  The negotiating socket stays open as the
+   control channel and the universal fallback; nothing here replaces
+   it.
+
+   Layout (8-byte little-endian words; head/tail/heartbeat words sit
+   on their own 64-byte cache line so the two sides never false-share):
+
+     word 0   magic            word 1   version
+     word 2   request-ring data words   word 3   reply-ring data words
+     word 8   client heartbeat          word 16  server heartbeat
+     word 24  request head (consumer)   word 32  request tail (producer)
+     word 40  reply head                word 48  reply tail
+     word 56  flags (bit 0 server closed, bit 1 client closed)
+     word 64  request ring data, then reply ring data
+
+   Head and tail are absolute monotonic word counters (position =
+   counter mod capacity); a frame never wraps — a producer that cannot
+   fit one before the ring's end publishes a skip marker (-1 length
+   word) and continues at the boundary, and the consumer derives the
+   same skip length from its own position.
+
+   Frames carry their own integrity: [len_bytes][crc32][payload
+   words][sidecar words].  The payload crosses the int-bigarray lens,
+   which drops bit 63 of every word, so each sidecar word carries the
+   bit-63s of up to 63 payload words and the reader reassembles exact
+   bytes.  The CRC (over the stored payload+sidecar words, computed
+   with {!Mps_core.Persist.crc32_words} on both sides) is the
+   publication protocol: OCaml has no user-level memory fences, so a
+   reader that catches a frame before all its stores landed sees a CRC
+   mismatch, retries briefly, and — if the mismatch persists (a torn
+   write: the producer died or was corrupted mid-frame) — surfaces a
+   typed {!Dead}, never a wrong answer.
+
+   Liveness is heartbeats, not futexes: each side stamps its
+   heartbeat word with the wall clock while waiting or serving, and
+   {!peer_alive} compares against a staleness budget.  A peer that was
+   kill -9'd stops stamping; the survivor reaps the session.  Waiting
+   is spin-then-[Thread.delay] (nanosleep) backoff — futex-free, so a
+   dead peer can never leave the survivor parked in the kernel. *)
+
+open Mps_core
+
+let magic = 0x4D50_5352 (* "MPSR" *)
+let version = 1
+let header_words = 64
+let default_ring_words = 64 * 1024 (* 512 KiB of data per direction *)
+
+(* header word indices *)
+let i_magic = 0
+let i_version = 1
+let i_req_cap = 2
+let i_rep_cap = 3
+let i_client_hb = 8
+let i_server_hb = 16
+let i_req_head = 24
+let i_req_tail = 32
+let i_rep_head = 40
+let i_rep_tail = 48
+let i_flags = 56
+
+let flag_server_closed = 1
+let flag_client_closed = 2
+
+type publish_fault =
+  | Publish_torn  (** damage one stored word after the CRC: a torn write *)
+  | Publish_corrupt of int * int  (** seed, bit flips across the frame *)
+  | Publish_stall of float  (** wedge before publishing *)
+
+type hooks = {
+  on_publish : unit -> publish_fault option;
+  on_heartbeat : unit -> bool;  (** [true]: suppress this stamp *)
+}
+
+let no_hooks = { on_publish = (fun () -> None); on_heartbeat = (fun () -> false) }
+
+exception Dead of string
+exception Timeout
+
+type role = Owner | Peer
+
+type t = {
+  path : string;
+  role : role;
+  a : Persist.words;
+  tx_base : int;  (* data offset of the ring this side produces into *)
+  tx_cap : int;
+  tx_head : int;  (* header word indices *)
+  tx_tail : int;
+  rx_base : int;
+  rx_cap : int;
+  rx_head : int;
+  rx_tail : int;
+  own_hb : int;
+  peer_hb : int;
+  own_closed : int;  (* flag bit *)
+  peer_closed_bit : int;
+  hooks : hooks;
+  mutable closed : bool;
+}
+
+let path t = t.path
+let ring_words_of_t t = t.tx_cap
+
+(* words a payload of [len] bytes occupies on the ring *)
+let frame_words ~len =
+  let nw = (len + 7) / 8 in
+  let ns = (nw + 62) / 63 in
+  2 + nw + ns
+
+(* A frame larger than half the ring could deadlock the producer
+   against its own skip padding; both sides enforce the same cap. *)
+let tx_max_frame_words t = t.tx_cap / 2
+let rx_max_frame_words t = t.rx_cap / 2
+let tx_fits t ~len = frame_words ~len <= tx_max_frame_words t
+let rx_fits t ~len = frame_words ~len <= rx_max_frame_words t
+
+let now () = Unix.gettimeofday ()
+
+(* Heartbeat words hold the wall clock's IEEE-754 image through the
+   int lens.  Epoch-scale floats set bit 62, so the stored 63-bit int
+   is negative; reading back through [Int64.of_int] would sign-extend
+   that into bit 63 — mask it off (the float is positive, its true
+   bit 63 is 0). *)
+let stamp t =
+  if not (t.hooks.on_heartbeat ()) then
+    t.a.{t.own_hb} <- Int64.to_int (Int64.bits_of_float (now ()))
+
+let heartbeat = stamp
+
+let read_clock t i =
+  let v = t.a.{i} in
+  if v = 0 then None
+  else Some (Int64.float_of_bits (Int64.logand (Int64.of_int v) Int64.max_int))
+
+let peer_started t = t.a.{t.peer_hb} <> 0
+
+let peer_alive t ~timeout =
+  match read_clock t t.peer_hb with
+  | None -> false
+  | Some stamp -> now () -. stamp <= timeout
+
+let peer_closed t = t.a.{i_flags} land t.peer_closed_bit <> 0
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    t.a.{i_flags} <- t.a.{i_flags} lor t.own_closed
+  end
+
+(* Unlink the backing file (the owner, when reaping the session).  The
+   peer's live mapping stays valid on the dead inode — same rule as
+   the MPSZ hot-reload path — so a racing reader degrades to typed
+   errors, never SIGBUS. *)
+let remove t = try Sys.remove t.path with Sys_error _ -> ()
+
+let file_words ~ring_words = header_words + (2 * ring_words)
+
+let make ~path ~role ~hooks a ~req_cap ~rep_cap =
+  let owner = role = Owner in
+  let t =
+    {
+      path;
+      role;
+      a;
+      (* the server produces replies and consumes requests *)
+      tx_base = (if owner then header_words + req_cap else header_words);
+      tx_cap = (if owner then rep_cap else req_cap);
+      tx_head = (if owner then i_rep_head else i_req_head);
+      tx_tail = (if owner then i_rep_tail else i_req_tail);
+      rx_base = (if owner then header_words else header_words + req_cap);
+      rx_cap = (if owner then req_cap else rep_cap);
+      rx_head = (if owner then i_req_head else i_rep_head);
+      rx_tail = (if owner then i_req_tail else i_rep_tail);
+      own_hb = (if owner then i_server_hb else i_client_hb);
+      peer_hb = (if owner then i_client_hb else i_server_hb);
+      own_closed = (if owner then flag_server_closed else flag_client_closed);
+      peer_closed_bit = (if owner then flag_client_closed else flag_server_closed);
+      hooks;
+      closed = false;
+    }
+  in
+  stamp t;
+  t
+
+let create ?(hooks = no_hooks) ?(ring_words = default_ring_words) ~path () =
+  if ring_words < 256 then invalid_arg "Shm.create: ring_words < 256";
+  let total = file_words ~ring_words in
+  let a, _ = Persist.map_shared ~size:(total * 8) ~path () in
+  Bigarray.Array1.fill a 0;
+  a.{i_req_cap} <- ring_words;
+  a.{i_rep_cap} <- ring_words;
+  a.{i_version} <- version;
+  a.{i_magic} <- magic;
+  make ~path ~role:Owner ~hooks a ~req_cap:ring_words ~rep_cap:ring_words
+
+let attach ?(hooks = no_hooks) ~path () =
+  let a, bytes =
+    try Persist.map_shared ~path ()
+    with Sys_error msg -> raise (Dead ("shm attach: " ^ msg))
+  in
+  if Bigarray.Array1.dim a < header_words then raise (Dead "shm attach: runt file");
+  if a.{i_magic} <> magic then raise (Dead "shm attach: bad magic");
+  if a.{i_version} <> version then raise (Dead "shm attach: unsupported version");
+  let req_cap = a.{i_req_cap} and rep_cap = a.{i_rep_cap} in
+  if
+    req_cap < 256 || rep_cap < 256
+    || (header_words + req_cap + rep_cap) * 8 <> bytes
+  then raise (Dead "shm attach: malformed ring geometry");
+  make ~path ~role:Peer ~hooks a ~req_cap ~rep_cap
+
+(* ---- frame encode / decode -------------------------------------- *)
+
+(* Payload word [i] as the Int64 of bytes [off + 8i ..]; the last word
+   is zero-padded past [len]. *)
+let word_of_bytes b ~off ~len i =
+  let p = off + (i * 8) in
+  if p + 8 <= off + len then Bytes.get_int64_le b p
+  else begin
+    let v = ref 0L in
+    for k = off + len - 1 downto p do
+      v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code (Bytes.get b k)))
+    done;
+    !v
+  end
+
+let seeded_flips ~seed ~flips a ~pos ~len =
+  let rng = Mps_rng.Rng.create ~seed in
+  for _ = 1 to flips do
+    let i = pos + Mps_rng.Rng.int rng len in
+    let bit = Mps_rng.Rng.int rng 63 in
+    a.{i} <- a.{i} lxor (1 lsl bit)
+  done
+
+(* Spin-then-nanosleep while the producer waits for ring space.  The
+   deadline and peer liveness are re-checked on every backoff step, so
+   a dead or wedged consumer surfaces as a typed error, never a hang. *)
+let wait_step t ~spins ~deadline ~hb_timeout =
+  if t.closed then raise (Dead "shm session closed");
+  if peer_closed t then raise (Dead "shm peer closed");
+  (match deadline with Some d when now () > d -> raise Timeout | _ -> ());
+  stamp t;
+  if peer_started t && not (peer_alive t ~timeout:hb_timeout) then
+    raise (Dead "shm peer heartbeat stale");
+  if !spins < 200 then begin
+    incr spins;
+    Domain.cpu_relax ()
+  end
+  else if !spins < 232 then begin
+    (* middle gear for oversubscribed hosts: when the peer shares this
+       core, spinning only burns the timeslice it needs and a 200 us
+       nanosleep overshoots a burst that drains in tens — sched_yield
+       hands the core straight to the runnable peer *)
+    incr spins;
+    Thread.yield ()
+  end
+  else Thread.delay 0.0002
+
+let send ?deadline ?(hb_timeout = 3.0) t b ~off ~len =
+  if t.closed then raise (Dead "shm session closed");
+  let nw = (len + 7) / 8 in
+  let ns = (nw + 62) / 63 in
+  let fw = 2 + nw + ns in
+  if fw > tx_max_frame_words t then
+    invalid_arg
+      (Printf.sprintf "Shm.send: %d-byte frame exceeds the ring (check tx_fits)" len);
+  let a = t.a in
+  let cap = t.tx_cap in
+  (* wait for contiguous space (including skip padding to the boundary) *)
+  let spins = ref 0 in
+  let rec reserve () =
+    let head = a.{t.tx_head} in
+    let tail = a.{t.tx_tail} in
+    let pos = tail mod cap in
+    let room = cap - pos in
+    let need = if fw <= room then fw else room + fw in
+    if tail - head + need <= cap then (tail, pos, room)
+    else begin
+      wait_step t ~spins ~deadline ~hb_timeout;
+      reserve ()
+    end
+  in
+  let tail, pos, room = reserve () in
+  let tail, pos =
+    if fw <= room then (tail, pos)
+    else begin
+      (* skip marker: the frame would wrap; pad to the boundary *)
+      a.{t.tx_base + pos} <- -1;
+      a.{t.tx_tail} <- tail + room;
+      (tail + room, 0)
+    end
+  in
+  let slot = t.tx_base + pos in
+  let data = slot + 2 in
+  for i = 0 to nw - 1 do
+    let w = word_of_bytes b ~off ~len i in
+    Bigarray.Array1.unsafe_set a (data + i) (Int64.to_int w);
+    if Int64.logand w Int64.min_int <> 0L then begin
+      let s = data + nw + (i / 63) in
+      a.{s} <- a.{s} lor (1 lsl (i mod 63))
+    end
+  done;
+  (* sidecar words not touched by the loop above must not inherit
+     stale ring content *)
+  for j = 0 to ns - 1 do
+    let s = data + nw + j in
+    let base = j * 63 in
+    let mask = ref 0 in
+    for k = 0 to 62 do
+      let i = base + k in
+      if i < nw && Int64.logand (word_of_bytes b ~off ~len i) Int64.min_int <> 0L
+      then mask := !mask lor (1 lsl k)
+    done;
+    a.{s} <- !mask
+  done;
+  let crc =
+    Int32.to_int (Persist.crc32_words a ~pos:data ~len:(nw + ns)) land 0xFFFF_FFFF
+  in
+  a.{slot + 1} <- crc;
+  a.{slot} <- len;
+  (match t.hooks.on_publish () with
+  | None -> ()
+  | Some (Publish_stall s) -> Thread.delay s
+  | Some Publish_torn ->
+    (* a word of the frame never lands (producer torn mid-write): the
+       consumer must see a CRC mismatch, not a wrong answer *)
+    a.{data} <- a.{data} lxor 0x5A5A_5A5A
+  | Some (Publish_corrupt (seed, flips)) ->
+    seeded_flips ~seed ~flips a ~pos:data ~len:(nw + ns));
+  a.{t.tx_tail} <- tail + fw;
+  stamp t
+
+(* Reconstruct payload bytes from stored words plus the bit-63
+   sidecar. *)
+let copy_out t ~slot ~len ~nw buf =
+  Wire.ensure buf len;
+  let b = !buf in
+  let a = t.a in
+  let data = slot + 2 in
+  for i = 0 to nw - 1 do
+    let stored = Bigarray.Array1.unsafe_get a (data + i) in
+    let hi =
+      a.{data + nw + (i / 63)} lsr (i mod 63) land 1
+    in
+    let w =
+      Int64.logor
+        (Int64.logand (Int64.of_int stored) Int64.max_int)
+        (if hi = 1 then Int64.min_int else 0L)
+    in
+    let p = i * 8 in
+    if p + 8 <= len then Bytes.set_int64_le b p w
+    else
+      for k = p to len - 1 do
+        Bytes.set b k
+          (Char.chr (Int64.to_int (Int64.shift_right_logical w (8 * (k - p))) land 0xff))
+      done
+  done
+
+(* One non-blocking receive attempt.  [None] when the ring is empty; a
+   frame that stays CRC-inconsistent through the retry window (or
+   claims an impossible geometry) raises [Dead] — the producer tore
+   mid-write or the ring was corrupted, and no answer is better than a
+   wrong one. *)
+let try_recv t ~buf =
+  if t.closed then raise (Dead "shm session closed");
+  let a = t.a in
+  let cap = t.rx_cap in
+  let rec go () =
+    let head = a.{t.rx_head} in
+    let tail = a.{t.rx_tail} in
+    if tail - head <= 0 then begin
+      if peer_closed t then raise (Dead "shm peer closed") else None
+    end
+    else begin
+      let pos = head mod cap in
+      let lenw = a.{t.rx_base + pos} in
+      if lenw = -1 then begin
+        (* skip padding to the ring boundary *)
+        a.{t.rx_head} <- head + (cap - pos);
+        go ()
+      end
+      else begin
+        let geometry_ok len =
+          len >= 0 && frame_words ~len <= rx_max_frame_words t
+          && frame_words ~len <= tail - head
+        in
+        (* CRC-retry publication: without fences a reader can observe
+           the tail before the frame's stores; a transient mismatch
+           heals in a few spins, a persistent one is a torn write *)
+        let rec check attempts =
+          let len = a.{t.rx_base + pos} in
+          if not (geometry_ok len) then
+            if attempts > 0 then begin
+              Domain.cpu_relax ();
+              check (attempts - 1)
+            end
+            else raise (Dead "shm ring: torn frame (bad geometry)")
+          else begin
+            let nw = (len + 7) / 8 in
+            let ns = (nw + 62) / 63 in
+            let slot = t.rx_base + pos in
+            let crc =
+              Int32.to_int (Persist.crc32_words a ~pos:(slot + 2) ~len:(nw + ns))
+              land 0xFFFF_FFFF
+            in
+            if crc = a.{slot + 1} then (len, nw, slot)
+            else if attempts > 0 then begin
+              if attempts land 15 = 0 then Thread.delay 0.0002
+              else Domain.cpu_relax ();
+              check (attempts - 1)
+            end
+            else raise (Dead "shm ring: torn frame (crc mismatch)")
+          end
+        in
+        let len, nw, slot = check 64 in
+        copy_out t ~slot ~len ~nw buf;
+        a.{t.rx_head} <- head + frame_words ~len;
+        Some len
+      end
+    end
+  in
+  go ()
+
+(* Blocking receive with the same spin-then-nanosleep backoff and the
+   same typed outcomes as the send path. *)
+let recv ?deadline ?(hb_timeout = 3.0) t ~buf =
+  let spins = ref 0 in
+  let rec go () =
+    match try_recv t ~buf with
+    | Some len -> len
+    | None ->
+      wait_step t ~spins ~deadline ~hb_timeout;
+      go ()
+  in
+  go ()

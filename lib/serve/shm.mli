@@ -1,0 +1,123 @@
+(** The shared-memory fast path for co-located clients (DESIGN.md §13).
+
+    One session is one file-backed mapping (under the daemon's session
+    directory) holding a pair of single-producer/single-consumer
+    rings: client→server for requests and server→client for replies.
+    Both sides map the same file [MAP_SHARED], so a frame moves by one
+    memcpy out of the ring — no syscall on the hot path.  The session
+    is negotiated over the socket ({!Wire.Shm_hello}); the socket
+    stays open as the control channel and the universal fallback.
+
+    Frames are self-verifying: a length word, a CRC32 over the stored
+    words, the payload (one 8-byte little-endian word each, with a
+    sidecar carrying each word's bit 63 past the int-bigarray lens).
+    The CRC doubles as the publication protocol — OCaml exposes no
+    user-level fences, so a reader that races a writer retries the
+    checksum briefly; a {e persistent} mismatch is a torn write and
+    raises {!Dead}, never returns wrong bytes.
+
+    Liveness is cooperative: both sides stamp a heartbeat word while
+    waiting or serving, and waiting is spin-then-nanosleep — futex
+    free, so a kill -9'd peer leaves the survivor free-running, the
+    stale heartbeat is noticed ({!peer_alive}), and the session is
+    reaped.  Frame payloads are capped at half a ring
+    ({!tx_fits}/{!rx_fits}); anything larger stays on the socket. *)
+
+(** What a fault hook may do to the frame being published (the chaos
+    suite's shm failure modes; see {!Mps_fault.Fault.shm_hooks_of_plan}). *)
+type publish_fault =
+  | Publish_torn
+      (** Damage one stored word {e after} the CRC was computed — the
+          consumer sees a persistent checksum mismatch, exactly as if
+          the producer died mid-frame. *)
+  | Publish_corrupt of int * int
+      (** [(seed, flips)]: flip bits across the stored frame words
+          after the CRC. *)
+  | Publish_stall of float  (** Sleep this long before publishing. *)
+
+type hooks = {
+  on_publish : unit -> publish_fault option;
+      (** Consulted once per {!send}, after the frame is written but
+          before the tail moves. *)
+  on_heartbeat : unit -> bool;
+      (** [true] suppresses this heartbeat stamp (simulates a wedged
+          peer without stopping its ring traffic). *)
+}
+
+val no_hooks : hooks
+
+exception Dead of string
+(** The session is unusable — peer closed or heartbeat stale, a torn
+    or corrupted frame, a malformed ring file.  The caller falls back
+    to the socket; the server reaps the session. *)
+
+exception Timeout
+(** The caller's deadline passed while waiting for ring space or data. *)
+
+type t
+
+val create : ?hooks:hooks -> ?ring_words:int -> path:string -> unit -> t
+(** Server side: create (or truncate) the ring file at [path] with
+    [ring_words] data words per direction (default 64Ki ≈ 512 KiB per
+    ring) and initialize the header.  @raise Sys_error when the file
+    cannot be created or mapped, [Invalid_argument] when [ring_words]
+    is below 256. *)
+
+val attach : ?hooks:hooks -> path:string -> unit -> t
+(** Client side: map an existing ring file and validate its geometry.
+    @raise Dead when the file is missing, runt, or malformed. *)
+
+val path : t -> string
+val ring_words_of_t : t -> int
+  [@@ocaml.doc "Data words per direction (for the hello reply)."]
+
+val frame_words : len:int -> int
+(** Ring words a payload of [len] bytes occupies (length + CRC +
+    payload + bit-63 sidecar). *)
+
+val tx_fits : t -> len:int -> bool
+(** The payload can ever be sent on this side's transmit ring (at most
+    half the ring).  Callers route larger frames over the socket. *)
+
+val rx_fits : t -> len:int -> bool
+(** Same bound for the receive direction — the client checks the
+    {e expected reply} size before routing a request to the ring. *)
+
+val send : ?deadline:float -> ?hb_timeout:float -> t -> Bytes.t -> off:int -> len:int -> unit
+(** Publish [len] bytes at [off] as one frame, blocking (spin, then
+    nanosleep) while the ring is full.  [deadline] is an absolute
+    instant; [hb_timeout] (default 3 s) bounds how stale the peer's
+    heartbeat may grow before the wait gives up.  Stamps our own
+    heartbeat while waiting.  @raise Timeout / Dead as documented,
+    [Invalid_argument] when the frame can never fit (see {!tx_fits}). *)
+
+val try_recv : t -> buf:Bytes.t ref -> int option
+(** Non-blocking: consume the next frame into [buf] (grown as needed,
+    payload at offset 0) and return its length, or [None] when the
+    ring is empty.  @raise Dead on a torn/corrupt frame or when the
+    peer closed with nothing left to read. *)
+
+val recv : ?deadline:float -> ?hb_timeout:float -> t -> buf:Bytes.t ref -> int
+(** Blocking {!try_recv} with the same backoff, heartbeat stamping and
+    typed failures as {!send}. *)
+
+val heartbeat : t -> unit
+(** Stamp our liveness word (call periodically while serving). *)
+
+val peer_started : t -> bool
+(** The peer has stamped at least once — lets the server grant a
+    fresh session an attach grace before liveness judgement. *)
+
+val peer_alive : t -> timeout:float -> bool
+(** The peer's heartbeat is at most [timeout] seconds old. *)
+
+val peer_closed : t -> bool
+(** The peer set its closed flag (clean shutdown). *)
+
+val close : t -> unit
+(** Set our closed flag.  Idempotent; does not unlink the file. *)
+
+val remove : t -> unit
+(** Unlink the backing file (the owner, when reaping).  A peer still
+    mapping it keeps a valid view of the dead inode — degradation is
+    typed errors, never SIGBUS. *)

@@ -11,6 +11,17 @@ let error_to_string = function
   | Unreadable { path; reason } -> Printf.sprintf "%s: unreadable: %s" path reason
   | Corrupt { path; reason } -> Printf.sprintf "%s: corrupt: %s" path reason
 
+(* Geometry of a mapped MPSZ container, for descriptor replies on the
+   shm fast path: a query answer can be a word span into this file
+   instead of copied bytes, because the client maps the same inode
+   read-only. *)
+type container = {
+  c_path : string;
+  c_words : int;  (* total container words; descriptor bounds *)
+  c_record_off : int;  (* absolute word offset of the record table *)
+  c_record_stride : int;  (* words per placement record *)
+}
+
 type entry = {
   name : string;
   path : string;
@@ -24,17 +35,19 @@ type entry = {
   mapped : bool;
   bytes : int;
   mtime : float;
+  container : container option;
 }
 
 (* A slot is [Loading] while some thread builds the entry outside the
    lock; everyone else waits on [cond] instead of loading twice. *)
 type slot =
-  | Ready of entry * (* last-used stamp *) int ref
+  | Ready of entry * (* last-used stamp *) int ref * (* last staleness stat *) float ref
   | Loading
 
 type t = {
   dir : string;
   capacity : int;
+  stat_interval : float;
   max_mapped_bytes : int;
   audit_samples : int;
   audit_query_samples : int;
@@ -46,13 +59,16 @@ type t = {
   clock : int ref;  (* LRU stamp source *)
 }
 
-let create ?(capacity = 8) ?(max_mapped_bytes = 512 * 1024 * 1024)
-    ?(audit_samples = 4) ?(audit_query_samples = 32) ?(audit_seed = 7) ~dir () =
+let create ?(capacity = 8) ?(stat_interval = 0.0)
+    ?(max_mapped_bytes = 512 * 1024 * 1024) ?(audit_samples = 4)
+    ?(audit_query_samples = 32) ?(audit_seed = 7) ~dir () =
   if capacity < 1 then invalid_arg "Store.create: capacity < 1";
+  if stat_interval < 0.0 then invalid_arg "Store.create: stat_interval < 0";
   if max_mapped_bytes < 1 then invalid_arg "Store.create: max_mapped_bytes < 1";
   {
     dir;
     capacity;
+    stat_interval;
     max_mapped_bytes;
     audit_samples;
     audit_query_samples;
@@ -129,6 +145,7 @@ let build t name =
             mapped = false;
             bytes = file_bytes path;
             mtime;
+            container = None;
           }
       in
       let load_text path =
@@ -168,6 +185,14 @@ let build t name =
               mapped = true;
               bytes = view.Zcodec.bytes;
               mtime;
+              container =
+                Some
+                  {
+                    c_path = source;
+                    c_words = view.Zcodec.bytes / 8;
+                    c_record_off = view.Zcodec.record_off_words;
+                    c_record_stride = view.Zcodec.record_stride_words;
+                  };
             }
         | exception Zcodec.Error ze -> (
           let tpath = path_for t name in
@@ -207,7 +232,7 @@ let evict_beyond_capacity t =
   let ready = ref [] in
   Hashtbl.iter
     (fun name -> function
-      | Ready (e, stamp) -> ready := (name, !stamp, e) :: !ready
+      | Ready (e, stamp, _) -> ready := (name, !stamp, e) :: !ready
       | Loading -> ())
     t.slots;
   let by_lru =
@@ -245,7 +270,7 @@ let publish t name result =
       let entry = { entry with epoch } in
       let stamp = ref 0 in
       touch t stamp;
-      Hashtbl.replace t.slots name (Ready (entry, stamp));
+      Hashtbl.replace t.slots name (Ready (entry, stamp, ref (Unix.gettimeofday ())));
       evict_beyond_capacity t;
       Ok entry
     | Error _ ->
@@ -277,18 +302,27 @@ let rec get_with ~force t name =
     Condition.wait t.cond t.mutex;
     Mutex.unlock t.mutex;
     get_with ~force t name
-  | Some (Ready (entry, stamp)) ->
+  | Some (Ready (entry, stamp, checked)) ->
     let stale =
       force
       ||
-      (* watch the *preferred* source, not necessarily the loaded
+      (* Watch the *preferred* source, not necessarily the loaded
          file: a container appearing, vanishing or being repaired next
          to the text document triggers a hot reload — which remaps the
-         container in O(1) instead of recompiling *)
-      match Unix.stat (source_for t name) with
-      | st -> st.Unix.st_mtime <> entry.mtime
-      | exception Unix.Unix_error _ -> true
-      (* file vanished: reload to surface the typed error *)
+         container in O(1) instead of recompiling.  The stat is
+         debounced to one per [stat_interval] per entry: at serving
+         rates a syscall on every request is the single largest
+         non-engine cost, and a reload picked up within the interval
+         is all hot reload ever promised. *)
+      let now = Unix.gettimeofday () in
+      if t.stat_interval > 0.0 && now -. !checked < t.stat_interval then false
+      else begin
+        checked := now;
+        match Unix.stat (source_for t name) with
+        | st -> st.Unix.st_mtime <> entry.mtime
+        | exception Unix.Unix_error _ -> true
+        (* file vanished: reload to surface the typed error *)
+      end
     in
     if not stale then begin
       touch t stamp;
@@ -312,7 +346,7 @@ let loaded t =
   Mutex.lock t.mutex;
   let entries = ref [] in
   Hashtbl.iter
-    (fun _ -> function Ready (e, stamp) -> entries := (e, !stamp) :: !entries
+    (fun _ -> function Ready (e, stamp, _) -> entries := (e, !stamp) :: !entries
       | Loading -> ())
     t.slots;
   Mutex.unlock t.mutex;

@@ -53,6 +53,20 @@ type error =
 
 val error_to_string : error -> string
 
+(** Geometry of a mapped container, for the shm fast path's descriptor
+    replies (DESIGN.md §13): a query answer can be the [(offset,
+    length)] word span of the winning placement record inside this
+    file, because a co-located client maps the same inode read-only
+    and reads the record there instead of receiving copied bytes. *)
+type container = {
+  c_path : string;  (** The [*.mpsz] file backing the mapping. *)
+  c_words : int;
+      (** Total container words — every descriptor must fall inside. *)
+  c_record_off : int;
+      (** Absolute word offset of the placement-record table. *)
+  c_record_stride : int;  (** Words per record; the descriptor length. *)
+}
+
 (** An immutable snapshot of one loaded circuit.  Requests resolve an
     entry once and use it for their whole lifetime, even if a reload
     publishes a newer epoch meanwhile. *)
@@ -80,12 +94,16 @@ type entry = {
       (** Mtime of the {e preferred} source file at load (the
           container when one existed, even if the entry fell back to
           the text document), for hot-reload detection. *)
+  container : container option;
+      (** Present exactly when [mapped]: what the serving layer needs
+          to hand out descriptor replies into the container. *)
 }
 
 type t
 
 val create :
   ?capacity:int ->
+  ?stat_interval:float ->
   ?max_mapped_bytes:int ->
   ?audit_samples:int ->
   ?audit_query_samples:int ->
@@ -93,7 +111,13 @@ val create :
   dir:string ->
   unit ->
   t
-(** [capacity] (default 8) live engines before LRU eviction;
+(** [stat_interval] (default 0) debounces hot-reload detection: an
+    entry's source file is re-stat'ed at most once per [stat_interval]
+    seconds, so at serving rates {!get} costs no syscall on the vast
+    majority of requests and a repaired file is still picked up within
+    the interval.  [0] stats on every {!get} (the conservative
+    default; [mpsgen serve] runs with a small nonzero interval).
+    [capacity] (default 8) live engines before LRU eviction;
     [max_mapped_bytes] (default 512 MiB) total on-disk bytes of mapped
     containers the store keeps referenced — beyond it, mapped entries
     are evicted least-recently-used (the mapping itself is released

@@ -18,6 +18,10 @@ type config = {
   restart_max_delay : float;
   breaker_window : float;
   breaker_max_restarts : int;
+  shm : bool;
+  shm_dir : string option;
+  shm_ring_words : int;
+  shm_heartbeat_timeout : float;
 }
 
 let default_config =
@@ -35,6 +39,10 @@ let default_config =
     restart_max_delay = 2.0;
     breaker_window = 10.0;
     breaker_max_restarts = 5;
+    shm = true;
+    shm_dir = None;
+    shm_ring_words = 64 * 1024;
+    shm_heartbeat_timeout = 3.0;
   }
 
 type stats = {
@@ -54,6 +62,9 @@ type stats = {
   worker_restarts : int;
   worker_lost_replies : int;
   breaker_trips : int;
+  shm_sessions : int;
+  shm_served : int;
+  shm_reaped : int;
 }
 
 type counters = {
@@ -73,6 +84,9 @@ type counters = {
   c_worker_restarts : int Atomic.t;
   c_worker_lost_replies : int Atomic.t;
   c_breaker_trips : int Atomic.t;
+  c_shm_sessions : int Atomic.t;
+  c_shm_served : int Atomic.t;
+  c_shm_reaped : int Atomic.t;
 }
 
 let bump a = Atomic.incr a
@@ -114,6 +128,8 @@ type t = {
   next_conn_id : int Atomic.t;
   inflight : int Atomic.t;
   c : counters;
+  shm_dir : string option;  (* session directory; [None] = shm disabled *)
+  shm_hooks : Shm.hooks;
   mutable sup_thread : Thread.t option;
   joined : bool Atomic.t;
 }
@@ -136,6 +152,9 @@ let stats t =
     worker_restarts = Atomic.get t.c.c_worker_restarts;
     worker_lost_replies = Atomic.get t.c.c_worker_lost_replies;
     breaker_trips = Atomic.get t.c.c_breaker_trips;
+    shm_sessions = Atomic.get t.c.c_shm_sessions;
+    shm_served = Atomic.get t.c.c_shm_served;
+    shm_reaped = Atomic.get t.c.c_shm_reaped;
   }
 
 let counters t = t.c
@@ -145,15 +164,30 @@ let counters t = t.c
 let prefix = Wire.frame_prefix_bytes
 let header = Wire.reply_header_bytes
 
-let send_reply t fd outbuf ~status ~req_id ~epoch ~payload_len =
+(* Where a reply goes: the connection's socket, or its shm ring (with
+   the socket kept as fallback for replies the ring cannot carry — a
+   ring frame is capped at half the ring, a socket frame at
+   [max_frame_bytes], and the client matches replies by request id on
+   both channels at once). *)
+type reply_via =
+  | Via_sock of Unix.file_descr
+  | Via_ring of Shm.t * Unix.file_descr
+
+let send_reply t via outbuf ~status ~req_id ~epoch ~payload_len =
   Wire.ensure outbuf (prefix + payload_len);
   let b = !outbuf in
   Wire.set_u8 b prefix (Wire.status_to_int status);
   Wire.set_u32 b (prefix + 1) req_id;
   Wire.set_u32 b (prefix + 5) epoch;
-  Wire.send_frame t.transport fd b ~payload_len
+  match via with
+  | Via_sock fd -> Wire.send_frame t.transport fd b ~payload_len
+  | Via_ring (ring, fd) ->
+    if Shm.tx_fits ring ~len:payload_len then
+      Shm.send ring b ~off:prefix ~len:payload_len
+        ~hb_timeout:t.config.shm_heartbeat_timeout
+    else Wire.send_frame t.transport fd b ~payload_len
 
-let send_error t fd outbuf ~status ~req_id msg =
+let send_error t via outbuf ~status ~req_id msg =
   let payload_len = Wire.put_string16 outbuf (prefix + header) msg - prefix in
   (match status with
   | Wire.Err_timeout -> bump t.c.c_timeouts
@@ -162,7 +196,7 @@ let send_error t fd outbuf ~status ~req_id msg =
   | Wire.Err_unknown_circuit | Wire.Err_store -> bump t.c.c_store_errors
   | Wire.Err_worker_lost -> bump t.c.c_worker_lost_replies
   | _ -> ());
-  send_reply t fd outbuf ~status ~req_id ~epoch:0 ~payload_len
+  send_reply t via outbuf ~status ~req_id ~epoch:0 ~payload_len
 
 (* Farewell on a shed or draining connection: best effort, then close. *)
 let farewell t fd status msg =
@@ -262,6 +296,7 @@ type conn_state = {
   outbuf : Bytes.t ref;
   mutable w_scratch : int array;
   mutable h_scratch : int array;
+  mutable ring : Shm.t option;  (* set by an accepted [Shm_hello] *)
 }
 
 let scratch_for state n =
@@ -271,13 +306,13 @@ let scratch_for state n =
   end;
   (state.w_scratch, state.h_scratch)
 
-let store_error_reply t fd outbuf ~req_id err =
+let store_error_reply t via outbuf ~req_id err =
   let status =
     match err with
     | Store.Unknown_circuit _ -> Wire.Err_unknown_circuit
     | Store.Unreadable _ | Store.Corrupt _ -> Wire.Err_store
   in
-  send_error t fd outbuf ~status ~req_id (Store.error_to_string err)
+  send_error t via outbuf ~status ~req_id (Store.error_to_string err)
 
 let served t ~degraded ~queries =
   bump t.c.c_requests_served;
@@ -313,37 +348,55 @@ let check_progress gen deadline =
   | _ -> ());
   if not (Atomic.get gen.g_alive) then raise Worker_lost_hit
 
-let handle_batch t gen fd state ~req_id ~deadline ~len ~instantiate =
+let handle_batch t gen via state ~req_id ~deadline ~len ~instantiate =
   let buf = !(state.inbuf) in
   let handle = Wire.get_u16 buf ~len 9 in
   let count = Wire.get_u32 buf ~len 11 in
   match Hashtbl.find_opt state.handles handle with
   | None ->
-    send_error t fd state.outbuf ~status:Wire.Err_bad_request ~req_id
+    send_error t via state.outbuf ~status:Wire.Err_bad_request ~req_id
       (Printf.sprintf "unknown handle %d (open the circuit first)" handle)
   | Some name -> (
     match Store.get t.the_store name with
-    | Error err -> store_error_reply t fd state.outbuf ~req_id err
+    | Error err -> store_error_reply t via state.outbuf ~req_id err
     | Ok entry ->
       let n = Circuit.n_blocks entry.Store.circuit in
       let expected = 15 + (count * 4 * n) in
       if count > t.config.max_batch then
-        send_error t fd state.outbuf ~status:Wire.Err_bad_request ~req_id
+        send_error t via state.outbuf ~status:Wire.Err_bad_request ~req_id
           (Printf.sprintf "batch of %d exceeds the %d-query cap" count
              t.config.max_batch)
       else if len <> expected then
-        send_error t fd state.outbuf ~status:Wire.Err_bad_request ~req_id
+        send_error t via state.outbuf ~status:Wire.Err_bad_request ~req_id
           (Printf.sprintf "payload is %d bytes, %d expected for %d %d-block queries"
              len expected count n)
       else begin
         let scratch = scratch_for state n in
-        let item = if instantiate then 16 * n else 4 in
-        let body = header + 4 + (count * item) in
+        let ring = match via with Via_ring _ -> true | Via_sock _ -> false in
+        (* On the ring, batch replies carry a kind byte after the
+           header: 0 = inline payload (ids / rects), 1 = descriptors —
+           [(id, word offset, word length)] spans of the winning
+           placement records inside the mapped container the client
+           reads directly.  Descriptors need the entry mapped and not
+           demoted to backup-only (the backup's answer is not a stored
+           record). *)
+        let descr =
+          if ring && not instantiate && not entry.Store.backup_only then
+            entry.Store.container
+          else None
+        in
+        let kb = if ring then 1 else 0 in
+        let item =
+          if instantiate then 16 * n else if descr <> None then 12 else 4
+        in
+        let body = header + kb + (4 + (count * item)) in
         Wire.ensure state.outbuf (prefix + body);
         let out = !(state.outbuf) in
-        Wire.set_u32 out (prefix + header) count;
+        if ring then
+          Wire.set_u8 out (prefix + header) (if descr <> None then 1 else 0);
+        Wire.set_u32 out (prefix + header + kb) count;
         let base = 15 in
-        let out_base = prefix + header + 4 in
+        let out_base = prefix + header + kb + 4 in
         let backup = Structure.Engine.backup entry.Store.engine in
         match
           for i = 0 to count - 1 do
@@ -371,68 +424,133 @@ let handle_batch t gen fd state ~req_id ~deadline ~len ~instantiate =
                   if Circuit.dims_valid entry.Store.circuit dims then -1 else -2
                 else Structure.Engine.query_id entry.Store.engine state.session dims
               in
-              Wire.set_i32 out (out_base + (i * 4)) id
+              let off = out_base + (i * item) in
+              Wire.set_i32 out off id;
+              match descr with
+              | None -> ()
+              | Some c ->
+                let roff, rlen =
+                  if id >= 0 then
+                    (c.Store.c_record_off + (id * c.Store.c_record_stride),
+                     c.Store.c_record_stride)
+                  else (0, 0)
+                in
+                Wire.set_u32 out (off + 4) roff;
+                Wire.set_u32 out (off + 8) rlen
             end
           done
         with
         | () ->
           let degraded = entry.Store.degraded in
           served t ~degraded ~queries:count;
-          send_reply t fd state.outbuf
+          send_reply t via state.outbuf
             ~status:(if degraded then Wire.Ok_degraded else Wire.Ok)
             ~req_id ~epoch:entry.Store.epoch ~payload_len:body
         | exception Deadline_hit ->
-          send_error t fd state.outbuf ~status:Wire.Err_timeout ~req_id
+          send_error t via state.outbuf ~status:Wire.Err_timeout ~req_id
             "deadline expired mid-batch"
         | exception Worker_lost_hit ->
-          send_error t fd state.outbuf ~status:Wire.Err_worker_lost ~req_id
+          send_error t via state.outbuf ~status:Wire.Err_worker_lost ~req_id
             "worker lost mid-batch"
         | exception Invalid_argument m ->
-          send_error t fd state.outbuf ~status:Wire.Err_bad_request ~req_id
+          send_error t via state.outbuf ~status:Wire.Err_bad_request ~req_id
             (Printf.sprintf "bad dimension vector: %s" m)
       end)
 
-let handle_open t fd state ~req_id ~len =
+let handle_open t via state ~req_id ~len =
   let buf = !(state.inbuf) in
   let name, _ = Wire.get_string16 buf ~len 9 in
   match Store.get t.the_store name with
-  | Error err -> store_error_reply t fd state.outbuf ~req_id err
+  | Error err -> store_error_reply t via state.outbuf ~req_id err
   | Ok entry ->
     if state.next_handle > 0xffff then
-      send_error t fd state.outbuf ~status:Wire.Err_bad_request ~req_id
+      send_error t via state.outbuf ~status:Wire.Err_bad_request ~req_id
         "handle space exhausted on this connection"
     else begin
       let handle = state.next_handle in
       state.next_handle <- handle + 1;
       Hashtbl.replace state.handles handle name;
-      let body = header + 9 in
-      Wire.ensure state.outbuf (prefix + body);
+      (* The fixed head, then the container trailer (u8 present, and
+         when 1: u32 total words + string16 path) — appended on both
+         channels; pre-trailer clients read fixed offsets only, so the
+         extra bytes are invisible to them. *)
+      let o = prefix + header + 9 in
+      let body_end =
+        match entry.Store.container with
+        | None ->
+          Wire.ensure state.outbuf (o + 1);
+          o + 1
+        | Some c -> Wire.put_string16 state.outbuf (o + 5) c.Store.c_path
+      in
       let out = !(state.outbuf) in
       Wire.set_u16 out (prefix + header) handle;
       Wire.set_u8 out (prefix + header + 2) (if entry.Store.degraded then 1 else 0);
       Wire.set_u16 out (prefix + header + 3) (Circuit.n_blocks entry.Store.circuit);
       Wire.set_u32 out (prefix + header + 5)
         (Structure.Engine.n_stored entry.Store.engine);
+      (match entry.Store.container with
+      | None -> Wire.set_u8 out o 0
+      | Some c ->
+        Wire.set_u8 out o 1;
+        Wire.set_u32 out (o + 1) c.Store.c_words);
       served t ~degraded:entry.Store.degraded ~queries:0;
-      send_reply t fd state.outbuf
+      send_reply t via state.outbuf
         ~status:(if entry.Store.degraded then Wire.Ok_degraded else Wire.Ok)
-        ~req_id ~epoch:entry.Store.epoch ~payload_len:body
+        ~req_id ~epoch:entry.Store.epoch ~payload_len:(body_end - prefix)
     end
 
-let handle_reload t fd state ~req_id ~len =
+let handle_reload t via state ~req_id ~len =
   let buf = !(state.inbuf) in
   let name, _ = Wire.get_string16 buf ~len 9 in
   match Store.reload t.the_store name with
-  | Error err -> store_error_reply t fd state.outbuf ~req_id err
+  | Error err -> store_error_reply t via state.outbuf ~req_id err
   | Ok entry ->
     let body = header + 1 in
     Wire.ensure state.outbuf (prefix + body);
     Wire.set_u8 !(state.outbuf) (prefix + header)
       (if entry.Store.degraded then 1 else 0);
     served t ~degraded:entry.Store.degraded ~queries:0;
-    send_reply t fd state.outbuf
+    send_reply t via state.outbuf
       ~status:(if entry.Store.degraded then Wire.Ok_degraded else Wire.Ok)
       ~req_id ~epoch:entry.Store.epoch ~payload_len:body
+
+(* Negotiate the shm fast path: allocate this connection's ring file
+   and tell the client where to map it.  Declined — typed, on the
+   wire, accepted=0 — when shm is disabled, when the hello did not
+   arrive on the socket, or when the session already has a ring; the
+   client then simply stays on the socket. *)
+let handle_shm_hello t conn state ~req_id ~via =
+  let answer ring =
+    let o = prefix + header in
+    let body_end =
+      match ring with
+      | None ->
+        Wire.ensure state.outbuf (o + 1);
+        o + 1
+      | Some r -> Wire.put_string16 state.outbuf (o + 5) (Shm.path r)
+    in
+    let out = !(state.outbuf) in
+    (match ring with
+    | None -> Wire.set_u8 out o 0
+    | Some r ->
+      Wire.set_u8 out o 1;
+      Wire.set_u32 out (o + 1) (Shm.ring_words_of_t r));
+    served t ~degraded:false ~queries:0;
+    send_reply t via state.outbuf ~status:Wire.Ok ~req_id ~epoch:0
+      ~payload_len:(body_end - prefix)
+  in
+  match (t.shm_dir, via, state.ring) with
+  | Some dir, Via_sock _, None -> (
+    let path = Filename.concat dir (Printf.sprintf "sess-%d.ring" conn.conn_id) in
+    match
+      Shm.create ~hooks:t.shm_hooks ~ring_words:t.config.shm_ring_words ~path ()
+    with
+    | ring ->
+      state.ring <- Some ring;
+      bump t.c.c_shm_sessions;
+      answer (Some ring)
+    | exception (Sys_error _ | Invalid_argument _) -> answer None)
+  | _ -> answer None
 
 (* ---- health ------------------------------------------------------ *)
 
@@ -460,11 +578,11 @@ let health t =
   Mutex.unlock t.mutex;
   h
 
-let handle_health t fd state ~req_id =
+let handle_health t via state ~req_id =
   let h = health t in
   let payload_len = Wire.put_health state.outbuf (prefix + header) h - prefix in
   served t ~degraded:false ~queries:0;
-  send_reply t fd state.outbuf ~status:Wire.Ok ~req_id ~epoch:0 ~payload_len
+  send_reply t via state.outbuf ~status:Wire.Ok ~req_id ~epoch:0 ~payload_len
 
 let stats_text t =
   let s = stats t in
@@ -476,17 +594,18 @@ let stats_text t =
        %d\n\
        workers: %s\n\
        dispatched %d, worker crashes %d, restarts %d, worker-lost replies %d, breaker \
-       trips %d\n"
+       trips %d\n\
+       shm: %d sessions, %d requests served, %d reaped\n"
       s.accepted s.shed_connections s.requests_served s.queries_served s.degraded_served
       s.timeouts s.overloaded s.bad_requests s.store_errors s.connection_crashes
       s.accept_failures (Wire.health_to_string h) s.dispatched s.worker_crashes
-      s.worker_restarts s.worker_lost_replies s.breaker_trips
+      s.worker_restarts s.worker_lost_replies s.breaker_trips s.shm_sessions
+      s.shm_served s.shm_reaped
 
 let apply_fault t w =
   match t.fault with None -> () | Some hook -> hook ~worker:w.slot
 
-let handle_request t w gen conn state ~len =
-  let fd = conn.fd in
+let handle_request t w gen conn state ~via ~len =
   let buf = !(state.inbuf) in
   let now = Unix.gettimeofday () in
   match
@@ -497,7 +616,7 @@ let handle_request t w gen conn state ~len =
   with
   | exception Wire.Truncated _ ->
     bump t.c.c_bad_requests;
-    send_reply t fd state.outbuf ~status:Wire.Err_bad_request ~req_id:0 ~epoch:0
+    send_reply t via state.outbuf ~status:Wire.Err_bad_request ~req_id:0 ~epoch:0
       ~payload_len:
         (Wire.put_string16 state.outbuf (prefix + header) "short request header"
         - prefix)
@@ -510,67 +629,68 @@ let handle_request t w gen conn state ~len =
       ~finally:(fun () -> Atomic.decr t.inflight)
       (fun () ->
         if Atomic.get t.stopping then
-          send_error t fd state.outbuf ~status:Wire.Err_shutting_down ~req_id
+          send_error t via state.outbuf ~status:Wire.Err_shutting_down ~req_id
             "daemon is draining"
         else if not (Atomic.get gen.g_alive) then
           (* this worker died while the request was queued on the
              socket: a typed, retryable answer, not silence *)
-          send_error t fd state.outbuf ~status:Wire.Err_worker_lost ~req_id
+          send_error t via state.outbuf ~status:Wire.Err_worker_lost ~req_id
             "worker crashed before serving"
         else if inflight > t.config.max_inflight then
-          send_error t fd state.outbuf ~status:Wire.Err_overloaded ~req_id
+          send_error t via state.outbuf ~status:Wire.Err_overloaded ~req_id
             (Printf.sprintf "%d requests in flight (limit %d)" inflight
                t.config.max_inflight)
         else
           match Wire.opcode_of_int opcode_i with
           | None ->
-            send_error t fd state.outbuf ~status:Wire.Err_bad_request ~req_id
+            send_error t via state.outbuf ~status:Wire.Err_bad_request ~req_id
               (Printf.sprintf "unknown opcode %d" opcode_i)
           | Some _ when deadline <> None && Unix.gettimeofday () > Option.get deadline
             ->
             (* expired before any work (queueing, a store load ahead of
                us): a typed timeout, not a late answer *)
-            send_error t fd state.outbuf ~status:Wire.Err_timeout ~req_id
+            send_error t via state.outbuf ~status:Wire.Err_timeout ~req_id
               "deadline expired before serving"
           | Some opcode -> (
             match apply_fault t w with
             | exception Worker_killed ->
               (* the injected crash: answer the in-flight request with
                  the typed loss, then take the worker down *)
-              send_error t fd state.outbuf ~status:Wire.Err_worker_lost ~req_id
+              send_error t via state.outbuf ~status:Wire.Err_worker_lost ~req_id
                 "worker crashed mid-request";
               raise Worker_killed
             | () -> (
               match opcode with
               | Wire.Ping ->
                 served t ~degraded:false ~queries:0;
-                send_reply t fd state.outbuf ~status:Wire.Ok ~req_id ~epoch:0
+                send_reply t via state.outbuf ~status:Wire.Ok ~req_id ~epoch:0
                   ~payload_len:header
-              | Wire.Health -> handle_health t fd state ~req_id
+              | Wire.Health -> handle_health t via state ~req_id
+              | Wire.Shm_hello -> handle_shm_hello t conn state ~req_id ~via
               | Wire.Open_circuit -> (
-                match handle_open t fd state ~req_id ~len with
+                match handle_open t via state ~req_id ~len with
                 | () -> ()
                 | exception Wire.Truncated m ->
-                  send_error t fd state.outbuf ~status:Wire.Err_bad_request ~req_id m)
+                  send_error t via state.outbuf ~status:Wire.Err_bad_request ~req_id m)
               | Wire.Reload -> (
-                match handle_reload t fd state ~req_id ~len with
+                match handle_reload t via state ~req_id ~len with
                 | () -> ()
                 | exception Wire.Truncated m ->
-                  send_error t fd state.outbuf ~status:Wire.Err_bad_request ~req_id m)
+                  send_error t via state.outbuf ~status:Wire.Err_bad_request ~req_id m)
               | Wire.Stats ->
                 let text = stats_text t in
                 let payload_len =
                   Wire.put_string16 state.outbuf (prefix + header) text - prefix
                 in
                 served t ~degraded:false ~queries:0;
-                send_reply t fd state.outbuf ~status:Wire.Ok ~req_id ~epoch:0
+                send_reply t via state.outbuf ~status:Wire.Ok ~req_id ~epoch:0
                   ~payload_len
               | (Wire.Query_batch | Wire.Instantiate_batch) as op -> (
                 let instantiate = op = Wire.Instantiate_batch in
-                match handle_batch t gen fd state ~req_id ~deadline ~len ~instantiate with
+                match handle_batch t gen via state ~req_id ~deadline ~len ~instantiate with
                 | () -> ()
                 | exception Wire.Truncated m ->
-                  send_error t fd state.outbuf ~status:Wire.Err_bad_request ~req_id m))
+                  send_error t via state.outbuf ~status:Wire.Err_bad_request ~req_id m))
             )))
 
 (* ---- connection lifecycle --------------------------------------- *)
@@ -580,6 +700,86 @@ let unregister t w conn =
   Hashtbl.remove w.conns conn.conn_id;
   Condition.broadcast t.cond;
   Mutex.unlock t.mutex
+
+(* Ring-serving mode, entered after an accepted [Shm_hello]: drain the
+   request ring, poll the socket (now the control channel) when the
+   ring runs dry, and judge peer liveness by heartbeat.  Exits — and
+   reaps the session: close flag, unlink — on client close (flag or
+   socket EOF), stale heartbeat (the kill -9 case), idle timeout,
+   generation death or drain.  The loop spins briefly before backing
+   off to nanosleep, so a streaming client is served with no syscall
+   per request while an idle session costs one [select] per sleep. *)
+let serve_ring t w gen conn state ring =
+  let via = Via_ring (ring, conn.fd) in
+  let hb_to = t.config.shm_heartbeat_timeout in
+  let attach_grace = Unix.gettimeofday () +. (2.0 *. hb_to) in
+  let idle_deadline = ref (Unix.gettimeofday () +. t.config.idle_timeout) in
+  let continue = ref true in
+  let spins = ref 0 in
+  (try
+     while !continue && Atomic.get gen.g_alive && not (Atomic.get t.stopping) do
+       Shm.heartbeat ring;
+       match Shm.try_recv ring ~buf:state.inbuf with
+       | Some len -> (
+         spins := 0;
+         idle_deadline := Unix.gettimeofday () +. t.config.idle_timeout;
+         bump t.c.c_shm_served;
+         match handle_request t w gen conn state ~via ~len with
+         | () -> ()
+         | exception Worker_killed ->
+           crash t w gen;
+           continue := false)
+       | None ->
+         if !spins < 200 then begin
+           incr spins;
+           Domain.cpu_relax ()
+         end
+         else if !spins < 232 then begin
+           (* same middle gear as [Shm.wait_step]: on a core shared
+              with the client, yield beats both spinning and the
+              200 us sleep *)
+           incr spins;
+           Thread.yield ()
+         end
+         else begin
+           (match Unix.select [ conn.fd ] [] [] 0.0 with
+           | [], _, _ -> ()
+           | _, _, _ -> (
+             match
+               Wire.recv_frame t.transport ~max_bytes:t.config.max_frame_bytes
+                 ~buf:state.inbuf conn.fd
+             with
+             | len -> (
+               idle_deadline := Unix.gettimeofday () +. t.config.idle_timeout;
+               match
+                 handle_request t w gen conn state ~via:(Via_sock conn.fd) ~len
+               with
+               | () -> ()
+               | exception Worker_killed ->
+                 crash t w gen;
+                 continue := false)
+             | exception Wire.Closed ->
+               (* clean exit or kill -9: either way the socket EOF is
+                  the immediate reap signal *)
+               continue := false)
+           | exception Unix.Unix_error _ -> continue := false);
+           let now = Unix.gettimeofday () in
+           if Shm.peer_closed ring then continue := false
+           else if now > !idle_deadline then continue := false
+           else if Shm.peer_started ring then begin
+             if not (Shm.peer_alive ring ~timeout:hb_to) then continue := false
+           end
+           else if now > attach_grace then continue := false;
+           if !continue then Thread.delay 0.0002
+         end
+     done
+   with
+  | Shm.Dead _ | Shm.Timeout -> ()
+  | Wire.Truncated _ | Wire.Too_large _ | Unix.Unix_error _ | Sys_error _ ->
+    bump t.c.c_connection_crashes);
+  bump t.c.c_shm_reaped;
+  Shm.close ring;
+  Shm.remove ring
 
 let serve_conn t w gen conn =
   let state =
@@ -591,6 +791,7 @@ let serve_conn t w gen conn =
       outbuf = ref (Bytes.create 4096);
       w_scratch = [||];
       h_scratch = [||];
+      ring = None;
     }
   in
   (try
@@ -606,8 +807,15 @@ let serve_conn t w gen conn =
          (* idle or dribbling a frame for idle_timeout: drop it *)
          continue := false
        | len -> (
-         match handle_request t w gen conn state ~len with
-         | () -> ()
+         match handle_request t w gen conn state ~via:(Via_sock conn.fd) ~len with
+         | () -> (
+           match state.ring with
+           | Some ring ->
+             (* the hello was accepted: the rest of this connection is
+                served off the ring, then the session dies with it *)
+             serve_ring t w gen conn state ring;
+             continue := false
+           | None -> ())
          | exception Worker_killed ->
            (* this handler observed the injected worker crash (and has
               already answered its request Err_worker_lost): initiate
@@ -623,6 +831,11 @@ let serve_conn t w gen conn =
   | _ ->
     (* anything else (engine invariant, decode bug): same isolation *)
     bump t.c.c_connection_crashes);
+  (match state.ring with
+  | Some ring ->
+    Shm.close ring;
+    Shm.remove ring
+  | None -> ());
   (try Unix.close conn.fd with Unix.Unix_error _ -> ());
   unregister t w conn
 
@@ -763,9 +976,35 @@ let supervision_loop t =
     Thread.delay 0.002
   done
 
-let create ?fault ~(config : config) ~transport ~store ~stopping () =
+let create ?fault ?(shm_hooks = Shm.no_hooks) ~(config : config) ~transport ~store
+    ~stopping () =
   if config.workers < 1 then invalid_arg "Supervisor.create: workers < 1";
   if config.queue_capacity < 1 then invalid_arg "Supervisor.create: queue_capacity < 1";
+  (* The session directory: daemon-owned, created on demand, swept of
+     ring files a previous daemon life left behind (their sessions
+     cannot be live — the negotiating sockets died with the daemon).
+     Any failure here degrades to shm-disabled, never a dead daemon. *)
+  let shm_dir =
+    if not config.shm then None
+    else begin
+      let dir =
+        match config.shm_dir with
+        | Some d -> d
+        | None -> Filename.concat (Store.dir store) ".shm"
+      in
+      match
+        (try Unix.mkdir dir 0o700
+         with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+        Array.iter
+          (fun f ->
+            if Filename.check_suffix f ".ring" then
+              try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+          (Sys.readdir dir)
+      with
+      | () -> Some dir
+      | exception (Unix.Unix_error _ | Sys_error _) -> None
+    end
+  in
   let t =
     {
       config;
@@ -812,7 +1051,12 @@ let create ?fault ~(config : config) ~transport ~store ~stopping () =
           c_worker_restarts = Atomic.make 0;
           c_worker_lost_replies = Atomic.make 0;
           c_breaker_trips = Atomic.make 0;
+          c_shm_sessions = Atomic.make 0;
+          c_shm_served = Atomic.make 0;
+          c_shm_reaped = Atomic.make 0;
         };
+      shm_dir;
+      shm_hooks;
       sup_thread = None;
       joined = Atomic.make false;
     }

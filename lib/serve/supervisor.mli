@@ -50,13 +50,24 @@ type config = {
   breaker_window : float;  (** Sliding window for the restart storm count. *)
   breaker_max_restarts : int;
       (** Crashes inside the window beyond this trip the breaker. *)
+  shm : bool;
+      (** Accept {!Wire.Shm_hello} negotiations (DESIGN.md §13).  Off,
+          every hello is declined and clients stay on the socket. *)
+  shm_dir : string option;
+      (** Where per-session ring files live; [None] derives
+          [<store dir>/.shm].  Created on demand and swept of stale
+          ring files at startup; if that fails, shm is disabled. *)
+  shm_ring_words : int;  (** Data words per ring direction (default 64Ki). *)
+  shm_heartbeat_timeout : float;
+      (** Seconds a session peer's heartbeat may go stale before the
+          session is reaped (the kill -9 detector). *)
 }
 
 val default_config : config
 (** 1 worker, 16-deep queues, 64 connections, 32 in-flight,
     65536-query batches, 32 MiB frames, 30 s idle, 10 s drain, 50 ms
     accept back-off; restarts 50 ms doubling to 2 s, breaker at 5
-    crashes / 10 s. *)
+    crashes / 10 s; shm on, 64Ki-word rings, 3 s heartbeat timeout. *)
 
 (** Monotonic counters, readable at any time. *)
 type stats = {
@@ -76,6 +87,9 @@ type stats = {
   worker_restarts : int;  (** Slots respawned. *)
   worker_lost_replies : int;  (** Requests answered [Err_worker_lost]. *)
   breaker_trips : int;
+  shm_sessions : int;  (** Ring sessions negotiated. *)
+  shm_served : int;  (** Requests that arrived over a ring. *)
+  shm_reaped : int;  (** Sessions torn down (any cause). *)
 }
 
 (** The raw counters, for the accept loop to bump. *)
@@ -96,12 +110,16 @@ type counters = {
   c_worker_restarts : int Atomic.t;
   c_worker_lost_replies : int Atomic.t;
   c_breaker_trips : int Atomic.t;
+  c_shm_sessions : int Atomic.t;
+  c_shm_served : int Atomic.t;
+  c_shm_reaped : int Atomic.t;
 }
 
 type t
 
 val create :
   ?fault:(worker:int -> unit) ->
+  ?shm_hooks:Shm.hooks ->
   config:config ->
   transport:Transport.t ->
   store:Store.t ->
@@ -114,6 +132,9 @@ val create :
     called before each request with the serving worker's slot — the
     chaos suite's hook; raising {!Worker_killed} from it crashes that
     worker after the in-flight request is answered [Err_worker_lost].
+    [shm_hooks] injects ring-level faults into every session this
+    daemon creates ({!Mps_fault.Fault.shm_hooks_of_plan} builds one
+    from a plan).
     @raise Invalid_argument on [workers < 1] or [queue_capacity < 1]. *)
 
 val stats : t -> stats

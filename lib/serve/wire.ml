@@ -6,6 +6,7 @@ type opcode =
   | Stats
   | Reload
   | Health
+  | Shm_hello
 
 type status =
   | Ok
@@ -26,6 +27,7 @@ let opcode_to_int = function
   | Stats -> 5
   | Reload -> 6
   | Health -> 7
+  | Shm_hello -> 8
 
 let opcode_of_int = function
   | 1 -> Some Ping
@@ -35,13 +37,15 @@ let opcode_of_int = function
   | 5 -> Some Stats
   | 6 -> Some Reload
   | 7 -> Some Health
+  | 8 -> Some Shm_hello
   | _ -> None
 
 (* Only these may be hedged or blindly retried: re-executing them
-   cannot change server state ([Reload] bumps the store epoch). *)
+   cannot change server state ([Reload] bumps the store epoch;
+   [Shm_hello] allocates a ring session). *)
 let idempotent = function
   | Ping | Open_circuit | Query_batch | Instantiate_batch | Stats | Health -> true
-  | Reload -> false
+  | Reload | Shm_hello -> false
 
 let status_to_int = function
   | Ok -> 0

@@ -38,6 +38,12 @@ type opcode =
   | Stats  (** no body *)
   | Reload  (** body: string16 circuit name *)
   | Health  (** no body; reply carries a {!health} record *)
+  | Shm_hello
+      (** Negotiate the shared-memory fast path (DESIGN.md §13).  No
+          body.  Reply body: u8 accepted; when 1, u32 ring words and a
+          string16 path to the session's ring file for the client to
+          map.  The socket carrying the hello stays open as the
+          session's control channel and universal fallback. *)
 
 (** Typed reply statuses (the [u8] status on the wire).  Anything but
     [Ok] / [Ok_degraded] carries a string16 diagnostic as its body. *)
@@ -63,8 +69,9 @@ val opcode_of_int : int -> opcode option
 
 val idempotent : opcode -> bool
 (** Whether re-executing the request cannot change server state — the
-    frames a client may hedge or blindly retry ([Reload] is the one
-    opcode that is not: it bumps the store epoch). *)
+    frames a client may hedge or blindly retry.  [Reload] (bumps the
+    store epoch) and [Shm_hello] (allocates a ring session) are the
+    opcodes that are not. *)
 
 val status_to_int : status -> int
 val status_of_int : int -> status option

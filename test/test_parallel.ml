@@ -115,6 +115,63 @@ let test_pool_stats_accounting () =
              && s.Pool.busy_seconds = 0.0)
            (Pool.stats pool)))
 
+(* Auto-tuned scheduling grain ({!Pool.chunk_divisor}): starts at 8,
+   moves only on default-grain parallel batches, doubles under heavy
+   stealing until the clamp at 32, and never changes what a batch
+   returns. *)
+let test_chunk_divisor_tuning () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      check_bool "divisor starts at 8" true (Pool.chunk_divisor pool = 8);
+      ignore (Pool.map pool (fun i -> i + 1) (Array.init 300 Fun.id));
+      check_bool "sequential batches never retune" true (Pool.chunk_divisor pool = 8));
+  Pool.with_pool ~jobs:2 (fun pool ->
+      (* an explicit grain bypasses the tuner outright *)
+      ignore
+        (Pool.map_chunked pool ~chunk:1 (fun ~worker:_ i -> i) (Array.init 256 Fun.id));
+      check_bool "explicit chunk never retunes" true (Pool.chunk_divisor pool = 8);
+      (* Force heavy stealing, deterministically: task 0 refuses to
+         finish until the first task of the *second* chunk of its own
+         worker's range has run.  Its owner is stuck behind task 0, and
+         a thief pops chunks off the *back* of the victim's range — so
+         that task runs only once the thief has stolen every chunk of
+         the range but the first.  Each round is therefore a
+         steal-heavy batch (at least 7 of 16 claims are steals): the
+         divisor doubles until the clamp, and the results never
+         change. *)
+      let n = 64 in
+      let tasks = Array.init n Fun.id in
+      let expected = Array.map (fun i -> i * 7) tasks in
+      for round = 1 to 5 do
+        let chunk = max 1 (n / (2 * Pool.chunk_divisor pool)) in
+        let unblock = Atomic.make false in
+        let f i =
+          if i = chunk then Atomic.set unblock true
+          else if i = 0 then
+            while not (Atomic.get unblock) do
+              Domain.cpu_relax ()
+            done;
+          i * 7
+        in
+        let got = Pool.map pool f tasks in
+        check_bool
+          (Printf.sprintf "round %d results in task order" round)
+          true (got = expected);
+        let d = Pool.chunk_divisor pool in
+        check_bool
+          (Printf.sprintf "round %d divisor within [2, 32]" round)
+          true
+          (d >= 2 && d <= 32)
+      done;
+      check_bool "steals were forced" true
+        (Array.exists (fun s -> s.Pool.steals > 0) (Pool.stats pool));
+      check_bool "steal-heavy batches tuned the grain to the clamp" true
+        (Pool.chunk_divisor pool = 32);
+      (* the tuned pool still returns bit-identical results *)
+      let big = Array.init 257 Fun.id in
+      check_bool "tuned pool matches sequential results" true
+        (Pool.map pool (fun i -> (i * 31) land 1023) big
+        = Array.map (fun i -> (i * 31) land 1023) big))
+
 (* default_jobs cap: ~max_jobs beats MPS_MAX_JOBS beats the built-in 8.
    The expected value is computed against the host's own domain count,
    so the assertions are exact on any machine. *)
@@ -310,6 +367,8 @@ let suite =
      test_map_chunked_order_and_slots);
     ("scheduler stats account for every task", `Quick, test_pool_stats_accounting);
     ("default_jobs cap: max_jobs > MPS_MAX_JOBS > 8", `Quick, test_default_jobs_cap);
+    ("auto-tuned grain: doubles under stealing, clamps, bypassed, identical", `Quick,
+     test_chunk_divisor_tuning);
     ("move LUT draw path allocates nothing", `Quick,
      test_move_lut_draws_do_not_allocate);
     ("parallel generation bit-identical at 1/2/3/8 jobs", `Quick,

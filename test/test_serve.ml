@@ -51,21 +51,31 @@ let with_tmp_dir f =
   let dir = Filename.temp_file "mps_serve" "" in
   Sys.remove dir;
   Unix.mkdir dir 0o755;
-  Fun.protect
-    ~finally:(fun () ->
-      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
-      Unix.rmdir dir)
-    (fun () -> f dir)
+  (* shm sessions live in a subdirectory of the store dir, so cleanup
+     must recurse *)
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun name -> rm (Filename.concat path name)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> rm dir) (fun () -> f dir)
 
 (* A daemon over a fresh store in a temp dir, stopped (gracefully) and
-   joined on the way out so no test leaks a thread, domain or socket. *)
-let with_server ?config ?transport ?fault ?(save = true) f =
+   joined on the way out so no test leaks a thread, domain or socket.
+   [container] additionally saves the MPSZ container, so answers are
+   served from the mapping and shm replies carry descriptors. *)
+let with_server ?config ?transport ?fault ?shm_hooks ?(save = true)
+    ?(container = false) f =
   with_tmp_dir (fun dir ->
       let store = Store.create ~dir () in
       if save then
         Codec.save (Lazy.force structure) ~path:(Store.path_for store circuit_name);
+      if container then
+        Zcodec.save (Lazy.force structure) ~path:(Store.zpath_for store circuit_name);
       let server =
-        Server.create ?config ?transport ?fault ~store
+        Server.create ?config ?transport ?fault ?shm_hooks ~store
           (Server.Unix_path (Filename.concat dir "mpsd.sock"))
       in
       let th = Server.start server in
@@ -75,8 +85,8 @@ let with_server ?config ?transport ?fault ?(save = true) f =
           Thread.join th)
         (fun () -> f server (Server.bound_addr server)))
 
-let with_client ?transport addr f =
-  let client = Client.connect ?transport addr in
+let with_client ?transport ?shm addr f =
+  let client = Client.connect ?transport ?shm addr in
   Fun.protect ~finally:(fun () -> Client.close client) (fun () -> f client)
 
 let ok_or_fail tag = function
@@ -874,6 +884,533 @@ let store_prefers_container () =
         check_bool "salvaged container is flagged" true entry.Store.salvaged;
         check_bool "salvage serves from the heap" false entry.Store.mapped)
 
+(* --- Shared-memory fast path (DESIGN.md §13) -------------------------- *)
+
+(* Every shm scenario keeps the chaos suite's invariant: a ring fault
+   surfaces as a typed client error or a transparent socket fallback,
+   never as a wrong answer, a crash, or a SIGBUS — and the answers that
+   do arrive are cross-checked against the in-process oracle. *)
+
+let shm_round_trip () =
+  with_server (fun server addr ->
+      with_client ~shm:true addr (fun client ->
+          let dims = random_batch ~seed:21 48 in
+          let ids, meta =
+            ok_or_fail "query" (Client.query_ids client ~circuit:circuit_name dims)
+          in
+          check_bool "ring negotiated" true (Client.ring_active client);
+          check_bool "not degraded" false meta.Client.degraded;
+          check_bool "ids match the oracle" true (ids = expected_ids dims);
+          let sub = Array.sub dims 0 6 in
+          let plans, _ =
+            ok_or_fail "instantiate" (Client.instantiate client ~circuit:circuit_name sub)
+          in
+          let engine = Lazy.force oracle in
+          let session = Structure.Engine.new_session () in
+          Array.iteri
+            (fun i rects ->
+              check_bool
+                (Printf.sprintf "floorplan %d matches the oracle" i)
+                true
+                (rects = Structure.Engine.instantiate engine session sub.(i)))
+            plans;
+          let cs = Client.stats client in
+          check_bool "requests rode the ring" true (cs.Client.ring_requests >= 2);
+          let ss = Server.stats server in
+          check_int "one shm session" 1 ss.Server.shm_sessions;
+          check_bool "ring-served requests counted" true (ss.Server.shm_served >= 2)))
+
+(* MPSZ-backed answers over the ring arrive as descriptors into the
+   container the client maps read-only — same ids, no copy. *)
+let shm_descriptor_replies () =
+  with_server ~container:true (fun server addr ->
+      with_client ~shm:true addr (fun client ->
+          let dims = random_batch ~seed:23 64 in
+          let expect = expected_ids dims in
+          check_bool "oracle has stored answers" true
+            (Array.exists (fun id -> id >= 0) expect);
+          let ids, _ =
+            ok_or_fail "query" (Client.query_ids client ~circuit:circuit_name dims)
+          in
+          check_bool "descriptor ids match the oracle" true (ids = expect);
+          check_bool "ring active" true (Client.ring_active client);
+          check_bool "rode the ring" true
+            ((Client.stats client).Client.ring_requests >= 1);
+          check_bool "server served via ring" true
+            ((Server.stats server).Server.shm_served >= 1)))
+
+let shm_pipelined () =
+  with_server ~container:true (fun _server addr ->
+      with_client ~shm:true addr (fun client ->
+          let batches = Array.init 10 (fun i -> random_batch ~seed:(100 + i) 24) in
+          let results =
+            Client.query_ids_pipelined client ~circuit:circuit_name batches
+          in
+          Array.iteri
+            (fun i r ->
+              let ids, _ = ok_or_fail (Printf.sprintf "batch %d" i) r in
+              check_bool
+                (Printf.sprintf "batch %d matches the oracle" i)
+                true
+                (ids = expected_ids batches.(i)))
+            results;
+          let cs = Client.stats client in
+          check_bool "pipeline rode the ring" true (cs.Client.ring_requests >= 10);
+          check_bool "frames overlapped" true (cs.Client.pipelined > 0)))
+
+(* A daemon with shm disabled declines the hello; the client stays on
+   the socket and the answers are unchanged. *)
+let shm_declined_falls_back () =
+  let config = { Server.default_config with Server.shm = false } in
+  with_server ~config (fun server addr ->
+      with_client ~shm:true addr (fun client ->
+          let dims = random_batch ~seed:25 16 in
+          let ids, _ =
+            ok_or_fail "query" (Client.query_ids client ~circuit:circuit_name dims)
+          in
+          check_bool "no ring" false (Client.ring_active client);
+          check_int "no ring requests" 0 (Client.stats client).Client.ring_requests;
+          check_bool "socket answers match the oracle" true (ids = expected_ids dims);
+          check_int "no sessions" 0 (Server.stats server).Server.shm_sessions))
+
+(* chaos: the first reply frame published on the ring is torn.  The
+   client reports a typed disconnect — never a wrong answer — and a
+   retry renegotiates a fresh session and converges. *)
+let shm_torn_frame_recovers () =
+  let hooks, fired = Fault.shm_hooks_of_plan [ inj Fault.Shm_publish 0 Fault.Fail 1 ] in
+  with_server ~shm_hooks:hooks ~container:true (fun _server addr ->
+      with_client ~shm:true addr (fun client ->
+          let dims = random_batch ~seed:31 16 in
+          let expect = expected_ids dims in
+          (match Client.query_ids client ~circuit:circuit_name dims with
+          | Error (Client.Disconnected _) -> ()
+          | Error e -> Alcotest.failf "torn frame: %s" (Client.error_to_string e)
+          | Ok _ -> Alcotest.fail "a torn frame was delivered as an answer");
+          check_int "tear fired" 1 (fired ());
+          let rng = Mps_rng.Rng.create ~seed:7 in
+          let ids, _ =
+            ok_or_fail "retry after tear"
+              (Client.with_retry ~rng client (fun () ->
+                   Client.query_ids client ~circuit:circuit_name dims))
+          in
+          check_bool "converged to the oracle" true (ids = expect);
+          check_bool "fresh ring negotiated" true (Client.ring_active client)))
+
+(* chaos: bit flips after the checksum — a persistent CRC mismatch,
+   indistinguishable from a tear; same typed outcome. *)
+let shm_corrupt_frame_recovers () =
+  let hooks, fired =
+    Fault.shm_hooks_of_plan [ inj Fault.Shm_publish 0 (Fault.Corrupt 8) 99 ]
+  in
+  with_server ~shm_hooks:hooks ~container:true (fun _server addr ->
+      with_client ~shm:true addr (fun client ->
+          let dims = random_batch ~seed:33 16 in
+          let expect = expected_ids dims in
+          (match Client.query_ids client ~circuit:circuit_name dims with
+          | Error (Client.Disconnected _) -> ()
+          | Error e -> Alcotest.failf "corrupt frame: %s" (Client.error_to_string e)
+          | Ok _ -> Alcotest.fail "a corrupt frame was delivered as an answer");
+          check_int "corruption fired" 1 (fired ());
+          let rng = Mps_rng.Rng.create ~seed:9 in
+          let ids, _ =
+            ok_or_fail "retry after corruption"
+              (Client.with_retry ~rng client (fun () ->
+                   Client.query_ids client ~circuit:circuit_name dims))
+          in
+          check_bool "converged to the oracle" true (ids = expect)))
+
+(* chaos: the reply publication stalls past the client's budget — the
+   deadline fires on the ring wait exactly as it would on a socket. *)
+let shm_publish_stall_times_out () =
+  let hooks, fired =
+    Fault.shm_hooks_of_plan [ inj Fault.Shm_publish 0 (Fault.Stall 0.4) 1 ]
+  in
+  with_server ~shm_hooks:hooks ~container:true (fun _server addr ->
+      with_client ~shm:true addr (fun client ->
+          let dims = random_batch ~seed:35 16 in
+          (match Client.query_ids ~budget:0.08 client ~circuit:circuit_name dims with
+          | Error Client.Timed_out | Error (Client.Disconnected _) -> ()
+          | Error (Client.Refused (Wire.Err_timeout, _)) -> ()
+          | Error e -> Alcotest.failf "stalled publish: %s" (Client.error_to_string e)
+          | Ok _ -> Alcotest.fail "a stalled reply beat an 80 ms budget");
+          check_int "stall fired" 1 (fired ());
+          let ids, _ =
+            ok_or_fail "after the stall"
+              (Client.query_ids client ~circuit:circuit_name dims)
+          in
+          check_bool "converged to the oracle" true (ids = expected_ids dims)))
+
+(* Negotiate a session by hand (raw socket + attach) so the client half
+   can misbehave in ways [Client] never would. *)
+let raw_shm_hello fd =
+  let status, b, len =
+    raw_roundtrip fd ~opcode:(Wire.opcode_to_int Wire.Shm_hello) ~deadline_us:0
+      ~build:(fun _ _ -> 0)
+  in
+  check_bool "hello ok" true (status = Wire.Ok);
+  check_int "hello accepted" 1 (Wire.get_u8 b ~len Wire.reply_header_bytes);
+  fst (Wire.get_string16 b ~len (Wire.reply_header_bytes + 5))
+
+(* chaos: a wedged client — socket open, ring mapped, heartbeat silent.
+   The stale stamp is the reap signal. *)
+let shm_wedged_client_reaped () =
+  let config = { Server.default_config with Server.shm_heartbeat_timeout = 0.2 } in
+  with_server ~config (fun server addr ->
+      let fd = connect_raw addr in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let path = raw_shm_hello fd in
+          let ring = Shm.attach ~path () in
+          Shm.heartbeat ring;
+          (* ...and never again: the peer looks alive on the socket but
+             dead on the ring *)
+          check_bool "session reaped on stale heartbeat" true
+            (wait_until (fun () -> (Server.stats server).Server.shm_reaped >= 1));
+          check_bool "ring file unlinked" true
+            (wait_until (fun () -> not (Sys.file_exists path)))))
+
+(* chaos: kill -9 — the kernel closes the socket, nobody closes the
+   ring.  The EOF is the immediate reap signal; the ring file is
+   unlinked so sessions cannot accumulate. *)
+let shm_killed_client_reaped () =
+  with_server (fun server addr ->
+      let fd = connect_raw addr in
+      let path = raw_shm_hello fd in
+      let ring = Shm.attach ~path () in
+      Shm.heartbeat ring;
+      Unix.close fd;
+      check_bool "session reaped on socket EOF" true
+        (wait_until (fun () -> (Server.stats server).Server.shm_reaped >= 1));
+      check_bool "ring file unlinked" true
+        (wait_until (fun () -> not (Sys.file_exists path)));
+      (* the survivor's mapping of the dead inode stays readable: typed
+         errors, never SIGBUS *)
+      match Shm.recv ~deadline:(Unix.gettimeofday () +. 0.2) ring ~buf:(ref (Bytes.create 64)) with
+      | _ -> Alcotest.fail "recv on a reaped session returned data"
+      | exception (Shm.Dead _ | Shm.Timeout) -> ())
+
+(* chaos: the container is republished as a runt *under* the session.
+   The rename keeps the server's old inode mapped (its descriptors are
+   still sized for the old file) and the pinned mtime keeps the store
+   from reloading — but the client maps the new, tiny file.  Every
+   descriptor is now out of bounds; the client must refuse it typed,
+   never crash and never fabricate ids. *)
+let shm_descriptor_out_of_bounds () =
+  with_server ~container:true (fun server addr ->
+      let store = Server.store server in
+      let zpath = Store.zpath_for store circuit_name in
+      let t0 = 1_000_000_000.0 in
+      Unix.utimes zpath t0 t0;
+      with_client ~shm:true addr (fun client ->
+          let dims = random_batch ~seed:81 8 in
+          let expect = expected_ids dims in
+          check_bool "oracle has stored answers" true
+            (Array.exists (fun id -> id >= 0) expect);
+          let ids, _ =
+            ok_or_fail "first query" (Client.query_ids client ~circuit:circuit_name dims)
+          in
+          check_bool "descriptors validated" true (ids = expect);
+          check_bool "ring active" true (Client.ring_active client);
+          let runt = zpath ^ ".runt" in
+          let oc = open_out_bin runt in
+          output_string oc (String.make 64 '\000');
+          close_out oc;
+          Unix.rename runt zpath;
+          Unix.utimes zpath t0 t0;
+          Client.close client;
+          match Client.query_ids client ~circuit:circuit_name dims with
+          | Error (Client.Disconnected _) -> ()
+          | Error e ->
+            Alcotest.failf "out-of-bounds descriptor: %s" (Client.error_to_string e)
+          | Ok _ -> Alcotest.fail "out-of-bounds descriptors were accepted"))
+
+(* A reload bumps the epoch; descriptor replies carry it and the client
+   remaps the container before trusting any offset. *)
+let shm_reload_remaps () =
+  with_server ~container:true (fun _server addr ->
+      with_client ~shm:true addr (fun client ->
+          let dims = random_batch ~seed:41 16 in
+          let expect = expected_ids dims in
+          let ids, meta =
+            ok_or_fail "first query" (Client.query_ids client ~circuit:circuit_name dims)
+          in
+          check_int "first epoch" 1 meta.Client.epoch;
+          check_bool "first ids" true (ids = expect);
+          let _ = ok_or_fail "reload" (Client.reload client ~circuit:circuit_name) in
+          let ids2, meta2 =
+            ok_or_fail "after reload" (Client.query_ids client ~circuit:circuit_name dims)
+          in
+          check_int "bumped epoch" 2 meta2.Client.epoch;
+          check_bool "remapped ids" true (ids2 = expect);
+          check_bool "ring survived the reload" true (Client.ring_active client)))
+
+(* A batch that cannot fit a tiny ring transparently rides the socket —
+   the ring stays up for the batches that do fit. *)
+let shm_large_batch_socket_fallback () =
+  let config = { Server.default_config with Server.shm_ring_words = 256 } in
+  with_server ~config ~container:true (fun _server addr ->
+      with_client ~shm:true addr (fun client ->
+          let big = random_batch ~seed:51 200 in
+          let ids, _ =
+            ok_or_fail "big batch" (Client.query_ids client ~circuit:circuit_name big)
+          in
+          check_bool "ring negotiated" true (Client.ring_active client);
+          check_int "big batch stayed on the socket" 0
+            (Client.stats client).Client.ring_requests;
+          check_bool "big ids match the oracle" true (ids = expected_ids big);
+          let small = random_batch ~seed:53 4 in
+          let ids2, _ =
+            ok_or_fail "small batch" (Client.query_ids client ~circuit:circuit_name small)
+          in
+          check_int "small batch rode the ring" 1
+            (Client.stats client).Client.ring_requests;
+          check_bool "small ids match the oracle" true (ids2 = expected_ids small)))
+
+(* The ring itself, driven directly: wraparound under sustained mixed
+   frame sizes, refusal of impossible frames, typed timeout on an empty
+   ring, typed death on peer close. *)
+let shm_ring_direct () =
+  with_tmp_dir (fun dir ->
+      let path = Filename.concat dir "direct.ring" in
+      let server = Shm.create ~ring_words:256 ~path () in
+      let client = Shm.attach ~path () in
+      Shm.heartbeat server;
+      Shm.heartbeat client;
+      let buf = ref (Bytes.create 16) in
+      for i = 0 to 199 do
+        let len = 1 + (i * 7 mod 900) in
+        let s =
+          String.init len (fun j -> Char.chr (((i * 37) + (j * 11) + 200) land 0xff))
+        in
+        let b = Bytes.of_string s in
+        Shm.send client b ~off:0 ~len;
+        let got = Shm.recv server ~buf in
+        check_bool
+          (Printf.sprintf "frame %d round-trips" i)
+          true
+          (got = len && Bytes.sub_string !buf 0 got = s);
+        Shm.send server b ~off:0 ~len;
+        let got2 = Shm.recv client ~buf in
+        check_bool
+          (Printf.sprintf "echo %d round-trips" i)
+          true
+          (got2 = len && Bytes.sub_string !buf 0 got2 = s)
+      done;
+      (match Shm.send client (Bytes.create 4096) ~off:0 ~len:4096 with
+      | () -> Alcotest.fail "an impossible frame was accepted"
+      | exception Invalid_argument _ -> ());
+      (match Shm.recv ~deadline:(Unix.gettimeofday () +. 0.05) server ~buf with
+      | _ -> Alcotest.fail "recv from an empty ring returned"
+      | exception Shm.Timeout -> ());
+      Shm.close client;
+      (match Shm.recv ~deadline:(Unix.gettimeofday () +. 1.0) server ~buf with
+      | _ -> Alcotest.fail "recv after peer close returned"
+      | exception Shm.Dead _ -> ());
+      Shm.remove server)
+
+(* --- Farewell mid-pipeline (reconnect integrity) ---------------------- *)
+
+(* A hand-rolled daemon speaking just enough of the protocol to send a
+   farewell [Err_overloaded] mid-pipeline on its first connection, then
+   serve later connections fully — echoing the request id as every
+   placement id, so a reply matched to the wrong slot is visible as a
+   count mismatch or a wrong echo.  The client must fail the in-flight
+   tail typed, leak nothing, and keep positional integrity after the
+   reconnect. *)
+let farewell_mid_pipeline () =
+  with_tmp_dir (fun dir ->
+      let sock = Filename.concat dir "fake.sock" in
+      let listen_fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind listen_fd (Unix.ADDR_UNIX sock);
+      Unix.listen listen_fd 8;
+      let stop = Atomic.make false in
+      let send_reply fd ~status ~rep_id ~build =
+        let buf = ref (Bytes.create 256) in
+        let rh = Wire.reply_header_bytes in
+        let prefix = Wire.frame_prefix_bytes in
+        let body = build buf (prefix + rh) in
+        let b = !buf in
+        Wire.set_u8 b prefix (Wire.status_to_int status);
+        Wire.set_u32 b (prefix + 1) rep_id;
+        Wire.set_u32 b (prefix + 5) 1;
+        Wire.send_frame Transport.default fd b ~payload_len:(rh + body)
+      in
+      let serve_conn ~farewell fd =
+        let inbuf = ref (Bytes.create 4096) in
+        let served = ref 0 in
+        (try
+           let rec loop () =
+             let len =
+               Wire.recv_frame Transport.default ~max_bytes:Wire.max_frame_default
+                 ~buf:inbuf fd
+             in
+             let b = !inbuf in
+             let opcode = Wire.get_u8 b ~len 0 in
+             let req_id = Wire.get_u32 b ~len 1 in
+             if opcode = Wire.opcode_to_int Wire.Open_circuit then begin
+               send_reply fd ~status:Wire.Ok ~rep_id:req_id ~build:(fun buf off ->
+                   Wire.ensure buf (off + 9);
+                   let b = !buf in
+                   Wire.set_u16 b off 1;
+                   Wire.set_u8 b (off + 2) 0;
+                   Wire.set_u16 b (off + 3) 1;
+                   Wire.set_u32 b (off + 5) 1;
+                   9);
+               loop ()
+             end
+             else if opcode = Wire.opcode_to_int Wire.Query_batch then begin
+               let count = Wire.get_u32 b ~len (Wire.request_header_bytes + 2) in
+               incr served;
+               if farewell && !served > 1 then
+                 send_reply fd ~status:Wire.Err_overloaded ~rep_id:0
+                   ~build:(fun buf off -> Wire.put_string16 buf off "shedding" - off)
+               else begin
+                 send_reply fd ~status:Wire.Ok ~rep_id:req_id ~build:(fun buf off ->
+                     Wire.ensure buf (off + 4 + (count * 4));
+                     let b = !buf in
+                     Wire.set_u32 b off count;
+                     for i = 0 to count - 1 do
+                       Wire.set_i32 b (off + 4 + (i * 4)) req_id
+                     done;
+                     4 + (count * 4));
+                 loop ()
+               end
+             end
+             else loop ()
+           in
+           loop ()
+         with _ -> ());
+        try Unix.close fd with Unix.Unix_error _ -> ()
+      in
+      let th =
+        Thread.create
+          (fun () ->
+            let first = ref true in
+            while not (Atomic.get stop) do
+              match Unix.accept ~cloexec:true listen_fd with
+              | fd, _ ->
+                let farewell = !first in
+                first := false;
+                serve_conn ~farewell fd
+              | exception Unix.Unix_error _ -> ()
+            done)
+          ()
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Atomic.set stop true;
+          (* closing a listener does not interrupt a blocked [accept]:
+             wake the thread with a throwaway connection instead *)
+          (try
+             let w = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+             Unix.connect w (Unix.ADDR_UNIX sock);
+             Unix.close w
+           with Unix.Unix_error _ -> ());
+          Thread.join th;
+          try Unix.close listen_fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          with_client (Server.Unix_path sock) (fun client ->
+              (* distinct counts per batch: a misrouted reply cannot parse *)
+              let batches = Array.init 6 (fun i -> random_batch ~seed:i (i + 1)) in
+              let results =
+                Client.query_ids_pipelined ~depth:4 client ~circuit:circuit_name
+                  batches
+              in
+              check_int "positional results" (Array.length batches)
+                (Array.length results);
+              let oks = ref 0 and refused = ref 0 and dropped = ref 0 in
+              Array.iteri
+                (fun i r ->
+                  match r with
+                  | Ok (ids, _) ->
+                    incr oks;
+                    check_int
+                      (Printf.sprintf "batch %d count" i)
+                      (Array.length batches.(i))
+                      (Array.length ids);
+                    check_bool
+                      (Printf.sprintf "batch %d echo is uniform" i)
+                      true
+                      (Array.for_all (fun id -> id = ids.(0)) ids)
+                  | Error (Client.Refused (Wire.Err_overloaded, _)) -> incr refused
+                  | Error (Client.Disconnected _) -> incr dropped
+                  | Error e ->
+                    Alcotest.failf "batch %d: %s" i (Client.error_to_string e))
+                results;
+              check_bool "served before the farewell" true (!oks >= 1);
+              check_bool "in-flight tail refused typed" true (!refused >= 1);
+              check_int "every batch accounted for" (Array.length batches)
+                (!oks + !refused + !dropped);
+              (* after the reconnect: clean slate, no leaked slots, and
+                 strictly increasing echoes prove each reply matched the
+                 request that asked for it *)
+              let results2 =
+                Client.query_ids_pipelined ~depth:4 client ~circuit:circuit_name
+                  batches
+              in
+              let echoes =
+                Array.mapi
+                  (fun i r ->
+                    let ids, _ = ok_or_fail (Printf.sprintf "retry batch %d" i) r in
+                    check_int
+                      (Printf.sprintf "retry batch %d count" i)
+                      (Array.length batches.(i))
+                      (Array.length ids);
+                    check_bool
+                      (Printf.sprintf "retry batch %d echo is uniform" i)
+                      true
+                      (Array.for_all (fun id -> id = ids.(0)) ids);
+                    ids.(0))
+                  results2
+              in
+              Array.iteri
+                (fun i e ->
+                  if i > 0 then
+                    check_bool
+                      (Printf.sprintf "echo %d ordered" i)
+                      true
+                      (e > echoes.(i - 1)))
+                echoes;
+              check_bool "client reconnected once" true
+                ((Client.stats client).Client.connects >= 2))))
+
+(* --- Hedging across daemons ------------------------------------------- *)
+
+(* Satellite of the shm work: the hedge can now target a different
+   daemon.  The primary's worker stalls mid-query; the hedge goes to
+   the healthy peer and wins, and only the losing connection is
+   poisoned — the client recovers the primary on the next call. *)
+let hedged_across_daemons () =
+  let plan = [ inj Fault.Worker_stall 1 (Fault.Stall 0.6) 1 ] in
+  let hook, fired = Fault.worker_hook_of_plan plan in
+  with_server ~fault:hook (fun _primary addr1 ->
+      with_server (fun peer addr2 ->
+          with_client addr1 (fun client ->
+              let dims = random_batch ~seed:61 16 in
+              let t0 = Unix.gettimeofday () in
+              let ids, _ =
+                ok_or_fail "hedged query"
+                  (Client.hedged_query_ids ~hedge_after:0.05 ~peers:[ addr2 ] client
+                     ~circuit:circuit_name dims)
+              in
+              let dt = Unix.gettimeofday () -. t0 in
+              check_bool "hedged answers correct" true (ids = expected_ids dims);
+              check_bool "beat the stalled daemon" true (dt < 0.5);
+              check_int "stall fired" 1 (fired ());
+              let s = Client.stats client in
+              check_int "one hedge launched" 1 s.Client.hedges;
+              check_int "the peer won" 1 s.Client.hedge_wins;
+              check_bool "peer served the hedge" true
+                ((Server.stats peer).Server.requests_served > 0);
+              (* only the loser was poisoned: the next call reconnects
+                 the primary and is served *)
+              let ids2, _ =
+                ok_or_fail "after the race"
+                  (Client.query_ids client ~circuit:circuit_name dims)
+              in
+              check_bool "primary recovered" true (ids2 = expected_ids dims))))
+
 let suite =
   [
     Alcotest.test_case "round trip matches the in-process oracle" `Quick round_trip;
@@ -914,4 +1451,33 @@ let suite =
       store_prefers_container;
     Alcotest.test_case "store hot-reload race never serves a torn engine" `Quick
       store_reload_race;
+    Alcotest.test_case "shm: ring round trip matches the oracle" `Quick
+      shm_round_trip;
+    Alcotest.test_case "shm: descriptor replies match the oracle" `Quick
+      shm_descriptor_replies;
+    Alcotest.test_case "shm: pipelined batches ride the ring" `Quick shm_pipelined;
+    Alcotest.test_case "shm: declined hello falls back to the socket" `Quick
+      shm_declined_falls_back;
+    Alcotest.test_case "shm chaos: torn frame is typed, retry converges" `Quick
+      shm_torn_frame_recovers;
+    Alcotest.test_case "shm chaos: corrupt frame is typed, retry converges" `Quick
+      shm_corrupt_frame_recovers;
+    Alcotest.test_case "shm chaos: stalled publish hits the deadline" `Quick
+      shm_publish_stall_times_out;
+    Alcotest.test_case "shm chaos: wedged client is reaped by heartbeat" `Quick
+      shm_wedged_client_reaped;
+    Alcotest.test_case "shm chaos: kill -9'd client is reaped on EOF" `Quick
+      shm_killed_client_reaped;
+    Alcotest.test_case "shm chaos: out-of-bounds descriptors are refused" `Quick
+      shm_descriptor_out_of_bounds;
+    Alcotest.test_case "shm: reload remaps the container by epoch" `Quick
+      shm_reload_remaps;
+    Alcotest.test_case "shm: oversized batches fall back to the socket" `Quick
+      shm_large_batch_socket_fallback;
+    Alcotest.test_case "shm: ring wraparound, refusal, timeout, close" `Quick
+      shm_ring_direct;
+    Alcotest.test_case "pipelined farewell keeps positional integrity" `Quick
+      farewell_mid_pipeline;
+    Alcotest.test_case "chaos: hedge across daemons beats a stalled one" `Quick
+      hedged_across_daemons;
   ]
